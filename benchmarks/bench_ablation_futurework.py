@@ -1,0 +1,23 @@
+"""Section 6 future-work ablations, measured.
+
+Covers the paper's proposed extensions: presorting by length,
+dictionary compression (3-bit DNA packing), PETER-style frequency
+vectors in the trie, and a different well-known index (inverted
+q-grams) — each against the configuration it would extend.
+"""
+
+from repro.bench.registry import run_experiment
+
+
+def test_ablation_future_work(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment, args=("ablation", scale), rounds=1, iterations=1
+    )
+    emit("ablation", report)
+
+    assert "scan, presorted by length" in report
+    assert "frequency vectors (PETER)" in report
+    assert "inverted q-gram index" in report
+    # The 3-bit packing saves exactly 1 - 3/8 of the storage.
+    assert "storage saved: 62%" in report
+    assert "branches cut" in report

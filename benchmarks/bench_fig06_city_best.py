@@ -1,0 +1,50 @@
+"""Figure 6: best sequential vs best index-based on city names.
+
+The paper's headline result: on short strings over a large alphabet,
+the optimized sequential scan needs only 4-58% of the index's time.
+The figure adds the paper's section-6 extension (frequency vectors) as
+a third series; on city names the vowel vectors prune little, so the
+sequential win must survive it.
+"""
+
+import re
+
+from repro.bench.registry import run_experiment
+
+_BAR = re.compile(r"^\s+(.+?)\s+#+ ([\d.]+)s$")
+
+
+def parse_series(report: str) -> list[dict[str, float]]:
+    """Per-column mapping of series name -> seconds, in column order."""
+    columns: list[dict[str, float]] = []
+    current: dict[str, float] = {}
+    for line in report.splitlines():
+        if line.endswith("queries:"):
+            current = {}
+            columns.append(current)
+            continue
+        match = _BAR.match(line)
+        if match and columns:
+            current[match.group(1)] = float(match.group(2))
+    return columns
+
+
+def test_fig06_city_best_vs_best(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig06", scale), rounds=1, iterations=1
+    )
+    emit("fig06", report)
+
+    columns = parse_series(report)
+    assert len(columns) == 3
+    for column in columns:
+        assert len(column) == 3  # scan, paper index, freq index
+        sequential = next(v for name, v in column.items()
+                          if name.startswith("best sequential"))
+        best_index = min(v for name, v in column.items()
+                         if "index" in name)
+        # The paper's headline: the scan wins cities, needing 4-58% of
+        # the index's time (we allow up to 90% — the banded traversal
+        # here is a stronger index than the paper's).
+        assert sequential < best_index
+        assert sequential / best_index <= 0.90

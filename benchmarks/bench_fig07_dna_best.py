@@ -1,0 +1,38 @@
+"""Figure 7: best sequential vs best index-based on DNA reads.
+
+The paper's second hypothesis: on long strings over a tiny alphabet the
+index wins — by 9-20% in its numbers, a slim margin. In this
+reproduction the paper-config index (length annotations only) lands
+within the same near-parity band of the inlined bit-parallel scan and
+can end up on either side of it; the paper's own section-6 extension
+(frequency vectors in the nodes) then makes the index win decisively.
+EXPERIMENTS.md discusses the deviation.
+"""
+
+from repro.bench.registry import run_experiment
+
+from benchmarks.bench_fig06_city_best import parse_series
+
+
+def test_fig07_dna_best_vs_best(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig07", scale), rounds=1, iterations=1
+    )
+    emit("fig07", report)
+
+    columns = parse_series(report)
+    assert len(columns) == 3
+    for column in columns:
+        sequential = next(v for name, v in column.items()
+                          if name.startswith("best sequential"))
+        paper_index = next(v for name, v in column.items()
+                           if name.startswith("best index-based"))
+        freq_index = next(v for name, v in column.items()
+                          if name.startswith("index + freq"))
+        # Paper-config index: a close competitor on DNA (the paper's
+        # margin was 9-20%; ours sits in a near-parity band that can
+        # flip sign with measurement jitter — see EXPERIMENTS.md).
+        assert 0.5 <= paper_index / sequential <= 2.0
+        # The paper's proposed extension settles it for the index.
+        assert freq_index < sequential
+        assert freq_index < paper_index

@@ -1,0 +1,26 @@
+"""Join strategies (competition join track): scan vs prefix vs trie.
+
+All three strategies must produce identical pairs (verified inside the
+experiment); this bench compares their clocks and asserts the expected
+regime behaviour: prefix filtering pays off on the large-alphabet city
+join, where rare q-grams are highly selective.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+SCAN = "length-banded scan"
+PREFIX = "prefix-filtered (Ed-Join)"
+TRIE = "trie probing"
+
+
+def test_join_strategies(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("joins", scale), rounds=1, iterations=1
+    )
+    emit("joins", report.render())
+
+    assert report.row_labels == [SCAN, PREFIX, TRIE]
+    # Prefix filtering beats the plain scan on the city join.
+    assert report.cell(PREFIX, 0).seconds < report.cell(SCAN, 0).seconds
+    # The verification footnote proves all strategies agreed.
+    assert any("verified identical" in note for note in report.footnotes)

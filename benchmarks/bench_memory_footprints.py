@@ -1,0 +1,27 @@
+"""Memory footprints (sections 2.3/4.2 context): time/space trade-offs.
+
+The paper motivates compression and PETER's design by main-memory
+pressure; this bench quantifies what each structure actually costs to
+hold, on both datasets.
+"""
+
+from repro.bench.memory import measure_footprints
+from repro.bench.experiment import load_city_dataset, load_dna_dataset
+from repro.bench.registry import run_experiment
+
+
+def test_memory_footprints(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment, args=("memory", scale), rounds=1, iterations=1
+    )
+    emit("memory", report)
+
+    # Compression's memory story (the paper's section 4.2 rationale):
+    # the compressed trie must be much smaller than the plain one.
+    for dataset in (list(load_city_dataset(scale.city_count)),
+                    list(load_dna_dataset(scale.dna_count))):
+        sizes = measure_footprints(dataset)
+        assert sizes["compressed trie"] < sizes["prefix trie"] / 2
+        # Annotations cost memory — the PETER trade-off.
+        assert sizes["compressed trie + freq vectors"] > \
+            sizes["compressed trie"]

@@ -1,0 +1,28 @@
+"""Dataset-size scaling (section 6: "number of data records").
+
+The paper's last future-work question: does dataset size move the
+scan-vs-index answer? Measured on DNA: yes — the scan's cost grows
+linearly with the record count, the trie's sub-linearly, so the trie's
+relative position improves with scale.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+
+def test_scaling_with_record_count(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("scaling", scale), rounds=1,
+        iterations=1,
+    )
+    emit("scaling", report.render())
+
+    rows = report.row_labels
+    # Ratio of trie time to scan time must improve (drop) from the
+    # smallest to the largest dataset.
+    first_ratio = report.cells[0][1].seconds / report.cells[0][0].seconds
+    last_ratio = report.cells[-1][1].seconds / report.cells[-1][0].seconds
+    assert last_ratio < first_ratio
+    # And the scan's absolute cost must grow roughly linearly: at least
+    # 4x from the 10x size increase (sub-linear would break the story).
+    assert report.cells[-1][0].seconds > 4 * report.cells[0][0].seconds
+    assert len(rows) == 4

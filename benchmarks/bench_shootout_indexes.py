@@ -1,0 +1,35 @@
+"""Index shootout (beyond the paper): every structure vs the scan.
+
+The paper's title pits the scan against "a well-known index" but its
+evaluation covers one index family (the trie). The library implements
+five; this bench races them all on both datasets, with every contender
+verified against the reference before its clock counts.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+
+def test_shootout_all_structures(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("shootout", scale), rounds=1,
+        iterations=1,
+    )
+    emit("shootout", report.render())
+
+    # Regime contrast (the paper's core finding, generalized): on city
+    # names the scan beats the paper's index family (the tries); on DNA
+    # at least one index beats the scan. The inverted q-gram index may
+    # beat everything on cities — an honest extra finding recorded in
+    # EXPERIMENTS.md, not a shape violation.
+    scan_city = report.cell("sequential scan (bit-parallel)", 0).seconds
+    scan_dna = report.cell("sequential scan (bit-parallel)", 1).seconds
+    trie_rows = [label for label in report.row_labels
+                 if "trie" in label or "DAWG" in label]
+    index_rows = [label for label in report.row_labels
+                  if "scan" not in label]
+    best_trie_city = min(report.cell(row, 0).seconds
+                         for row in trie_rows)
+    best_index_dna = min(report.cell(row, 1).seconds
+                         for row in index_rows)
+    assert scan_city <= best_trie_city * 1.1
+    assert best_index_dna < scan_dna

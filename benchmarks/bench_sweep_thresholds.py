@@ -1,0 +1,29 @@
+"""Threshold sweep (beyond the paper): where the crossover moves.
+
+The scan's bit-parallel cost is threshold-independent; the trie's band
+widens with k. Sweeping Table I's thresholds quantifies the regime
+boundary the paper reports only at aggregate level.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+
+def test_threshold_sweep(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("sweep", scale), rounds=1, iterations=1
+    )
+    emit("sweep", report.render())
+
+    # The trie's cost must grow with k on both datasets...
+    city_trie = [report.cell(row, 1).seconds for row in report.row_labels]
+    dna_trie = [report.cell(row, 3).seconds for row in report.row_labels]
+    assert city_trie[-1] > city_trie[0]
+    assert dna_trie[-1] > dna_trie[0]
+    # ...while the scan's stays within a small factor across the sweep
+    # (it touches every string regardless; only the match-collection
+    # and early-abort horizons move).
+    city_scan = [report.cell(row, 0).seconds for row in report.row_labels]
+    assert max(city_scan) < 10 * max(min(city_scan), 1e-9)
+    # At the top thresholds the scan wins both regimes — the k-facet of
+    # the paper's city result.
+    assert city_scan[-1] < city_trie[-1]

@@ -1,0 +1,28 @@
+"""Table I: dataset generation and properties.
+
+Regenerates the paper's dataset overview and benchmarks generation
+throughput (the one build-time cost both solutions share).
+"""
+
+from repro.bench.experiment import load_city_dataset, load_dna_dataset
+from repro.bench.registry import run_experiment
+from repro.data.stats import describe
+
+
+def test_table01_dataset_properties(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment, args=("table01", scale), rounds=1, iterations=1
+    )
+    emit("table01", report)
+
+    cities = load_city_dataset(scale.city_count)
+    reads = load_dna_dataset(scale.dna_count)
+    city_stats = describe(cities)
+    dna_stats = describe(reads)
+
+    # Shape of Table I: short strings / large alphabet vs long strings /
+    # five-symbol alphabet.
+    assert city_stats.max_length <= 64
+    assert city_stats.alphabet_size > 50
+    assert dna_stats.alphabet_size <= 5
+    assert 80 <= dna_stats.mean_length <= 120

@@ -1,0 +1,28 @@
+"""Table II: thread-count sweep of the sequential solution on cities.
+
+Paper shape: 4 threads win the small batch (creation overhead), 8
+threads — one per core — win at 500/1000 queries, and 32 threads lose
+everywhere to oversubscription.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+
+def test_table02_seq_city_thread_sweep(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("table02", scale), rounds=1, iterations=1
+    )
+    emit("table02", report.render())
+
+    # Paper orderings at the 100-query batch: 4 beats 8 beats 32
+    # (creation overhead dominates the small batch).
+    assert report.cell("4 threads", 0).seconds < \
+        report.cell("8 threads", 0).seconds
+    assert report.cell("8 threads", 0).seconds < \
+        report.cell("32 threads", 0).seconds
+    # At 1000 queries the sweet spot moves to one-ish thread per core;
+    # the paper reads 8 with 16 only 4% behind, so either may win a
+    # deterministic replay — but 4 (half the machine idle) must not.
+    assert report.best_row(2) in ("8 threads", "16 threads")
+    assert report.cell("4 threads", 2).seconds > \
+        report.cell("8 threads", 2).seconds

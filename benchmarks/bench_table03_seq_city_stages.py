@@ -1,0 +1,37 @@
+"""Table III: the six sequential stages on city names.
+
+Paper shape: stage 2 (edit-distance tricks) cuts the base time by
+several-fold; stage 5 (thread per query) is a big regression over stage
+4; stage 6 (managed pool) is the best stage at the large batches.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+STAGE1 = "1) base implementation"
+STAGE2 = "2) calculation of the edit distance"
+STAGE4 = "4) simple data types and program methods"
+STAGE5 = "5) parallelism (thread per query)"
+
+
+def test_table03_seq_city_stages(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("table03", scale), rounds=1, iterations=1
+    )
+    emit("table03", report.render())
+
+    stage6 = next(label for label in report.row_labels
+                  if label.startswith("6)"))
+    for column in range(3):
+        base = report.cell(STAGE1, column).seconds
+        banded = report.cell(STAGE2, column).seconds
+        simple = report.cell(STAGE4, column).seconds
+        per_query = report.cell(STAGE5, column).seconds
+        managed = report.cell(stage6, column).seconds
+        # Paper: stage 2 reduces to ~1/5-1/7; any >=3x gain keeps shape.
+        assert banded < base / 3
+        # Paper: thread-per-query is ~6x worse than stage 4.
+        assert per_query > 2 * simple
+        # Paper: managed parallelism beats thread-per-query everywhere.
+        assert managed < per_query
+    # ... and at the 1000-query batch it beats the serial stage too.
+    assert report.cell(stage6, 2).seconds < report.cell(STAGE4, 2).seconds

@@ -1,0 +1,26 @@
+"""Table IV: thread-count sweep of the index-based solution on cities.
+
+Paper shape: more threads keep helping the trie on cities (32 is the
+paper's optimum at 500/1000 queries; 16 and 32 sit within 1%); the
+deterministic model lands on 8-32 depending on measured cost skew, so
+the assertion is the weaker, noise-robust one: oversubscription beyond
+one thread per core costs little because trie queries are skewed.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+
+def test_table04_idx_city_thread_sweep(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("table04", scale), rounds=1, iterations=1
+    )
+    emit("table04", report.render())
+
+    # Paper: at the large batch, 4 threads are clearly worst of the
+    # useful range (20.99s vs 14.19-14.78s for 8/16/32).
+    four = report.cell("4 threads", 2).seconds
+    rest = [report.cell(f"{t} threads", 2).seconds for t in (8, 16, 32)]
+    assert min(rest) < four
+    # 16 and 32 threads stay competitive with 8 (within 2x), unlike the
+    # sequential sweep where 32 is ruinous.
+    assert max(rest) < 2 * min(rest)

@@ -1,0 +1,19 @@
+"""Table VIII: thread-count sweep of the index-based solution on DNA.
+
+Paper shape: 4 threads lag badly (1094s vs 753-823s); 8/16/32 are
+within ~10% of one another with 16 the nominal optimum.
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+
+def test_table08_idx_dna_thread_sweep(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("table08", scale), rounds=1, iterations=1
+    )
+    emit("table08", report.render())
+
+    four = report.cell("4 threads", 2).seconds
+    wide = [report.cell(f"{t} threads", 2).seconds for t in (8, 16, 32)]
+    assert four > 1.2 * min(wide)
+    assert max(wide) < 2 * min(wide)

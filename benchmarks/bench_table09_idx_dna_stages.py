@@ -1,0 +1,38 @@
+"""Table IX: the three index stages on DNA.
+
+Paper shape: compression is a *large* win on DNA (8686 -> 3450s: reads
+have long unique suffix chains that merge into single nodes); managed
+parallelism then delivers the rest (753s).
+"""
+
+from repro.bench.registry import run_experiment_raw
+
+STAGE1 = "1) base implementation (prefix tree)"
+STAGE2 = "2) compression"
+
+
+def test_table09_idx_dna_stages(benchmark, scale, emit):
+    report = benchmark.pedantic(
+        run_experiment_raw, args=("table09", scale), rounds=1, iterations=1
+    )
+    emit("table09", report.render())
+
+    stage3 = next(label for label in report.row_labels
+                  if label.startswith("3)"))
+    for column in range(3):
+        base = report.cell(STAGE1, column).seconds
+        compressed = report.cell(STAGE2, column).seconds
+        parallel = report.cell(stage3, column).seconds
+        # Compression helps on DNA (paper: ~2.5x; any real cut keeps
+        # the shape — Python per-node overhead is smaller than C++'s
+        # cache effects, so the margin is thinner here). The smallest
+        # batch is measured on few queries, so grant it jitter room.
+        tolerance = 1.25 if column == 0 else 1.0
+        assert compressed < base * tolerance
+        assert parallel < compressed
+    # Parallelism is decisive at the large batch (paper: 3450 -> 753s).
+    assert report.cell(stage3, 2).seconds < \
+        report.cell(STAGE2, 2).seconds / 2
+    # Reads merge into dramatically fewer nodes.
+    note = next(n for n in report.footnotes if "trie nodes" in n)
+    assert "->" in note

@@ -1,0 +1,86 @@
+"""DNA read matching — the paper's non-natural-language scenario.
+
+Run with::
+
+    python examples/dna_read_matching.py
+
+Synthesizes a reference genome, samples noisy reads from it, and then
+answers the two questions genomics pipelines ask:
+
+1. *read deduplication* — which reads in the set are near-duplicates of
+   a probe read? (the paper's similarity-search problem, solved with
+   the compressed trie that wins this regime);
+2. *read mapping* — where does a read come from in the genome?
+   (the Navarro-style suffix-array substrate with pattern
+   partitioning).
+"""
+
+import time
+
+from repro import IndexedSearcher
+from repro.data.dna import DnaReadGenerator
+from repro.data.stats import describe
+from repro.index import SuffixArray
+
+READ_COUNT = 800
+K = 8
+
+
+def main() -> None:
+    generator = DnaReadGenerator(genome_length=30_000, read_length=100,
+                                 seed=2013)
+    reads = generator.generate(READ_COUNT)
+    stats = describe(reads)
+    print(f"reads: {stats.count} over alphabet size "
+          f"{stats.alphabet_size}, mean length {stats.mean_length:.1f} "
+          f"(the paper's long-string regime)\n")
+
+    # --- near-duplicate detection with the compressed trie -----------
+    print(f"building compressed trie index ...")
+    started = time.perf_counter()
+    index = IndexedSearcher(reads, index="compressed",
+                            frequency_pruning=True,
+                            tracked_symbols="ACGNT")
+    build_seconds = time.perf_counter() - started
+    print(f"  built in {build_seconds:.2f}s "
+          f"({index.node_count:,} nodes)\n")
+
+    probe = reads[0]
+    started = time.perf_counter()
+    matches = index.search(probe, K)
+    query_ms = 1000 * (time.perf_counter() - started)
+    print(f"reads within edit distance {K} of read 0 "
+          f"({probe[:40]}...):")
+    for match in matches[:5]:
+        print(f"  distance {match.distance:>2}  {match.string[:60]}...")
+    if len(matches) > 5:
+        print(f"  ... and {len(matches) - 5} more")
+    print(f"  [{query_ms:.1f} ms; traversal visited "
+          f"{index.last_stats.nodes_visited:,} nodes, pruned "
+          f"{index.last_stats.branches_pruned_by_length:,} branches "
+          f"by length and "
+          f"{index.last_stats.branches_pruned_by_frequency:,} "
+          f"by frequency vectors]\n")
+
+    # --- read mapping with the suffix array ---------------------------
+    print("building suffix array over the reference genome ...")
+    started = time.perf_counter()
+    suffix_array = SuffixArray(generator.genome)
+    print(f"  built in {time.perf_counter() - started:.2f}s "
+          f"({len(suffix_array):,} suffixes)\n")
+
+    noisy_read = reads[1]
+    started = time.perf_counter()
+    hits = suffix_array.approximate_occurrences(noisy_read, K)
+    map_ms = 1000 * (time.perf_counter() - started)
+    print(f"mapping read 1 (with sequencing noise) at k={K}:")
+    for hit in hits[:3]:
+        print(f"  genome[{hit.start}:{hit.end}]  distance {hit.distance}")
+    if not hits:
+        print("  no placement found (raise k for noisier reads)")
+    print(f"  [{map_ms:.1f} ms via pattern partitioning: "
+          f"{K + 1} exact pieces seed banded verification]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""A spell-checker in thirty lines — the application the paper motivates.
+
+Run with::
+
+    python examples/spellcheck.py
+
+Section 1 of the paper opens with applications that "have to be
+tolerant against input errors". This example assembles one from the
+library's parts: an auto-selected engine over a gazetteer, top-k
+ranking for suggestions, an updatable index for learning new names,
+and edit scripts to explain what the user got wrong.
+"""
+
+from repro import SearchEngine, UpdatableIndex, search_topk
+from repro.data import apply_random_edits, generate_city_names
+from repro.distance import edit_script
+
+
+def main() -> None:
+    gazetteer = generate_city_names(5000, seed=2013)
+    engine = SearchEngine(gazetteer)
+    print(f"dictionary: {len(gazetteer):,} place names "
+          f"({engine.choice.backend} backend)\n")
+
+    # Corrupt real gazetteer entries the way users mistype them.
+    typos = [
+        apply_random_edits(gazetteer[i * 311], edits,
+                           "abcdefghilmnorstu", seed=i)
+        for i, edits in enumerate((1, 1, 2, 2), start=1)
+    ]
+
+    for typo in typos:
+        suggestions = search_topk(engine.searcher, typo, 3)
+        print(f"did you mean (for {typo!r}):")
+        for rank, match in enumerate(suggestions, start=1):
+            if match.distance == 0:
+                note = "exact match"
+            else:
+                note = "; ".join(edit_script(typo, match.string)[:2])
+            print(f"  {rank}. {match.string:<28} "
+                  f"(distance {match.distance}: {note})")
+        print()
+
+    # Threshold retrieval treats all errors alike; a typo model knows
+    # better. Re-rank a retrieved short list with keyboard-aware costs:
+    from repro.distance import rank_corrections
+
+    probe = "Mistadt"  # 'i' sits next to 'u' and 'o' on QWERTY
+    shortlist = [m.string for m in search_topk(engine.searcher, probe, 8)]
+    reranked = rank_corrections(probe, shortlist, limit=3)
+    print(f"keyboard-aware re-ranking for {probe!r}:")
+    for string, cost in reranked:
+        print(f"  {string:<28} weighted cost {cost:.2f}")
+    print()
+
+    # While the user is still typing, complete the (possibly already
+    # misspelled) prefix instead of the whole word.
+    from repro.index import CompressedTrie, autocomplete
+
+    trie = CompressedTrie(gazetteer)
+    typed = gazetteer[42][:4]
+    mistyped = typed[:-1] + ("x" if typed[-1] != "x" else "y")
+    for prompt in (typed, mistyped):
+        completions = autocomplete(trie, prompt, 1, limit=3)
+        rendered = ", ".join(
+            f"{c.string} (+{c.prefix_distance})" for c in completions
+        )
+        print(f"autocomplete {prompt!r}: {rendered}")
+    print()
+
+    # Dictionaries grow: the updatable index absorbs new names without
+    # a rebuild, and they are immediately searchable.
+    live = UpdatableIndex(gazetteer[:1000])
+    live.insert("Neuspringfield")
+    (hit,) = search_topk(live, "Neuspringfeild", 1)
+    print("after learning 'Neuspringfield', the live index corrects "
+          f"'Neuspringfeild' -> {hit.string!r} (distance {hit.distance})")
+
+
+if __name__ == "__main__":
+    main()

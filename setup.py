@@ -1,0 +1,10 @@
+"""Setup shim: enables `pip install -e .` in offline environments.
+
+The environment this repo ships in has no `wheel` package and no network,
+so PEP 660 editable wheels cannot be built; the legacy `setup.py develop`
+path used by `pip install -e . --no-use-pep517` works without it. All
+project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

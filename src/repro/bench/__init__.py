@@ -1,0 +1,61 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+The harness separates three concerns:
+
+* :mod:`repro.bench.experiment` — scaling (Python is ~two orders of
+  magnitude slower per DP cell than the paper's C++; ``REPRO_SCALE``
+  grows dataset/query sizes toward paper scale), dataset caching, and
+  measurement primitives (wall-clock only, like the paper).
+* :mod:`repro.bench.tables` / :mod:`repro.bench.figures` — renderers
+  that print the same row/column layout the paper's appendix uses.
+* :mod:`repro.bench.registry` — one entry per paper artifact
+  (table01…table09, fig06, fig07, ablation) mapping to a callable that
+  produces the report; the ``benchmarks/`` pytest files are thin
+  wrappers over this registry.
+"""
+
+from repro.bench.experiment import (
+    ExperimentScale,
+    estimate_workload_seconds,
+    load_city_dataset,
+    load_dna_dataset,
+    measure_per_query_costs,
+    measure_workload,
+)
+from repro.bench.figures import render_comparison_figure
+from repro.bench.memory import deep_sizeof, measure_footprints, \
+    render_footprints
+from repro.bench.profile import (
+    CostProfile,
+    imbalance_report,
+    partition_imbalance,
+    profile_costs,
+)
+from repro.bench.registry import (
+    EXPERIMENTS,
+    run_experiment,
+    run_experiment_raw,
+)
+from repro.bench.tables import format_seconds, render_table
+
+__all__ = [
+    "ExperimentScale",
+    "load_city_dataset",
+    "load_dna_dataset",
+    "measure_workload",
+    "measure_per_query_costs",
+    "estimate_workload_seconds",
+    "render_table",
+    "format_seconds",
+    "render_comparison_figure",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_raw",
+    "deep_sizeof",
+    "measure_footprints",
+    "render_footprints",
+    "CostProfile",
+    "profile_costs",
+    "partition_imbalance",
+    "imbalance_report",
+]

@@ -1,0 +1,170 @@
+"""Future-work ablations (paper section 6), measured.
+
+The paper closes with a list of unexplored ideas; this module measures
+each one against the configuration it would extend:
+
+* **Sorting** — presort by length, scan only the feasible window.
+* **Dictionary compression** — 3-bit-packed DNA distance kernel.
+* **Frequency vectors** — PETER-style trie pruning on/off.
+* **Another well-known index** — the inverted q-gram index versus the
+  compressed trie and the optimized scan.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.experiment import (
+    ExperimentScale,
+    load_city_dataset,
+    load_city_workload,
+    load_dna_dataset,
+    load_dna_workload,
+    measure_workload,
+)
+from repro.bench.tables import TableReport
+from repro.core.indexed import IndexedSearcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.verification import verify_result_sets
+from repro.data.alphabet import DNA_ALPHABET
+from repro.distance.banded import edit_distance_bounded
+from repro.distance.packed import pack, packed_edit_distance_bounded
+from repro.index.traversal import TraversalStats, trie_similarity_search
+from repro.index.trie import PrefixTrie
+
+
+def _packing_microbench(reads: tuple[str, ...], k: int,
+                        pairs: int = 300) -> tuple[float, float, float]:
+    """(unpacked seconds, packed seconds, storage saving) over read pairs."""
+    sample = reads[: 2 * pairs]
+    unpacked_pairs = list(zip(sample[0::2], sample[1::2]))
+    packed_pairs = [
+        (pack(x, DNA_ALPHABET), pack(y, DNA_ALPHABET))
+        for x, y in unpacked_pairs
+    ]
+    started = time.perf_counter()
+    for x, y in unpacked_pairs:
+        edit_distance_bounded(x, y, k)
+    unpacked_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for px, py in packed_pairs:
+        packed_edit_distance_bounded(px, py, k)
+    packed_seconds = time.perf_counter() - started
+    raw_bits = sum(8 * len(x) + 8 * len(y) for x, y in unpacked_pairs)
+    packed_bits = sum(
+        px.storage_bits + py.storage_bits for px, py in packed_pairs
+    )
+    saving = 1.0 - packed_bits / raw_bits if raw_bits else 0.0
+    return unpacked_seconds, packed_seconds, saving
+
+
+def run_future_work_ablation(scale: ExperimentScale) -> str:
+    """Measure every section-6 idea; returns the combined report."""
+    cities = load_city_dataset(scale.city_count)
+    reads = load_dna_dataset(scale.dna_count)
+    city_workload = load_city_workload(
+        scale.city_count, scale.query_counts[0], scale.city_k
+    )
+    dna_workload = load_dna_workload(
+        scale.dna_count, scale.query_counts[0], scale.dna_k
+    )
+    columns = ["cities", "DNA"]
+    report = TableReport(
+        title="Section 6 future work, measured "
+              f"({len(city_workload)} queries per cell)",
+        columns=columns,
+    )
+
+    # --- Sorting: length-ordered scan vs plain scan ---------------------
+    plain_city = SequentialScanSearcher(cities, kernel="bitparallel")
+    sorted_city = SequentialScanSearcher(
+        cities, kernel="bitparallel", order="length"
+    )
+    plain_dna = SequentialScanSearcher(reads, kernel="bitparallel")
+    sorted_dna = SequentialScanSearcher(
+        reads, kernel="bitparallel", order="length"
+    )
+    reference_city, plain_city_s = measure_workload(plain_city, city_workload)
+    reference_dna, plain_dna_s = measure_workload(plain_dna, dna_workload)
+    sorted_city_results, sorted_city_s = measure_workload(
+        sorted_city, city_workload
+    )
+    sorted_dna_results, sorted_dna_s = measure_workload(
+        sorted_dna, dna_workload
+    )
+    verify_result_sets(reference_city, sorted_city_results,
+                       candidate_name="sorted scan (cities)")
+    verify_result_sets(reference_dna, sorted_dna_results,
+                       candidate_name="sorted scan (DNA)")
+    report.add_row("scan, unsorted", [plain_city_s, plain_dna_s])
+    report.add_row("scan, presorted by length", [sorted_city_s,
+                                                 sorted_dna_s])
+
+    # --- Frequency vectors: trie pruning on/off -------------------------
+    freq_rows = []
+    for dataset, workload, tracked, reference in (
+        (cities, city_workload, "AEIOU", reference_city),
+        (reads, dna_workload, "ACGNT", reference_dna),
+    ):
+        plain = IndexedSearcher(dataset, index="trie")
+        pruned = IndexedSearcher(dataset, index="trie",
+                                 frequency_pruning=True,
+                                 tracked_symbols=tracked)
+        plain_results, plain_seconds = measure_workload(plain, workload)
+        pruned_results, pruned_seconds = measure_workload(pruned, workload)
+        verify_result_sets(reference, plain_results,
+                           candidate_name="trie")
+        verify_result_sets(reference, pruned_results,
+                           candidate_name="trie+freq")
+        freq_rows.append((plain_seconds, pruned_seconds))
+    report.add_row("trie, no frequency vectors",
+                   [freq_rows[0][0], freq_rows[1][0]])
+    report.add_row("trie, frequency vectors (PETER)",
+                   [freq_rows[0][1], freq_rows[1][1]])
+
+    # --- Another index: inverted q-grams --------------------------------
+    qgram_city = IndexedSearcher(cities, index="qgram", q=2)
+    qgram_dna = IndexedSearcher(reads, index="qgram", q=4)
+    qc_results, qc_seconds = measure_workload(qgram_city, city_workload)
+    qd_results, qd_seconds = measure_workload(qgram_dna, dna_workload)
+    verify_result_sets(reference_city, qc_results,
+                       candidate_name="qgram (cities)")
+    verify_result_sets(reference_dna, qd_results,
+                       candidate_name="qgram (DNA)")
+    report.add_row("inverted q-gram index", [qc_seconds, qd_seconds])
+
+    rendered = report.render()
+
+    # --- Dictionary compression: 3-bit packed DNA kernel ----------------
+    unpacked_s, packed_s, saving = _packing_microbench(reads, scale.dna_k)
+    pruning_note = _frequency_pruning_note(reads, dna_workload.queries[0],
+                                           scale.dna_k)
+    lines = [
+        rendered,
+        "",
+        "dictionary compression (3-bit DNA packing, banded kernel, "
+        f"{min(len(reads) // 2, 300)} pairs):",
+        f"  unpacked: {unpacked_s:.3f}s   packed: {packed_s:.3f}s   "
+        f"storage saved: {100 * saving:.0f}%",
+        pruning_note,
+    ]
+    return "\n".join(lines)
+
+
+def _frequency_pruning_note(reads: tuple[str, ...], query: str,
+                            k: int) -> str:
+    """Quantify how many branches frequency vectors prune on one query."""
+    trie = PrefixTrie(reads, tracked_symbols="ACGNT",
+                      case_insensitive_frequencies=False)
+    with_stats = TraversalStats()
+    trie_similarity_search(trie, query, k, use_frequency_pruning=True,
+                           stats=with_stats)
+    without_stats = TraversalStats()
+    trie_similarity_search(trie, query, k, use_frequency_pruning=False,
+                           stats=without_stats)
+    return (
+        "frequency-vector pruning on one DNA query: "
+        f"{with_stats.nodes_visited:,} nodes visited with vectors vs "
+        f"{without_stats.nodes_visited:,} without "
+        f"({with_stats.branches_pruned_by_frequency:,} branches cut)"
+    )

@@ -1,0 +1,70 @@
+"""Figure renderers: the paper's Figures 6 and 7 as text charts.
+
+Both figures compare the best sequential with the best index-based
+solution across the three query batches. The renderer produces a
+grouped bar chart in plain text plus the underlying series, so the
+"who wins by what factor" story is visible in any terminal or log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ComparisonSeries:
+    """One line of a comparison figure."""
+
+    name: str
+    seconds: tuple[float, ...]
+
+
+def render_comparison_figure(title: str, columns: Sequence[str],
+                             series: Sequence[ComparisonSeries],
+                             width: int = 48) -> str:
+    """Grouped horizontal bar chart, one group per query batch.
+
+    >>> figure = render_comparison_figure(
+    ...     "demo", ["100"],
+    ...     [ComparisonSeries("seq", (1.0,)),
+    ...      ComparisonSeries("idx", (2.0,))])
+    >>> "seq" in figure and "idx" in figure
+    True
+    """
+    if not series:
+        raise ValueError("a comparison figure needs at least one series")
+    for line in series:
+        if len(line.seconds) != len(columns):
+            raise ValueError(
+                f"series {line.name!r} has {len(line.seconds)} values for "
+                f"{len(columns)} columns"
+            )
+    peak = max(max(line.seconds) for line in series) or 1.0
+    name_width = max(len(line.name) for line in series) + 2
+
+    lines = [title, "=" * len(title)]
+    for column_index, column in enumerate(columns):
+        lines.append(f"{column}:")
+        for line in series:
+            value = line.seconds[column_index]
+            bar = "#" * max(1, round(width * value / peak))
+            lines.append(
+                f"  {line.name:<{name_width}}{bar} {value:.3f}s"
+            )
+        lines.append("")
+
+    # Winner summary per column — the sentence the paper draws from
+    # each figure.
+    for column_index, column in enumerate(columns):
+        ranked = sorted(series, key=lambda s: s.seconds[column_index])
+        winner, runner_up = ranked[0], ranked[-1]
+        loser_time = runner_up.seconds[column_index]
+        winner_time = winner.seconds[column_index]
+        if loser_time > 0:
+            share = 100.0 * winner_time / loser_time
+            lines.append(
+                f"{column}: {winner.name} wins, needing {share:.0f}% of "
+                f"{runner_up.name}'s time"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Memory footprints: what each structure costs to hold in RAM.
+
+The paper motivates both compression (section 4.2) and the PETER
+design it builds on (section 2.3: "very long suffixes are stored in a
+file, in order to hold the tree in main memory") by memory pressure.
+This module measures the deep in-memory size of every structure the
+library offers, so the time/space trade-off behind those decisions is
+visible.
+
+``deep_sizeof`` walks the object graph with :func:`sys.getsizeof`,
+deduplicating shared objects by identity — which is precisely what
+makes DAWG suffix sharing measurable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+from repro.index.bktree import bktree_from
+from repro.index.compressed import CompressedTrie
+from repro.index.dawg import Dawg
+from repro.index.qgram_index import QGramIndex
+from repro.index.trie import PrefixTrie
+
+#: Attribute-bearing objects are traversed through these hooks.
+_ATOMIC = (int, float, complex, bool, bytes, str, type(None))
+
+
+def deep_sizeof(root: Any) -> int:
+    """Total bytes of ``root`` and everything reachable from it.
+
+    Shared sub-objects (e.g. DAWG suffix states, interned strings) are
+    counted once; atomic values are counted per occurrence via their
+    container slots plus one object header each when distinct.
+    """
+    seen: set[int] = set()
+    total = 0
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        identity = id(obj)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        total += sys.getsizeof(obj)
+        if isinstance(obj, _ATOMIC):
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        else:
+            if hasattr(obj, "__dict__"):
+                stack.append(obj.__dict__)
+            slots = getattr(type(obj), "__slots__", ())
+            for slot in slots:
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return total
+
+
+def format_bytes(size: int) -> str:
+    """Human-friendly byte count.
+
+    >>> format_bytes(2048)
+    '2.0 KiB'
+    """
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def measure_footprints(strings: list[str]) -> dict[str, int]:
+    """Deep sizes (bytes) of the raw data and every index over it."""
+    return {
+        "raw strings (list)": deep_sizeof(list(strings)),
+        "prefix trie": deep_sizeof(PrefixTrie(strings)),
+        "compressed trie": deep_sizeof(CompressedTrie(strings)),
+        "compressed trie + freq vectors": deep_sizeof(
+            CompressedTrie(strings, tracked_symbols="AEIOU")
+        ),
+        "DAWG": deep_sizeof(Dawg(strings)),
+        "inverted q-gram index": deep_sizeof(QGramIndex(strings, q=2)),
+        "BK-tree": deep_sizeof(bktree_from(strings)),
+    }
+
+
+def render_footprints(strings: list[str], label: str) -> str:
+    """Text report of index memory footprints for one dataset."""
+    sizes = measure_footprints(strings)
+    raw = sizes["raw strings (list)"]
+    lines = [
+        f"Memory footprints over {len(strings):,} {label} strings",
+        "-" * 60,
+    ]
+    for name, size in sizes.items():
+        ratio = size / raw if raw else 0.0
+        lines.append(
+            f"{name:<34} {format_bytes(size):>10}   {ratio:>5.1f}x raw"
+        )
+    return "\n".join(lines)

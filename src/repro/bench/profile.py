@@ -1,0 +1,122 @@
+"""Workload cost profiles: the statistics behind the parallel story.
+
+The thread-sweep tables hinge on properties of the per-query cost
+distribution — a skewed batch balances poorly over few static
+partitions, which is why more threads than cores can help (paper
+Tables IV/VIII). This module turns a list of measured costs into the
+numbers that explain those effects, plus a direct imbalance analysis
+of the static round-robin partitioning the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ExperimentError
+from repro.parallel.partition import round_robin_chunks
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Summary statistics of a per-query cost distribution."""
+
+    count: int
+    total: float
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    coefficient_of_variation: float
+
+    @property
+    def skew_ratio(self) -> float:
+        """``max / mean`` — 1.0 for perfectly uniform costs."""
+        if self.mean == 0:
+            return 0.0
+        return self.maximum / self.mean
+
+    def summary(self) -> str:
+        """One-line human-readable profile."""
+        return (
+            f"n={self.count} total={self.total:.3f}s "
+            f"mean={1000 * self.mean:.2f}ms p50={1000 * self.p50:.2f}ms "
+            f"p99={1000 * self.p99:.2f}ms max={1000 * self.maximum:.2f}ms "
+            f"cv={self.coefficient_of_variation:.2f}"
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending sequence."""
+    if not ordered:
+        raise ExperimentError("cannot take a percentile of no samples")
+    rank = max(0, min(len(ordered) - 1,
+                      round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def profile_costs(costs: Sequence[float]) -> CostProfile:
+    """Build a :class:`CostProfile` from measured per-query seconds.
+
+    >>> profile_costs([1.0, 1.0, 2.0]).skew_ratio
+    1.5
+    """
+    if not costs:
+        raise ExperimentError("cannot profile an empty cost list")
+    if any(cost < 0 for cost in costs):
+        raise ExperimentError("costs must be non-negative")
+    ordered = sorted(costs)
+    count = len(ordered)
+    total = sum(ordered)
+    mean = total / count
+    variance = sum((cost - mean) ** 2 for cost in ordered) / count
+    cv = (variance ** 0.5) / mean if mean > 0 else 0.0
+    return CostProfile(
+        count=count,
+        total=total,
+        mean=mean,
+        p50=_percentile(ordered, 0.50),
+        p90=_percentile(ordered, 0.90),
+        p99=_percentile(ordered, 0.99),
+        maximum=ordered[-1],
+        coefficient_of_variation=cv,
+    )
+
+
+def partition_imbalance(costs: Sequence[float], threads: int) -> float:
+    """Makespan inflation of a static round-robin partition.
+
+    Returns ``makespan / (total / threads)`` — 1.0 is a perfect split;
+    values well above 1 mean the slowest worker drags the batch, which
+    is exactly when *more* workers (finer chunks) or dynamic pulling
+    (the paper's managed strategy) pay off.
+
+    >>> partition_imbalance([1.0, 1.0, 1.0, 1.0], 2)
+    1.0
+    """
+    if threads < 1:
+        raise ExperimentError(f"threads must be >= 1, got {threads}")
+    if not costs:
+        raise ExperimentError("cannot analyse an empty cost list")
+    chunks = round_robin_chunks(list(costs), threads)
+    makespan = max(sum(chunk) for chunk in chunks)
+    ideal = sum(costs) / threads
+    if ideal == 0:
+        return 1.0
+    return makespan / ideal
+
+
+def imbalance_report(costs: Sequence[float],
+                     thread_counts: Sequence[int] = (4, 8, 16, 32),
+                     ) -> str:
+    """Imbalance factors across the paper's thread sweep, as text."""
+    profile = profile_costs(costs)
+    lines = [
+        f"cost profile: {profile.summary()}",
+        "static round-robin imbalance (makespan / ideal):",
+    ]
+    for threads in thread_counts:
+        factor = partition_imbalance(costs, threads)
+        lines.append(f"  {threads:>3} threads: {factor:.3f}x")
+    return "\n".join(lines)

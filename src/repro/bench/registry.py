@@ -1,0 +1,643 @@
+"""One entry per paper artifact: tables I–IX, figures 6–7, ablations.
+
+Every experiment is a function ``run(scale) -> str`` that
+
+1. builds (or loads from cache) the scaled dataset and workloads,
+2. verifies each approach's results against the reference on a small
+   batch (the paper's correctness gate — a benchmark of wrong code is
+   worthless),
+3. measures wall-clock seconds, and
+4. renders the paper's row/column layout at the paper's query counts.
+
+Two kinds of cells appear:
+
+* **measured+extrapolated** — serial stages are measured on the scaled
+  workload and extrapolated linearly to the column's query count
+  (serial batch cost is linear in the number of queries);
+* **simulated** — parallel rows replay the column's full query count
+  through the scheduler model of :mod:`repro.parallel.simulator`, using
+  measured per-query costs and a machine calibrated so that thread
+  create+join overhead is ~6x the mean query cost — the ratio the
+  paper's own Tables II/III imply for its Boost-on-Hyper-V testbed.
+  (The GIL forbids measuring CPU-bound thread sweeps directly; see
+  DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bench.experiment import (
+    PAPER_QUERY_LABELS,
+    ExperimentScale,
+    estimate_workload_seconds,
+    load_city_dataset,
+    load_city_workload,
+    load_dna_dataset,
+    load_dna_workload,
+    measure_per_query_costs,
+    measure_workload,
+)
+from repro.bench.figures import ComparisonSeries, render_comparison_figure
+from repro.bench.tables import Cell, TableReport
+from repro.core.indexed import IndexedSearcher
+from repro.core.searcher import Searcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.verification import verify_result_sets
+from repro.data.stats import describe
+from repro.data.workload import CITY_THRESHOLDS, DNA_THRESHOLDS, Workload
+from repro.exceptions import ExperimentError
+from repro.parallel.simulator import (
+    SchedulerModel,
+    simulate_fixed_pool,
+    simulate_thread_per_query,
+)
+
+#: Thread counts the paper sweeps in Tables II, IV, VI and VIII.
+THREAD_SWEEP = (4, 8, 16, 32)
+
+#: Thread create/join overhead relative to the mean query cost; derived
+#: from the paper's own numbers (Table II at 100 queries: each extra
+#: thread costs ~0.14 s against a 22 ms query — a ratio of ~6).
+CREATE_COST_FACTOR = 5.0
+JOIN_COST_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper artifact."""
+
+    id: str
+    paper_ref: str
+    description: str
+    run: Callable[[ExperimentScale], "TableReport | str"]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _city_workloads(scale: ExperimentScale) -> list[Workload]:
+    return [
+        load_city_workload(scale.city_count, queries, scale.city_k)
+        for queries in scale.query_counts
+    ]
+
+
+def _dna_workloads(scale: ExperimentScale) -> list[Workload]:
+    return [
+        load_dna_workload(scale.dna_count, queries, scale.dna_k)
+        for queries in scale.query_counts
+    ]
+
+
+def _columns(scale: ExperimentScale) -> list[str]:
+    return [f"{label} queries" for label in PAPER_QUERY_LABELS]
+
+
+def _calibrated_machine(costs: Sequence[float]) -> SchedulerModel:
+    """A scheduler model whose overhead:work ratio matches the paper's."""
+    mean = sum(costs) / len(costs) if costs else 1e-6
+    mean = max(mean, 1e-9)
+    return SchedulerModel(
+        cores=8,
+        thread_create_cost=CREATE_COST_FACTOR * mean,
+        thread_join_cost=JOIN_COST_FACTOR * mean,
+        context_switch_penalty=0.10,
+    )
+
+
+def _extend_costs(costs: Sequence[float], target: int) -> list[float]:
+    """Cycle measured per-query costs up to the paper's query count."""
+    if not costs:
+        raise ExperimentError("cannot extend an empty cost list")
+    repeated = list(costs) * (target // len(costs) + 1)
+    return repeated[:target]
+
+
+def _measured_cells(searcher: Searcher, workloads: list[Workload],
+                    ) -> list[Cell]:
+    """Measure each scaled batch, extrapolate to the paper's counts.
+
+    Each batch runs twice and the faster run counts — the standard
+    noise-robust choice, and essential for the smallest batch, whose
+    first run is dominated by first-touch effects.
+    """
+    cells = []
+    for workload, paper_count in zip(workloads, PAPER_QUERY_LABELS):
+        _, first = measure_workload(searcher, workload)
+        _, second = measure_workload(searcher, workload)
+        factor = paper_count / len(workload)
+        cells.append(Cell(min(first, second) * factor))
+    return cells
+
+
+def _estimated_cells(searcher: Searcher, workloads: list[Workload],
+                     ) -> list[Cell]:
+    """Sample-extrapolate a too-slow configuration (paper: '~ half day')."""
+    cells = []
+    for workload, paper_count in zip(workloads, PAPER_QUERY_LABELS):
+        seconds = estimate_workload_seconds(searcher, workload,
+                                            sample_queries=2)
+        factor = paper_count / len(workload)
+        cells.append(Cell(seconds * factor, estimated=True))
+    return cells
+
+
+def _simulated_pool_cells(costs_per_workload: list[list[float]],
+                          threads: int) -> list[Cell]:
+    """Fixed-pool rows at the paper's query counts."""
+    cells = []
+    for costs, paper_count in zip(costs_per_workload, PAPER_QUERY_LABELS):
+        extended = _extend_costs(costs, paper_count)
+        machine = _calibrated_machine(costs)
+        cells.append(
+            Cell(simulate_fixed_pool(extended, threads, machine).wall_time)
+        )
+    return cells
+
+
+def _simulated_per_query_cells(costs_per_workload: list[list[float]],
+                               ) -> list[Cell]:
+    """Thread-per-query rows at the paper's query counts."""
+    cells = []
+    for costs, paper_count in zip(costs_per_workload, PAPER_QUERY_LABELS):
+        extended = _extend_costs(costs, paper_count)
+        machine = _calibrated_machine(costs)
+        cells.append(
+            Cell(simulate_thread_per_query(extended, machine).wall_time)
+        )
+    return cells
+
+
+def _verify_against_reference(dataset: Sequence[str], searcher: Searcher,
+                              workload: Workload, name: str) -> None:
+    """The paper's gate: identical results on a small batch, or bust."""
+    gate = workload.take(min(5, len(workload)))
+    reference = SequentialScanSearcher(
+        dataset, kernel="reference"
+    ).run_workload(gate)
+    verify_result_sets(reference, searcher.run_workload(gate),
+                       candidate_name=name)
+
+
+def _best_thread_count(costs_per_workload: list[list[float]]) -> int:
+    """Thread count minimizing modelled time on the largest paper batch."""
+    costs = costs_per_workload[-1]
+    extended = _extend_costs(costs, PAPER_QUERY_LABELS[-1])
+    machine = _calibrated_machine(costs)
+    return min(
+        THREAD_SWEEP,
+        key=lambda threads: simulate_fixed_pool(
+            extended, threads, machine
+        ).wall_time,
+    )
+
+
+_SCALING_FOOTNOTE = (
+    "cells are paper-scale equivalents: serial rows measured on the "
+    "scaled workload and extrapolated linearly to the column's query "
+    "count; parallel rows simulated at the column's query count from "
+    "measured per-query costs (calibrated machine, 8 cores)"
+)
+
+
+def _sequential_stage_table(dataset: tuple[str, ...],
+                            workloads: list[Workload],
+                            columns: list[str], title: str, *,
+                            estimate_base: bool,
+                            pool_threads: int) -> TableReport:
+    """Tables III and VII: the six sequential stages."""
+    report = TableReport(title=title, columns=columns)
+    stages: list[tuple[str, SequentialScanSearcher]] = [
+        ("1) base implementation",
+         SequentialScanSearcher(dataset, kernel="reference")),
+        ("2) calculation of the edit distance",
+         SequentialScanSearcher(dataset, kernel="banded")),
+        ("3) value or reference",
+         SequentialScanSearcher(dataset, kernel="banded-reused")),
+        ("4) simple data types and program methods",
+         SequentialScanSearcher(dataset, kernel="bitparallel")),
+    ]
+    for name, searcher in stages[1:]:
+        _verify_against_reference(dataset, searcher, workloads[0], name)
+
+    stage4_costs: list[list[float]] = []
+    for name, searcher in stages:
+        if name.startswith("1)") and estimate_base:
+            report.add_row(name, _estimated_cells(searcher, workloads))
+        else:
+            report.add_row(name, _measured_cells(searcher, workloads))
+        if name.startswith("4)"):
+            stage4_costs = [
+                measure_per_query_costs(searcher, workload)
+                for workload in workloads
+            ]
+
+    report.add_row("5) parallelism (thread per query)",
+                   _simulated_per_query_cells(stage4_costs))
+    report.add_row(
+        f"6) management of parallelism ({pool_threads} threads)",
+        _simulated_pool_cells(stage4_costs, pool_threads),
+    )
+    report.add_footnote(_SCALING_FOOTNOTE)
+    if estimate_base:
+        report.add_footnote(
+            "stage 1 extrapolated from 2 sampled queries, as the paper "
+            "itself estimated its DNA base implementation"
+        )
+    return report
+
+
+def _thread_sweep_table(costs_per_workload: list[list[float]],
+                        columns: list[str], title: str) -> TableReport:
+    """Tables II, IV, VI, VIII: wall time per thread count."""
+    report = TableReport(title=title, columns=columns)
+    for threads in THREAD_SWEEP:
+        report.add_row(f"{threads} threads",
+                       _simulated_pool_cells(costs_per_workload, threads))
+    report.add_footnote(_SCALING_FOOTNOTE)
+    return report
+
+
+def _index_stage_table(dataset: tuple[str, ...], workloads: list[Workload],
+                       columns: list[str], title: str, *,
+                       pool_threads: int) -> TableReport:
+    """Tables V and IX: the three index stages."""
+    report = TableReport(title=title, columns=columns)
+    trie = IndexedSearcher(dataset, index="trie")
+    compressed = IndexedSearcher(dataset, index="compressed")
+    for name, searcher in (
+        ("1) base implementation (prefix tree)", trie),
+        ("2) compression", compressed),
+    ):
+        _verify_against_reference(dataset, searcher, workloads[0], name)
+        report.add_row(name, _measured_cells(searcher, workloads))
+    compressed_costs = [
+        measure_per_query_costs(compressed, workload)
+        for workload in workloads
+    ]
+    report.add_row(
+        f"3) management of parallelism ({pool_threads} threads)",
+        _simulated_pool_cells(compressed_costs, pool_threads),
+    )
+    report.add_footnote(
+        f"trie nodes: {trie.node_count:,} -> compressed "
+        f"{compressed.node_count:,} "
+        f"({100.0 * compressed.node_count / max(1, trie.node_count):.0f}%)"
+    )
+    report.add_footnote(_SCALING_FOOTNOTE)
+    return report
+
+
+def _best_sequential(dataset: tuple[str, ...],
+                     workload: Workload) -> SequentialScanSearcher:
+    """The faster of the two serial kernel champions on this data.
+
+    The paper picks stage 4 as its best serial stage on both datasets;
+    in Python the bit-parallel kernel wins on short city names while the
+    buffer-reusing banded kernel wins on long DNA reads, so the harness
+    measures both on a small batch and keeps the winner — the paper's
+    accept-if-faster rule applied once more.
+    """
+    probe = workload.take(min(5, len(workload)))
+    candidates = [
+        SequentialScanSearcher(dataset, kernel="bitparallel"),
+        SequentialScanSearcher(dataset, kernel="banded-reused"),
+    ]
+    timed = [
+        (sum(measure_per_query_costs(searcher, probe)), searcher)
+        for searcher in candidates
+    ]
+    return min(timed, key=lambda pair: pair[0])[1]
+
+
+def _best_vs_best_figure(dataset: tuple[str, ...],
+                         workloads: list[Workload],
+                         columns: list[str], title: str, *,
+                         tracked_symbols: str) -> str:
+    """Figures 6 and 7: best sequential vs best index-based.
+
+    Three series: the best sequential stage, the paper's index
+    configuration (length annotations only, section 4.1), and the
+    paper's own future-work extension — PETER-style frequency vectors
+    in the nodes (section 6) — so the figure shows both the comparison
+    the paper ran and the one it proposed.
+    """
+    sequential = _best_sequential(dataset, workloads[0])
+    indexed = IndexedSearcher(dataset, index="compressed")
+    indexed_freq = IndexedSearcher(dataset, index="compressed",
+                                   frequency_pruning=True,
+                                   tracked_symbols=tracked_symbols)
+    _verify_against_reference(dataset, sequential, workloads[0],
+                              "best sequential")
+    _verify_against_reference(dataset, indexed, workloads[0], "best index")
+    _verify_against_reference(dataset, indexed_freq, workloads[0],
+                              "index + frequency vectors")
+    series = []
+    for name, searcher in (
+        ("best sequential", sequential),
+        ("best index-based", indexed),
+        ("index + freq vectors (§6)", indexed_freq),
+    ):
+        costs = [measure_per_query_costs(searcher, w) for w in workloads]
+        threads = _best_thread_count(costs)
+        series.append(ComparisonSeries(
+            f"{name} ({threads} threads)",
+            tuple(cell.seconds
+                  for cell in _simulated_pool_cells(costs, threads)),
+        ))
+    return render_comparison_figure(title, columns, series)
+
+
+# ---------------------------------------------------------------------------
+# Table I — dataset properties
+# ---------------------------------------------------------------------------
+
+def run_table01(scale: ExperimentScale) -> str:
+    """Table I: the two datasets and their properties."""
+    cities = load_city_dataset(scale.city_count)
+    reads = load_dna_dataset(scale.dna_count)
+    city_stats = describe(cities)
+    dna_stats = describe(reads)
+    header = (
+        f"{'dataset':<12} {'#data sets':>10} {'#symbols':>9} "
+        f"{'max len':>8} {'edit distance':>14}"
+    )
+    lines = [
+        "Table I: datasets and their properties "
+        f"(scale={scale.factor:g}; paper: 400,000 cities / 750,000 reads)",
+        header,
+        "-" * len(header),
+        city_stats.table_row("City names", CITY_THRESHOLDS),
+        dna_stats.table_row("DNA", DNA_THRESHOLDS),
+        "",
+        f"city mean length: {city_stats.mean_length:.1f} "
+        f"(paper regime: short strings, large alphabet)",
+        f"DNA mean length: {dna_stats.mean_length:.1f} "
+        f"(paper regime: long strings, 5-symbol alphabet)",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# City names: Tables II, III, IV, V and Figure 6
+# ---------------------------------------------------------------------------
+
+def run_table02(scale: ExperimentScale) -> TableReport:
+    """Table II: thread sweep of the sequential solution on cities."""
+    dataset = load_city_dataset(scale.city_count)
+    workloads = _city_workloads(scale)
+    searcher = SequentialScanSearcher(dataset, kernel="bitparallel")
+    costs = [measure_per_query_costs(searcher, w) for w in workloads]
+    report = _thread_sweep_table(
+        costs, _columns(scale),
+        "Table II: management of parallelism, sequential, city names",
+    )
+    report.add_footnote(f"paper optimum at 1000 queries: 8 threads; "
+                        f"model optimum here: {_best_thread_count(costs)}")
+    return report
+
+
+def run_table03(scale: ExperimentScale) -> TableReport:
+    """Table III: staged sequential improvements on cities."""
+    dataset = load_city_dataset(scale.city_count)
+    report = _sequential_stage_table(
+        dataset, _city_workloads(scale), _columns(scale),
+        "Table III: evaluation of the sequential solution, city names",
+        estimate_base=False, pool_threads=8,
+    )
+    return report
+
+
+def run_table04(scale: ExperimentScale) -> TableReport:
+    """Table IV: thread sweep of the index-based solution on cities."""
+    dataset = load_city_dataset(scale.city_count)
+    workloads = _city_workloads(scale)
+    searcher = IndexedSearcher(dataset, index="compressed")
+    costs = [measure_per_query_costs(searcher, w) for w in workloads]
+    report = _thread_sweep_table(
+        costs, _columns(scale),
+        "Table IV: management of parallelism, index-based, city names",
+    )
+    report.add_footnote(f"paper optimum at 1000 queries: 32 threads; "
+                        f"model optimum here: {_best_thread_count(costs)}")
+    return report
+
+
+def run_table05(scale: ExperimentScale) -> TableReport:
+    """Table V: staged index improvements on cities."""
+    dataset = load_city_dataset(scale.city_count)
+    workloads = _city_workloads(scale)
+    searcher = IndexedSearcher(dataset, index="compressed")
+    costs = [measure_per_query_costs(searcher, w) for w in workloads]
+    report = _index_stage_table(
+        dataset, workloads, _columns(scale),
+        "Table V: evaluation of the index-based solution, city names",
+        pool_threads=_best_thread_count(costs),
+    )
+    return report
+
+
+def run_fig06(scale: ExperimentScale) -> str:
+    """Figure 6: best sequential vs best index-based, city names."""
+    return _best_vs_best_figure(
+        load_city_dataset(scale.city_count),
+        _city_workloads(scale), _columns(scale),
+        "Figure 6: best sequential vs best index-based, city names "
+        "(paper: sequential wins, needing 4-58% of the index's time)",
+        tracked_symbols="AEIOU",
+    )
+
+
+# ---------------------------------------------------------------------------
+# DNA: Tables VI, VII, VIII, IX and Figure 7
+# ---------------------------------------------------------------------------
+
+def run_table06(scale: ExperimentScale) -> TableReport:
+    """Table VI: thread sweep of the sequential solution on DNA."""
+    dataset = load_dna_dataset(scale.dna_count)
+    workloads = _dna_workloads(scale)
+    searcher = SequentialScanSearcher(dataset, kernel="bitparallel")
+    costs = [measure_per_query_costs(searcher, w) for w in workloads]
+    report = _thread_sweep_table(
+        costs, _columns(scale),
+        "Table VI: management of parallelism, sequential, DNA",
+    )
+    report.add_footnote(
+        f"paper optimum at 1000 queries: 32 threads (within 2.5% of 8/16); "
+        f"model optimum here: {_best_thread_count(costs)}"
+    )
+    return report
+
+
+def run_table07(scale: ExperimentScale) -> TableReport:
+    """Table VII: staged sequential improvements on DNA."""
+    dataset = load_dna_dataset(scale.dna_count)
+    report = _sequential_stage_table(
+        dataset, _dna_workloads(scale), _columns(scale),
+        "Table VII: evaluation of the sequential solution, DNA",
+        estimate_base=True, pool_threads=16,
+    )
+    return report
+
+
+def run_table08(scale: ExperimentScale) -> TableReport:
+    """Table VIII: thread sweep of the index-based solution on DNA."""
+    dataset = load_dna_dataset(scale.dna_count)
+    workloads = _dna_workloads(scale)
+    searcher = IndexedSearcher(dataset, index="compressed")
+    costs = [measure_per_query_costs(searcher, w) for w in workloads]
+    report = _thread_sweep_table(
+        costs, _columns(scale),
+        "Table VIII: management of parallelism, index-based, DNA",
+    )
+    report.add_footnote(f"paper optimum at 1000 queries: 16 threads; "
+                        f"model optimum here: {_best_thread_count(costs)}")
+    return report
+
+
+def run_table09(scale: ExperimentScale) -> TableReport:
+    """Table IX: staged index improvements on DNA."""
+    dataset = load_dna_dataset(scale.dna_count)
+    workloads = _dna_workloads(scale)
+    searcher = IndexedSearcher(dataset, index="compressed")
+    costs = [measure_per_query_costs(searcher, w) for w in workloads]
+    report = _index_stage_table(
+        dataset, workloads, _columns(scale),
+        "Table IX: evaluation of the index-based solution, DNA",
+        pool_threads=_best_thread_count(costs),
+    )
+    return report
+
+
+def run_fig07(scale: ExperimentScale) -> str:
+    """Figure 7: best sequential vs best index-based, DNA."""
+    return _best_vs_best_figure(
+        load_dna_dataset(scale.dna_count),
+        _dna_workloads(scale), _columns(scale),
+        "Figure 7: best sequential vs best index-based, DNA "
+        "(paper: the index wins on long reads)",
+        tracked_symbols="ACGNT",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations — the paper's future-work items (section 6)
+# ---------------------------------------------------------------------------
+
+def run_ablation(scale: ExperimentScale) -> str:
+    """Section 6 future work, measured: sorting, packing, freq, q-grams."""
+    from repro.bench.ablation import run_future_work_ablation
+
+    return run_future_work_ablation(scale)
+
+
+def run_shootout(scale: ExperimentScale) -> TableReport:
+    """All index structures vs the optimized scan (beyond the paper)."""
+    from repro.bench.extras import run_shootout as run
+
+    return run(scale)
+
+
+def run_sweep(scale: ExperimentScale) -> TableReport:
+    """Threshold sensitivity of the scan/trie crossover."""
+    from repro.bench.extras import run_threshold_sweep
+
+    return run_threshold_sweep(scale)
+
+
+def run_scaling(scale: ExperimentScale) -> TableReport:
+    """Dataset-size scaling of the scan/trie comparison on DNA."""
+    from repro.bench.extras import run_scaling as run
+
+    return run(scale)
+
+
+def run_joins(scale: ExperimentScale) -> TableReport:
+    """Join strategies compared on both regimes."""
+    from repro.bench.extras import run_joins as run
+
+    return run(scale)
+
+
+def run_memory(scale: ExperimentScale) -> str:
+    """Deep memory footprints of every structure, both datasets."""
+    from repro.bench.memory import render_footprints
+
+    cities = list(load_city_dataset(scale.city_count))
+    reads = list(load_dna_dataset(scale.dna_count))
+    return "\n\n".join([
+        render_footprints(cities, "city-name"),
+        render_footprints(reads, "DNA-read"),
+    ])
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.id: experiment
+    for experiment in (
+        Experiment("table01", "Table I",
+                   "dataset properties", run_table01),
+        Experiment("table02", "Table II",
+                   "thread sweep, sequential, cities", run_table02),
+        Experiment("table03", "Table III",
+                   "sequential stages, cities", run_table03),
+        Experiment("table04", "Table IV",
+                   "thread sweep, index, cities", run_table04),
+        Experiment("table05", "Table V",
+                   "index stages, cities", run_table05),
+        Experiment("table06", "Table VI",
+                   "thread sweep, sequential, DNA", run_table06),
+        Experiment("table07", "Table VII",
+                   "sequential stages, DNA", run_table07),
+        Experiment("table08", "Table VIII",
+                   "thread sweep, index, DNA", run_table08),
+        Experiment("table09", "Table IX",
+                   "index stages, DNA", run_table09),
+        Experiment("fig06", "Figure 6",
+                   "best-vs-best, cities", run_fig06),
+        Experiment("fig07", "Figure 7",
+                   "best-vs-best, DNA", run_fig07),
+        Experiment("ablation", "Section 6",
+                   "future-work ablations", run_ablation),
+        Experiment("shootout", "beyond the paper",
+                   "all index structures vs the scan", run_shootout),
+        Experiment("sweep", "beyond the paper",
+                   "threshold sensitivity of the crossover", run_sweep),
+        Experiment("memory", "sections 2.3/4.2 context",
+                   "index memory footprints", run_memory),
+        Experiment("scaling", "section 6 (number of records)",
+                   "dataset-size scaling, DNA", run_scaling),
+        Experiment("joins", "competition join track",
+                   "join-strategy comparison", run_joins),
+    )
+}
+
+
+def run_experiment_raw(experiment_id: str,
+                       scale: ExperimentScale | None = None,
+                       ) -> TableReport | str:
+    """Run one experiment, returning its report object.
+
+    Table experiments return a :class:`TableReport` so callers (the
+    benchmark suite, notably) can assert on individual cells; figure
+    and ablation experiments return rendered text.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    return EXPERIMENTS[experiment_id].run(scale)
+
+
+def run_experiment(experiment_id: str,
+                   scale: ExperimentScale | None = None) -> str:
+    """Run one registered experiment and return its text report."""
+    result = run_experiment_raw(experiment_id, scale)
+    if isinstance(result, TableReport):
+        return result.render()
+    return result

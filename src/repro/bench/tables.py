@@ -1,0 +1,117 @@
+"""Table renderers matching the paper's appendix layout.
+
+Every evaluation table of the paper has the same shape: one row per
+approach (or thread count), one column per query-count batch, seconds
+in the cells. :func:`render_table` reproduces that layout; cells may be
+marked as estimates (the paper's own "≈ half day" in Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One measured (or estimated) duration."""
+
+    seconds: float
+    estimated: bool = False
+
+
+@dataclass
+class TableReport:
+    """A rendered experiment table plus its raw numbers.
+
+    ``rows`` maps row label → list of cells, in column order.
+    """
+
+    title: str
+    columns: Sequence[str]
+    row_labels: list[str] = field(default_factory=list)
+    cells: list[list[Cell]] = field(default_factory=list)
+    footnotes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, durations: Sequence[float | Cell]) -> None:
+        """Append one row; plain floats become exact cells."""
+        if len(durations) != len(self.columns):
+            raise ValueError(
+                f"row {label!r} has {len(durations)} cells for "
+                f"{len(self.columns)} columns"
+            )
+        row = [
+            cell if isinstance(cell, Cell) else Cell(float(cell))
+            for cell in durations
+        ]
+        self.row_labels.append(label)
+        self.cells.append(row)
+
+    def add_footnote(self, text: str) -> None:
+        """Append an explanatory footnote line."""
+        self.footnotes.append(text)
+
+    def cell(self, row_label: str, column_index: int) -> Cell:
+        """Look up one cell by row label and column index."""
+        return self.cells[self.row_labels.index(row_label)][column_index]
+
+    def row(self, row_label: str) -> list[Cell]:
+        """All cells of one row."""
+        return list(self.cells[self.row_labels.index(row_label)])
+
+    def best_row(self, column_index: int = -1) -> str:
+        """Row label with the smallest duration in ``column_index``."""
+        best_label = self.row_labels[0]
+        best_value = self.cells[0][column_index].seconds
+        for label, row in zip(self.row_labels, self.cells):
+            if row[column_index].seconds < best_value:
+                best_value = row[column_index].seconds
+                best_label = label
+        return best_label
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        return render_table(self)
+
+
+def format_seconds(seconds: float, estimated: bool = False) -> str:
+    """Human-friendly duration, flagged when extrapolated.
+
+    >>> format_seconds(83.73)
+    '83.73 sec'
+    >>> format_seconds(43200, estimated=True)
+    '~ half day (est.)'
+    """
+    if seconds >= 6 * 3600:
+        text = "~ half day" if seconds < 18 * 3600 else (
+            "~ 1 day" if seconds < 36 * 3600 else "~ 2 days"
+        )
+    elif seconds >= 3600:
+        text = f"{seconds / 3600:.1f} h"
+    elif seconds >= 600:
+        text = f"{seconds / 60:.1f} min"
+    else:
+        text = f"{seconds:.2f} sec"
+    if estimated:
+        text += " (est.)"
+    return text
+
+
+def render_table(report: TableReport, label_width: int = 44,
+                 cell_width: int = 22) -> str:
+    """Aligned-text rendering of a :class:`TableReport`."""
+    lines = [report.title, "=" * len(report.title)]
+    header = " " * label_width + "".join(
+        f"{column:>{cell_width}}" for column in report.columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in zip(report.row_labels, report.cells):
+        rendered = "".join(
+            f"{format_seconds(cell.seconds, cell.estimated):>{cell_width}}"
+            for cell in row
+        )
+        lines.append(f"{label:<{label_width}}{rendered}")
+    for footnote in report.footnotes:
+        lines.append(f"  note: {footnote}")
+    return "\n".join(lines)

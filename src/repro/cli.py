@@ -1,0 +1,315 @@
+"""Command-line interface: the paper's workflow as a tool.
+
+The paper's programs read a data file and a query file and write the
+matches to a result file (section 3.1). ``repro-search`` (also
+``python -m repro``) exposes that workflow plus the supporting chores:
+
+.. code-block:: console
+
+    repro-search generate cities -n 10000 -o cities.txt
+    repro-search generate dna -n 2000 -o reads.txt
+    repro-search stats cities.txt
+    repro-search search cities.txt queries.txt -k 2 -o results.txt
+    repro-search distance AGGCGT AGAGT --matrix
+    repro-search bench table03
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.core.engine import SearchEngine
+from repro.data.cities import generate_city_names
+from repro.data.dna import generate_reads
+from repro.data.io import read_queries, read_strings, write_strings
+from repro.data.stats import describe
+from repro.data.workload import Workload
+from repro.distance.levenshtein import edit_distance
+from repro.distance.matrix import DistanceMatrix
+from repro.exceptions import ReproError
+from repro.parallel.executor import (
+    ProcessPoolRunner,
+    SerialRunner,
+    ThreadPoolRunner,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="String similarity search: optimized sequential scan "
+                    "vs. prefix-tree index (EDBT/ICDT 2013 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    search = commands.add_parser(
+        "search", help="answer a query file against a data file",
+    )
+    search.add_argument("data_file", help="dataset, one string per line")
+    search.add_argument("query_file", help="queries, one string per line")
+    search.add_argument("-k", type=int, required=True,
+                        help="edit-distance threshold")
+    search.add_argument("-o", "--output", default=None,
+                        help="result file (default: stdout)")
+    search.add_argument("--backend", default="auto",
+                        choices=("auto", "sequential", "indexed"),
+                        help="force a solution side (default: auto)")
+    search.add_argument("--runner", default="serial",
+                        help="serial | threads:N | processes:N")
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset",
+    )
+    generate.add_argument("kind", choices=("cities", "dna"))
+    generate.add_argument("-n", "--count", type=int, required=True)
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--seed", type=int, default=2013)
+
+    suggest = commands.add_parser(
+        "suggest", help="top-k nearest strings for one query",
+    )
+    suggest.add_argument("data_file", help="dataset, one string per line")
+    suggest.add_argument("query")
+    suggest.add_argument("-n", "--count", type=int, default=5,
+                         help="how many suggestions (default 5)")
+    suggest.add_argument("--backend", default="auto",
+                         choices=("auto", "sequential", "indexed"))
+
+    complete = commands.add_parser(
+        "complete", help="error-tolerant autocompletion for a prefix",
+    )
+    complete.add_argument("data_file", help="dataset, one string per line")
+    complete.add_argument("prefix", help="what the user typed so far")
+    complete.add_argument("-k", type=int, default=1,
+                          help="typo budget for the prefix (default 1)")
+    complete.add_argument("-n", "--count", type=int, default=10,
+                          help="how many completions (default 10)")
+
+    join = commands.add_parser(
+        "join", help="similarity join two files (or self-join one)",
+    )
+    join.add_argument("left_file", help="left input, one string per line")
+    join.add_argument("right_file", nargs="?", default=None,
+                      help="right input; omit for a self-join")
+    join.add_argument("-k", type=int, required=True,
+                      help="edit-distance threshold")
+    join.add_argument("-o", "--output", default=None,
+                      help="result file (default: stdout)")
+    join.add_argument("--method", default="auto",
+                      choices=("auto", "scan", "index", "prefix"))
+
+    stats = commands.add_parser(
+        "stats", help="Table-I style dataset properties",
+    )
+    stats.add_argument("data_file")
+
+    distance = commands.add_parser(
+        "distance", help="edit distance of two strings",
+    )
+    distance.add_argument("x")
+    distance.add_argument("y")
+    distance.add_argument("--matrix", action="store_true",
+                          help="print the DP matrix (paper Figure 1)")
+
+    explain = commands.add_parser(
+        "explain", help="trace one comparison through every layer",
+    )
+    explain.add_argument("query")
+    explain.add_argument("candidate")
+    explain.add_argument("-k", type=int, required=True)
+
+    bench = commands.add_parser(
+        "bench", help="run a registered paper experiment",
+    )
+    bench.add_argument("experiment",
+                       help=f"one of: {', '.join(sorted(EXPERIMENTS))}")
+    return parser
+
+
+def _make_runner(spec: str):
+    if spec == "serial":
+        return SerialRunner()
+    kind, _, count = spec.partition(":")
+    if kind in ("threads", "processes"):
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ReproError(
+                f"runner spec {spec!r} needs a worker count, "
+                f"e.g. {kind}:8"
+            ) from None
+        if kind == "threads":
+            return ThreadPoolRunner(threads=workers)
+        return ProcessPoolRunner(processes=workers)
+    raise ReproError(
+        f"unknown runner {spec!r}; expected serial, threads:N or "
+        "processes:N"
+    )
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    dataset = read_strings(args.data_file)
+    queries = read_queries(args.query_file)
+    runner = _make_runner(args.runner)
+    engine = SearchEngine(dataset, backend=args.backend, runner=runner)
+    print(
+        f"backend: {engine.choice.backend} ({engine.choice.reason})",
+        file=sys.stderr,
+    )
+    workload = Workload(tuple(queries), args.k, name=args.query_file)
+    started = time.perf_counter()
+    results = engine.run_workload(workload)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{len(queries)} queries in {elapsed:.3f}s "
+        f"({results.total_matches} matches)",
+        file=sys.stderr,
+    )
+    lines = (
+        "\t".join([query, *row])
+        for query, row in (
+            (query, list(results.strings_for(index)))
+            for index, query in enumerate(results.queries)
+        )
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.kind == "cities":
+        strings = generate_city_names(args.count, seed=args.seed)
+    else:
+        strings = generate_reads(args.count, seed=args.seed)
+    written = write_strings(args.output, strings)
+    print(f"wrote {written} strings to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _command_suggest(args: argparse.Namespace) -> int:
+    from repro.core.topk import search_topk
+
+    dataset = read_strings(args.data_file)
+    engine = SearchEngine(dataset, backend=args.backend)
+    for match in search_topk(engine.searcher, args.query, args.count):
+        print(f"{match.string}\t{match.distance}")
+    return 0
+
+
+def _command_complete(args: argparse.Namespace) -> int:
+    from repro.index.autocomplete import autocomplete
+    from repro.index.compressed import CompressedTrie
+
+    dataset = read_strings(args.data_file)
+    trie = CompressedTrie(dataset)
+    completions = autocomplete(trie, args.prefix, args.k,
+                               limit=args.count)
+    for completion in completions:
+        print(f"{completion.string}\t{completion.prefix_distance}")
+    return 0
+
+
+def _command_join(args: argparse.Namespace) -> int:
+    from repro.core.join import similarity_join
+
+    left = read_strings(args.left_file)
+    right = read_strings(args.right_file) if args.right_file else None
+    result = similarity_join(left, right, args.k, method=args.method)
+    right_side = left if right is None else right
+    print(
+        f"{len(result)} pairs in {result.seconds:.3f}s "
+        f"({result.candidates_examined} candidates examined)",
+        file=sys.stderr,
+    )
+    lines = (
+        f"{left[pair.left_index]}\t{right_side[pair.right_index]}\t"
+        f"{pair.distance}"
+        for pair in result.pairs
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    dataset = read_strings(args.data_file)
+    stats = describe(dataset)
+    print(f"strings:        {stats.count:,}")
+    print(f"alphabet size:  {stats.alphabet_size}")
+    print(f"length:         min {stats.min_length}, "
+          f"max {stats.max_length}, mean {stats.mean_length:.1f}, "
+          f"median {stats.median_length:.1f}")
+    print(f"total symbols:  {stats.total_symbols:,}")
+    top = ", ".join(
+        f"{symbol!r}x{count}" for symbol, count in
+        stats.most_common_symbols[:5]
+    )
+    print(f"top symbols:    {top}")
+    return 0
+
+
+def _command_distance(args: argparse.Namespace) -> int:
+    if args.matrix:
+        matrix = DistanceMatrix(args.x, args.y)
+        print(matrix.render())
+        print(f"edit distance: {matrix.distance}")
+    else:
+        print(edit_distance(args.x, args.y))
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain_pair
+
+    print(explain_pair(args.query, args.candidate, args.k).render())
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    print(run_experiment(args.experiment))
+    return 0
+
+
+_COMMANDS = {
+    "search": _command_search,
+    "suggest": _command_suggest,
+    "complete": _command_complete,
+    "generate": _command_generate,
+    "join": _command_join,
+    "stats": _command_stats,
+    "distance": _command_distance,
+    "explain": _command_explain,
+    "bench": _command_bench,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

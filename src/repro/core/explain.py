@@ -1,0 +1,130 @@
+"""Match explanation: why a pair matched (or didn't), step by step.
+
+Debugging a similarity pipeline means answering "which component made
+this decision?". :func:`explain_pair` traces one (query, candidate, k)
+triple through every layer — the length filter, the frequency and
+q-gram bounds, kernel dispatch, the distance itself and the edit
+script — and returns a structured, printable account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distance.alignment import edit_script
+from repro.distance.banded import check_threshold, length_filter_passes
+from repro.distance.dispatch import best_kernel, explain_kernel
+from repro.distance.levenshtein import edit_distance
+from repro.filters.frequency import frequency_lower_bound, frequency_vector
+from repro.filters.qgram import qgram_overlap, qgram_profile, required_overlap
+
+
+@dataclass(frozen=True)
+class PairExplanation:
+    """The full account of one comparison.
+
+    Attributes
+    ----------
+    query / candidate / k:
+        The inputs.
+    matched:
+        The verdict: ``edit_distance(query, candidate) <= k``.
+    distance:
+        The exact edit distance (always computed — this is a debugging
+        tool, not a fast path).
+    length_filter:
+        Did the pair survive equation 5?
+    frequency_bound:
+        The vowel-vector lower bound (AEIOU, case-folded) and whether
+        it alone would have rejected the pair.
+    qgram_bound:
+        Shared bigrams, the required count, and whether the count
+        filter would have rejected the pair.
+    kernel:
+        Which kernel :func:`repro.distance.dispatch.best_kernel` would
+        pick, with its rationale.
+    script:
+        The edit operations transforming query into candidate (empty
+        for exact matches).
+    """
+
+    query: str
+    candidate: str
+    k: int
+    matched: bool
+    distance: int
+    length_filter: bool
+    frequency_bound: tuple[int, bool]
+    qgram_bound: tuple[int, int, bool]
+    kernel: str
+    script: tuple[str, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        """Human-readable multi-line account."""
+        verdict = "MATCH" if self.matched else "NO MATCH"
+        freq_bound, freq_rejects = self.frequency_bound
+        shared, needed, qgram_rejects = self.qgram_bound
+        lines = [
+            f"{self.query!r} vs {self.candidate!r} at k={self.k}: "
+            f"{verdict} (distance {self.distance})",
+            f"  length filter:    "
+            f"{'pass' if self.length_filter else 'REJECT'} "
+            f"(|{len(self.query)} - {len(self.candidate)}| "
+            f"{'<=' if self.length_filter else '>'} {self.k})",
+            f"  frequency bound:  {freq_bound} "
+            f"({'REJECT' if freq_rejects else 'pass'}, vowels AEIOU)",
+            f"  q-gram bound:     {shared} shared bigrams, "
+            f"{needed} required "
+            f"({'REJECT' if qgram_rejects else 'pass'})",
+            f"  kernel dispatch:  {self.kernel}",
+        ]
+        if self.script:
+            lines.append("  edit script:")
+            lines.extend(f"    {step}" for step in self.script)
+        elif self.matched:
+            lines.append("  edit script:      (exact match)")
+        return "\n".join(lines)
+
+
+def explain_pair(query: str, candidate: str, k: int) -> PairExplanation:
+    """Trace one comparison through every decision layer.
+
+    Examples
+    --------
+    >>> explanation = explain_pair("Bern", "Berlin", 2)
+    >>> explanation.matched
+    True
+    >>> explanation.distance
+    2
+    >>> "insert" in explanation.script[0]
+    True
+    """
+    check_threshold(k)
+    distance = edit_distance(query, candidate)
+    matched = distance <= k
+
+    survives_length = length_filter_passes(len(query), len(candidate), k)
+
+    query_vector = frequency_vector(query, "AEIOU")
+    candidate_vector = frequency_vector(candidate, "AEIOU")
+    freq_bound = frequency_lower_bound(query_vector, candidate_vector)
+
+    shared = qgram_overlap(qgram_profile(query, 2),
+                           qgram_profile(candidate, 2))
+    needed = required_overlap(len(query), len(candidate), 2, k)
+    qgram_rejects = needed > 0 and shared < needed
+
+    script = tuple(edit_script(query, candidate)) if matched else ()
+    return PairExplanation(
+        query=query,
+        candidate=candidate,
+        k=k,
+        matched=matched,
+        distance=distance,
+        length_filter=survives_length,
+        frequency_bound=(freq_bound, freq_bound > k),
+        qgram_bound=(shared, max(0, needed), qgram_rejects),
+        kernel=explain_kernel(len(query), max(len(candidate), 1), k)
+        if (query or candidate) else str(best_kernel(1, 1, k).value),
+        script=script,
+    )

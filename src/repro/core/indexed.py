@@ -1,0 +1,178 @@
+"""The index-based solution (paper section 4), stages configurable.
+
+Three index configurations back the paper's ladder (Figure 5):
+
+===================  =====================================================
+Paper stage          Configuration
+===================  =====================================================
+1 base               ``index="trie"`` — annotated prefix tree
+2 compression        ``index="compressed"`` — radix-merged tree
+3 managed threads    pass a pool/adaptive runner to the workload
+===================  =====================================================
+
+Beyond the paper, the same searcher fronts every other structure in the
+library — ``"qgram"`` (inverted q-gram lists), ``"dawg"`` (minimal
+acyclic DFA), ``"bktree"`` (metric-space tree) and ``"automaton"``
+(trie × Levenshtein automaton) — and ``frequency_pruning=True`` adds
+PETER-style node vectors to the trie kinds (the section-6 future-work
+item). All kinds return identical results; only the work profile
+changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.distance.banded import check_threshold
+from repro.exceptions import ReproError
+from repro.index.automaton import automaton_trie_search
+from repro.index.bktree import bktree_from
+from repro.index.compressed import CompressedTrie
+from repro.index.dawg import Dawg
+from repro.index.qgram_index import QGramIndex
+from repro.index.traversal import (
+    TraversalStats,
+    TrieMatch,
+    trie_similarity_search,
+)
+from repro.index.trie import PrefixTrie
+
+#: Index configurations; the first two are the paper's.
+INDEX_KINDS = ("trie", "compressed", "qgram", "dawg", "bktree",
+               "automaton")
+
+#: Kinds that support PETER-style frequency pruning.
+_FREQUENCY_CAPABLE = ("trie", "compressed")
+
+
+class IndexedSearcher(Searcher):
+    """Similarity search through a prebuilt index.
+
+    Parameters
+    ----------
+    dataset:
+        Strings to index. Build cost is paid here, in the constructor —
+        the paper's timing window covers only query execution, and the
+        benchmark harness follows suit.
+    index:
+        One of :data:`INDEX_KINDS`.
+    frequency_pruning:
+        Track per-node symbol-count bounds for ``tracked_symbols`` and
+        prune branches with them (trie kinds only).
+    tracked_symbols:
+        Symbols for frequency pruning; required when it is enabled.
+    q:
+        Gram length for the q-gram index.
+
+    Examples
+    --------
+    >>> searcher = IndexedSearcher(["Berlin", "Bern", "Ulm"],
+    ...                            index="compressed")
+    >>> [match.string for match in searcher.search("Berlino", 2)]
+    ['Berlin']
+    >>> IndexedSearcher(["Berlin"], index="dawg").search("Berlin", 0)
+    [Match(string='Berlin', distance=0)]
+    """
+
+    def __init__(self, dataset: Iterable[str], *,
+                 index: str = "compressed",
+                 frequency_pruning: bool = False,
+                 tracked_symbols: str | None = None,
+                 q: int = 2) -> None:
+        if index not in INDEX_KINDS:
+            raise ReproError(
+                f"unknown index {index!r}; expected one of {INDEX_KINDS}"
+            )
+        if frequency_pruning and tracked_symbols is None:
+            raise ReproError(
+                "frequency_pruning requires tracked_symbols "
+                "(e.g. 'ACGNT' for DNA, 'AEIOU' for city names)"
+            )
+        if frequency_pruning and index not in _FREQUENCY_CAPABLE:
+            raise ReproError(
+                "frequency_pruning applies to trie indexes only "
+                f"({', '.join(_FREQUENCY_CAPABLE)}), not {index!r}"
+            )
+        strings = tuple(dataset)
+        self._kind = index
+        self._frequency_pruning = frequency_pruning
+        self.name = f"indexed[{index}]"
+        if frequency_pruning:
+            self.name += "+freq"
+        self.last_stats: TraversalStats | None = None
+        self._node_count = 0
+        self._search_fn = self._build(strings, index, frequency_pruning,
+                                      tracked_symbols, q)
+
+    def _build(self, strings: tuple[str, ...], index: str,
+               frequency_pruning: bool, tracked_symbols: str | None,
+               q: int) -> Callable[[str, int], list[TrieMatch]]:
+        tracked = tracked_symbols if frequency_pruning else None
+        if index in ("trie", "compressed"):
+            structure: PrefixTrie | CompressedTrie
+            if index == "trie":
+                structure = PrefixTrie(strings, tracked_symbols=tracked)
+            else:
+                structure = CompressedTrie(strings,
+                                           tracked_symbols=tracked)
+            self._node_count = structure.node_count
+
+            def search(query: str, k: int) -> list[TrieMatch]:
+                stats = TraversalStats()
+                matches = trie_similarity_search(
+                    structure, query, k,
+                    use_frequency_pruning=frequency_pruning,
+                    stats=stats,
+                )
+                self.last_stats = stats
+                return matches
+
+            return search
+        if index == "automaton":
+            trie = CompressedTrie(strings)
+            self._node_count = trie.node_count
+
+            def search(query: str, k: int) -> list[TrieMatch]:
+                stats = TraversalStats()
+                matches = automaton_trie_search(trie, query, k,
+                                                stats=stats)
+                self.last_stats = stats
+                return matches
+
+            return search
+        if index == "dawg":
+            dawg = Dawg(strings)
+            self._node_count = dawg.node_count
+
+            def search(query: str, k: int) -> list[TrieMatch]:
+                stats = TraversalStats()
+                matches = dawg.search(query, k, stats=stats)
+                self.last_stats = stats
+                return matches
+
+            return search
+        if index == "bktree":
+            tree = bktree_from(list(strings))
+            return lambda query, k: tree.search(query, k)
+        qgram = QGramIndex(strings, q=q)
+        return lambda query, k: qgram.search(query, k)
+
+    @property
+    def kind(self) -> str:
+        """The index variant in use."""
+        return self._kind
+
+    @property
+    def node_count(self) -> int:
+        """States in the underlying tree/automaton (0 where moot)."""
+        return self._node_count
+
+    def search(self, query: str, k: int) -> list[Match]:
+        """All distinct dataset strings within distance ``k`` of ``query``."""
+        check_threshold(k)
+        return [
+            Match(m.string, m.distance)
+            for m in self._search_fn(query, k)
+        ]

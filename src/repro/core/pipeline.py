@@ -1,0 +1,145 @@
+"""The iterative optimization pipeline of Figures 3 and 5.
+
+The paper's methodology is a loop: implement an approach, verify its
+results against the reference, measure it, and keep it only if it is
+both correct and faster than the best approach so far. Rejected
+approaches stay in the report (the paper keeps stage 5's regression in
+Table III on purpose) but do not become the new baseline.
+
+:class:`ApproachPipeline` mechanizes that loop for any list of
+:class:`Approach` factories over one workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.result import ResultSet
+from repro.core.searcher import QueryRunner, Searcher
+from repro.core.verification import verify_result_sets
+from repro.data.workload import Workload
+from repro.exceptions import ReproError, VerificationError
+
+
+@dataclass(frozen=True)
+class Approach:
+    """A named searcher configuration to evaluate.
+
+    ``build`` constructs the searcher (build time is *not* measured —
+    the paper times only query execution, section 4.1); ``runner``
+    optionally supplies a parallel execution strategy.
+    """
+
+    name: str
+    build: Callable[[], Searcher]
+    runner: QueryRunner | None = None
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """What happened to one approach in the pipeline."""
+
+    name: str
+    seconds: float
+    correct: bool
+    accepted: bool
+    error: str | None = None
+
+    def table_row(self) -> str:
+        """Render as a row of a stage table (Table III/V style)."""
+        status = "accepted" if self.accepted else (
+            "rejected (slower)" if self.correct else "rejected (WRONG)"
+        )
+        return f"{self.name:<40} {self.seconds:>9.3f} s   {status}"
+
+
+class ApproachPipeline:
+    """Run approaches through verify-then-accept, like the paper does.
+
+    >>> from repro.core import SequentialScanSearcher
+    >>> from repro.data.workload import make_workload
+    >>> data = ["Berlin", "Bern", "Ulm", "Hamburg"]
+    >>> workload = make_workload(data, 5, 1, alphabet_symbols="abcdef",
+    ...                          seed=3)
+    >>> pipeline = ApproachPipeline(
+    ...     Approach("base",
+    ...              lambda: SequentialScanSearcher(data,
+    ...                                             kernel="reference")),
+    ...     workload)
+    >>> outcome, = pipeline.run([
+    ...     Approach("banded",
+    ...              lambda: SequentialScanSearcher(data, kernel="banded")),
+    ... ])
+    >>> outcome.correct
+    True
+    """
+
+    def __init__(self, reference: Approach, workload: Workload) -> None:
+        self._workload = workload
+        self._reference_approach = reference
+        searcher = reference.build()
+        started = time.perf_counter()
+        self._reference_results = searcher.run_workload(
+            workload, reference.runner
+        )
+        self._reference_seconds = time.perf_counter() - started
+        self._best_seconds = self._reference_seconds
+        self._best_name = reference.name
+
+    @property
+    def reference_results(self) -> ResultSet:
+        """The trusted result set every approach is compared against."""
+        return self._reference_results
+
+    @property
+    def reference_seconds(self) -> float:
+        """Measured time of the reference approach."""
+        return self._reference_seconds
+
+    @property
+    def best(self) -> tuple[str, float]:
+        """Name and time of the fastest correct approach so far."""
+        return self._best_name, self._best_seconds
+
+    def evaluate(self, approach: Approach) -> StageOutcome:
+        """Run one approach: build, execute, verify, accept/reject."""
+        try:
+            searcher = approach.build()
+        except ReproError as error:
+            return StageOutcome(approach.name, 0.0, correct=False,
+                                accepted=False, error=str(error))
+        started = time.perf_counter()
+        results = searcher.run_workload(self._workload, approach.runner)
+        seconds = time.perf_counter() - started
+        try:
+            verify_result_sets(self._reference_results, results,
+                               candidate_name=approach.name)
+        except VerificationError as error:
+            return StageOutcome(approach.name, seconds, correct=False,
+                                accepted=False, error=str(error))
+        accepted = seconds < self._best_seconds
+        if accepted:
+            self._best_seconds = seconds
+            self._best_name = approach.name
+        return StageOutcome(approach.name, seconds, correct=True,
+                            accepted=accepted)
+
+    def run(self, approaches: Sequence[Approach]) -> list[StageOutcome]:
+        """Evaluate approaches in order, updating the running best."""
+        return [self.evaluate(approach) for approach in approaches]
+
+    def report(self, outcomes: Sequence[StageOutcome]) -> str:
+        """Render a stage table including the reference row."""
+        lines = [
+            f"workload: {self._workload.name} "
+            f"({len(self._workload)} queries, k={self._workload.k})",
+            f"{self._reference_approach.name:<40} "
+            f"{self._reference_seconds:>9.3f} s   reference",
+        ]
+        lines.extend(outcome.table_row() for outcome in outcomes)
+        lines.append(
+            f"best: {self._best_name} ({self._best_seconds:.3f} s)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""The string similarity search problem (paper section 2.1).
+
+Given a query ``q``, a set of strings ``X``, the edit distance ``ed``
+and a threshold ``k``, return every ``x ∈ X`` with ``ed(q, x) <= k``
+(equation 1). :class:`SimilaritySearchProblem` is the immutable problem
+statement searchers solve; it also provides the obviously-correct
+brute-force solution every optimized solver is verified against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.distance.banded import check_threshold
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class SimilaritySearchProblem:
+    """An instance of the string similarity search problem.
+
+    Attributes
+    ----------
+    dataset:
+        The string set ``X`` (kept as a tuple: order is meaningful for
+        scan-order experiments, duplicates are legal data).
+    name:
+        Label used in reports ("cities", "dna", ...).
+
+    Examples
+    --------
+    >>> problem = SimilaritySearchProblem(("Berlin", "Bern", "Ulm"))
+    >>> problem.solve_brute_force("Berlino", 2)
+    ['Berlin']
+    """
+
+    dataset: tuple[str, ...]
+    name: str = "problem"
+
+    def __init__(self, dataset: Iterable[str], name: str = "problem") -> None:
+        object.__setattr__(self, "dataset", tuple(dataset))
+        object.__setattr__(self, "name", name)
+        for index, string in enumerate(self.dataset):
+            if not string:
+                raise ReproError(
+                    f"dataset string at index {index} is empty; the "
+                    "competition format forbids empty strings"
+                )
+
+    @property
+    def size(self) -> int:
+        """Number of dataset strings (duplicates included)."""
+        return len(self.dataset)
+
+    @property
+    def max_length(self) -> int:
+        """Longest dataset string (0 for an empty dataset)."""
+        return max((len(s) for s in self.dataset), default=0)
+
+    def solve_brute_force(self, query: str, k: int) -> list[str]:
+        """Reference solution: full-matrix distance against every string.
+
+        Returns distinct matches in lexicographic order. Deliberately
+        uses only :func:`repro.distance.edit_distance` — no filters, no
+        bounded kernels — so its correctness rests on one boring
+        function.
+        """
+        check_threshold(k)
+        matches = {
+            candidate
+            for candidate in self.dataset
+            if edit_distance(query, candidate) <= k
+        }
+        return sorted(matches)

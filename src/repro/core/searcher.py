@@ -1,0 +1,56 @@
+"""The searcher interface both solutions implement.
+
+A searcher answers single queries (``search``) and whole workloads
+(``run_workload``); the workload path accepts a pluggable runner so
+every parallelism strategy of :mod:`repro.parallel` applies uniformly
+to the sequential and the index-based solution — exactly how the paper
+reuses its parallelism machinery across chapters 3 and 4.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Protocol, Sequence
+
+from repro.core.result import Match, ResultSet
+from repro.data.workload import Workload
+
+
+class QueryRunner(Protocol):
+    """Anything that can map a function over queries (see executors)."""
+
+    name: str
+
+    def run(self, function, queries: Sequence[str]) -> list:  # pragma: no cover - protocol
+        ...
+
+
+class Searcher(abc.ABC):
+    """Base class for similarity searchers."""
+
+    #: Name used in stage tables and reports.
+    name: str = "searcher"
+
+    @abc.abstractmethod
+    def search(self, query: str, k: int) -> list[Match]:
+        """All dataset strings within distance ``k``, sorted by string.
+
+        Distinct strings only — multiplicities are an index-level
+        concern; the competition result format lists each string once.
+        """
+
+    def run_workload(self, workload: Workload,
+                     runner: QueryRunner | None = None) -> ResultSet:
+        """Execute a workload, optionally through a parallel runner.
+
+        The runner may reorder *execution*, never *results*: rows come
+        back in workload order regardless of strategy, which is what
+        makes result sets comparable across all configurations.
+        """
+        k = workload.k
+        queries = list(workload.queries)
+        if runner is None:
+            rows = [self.search(query, k) for query in queries]
+        else:
+            rows = runner.run(lambda query: self.search(query, k), queries)
+        return ResultSet(queries, rows)

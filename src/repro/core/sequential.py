@@ -1,0 +1,240 @@
+"""The sequential solution (paper section 3), every stage configurable.
+
+The paper improves one scan loop six times; here each improvement is a
+constructor knob, so any rung of the ladder — and any combination the
+paper did not try — can be instantiated and measured:
+
+===================  =====================================================
+Paper stage          Configuration
+===================  =====================================================
+1 base               ``kernel="reference"``
+2 edit distance      ``kernel="banded"`` (length filter + band + abort)
+3 value/reference    ``kernel="banded-reused"`` (preallocated row buffers)
+4 simple data types  ``kernel="bitparallel"`` (Myers over integer words)
+5 parallelism        pass a :class:`ThreadPerQueryRunner` to the workload
+6 managed            pass a pool/adaptive runner to the workload
+===================  =====================================================
+
+Future-work knobs (section 6): ``order="length"`` presorts the dataset
+and restricts each scan to the ``[len(q) - k, len(q) + k]`` window via
+binary search; ``prefilter`` accepts any filter chain (frequency
+vectors, q-gram counts) applied before the kernel.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Sequence
+
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.distance.banded import (
+    BandedCalculator,
+    check_threshold,
+    edit_distance_bounded,
+)
+from repro.distance.bitparallel import build_peq
+from repro.distance.dispatch import bounded_distance
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import ReproError
+from repro.filters.base import FilterChain
+
+#: Kernel configurations in paper-ladder order.
+KERNELS = (
+    "reference",
+    "banded",
+    "banded-reused",
+    "bitparallel",
+    "dispatch",
+)
+
+
+class SequentialScanSearcher(Searcher):
+    """Scan the whole dataset per query, with staged optimizations.
+
+    Parameters
+    ----------
+    dataset:
+        The strings to search (order preserved; duplicates legal).
+    kernel:
+        One of :data:`KERNELS`; see the module docstring ladder.
+    order:
+        ``None`` scans in dataset order; ``"length"`` presorts by length
+        and scans only the window the length filter allows (future-work
+        "sorting" item).
+    prefilter:
+        Optional :class:`FilterChain` applied before the kernel.
+        Filters must be sound (no false negatives) for results to stay
+        identical — every filter in :mod:`repro.filters` is.
+
+    Examples
+    --------
+    >>> searcher = SequentialScanSearcher(["Berlin", "Bern", "Ulm"])
+    >>> [match.string for match in searcher.search("Berlino", 2)]
+    ['Berlin']
+    """
+
+    def __init__(self, dataset: Iterable[str], *,
+                 kernel: str = "dispatch",
+                 order: str | None = None,
+                 prefilter: FilterChain | None = None) -> None:
+        if kernel not in KERNELS:
+            raise ReproError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
+        if order not in (None, "length"):
+            raise ReproError(
+                f"unknown order {order!r}; expected None or 'length'"
+            )
+        self._dataset = tuple(dataset)
+        for index, string in enumerate(self._dataset):
+            if not string:
+                raise ReproError(
+                    f"dataset string at index {index} is empty"
+                )
+        self._kernel = kernel
+        self._order = order
+        self._prefilter = prefilter
+        self.name = f"sequential[{kernel}]"
+        if order:
+            self.name += f"+sort({order})"
+
+        max_length = max((len(s) for s in self._dataset), default=1)
+        self._max_length = max_length
+        # Stage 3's reusable buffers are per-thread: parallel runners
+        # share the searcher, and DP rows must never be shared.
+        self._local = threading.local()
+
+        if order == "length":
+            self._sorted = sorted(self._dataset, key=len)
+            self._sorted_lengths = [len(s) for s in self._sorted]
+        else:
+            self._sorted = None
+            self._sorted_lengths = None
+
+    @property
+    def dataset(self) -> tuple[str, ...]:
+        """The searched strings."""
+        return self._dataset
+
+    @property
+    def kernel(self) -> str:
+        """The configured kernel name."""
+        return self._kernel
+
+    def _candidates(self, query: str, k: int) -> Sequence[str]:
+        """The strings the scan visits (all, or the length window)."""
+        if self._sorted is None:
+            return self._dataset
+        assert self._sorted_lengths is not None
+        lo = bisect_left(self._sorted_lengths, len(query) - k)
+        hi = bisect_right(self._sorted_lengths, len(query) + k)
+        return self._sorted[lo:hi]
+
+    def _calculator(self) -> BandedCalculator:
+        calculator = getattr(self._local, "calculator", None)
+        if calculator is None:
+            calculator = BandedCalculator(max_length=self._max_length)
+            self._local.calculator = calculator
+        return calculator
+
+    def search(self, query: str, k: int) -> list[Match]:
+        """All distinct dataset strings within distance ``k`` of ``query``."""
+        check_threshold(k)
+        candidates = self._candidates(query, k)
+        prefilter = self._prefilter
+        if prefilter is not None:
+            prefilter.prepare_query(query)
+
+        found: dict[str, int] = {}
+        kernel = self._kernel
+        if kernel == "reference":
+            for candidate in candidates:
+                if candidate in found:
+                    continue
+                if prefilter and not prefilter.admits(query, candidate, k):
+                    continue
+                distance = edit_distance(query, candidate)
+                if distance <= k:
+                    found[candidate] = distance
+        elif kernel == "banded":
+            for candidate in candidates:
+                if candidate in found:
+                    continue
+                if prefilter and not prefilter.admits(query, candidate, k):
+                    continue
+                distance = edit_distance_bounded(query, candidate, k)
+                if distance is not None:
+                    found[candidate] = distance
+        elif kernel == "banded-reused":
+            calculator = self._calculator()
+            for candidate in candidates:
+                if candidate in found:
+                    continue
+                if prefilter and not prefilter.admits(query, candidate, k):
+                    continue
+                distance = calculator.distance(query, candidate, k)
+                if distance is not None:
+                    found[candidate] = distance
+        elif kernel == "bitparallel":
+            # The paper's "simple data types and program methods" stage
+            # re-implements the hot path by hand; the Python analog is
+            # inlining Myers' scan loop here — no per-candidate method
+            # dispatch, the length filter as plain arithmetic, and an
+            # early abort once the running score cannot recover.
+            peq_get = build_peq(query).get
+            n = len(query)
+            if n == 0:
+                for candidate in candidates:
+                    if len(candidate) <= k:
+                        found.setdefault(candidate, len(candidate))
+                return sorted(
+                    (Match(s, d) for s, d in found.items())
+                )
+            mask = (1 << n) - 1
+            last = 1 << (n - 1)
+            for candidate in candidates:
+                length = len(candidate)
+                gap = length - n
+                if gap > k or -gap > k or candidate in found:
+                    continue
+                if prefilter and not prefilter.admits(query, candidate, k):
+                    continue
+                pv = mask
+                mv = 0
+                score = n
+                remaining = length
+                for symbol in candidate:
+                    eq = peq_get(symbol, 0)
+                    xv = eq | mv
+                    xh = (((eq & pv) + pv) ^ pv) | eq
+                    ph = mv | (~(xh | pv) & mask)
+                    mh = pv & xh
+                    if ph & last:
+                        score += 1
+                    elif mh & last:
+                        score -= 1
+                    remaining -= 1
+                    if score - remaining > k:
+                        score = k + 1
+                        break
+                    ph = ((ph << 1) | 1) & mask
+                    mh = (mh << 1) & mask
+                    pv = mh | (~(xv | ph) & mask)
+                    mv = ph & xv
+                if score <= k:
+                    found[candidate] = score
+        else:  # dispatch
+            for candidate in candidates:
+                if candidate in found:
+                    continue
+                if prefilter and not prefilter.admits(query, candidate, k):
+                    continue
+                distance = bounded_distance(query, candidate, k)
+                if distance is not None:
+                    found[candidate] = distance
+
+        return sorted(
+            (Match(string, distance) for string, distance in found.items())
+        )

@@ -1,0 +1,93 @@
+"""The named stage ladders of the paper's Figures 3 and 5.
+
+These factories produce the exact approach sequences the evaluation
+tables walk through, so benchmarks, examples and tests all speak the
+same stage names:
+
+* :func:`sequential_stage_ladder` — Table III / VII rows 1–6.
+* :func:`index_stage_ladder` — Table V / IX rows 1–3.
+
+Stages 5 and 6 are parallel; on the real executors they exist mainly to
+demonstrate unchanged results (the GIL hides the speedups — the
+scheduler model in :mod:`repro.parallel.simulator` carries the timing
+story, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.indexed import IndexedSearcher
+from repro.core.pipeline import Approach
+from repro.core.sequential import SequentialScanSearcher
+from repro.parallel.adaptive import AdaptiveManager, ManagerRules
+from repro.parallel.executor import ThreadPerQueryRunner, ThreadPoolRunner
+
+
+def sequential_stage_ladder(dataset: Sequence[str], *,
+                            pool_threads: int = 8) -> list[Approach]:
+    """The six sequential stages of section 3, in paper order.
+
+    The first element is the reference/base approach (feed it to
+    :class:`repro.core.pipeline.ApproachPipeline` as the reference).
+    """
+    data = tuple(dataset)
+    return [
+        Approach(
+            "1) base implementation",
+            lambda: SequentialScanSearcher(data, kernel="reference"),
+        ),
+        Approach(
+            "2) calculation of the edit distance",
+            lambda: SequentialScanSearcher(data, kernel="banded"),
+        ),
+        Approach(
+            "3) value or reference",
+            lambda: SequentialScanSearcher(data, kernel="banded-reused"),
+        ),
+        Approach(
+            "4) simple data types and program methods",
+            lambda: SequentialScanSearcher(data, kernel="bitparallel"),
+        ),
+        Approach(
+            "5) parallelism (thread per query)",
+            lambda: SequentialScanSearcher(data, kernel="bitparallel"),
+            runner=ThreadPerQueryRunner(),
+        ),
+        Approach(
+            "6) management of parallelism",
+            lambda: SequentialScanSearcher(data, kernel="bitparallel"),
+            runner=ThreadPoolRunner(threads=pool_threads),
+        ),
+    ]
+
+
+def index_stage_ladder(dataset: Sequence[str], *,
+                       pool_threads: int = 8,
+                       adaptive: bool = False) -> list[Approach]:
+    """The three index stages of section 4, in paper order.
+
+    ``adaptive=True`` swaps the stage-3 runner for the master–slave
+    manager instead of a fixed pool.
+    """
+    data = tuple(dataset)
+    stage3_runner = (
+        AdaptiveManager(ManagerRules(max_threads=pool_threads))
+        if adaptive
+        else ThreadPoolRunner(threads=pool_threads)
+    )
+    return [
+        Approach(
+            "1) base implementation (prefix tree)",
+            lambda: IndexedSearcher(data, index="trie"),
+        ),
+        Approach(
+            "2) compression",
+            lambda: IndexedSearcher(data, index="compressed"),
+        ),
+        Approach(
+            "3) management of parallelism",
+            lambda: IndexedSearcher(data, index="compressed"),
+            runner=stage3_runner,
+        ),
+    ]

@@ -1,0 +1,86 @@
+"""Top-k similarity search: the ranking face of the threshold problem.
+
+Applications that motivate the paper (query suggestion, spelling
+correction) rarely know the right threshold up front — they want "the
+five closest names". This module answers that with *iterative
+deepening*: run the threshold search at k = 0, 1, 2, ... until enough
+matches accumulate, reusing whichever searcher backend the caller
+provides. Because a threshold search at distance ``d`` returns every
+string at distance ``<= d``, the first threshold that yields ``count``
+results provably contains the true top-k (all unseen strings are
+farther away than everything reported).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.exceptions import ReproError
+
+
+def search_topk(searcher: Searcher, query: str, count: int, *,
+                max_k: int | None = None) -> list[Match]:
+    """The ``count`` nearest dataset strings to ``query``.
+
+    Parameters
+    ----------
+    searcher:
+        Any :class:`repro.core.searcher.Searcher` (sequential or
+        indexed) — top-k inherits its backend's performance profile.
+    query:
+        The probe string.
+    count:
+        How many matches to return (fewer if the dataset is smaller).
+    max_k:
+        Optional ceiling on the deepening threshold; defaults to
+        ``len(query) + longest dataset string`` — the largest possible
+        distance — so the search always terminates.
+
+    Returns
+    -------
+    Matches ordered by distance, ties broken lexicographically, then
+    trimmed to ``count`` (so ties at the cutoff distance resolve
+    lexicographically).
+
+    Examples
+    --------
+    >>> from repro.core.sequential import SequentialScanSearcher
+    >>> searcher = SequentialScanSearcher(["Bern", "Berlin", "Bergen",
+    ...                                    "Ulm"])
+    >>> [m.string for m in search_topk(searcher, "Berm", 2)]
+    ['Bern', 'Bergen']
+    """
+    if count < 1:
+        raise ReproError(f"count must be at least 1, got {count}")
+    if max_k is None:
+        dataset: Sequence[str] | None = getattr(searcher, "dataset", None)
+        if dataset is not None:
+            longest = max((len(s) for s in dataset), default=0)
+        else:
+            longest = 256  # no dataset introspection: generous ceiling
+        max_k = len(query) + longest
+
+    k = 0
+    while True:
+        matches = searcher.search(query, k)
+        if len(matches) >= count or k >= max_k:
+            ranked = sorted(matches,
+                            key=lambda m: (m.distance, m.string))
+            return ranked[:count]
+        # Jump straight past empty bands: the next possible distance is
+        # at least k + 1, but doubling converges faster on sparse data
+        # while never overshooting correctness (supersets stay sorted).
+        k = max(k + 1, min(2 * k, max_k))
+
+
+def nearest(searcher: Searcher, query: str) -> Match | None:
+    """The single closest dataset string, or ``None`` for an empty set.
+
+    >>> from repro.core.sequential import SequentialScanSearcher
+    >>> nearest(SequentialScanSearcher(["Bern", "Ulm"]), "Berm").string
+    'Bern'
+    """
+    matches = search_topk(searcher, query, 1)
+    return matches[0] if matches else None

@@ -1,0 +1,183 @@
+"""Updatable search: inserts and deletes over a compressed index.
+
+The paper builds its indexes once over static competition files; a
+production deployment also needs updates. The compressed trie cannot
+absorb inserts (radix merging is a batch construction), so this module
+wraps the classic *main + delta* design database engines use:
+
+* a **main** compressed trie over the bulk of the data,
+* a **delta** uncompressed :class:`PrefixTrie` absorbing inserts
+  (cheap: the plain trie supports incremental insertion natively),
+* a **tombstone** multiset recording deletes,
+* automatic **merge**: when the delta outgrows ``merge_threshold``
+  (fraction of the main size), everything is rebuilt into a fresh
+  main index.
+
+Queries consult both structures and subtract tombstones, so results
+are always exactly those of a scratch-built index over the current
+multiset — the invariant the tests enforce.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.distance.banded import check_threshold
+from repro.exceptions import ReproError
+from repro.index.compressed import CompressedTrie
+from repro.index.traversal import trie_similarity_search
+from repro.index.trie import PrefixTrie
+
+
+class UpdatableIndex(Searcher):
+    """A similarity index supporting insert/remove between queries.
+
+    Parameters
+    ----------
+    strings:
+        Initial contents.
+    merge_threshold:
+        Rebuild the main index once the delta holds more than this
+        fraction of the main's strings (default 0.25).
+
+    Examples
+    --------
+    >>> index = UpdatableIndex(["Bern", "Ulm"])
+    >>> index.insert("Berlin")
+    >>> index.remove("Ulm")
+    >>> [m.string for m in index.search("Bern", 2)]
+    ['Berlin', 'Bern']
+    """
+
+    name = "updatable-index"
+
+    def __init__(self, strings: Iterable[str] = (), *,
+                 merge_threshold: float = 0.25) -> None:
+        if not 0.0 < merge_threshold <= 1.0:
+            raise ReproError(
+                f"merge_threshold must be in (0, 1], got {merge_threshold}"
+            )
+        self._merge_threshold = merge_threshold
+        self._contents: Counter[str] = Counter()
+        for string in strings:
+            if not string:
+                raise ReproError("cannot index an empty string")
+            self._contents[string] += 1
+        self._main = CompressedTrie(self._expanded())
+        self._delta = PrefixTrie()
+        self._tombstones: Counter[str] = Counter()
+        self.merges = 0
+
+    def _expanded(self) -> list[str]:
+        return [
+            string
+            for string, multiplicity in sorted(self._contents.items())
+            for _ in range(multiplicity)
+        ]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, string: str) -> None:
+        """Add one string (duplicates accumulate)."""
+        if not string:
+            raise ReproError("cannot index an empty string")
+        self._contents[string] += 1
+        # An insert first cancels a pending tombstone for the same
+        # string, keeping delta/tombstones minimal.
+        if self._tombstones[string] > 0:
+            self._tombstones[string] -= 1
+            if self._tombstones[string] == 0:
+                del self._tombstones[string]
+        else:
+            self._delta.insert(string)
+        self._maybe_merge()
+
+    def remove(self, string: str) -> None:
+        """Remove one occurrence of ``string``.
+
+        Raises
+        ------
+        ReproError
+            If the string is not currently in the index.
+        """
+        if self._contents.get(string, 0) <= 0:
+            raise ReproError(f"{string!r} is not in the index")
+        self._contents[string] -= 1
+        if self._contents[string] == 0:
+            del self._contents[string]
+        # Prefer cancelling a delta copy; otherwise tombstone the main.
+        if self._delta.count(string) > 0:
+            # The plain trie has no removal; rebuild the (small) delta.
+            survivors = [
+                s
+                for s, multiplicity in self._delta.iter_with_counts()
+                for _ in range(
+                    multiplicity - (1 if s == string else 0)
+                )
+            ]
+            self._delta = PrefixTrie(survivors)
+        else:
+            self._tombstones[string] += 1
+        self._maybe_merge()
+
+    def _maybe_merge(self) -> None:
+        churn = self._delta.string_count + sum(self._tombstones.values())
+        if churn > max(8, self._merge_threshold * self._main.string_count):
+            self._main = CompressedTrie(self._expanded())
+            self._delta = PrefixTrie()
+            self._tombstones = Counter()
+            self.merges += 1
+
+    def merge(self) -> None:
+        """Force a rebuild of the main index right now."""
+        self._main = CompressedTrie(self._expanded())
+        self._delta = PrefixTrie()
+        self._tombstones = Counter()
+        self.merges += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(self._contents.values())
+
+    def __contains__(self, string: str) -> bool:
+        return self._contents.get(string, 0) > 0
+
+    def count(self, string: str) -> int:
+        """Multiplicity of ``string`` in the current contents."""
+        return self._contents.get(string, 0)
+
+    @property
+    def delta_size(self) -> int:
+        """Strings waiting in the delta trie."""
+        return self._delta.string_count
+
+    @property
+    def tombstone_count(self) -> int:
+        """Pending deletes against the main index."""
+        return sum(self._tombstones.values())
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(self, query: str, k: int) -> list[Match]:
+        """All current strings within distance ``k``, sorted."""
+        check_threshold(k)
+        found: dict[str, int] = {}
+        for match in trie_similarity_search(self._main, query, k):
+            found[match.string] = match.distance
+        for match in trie_similarity_search(self._delta, query, k):
+            found[match.string] = match.distance
+        return sorted(
+            Match(string, distance)
+            for string, distance in found.items()
+            if self._contents.get(string, 0) > 0
+        )

@@ -1,0 +1,85 @@
+"""Result verification — the paper's correctness gate (section 3.1).
+
+Every optimized approach must return results identical to the reference
+implementation before its timing counts. :func:`verify_result_sets`
+performs that comparison and, on mismatch, reports exactly which
+strings went missing or appeared from nowhere, per query, so a broken
+kernel is debuggable from the error alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import ResultSet
+from repro.exceptions import VerificationError
+
+
+def verify_result_sets(reference: ResultSet, candidate: ResultSet, *,
+                       candidate_name: str = "candidate",
+                       check_distances: bool = True) -> None:
+    """Raise :class:`VerificationError` unless the sets agree.
+
+    Parameters
+    ----------
+    reference:
+        Output of the trusted base implementation.
+    candidate:
+        Output of the approach under test.
+    candidate_name:
+        Used in the error message.
+    check_distances:
+        Also require reported distances to match (on by default — a
+        right string with a wrong distance is still a kernel bug).
+    """
+    if reference.queries != candidate.queries:
+        raise VerificationError(
+            f"{candidate_name} ran different queries than the reference "
+            f"({len(candidate.queries)} vs {len(reference.queries)})"
+        )
+    all_missing: set[str] = set()
+    all_spurious: set[str] = set()
+    first_detail: str | None = None
+
+    for index, query in enumerate(reference.queries):
+        expected = reference.matches_for(index)
+        actual = candidate.matches_for(index)
+        if expected == actual:
+            continue
+
+        expected_strings = {match.string for match in expected}
+        actual_strings = {match.string for match in actual}
+        missing = expected_strings - actual_strings
+        spurious = actual_strings - expected_strings
+
+        if not missing and not spurious:
+            # Same strings, so rows differ only in reported distances.
+            if not check_distances:
+                continue
+            if first_detail is None:
+                wrong = [
+                    (e.string, e.distance, a.distance)
+                    for e, a in zip(expected, actual)
+                    if e.distance != a.distance
+                ]
+                first_detail = (
+                    f"query {index} ({query!r}): wrong distances "
+                    f"(string, expected, actual) = {wrong[:5]!r}"
+                )
+            continue
+
+        all_missing |= missing
+        all_spurious |= spurious
+        if first_detail is None:
+            first_detail = (
+                f"query {index} ({query!r}): "
+                f"missing {sorted(missing)[:5]!r}, "
+                f"spurious {sorted(spurious)[:5]!r}"
+            )
+
+    if first_detail is None:
+        return
+    raise VerificationError(
+        f"{candidate_name} results differ from the reference: "
+        f"{first_detail}",
+        missing=frozenset(all_missing),
+        spurious=frozenset(all_spurious),
+    )

@@ -1,0 +1,70 @@
+"""Dataset substrate: alphabets, generators, workloads and competition I/O.
+
+The EDBT/ICDT 2013 competition datasets the paper evaluates on are not
+publicly distributed, so this package provides deterministic synthetic
+generators whose statistical shape matches Table I of the paper:
+
+* :func:`repro.data.cities.generate_city_names` — natural-language strings,
+  large alphabet (~255 symbols across scripts), length at most 64.
+* :func:`repro.data.dna.generate_reads` — reads over ``{A, C, G, N, T}``
+  of length about 100, sampled from a synthetic reference genome.
+
+Query workloads with a controlled true edit distance are produced by
+:mod:`repro.data.corruptions` and :mod:`repro.data.workload`, and the
+competition's one-string-per-line file format is handled by
+:mod:`repro.data.io`.
+"""
+
+from repro.data.alphabet import (
+    DNA_ALPHABET,
+    Alphabet,
+    ascii_lowercase_alphabet,
+    city_alphabet,
+)
+from repro.data.cities import CityNameGenerator, generate_city_names
+from repro.data.corruptions import apply_random_edits, edit_script_names
+from repro.data.dna import DnaReadGenerator, generate_reads
+from repro.data.external import (
+    read_delimited_column,
+    read_fasta,
+    write_fasta,
+)
+from repro.data.io import (
+    read_queries,
+    read_strings,
+    write_result_file,
+    write_strings,
+)
+from repro.data.stats import DatasetStats, describe
+from repro.data.workload import (
+    Workload,
+    load_workload,
+    make_workload,
+    save_workload,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA_ALPHABET",
+    "ascii_lowercase_alphabet",
+    "city_alphabet",
+    "CityNameGenerator",
+    "generate_city_names",
+    "DnaReadGenerator",
+    "generate_reads",
+    "apply_random_edits",
+    "edit_script_names",
+    "read_strings",
+    "read_queries",
+    "write_strings",
+    "write_result_file",
+    "read_delimited_column",
+    "read_fasta",
+    "write_fasta",
+    "DatasetStats",
+    "describe",
+    "Workload",
+    "make_workload",
+    "save_workload",
+    "load_workload",
+]

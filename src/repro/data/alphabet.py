@@ -1,0 +1,203 @@
+"""Alphabets and string encoders.
+
+The paper contrasts two regimes (section 2.4): DNA reads drawn from a
+five-symbol alphabet, and city names drawn from a large multilingual
+alphabet of roughly 255 symbols. This module models an alphabet as an
+explicit, ordered set of symbols and provides:
+
+* validation (``contains`` / ``validate``),
+* dense integer encoding (``encode`` / ``decode``) used by the
+  bit-parallel and packed distance kernels (paper sections 3.4 and 6),
+* frequency vectors (``frequency_vector``) used for PETER-style pruning
+  (paper section 2.3 and future work in section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.exceptions import AlphabetError
+
+#: Symbols of the DNA read alphabet used by the competition data (Table I).
+DNA_SYMBOLS = "ACGNT"
+
+#: Vowels used by the paper's future-work frequency filter for city names.
+CITY_FREQUENCY_SYMBOLS = "AEIOU"
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered alphabet with dense integer codes.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"dna"``.
+    symbols:
+        The alphabet as a string of unique characters. Order defines the
+        integer code of each symbol (``symbols[0]`` encodes to ``0``).
+
+    Examples
+    --------
+    >>> dna = Alphabet("dna", "ACGNT")
+    >>> dna.encode("GATT")
+    (2, 0, 4, 4)
+    >>> dna.decode((2, 0, 4, 4))
+    'GATT'
+    """
+
+    name: str
+    symbols: str
+    _codes: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise AlphabetError("an alphabet needs at least one symbol")
+        codes = {symbol: code for code, symbol in enumerate(self.symbols)}
+        if len(codes) != len(self.symbols):
+            raise AlphabetError(
+                f"alphabet {self.name!r} repeats symbols: {self.symbols!r}"
+            )
+        object.__setattr__(self, "_codes", codes)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._codes
+
+    @property
+    def size(self) -> int:
+        """Number of symbols in the alphabet."""
+        return len(self.symbols)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits needed to store one symbol code (at least 1).
+
+        The paper's dictionary-compression future-work item (section 6)
+        observes that five DNA symbols fit in three bits.
+        """
+        return max(1, (self.size - 1).bit_length())
+
+    def code(self, symbol: str) -> int:
+        """Return the integer code of ``symbol``.
+
+        Raises
+        ------
+        AlphabetError
+            If ``symbol`` is not part of the alphabet.
+        """
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise AlphabetError(
+                f"symbol {symbol!r} is not in alphabet {self.name!r}"
+            ) from None
+
+    def validate(self, text: str) -> str:
+        """Return ``text`` unchanged if every symbol is in the alphabet.
+
+        Raises
+        ------
+        AlphabetError
+            Naming the first offending symbol and its position.
+        """
+        for position, symbol in enumerate(text):
+            if symbol not in self._codes:
+                raise AlphabetError(
+                    f"symbol {symbol!r} at position {position} of {text!r} "
+                    f"is not in alphabet {self.name!r}"
+                )
+        return text
+
+    def encode(self, text: str) -> tuple[int, ...]:
+        """Encode ``text`` into a tuple of dense integer codes."""
+        codes = self._codes
+        try:
+            return tuple(codes[symbol] for symbol in text)
+        except KeyError:
+            # Re-run validation to raise with position information.
+            self.validate(text)
+            raise  # pragma: no cover - validate always raises first
+
+    def decode(self, codes: tuple[int, ...] | list[int]) -> str:
+        """Invert :meth:`encode`."""
+        symbols = self.symbols
+        try:
+            return "".join(symbols[code] for code in codes)
+        except IndexError:
+            bad = next(code for code in codes if not 0 <= code < self.size)
+            raise AlphabetError(
+                f"code {bad} is out of range for alphabet {self.name!r} "
+                f"of size {self.size}"
+            ) from None
+
+    def frequency_vector(self, text: str,
+                         tracked: str | None = None) -> tuple[int, ...]:
+        """Count occurrences of each tracked symbol in ``text``.
+
+        By default every alphabet symbol is tracked, which is what
+        PETER-style trie nodes store (paper section 2.3). Passing
+        ``tracked`` restricts the vector, e.g. to the vowels ``"AEIOU"``
+        the paper suggests for city names (section 6).
+        """
+        if tracked is None:
+            tracked = self.symbols
+        return tuple(text.count(symbol) for symbol in tracked)
+
+
+@lru_cache(maxsize=None)
+def dna_alphabet() -> Alphabet:
+    """The five-symbol DNA read alphabet ``{A, C, G, N, T}``."""
+    return Alphabet("dna", DNA_SYMBOLS)
+
+
+#: Module-level singleton for the common case.
+DNA_ALPHABET = dna_alphabet()
+
+
+@lru_cache(maxsize=None)
+def ascii_lowercase_alphabet() -> Alphabet:
+    """Lower-case ASCII letters; handy for tests and examples."""
+    import string
+
+    return Alphabet("ascii-lower", string.ascii_lowercase)
+
+
+@lru_cache(maxsize=None)
+def city_alphabet() -> Alphabet:
+    """A large natural-language alphabet (~340 symbols).
+
+    The same order of magnitude as Table I of the paper ("ca. 255
+    symbols"): ASCII letters, digits, punctuation that occurs in place
+    names, Latin letters with diacritics, plus Greek, Cyrillic and CJK
+    blocks so the multilingual regime the paper describes (section 2.4)
+    is exercised. Generated datasets typically *use* 100-150 of these —
+    Table I, like this constant, reports the available inventory.
+    """
+    import string
+
+    blocks = [
+        string.ascii_letters,
+        string.digits,
+        " '’-.()/,",
+        # Latin-1 and Latin Extended letters common in place names.
+        "ÀÁÂÃÄÅÆÇÈÉÊËÌÍÎÏÐÑÒÓÔÕÖØÙÚÛÜÝÞß",
+        "àáâãäåæçèéêëìíîïðñòóôõöøùúûüýþÿ",
+        "ĀāĂăĄąĆćČčĎďĐđĒēĖėĘęĚěĞğĢģĪīĮįİıĶķĻļŁłŃńŅņŇňŌōŐőŒœŔŕŘřŚśŞşŠšŢţŤťŪūŮůŰűŲųŹźŻżŽž",
+        # Full Greek and Russian Cyrillic alphabets.
+        "ΑΒΓΔΕΖΗΘΙΚΛΜΝΞΟΠΡΣΤΥΦΧΨΩαβγδεζηθικλμνξοπρστυφχψως",
+        "АБВГДЕЁЖЗИЙКЛМНОПРСТУФХЦЧШЩЪЫЬЭЮЯ"
+        "абвгдеёжзийклмнопрстуфхцчшщъыьэюя",
+        # A small CJK sample, standing in for the paper's remark that
+        # "adding the Chinese language will enlarge the alphabet".
+        "北京上海広島市町村山川",
+    ]
+    seen: list[str] = []
+    for block in blocks:
+        for symbol in block:
+            if symbol not in seen:
+                seen.append(symbol)
+    return Alphabet("city", "".join(seen))

@@ -1,0 +1,222 @@
+"""Synthetic world city-name generator (Table I: "City names").
+
+The competition's geographical dataset is not distributed, so this
+generator produces names with the same statistical shape the paper
+relies on (section 2.4 and Table I):
+
+* short strings — length capped at 64, typically 6–20 symbols,
+* a large alphabet (~255 symbols) spanning several scripts,
+* natural-language structure: names are built from per-"language"
+  syllable inventories with prefixes, suffixes and compounding, so the
+  set contains near-duplicates exactly the way real gazetteers do
+  ("Neustadt", "Neustadt am Rübenberge", ...).
+
+Generation is deterministic given a seed, so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.alphabet import Alphabet, city_alphabet
+
+#: Maximum city-name length from Table I of the paper.
+MAX_CITY_NAME_LENGTH = 64
+
+
+@dataclass(frozen=True)
+class _LanguageModel:
+    """Syllable inventory and morphology for one synthetic language."""
+
+    name: str
+    onsets: tuple[str, ...]
+    vowels: tuple[str, ...]
+    codas: tuple[str, ...]
+    prefixes: tuple[str, ...] = ()
+    suffixes: tuple[str, ...] = ()
+    connectors: tuple[str, ...] = (" ",)
+    weight: float = 1.0
+
+
+_LANGUAGES: tuple[_LanguageModel, ...] = (
+    _LanguageModel(
+        name="germanic",
+        onsets=("b", "br", "d", "f", "g", "gr", "h", "k", "kl", "l", "m",
+                "n", "r", "s", "sch", "st", "w", "z"),
+        vowels=("a", "e", "i", "o", "u", "ei", "au", "ie", "ä", "ö", "ü"),
+        codas=("", "n", "r", "l", "s", "ch", "ck", "rg", "nd", "rn", "tt"),
+        prefixes=("Neu", "Alt", "Ober", "Unter", "Bad ", "Groß", "Klein"),
+        suffixes=("burg", "berg", "dorf", "hausen", "heim", "stadt", "feld",
+                  "bach", "tal", "hofen"),
+        connectors=(" ", " am ", " an der ", "-"),
+        weight=2.0,
+    ),
+    _LanguageModel(
+        name="romance",
+        onsets=("b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t",
+                "v", "vi", "gi"),
+        vowels=("a", "e", "i", "o", "u", "ia", "io", "é", "á", "í", "ó"),
+        codas=("", "n", "r", "s", "l"),
+        prefixes=("San ", "Santa ", "Villa", "Porto ", "Monte "),
+        suffixes=("o", "a", "ella", "ino", "ona", "ia"),
+        connectors=(" ", " de ", " del ", " di "),
+        weight=1.6,
+    ),
+    _LanguageModel(
+        name="slavic",
+        onsets=("b", "br", "d", "dr", "g", "k", "kr", "l", "m", "n", "p",
+                "r", "s", "st", "v", "z", "ž", "č"),
+        vowels=("a", "e", "i", "o", "u", "y"),
+        codas=("", "v", "n", "k", "sk", "ck"),
+        prefixes=("Novo", "Staro", "Velik"),
+        suffixes=("ov", "ovo", "iče", "grad", "ice", "no", "sk"),
+        connectors=(" ", "-"),
+        weight=1.2,
+    ),
+    _LanguageModel(
+        name="anglo",
+        onsets=("b", "bl", "c", "ch", "d", "f", "g", "h", "k", "l", "m",
+                "n", "p", "r", "s", "sh", "t", "th", "w", "wh"),
+        vowels=("a", "e", "i", "o", "u", "ea", "oo", "ou"),
+        codas=("", "n", "r", "l", "m", "ck", "th", "rd", "nd"),
+        prefixes=("New ", "Old ", "East ", "West ", "North ", "South ",
+                  "Lake ", "Fort ", "Port ", "Mount "),
+        suffixes=("ton", "ville", "field", "wood", "ford", "port", "dale",
+                  "borough", "chester", " City", " Springs", " Falls"),
+        connectors=(" ", " upon "),
+        weight=1.8,
+    ),
+    _LanguageModel(
+        name="nordic",
+        onsets=("b", "d", "f", "fj", "g", "h", "hj", "k", "l", "m", "n",
+                "r", "s", "sk", "t", "v"),
+        vowels=("a", "e", "i", "o", "u", "ø", "å", "æ", "ei"),
+        codas=("", "n", "r", "l", "s", "nd", "rg"),
+        suffixes=("vik", "sund", "fjord", "havn", "strand", "dal", "nes"),
+        connectors=(" ",),
+        weight=0.8,
+    ),
+    _LanguageModel(
+        name="hellenic",
+        onsets=("Θ", "Λ", "Π", "Σ", "Κ", "Δ", "θ", "λ", "π", "σ", "κ", "δ"),
+        vowels=("α", "ε", "ι", "ο", "ω"),
+        codas=("", "ς", "ν"),
+        suffixes=("πολις", "ος", "ια"),
+        connectors=(" ",),
+        weight=0.3,
+    ),
+    _LanguageModel(
+        name="cyrillic",
+        onsets=("Б", "В", "Г", "Д", "К", "Л", "М", "Н", "П", "С", "б", "в",
+                "г", "д", "к", "л", "м", "н", "п", "с"),
+        vowels=("а", "е", "и", "о", "у", "ы"),
+        codas=("", "в", "н", "к"),
+        suffixes=("град", "ово", "ск", "поль"),
+        connectors=(" ", "-"),
+        weight=0.5,
+    ),
+    _LanguageModel(
+        name="cjk",
+        onsets=("北", "上", "広", "山", "川", "市", "京", "海", "島", "町", "村"),
+        vowels=("",),
+        codas=("",),
+        suffixes=("市", "町", "村"),
+        connectors=("",),
+        weight=0.2,
+    ),
+)
+
+
+@dataclass
+class CityNameGenerator:
+    """Deterministic generator of synthetic city names.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the private :class:`random.Random` instance. The same
+        seed always produces the same dataset.
+    alphabet:
+        Target alphabet; generated names are guaranteed to validate
+        against it (symbols outside it never appear, by construction of
+        the language models).
+
+    Examples
+    --------
+    >>> names = CityNameGenerator(seed=7).generate(3)
+    >>> len(names)
+    3
+    >>> all(len(name) <= 64 for name in names)
+    True
+    """
+
+    seed: int = 2013
+    alphabet: Alphabet = field(default_factory=city_alphabet)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        weights = [language.weight for language in _LANGUAGES]
+        self._languages = _LANGUAGES
+        self._weights = weights
+
+    def _syllable(self, language: _LanguageModel) -> str:
+        rng = self._rng
+        return (
+            rng.choice(language.onsets)
+            + rng.choice(language.vowels)
+            + rng.choice(language.codas)
+        )
+
+    def _stem(self, language: _LanguageModel) -> str:
+        syllables = self._rng.choices((1, 2, 3), weights=(2, 5, 2))[0]
+        stem = "".join(self._syllable(language) for _ in range(syllables))
+        return stem.capitalize()
+
+    def generate_one(self) -> str:
+        """Generate a single city name (length ≤ 64)."""
+        rng = self._rng
+        language = rng.choices(self._languages, weights=self._weights)[0]
+        name = self._stem(language)
+        if language.prefixes and rng.random() < 0.18:
+            name = rng.choice(language.prefixes) + name.lower().capitalize()
+        if language.suffixes and rng.random() < 0.55:
+            name += rng.choice(language.suffixes)
+        # Compounds: "X an der Y", "X-Y", matching gazetteer structure.
+        if rng.random() < 0.12:
+            connector = rng.choice(language.connectors)
+            name = name + connector + self._stem(language)
+        return name[:MAX_CITY_NAME_LENGTH]
+
+    def generate(self, count: int, *, unique: bool = False) -> list[str]:
+        """Generate ``count`` names.
+
+        With ``unique=True`` duplicates are rejected and regenerated; by
+        default duplicates are kept, as real gazetteers contain repeated
+        names (there are dozens of Springfields).
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if not unique:
+            return [self.generate_one() for _ in range(count)]
+        names: list[str] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(names) < count:
+            name = self.generate_one()
+            attempts += 1
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+            if attempts > 100 * max(count, 1):
+                raise RuntimeError(
+                    "could not generate enough unique names; "
+                    "the language models saturate below the requested count"
+                )
+        return names
+
+
+def generate_city_names(count: int, seed: int = 2013, *,
+                        unique: bool = False) -> list[str]:
+    """Convenience wrapper: ``CityNameGenerator(seed).generate(count)``."""
+    return CityNameGenerator(seed=seed).generate(count, unique=unique)

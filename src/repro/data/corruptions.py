@@ -1,0 +1,86 @@
+"""Controlled corruption: derive queries at a known edit distance.
+
+Benchmark workloads need queries whose *true* distance to some dataset
+string is known, so result sizes are non-trivial at every threshold the
+paper sweeps (k up to 3 for cities, up to 16 for DNA). This module
+applies exactly ``n`` random edit operations to a string.
+
+Note that applying ``n`` operations yields a string at distance *at
+most* ``n`` — operations can cancel (insert then delete the same spot)
+or a cheaper path can exist. Workload builders that need the exact
+distance recompute it; see :mod:`repro.data.workload`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+#: The three operation names of section 2.2.
+EDIT_OPERATIONS = ("insert", "delete", "replace")
+
+
+def edit_script_names() -> tuple[str, ...]:
+    """The operation kinds :func:`apply_random_edits` can apply."""
+    return EDIT_OPERATIONS
+
+
+def apply_one_edit(text: str, alphabet_symbols: Sequence[str],
+                   rng: random.Random) -> str:
+    """Apply one uniformly chosen edit operation to ``text``.
+
+    Deletions are skipped for empty strings (there is nothing to delete
+    or replace), in which case an insert is applied instead.
+    """
+    if not alphabet_symbols:
+        raise ReproError("cannot corrupt text with an empty symbol pool")
+    operation = rng.choice(EDIT_OPERATIONS)
+    if not text and operation != "insert":
+        operation = "insert"
+    if operation == "insert":
+        position = rng.randint(0, len(text))
+        symbol = rng.choice(alphabet_symbols)
+        return text[:position] + symbol + text[position:]
+    position = rng.randrange(len(text))
+    if operation == "delete":
+        return text[:position] + text[position + 1:]
+    # Replace with a symbol guaranteed to differ when possible, so the
+    # operation is never a silent no-op on alphabets of size > 1.
+    current = text[position]
+    choices = [s for s in alphabet_symbols if s != current]
+    symbol = rng.choice(choices) if choices else current
+    return text[:position] + symbol + text[position + 1:]
+
+
+def apply_random_edits(text: str, edits: int,
+                       alphabet_symbols: Sequence[str],
+                       seed: int | random.Random = 0) -> str:
+    """Apply ``edits`` random operations to ``text``.
+
+    Parameters
+    ----------
+    text:
+        The string to corrupt.
+    edits:
+        Number of operations; the result is within edit distance
+        ``edits`` of ``text`` (possibly less, see module docs).
+    alphabet_symbols:
+        Pool of symbols inserts and replaces draw from.
+    seed:
+        Integer seed or an existing :class:`random.Random` to draw from.
+
+    Examples
+    --------
+    >>> corrupted = apply_random_edits("Berlin", 2, "abc", seed=5)
+    >>> from repro.distance import edit_distance
+    >>> edit_distance("Berlin", corrupted) <= 2
+    True
+    """
+    if edits < 0:
+        raise ValueError(f"edits must be non-negative, got {edits}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    for _ in range(edits):
+        text = apply_one_edit(text, alphabet_symbols, rng)
+    return text

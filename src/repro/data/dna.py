@@ -1,0 +1,197 @@
+"""Synthetic genome-read generator (Table I: "DNA").
+
+The competition's human-genome reads are not distributed. Real reads are
+substrings of a reference genome plus sequencing noise; this module
+reproduces that process:
+
+1. Build a deterministic synthetic reference genome over ``{A, C, G, T}``
+   with locally varying GC content and occasional repeats (real genomes
+   are highly repetitive, which is what makes similarity search on reads
+   non-trivial — many reads nearly collide).
+2. Sample fixed-length windows ("reads") from random positions.
+3. Inject sequencing noise: substitutions, rare indels, and ``N`` calls
+   (the unknown-base symbol that gives the competition data its
+   five-symbol alphabet).
+
+Everything is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.alphabet import DNA_ALPHABET, Alphabet
+
+#: Read length from Table I of the paper ("ca. 100").
+DEFAULT_READ_LENGTH = 100
+
+_BASES = "ACGT"
+
+
+def synthesize_genome(length: int, seed: int = 2013,
+                      repeat_fraction: float = 0.3) -> str:
+    """Build a synthetic reference genome of ``length`` bases.
+
+    ``repeat_fraction`` of the genome is filled by copying earlier
+    segments (with light mutation), modelling the repeat structure that
+    makes reads from different loci nearly identical.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError(
+            f"repeat_fraction must be within [0, 1], got {repeat_fraction}"
+        )
+    rng = random.Random(seed)
+    genome: list[str] = []
+    while len(genome) < length:
+        if genome and rng.random() < repeat_fraction:
+            # Copy an earlier segment, then mutate ~2% of its bases.
+            segment_length = min(
+                rng.randint(50, 500), length - len(genome), len(genome)
+            )
+            start = rng.randrange(0, len(genome) - segment_length + 1)
+            segment = genome[start:start + segment_length]
+            for i in range(len(segment)):
+                if rng.random() < 0.02:
+                    segment[i] = rng.choice(_BASES)
+            genome.extend(segment)
+        else:
+            # Fresh sequence with a locally biased GC content.
+            gc_bias = rng.uniform(0.35, 0.65)
+            segment_length = min(rng.randint(200, 1000), length - len(genome))
+            for _ in range(segment_length):
+                if rng.random() < gc_bias:
+                    genome.append(rng.choice("GC"))
+                else:
+                    genome.append(rng.choice("AT"))
+    return "".join(genome[:length])
+
+
+@dataclass
+class DnaReadGenerator:
+    """Deterministic generator of noisy reads from a synthetic genome.
+
+    Parameters
+    ----------
+    genome_length:
+        Length of the underlying reference. Must be at least
+        ``read_length``. Larger genomes produce more diverse reads.
+    read_length:
+        Mean read length (Table I: about 100). Individual reads vary by
+        ``length_jitter`` to exercise the length filter.
+    substitution_rate, indel_rate, n_rate:
+        Per-base noise probabilities applied to each sampled window.
+    duplicate_fraction:
+        Probability that a read re-samples an earlier read's window
+        instead of a fresh position, modelling the PCR/optical
+        duplicates real sequencing libraries contain (each duplicate
+        still receives independent noise, so duplicates are
+        near-identical rather than exact).
+    seed:
+        Seed for the private RNG.
+
+    Examples
+    --------
+    >>> reads = DnaReadGenerator(genome_length=5000, seed=1).generate(4)
+    >>> sorted(set("".join(reads)) - set("ACGNT"))
+    []
+    """
+
+    genome_length: int = 100_000
+    read_length: int = DEFAULT_READ_LENGTH
+    length_jitter: int = 4
+    substitution_rate: float = 0.01
+    indel_rate: float = 0.001
+    n_rate: float = 0.002
+    duplicate_fraction: float = 0.2
+    seed: int = 2013
+
+    def __post_init__(self) -> None:
+        if self.read_length < 1:
+            raise ValueError(
+                f"read_length must be positive, got {self.read_length}"
+            )
+        if self.genome_length < self.read_length + self.length_jitter:
+            raise ValueError(
+                "genome_length must be at least read_length + length_jitter "
+                f"({self.read_length + self.length_jitter}), "
+                f"got {self.genome_length}"
+            )
+        if not 0.0 <= self.duplicate_fraction <= 1.0:
+            raise ValueError(
+                "duplicate_fraction must be within [0, 1], got "
+                f"{self.duplicate_fraction}"
+            )
+        self._rng = random.Random(self.seed)
+        self._genome = synthesize_genome(self.genome_length, seed=self.seed)
+        self._windows: list[tuple[int, int]] = []
+
+    @property
+    def genome(self) -> str:
+        """The underlying synthetic reference genome."""
+        return self._genome
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The five-symbol read alphabet ``{A, C, G, N, T}``."""
+        return DNA_ALPHABET
+
+    def generate_one(self) -> str:
+        """Sample one noisy read.
+
+        With probability ``duplicate_fraction`` (and once at least one
+        read exists) the genomic window of an earlier read is reused —
+        a PCR duplicate — before fresh noise is applied.
+        """
+        rng = self._rng
+        if self._windows and rng.random() < self.duplicate_fraction:
+            start, length = self._windows[rng.randrange(len(self._windows))]
+        else:
+            length = self.read_length + rng.randint(
+                -self.length_jitter, self.length_jitter
+            )
+            length = max(1, length)
+            start = rng.randrange(0, len(self._genome) - length + 1)
+            self._windows.append((start, length))
+        read = list(self._genome[start:start + length])
+        # Sequencing noise, applied base by base.
+        i = 0
+        while i < len(read):
+            roll = rng.random()
+            if roll < self.n_rate:
+                read[i] = "N"
+            elif roll < self.n_rate + self.substitution_rate:
+                read[i] = rng.choice(_BASES)
+            elif roll < self.n_rate + self.substitution_rate + self.indel_rate:
+                if rng.random() < 0.5 and len(read) > 1:
+                    del read[i]
+                    continue
+                read.insert(i, rng.choice(_BASES))
+                i += 1
+            i += 1
+        return "".join(read)
+
+    def generate(self, count: int) -> list[str]:
+        """Sample ``count`` noisy reads."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.generate_one() for _ in range(count)]
+
+
+def generate_reads(count: int, seed: int = 2013, *,
+                   genome_length: int | None = None,
+                   read_length: int = DEFAULT_READ_LENGTH) -> list[str]:
+    """Convenience wrapper around :class:`DnaReadGenerator`.
+
+    ``genome_length`` defaults to ``max(20 * read_length, 40 * count)``
+    capped at one million, balancing read diversity against setup time.
+    """
+    if genome_length is None:
+        genome_length = min(max(20 * read_length, 40 * count), 1_000_000)
+        genome_length = max(genome_length, read_length + 8)
+    generator = DnaReadGenerator(
+        genome_length=genome_length, read_length=read_length, seed=seed
+    )
+    return generator.generate(count)

@@ -1,0 +1,146 @@
+"""Competition file formats: datasets, query files and result files.
+
+The paper's implementations (section 3.1) read a data file and a query
+file and write the matches to a result file. The formats, mirrored from
+the EDBT/ICDT 2013 competition:
+
+* **data / query files** — UTF-8 text, one string per line; blank lines
+  are invalid (an empty dataset string cannot be told apart from a
+  formatting accident).
+* **result files** — one line per query in input order:
+  ``<query>TAB<match>TAB<match>...``; a query with no matches produces a
+  line containing only the query.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import DatasetFormatError
+
+
+def read_strings(path: str | Path, *, max_count: int | None = None,
+                 allow_empty_file: bool = False) -> list[str]:
+    """Read a one-string-per-line dataset or query file.
+
+    Parameters
+    ----------
+    path:
+        File to read (UTF-8).
+    max_count:
+        Read at most this many lines; ``None`` reads everything.
+    allow_empty_file:
+        By default an empty file raises, because every downstream
+        consumer (index construction, workload building) needs at least
+        one string; pass ``True`` where an empty set is legitimate.
+
+    Raises
+    ------
+    DatasetFormatError
+        On blank lines, undecodable bytes, or an (unexpectedly) empty file.
+    """
+    path = Path(path)
+    strings: list[str] = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, raw_line in enumerate(handle, start=1):
+                if max_count is not None and len(strings) >= max_count:
+                    break
+                line = raw_line.rstrip("\n").rstrip("\r")
+                if not line:
+                    raise DatasetFormatError(
+                        "blank line (strings must be non-empty)",
+                        path=str(path), line_number=line_number,
+                    )
+                strings.append(line)
+    except UnicodeDecodeError as error:
+        raise DatasetFormatError(
+            f"file is not valid UTF-8: {error}", path=str(path)
+        ) from error
+    if not strings and not allow_empty_file:
+        raise DatasetFormatError("file contains no strings", path=str(path))
+    return strings
+
+
+def read_queries(path: str | Path, *,
+                 max_count: int | None = None) -> list[str]:
+    """Read a query file — same format and validation as a data file."""
+    return read_strings(path, max_count=max_count)
+
+
+def write_strings(path: str | Path, strings: Iterable[str]) -> int:
+    """Write strings one per line; returns the number written.
+
+    Raises
+    ------
+    DatasetFormatError
+        If a string is empty or contains a newline — it could not be
+        read back.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for string in strings:
+            if not string:
+                raise DatasetFormatError(
+                    "refusing to write an empty string", path=str(path)
+                )
+            if "\n" in string or "\r" in string:
+                raise DatasetFormatError(
+                    f"string {string!r} contains a line break",
+                    path=str(path),
+                )
+            handle.write(string)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def write_result_file(path: str | Path, queries: Sequence[str],
+                      results: Mapping[str, Sequence[str]] |
+                      Sequence[Sequence[str]]) -> None:
+    """Write a competition-style result file.
+
+    Parameters
+    ----------
+    queries:
+        Queries in execution order (result lines follow this order).
+    results:
+        Either a mapping from query to its matches, or a sequence of
+        match lists parallel to ``queries``.
+    """
+    path = Path(path)
+    if not isinstance(results, Mapping):
+        if len(results) != len(queries):
+            raise DatasetFormatError(
+                f"{len(queries)} queries but {len(results)} result rows",
+                path=str(path),
+            )
+        rows = list(results)
+    else:
+        rows = [results.get(query, ()) for query in queries]
+    with path.open("w", encoding="utf-8") as handle:
+        for query, matches in zip(queries, rows):
+            handle.write(query)
+            for match in matches:
+                handle.write("\t")
+                handle.write(match)
+            handle.write("\n")
+
+
+def read_result_file(path: str | Path) -> list[tuple[str, list[str]]]:
+    """Parse a result file back into ``(query, matches)`` pairs."""
+    path = Path(path)
+    rows: list[tuple[str, list[str]]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.rstrip("\n").rstrip("\r")
+            if not line:
+                raise DatasetFormatError(
+                    "blank result line", path=str(path),
+                    line_number=line_number,
+                )
+            query, *matches = line.split("\t")
+            rows.append((query, matches))
+    return rows

@@ -1,0 +1,76 @@
+"""Edit-distance kernels and related string metrics.
+
+The paper's staged optimizations of the sequential scan (section 3) are
+all, at bottom, different ways of computing or avoiding the unweighted
+edit distance of section 2.2. This package provides every kernel used by
+a stage, plus the related-work and future-work variants:
+
+===========================  ====================================================
+Kernel                       Paper stage
+===========================  ====================================================
+:func:`edit_distance`        base implementation (full DP matrix, section 3.1)
+:func:`banded.edit_distance_bounded`
+                             "calculation of the edit distance" (length filter,
+                             diagonal early abort, Ukkonen band, section 3.2)
+:class:`banded.BandedCalculator`
+                             "values and references" (buffer reuse, section 3.3)
+:func:`bitparallel.myers_distance`
+                             "simple data types" (flat integer words, section 3.4)
+:func:`hamming.hamming_distance`
+                             related work, PETER supports Hamming (section 2.3)
+:mod:`packed`                future work: 3-bit dictionary compression (section 6)
+===========================  ====================================================
+
+All kernels agree exactly with the reference :func:`edit_distance`;
+the test-suite enforces this with property-based tests.
+"""
+
+from repro.distance.alignment import EditOp, align, edit_script
+from repro.distance.damerau import osa_distance, osa_within, transposition_gain
+from repro.distance.weighted import (
+    EditCosts,
+    keyboard_weights,
+    rank_corrections,
+    weighted_edit_distance,
+)
+from repro.distance.banded import (
+    BandedCalculator,
+    edit_distance_bounded,
+    length_filter_passes,
+    within_distance,
+)
+from repro.distance.bitparallel import myers_distance, myers_within
+from repro.distance.dispatch import KernelChoice, best_kernel, bounded_distance
+from repro.distance.hamming import hamming_distance, hamming_within
+from repro.distance.levenshtein import edit_distance
+from repro.distance.matrix import DistanceMatrix
+from repro.distance.packed import PackedString, pack, packed_edit_distance_bounded
+
+__all__ = [
+    "edit_distance",
+    "edit_distance_bounded",
+    "within_distance",
+    "length_filter_passes",
+    "BandedCalculator",
+    "myers_distance",
+    "myers_within",
+    "hamming_distance",
+    "hamming_within",
+    "DistanceMatrix",
+    "EditOp",
+    "align",
+    "edit_script",
+    "PackedString",
+    "pack",
+    "packed_edit_distance_bounded",
+    "KernelChoice",
+    "best_kernel",
+    "bounded_distance",
+    "osa_distance",
+    "osa_within",
+    "transposition_gain",
+    "EditCosts",
+    "weighted_edit_distance",
+    "keyboard_weights",
+    "rank_corrections",
+]

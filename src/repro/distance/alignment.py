@@ -1,0 +1,121 @@
+"""Edit-script extraction: *which* operations realize the distance.
+
+The edit distance of section 2.2 counts insert, delete and replace
+operations; this module recovers one minimal sequence of them by
+backtracing the DP matrix. Applications use it to explain matches
+(e.g. highlighting the typo a city-name query contained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.distance.levenshtein import edit_distance_full_matrix
+
+#: Operation kinds appearing in an edit script.
+MATCH = "match"
+REPLACE = "replace"
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One step of an edit script transforming ``x`` into ``y``.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"match"``, ``"replace"``, ``"insert"``, ``"delete"``.
+    x_index:
+        Position in ``x`` the operation consumes, or ``None`` for an
+        insert (which consumes no ``x`` symbol).
+    y_index:
+        Position in ``y`` the operation produces, or ``None`` for a
+        delete (which produces no ``y`` symbol).
+    """
+
+    kind: str
+    x_index: int | None
+    y_index: int | None
+
+    @property
+    def cost(self) -> int:
+        """1 for replace/insert/delete, 0 for match."""
+        return 0 if self.kind == MATCH else 1
+
+
+def align(x: Sequence, y: Sequence) -> list[EditOp]:
+    """Return one minimal edit script transforming ``x`` into ``y``.
+
+    The script's total :attr:`EditOp.cost` equals the edit distance.
+    Ties are broken preferring match/replace over delete over insert,
+    which keeps scripts deterministic for testing.
+
+    Examples
+    --------
+    >>> [op.kind for op in align("AGGCGT", "AGAGT")]
+    ['match', 'delete', 'match', 'replace', 'match', 'match']
+    """
+    matrix = edit_distance_full_matrix(x, y)
+    ops: list[EditOp] = []
+    i = len(x)
+    j = len(y)
+    while i > 0 or j > 0:
+        here = matrix[i][j]
+        if i > 0 and j > 0 and x[i - 1] == y[j - 1] \
+                and matrix[i - 1][j - 1] == here:
+            ops.append(EditOp(MATCH, i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif i > 0 and j > 0 and matrix[i - 1][j - 1] + 1 == here:
+            ops.append(EditOp(REPLACE, i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif i > 0 and matrix[i - 1][j] + 1 == here:
+            ops.append(EditOp(DELETE, i - 1, None))
+            i -= 1
+        else:
+            ops.append(EditOp(INSERT, None, j - 1))
+            j -= 1
+    ops.reverse()
+    return ops
+
+
+def edit_script(x: str, y: str) -> list[str]:
+    """Human-readable edit script, one line per non-match operation.
+
+    >>> edit_script("Bern", "Berlin")
+    ["insert 'l' at 3", "insert 'i' at 4"]
+    """
+    lines = []
+    for op in align(x, y):
+        if op.kind == REPLACE:
+            assert op.x_index is not None and op.y_index is not None
+            lines.append(
+                f"replace {x[op.x_index]!r} at {op.x_index} "
+                f"with {y[op.y_index]!r}"
+            )
+        elif op.kind == DELETE:
+            assert op.x_index is not None
+            lines.append(f"delete {x[op.x_index]!r} at {op.x_index}")
+        elif op.kind == INSERT:
+            assert op.y_index is not None
+            lines.append(f"insert {y[op.y_index]!r} at {op.y_index}")
+    return lines
+
+
+def apply_script(x: str, ops: list[EditOp], y: str) -> str:
+    """Apply an edit script produced by :func:`align` to ``x``.
+
+    ``y`` supplies the symbols that inserts and replaces introduce. The
+    result always equals ``y``; tests use this to validate scripts.
+    """
+    out: list[str] = []
+    for op in ops:
+        if op.kind in (MATCH, REPLACE, INSERT):
+            assert op.y_index is not None
+            out.append(y[op.y_index])
+        # DELETE contributes nothing to the output.
+    return "".join(out)

@@ -1,0 +1,206 @@
+"""Threshold-aware edit distance: length filter, band, and early abort.
+
+This module implements the paper's section 3.2 ("faster edit distance
+calculation") and the buffer-reuse discipline of section 3.3:
+
+* **Length filter** (equation 5): when ``|len(x) - len(y)| > k`` the
+  distance is provably above ``k``, so no matrix is computed at all.
+* **Diagonal early abort** (conditions 6 and 7): values along a DP
+  diagonal never decrease, and the final cell lies on the diagonal that
+  passes through ``(len(x), len(y))``; once that diagonal exceeds ``k``
+  the computation can stop.
+* **Ukkonen band**: with a threshold ``k``, cells farther than ``k``
+  from the main diagonal can never contribute to a result within ``k``,
+  so only a band of ``2k + 1`` cells per row is evaluated.
+* **Buffer reuse** (:class:`BandedCalculator`): the paper's
+  value-vs-reference stage boils down to not allocating or copying per
+  call; the calculator owns two preallocated rows and reuses them.
+
+Bounded kernels return ``None`` (not a number) when the distance exceeds
+``k``: in that regime the band does not contain enough information to
+report an exact distance, only the fact that it is above the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import InvalidThresholdError
+
+
+def check_threshold(k: object) -> int:
+    """Validate an edit-distance threshold, returning it as an ``int``.
+
+    Raises
+    ------
+    InvalidThresholdError
+        If ``k`` is negative, or not an integer (``bool`` counts as an
+        integer in Python but is rejected here as almost certainly a bug).
+    """
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise InvalidThresholdError(k)
+    if k < 0:
+        raise InvalidThresholdError(k)
+    return k
+
+
+def length_filter_passes(len_x: int, len_y: int, k: int) -> bool:
+    """Equation 5: can two strings of these lengths be within distance ``k``?
+
+    ``d = |len_x - len_y|`` is a lower bound on the edit distance, so the
+    pair survives the filter iff ``d <= k``.
+    """
+    return abs(len_x - len_y) <= k
+
+
+def edit_distance_bounded(x: Sequence, y: Sequence, k: int) -> int | None:
+    """Edit distance of ``x`` and ``y`` if it is at most ``k``, else ``None``.
+
+    Combines the length filter, the Ukkonen band and the early abort.
+    This is the stand-alone function form; for tight loops prefer
+    :class:`BandedCalculator`, which reuses its row buffers.
+
+    Examples
+    --------
+    >>> edit_distance_bounded("AGGCGT", "AGAGT", 2)
+    2
+    >>> edit_distance_bounded("AGGCGT", "AGAGT", 1) is None
+    True
+    """
+    check_threshold(k)
+    return _banded(x, y, k, None, None)
+
+
+def within_distance(x: Sequence, y: Sequence, k: int) -> bool:
+    """``True`` iff ``edit_distance(x, y) <= k``."""
+    return edit_distance_bounded(x, y, k) is not None
+
+
+class BandedCalculator:
+    """A bounded edit-distance calculator that owns its row buffers.
+
+    The paper's "values and references" stage (section 3.3) removes
+    per-call allocation and copying. The Python analog is an object that
+    preallocates its two DP rows once and reuses them for every call:
+
+    >>> calc = BandedCalculator(max_length=64)
+    >>> calc.distance("Berlin", "Bern", 3)
+    2
+    >>> calc.distance("Berlin", "Ulm", 3) is None
+    True
+
+    Instances are **not** thread-safe — each worker thread must own its
+    calculator, mirroring the paper's per-thread state.
+    """
+
+    def __init__(self, max_length: int = 256) -> None:
+        if max_length < 1:
+            raise ValueError(f"max_length must be positive, got {max_length}")
+        self._max_length = max_length
+        self._row_a = [0] * (max_length + 1)
+        self._row_b = [0] * (max_length + 1)
+
+    @property
+    def max_length(self) -> int:
+        """Longest operand the preallocated buffers can hold."""
+        return self._max_length
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed > self._max_length:
+            self._max_length = max(needed, 2 * self._max_length)
+            self._row_a = [0] * (self._max_length + 1)
+            self._row_b = [0] * (self._max_length + 1)
+
+    def distance(self, x: Sequence, y: Sequence, k: int) -> int | None:
+        """Bounded distance using the reusable buffers (see module docs)."""
+        check_threshold(k)
+        self._ensure_capacity(max(len(x), len(y)))
+        return _banded(x, y, k, self._row_a, self._row_b)
+
+    def within(self, x: Sequence, y: Sequence, k: int) -> bool:
+        """``True`` iff ``edit_distance(x, y) <= k``."""
+        return self.distance(x, y, k) is not None
+
+
+def _banded(x: Sequence, y: Sequence, k: int,
+            row_a: list[int] | None, row_b: list[int] | None) -> int | None:
+    """Shared banded DP used by the function and calculator front ends.
+
+    ``row_a``/``row_b`` may be preallocated buffers at least
+    ``max(len(x), len(y)) + 1`` long, or ``None`` to allocate locally.
+    """
+    len_x = len(x)
+    len_y = len(y)
+    if not length_filter_passes(len_x, len_y, k):
+        return None
+    if len_x == 0:
+        return len_y if len_y <= k else None
+    if len_y == 0:
+        return len_x if len_x <= k else None
+    if k == 0:
+        # The band degenerates to the main diagonal: exact match test.
+        return 0 if _sequences_equal(x, y) else None
+
+    infinity = k + 1
+    if row_a is None:
+        row_a = [0] * (len_y + 1)
+        row_b = [0] * (len_y + 1)
+    assert row_b is not None
+
+    previous = row_a
+    current = row_b
+    # Row 0 inside the band: M[0][j] = j for j <= k, "infinite" outside.
+    band_hi0 = min(len_y, k)
+    for j in range(band_hi0 + 1):
+        previous[j] = j
+    if band_hi0 + 1 <= len_y:
+        previous[band_hi0 + 1] = infinity
+
+    # The early-abort diagonal of conditions (6)/(7) is the one through
+    # the final cell: j == i - (len_x - len_y).
+    final_diagonal_offset = len_y - len_x
+
+    for i in range(1, len_x + 1):
+        lo = max(1, i - k)
+        hi = min(len_y, i + k)
+        if lo > hi:
+            return None
+        # Seed the cell left of the band with "infinity" so the insert
+        # transition cannot leak stale values from the previous row.
+        current[lo - 1] = i if lo == 1 else infinity
+        x_symbol = x[i - 1]
+        row_minimum = infinity
+        for j in range(lo, hi + 1):
+            if x_symbol == y[j - 1]:
+                cost = previous[j - 1]
+            else:
+                above = previous[j] if j < i + k else infinity
+                cost = 1 + min(above, current[j - 1], previous[j - 1])
+                if cost > infinity:
+                    cost = infinity
+            current[j] = cost
+            if cost < row_minimum:
+                row_minimum = cost
+        # Paper conditions (6)/(7): values along a diagonal never decrease
+        # and the final cell lies on the diagonal through (len_x, len_y),
+        # so once that diagonal exceeds k the result must exceed k.
+        diagonal_j = i + final_diagonal_offset
+        if lo <= diagonal_j <= hi and current[diagonal_j] > k:
+            return None
+        # Ukkonen cutoff: if every cell in the band exceeds k, no path
+        # back under the threshold exists.
+        if row_minimum > k:
+            return None
+        if hi + 1 <= len_y:
+            current[hi + 1] = infinity
+        previous, current = current, previous
+
+    result = previous[len_y]
+    return result if result <= k else None
+
+
+def _sequences_equal(x: Sequence, y: Sequence) -> bool:
+    """Element-wise equality that works across sequence types."""
+    if type(x) is type(y):
+        return x == y
+    return len(x) == len(y) and all(a == b for a, b in zip(x, y))

@@ -1,0 +1,157 @@
+"""Myers bit-parallel edit distance ("simple data types", section 3.4).
+
+The paper's fourth sequential stage replaces complex data structures by
+flat primitive ones and re-implements the inner comparisons by hand. The
+strongest expression of that idea for edit distance is Myers' 1999
+bit-vector algorithm: the DP column deltas are packed into machine words
+and one text symbol is processed with a constant number of word-wide
+logical operations.
+
+Python integers are arbitrary-precision, so a single "word" covers
+patterns of any length — the classic multi-word block extension is not
+needed; an ``m``-symbol pattern simply uses an ``m``-bit integer.
+
+Functions here accept strings or tuples of symbol codes. For repeated
+queries, precompute the pattern's symbol bitmasks with
+:func:`build_peq`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.distance.banded import check_threshold, length_filter_passes
+
+
+def build_peq(pattern: Sequence[Hashable]) -> dict[Hashable, int]:
+    """Precompute the symbol → bitmask table for ``pattern``.
+
+    Bit ``i`` of ``peq[c]`` is set iff ``pattern[i] == c``.
+    """
+    peq: dict[Hashable, int] = {}
+    for i, symbol in enumerate(pattern):
+        peq[symbol] = peq.get(symbol, 0) | (1 << i)
+    return peq
+
+
+def myers_distance(pattern: Sequence[Hashable], text: Sequence[Hashable],
+                   peq: Mapping[Hashable, int] | None = None) -> int:
+    """Exact edit distance via Myers' bit-parallel algorithm.
+
+    Equivalent to :func:`repro.distance.edit_distance` but processes one
+    ``text`` symbol with O(1) big-integer operations instead of an
+    O(len(pattern)) inner loop.
+
+    Examples
+    --------
+    >>> myers_distance("AGGCGT", "AGAGT")
+    2
+    """
+    m = len(pattern)
+    if m == 0:
+        return len(text)
+    if len(text) == 0:
+        return m
+    if peq is None:
+        peq = build_peq(pattern)
+
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    pv = mask          # vertical positive deltas: initially all +1
+    mv = 0             # vertical negative deltas
+    score = m
+    for symbol in text:
+        eq = peq.get(symbol, 0)
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | (~(xh | pv) & mask)
+        mh = pv & xh
+        if ph & last:
+            score += 1
+        elif mh & last:
+            score -= 1
+        ph = ((ph << 1) | 1) & mask
+        mh = (mh << 1) & mask
+        pv = mh | (~(xv | ph) & mask)
+        mv = ph & xv
+    return score
+
+
+def myers_within(pattern: Sequence[Hashable], text: Sequence[Hashable],
+                 k: int,
+                 peq: Mapping[Hashable, int] | None = None) -> bool:
+    """``True`` iff ``edit_distance(pattern, text) <= k``.
+
+    Applies the length filter (equation 5 of the paper) before running
+    the bit-parallel scan, and aborts as soon as the running score can no
+    longer come back under ``k`` (the score changes by at most 1 per
+    remaining text symbol).
+    """
+    check_threshold(k)
+    m = len(pattern)
+    n = len(text)
+    if not length_filter_passes(m, n, k):
+        return False
+    if m == 0 or n == 0:
+        return True  # the length filter already bounded the distance
+    if peq is None:
+        peq = build_peq(pattern)
+
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    pv = mask
+    mv = 0
+    score = m
+    remaining = n
+    for symbol in text:
+        eq = peq.get(symbol, 0)
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | (~(xh | pv) & mask)
+        mh = pv & xh
+        if ph & last:
+            score += 1
+        elif mh & last:
+            score -= 1
+        ph = ((ph << 1) | 1) & mask
+        mh = (mh << 1) & mask
+        pv = mh | (~(xv | ph) & mask)
+        mv = ph & xv
+        remaining -= 1
+        # The final score differs from the current one by at most the
+        # number of unprocessed symbols; prune when it cannot recover.
+        if score - remaining > k:
+            return False
+    return score <= k
+
+
+class MyersMatcher:
+    """A reusable matcher for one query against many data strings.
+
+    Precomputes the query's ``peq`` table once, which is the dominant
+    per-call setup cost when the same query is probed against hundreds of
+    thousands of dataset strings during a sequential scan.
+
+    >>> matcher = MyersMatcher("Berlin")
+    >>> matcher.within("Bern", 2)
+    True
+    >>> matcher.distance("Bern")
+    2
+    """
+
+    def __init__(self, pattern: Sequence[Hashable]) -> None:
+        self._pattern = pattern
+        self._peq = build_peq(pattern)
+
+    @property
+    def pattern(self) -> Sequence[Hashable]:
+        """The query string this matcher was built for."""
+        return self._pattern
+
+    def distance(self, text: Sequence[Hashable]) -> int:
+        """Exact edit distance between the pattern and ``text``."""
+        return myers_distance(self._pattern, text, self._peq)
+
+    def within(self, text: Sequence[Hashable], k: int) -> bool:
+        """Threshold test between the pattern and ``text``."""
+        return myers_within(self._pattern, text, k, self._peq)

@@ -1,0 +1,96 @@
+"""Kernel dispatch: pick the cheapest correct kernel for a comparison.
+
+The paper tunes one pipeline per dataset by hand; a library should make
+the choice automatically. The heuristics encoded here follow the cost
+structure the evaluation exposes:
+
+* ``k = 0`` is an equality test — no DP at all.
+* Small ``k`` relative to the operand length favours the banded kernel
+  (O(k·n) cells).
+* Large ``k`` (the DNA regime, k up to 16 on length-100 reads) favours
+  the bit-parallel kernel, whose cost is O(n²/w) independent of ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.distance.banded import (
+    check_threshold,
+    edit_distance_bounded,
+    length_filter_passes,
+)
+from repro.distance.bitparallel import myers_distance
+
+
+class KernelChoice(Enum):
+    """Which kernel :func:`best_kernel` selected."""
+
+    EQUALITY = "equality"
+    BANDED = "banded"
+    BIT_PARALLEL = "bit-parallel"
+
+
+#: Band cells per bit-parallel word-op at which banding stops paying off.
+#: Derived from microbenchmarks of the two pure-Python inner loops; the
+#: exact value only moves the crossover, never correctness.
+_BAND_BREAK_EVEN = 3
+
+
+@dataclass(frozen=True)
+class _Decision:
+    choice: KernelChoice
+    reason: str
+
+
+def _decide(len_x: int, len_y: int, k: int) -> _Decision:
+    if k == 0:
+        return _Decision(KernelChoice.EQUALITY, "k = 0 is an equality test")
+    # Banded work ~ (2k + 1) * min(len) cells; Myers work ~ len_y word ops.
+    band_cells = (2 * k + 1) * min(len_x, len_y)
+    myers_ops = max(len_x, len_y) * _BAND_BREAK_EVEN
+    if band_cells <= myers_ops:
+        return _Decision(
+            KernelChoice.BANDED,
+            f"band of {band_cells} cells is under the bit-parallel "
+            f"break-even of {myers_ops}",
+        )
+    return _Decision(
+        KernelChoice.BIT_PARALLEL,
+        f"threshold {k} makes the band ({band_cells} cells) more "
+        f"expensive than {max(len_x, len_y)} word ops",
+    )
+
+
+def best_kernel(len_x: int, len_y: int, k: int) -> KernelChoice:
+    """Pick the cheapest kernel for operands of these lengths at ``k``."""
+    check_threshold(k)
+    return _decide(len_x, len_y, k).choice
+
+
+def explain_kernel(len_x: int, len_y: int, k: int) -> str:
+    """Human-readable rationale for :func:`best_kernel`'s choice."""
+    check_threshold(k)
+    decision = _decide(len_x, len_y, k)
+    return f"{decision.choice.value}: {decision.reason}"
+
+
+def bounded_distance(x: Sequence, y: Sequence, k: int) -> int | None:
+    """Bounded edit distance through the dispatching front end.
+
+    Returns the distance when it is at most ``k`` and ``None`` otherwise,
+    delegating to whichever kernel :func:`best_kernel` selects.
+    """
+    check_threshold(k)
+    if not length_filter_passes(len(x), len(y), k):
+        return None
+    choice = _decide(len(x), len(y), k).choice
+    if choice is KernelChoice.EQUALITY:
+        same = len(x) == len(y) and all(a == b for a, b in zip(x, y))
+        return 0 if same else None
+    if choice is KernelChoice.BANDED:
+        return edit_distance_bounded(x, y, k)
+    distance = myers_distance(x, y)
+    return distance if distance <= k else None

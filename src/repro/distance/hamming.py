@@ -1,0 +1,53 @@
+"""Hamming distance: the substitution-only metric PETER also supports.
+
+The paper's main related-work system, PETER (section 2.3), answers both
+edit-distance and Hamming-distance queries; reads of equal length are
+often compared under Hamming distance in genomics because sequencing
+errors are predominantly substitutions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distance.banded import check_threshold
+
+
+def hamming_distance(x: Sequence, y: Sequence) -> int:
+    """Number of positions at which equal-length ``x`` and ``y`` differ.
+
+    Raises
+    ------
+    ValueError
+        If the operands have different lengths — the Hamming distance is
+        undefined in that case (use edit distance instead).
+
+    Examples
+    --------
+    >>> hamming_distance("GATTACA", "GACTACA")
+    1
+    """
+    if len(x) != len(y):
+        raise ValueError(
+            f"hamming distance needs equal lengths, got {len(x)} and {len(y)}"
+        )
+    return sum(1 for a, b in zip(x, y) if a != b)
+
+
+def hamming_within(x: Sequence, y: Sequence, k: int) -> bool:
+    """``True`` iff ``hamming_distance(x, y) <= k``, with early exit.
+
+    Unlike :func:`hamming_distance` this never raises on a length
+    mismatch: strings of different lengths are trivially not within any
+    Hamming threshold.
+    """
+    check_threshold(k)
+    if len(x) != len(y):
+        return False
+    mismatches = 0
+    for a, b in zip(x, y):
+        if a != b:
+            mismatches += 1
+            if mismatches > k:
+                return False
+    return True

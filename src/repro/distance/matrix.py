@@ -1,0 +1,115 @@
+"""An inspectable DP matrix, rendering like the paper's Figure 1.
+
+:class:`DistanceMatrix` wraps the full dynamic program so examples,
+documentation and tests can look inside the computation: read individual
+cells, extract diagonals (the objects the early-abort conditions 6/7
+reason about), and render the matrix as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.distance.levenshtein import edit_distance_full_matrix
+
+
+class DistanceMatrix:
+    """The complete edit-distance matrix for two strings.
+
+    >>> m = DistanceMatrix("AGGCGT", "AGAGT")
+    >>> m.distance
+    2
+    >>> m[4, 3]   # row 4, column 3
+    2
+    >>> m.shape
+    (7, 6)
+    """
+
+    def __init__(self, x: Sequence, y: Sequence) -> None:
+        self._x = x
+        self._y = y
+        self._cells = edit_distance_full_matrix(x, y)
+
+    @property
+    def x(self) -> Sequence:
+        """The row string (first operand)."""
+        return self._x
+
+    @property
+    def y(self) -> Sequence:
+        """The column string (second operand)."""
+        return self._y
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(len(x) + 1, len(y) + 1)`` — rows and columns."""
+        return len(self._x) + 1, len(self._y) + 1
+
+    @property
+    def distance(self) -> int:
+        """The edit distance: the bottom-right cell."""
+        return self._cells[len(self._x)][len(self._y)]
+
+    def __getitem__(self, index: tuple[int, int]) -> int:
+        row, column = index
+        return self._cells[row][column]
+
+    def row(self, i: int) -> list[int]:
+        """A copy of row ``i``."""
+        return list(self._cells[i])
+
+    def column(self, j: int) -> list[int]:
+        """A copy of column ``j``."""
+        return [row[j] for row in self._cells]
+
+    def diagonal(self, offset: int = 0) -> list[int]:
+        """Cells with ``j - i == offset``, top-left to bottom-right.
+
+        ``offset = len(y) - len(x)`` is the diagonal through the final
+        cell — the one conditions (6)/(7) of the paper monitor. Values
+        along any diagonal are non-decreasing, which tests verify.
+        """
+        rows, columns = self.shape
+        cells = []
+        for i in range(rows):
+            j = i + offset
+            if 0 <= j < columns:
+                cells.append(self._cells[i][j])
+        return cells
+
+    def final_diagonal(self) -> list[int]:
+        """The diagonal that ends in the distance cell."""
+        return self.diagonal(len(self._y) - len(self._x))
+
+    def iter_cells(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(i, j, value)`` for every cell, row-major."""
+        for i, row in enumerate(self._cells):
+            for j, value in enumerate(row):
+                yield i, j, value
+
+    def render(self) -> str:
+        """Render the matrix as aligned text, like the paper's Figure 1.
+
+        >>> print(DistanceMatrix("AG", "AGA").render())
+            A G A
+          0 1 2 3
+        A 1 0 1 2
+        G 2 1 0 1
+        """
+        width = max(2, len(str(max(len(self._x), len(self._y)))) + 1)
+        x_labels = [" "] + [str(s) for s in self._x]
+        header = " " * (width - 1) + "".join(
+            f"{str(s):>{width}}" for s in [" ", *self._y]
+        )
+        lines = [header.rstrip()]
+        for i, row in enumerate(self._cells):
+            label = x_labels[i] if i < len(x_labels) else "?"
+            body = "".join(f"{value:>{width}}" for value in row)
+            lines.append(f"{label}{body}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceMatrix(x={self._x!r}, y={self._y!r}, "
+            f"distance={self.distance})"
+        )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidThresholdError(ReproError, ValueError):
+    """A similarity threshold ``k`` is negative or not an integer."""
+
+    def __init__(self, k: object) -> None:
+        super().__init__(
+            f"edit-distance threshold must be a non-negative integer, got {k!r}"
+        )
+        self.k = k
+
+
+class AlphabetError(ReproError, ValueError):
+    """A string contains symbols outside the alphabet an encoder expects."""
+
+
+class DatasetFormatError(ReproError, ValueError):
+    """A dataset or query file violates the competition file format."""
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line_number: int | None = None) -> None:
+        location = ""
+        if path is not None:
+            location = f" in {path}"
+            if line_number is not None:
+                location += f" at line {line_number}"
+        super().__init__(message + location)
+        self.path = path
+        self.line_number = line_number
+
+
+class VerificationError(ReproError):
+    """An optimized approach returned results that differ from the reference.
+
+    The paper's methodology (section 3.1) rejects any approach whose result
+    set is not identical to the base implementation; this error carries the
+    symmetric difference so the failure is diagnosable.
+    """
+
+    def __init__(self, message: str, *, missing: frozenset[str] = frozenset(),
+                 spurious: frozenset[str] = frozenset()) -> None:
+        super().__init__(message)
+        self.missing = missing
+        self.spurious = spurious
+
+
+class IndexConstructionError(ReproError):
+    """An index could not be built from the supplied dataset."""
+
+
+class ParallelismError(ReproError):
+    """An execution strategy was configured or driven inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """A benchmark experiment was configured with impossible parameters."""

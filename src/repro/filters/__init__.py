@@ -1,0 +1,53 @@
+"""No-false-negative pre-filters for similarity search.
+
+A filter is a cheap test that may only err on the side of *keeping* a
+candidate: if ``filter.admits(query, candidate, k)`` is ``False``, then
+``edit_distance(query, candidate) > k`` is guaranteed. Filters therefore
+never change a searcher's result set, only how much edit-distance work
+it performs — the paper's accept criterion (identical results, lower
+time) in miniature.
+
+Provided filters:
+
+* :class:`LengthFilter` — equation 5 of the paper.
+* :class:`FrequencyVectorFilter` — symbol-count L1 bound; the PETER
+  technique (section 2.3) and the paper's future-work item (section 6).
+* :class:`QGramCountFilter` — the classic q-gram count bound used by
+  most mature similarity-search systems.
+* :class:`FilterChain` — composes filters cheapest-first.
+"""
+
+from repro.filters.base import CandidateFilter, FilterChain, FilterStats
+from repro.filters.frequency import FrequencyVectorFilter, frequency_lower_bound
+from repro.filters.length import LengthFilter
+from repro.filters.ordering import (
+    FilterMeasurement,
+    explain_ordering,
+    measure_filters,
+    optimize_chain,
+)
+from repro.filters.prefix import (
+    gram_frequencies,
+    prefix_filter_admits,
+    prefix_grams,
+)
+from repro.filters.qgram import QGramCountFilter, qgram_profile, qgrams
+
+__all__ = [
+    "CandidateFilter",
+    "FilterChain",
+    "FilterStats",
+    "LengthFilter",
+    "FrequencyVectorFilter",
+    "frequency_lower_bound",
+    "QGramCountFilter",
+    "qgram_profile",
+    "qgrams",
+    "FilterMeasurement",
+    "measure_filters",
+    "optimize_chain",
+    "explain_ordering",
+    "gram_frequencies",
+    "prefix_grams",
+    "prefix_filter_admits",
+]

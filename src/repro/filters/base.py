@@ -1,0 +1,101 @@
+"""Filter protocol and composition.
+
+See the package docstring for the contract every filter obeys: a
+``False`` from :meth:`CandidateFilter.admits` proves the true edit
+distance exceeds ``k``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class CandidateFilter(abc.ABC):
+    """A sound pre-filter for bounded edit-distance comparisons."""
+
+    #: Short name used in statistics and reports.
+    name: str = "filter"
+
+    @abc.abstractmethod
+    def admits(self, query: str, candidate: str, k: int) -> bool:
+        """Return ``False`` only if ``ed(query, candidate) > k`` surely."""
+
+    def prepare_query(self, query: str) -> None:
+        """Hook: precompute per-query state before a scan.
+
+        Called once per query by searchers; the default does nothing.
+        Implementations may cache profiles of ``query`` keyed by the
+        string itself.
+        """
+
+
+@dataclass
+class FilterStats:
+    """Counts of how a filter (or chain) behaved during a scan."""
+
+    examined: int = 0
+    rejected: int = 0
+
+    @property
+    def admitted(self) -> int:
+        """Candidates that survived."""
+        return self.examined - self.rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of examined candidates rejected (0.0 when idle)."""
+        if self.examined == 0:
+            return 0.0
+        return self.rejected / self.examined
+
+    def merge(self, other: "FilterStats") -> "FilterStats":
+        """Combine counters from another scan (e.g. another worker)."""
+        return FilterStats(
+            examined=self.examined + other.examined,
+            rejected=self.rejected + other.rejected,
+        )
+
+
+@dataclass
+class FilterChain:
+    """A conjunction of filters, applied in order.
+
+    Order matters for speed (cheapest first) but never for results:
+    the chain admits a candidate iff every member admits it.
+
+    >>> from repro.filters import LengthFilter, FrequencyVectorFilter
+    >>> chain = FilterChain([LengthFilter(), FrequencyVectorFilter("AEIOU")])
+    >>> chain.admits("Berlin", "Bern", 2)
+    True
+    >>> chain.admits("Berlin", "B", 2)
+    False
+    """
+
+    filters: Sequence[CandidateFilter]
+    stats: FilterStats = field(default_factory=FilterStats)
+
+    def admits(self, query: str, candidate: str, k: int) -> bool:
+        """``True`` iff every member filter admits the pair."""
+        self.stats.examined += 1
+        for member in self.filters:
+            if not member.admits(query, candidate, k):
+                self.stats.rejected += 1
+                return False
+        return True
+
+    def prepare_query(self, query: str) -> None:
+        """Propagate per-query preparation to every member."""
+        for member in self.filters:
+            member.prepare_query(query)
+
+    def reset_stats(self) -> None:
+        """Zero the counters before a fresh measurement."""
+        self.stats = FilterStats()
+
+    def survivors(self, query: str, candidates: Iterable[str],
+                  k: int) -> list[str]:
+        """Filter an iterable of candidates, preserving order."""
+        self.prepare_query(query)
+        return [c for c in candidates if self.admits(query, c, k)]

@@ -1,0 +1,112 @@
+"""Frequency-vector filter (PETER technique; paper sections 2.3 and 6).
+
+For a tracked symbol set ``S``, let ``f_s(x)`` count occurrences of
+``s`` in ``x``. One edit operation changes each ``f_s`` by at most 1,
+and changes the *sum* of all increases/decreases boundedly: a replace
+can simultaneously decrement one tracked count and increment another.
+Hence
+
+    ed(x, y)  >=  max( sum_over_s max(0, f_s(x) - f_s(y)),
+                       sum_over_s max(0, f_s(y) - f_s(x)) )
+
+— the larger of total surplus and total deficit is a valid lower bound.
+The paper proposes tracking ``A, C, G, N, T`` for DNA and the vowels
+``A, E, I, O, U`` for city names (section 6). PETER stores these vectors
+in trie nodes (section 2.3); :class:`repro.index.trie.PrefixTrie` reuses
+this module for that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.filters.base import CandidateFilter
+
+
+def frequency_vector(text: str, tracked: str,
+                     case_insensitive: bool = True) -> tuple[int, ...]:
+    """Occurrence counts of each tracked symbol in ``text``.
+
+    City names mix cases, so matching is case-insensitive by default;
+    DNA callers can disable it (reads are upper-case by construction).
+    """
+    if case_insensitive:
+        text = text.upper()
+        tracked = tracked.upper()
+    return tuple(text.count(symbol) for symbol in tracked)
+
+
+def frequency_lower_bound(counts_x: Sequence[int],
+                          counts_y: Sequence[int]) -> int:
+    """Lower bound on ``ed(x, y)`` from two frequency vectors.
+
+    See the module docstring for the derivation. Vectors must track the
+    same symbols in the same order.
+    """
+    if len(counts_x) != len(counts_y):
+        raise ValueError(
+            f"frequency vectors track different symbol sets: "
+            f"{len(counts_x)} vs {len(counts_y)} entries"
+        )
+    surplus = 0
+    deficit = 0
+    for fx, fy in zip(counts_x, counts_y):
+        difference = fx - fy
+        if difference > 0:
+            surplus += difference
+        else:
+            deficit -= difference
+    return max(surplus, deficit)
+
+
+class FrequencyVectorFilter(CandidateFilter):
+    """Reject pairs whose frequency-vector bound exceeds ``k``.
+
+    Parameters
+    ----------
+    tracked:
+        Symbols to count, e.g. ``"AEIOU"`` for city names or ``"ACGNT"``
+        for DNA (the paper's suggestions).
+    case_insensitive:
+        Fold case before counting (sensible for natural language).
+
+    Per-query vectors are cached via :meth:`prepare_query`, so a scan
+    computes the query's vector once and each candidate's vector once.
+
+    >>> f = FrequencyVectorFilter("AEIOU")
+    >>> f.admits("Berlin", "Brln", 1)      # 'e' and 'i' both lost: bound 2
+    False
+    >>> f.admits("Berlin", "Brln", 2)
+    True
+    """
+
+    name = "frequency-vector"
+
+    def __init__(self, tracked: str, *, case_insensitive: bool = True) -> None:
+        if not tracked:
+            raise ValueError("tracked symbol set must not be empty")
+        self._tracked = tracked
+        self._case_insensitive = case_insensitive
+        self._query: str | None = None
+        self._query_vector: tuple[int, ...] = ()
+
+    @property
+    def tracked(self) -> str:
+        """The tracked symbol set."""
+        return self._tracked
+
+    def vector(self, text: str) -> tuple[int, ...]:
+        """The frequency vector of ``text`` under this filter's settings."""
+        return frequency_vector(text, self._tracked, self._case_insensitive)
+
+    def prepare_query(self, query: str) -> None:
+        self._query = query
+        self._query_vector = self.vector(query)
+
+    def admits(self, query: str, candidate: str, k: int) -> bool:
+        if query == self._query:
+            query_vector = self._query_vector
+        else:
+            query_vector = self.vector(query)
+        bound = frequency_lower_bound(query_vector, self.vector(candidate))
+        return bound <= k

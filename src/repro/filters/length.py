@@ -1,0 +1,27 @@
+"""The length filter — equation 5 of the paper.
+
+``|len(x) - len(y)|`` edits are unavoidable just to equalize lengths,
+so it lower-bounds the edit distance. This is the cheapest filter in the
+library (two ``len`` calls) and the first the paper adds to the
+sequential scan (section 3.2).
+"""
+
+from __future__ import annotations
+
+from repro.distance.banded import length_filter_passes
+from repro.filters.base import CandidateFilter
+
+
+class LengthFilter(CandidateFilter):
+    """Reject pairs whose length difference already exceeds ``k``.
+
+    >>> LengthFilter().admits("Hamburg", "Hamm", 2)
+    False
+    >>> LengthFilter().admits("Hamburg", "Hamm", 3)
+    True
+    """
+
+    name = "length"
+
+    def admits(self, query: str, candidate: str, k: int) -> bool:
+        return length_filter_passes(len(query), len(candidate), k)

@@ -1,0 +1,110 @@
+"""Filter-chain ordering: predicate optimization for the scan.
+
+A chain of sound filters admits the same candidates in any order, but
+order drives cost: the classic database rule places predicates by
+*rank* — cheapest-per-rejected-candidate first. This module measures
+each filter's cost and rejection rate on a training sample and reorders
+the chain accordingly, so pipelines built from this library's filters
+(or user-defined ones) get the textbook optimization for free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.distance.banded import check_threshold
+from repro.exceptions import ReproError
+from repro.filters.base import CandidateFilter, FilterChain
+
+
+@dataclass(frozen=True)
+class FilterMeasurement:
+    """Observed behaviour of one filter on the training sample."""
+
+    name: str
+    seconds_per_call: float
+    rejection_rate: float
+
+    @property
+    def rank(self) -> float:
+        """Cost per unit of selectivity — lower runs earlier.
+
+        The classic predicate-ordering rank ``cost / selectivity``:
+        a filter that rejects nothing is infinitely expensive per
+        rejection and sinks to the end of the chain.
+        """
+        if self.rejection_rate <= 0.0:
+            return float("inf")
+        return self.seconds_per_call / self.rejection_rate
+
+
+def measure_filters(filters: Sequence[CandidateFilter],
+                    queries: Sequence[str],
+                    candidates: Sequence[str],
+                    k: int) -> list[FilterMeasurement]:
+    """Time each filter alone over the query × candidate sample."""
+    check_threshold(k)
+    if not queries or not candidates:
+        raise ReproError(
+            "filter measurement needs at least one query and candidate"
+        )
+    measurements = []
+    for member in filters:
+        calls = 0
+        rejected = 0
+        started = time.perf_counter()
+        for query in queries:
+            member.prepare_query(query)
+            for candidate in candidates:
+                calls += 1
+                if not member.admits(query, candidate, k):
+                    rejected += 1
+        elapsed = time.perf_counter() - started
+        measurements.append(FilterMeasurement(
+            name=member.name,
+            seconds_per_call=elapsed / calls,
+            rejection_rate=rejected / calls,
+        ))
+    return measurements
+
+
+def optimize_chain(chain: FilterChain, queries: Sequence[str],
+                   candidates: Sequence[str], k: int) -> FilterChain:
+    """A new chain with the same filters, ordered by measured rank.
+
+    Results are unchanged for sound filters (a conjunction commutes);
+    only the expected number of evaluated predicates drops. The input
+    chain is not modified.
+
+    Examples
+    --------
+    >>> from repro.filters import (FilterChain, LengthFilter,
+    ...                            QGramCountFilter)
+    >>> chain = FilterChain([QGramCountFilter(2), LengthFilter()])
+    >>> tuned = optimize_chain(chain, ["Bern"],
+    ...                        ["Berlin", "B", "Hamburg"], 1)
+    >>> [f.name for f in tuned.filters][0]
+    'length'
+    """
+    measurements = measure_filters(chain.filters, queries, candidates, k)
+    ranked = sorted(zip(measurements, chain.filters),
+                    key=lambda pair: pair[0].rank)
+    return FilterChain([member for _, member in ranked])
+
+
+def explain_ordering(chain: FilterChain, queries: Sequence[str],
+                     candidates: Sequence[str], k: int) -> str:
+    """Human-readable rank table for a chain on a sample workload."""
+    measurements = measure_filters(chain.filters, queries, candidates, k)
+    lines = [
+        f"{'filter':<20} {'us/call':>9} {'rejects':>9} {'rank':>12}",
+    ]
+    for m in sorted(measurements, key=lambda m: m.rank):
+        rank = "inf" if m.rank == float("inf") else f"{m.rank:.2e}"
+        lines.append(
+            f"{m.name:<20} {1e6 * m.seconds_per_call:>9.2f} "
+            f"{100 * m.rejection_rate:>8.1f}% {rank:>12}"
+        )
+    return "\n".join(lines)

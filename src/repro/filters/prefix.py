@@ -1,0 +1,77 @@
+"""Prefix filtering for edit-distance joins (the Ed-Join idea).
+
+One edit operation destroys at most ``q`` positional q-grams, so a
+string pair within edit distance ``k`` preserves all but at most
+``k*q`` of either side's positional grams. Contrapositive: pick **any**
+``k*q + 1`` positional grams of ``r`` — if ``s`` contains none of them
+as substrings, then ``ed(r, s) > k``.
+
+Which grams to pick matters only for speed, never correctness: rare
+grams hit fewer candidates, so the *prefix* is the ``k*q + 1`` grams
+that are rarest under a global frequency order built from the indexed
+side. Probing an inverted gram index with just the prefix (instead of
+every gram, as the count filter does) is what makes prefix-filtered
+joins fast.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.filters.qgram import qgrams
+
+
+def gram_frequencies(strings: Sequence[str], q: int) -> Counter[str]:
+    """Document frequency of each distinct q-gram over ``strings``."""
+    frequencies: Counter[str] = Counter()
+    for string in strings:
+        frequencies.update(set(qgrams(string, q)))
+    return frequencies
+
+
+def prefix_grams(string: str, k: int, q: int,
+                 frequencies: Counter[str]) -> list[str]:
+    """The ``k*q + 1`` rarest positional grams of ``string``.
+
+    Returns *distinct* grams covering at least ``k*q + 1`` positional
+    occurrences (a repeated gram covers all its occurrences at once),
+    or every gram when the string is too short for the bound to have
+    power — in that case callers must treat the string as a wildcard.
+
+    >>> freq = gram_frequencies(["abab", "abcd"], 2)
+    >>> sorted(prefix_grams("abab", 1, 2, freq))
+    ['ab', 'ba']
+    """
+    positional = qgrams(string, q)
+    needed = k * q + 1
+    if len(positional) <= needed:
+        return sorted(set(positional))
+    # Rarest-first; ties broken lexicographically for determinism.
+    ranked = sorted(positional,
+                    key=lambda gram: (frequencies[gram], gram))
+    chosen: list[str] = []
+    covered = 0
+    occurrences = Counter(positional)
+    for gram in ranked:
+        if gram in chosen:
+            continue
+        chosen.append(gram)
+        covered += occurrences[gram]
+        if covered >= needed:
+            break
+    return chosen
+
+
+def prefix_filter_admits(probe_prefix: Sequence[str],
+                         candidate_grams: set[str]) -> bool:
+    """Sound candidate test: does any prefix gram occur in the candidate?
+
+    ``False`` proves ``ed > k`` **only** when the probe's prefix covers
+    ``k*q + 1`` positional grams (see :func:`prefix_grams`); strings
+    shorter than that must bypass the filter.
+    """
+    for gram in probe_prefix:
+        if gram in candidate_grams:
+            return True
+    return False

@@ -1,0 +1,107 @@
+"""q-gram count filter — the classic bound mature systems rely on.
+
+A q-gram is a length-``q`` substring. One edit operation destroys at
+most ``q`` of a string's q-grams, so two strings within edit distance
+``k`` must share at least
+
+    max(len(x), len(y)) - q + 1 - k * q
+
+q-grams (counting multiplicity). When that bound is positive and the
+actual overlap falls below it, the pair can be rejected without any DP.
+The same machinery powers the inverted q-gram index of
+:mod:`repro.index.qgram_index`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.filters.base import CandidateFilter
+
+
+def qgrams(text: str, q: int) -> list[str]:
+    """All overlapping q-grams of ``text``, in order.
+
+    Strings shorter than ``q`` have no q-grams.
+
+    >>> qgrams("ACGT", 2)
+    ['AC', 'CG', 'GT']
+    """
+    if q < 1:
+        raise ValueError(f"q must be positive, got {q}")
+    return [text[i:i + q] for i in range(len(text) - q + 1)]
+
+
+def qgram_profile(text: str, q: int) -> Counter[str]:
+    """Multiset of q-grams as a :class:`collections.Counter`."""
+    return Counter(qgrams(text, q))
+
+
+def qgram_overlap(profile_x: Counter[str], profile_y: Counter[str]) -> int:
+    """Size of the multiset intersection of two q-gram profiles."""
+    if len(profile_y) < len(profile_x):
+        profile_x, profile_y = profile_y, profile_x
+    return sum(
+        min(count, profile_y[gram])
+        for gram, count in profile_x.items()
+        if gram in profile_y
+    )
+
+
+def required_overlap(len_x: int, len_y: int, q: int, k: int) -> int:
+    """Minimum shared q-grams for strings within distance ``k``.
+
+    Non-positive values mean the filter has no power for these lengths
+    (every pair trivially satisfies the bound).
+    """
+    return max(len_x, len_y) - q + 1 - k * q
+
+
+class QGramCountFilter(CandidateFilter):
+    """Reject pairs sharing too few q-grams to be within distance ``k``.
+
+    Parameters
+    ----------
+    q:
+        Gram length. Small ``q`` (2–3) suits short natural-language
+        strings; larger ``q`` suits long DNA reads at low error rates.
+
+    The query profile is cached by :meth:`prepare_query`; candidate
+    profiles are computed per call (searchers scanning a fixed dataset
+    should precompute them — see the q-gram index for that pattern).
+
+    >>> f = QGramCountFilter(q=2)
+    >>> f.admits("ACGTACGT", "TTTTTTTT", 1)
+    False
+    >>> f.admits("ACGTACGT", "ACGTACGA", 1)
+    True
+    """
+
+    name = "qgram-count"
+
+    def __init__(self, q: int = 2) -> None:
+        if q < 1:
+            raise ValueError(f"q must be positive, got {q}")
+        self._q = q
+        self._query: str | None = None
+        self._query_profile: Counter[str] = Counter()
+
+    @property
+    def q(self) -> int:
+        """The gram length."""
+        return self._q
+
+    def prepare_query(self, query: str) -> None:
+        self._query = query
+        self._query_profile = qgram_profile(query, self._q)
+
+    def admits(self, query: str, candidate: str, k: int) -> bool:
+        needed = required_overlap(len(query), len(candidate), self._q, k)
+        if needed <= 0:
+            return True
+        if query == self._query:
+            query_profile = self._query_profile
+        else:
+            query_profile = qgram_profile(query, self._q)
+        overlap = qgram_overlap(query_profile, qgram_profile(candidate, self._q))
+        return overlap >= needed

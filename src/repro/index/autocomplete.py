@@ -1,0 +1,150 @@
+"""Error-tolerant autocompletion over a trie.
+
+The paper's motivating applications (section 1) tolerate input errors
+*while the user is still typing* — the query is a prefix, and it may
+already contain typos. This module answers that query shape: find
+dataset strings some **prefix** of which is within edit distance ``k``
+of the query, ranked by the best such prefix distance.
+
+The algorithm is the familiar banded descent with one twist: along a
+path, ``row[len(query)]`` is the edit distance between the query and
+the path's current prefix; each string's score is the minimum of that
+value over all its prefixes. Once the DP band dies but the running
+best is within budget, the whole subtree completes at that score and
+is collected by plain enumeration — no more DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distance.banded import check_threshold
+from repro.index.node import TrieNode
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One autocompletion candidate.
+
+    Attributes
+    ----------
+    string:
+        The completed dataset string.
+    prefix_distance:
+        The smallest edit distance between the query and any prefix of
+        this string — 0 for plain prefix matches.
+    multiplicity:
+        Occurrences of the string in the dataset (popularity proxy).
+    """
+
+    string: str
+    prefix_distance: int
+    multiplicity: int = 1
+
+
+def autocomplete(trie, query: str, k: int, *,
+                 limit: int | None = 10) -> list[Completion]:
+    """Completions whose best prefix is within distance ``k`` of ``query``.
+
+    Parameters
+    ----------
+    trie:
+        A :class:`repro.index.trie.PrefixTrie` or
+        :class:`repro.index.compressed.CompressedTrie`.
+    query:
+        What the user typed so far (may be empty: every string then
+        completes at distance 0).
+    k:
+        Typo budget for the typed prefix.
+    limit:
+        Keep only the best ``limit`` completions (ranked by prefix
+        distance, then string); ``None`` returns everything.
+
+    Examples
+    --------
+    >>> from repro.index import PrefixTrie
+    >>> trie = PrefixTrie(["Magdeburg", "Marburg", "Hamburg"])
+    >>> [c.string for c in autocomplete(trie, "Mag", 0)]
+    ['Magdeburg']
+    >>> [c.string for c in autocomplete(trie, "Mxg", 1)]
+    ['Magdeburg']
+    >>> [c.string for c in autocomplete(trie, "Ha", 0)]
+    ['Hamburg']
+    """
+    check_threshold(k)
+    if limit is not None and limit < 1:
+        raise ValueError(f"limit must be positive or None, got {limit}")
+
+    n = len(query)
+    infinity = k + 1
+    #: string -> (best prefix distance, multiplicity)
+    found: dict[str, tuple[int, int]] = {}
+
+    def record(string: str, distance: int, multiplicity: int) -> None:
+        previous = found.get(string)
+        if previous is None or distance < previous[0]:
+            found[string] = (distance, multiplicity)
+
+    def collect_subtree(node: TrieNode, prefix: str,
+                        distance: int) -> None:
+        """Every terminal below completes at ``distance``."""
+        prefix = prefix + node.label
+        if node.is_terminal:
+            record(prefix, distance, node.terminal_count)
+        for child in node.children.values():
+            collect_subtree(child, prefix, distance)
+
+    def walk(node: TrieNode, prefix: str, depth: int,
+             row: list[int], best: int) -> None:
+        for symbol in node.label:
+            depth += 1
+            lo = max(0, depth - k)
+            hi = min(n, depth + k)
+            if lo > n:
+                # The path overshot the query by more than k symbols:
+                # no deeper prefix can come closer than ``best``.
+                if best <= k:
+                    collect_subtree(node, prefix, best)
+                return
+            new_row = [infinity] * (n + 1)
+            if lo == 0:
+                new_row[0] = depth
+            parent_hi = depth - 1 + k
+            for j in range(max(1, lo), hi + 1):
+                diagonal = row[j - 1]
+                if symbol == query[j - 1]:
+                    cost = diagonal
+                else:
+                    above = row[j] if j <= parent_hi else infinity
+                    left = new_row[j - 1]
+                    cost = min(diagonal, above, left) + 1
+                    if cost > infinity:
+                        cost = infinity
+                new_row[j] = cost
+            row = new_row
+            if lo <= n <= hi and row[n] < best:
+                best = row[n]
+            if min(row[lo:hi + 1], default=infinity) > k:
+                # The DP can never re-enter the budget; the subtree's
+                # fate rests entirely on ``best``.
+                if best <= k:
+                    collect_subtree(node, prefix, best)
+                return
+        full_prefix = prefix + node.label
+        if node.is_terminal and best <= k:
+            record(full_prefix, best, node.terminal_count)
+        for child in node.children.values():
+            walk(child, full_prefix, depth, row, best)
+
+    row0 = [j if j <= k else infinity for j in range(n + 1)]
+    initial_best = row0[n] if n <= k else infinity
+    walk(trie.root, "", 0, row0, initial_best)
+
+    completions = [
+        Completion(string, distance, multiplicity)
+        for string, (distance, multiplicity) in found.items()
+    ]
+    completions.sort(key=lambda c: (c.prefix_distance, c.string))
+    if limit is not None:
+        completions = completions[:limit]
+    return completions

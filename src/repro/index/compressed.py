@@ -1,0 +1,176 @@
+"""Radix compression of the prefix tree (paper section 4.2).
+
+Chains of single-child, non-terminal nodes are merged into one node
+whose edge label carries the whole run, so the "Berlin"/"Bern"/"Ulm"
+example of the paper's Figure 4 shrinks to half its nodes. Compression
+changes neither the string set nor any search result — only the node
+count and, with it, the number of per-node bookkeeping steps a
+traversal performs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.index.node import TrieNode
+from repro.index.trie import PrefixTrie
+
+
+class CompressedTrie:
+    """A radix-compressed view of a :class:`PrefixTrie`.
+
+    Build one either from strings or from an existing trie:
+
+    >>> compressed = CompressedTrie(["Berlin", "Bern", "Ulm"])
+    >>> sorted(compressed)
+    ['Berlin', 'Bern', 'Ulm']
+    >>> uncompressed = PrefixTrie(["Berlin", "Bern", "Ulm"])
+    >>> compressed.node_count < uncompressed.node_count
+    True
+    """
+
+    def __init__(self, strings: Iterable[str] = (), *,
+                 tracked_symbols: str | None = None,
+                 case_insensitive_frequencies: bool = True) -> None:
+        source = PrefixTrie(
+            strings,
+            tracked_symbols=tracked_symbols,
+            case_insensitive_frequencies=case_insensitive_frequencies,
+        )
+        self._from_trie(source)
+
+    @classmethod
+    def from_trie(cls, trie: PrefixTrie) -> "CompressedTrie":
+        """Compress an already-built :class:`PrefixTrie`."""
+        compressed = cls.__new__(cls)
+        compressed._from_trie(trie)
+        return compressed
+
+    def _from_trie(self, trie: PrefixTrie) -> None:
+        self._tracked_symbols = trie.tracked_symbols
+        self._case_insensitive = trie.case_insensitive_frequencies
+        self._string_count = trie.string_count
+        self._max_depth = trie.max_depth
+        # The root keeps its empty label so descents need no special case;
+        # compression starts at its children.
+        source_root = trie.root
+        root = TrieNode("")
+        root.terminal_count = source_root.terminal_count
+        root.subtree_min_length = source_root.subtree_min_length
+        root.subtree_max_length = source_root.subtree_max_length
+        root.freq_min = (
+            list(source_root.freq_min) if source_root.freq_min else None
+        )
+        root.freq_max = (
+            list(source_root.freq_max) if source_root.freq_max else None
+        )
+        for symbol, child in source_root.children.items():
+            root.children[symbol] = self._compress(child)
+        self._root = root
+        self._node_count = self._root.node_count()
+
+    @staticmethod
+    def _compress(node: TrieNode) -> TrieNode:
+        """Recursively copy ``node``, merging single-child chains.
+
+        A chain is absorbed while its tail is non-terminal and has
+        exactly one child; terminal nodes must stay node boundaries
+        because a dataset string ends there. Every string in ``node``'s
+        subtree passes through the whole chain, so all chain nodes carry
+        identical subtree annotations — copying ``node``'s is exact.
+        """
+        label = node.label
+        current = node
+        while len(current.children) == 1 and not current.is_terminal:
+            (only_child,) = current.children.values()
+            label += only_child.label
+            current = only_child
+
+        merged = TrieNode(label)
+        merged.terminal_count = current.terminal_count
+        merged.subtree_min_length = node.subtree_min_length
+        merged.subtree_max_length = node.subtree_max_length
+        merged.freq_min = list(node.freq_min) if node.freq_min else None
+        merged.freq_max = list(node.freq_max) if node.freq_max else None
+        for symbol, child in current.children.items():
+            merged.children[symbol] = CompressedTrie._compress(child)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Introspection (mirrors PrefixTrie)
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> TrieNode:
+        """The root node."""
+        return self._root
+
+    @property
+    def string_count(self) -> int:
+        """Number of inserted strings, duplicates included."""
+        return self._string_count
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes after compression, root included."""
+        return self._node_count
+
+    @property
+    def max_depth(self) -> int:
+        """Length of the longest inserted string."""
+        return self._max_depth
+
+    @property
+    def tracked_symbols(self) -> str | None:
+        """Symbols with frequency annotations, or ``None``."""
+        return self._tracked_symbols
+
+    @property
+    def case_insensitive_frequencies(self) -> bool:
+        """Whether frequency annotations fold case."""
+        return self._case_insensitive
+
+    def __len__(self) -> int:
+        return self._string_count
+
+    def __contains__(self, string: str) -> bool:
+        node, matched = self._descend(string)
+        return node is not None and matched == len(string) and node.is_terminal
+
+    def count(self, string: str) -> int:
+        """Multiplicity of ``string``."""
+        node, matched = self._descend(string)
+        if node is None or matched != len(string):
+            return 0
+        return node.terminal_count
+
+    def _descend(self, string: str) -> tuple[TrieNode | None, int]:
+        """Follow ``string`` as far as possible.
+
+        Returns the last node whose full label was consumed and the
+        number of symbols matched; ``(None, matched)`` when the walk
+        fell off the tree or ended mid-label.
+        """
+        node = self._root
+        position = 0
+        while position < len(string):
+            child = node.children.get(string[position])
+            if child is None:
+                return None, position
+            label = child.label
+            if string[position:position + len(label)] != label:
+                return None, position
+            position += len(label)
+            node = child
+        return node, position
+
+    def __iter__(self) -> Iterator[str]:
+        """Yield distinct strings in lexicographic order."""
+        yield from self._walk(self._root, "")
+
+    def _walk(self, node: TrieNode, prefix: str) -> Iterator[str]:
+        prefix = prefix + node.label
+        if node.is_terminal:
+            yield prefix
+        for symbol in sorted(node.children):
+            yield from self._walk(node.children[symbol], prefix)

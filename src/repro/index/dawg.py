@@ -1,0 +1,284 @@
+"""DAWG: compression taken to its logical end (beyond paper section 4.2).
+
+The paper compresses its prefix tree by merging single-child chains.
+The next step on that road is merging equal *suffix* structure too,
+turning the trie into the minimal acyclic DFA of the string set — a
+DAWG (directed acyclic word graph). City-name datasets benefit
+enormously: thousands of names end in "burg", "stadt" or "ville", and
+the DAWG stores each shared ending once.
+
+Construction is the classic incremental-minimization algorithm over
+lexicographically sorted input (Daciuk et al. 2000): after each word,
+the path that can no longer change is replaced node-by-node from a
+registry of equivalent states.
+
+Similarity search runs the same banded-DP descent as the trie; the
+pruning annotations differ because DAWG nodes are shared between
+prefixes: instead of absolute subtree string lengths, each node stores
+its minimum/maximum *suffix height* — which is exactly the "remaining
+length" the completion bound of conditions (9)/(10) needs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.distance.banded import check_threshold
+from repro.exceptions import IndexConstructionError
+from repro.index.traversal import TraversalStats, TrieMatch
+
+
+class _DawgNode:
+    __slots__ = ("children", "final", "min_height", "max_height", "_id")
+
+    _next_id = 0
+
+    def __init__(self) -> None:
+        self.children: dict[str, _DawgNode] = {}
+        self.final = False
+        self.min_height = 0
+        self.max_height = 0
+        self._id = _DawgNode._next_id
+        _DawgNode._next_id += 1
+
+    def signature(self) -> tuple:
+        """Equivalence key for minimization: finality + child identity."""
+        return (
+            self.final,
+            tuple(sorted(
+                (symbol, child._id) for symbol, child in
+                self.children.items()
+            )),
+        )
+
+
+class Dawg:
+    """Minimal acyclic DFA over a string multiset.
+
+    Multiplicities are kept in a side table (shared final states cannot
+    carry per-string counts).
+
+    Examples
+    --------
+    >>> dawg = Dawg(["Hamburg", "Magdeburg", "Marburg"])
+    >>> "Marburg" in dawg
+    True
+    >>> from repro.index import CompressedTrie
+    >>> dawg.node_count < 19   # the trie needs 19 even compressed
+    True
+    """
+
+    def __init__(self, strings: Iterable[str] = ()) -> None:
+        counts: Counter[str] = Counter()
+        for string in strings:
+            if not string:
+                raise IndexConstructionError(
+                    "cannot insert an empty string into the DAWG"
+                )
+            counts[string] += 1
+        self._multiplicity = dict(counts)
+        self._root = _DawgNode()
+        self._register: dict[tuple, _DawgNode] = {}
+        self._build(sorted(counts))
+        # The minimization registry (large signature tuples) is
+        # construction-only state; drop it so the index's memory
+        # footprint is the automaton itself.
+        self._register = {}
+        self._annotate_heights()
+        self._node_count = self._count_nodes()
+        self._string_count = sum(counts.values())
+        self._max_depth = max((len(s) for s in counts), default=0)
+
+    # ------------------------------------------------------------------
+    # Construction (Daciuk incremental minimization)
+    # ------------------------------------------------------------------
+
+    def _build(self, sorted_strings: list[str]) -> None:
+        # ``unchecked`` is the not-yet-minimized tail of the last
+        # insertion path: (parent, symbol, child) triples.
+        unchecked: list[tuple[_DawgNode, str, _DawgNode]] = []
+        previous = ""
+        for string in sorted_strings:
+            common = 0
+            limit = min(len(string), len(previous))
+            while common < limit and string[common] == previous[common]:
+                common += 1
+            self._minimize(unchecked, common)
+            node = (
+                unchecked[-1][2] if unchecked else self._root
+            )
+            for symbol in string[common:]:
+                child = _DawgNode()
+                node.children[symbol] = child
+                unchecked.append((node, symbol, child))
+                node = child
+            node.final = True
+            previous = string
+        self._minimize(unchecked, 0)
+
+    def _minimize(self, unchecked: list[tuple[_DawgNode, str, _DawgNode]],
+                  down_to: int) -> None:
+        while len(unchecked) > down_to:
+            parent, symbol, child = unchecked.pop()
+            signature = child.signature()
+            existing = self._register.get(signature)
+            if existing is not None:
+                parent.children[symbol] = existing
+            else:
+                self._register[signature] = child
+
+    def _annotate_heights(self) -> None:
+        """Min/max suffix length from each node to a final state."""
+        memo: dict[int, tuple[int, int]] = {}
+
+        def heights(node: _DawgNode) -> tuple[int, int]:
+            cached = memo.get(node._id)
+            if cached is not None:
+                return cached
+            low = 0 if node.final else 2**62
+            high = 0 if node.final else -1
+            for child in node.children.values():
+                child_low, child_high = heights(child)
+                low = min(low, child_low + 1)
+                high = max(high, child_high + 1)
+            memo[node._id] = (low, high)
+            node.min_height = low
+            node.max_height = high
+            return low, high
+
+        heights(self._root)
+
+    def _count_nodes(self) -> int:
+        seen: set[int] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node._id in seen:
+                continue
+            seen.add(node._id)
+            stack.extend(node.children.values())
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Distinct states (shared suffixes counted once)."""
+        return self._node_count
+
+    @property
+    def string_count(self) -> int:
+        """Inserted strings, duplicates included."""
+        return self._string_count
+
+    @property
+    def max_depth(self) -> int:
+        """Length of the longest string."""
+        return self._max_depth
+
+    def __len__(self) -> int:
+        return self._string_count
+
+    def __contains__(self, string: str) -> bool:
+        node = self._root
+        for symbol in string:
+            child = node.children.get(symbol)
+            if child is None:
+                return False
+            node = child
+        return node.final
+
+    def count(self, string: str) -> int:
+        """Multiplicity of ``string``."""
+        return self._multiplicity.get(string, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        """Distinct strings, lexicographically."""
+        def walk(node: _DawgNode, prefix: str) -> Iterator[str]:
+            if node.final:
+                yield prefix
+            for symbol in sorted(node.children):
+                yield from walk(node.children[symbol], prefix + symbol)
+
+        yield from walk(self._root, "")
+
+    # ------------------------------------------------------------------
+    # Similarity search
+    # ------------------------------------------------------------------
+
+    def search(self, query: str, k: int, *,
+               stats: TraversalStats | None = None) -> list[TrieMatch]:
+        """All strings within edit distance ``k``, lexicographic order.
+
+        The same banded descent as the trie traversal; per-node length
+        pruning uses suffix heights (the DAG analog of conditions
+        (9)/(10)). Shared nodes are revisited once per distinct path —
+        paths, not nodes, carry the DP state.
+        """
+        check_threshold(k)
+        if stats is None:
+            stats = TraversalStats()
+        n = len(query)
+        infinity = k + 1
+        matches: list[TrieMatch] = []
+        row0 = [j if j <= k else infinity for j in range(n + 1)]
+
+        def descend(node: _DawgNode, prefix: str, depth: int,
+                    row: list[int]) -> None:
+            stats.nodes_visited += 1
+            if node.final and depth - k <= n <= depth + k \
+                    and row[n] <= k:
+                stats.matches += 1
+                matches.append(
+                    TrieMatch(prefix, row[n],
+                              self._multiplicity.get(prefix, 1))
+                )
+            for symbol, child in node.children.items():
+                stats.symbols_processed += 1
+                child_depth = depth + 1
+                lo = max(0, child_depth - k)
+                hi = min(n, child_depth + k)
+                if lo > n:
+                    stats.branches_pruned_by_length += 1
+                    continue
+                new_row = [infinity] * (n + 1)
+                best = infinity
+                remaining_lo = child.min_height
+                remaining_hi = child.max_height
+                if lo == 0:
+                    new_row[0] = child_depth
+                    shortfall = max(0, n - remaining_hi,
+                                    remaining_lo - n)
+                    best = min(best, child_depth + shortfall)
+                parent_hi = depth + k
+                for j in range(max(1, lo), hi + 1):
+                    diagonal = row[j - 1]
+                    if symbol == query[j - 1]:
+                        cost = diagonal
+                    else:
+                        above = row[j] if j <= parent_hi else infinity
+                        left = new_row[j - 1]
+                        cost = min(diagonal, above, left) + 1
+                        if cost > infinity:
+                            cost = infinity
+                    new_row[j] = cost
+                    query_left = n - j
+                    shortfall = max(0, query_left - remaining_hi,
+                                    remaining_lo - query_left)
+                    if cost + shortfall < best:
+                        best = cost + shortfall
+                if best > k:
+                    stats.branches_pruned_by_length += 1
+                    continue
+                descend(child, prefix + symbol, child_depth, new_row)
+
+        descend(self._root, "", 0, row0)
+        matches.sort(key=lambda match: match.string)
+        return matches
+
+    def search_strings(self, query: str, k: int) -> list[str]:
+        """Convenience: just the matched strings."""
+        return [match.string for match in self.search(query, k)]

@@ -1,0 +1,107 @@
+"""Trie nodes: the annotated building block of the paper's index.
+
+Each node stores, besides its children, the bookkeeping the paper's
+pruning rules need (section 4.1):
+
+* ``terminal_count`` — how many dataset strings end exactly here
+  (duplicates are real: gazetteers repeat names).
+* ``subtree_min_length`` / ``subtree_max_length`` — the shortest and
+  longest dataset string reachable through this node; these feed the
+  length-tolerance pruning of conditions (9)/(10).
+* optionally ``freq_min`` / ``freq_max`` — per-tracked-symbol count
+  bounds over the subtree (the PETER annotation of section 2.3).
+
+Nodes are plain mutable objects; all invariants are maintained by
+:class:`repro.index.trie.PrefixTrie` during insertion.
+"""
+
+from __future__ import annotations
+
+
+class TrieNode:
+    """One node of a (possibly compressed) prefix tree.
+
+    Attributes
+    ----------
+    label:
+        Symbols on the edge *into* this node. A single character in an
+        uncompressed trie; a longer run after radix compression. The
+        root's label is the empty string.
+    children:
+        Mapping from the first symbol of each child's label to the child.
+    terminal_count:
+        Number of dataset strings ending at this node (0 for inner nodes).
+    subtree_min_length / subtree_max_length:
+        Bounds over all terminal strings in this subtree.
+    freq_min / freq_max:
+        Optional per-symbol count bounds (parallel to the tracked symbol
+        string held by the owning trie), or ``None`` when the trie was
+        built without frequency vectors.
+    """
+
+    __slots__ = (
+        "label",
+        "children",
+        "terminal_count",
+        "subtree_min_length",
+        "subtree_max_length",
+        "freq_min",
+        "freq_max",
+    )
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.children: dict[str, TrieNode] = {}
+        self.terminal_count = 0
+        self.subtree_min_length = 2**63
+        self.subtree_max_length = -1
+        self.freq_min: list[int] | None = None
+        self.freq_max: list[int] | None = None
+
+    @property
+    def is_terminal(self) -> bool:
+        """Does at least one dataset string end here?"""
+        return self.terminal_count > 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """Does this node have no children?"""
+        return not self.children
+
+    def observe_string(self, length: int,
+                       frequency: tuple[int, ...] | None) -> None:
+        """Fold one inserted string's length/frequency into the bounds.
+
+        Called for every node on the insertion path, root included.
+        """
+        if length < self.subtree_min_length:
+            self.subtree_min_length = length
+        if length > self.subtree_max_length:
+            self.subtree_max_length = length
+        if frequency is not None:
+            if self.freq_min is None:
+                self.freq_min = list(frequency)
+                self.freq_max = list(frequency)
+            else:
+                assert self.freq_max is not None
+                for i, count in enumerate(frequency):
+                    if count < self.freq_min[i]:
+                        self.freq_min[i] = count
+                    if count > self.freq_max[i]:
+                        self.freq_max[i] = count
+
+    def node_count(self) -> int:
+        """Number of nodes in this subtree, this node included."""
+        total = 1
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"TrieNode(label={self.label!r}, children={len(self.children)}, "
+            f"terminal_count={self.terminal_count})"
+        )

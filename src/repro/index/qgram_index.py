@@ -1,0 +1,162 @@
+"""Inverted q-gram index — the "well-known index" family.
+
+Most mature similarity-search systems (the ones the paper's title winks
+at) are built on inverted q-gram lists: every dataset string is
+registered under each of its q-grams, a query collects the posting
+lists of *its* q-grams, and the count bound of
+:mod:`repro.filters.qgram` turns overlap counts into a candidate set
+that is then verified with a bounded distance kernel.
+
+Soundness subtleties handled here:
+
+* Strings shorter than ``q`` have no q-grams and can never be reached
+  through posting lists — they are kept in a by-length side table and
+  screened with the length filter only.
+* When ``required_overlap <= 0`` the count bound has no power for a
+  given (query, length) combination, so all strings of the affected
+  lengths must be verified; the by-length table serves those too.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+from repro.distance.banded import check_threshold
+from repro.distance.dispatch import bounded_distance
+from repro.filters.qgram import qgram_profile, required_overlap
+from repro.index.traversal import TrieMatch
+
+
+class QGramIndex:
+    """An inverted index from q-grams to dataset string ids.
+
+    Parameters
+    ----------
+    strings:
+        The dataset. Duplicates are preserved (they share one id's
+        multiplicity).
+    q:
+        Gram length; see :class:`repro.filters.qgram.QGramCountFilter`
+        for guidance.
+
+    Examples
+    --------
+    >>> index = QGramIndex(["Berlin", "Bern", "Ulm"], q=2)
+    >>> [m.string for m in index.search("Berlino", 2)]
+    ['Berlin']
+    """
+
+    def __init__(self, strings: Iterable[str], q: int = 2) -> None:
+        if q < 1:
+            raise ValueError(f"q must be positive, got {q}")
+        self._q = q
+        # Distinct strings get one id; multiplicity is tracked aside.
+        self._strings: list[str] = []
+        self._multiplicity: list[int] = []
+        ids: dict[str, int] = {}
+        for string in strings:
+            string_id = ids.get(string)
+            if string_id is None:
+                string_id = len(self._strings)
+                ids[string] = string_id
+                self._strings.append(string)
+                self._multiplicity.append(0)
+            self._multiplicity[string_id] += 1
+
+        self._postings: dict[str, list[int]] = defaultdict(list)
+        self._ids_by_length: dict[int, list[int]] = defaultdict(list)
+        for string_id, string in enumerate(self._strings):
+            self._ids_by_length[len(string)].append(string_id)
+            seen: set[str] = set()
+            for i in range(len(string) - q + 1):
+                gram = string[i:i + q]
+                # Posting lists store each (gram, id) pair once; overlap
+                # counting re-multiplies via the profiles.
+                if gram not in seen:
+                    seen.add(gram)
+                    self._postings[gram].append(string_id)
+
+    @property
+    def q(self) -> int:
+        """The gram length."""
+        return self._q
+
+    @property
+    def string_count(self) -> int:
+        """Number of indexed strings, duplicates included."""
+        return sum(self._multiplicity)
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct indexed strings."""
+        return len(self._strings)
+
+    @property
+    def gram_count(self) -> int:
+        """Number of distinct q-grams with non-empty posting lists."""
+        return len(self._postings)
+
+    def _candidate_ids(self, query: str, k: int) -> set[int]:
+        """Ids that might be within distance ``k`` of ``query``."""
+        q = self._q
+        n = len(query)
+        candidates: set[int] = set()
+
+        # Lengths where the count bound is powerless (including all
+        # lengths < q, whose strings have no grams at all) are screened
+        # by length alone.
+        for length, ids in self._ids_by_length.items():
+            if abs(length - n) > k:
+                continue
+            if length < q or required_overlap(n, length, q, k) <= 0:
+                candidates.update(ids)
+
+        if n >= q:
+            query_profile = qgram_profile(query, q)
+            overlap: Counter[int] = Counter()
+            for gram, count in query_profile.items():
+                for string_id in self._postings.get(gram, ()):
+                    # Multiset overlap of this gram for the pair is
+                    # min(count in query, count in candidate); counting
+                    # candidate-side multiplicity needs the candidate
+                    # profile, so use the cheap bound min(count, ...)
+                    # later during thresholding: here accumulate the
+                    # query-side count as an upper bound on the overlap
+                    # this gram can contribute.
+                    overlap[string_id] += count
+            for string_id, shared_bound in overlap.items():
+                candidate = self._strings[string_id]
+                length = len(candidate)
+                if abs(length - n) > k:
+                    continue
+                needed = required_overlap(n, length, q, k)
+                if shared_bound >= needed:
+                    candidates.add(string_id)
+        return candidates
+
+    def search(self, query: str, k: int) -> list[TrieMatch]:
+        """All dataset strings within edit distance ``k`` of ``query``.
+
+        Returns matches in lexicographic order, like the trie search.
+        """
+        check_threshold(k)
+        matches: list[TrieMatch] = []
+        for string_id in self._candidate_ids(query, k):
+            candidate = self._strings[string_id]
+            distance = bounded_distance(query, candidate, k)
+            if distance is not None:
+                matches.append(
+                    TrieMatch(candidate, distance,
+                              self._multiplicity[string_id])
+                )
+        matches.sort(key=lambda match: match.string)
+        return matches
+
+    def search_strings(self, query: str, k: int) -> list[str]:
+        """Convenience: just the matched strings."""
+        return [match.string for match in self.search(query, k)]
+
+    def posting_list(self, gram: str) -> Sequence[int]:
+        """The (read-only) posting list of ``gram``; empty if absent."""
+        return tuple(self._postings.get(gram, ()))

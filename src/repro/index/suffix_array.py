@@ -1,0 +1,215 @@
+"""Suffix array substrate (Navarro-style related work, section 2.3).
+
+Navarro et al. replace suffix *trees* by suffix *arrays* to tame index
+size, and tame the exponential dependence on pattern length and
+threshold by splitting the pattern and integrating partial results.
+This module provides both pieces over a text (typically the
+concatenated dataset or a reference genome):
+
+* :class:`SuffixArray` — prefix-doubling construction (O(n log² n)),
+  binary-search exact pattern lookup.
+* :meth:`SuffixArray.approximate_occurrences` — pattern partitioning:
+  a pattern within distance ``k`` of a text window must contain at
+  least one of its ``k + 1`` pieces *exactly* (pigeonhole), so piece
+  hits found via the array seed banded verifications around them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.distance.banded import check_threshold, edit_distance_bounded
+
+
+class SuffixArray:
+    """Sorted array of all suffixes of a text.
+
+    >>> sa = SuffixArray("banana")
+    >>> sa.find_occurrences("ana")
+    [1, 3]
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._array = _build_suffix_array(text)
+
+    @property
+    def text(self) -> str:
+        """The indexed text."""
+        return self._text
+
+    @property
+    def array(self) -> list[int]:
+        """Suffix start positions in lexicographic suffix order."""
+        return list(self._array)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def _suffix_range(self, pattern: str) -> tuple[int, int]:
+        """Half-open range of array slots whose suffixes start with pattern."""
+        text = self._text
+        array = self._array
+        # bisect on a key view: compare the pattern against each suffix's
+        # prefix of the same length (truncation preserves suffix order).
+        lo = bisect_left(
+            array, pattern,
+            key=lambda start: text[start:start + len(pattern)],
+        )
+        hi = bisect_right(
+            array, pattern,
+            key=lambda start: text[start:start + len(pattern)],
+        )
+        return lo, hi
+
+    def find_occurrences(self, pattern: str) -> list[int]:
+        """Sorted start positions of every exact occurrence of ``pattern``.
+
+        The empty pattern occurs before every suffix; by convention it
+        returns every position (matching ``str.find`` semantics would be
+        ambiguous, and callers partitioning patterns never pass it).
+        """
+        if not pattern:
+            return list(range(len(self._text)))
+        lo, hi = self._suffix_range(pattern)
+        return sorted(self._array[lo:hi])
+
+    def contains(self, pattern: str) -> bool:
+        """Does ``pattern`` occur in the text?"""
+        if not pattern:
+            return True
+        lo, hi = self._suffix_range(pattern)
+        return hi > lo
+
+    def approximate_occurrences(self, pattern: str,
+                                k: int) -> list["ApproximateHit"]:
+        """Windows of the text within edit distance ``k`` of ``pattern``.
+
+        Implements Navarro-style pattern partitioning: split the pattern
+        into ``k + 1`` pieces; any window within distance ``k`` contains
+        at least one piece unedited, so exact piece occurrences (found
+        through the array) seed candidate windows that a banded kernel
+        verifies. Overlapping verified windows are deduplicated keeping
+        the lowest distance per start position.
+        """
+        check_threshold(k)
+        if not pattern:
+            raise ValueError("cannot search for an empty pattern")
+        text = self._text
+        m = len(pattern)
+
+        best_by_start: dict[int, ApproximateHit] = {}
+        if m <= k:
+            # Pigeonhole needs k + 1 non-empty pieces, which a pattern of
+            # length <= k cannot supply; but such a pattern is within k of
+            # some window at essentially every position, so verify all.
+            for start in range(len(text) + 1):
+                hit = _verify_window(text, start, pattern, k)
+                if hit is not None:
+                    best_by_start[start] = hit
+            return sorted(best_by_start.values(), key=lambda h: h.start)
+
+        pieces = _partition(pattern, k + 1)
+        for piece_offset, piece in pieces:
+            if not piece:
+                continue
+            for occurrence in self.find_occurrences(piece):
+                # The piece sits at pattern offset ``piece_offset``; the
+                # candidate window starts near occurrence - piece_offset,
+                # blurred by up to k indels on either side.
+                anchor = occurrence - piece_offset
+                for start in range(max(0, anchor - k), anchor + k + 1):
+                    if start > len(text):
+                        break
+                    if start in best_by_start:
+                        continue
+                    hit = _verify_window(text, start, pattern, k)
+                    if hit is not None:
+                        best_by_start[start] = hit
+        return sorted(best_by_start.values(), key=lambda h: h.start)
+
+
+@dataclass(frozen=True)
+class ApproximateHit:
+    """A verified approximate occurrence inside the indexed text."""
+
+    start: int
+    end: int
+    distance: int
+
+    @property
+    def length(self) -> int:
+        """Window length in the text."""
+        return self.end - self.start
+
+
+def _verify_window(text: str, start: int, pattern: str,
+                   k: int) -> ApproximateHit | None:
+    """Best window starting at ``start`` within distance ``k``, if any."""
+    m = len(pattern)
+    best: ApproximateHit | None = None
+    for length in range(max(0, m - k), m + k + 1):
+        end = start + length
+        if end > len(text):
+            break
+        distance = edit_distance_bounded(pattern, text[start:end], k)
+        if distance is None:
+            continue
+        if best is None or distance < best.distance:
+            best = ApproximateHit(start, end, distance)
+    return best
+
+
+def _partition(pattern: str, pieces: int) -> list[tuple[int, str]]:
+    """Split ``pattern`` into ``pieces`` near-equal chunks with offsets."""
+    length = len(pattern)
+    pieces = min(pieces, length) or 1
+    base = length // pieces
+    remainder = length % pieces
+    result = []
+    offset = 0
+    for index in range(pieces):
+        size = base + (1 if index < remainder else 0)
+        result.append((offset, pattern[offset:offset + size]))
+        offset += size
+    return result
+
+
+def _build_suffix_array(text: str) -> list[int]:
+    """Prefix-doubling suffix-array construction, O(n log² n).
+
+    Ranks start as single-symbol codes and double the compared prefix
+    length each round until all ranks are distinct.
+    """
+    n = len(text)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: text[i])
+    ranks = [0] * n
+    previous_symbol = None
+    rank = -1
+    for position in order:
+        symbol = text[position]
+        if symbol != previous_symbol:
+            rank += 1
+            previous_symbol = symbol
+        ranks[position] = rank
+
+    step = 1
+    while rank < n - 1:
+        def sort_key(i: int) -> tuple[int, int]:
+            tail = ranks[i + step] if i + step < n else -1
+            return ranks[i], tail
+
+        order.sort(key=sort_key)
+        new_ranks = [0] * n
+        rank = 0
+        new_ranks[order[0]] = 0
+        for previous, current in zip(order, order[1:]):
+            if sort_key(current) != sort_key(previous):
+                rank += 1
+            new_ranks[current] = rank
+        ranks = new_ranks
+        step *= 2
+    return order

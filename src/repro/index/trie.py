@@ -1,0 +1,199 @@
+"""The paper's prefix-tree index (section 4.1).
+
+A :class:`PrefixTrie` holds the dataset as one character per edge. Each
+node on an insertion path observes the inserted string's length (and
+optionally its frequency vector), maintaining the subtree annotations
+the similarity traversal prunes with:
+
+* length bounds → the paper's tolerance pruning (conditions 9/10);
+* frequency bounds → PETER-style pruning (section 2.3, future work 6).
+
+The trie also answers exact membership and enumeration queries, which
+the tests use to pin down its set semantics. Similarity search lives in
+:mod:`repro.index.traversal` so it can be shared with the compressed
+trie of section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.exceptions import IndexConstructionError
+from repro.filters.frequency import frequency_vector
+from repro.index.node import TrieNode
+
+
+class PrefixTrie:
+    """An annotated prefix tree over a set (multiset) of strings.
+
+    Parameters
+    ----------
+    strings:
+        Optional initial contents.
+    tracked_symbols:
+        When given, every node additionally maintains per-symbol count
+        bounds over its subtree for these symbols (e.g. ``"ACGNT"`` for
+        DNA, ``"AEIOU"`` for city names), enabling frequency pruning.
+    case_insensitive_frequencies:
+        Fold case when counting tracked symbols (for natural language).
+
+    Examples
+    --------
+    >>> trie = PrefixTrie(["Berlin", "Bern", "Ulm"])
+    >>> trie.string_count
+    3
+    >>> "Bern" in trie
+    True
+    >>> sorted(trie)
+    ['Berlin', 'Bern', 'Ulm']
+    """
+
+    #: Depth equals the longest inserted string (paper section 4.1).
+    def __init__(self, strings: Iterable[str] = (), *,
+                 tracked_symbols: str | None = None,
+                 case_insensitive_frequencies: bool = True) -> None:
+        self._root = TrieNode()
+        self._string_count = 0
+        self._node_count = 1
+        self._max_depth = 0
+        self._tracked_symbols = tracked_symbols
+        self._case_insensitive = case_insensitive_frequencies
+        for string in strings:
+            self.insert(string)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def insert(self, string: str) -> None:
+        """Insert one string (duplicates accumulate a terminal count).
+
+        Raises
+        ------
+        IndexConstructionError
+            For empty strings — the competition format forbids them and
+            an empty key would alias the root.
+        """
+        if not string:
+            raise IndexConstructionError(
+                "cannot insert an empty string into the prefix trie"
+            )
+        frequency = self._frequency_of(string)
+        length = len(string)
+        node = self._root
+        node.observe_string(length, frequency)
+        for symbol in string:
+            child = node.children.get(symbol)
+            if child is None:
+                child = TrieNode(symbol)
+                node.children[symbol] = child
+                self._node_count += 1
+            child.observe_string(length, frequency)
+            node = child
+        node.terminal_count += 1
+        self._string_count += 1
+        if length > self._max_depth:
+            self._max_depth = length
+
+    def extend(self, strings: Iterable[str]) -> None:
+        """Insert many strings."""
+        for string in strings:
+            self.insert(string)
+
+    def _frequency_of(self, string: str) -> tuple[int, ...] | None:
+        if self._tracked_symbols is None:
+            return None
+        return frequency_vector(
+            string, self._tracked_symbols, self._case_insensitive
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> TrieNode:
+        """The root node (empty label)."""
+        return self._root
+
+    @property
+    def string_count(self) -> int:
+        """Number of inserted strings, duplicates included."""
+        return self._string_count
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes, root included."""
+        return self._node_count
+
+    @property
+    def max_depth(self) -> int:
+        """Length of the longest inserted string."""
+        return self._max_depth
+
+    @property
+    def tracked_symbols(self) -> str | None:
+        """Symbols with frequency annotations, or ``None``."""
+        return self._tracked_symbols
+
+    @property
+    def case_insensitive_frequencies(self) -> bool:
+        """Whether frequency annotations fold case."""
+        return self._case_insensitive
+
+    def __len__(self) -> int:
+        return self._string_count
+
+    def __contains__(self, string: str) -> bool:
+        node = self._lookup_node(string)
+        return node is not None and node.is_terminal
+
+    def count(self, string: str) -> int:
+        """Multiplicity of ``string`` in the trie."""
+        node = self._lookup_node(string)
+        return node.terminal_count if node is not None else 0
+
+    def _lookup_node(self, string: str) -> TrieNode | None:
+        node = self._root
+        for symbol in string:
+            node = node.children.get(symbol)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    def __iter__(self) -> Iterator[str]:
+        """Yield distinct strings in lexicographic order."""
+        yield from self._walk(self._root, "")
+
+    def _walk(self, node: TrieNode, prefix: str) -> Iterator[str]:
+        prefix = prefix + node.label
+        if node.is_terminal:
+            yield prefix
+        for symbol in sorted(node.children):
+            yield from self._walk(node.children[symbol], prefix)
+
+    def iter_with_counts(self) -> Iterator[tuple[str, int]]:
+        """Yield ``(string, multiplicity)`` in lexicographic order."""
+        yield from self._walk_counts(self._root, "")
+
+    def _walk_counts(self, node: TrieNode,
+                     prefix: str) -> Iterator[tuple[str, int]]:
+        prefix = prefix + node.label
+        if node.is_terminal:
+            yield prefix, node.terminal_count
+        for symbol in sorted(node.children):
+            yield from self._walk_counts(node.children[symbol], prefix)
+
+    def starts_with(self, prefix: str) -> list[str]:
+        """All distinct strings beginning with ``prefix``."""
+        node = self._lookup_node(prefix)
+        if node is None:
+            return []
+        return list(self._walk_from(node, prefix))
+
+    def _walk_from(self, node: TrieNode, prefix: str) -> Iterator[str]:
+        if node.is_terminal:
+            yield prefix
+        for symbol in sorted(node.children):
+            child = node.children[symbol]
+            yield from self._walk_from(child, prefix + child.label)

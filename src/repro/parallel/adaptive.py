@@ -1,0 +1,195 @@
+"""Master–slave adaptive thread manager on real threads (section 3.6).
+
+The paper's third strategy dedicates one master thread to opening and
+closing workers by utilization rules (open above 70 %, close below
+30 %), solving the locking problem of concurrent resize decisions by
+making the master the only decision maker. This module implements that
+design faithfully on :mod:`threading`:
+
+* workers pull work items from a shared queue;
+* utilization is observed as ``busy workers / alive workers`` — the
+  process-level proxy the paper's rules operate on;
+* only the master mutates the pool, so no resize races exist.
+
+Under the GIL this cannot *speed up* CPU-bound work — tests assert the
+management behaviour (growth under load, shrinkage when idle, identical
+results), while the wall-clock story lives in the scheduler model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as time_module
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.exceptions import ParallelismError
+from repro.parallel.metrics import UtilizationSample
+
+Q = TypeVar("Q")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ManagerRules:
+    """Open/close rules of the paper's adaptive strategy."""
+
+    min_threads: int = 1
+    max_threads: int = 16
+    open_threshold: float = 0.7
+    close_threshold: float = 0.3
+    sample_interval: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.min_threads < 1:
+            raise ParallelismError(
+                f"min_threads must be >= 1, got {self.min_threads}"
+            )
+        if self.max_threads < self.min_threads:
+            raise ParallelismError(
+                f"max_threads ({self.max_threads}) below min_threads "
+                f"({self.min_threads})"
+            )
+        if not 0.0 <= self.close_threshold <= self.open_threshold <= 1.0:
+            raise ParallelismError(
+                "need 0 <= close_threshold <= open_threshold <= 1"
+            )
+        if self.sample_interval <= 0:
+            raise ParallelismError("sample_interval must be positive")
+
+
+class AdaptiveManager:
+    """Run one batch of queries under master–slave thread management.
+
+    A fresh manager is built per batch (mirroring the paper's
+    measurement window: pool lifetime == batch lifetime).
+
+    >>> manager = AdaptiveManager(ManagerRules(min_threads=2))
+    >>> manager.run(lambda q: q * 2, [1, 2, 3])
+    [2, 4, 6]
+    """
+
+    name = "adaptive"
+
+    def __init__(self, rules: ManagerRules = ManagerRules()) -> None:
+        self._rules = rules
+        self._samples: list[UtilizationSample] = []
+        self._threads_opened = 0
+        self._peak_threads = 0
+
+    @property
+    def rules(self) -> ManagerRules:
+        """The configured open/close rules."""
+        return self._rules
+
+    @property
+    def utilization_samples(self) -> tuple[UtilizationSample, ...]:
+        """Samples taken by the master during the last run."""
+        return tuple(self._samples)
+
+    @property
+    def threads_opened(self) -> int:
+        """Workers created during the last run."""
+        return self._threads_opened
+
+    @property
+    def peak_threads(self) -> int:
+        """Largest simultaneous pool size during the last run."""
+        return self._peak_threads
+
+    def run(self, function: Callable[[Q], R],
+            queries: Sequence[Q]) -> list[R]:
+        """Execute the batch; results keep input order."""
+        self._samples = []
+        self._threads_opened = 0
+        self._peak_threads = 0
+        if not queries:
+            return []
+
+        results: list[R | None] = [None] * len(queries)
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+        next_index = 0
+        busy_count = 0
+        done = threading.Event()
+
+        # Worker lifecycle: each worker owns a stop flag only the master
+        # sets, so shrinking never races with another resize decision.
+        stop_flags: list[threading.Event] = []
+        workers: list[threading.Thread] = []
+
+        def worker(stop_flag: threading.Event) -> None:
+            nonlocal next_index, busy_count
+            while not stop_flag.is_set():
+                with lock:
+                    if next_index >= len(queries):
+                        break
+                    index = next_index
+                    next_index += 1
+                    busy_count += 1
+                try:
+                    results[index] = function(queries[index])
+                except BaseException as error:
+                    with lock:
+                        errors.append(error)
+                        busy_count -= 1
+                    break
+                with lock:
+                    busy_count -= 1
+            with lock:
+                remaining = next_index < len(queries)
+            if not remaining:
+                done.set()
+
+        def spawn() -> None:
+            stop_flag = threading.Event()
+            thread = threading.Thread(
+                target=worker, args=(stop_flag,), daemon=True
+            )
+            stop_flags.append(stop_flag)
+            workers.append(thread)
+            self._threads_opened += 1
+            thread.start()
+            alive_now = sum(1 for t in workers if t.is_alive())
+            self._peak_threads = max(self._peak_threads, alive_now)
+
+        start = time_module.monotonic()
+        for _ in range(self._rules.min_threads):
+            spawn()
+
+        # The master: sample, apply the rules, wait for completion.
+        while not done.is_set():
+            done.wait(self._rules.sample_interval)
+            with lock:
+                finished = next_index >= len(queries)
+                busy = busy_count
+                had_errors = bool(errors)
+            alive = sum(1 for thread in workers if thread.is_alive())
+            self._peak_threads = max(self._peak_threads, alive)
+            if finished or had_errors:
+                break
+            utilization = busy / alive if alive else 1.0
+            self._samples.append(
+                UtilizationSample(
+                    time_module.monotonic() - start, alive, busy
+                )
+            )
+            if (utilization > self._rules.open_threshold
+                    and alive < self._rules.max_threads):
+                spawn()
+            elif (utilization < self._rules.close_threshold
+                    and alive > self._rules.min_threads):
+                # Retire exactly one worker; it exits after its current
+                # item, never mid-query.
+                for flag, thread in zip(stop_flags, workers):
+                    if thread.is_alive() and not flag.is_set():
+                        flag.set()
+                        break
+
+        for flag in stop_flags:
+            flag.set()
+        for thread in workers:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]

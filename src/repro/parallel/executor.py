@@ -1,0 +1,223 @@
+"""Real executors: run a query function over a batch, in parallel or not.
+
+These are the *actual* execution backends searchers use. Each runner
+maps a callable over queries and returns results in input order, so the
+choice of runner can never change a result set — only elapsed time
+(and, under the GIL, barely that for CPU-bound work; the scheduler
+model in :mod:`repro.parallel.simulator` exists for exactly that
+reason).
+
+``ProcessPoolRunner`` achieves true parallelism for picklable work; it
+is the practical choice for large batch runs of this library.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+from typing import Callable, Sequence, TypeVar
+
+from repro.exceptions import ParallelismError
+from repro.parallel.partition import balanced_chunks
+
+Q = TypeVar("Q")
+R = TypeVar("R")
+
+QueryFunction = Callable[[Q], R]
+
+
+class SerialRunner:
+    """Run queries one after another on the calling thread."""
+
+    name = "serial"
+
+    def run(self, function: QueryFunction, queries: Sequence[Q]) -> list[R]:
+        """Apply ``function`` to each query, preserving order."""
+        return [function(query) for query in queries]
+
+
+class ThreadPerQueryRunner:
+    """Paper strategy 1: spawn one thread per query, join it, repeat batch.
+
+    Kept deliberately naive — it demonstrates (and lets tests assert)
+    that results are identical to serial execution while the overhead
+    story of section 5.3.5 plays out.
+
+    ``max_live`` bounds simultaneously running threads so a 100,000-query
+    batch cannot exhaust process limits; the paper's C++ version had the
+    same practical cap via stack exhaustion, just less politely.
+    """
+
+    name = "thread-per-query"
+
+    def __init__(self, max_live: int = 128) -> None:
+        if max_live < 1:
+            raise ParallelismError(f"max_live must be >= 1, got {max_live}")
+        self._max_live = max_live
+
+    def run(self, function: QueryFunction, queries: Sequence[Q]) -> list[R]:
+        """Apply ``function`` to each query on its own thread."""
+        results: list[R | None] = [None] * len(queries)
+        errors: list[BaseException] = []
+
+        def work(index: int, query: Q) -> None:
+            try:
+                results[index] = function(query)
+            except BaseException as error:  # propagated after join
+                errors.append(error)
+
+        live: list[threading.Thread] = []
+        for index, query in enumerate(queries):
+            thread = threading.Thread(
+                target=work, args=(index, query), daemon=True
+            )
+            thread.start()
+            live.append(thread)
+            if len(live) >= self._max_live:
+                for thread in live:
+                    thread.join()
+                live.clear()
+        for thread in live:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]
+
+
+class ThreadPoolRunner:
+    """Paper strategy 2/3 plumbing: a fixed pool of pull-workers.
+
+    Workers pull indices from a shared queue (dynamic load balancing,
+    as the paper's managed variant does). Results keep input order.
+    """
+
+    name = "thread-pool"
+
+    def __init__(self, threads: int = 8) -> None:
+        if threads < 1:
+            raise ParallelismError(f"threads must be >= 1, got {threads}")
+        self._threads = threads
+
+    @property
+    def threads(self) -> int:
+        """Pool size."""
+        return self._threads
+
+    def run(self, function: QueryFunction, queries: Sequence[Q]) -> list[R]:
+        """Apply ``function`` to each query across the pool."""
+        if not queries:
+            return []
+        results: list[R | None] = [None] * len(queries)
+        errors: list[BaseException] = []
+        work_queue: queue_module.SimpleQueue[int | None] = (
+            queue_module.SimpleQueue()
+        )
+        for index in range(len(queries)):
+            work_queue.put(index)
+        worker_count = min(self._threads, len(queries))
+        for _ in range(worker_count):
+            work_queue.put(None)  # one poison pill per worker
+
+        def worker() -> None:
+            while True:
+                index = work_queue.get()
+                if index is None:
+                    return
+                try:
+                    results[index] = function(queries[index])
+                except BaseException as error:
+                    errors.append(error)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(worker_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]
+
+
+def _run_chunk(payload: tuple[QueryFunction, list[Q]]) -> list[R]:
+    """Module-level helper so process pools can pickle the work unit."""
+    function, chunk = payload
+    return [function(query) for query in chunk]
+
+
+def runner_from_strategy(strategy):
+    """Build the real executor matching a strategy descriptor.
+
+    Maps :mod:`repro.parallel.strategies` values onto their executors,
+    so experiment code can hold one strategy object and obtain either
+    surface (this, or the scheduler model) from it.
+
+    >>> from repro.parallel.strategies import FixedPoolStrategy
+    >>> runner_from_strategy(FixedPoolStrategy(threads=4)).threads
+    4
+    """
+    from repro.parallel.adaptive import AdaptiveManager, ManagerRules
+    from repro.parallel.strategies import (
+        AdaptiveStrategy,
+        FixedPoolStrategy,
+        SerialStrategy,
+        ThreadPerQueryStrategy,
+    )
+
+    if isinstance(strategy, SerialStrategy):
+        return SerialRunner()
+    if isinstance(strategy, ThreadPerQueryStrategy):
+        return ThreadPerQueryRunner()
+    if isinstance(strategy, FixedPoolStrategy):
+        return ThreadPoolRunner(threads=strategy.threads)
+    if isinstance(strategy, AdaptiveStrategy):
+        return AdaptiveManager(ManagerRules(
+            min_threads=strategy.min_threads,
+            max_threads=strategy.max_threads,
+            open_threshold=strategy.open_threshold,
+            close_threshold=strategy.close_threshold,
+        ))
+    raise ParallelismError(
+        f"no executor for strategy {strategy!r}"
+    )
+
+
+class ProcessPoolRunner:
+    """True parallelism via worker processes (picklable work only).
+
+    Queries are split into contiguous chunks, one per worker, because
+    per-query dispatch would drown in pickling overhead for the
+    sub-millisecond queries this library produces.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, processes: int | None = None) -> None:
+        if processes is not None and processes < 1:
+            raise ParallelismError(
+                f"processes must be >= 1, got {processes}"
+            )
+        self._processes = processes or multiprocessing.cpu_count()
+
+    @property
+    def processes(self) -> int:
+        """Pool size."""
+        return self._processes
+
+    def run(self, function: QueryFunction, queries: Sequence[Q]) -> list[R]:
+        """Apply ``function`` to each query across worker processes."""
+        if not queries:
+            return []
+        worker_count = min(self._processes, len(queries))
+        chunks = balanced_chunks(list(queries), worker_count)
+        payloads = [(function, chunk) for chunk in chunks if chunk]
+        with multiprocessing.Pool(processes=worker_count) as pool:
+            chunk_results = pool.map(_run_chunk, payloads)
+        results: list[R] = []
+        for chunk_result in chunk_results:
+            results.extend(chunk_result)
+        return results

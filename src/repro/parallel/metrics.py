@@ -1,0 +1,89 @@
+"""Result records for scheduler-model runs.
+
+A :class:`SimulationResult` carries everything a thread-sweep table
+needs: modelled wall-clock time, the work actually performed, and the
+utilization timeline that drives (and explains) the adaptive manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One utilization observation: ``busy / alive`` workers at ``time``."""
+
+    time: float
+    alive: int
+    busy: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of alive workers that were busy (0.0 when none alive)."""
+        if self.alive == 0:
+            return 0.0
+        return self.busy / self.alive
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one scheduler-model run.
+
+    Attributes
+    ----------
+    wall_time:
+        Modelled elapsed seconds from batch start to last join.
+    total_work:
+        Sum of all per-query service times (invariant across strategies:
+        parallelism spreads work, never removes it).
+    queries:
+        Number of queries executed.
+    threads_opened:
+        Workers created over the whole run (>= peak for adaptive runs).
+    peak_threads:
+        Largest number of simultaneously alive workers.
+    creation_overhead:
+        Modelled seconds spent creating/joining threads.
+    contention_overhead:
+        Worker-seconds lost waiting because more workers were runnable
+        than cores exist (0 whenever the pool never oversubscribes).
+    utilization_samples:
+        Timeline of utilization observations (adaptive runs sample on
+        the manager's cadence; static runs sample at task boundaries).
+    """
+
+    wall_time: float
+    total_work: float
+    queries: int
+    threads_opened: int
+    peak_threads: int
+    creation_overhead: float = 0.0
+    contention_overhead: float = 0.0
+    utilization_samples: tuple[UtilizationSample, ...] = field(
+        default_factory=tuple
+    )
+
+    @property
+    def speedup_bound(self) -> float:
+        """``total_work / wall_time`` — effective parallelism achieved."""
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.total_work / self.wall_time
+
+    @property
+    def mean_utilization(self) -> float:
+        """Average of the utilization samples (0.0 when none taken)."""
+        if not self.utilization_samples:
+            return 0.0
+        total = sum(s.utilization for s in self.utilization_samples)
+        return total / len(self.utilization_samples)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"wall={self.wall_time:.3f}s work={self.total_work:.3f}s "
+            f"queries={self.queries} threads={self.threads_opened} "
+            f"(peak {self.peak_threads}) "
+            f"speedup={self.speedup_bound:.2f}x"
+        )

@@ -1,0 +1,460 @@
+"""Deterministic scheduler model for thread-count experiments.
+
+CPython's GIL serializes CPU-bound threads, so the paper's thread-count
+sweeps (Tables II, IV, VI, VIII) cannot be measured directly in Python.
+This module substitutes a *processor-sharing scheduler model*: given the
+**measured** single-thread cost of every query, it replays how a batch
+would unfold on ``cores`` cores under each of the paper's strategies,
+modelling exactly the three effects the paper's numbers exhibit:
+
+* **creation/join overhead** — threads are created serially by the
+  master and joined serially at the end; many short-lived threads lose
+  (thread-per-query, Table III stage 5);
+* **core contention** — when more workers are runnable than cores
+  exist, everyone's rate drops and context switching wastes extra time
+  (32 threads on 100 city queries, Table II);
+* **load balancing** — static partitions suffer from skewed query
+  costs; more (or dynamically managed) workers smooth the skew, which
+  is why 16–32 threads win on the long-running DNA batches
+  (Tables VI/VIII).
+
+The model is fully deterministic: the same costs and parameters always
+produce the same wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ParallelismError
+from repro.parallel.metrics import SimulationResult, UtilizationSample
+from repro.parallel.partition import round_robin_chunks
+from repro.parallel.strategies import AdaptiveStrategy
+
+#: Workers never advance by less than this, to keep the loop finite in
+#: the face of float rounding.
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class SchedulerModel:
+    """Hardware/runtime parameters of the modelled machine.
+
+    Defaults approximate the paper's testbed: a virtualized 8-core i7
+    where thread creation was expensive enough to dominate short
+    queries (section 5.3.5).
+
+    Parameters
+    ----------
+    cores:
+        Physical parallelism available.
+    thread_create_cost:
+        Seconds the master spends creating one thread (serialized).
+    thread_join_cost:
+        Seconds the master spends joining one thread (serialized).
+    context_switch_penalty:
+        Fractional rate loss per unit of oversubscription: with ``b``
+        busy workers on ``c < b`` cores, each runs at
+        ``(c / b) / (1 + penalty * (b / c - 1))``.
+    manager_interval:
+        Sampling cadence of the adaptive manager, seconds.
+    """
+
+    cores: int = 8
+    thread_create_cost: float = 0.05
+    thread_join_cost: float = 0.01
+    context_switch_penalty: float = 0.10
+    manager_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ParallelismError(f"cores must be >= 1, got {self.cores}")
+        if self.thread_create_cost < 0 or self.thread_join_cost < 0:
+            raise ParallelismError("thread costs must be non-negative")
+        if self.context_switch_penalty < 0:
+            raise ParallelismError(
+                "context_switch_penalty must be non-negative"
+            )
+        if self.manager_interval <= 0:
+            raise ParallelismError("manager_interval must be positive")
+
+    def rate(self, busy: int) -> float:
+        """Execution rate of each busy worker (1.0 = full core speed)."""
+        if busy <= 0:
+            return 1.0
+        if busy <= self.cores:
+            return 1.0
+        oversubscription = busy / self.cores
+        return (self.cores / busy) / (
+            1.0 + self.context_switch_penalty * (oversubscription - 1.0)
+        )
+
+
+class _Worker:
+    """Mutable per-worker state inside the model."""
+
+    __slots__ = ("available_at", "queue", "remaining", "busy", "closed")
+
+    def __init__(self, available_at: float,
+                 queue: list[float]) -> None:
+        self.available_at = available_at
+        self.queue = queue          # per-worker backlog (static modes)
+        self.remaining = 0.0        # work left on the current query
+        self.busy = False
+        self.closed = False
+
+
+def _validate_costs(costs: Sequence[float]) -> list[float]:
+    validated = []
+    for index, cost in enumerate(costs):
+        if cost < 0:
+            raise ParallelismError(
+                f"query cost at index {index} is negative: {cost}"
+            )
+        validated.append(float(cost))
+    return validated
+
+
+def simulate_serial(costs: Sequence[float]) -> SimulationResult:
+    """The no-parallelism baseline: wall time is simply the total work."""
+    validated = _validate_costs(costs)
+    total = sum(validated)
+    return SimulationResult(
+        wall_time=total, total_work=total, queries=len(validated),
+        threads_opened=0, peak_threads=0,
+    )
+
+
+def simulate_fixed_pool(costs: Sequence[float], threads: int,
+                        model: SchedulerModel = SchedulerModel(),
+                        ) -> SimulationResult:
+    """Paper strategy 2: ``threads`` workers over a static partition.
+
+    Queries are dealt round-robin (the paper's "simple partitioning");
+    each worker then runs its backlog sequentially.
+    """
+    if threads < 1:
+        raise ParallelismError(f"threads must be >= 1, got {threads}")
+    validated = _validate_costs(costs)
+    chunks = round_robin_chunks(validated, threads)
+    return _run_static(chunks, model, queries=len(validated))
+
+
+def simulate_thread_per_query(costs: Sequence[float],
+                              model: SchedulerModel = SchedulerModel(),
+                              ) -> SimulationResult:
+    """Paper strategy 1: one short-lived worker per query."""
+    validated = _validate_costs(costs)
+    chunks = [[cost] for cost in validated]
+    if not chunks:
+        return simulate_serial([])
+    return _run_static(chunks, model, queries=len(validated))
+
+
+def _run_static(chunks: list[list[float]], model: SchedulerModel,
+                queries: int) -> SimulationResult:
+    """Processor-sharing replay of statically partitioned work."""
+    total_work = sum(sum(chunk) for chunk in chunks)
+    workers = [
+        _Worker(available_at=(i + 1) * model.thread_create_cost,
+                queue=list(chunk))
+        for i, chunk in enumerate(chunks)
+    ]
+    creation_overhead = len(workers) * model.thread_create_cost
+    join_overhead = len(workers) * model.thread_join_cost
+
+    time = 0.0
+    contention_wait = 0.0
+    samples: list[UtilizationSample] = []
+
+    while True:
+        # Activate workers whose creation finished and start next tasks.
+        for worker in workers:
+            if worker.closed or worker.busy:
+                continue
+            if worker.available_at <= time + _EPSILON:
+                if worker.queue:
+                    worker.remaining = worker.queue.pop(0)
+                    worker.busy = True
+                    # Zero-cost queries complete instantly.
+                    while worker.busy and worker.remaining <= _EPSILON:
+                        if worker.queue:
+                            worker.remaining = worker.queue.pop(0)
+                        else:
+                            worker.busy = False
+                            worker.closed = True
+                else:
+                    worker.closed = True
+
+        busy_workers = [w for w in workers if w.busy]
+        if not busy_workers:
+            pending = [
+                w.available_at for w in workers
+                if not w.closed and not w.busy and w.available_at > time
+            ]
+            if not pending:
+                break
+            time = min(pending)
+            continue
+
+        rate = model.rate(len(busy_workers))
+        next_completion = min(w.remaining for w in busy_workers) / rate
+        upcoming = [
+            w.available_at - time for w in workers
+            if not w.closed and not w.busy and w.available_at > time
+        ]
+        delta = next_completion
+        if upcoming:
+            delta = min(delta, min(upcoming))
+        delta = max(delta, _EPSILON)
+
+        alive = sum(
+            1 for w in workers
+            if not w.closed and w.available_at <= time + _EPSILON
+        )
+        samples.append(UtilizationSample(time, alive, len(busy_workers)))
+
+        for worker in busy_workers:
+            worker.remaining -= delta * rate
+            if worker.remaining <= _EPSILON:
+                worker.remaining = 0.0
+                worker.busy = False
+                if not worker.queue:
+                    worker.closed = True
+        contention_wait += delta * len(busy_workers) * (1.0 - rate)
+        time += delta
+
+    wall = time + join_overhead
+    return SimulationResult(
+        wall_time=wall,
+        total_work=total_work,
+        queries=queries,
+        threads_opened=len(workers),
+        peak_threads=len(workers),
+        creation_overhead=creation_overhead + join_overhead,
+        contention_overhead=contention_wait,
+        utilization_samples=tuple(samples),
+    )
+
+
+def simulate_work_stealing(costs: Sequence[float], threads: int,
+                           model: SchedulerModel = SchedulerModel(),
+                           steal_cost: float = 0.0005,
+                           ) -> SimulationResult:
+    """A fixed pool with work stealing: idle workers raid busy backlogs.
+
+    Starts from the same static round-robin partition as
+    :func:`simulate_fixed_pool`, but a worker that drains its own
+    backlog steals the tail half of the largest remaining backlog
+    (paying ``steal_cost`` seconds per steal). This bounds the
+    imbalance penalty of skewed workloads without the master thread the
+    paper's adaptive strategy needs — the classic third way between
+    static partitioning and a shared queue.
+    """
+    if threads < 1:
+        raise ParallelismError(f"threads must be >= 1, got {threads}")
+    if steal_cost < 0:
+        raise ParallelismError("steal_cost must be non-negative")
+    validated = _validate_costs(costs)
+    if not validated:
+        return simulate_serial([])
+    chunks = round_robin_chunks(validated, threads)
+    total_work = sum(validated)
+
+    workers = [
+        _Worker(available_at=(i + 1) * model.thread_create_cost,
+                queue=list(chunk))
+        for i, chunk in enumerate(chunks)
+    ]
+    time = 0.0
+    contention_wait = 0.0
+    steals = 0
+
+    while True:
+        # Activation + stealing happen at event boundaries.
+        for worker in workers:
+            if worker.closed or worker.busy:
+                continue
+            if worker.available_at > time + _EPSILON:
+                continue
+            if not worker.queue:
+                # Steal the tail half of the largest backlog.
+                victim = max(
+                    (w for w in workers if len(w.queue) > 1),
+                    key=lambda w: len(w.queue), default=None,
+                )
+                if victim is not None:
+                    half = len(victim.queue) // 2
+                    worker.queue = victim.queue[-half:]
+                    del victim.queue[-half:]
+                    steals += 1
+                    # The steal's bookkeeping delays this worker a bit.
+                    worker.available_at = time + steal_cost
+                    continue
+            if worker.queue:
+                worker.remaining = worker.queue.pop(0)
+                worker.busy = worker.remaining > _EPSILON
+                while worker.queue and not worker.busy:
+                    worker.remaining = worker.queue.pop(0)
+                    worker.busy = worker.remaining > _EPSILON
+                if not worker.busy and not worker.queue:
+                    worker.closed = True
+            else:
+                worker.closed = True
+
+        busy_workers = [w for w in workers if w.busy]
+        if not busy_workers:
+            pending = [
+                w.available_at for w in workers
+                if not w.closed and not w.busy
+                and w.available_at > time
+            ]
+            if not pending:
+                break
+            time = min(pending)
+            continue
+
+        rate = model.rate(len(busy_workers))
+        delta = min(w.remaining for w in busy_workers) / rate
+        upcoming = [
+            w.available_at - time for w in workers
+            if not w.closed and not w.busy and w.available_at > time
+        ]
+        if upcoming:
+            delta = min(delta, min(upcoming))
+        delta = max(delta, _EPSILON)
+        for worker in busy_workers:
+            worker.remaining -= delta * rate
+            if worker.remaining <= _EPSILON:
+                worker.remaining = 0.0
+                worker.busy = False
+        contention_wait += delta * len(busy_workers) * (1.0 - rate)
+        time += delta
+
+    wall = time + threads * model.thread_join_cost
+    return SimulationResult(
+        wall_time=wall,
+        total_work=total_work,
+        queries=len(validated),
+        threads_opened=threads,
+        peak_threads=threads,
+        creation_overhead=threads * (model.thread_create_cost
+                                     + model.thread_join_cost),
+        contention_overhead=contention_wait,
+    )
+
+
+def simulate_adaptive(costs: Sequence[float],
+                      strategy: AdaptiveStrategy = AdaptiveStrategy(),
+                      model: SchedulerModel = SchedulerModel(),
+                      ) -> SimulationResult:
+    """Paper strategy 3: master–slave manager over a shared work queue.
+
+    Workers pull queries from one queue (dynamic load balancing); a
+    dedicated master samples utilization every ``model.manager_interval``
+    seconds, opening a worker above ``open_threshold`` and retiring an
+    idle worker below ``close_threshold``.
+    """
+    validated = _validate_costs(costs)
+    if not validated:
+        return simulate_serial([])
+
+    queue = list(validated)
+    total_work = sum(validated)
+    workers: list[_Worker] = []
+    threads_opened = 0
+    peak = 0
+
+    def spawn(now: float) -> None:
+        nonlocal threads_opened
+        workers.append(
+            _Worker(available_at=now + model.thread_create_cost, queue=[])
+        )
+        threads_opened += 1
+
+    for _ in range(strategy.min_threads):
+        spawn(threads_opened * model.thread_create_cost)
+
+    time = 0.0
+    next_tick = model.manager_interval
+    contention_wait = 0.0
+    samples: list[UtilizationSample] = []
+
+    while True:
+        for worker in workers:
+            if worker.closed or worker.busy:
+                continue
+            if worker.available_at <= time + _EPSILON and queue:
+                worker.remaining = queue.pop(0)
+                worker.busy = worker.remaining > _EPSILON
+                while queue and not worker.busy:
+                    worker.remaining = queue.pop(0)
+                    worker.busy = worker.remaining > _EPSILON
+
+        busy_workers = [w for w in workers if w.busy]
+        alive = sum(
+            1 for w in workers
+            if not w.closed and w.available_at <= time + _EPSILON
+        )
+        peak = max(peak, alive)
+
+        if not busy_workers and not queue:
+            break
+
+        rate = model.rate(len(busy_workers))
+        candidates = [next_tick - time]
+        if busy_workers:
+            candidates.append(min(w.remaining for w in busy_workers) / rate)
+        pending = [
+            w.available_at - time for w in workers
+            if not w.closed and not w.busy and w.available_at > time
+        ]
+        if pending:
+            candidates.append(min(pending))
+        delta = max(min(candidates), _EPSILON)
+
+        for worker in busy_workers:
+            worker.remaining -= delta * rate
+            if worker.remaining <= _EPSILON:
+                worker.remaining = 0.0
+                worker.busy = False
+        contention_wait += delta * len(busy_workers) * (1.0 - rate)
+        time += delta
+
+        if time + _EPSILON >= next_tick:
+            next_tick += model.manager_interval
+            busy = sum(1 for w in workers if w.busy)
+            alive = sum(
+                1 for w in workers
+                if not w.closed and w.available_at <= time + _EPSILON
+            )
+            utilization = busy / alive if alive else 1.0
+            samples.append(UtilizationSample(time, alive, busy))
+            if (queue and utilization > strategy.open_threshold
+                    and alive < strategy.max_threads):
+                spawn(time)
+            elif utilization < strategy.close_threshold \
+                    and alive > strategy.min_threads:
+                for worker in workers:
+                    if (not worker.closed and not worker.busy
+                            and worker.available_at <= time + _EPSILON):
+                        worker.closed = True
+                        break
+
+    for worker in workers:
+        worker.closed = True
+    wall = time + threads_opened * model.thread_join_cost
+    creation = threads_opened * (
+        model.thread_create_cost + model.thread_join_cost
+    )
+    return SimulationResult(
+        wall_time=wall,
+        total_work=total_work,
+        queries=len(validated),
+        threads_opened=threads_opened,
+        peak_threads=peak,
+        creation_overhead=creation,
+        contention_overhead=contention_wait,
+        utilization_samples=tuple(samples),
+    )

@@ -1,0 +1,103 @@
+"""Unit tests for experiment scaling and measurement primitives."""
+
+import pytest
+
+from repro.bench.experiment import (
+    ExperimentScale,
+    estimate_workload_seconds,
+    load_city_dataset,
+    load_city_workload,
+    load_dna_dataset,
+    load_dna_workload,
+    measure_per_query_costs,
+    measure_workload,
+)
+from repro.core.sequential import SequentialScanSearcher
+from repro.exceptions import ExperimentError
+
+
+class TestExperimentScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        scale = ExperimentScale.from_env()
+        assert scale.factor == 1.0
+        assert scale.city_count > 0
+        assert len(scale.query_counts) == 3
+
+    def test_scale_grows_sizes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        scale = ExperimentScale.from_env()
+        base = ExperimentScale()
+        assert scale.city_count == 2 * base.city_count
+        assert scale.dna_count == 2 * base.dna_count
+
+    def test_fractional_scale_shrinks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        scale = ExperimentScale.from_env()
+        assert scale.city_count < ExperimentScale().city_count
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ExperimentError):
+            ExperimentScale.from_env()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ExperimentError):
+            ExperimentScale.from_env()
+
+    def test_query_label_mentions_paper_count(self):
+        scale = ExperimentScale()
+        label = scale.query_label(0)
+        assert "100 queries" in label
+
+
+class TestDatasetCaches:
+    def test_city_dataset_memoized(self):
+        assert load_city_dataset(50) is load_city_dataset(50)
+
+    def test_dna_dataset_memoized(self):
+        assert load_dna_dataset(20) is load_dna_dataset(20)
+
+    def test_workloads_have_requested_shape(self):
+        workload = load_city_workload(50, 5, 2)
+        assert len(workload) == 5
+        assert workload.k == 2
+        dna = load_dna_workload(20, 4, 8)
+        assert len(dna) == 4
+        assert dna.k == 8
+
+
+class TestMeasurement:
+    def test_measure_workload_returns_results_and_seconds(self):
+        dataset = load_city_dataset(50)
+        workload = load_city_workload(50, 3, 1)
+        searcher = SequentialScanSearcher(dataset)
+        results, seconds = measure_workload(searcher, workload)
+        assert len(results) == 3
+        assert seconds > 0
+
+    def test_per_query_costs_align_with_workload(self):
+        dataset = load_city_dataset(50)
+        workload = load_city_workload(50, 4, 1)
+        searcher = SequentialScanSearcher(dataset)
+        costs = measure_per_query_costs(searcher, workload)
+        assert len(costs) == 4
+        assert all(cost > 0 for cost in costs)
+
+    def test_estimate_scales_linearly(self):
+        dataset = load_city_dataset(50)
+        workload = load_city_workload(50, 8, 1)
+        searcher = SequentialScanSearcher(dataset, kernel="reference")
+        estimate = estimate_workload_seconds(searcher, workload,
+                                             sample_queries=2)
+        _, measured = measure_workload(searcher, workload)
+        # An extrapolation from 2 of 8 queries lands within 5x of truth.
+        assert measured / 5 < estimate < measured * 5
+
+    def test_estimate_rejects_zero_sample(self):
+        dataset = load_city_dataset(50)
+        workload = load_city_workload(50, 2, 1)
+        with pytest.raises(ExperimentError):
+            estimate_workload_seconds(
+                SequentialScanSearcher(dataset), workload,
+                sample_queries=0,
+            )

@@ -1,0 +1,58 @@
+"""Unit tests for the figure renderer."""
+
+import pytest
+
+from repro.bench.figures import ComparisonSeries, render_comparison_figure
+
+
+class TestRenderComparisonFigure:
+    def test_contains_series_and_winner(self):
+        figure = render_comparison_figure(
+            "Figure X", ["100 queries"],
+            [ComparisonSeries("sequential", (1.0,)),
+             ComparisonSeries("indexed", (2.0,))],
+        )
+        assert "sequential" in figure
+        assert "indexed" in figure
+        assert "wins" in figure
+        assert "50%" in figure
+
+    def test_bars_scale_with_values(self):
+        figure = render_comparison_figure(
+            "demo", ["c"],
+            [ComparisonSeries("short", (1.0,)),
+             ComparisonSeries("long", (4.0,))],
+        )
+        lines = {line.strip().split()[0]: line
+                 for line in figure.splitlines() if "#" in line}
+        assert lines["long"].count("#") > lines["short"].count("#")
+
+    def test_multiple_columns(self):
+        figure = render_comparison_figure(
+            "demo", ["100", "500"],
+            [ComparisonSeries("a", (1.0, 2.0)),
+             ComparisonSeries("b", (2.0, 1.0))],
+        )
+        assert "100:" in figure and "500:" in figure
+        # Winner flips between columns.
+        assert "100: a wins" in figure
+        assert "500: b wins" in figure
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison_figure("demo", ["c"], [])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_comparison_figure(
+                "demo", ["c1", "c2"],
+                [ComparisonSeries("a", (1.0,))],
+            )
+
+    def test_all_zero_values_render(self):
+        figure = render_comparison_figure(
+            "demo", ["c"],
+            [ComparisonSeries("a", (0.0,)),
+             ComparisonSeries("b", (0.0,))],
+        )
+        assert "a" in figure

@@ -1,0 +1,81 @@
+"""Unit tests for workload cost profiling."""
+
+import pytest
+
+from repro.bench.profile import (
+    CostProfile,
+    imbalance_report,
+    partition_imbalance,
+    profile_costs,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestProfileCosts:
+    def test_uniform_distribution(self):
+        profile = profile_costs([2.0] * 10)
+        assert profile.mean == 2.0
+        assert profile.p50 == 2.0
+        assert profile.maximum == 2.0
+        assert profile.coefficient_of_variation == 0.0
+        assert profile.skew_ratio == 1.0
+
+    def test_skewed_distribution(self):
+        profile = profile_costs([1.0] * 9 + [11.0])
+        assert profile.mean == 2.0
+        assert profile.maximum == 11.0
+        assert profile.skew_ratio == 5.5
+        assert profile.coefficient_of_variation > 1.0
+
+    def test_percentiles_ordered(self):
+        profile = profile_costs(list(range(1, 101)))
+        assert profile.p50 <= profile.p90 <= profile.p99 <= \
+            profile.maximum
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            profile_costs([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            profile_costs([1.0, -0.1])
+
+    def test_summary_format(self):
+        text = profile_costs([0.001, 0.002]).summary()
+        assert "n=2" in text
+        assert "ms" in text
+
+
+class TestPartitionImbalance:
+    def test_perfect_split(self):
+        assert partition_imbalance([1.0] * 8, 4) == 1.0
+
+    def test_single_thread_is_ideal_by_definition(self):
+        assert partition_imbalance([3.0, 1.0, 2.0], 1) == 1.0
+
+    def test_straggler_inflates(self):
+        # One 10s query among 1s queries: 2 threads are badly skewed.
+        factor = partition_imbalance([10.0] + [1.0] * 9, 2)
+        assert factor > 1.4
+
+    def test_more_threads_never_perfect_with_straggler(self):
+        costs = [10.0] + [0.1] * 31
+        # The straggler bounds the makespan regardless of threads.
+        assert partition_imbalance(costs, 16) > 5.0
+
+    def test_zero_costs(self):
+        assert partition_imbalance([0.0, 0.0], 2) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ExperimentError):
+            partition_imbalance([], 2)
+        with pytest.raises(ExperimentError):
+            partition_imbalance([1.0], 0)
+
+
+class TestImbalanceReport:
+    def test_covers_thread_sweep(self):
+        report = imbalance_report([0.01] * 50)
+        for threads in (4, 8, 16, 32):
+            assert f"{threads:>3} threads" in report
+        assert "cost profile" in report

@@ -1,0 +1,138 @@
+"""Integration tests for the experiment registry (tiny scale).
+
+Each registered experiment runs end to end on a miniature scale; the
+assertions check the *structure* of the reports (rows, columns, notes)
+— absolute timings are the benchmarks' business.
+"""
+
+import pytest
+
+from repro.bench.experiment import ExperimentScale
+from repro.bench.registry import (
+    EXPERIMENTS,
+    run_experiment,
+)
+from repro.exceptions import ExperimentError
+
+#: Small enough that the whole file runs in well under a minute.
+TINY = ExperimentScale(
+    factor=0.1, city_count=150, dna_count=40,
+    query_counts=(3, 4, 5), city_k=2, dna_k=4,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        expected = {
+            "table01", "table02", "table03", "table04", "table05",
+            "table06", "table07", "table08", "table09",
+            "fig06", "fig07", "ablation", "shootout", "sweep",
+            "memory", "scaling", "joins",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+    def test_experiments_carry_paper_references(self):
+        refs = {e.paper_ref for e in EXPERIMENTS.values()}
+        assert "Table I" in refs
+        assert "Figure 7" in refs
+
+
+class TestTable01:
+    def test_report_structure(self):
+        report = run_experiment("table01", TINY)
+        assert "City names" in report
+        assert "DNA" in report
+        assert "0, 1, 2, 3" in report
+        assert "0, 4, 8, 16" in report
+
+
+class TestStageTables:
+    def test_table03_has_all_six_stages(self):
+        report = run_experiment("table03", TINY)
+        for stage in range(1, 7):
+            assert f"{stage})" in report
+        assert "100 queries" in report
+        assert "1000 queries" in report
+
+    def test_table07_estimates_base(self):
+        report = run_experiment("table07", TINY)
+        assert "(est.)" in report
+        assert "1) base implementation" in report
+
+    def test_table05_reports_compression(self):
+        report = run_experiment("table05", TINY)
+        assert "compression" in report.lower()
+        assert "trie nodes" in report
+
+    def test_table09_structure(self):
+        report = run_experiment("table09", TINY)
+        assert "prefix tree" in report
+        assert "management of parallelism" in report
+
+
+class TestThreadSweeps:
+    @pytest.mark.parametrize("experiment_id",
+                             ["table02", "table04", "table06", "table08"])
+    def test_sweep_has_four_thread_rows(self, experiment_id):
+        report = run_experiment(experiment_id, TINY)
+        for threads in (4, 8, 16, 32):
+            assert f"{threads} threads" in report
+        assert "model optimum" in report
+
+
+class TestFigures:
+    def test_fig06_sequential_wins_cities(self):
+        report = run_experiment("fig06", TINY)
+        assert "best sequential" in report
+        assert "best index-based" in report
+        assert "wins" in report
+
+    def test_fig07_structure(self):
+        report = run_experiment("fig07", TINY)
+        assert "best sequential" in report
+        assert "best index-based" in report
+
+
+class TestAblation:
+    def test_ablation_covers_future_work_items(self):
+        report = run_experiment("ablation", TINY)
+        assert "presorted" in report
+        assert "frequency vectors" in report
+        assert "q-gram" in report
+        assert "dictionary compression" in report
+        assert "storage saved: 62%" in report
+
+
+class TestExtras:
+    def test_shootout_lists_every_structure(self):
+        report = run_experiment("shootout", TINY)
+        for name in ("sequential scan", "prefix trie", "compressed trie",
+                     "freq vectors", "automaton", "q-gram", "BK-tree"):
+            assert name in report, name
+
+    def test_sweep_covers_table_one_thresholds(self):
+        report = run_experiment("sweep", TINY)
+        for row in ("city k=0 / DNA k=0", "city k=3 / DNA k=16"):
+            assert row in report
+
+    def test_joins_compares_all_strategies(self):
+        report = run_experiment("joins", TINY)
+        for strategy in ("length-banded scan", "prefix-filtered",
+                         "trie probing"):
+            assert strategy in report
+        assert "verified identical" in report
+
+    def test_memory_reports_both_datasets(self):
+        report = run_experiment("memory", TINY)
+        assert "city-name strings" in report
+        assert "DNA-read strings" in report
+        assert "compressed trie" in report
+
+    def test_scaling_has_four_sizes(self):
+        report = run_experiment("scaling", TINY)
+        assert report.count("reads") >= 4
+        assert "sub-linearly" in report

@@ -1,0 +1,70 @@
+"""Unit tests for the table renderers."""
+
+import pytest
+
+from repro.bench.tables import Cell, TableReport, format_seconds
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(83.73) == "83.73 sec"
+
+    def test_minutes(self):
+        assert format_seconds(900) == "15.0 min"
+
+    def test_hours(self):
+        assert format_seconds(2 * 3600) == "2.0 h"
+
+    def test_half_day_like_the_paper(self):
+        assert format_seconds(12 * 3600) == "~ half day"
+
+    def test_one_day(self):
+        assert format_seconds(24 * 3600) == "~ 1 day"
+
+    def test_two_days(self):
+        assert format_seconds(48 * 3600) == "~ 2 days"
+
+    def test_estimate_flag(self):
+        assert format_seconds(5.0, estimated=True) == "5.00 sec (est.)"
+
+
+class TestTableReport:
+    def _report(self) -> TableReport:
+        report = TableReport(title="demo", columns=["100", "500"])
+        report.add_row("stage 1", [10.0, 50.0])
+        report.add_row("stage 2", [Cell(2.0), Cell(9.0, estimated=True)])
+        return report
+
+    def test_add_row_validates_width(self):
+        report = TableReport(title="demo", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            report.add_row("bad", [1.0])
+
+    def test_cell_lookup(self):
+        report = self._report()
+        assert report.cell("stage 1", 0).seconds == 10.0
+        assert report.cell("stage 2", 1).estimated
+
+    def test_row_lookup(self):
+        report = self._report()
+        assert [c.seconds for c in report.row("stage 2")] == [2.0, 9.0]
+
+    def test_best_row(self):
+        report = self._report()
+        assert report.best_row() == "stage 2"
+        assert report.best_row(0) == "stage 2"
+
+    def test_render_contains_everything(self):
+        report = self._report()
+        report.add_footnote("a footnote")
+        rendered = report.render()
+        assert "demo" in rendered
+        assert "stage 1" in rendered
+        assert "(est.)" in rendered
+        assert "note: a footnote" in rendered
+
+    def test_render_alignment(self):
+        rendered = self._report().render()
+        lines = [l for l in rendered.splitlines() if "stage" in l]
+        # Both data lines are equally wide (aligned columns).
+        assert len(lines[0]) == len(lines[1])

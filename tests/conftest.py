@@ -1,0 +1,38 @@
+"""Shared fixtures: small deterministic datasets and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.cities import generate_city_names
+from repro.data.dna import DnaReadGenerator
+from repro.data.workload import make_workload
+
+
+@pytest.fixture(scope="session")
+def city_names() -> tuple[str, ...]:
+    """A small deterministic city-name dataset."""
+    return tuple(generate_city_names(300, seed=101))
+
+
+@pytest.fixture(scope="session")
+def dna_reads() -> tuple[str, ...]:
+    """A small deterministic DNA-read dataset."""
+    generator = DnaReadGenerator(genome_length=4000, read_length=60,
+                                 seed=202)
+    return tuple(generator.generate(120))
+
+
+@pytest.fixture(scope="session")
+def city_workload(city_names):
+    """Twelve city queries at k=2, mixing exact and perturbed hits."""
+    return make_workload(city_names, 12, 2,
+                         alphabet_symbols="abcdefghinorst",
+                         seed=7, name="city-test")
+
+
+@pytest.fixture(scope="session")
+def dna_workload(dna_reads):
+    """Eight DNA queries at k=6."""
+    return make_workload(dna_reads, 8, 6, alphabet_symbols="ACGNT",
+                         seed=8, name="dna-test")

@@ -1,0 +1,84 @@
+"""Property-based tests: every searcher configuration is equivalent.
+
+The paper's whole methodology hangs on one invariant — any approach,
+sequential or indexed, any kernel, any filter, any runner, returns
+exactly the brute-force result set. Hypothesis generates the datasets
+and workloads; this file asserts the invariant across the configuration
+matrix.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexed import IndexedSearcher
+from repro.core.problem import SimilaritySearchProblem
+from repro.core.sequential import KERNELS, SequentialScanSearcher
+from repro.filters.base import FilterChain
+from repro.filters.frequency import FrequencyVectorFilter
+from repro.filters.length import LengthFilter
+from repro.filters.qgram import QGramCountFilter
+
+datasets = st.lists(
+    st.text(alphabet="abce", min_size=1, max_size=8),
+    min_size=1, max_size=10,
+)
+queries = st.text(alphabet="abcde", max_size=8)
+thresholds = st.integers(min_value=0, max_value=3)
+
+
+@settings(max_examples=50)
+@given(datasets, queries, thresholds)
+def test_all_sequential_kernels_equal_brute_force(dataset, query, k):
+    problem = SimilaritySearchProblem(dataset)
+    expected = problem.solve_brute_force(query, k)
+    for kernel in KERNELS:
+        searcher = SequentialScanSearcher(dataset, kernel=kernel)
+        actual = [m.string for m in searcher.search(query, k)]
+        assert actual == expected, kernel
+
+
+@settings(max_examples=50)
+@given(datasets, queries, thresholds)
+def test_all_indexes_equal_brute_force(dataset, query, k):
+    problem = SimilaritySearchProblem(dataset)
+    expected = problem.solve_brute_force(query, k)
+    for kind in ("trie", "compressed", "qgram"):
+        searcher = IndexedSearcher(dataset, index=kind)
+        actual = [m.string for m in searcher.search(query, k)]
+        assert actual == expected, kind
+
+
+@settings(max_examples=50)
+@given(datasets, queries, thresholds)
+def test_sorted_scan_equals_brute_force(dataset, query, k):
+    problem = SimilaritySearchProblem(dataset)
+    searcher = SequentialScanSearcher(dataset, kernel="bitparallel",
+                                      order="length")
+    actual = [m.string for m in searcher.search(query, k)]
+    assert actual == problem.solve_brute_force(query, k)
+
+
+@settings(max_examples=50)
+@given(datasets, queries, thresholds)
+def test_filtered_scan_equals_brute_force(dataset, query, k):
+    problem = SimilaritySearchProblem(dataset)
+    chain = FilterChain([
+        LengthFilter(),
+        FrequencyVectorFilter("ae"),
+        QGramCountFilter(q=2),
+    ])
+    searcher = SequentialScanSearcher(dataset, kernel="banded",
+                                      prefilter=chain)
+    actual = [m.string for m in searcher.search(query, k)]
+    assert actual == problem.solve_brute_force(query, k)
+
+
+@settings(max_examples=40)
+@given(datasets, queries, thresholds)
+def test_frequency_pruned_index_equals_brute_force(dataset, query, k):
+    problem = SimilaritySearchProblem(dataset)
+    searcher = IndexedSearcher(dataset, index="compressed",
+                               frequency_pruning=True,
+                               tracked_symbols="abce")
+    actual = [m.string for m in searcher.search(query, k)]
+    assert actual == problem.solve_brute_force(query, k)

@@ -1,0 +1,71 @@
+"""Unit tests for the SearchEngine facade."""
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.indexed import IndexedSearcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.workload import Workload
+from repro.exceptions import ReproError
+
+
+class TestBackendSelection:
+    def test_city_regime_selects_sequential(self, city_names):
+        engine = SearchEngine(city_names)
+        assert engine.choice.backend == "sequential"
+        assert isinstance(engine.searcher, SequentialScanSearcher)
+
+    def test_dna_regime_selects_indexed(self, dna_reads):
+        engine = SearchEngine(dna_reads)
+        assert engine.choice.backend == "indexed"
+        assert isinstance(engine.searcher, IndexedSearcher)
+
+    def test_choice_carries_a_reason(self, city_names):
+        assert "regime" in SearchEngine(city_names).choice.reason
+
+    def test_forced_backends(self, city_names):
+        forced = SearchEngine(city_names, backend="indexed")
+        assert forced.choice.backend == "indexed"
+        assert forced.choice.reason == "forced by caller"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            SearchEngine(["a"], backend="gpu")
+
+    def test_empty_dataset_defaults_to_sequential(self):
+        assert SearchEngine([]).choice.backend == "sequential"
+
+
+class TestSearch:
+    def test_search_results_match_brute_force(self, city_names):
+        from repro.distance.levenshtein import edit_distance
+
+        engine = SearchEngine(city_names)
+        query = city_names[0]
+        expected = sorted(
+            {s for s in city_names if edit_distance(query, s) <= 1}
+        )
+        assert [m.string for m in engine.search(query, 1)] == expected
+
+    def test_both_backends_agree(self, city_names):
+        sequential = SearchEngine(city_names, backend="sequential")
+        indexed = SearchEngine(city_names, backend="indexed")
+        for query in city_names[:5]:
+            assert sequential.search(query, 2) == indexed.search(query, 2)
+
+    def test_timed_workload(self, city_names):
+        engine = SearchEngine(city_names)
+        workload = Workload(tuple(city_names[:5]), 1, "engine-test")
+        results, seconds = engine.timed_workload(workload)
+        assert len(results) == 5
+        assert seconds > 0
+
+    def test_run_workload_through_runner(self, city_names):
+        from repro.parallel.executor import ThreadPoolRunner
+
+        workload = Workload(tuple(city_names[:6]), 1, "engine-test")
+        plain = SearchEngine(city_names).run_workload(workload)
+        threaded = SearchEngine(
+            city_names, runner=ThreadPoolRunner(threads=3)
+        ).run_workload(workload)
+        assert plain == threaded

@@ -1,0 +1,67 @@
+"""Property tests for the engine's decision rule and search behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import (
+    MEAN_LENGTH_CUTOFF,
+    SMALL_ALPHABET_CUTOFF,
+    SearchEngine,
+)
+from repro.core.problem import SimilaritySearchProblem
+
+datasets = st.lists(
+    st.text(alphabet="abce", min_size=1, max_size=8),
+    min_size=1, max_size=10,
+)
+queries = st.text(alphabet="abcd", max_size=8)
+thresholds = st.integers(min_value=0, max_value=3)
+
+
+class TestDecisionRule:
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=2, max_value=30))
+    def test_decision_depends_only_on_shape(self, length, alphabet_size):
+        # Build a dataset with exactly this mean length and alphabet.
+        symbols = "ACGTNWXYZKLMPQRSUVabcdefghijkl"[:alphabet_size]
+        strings = tuple(
+            symbols[i % alphabet_size] * length for i in range(6)
+        )
+        choice = SearchEngine._decide(strings, "auto")
+        long_strings = length > MEAN_LENGTH_CUTOFF
+        tiny_alphabet = len(set("".join(strings))) <= \
+            SMALL_ALPHABET_CUTOFF
+        if long_strings and tiny_alphabet:
+            assert choice.backend == "indexed"
+        else:
+            assert choice.backend == "sequential"
+
+    @settings(max_examples=30)
+    @given(datasets)
+    def test_forced_backends_ignore_shape(self, dataset):
+        for backend in ("sequential", "indexed"):
+            engine = SearchEngine(dataset, backend=backend)
+            assert engine.choice.backend == backend
+
+
+class TestEngineSearchProperties:
+    @settings(max_examples=50)
+    @given(datasets, queries, thresholds)
+    def test_both_backends_equal_brute_force(self, dataset, query, k):
+        problem = SimilaritySearchProblem(dataset)
+        expected = problem.solve_brute_force(query, k)
+        for backend in ("sequential", "indexed"):
+            engine = SearchEngine(dataset, backend=backend)
+            actual = [m.string for m in engine.search(query, k)]
+            assert actual == expected, backend
+
+    @settings(max_examples=40)
+    @given(datasets, queries)
+    def test_threshold_monotonicity(self, dataset, query):
+        engine = SearchEngine(dataset)
+        previous: set[str] = set()
+        for k in (0, 1, 2, 3):
+            current = {m.string for m in engine.search(query, k)}
+            assert previous <= current
+            previous = current

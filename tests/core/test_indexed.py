@@ -1,0 +1,93 @@
+"""Unit tests for the index-based searcher."""
+
+import pytest
+
+from repro.core.indexed import INDEX_KINDS, IndexedSearcher
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import ReproError
+
+DATASET = ["Berlin", "Bern", "Ulm", "Hamburg", "Bremen", "Bern"]
+
+
+def brute_force(query, k):
+    return sorted({s for s in DATASET if edit_distance(query, s) <= k})
+
+
+class TestIndexKinds:
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_every_index_equals_brute_force(self, kind):
+        searcher = IndexedSearcher(DATASET, index=kind)
+        for query in ("Bern", "Berlln", "Ul", "zzz"):
+            for k in (0, 1, 2, 3):
+                actual = [m.string for m in searcher.search(query, k)]
+                assert actual == brute_force(query, k), (kind, query, k)
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ReproError):
+            IndexedSearcher(DATASET, index="btree")
+
+    def test_node_count_shrinks_under_compression(self):
+        plain = IndexedSearcher(DATASET, index="trie")
+        compressed = IndexedSearcher(DATASET, index="compressed")
+        assert 0 < compressed.node_count < plain.node_count
+
+    def test_qgram_has_no_trie_nodes(self):
+        assert IndexedSearcher(DATASET, index="qgram").node_count == 0
+
+    def test_kind_property(self):
+        assert IndexedSearcher(DATASET, index="trie").kind == "trie"
+
+
+class TestFrequencyPruning:
+    def test_results_unchanged(self):
+        plain = IndexedSearcher(DATASET, index="compressed")
+        pruned = IndexedSearcher(DATASET, index="compressed",
+                                 frequency_pruning=True,
+                                 tracked_symbols="AEIOU")
+        for query in ("Bern", "Bremen", "Ulm", "xxxx"):
+            for k in (0, 1, 2):
+                assert plain.search(query, k) == pruned.search(query, k)
+
+    def test_requires_tracked_symbols(self):
+        with pytest.raises(ReproError):
+            IndexedSearcher(DATASET, index="trie", frequency_pruning=True)
+
+    def test_incompatible_with_qgram(self):
+        with pytest.raises(ReproError):
+            IndexedSearcher(DATASET, index="qgram",
+                            frequency_pruning=True,
+                            tracked_symbols="AEIOU")
+
+    def test_name_reflects_configuration(self):
+        searcher = IndexedSearcher(DATASET, index="trie",
+                                   frequency_pruning=True,
+                                   tracked_symbols="AEIOU")
+        assert "freq" in searcher.name
+
+
+class TestTraversalStats:
+    def test_stats_available_after_trie_search(self):
+        searcher = IndexedSearcher(DATASET, index="trie")
+        searcher.search("Bern", 1)
+        assert searcher.last_stats is not None
+        assert searcher.last_stats.nodes_visited > 0
+
+    def test_no_stats_for_qgram(self):
+        searcher = IndexedSearcher(DATASET, index="qgram")
+        searcher.search("Bern", 1)
+        assert searcher.last_stats is None
+
+
+class TestWorkloadExecution:
+    def test_workload_equals_reference(self, city_workload, city_names):
+        from repro.core.sequential import SequentialScanSearcher
+        from repro.core.verification import verify_result_sets
+
+        reference = SequentialScanSearcher(
+            city_names, kernel="reference"
+        ).run_workload(city_workload)
+        for kind in INDEX_KINDS:
+            searcher = IndexedSearcher(city_names, index=kind)
+            verify_result_sets(reference,
+                               searcher.run_workload(city_workload),
+                               candidate_name=kind)

@@ -1,0 +1,138 @@
+"""Unit tests for the string similarity join."""
+
+import pytest
+
+from repro.core.join import (
+    JoinPair,
+    deduplicate,
+    index_join,
+    scan_join,
+    similarity_join,
+)
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import InvalidThresholdError, ReproError
+
+LEFT = ["Bern", "Berlin", "Ulm", "Hamburg"]
+RIGHT = ["Berne", "Hamburk", "Bonn", "Ulm"]
+
+
+def brute_force(left, right, k, self_join=False):
+    pairs = []
+    for i, r in enumerate(left):
+        for j, s in enumerate(right):
+            if self_join and j <= i:
+                continue
+            distance = edit_distance(r, s)
+            if distance <= k:
+                pairs.append((i, j, distance))
+    return sorted(pairs)
+
+
+def as_tuples(result):
+    return [(p.left_index, p.right_index, p.distance)
+            for p in result.pairs]
+
+
+class TestScanJoin:
+    def test_two_sided_join_equals_brute_force(self):
+        for k in (0, 1, 2, 3):
+            assert as_tuples(scan_join(LEFT, RIGHT, k)) == \
+                brute_force(LEFT, RIGHT, k), k
+
+    def test_self_join_equals_brute_force(self):
+        data = ["Bern", "Berne", "Bern", "Ulm", "Ulmen"]
+        for k in (0, 1, 2):
+            assert as_tuples(scan_join(data, None, k)) == \
+                brute_force(data, data, k, self_join=True), k
+
+    def test_self_join_excludes_identity_pairs(self):
+        result = scan_join(["same", "same"], None, 0)
+        assert as_tuples(result) == [(0, 1, 0)]
+
+    def test_empty_inputs(self):
+        assert len(scan_join([], [], 2)) == 0
+        assert len(scan_join(["a"], [], 2)) == 0
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ReproError):
+            scan_join(["ok", ""], None, 1)
+        with pytest.raises(ReproError):
+            scan_join(["ok"], ["", "x"], 1)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            scan_join(["a"], ["b"], -1)
+
+    def test_length_band_limits_candidates(self):
+        result = scan_join(["ab"], ["ab", "abcdefghij"], 1)
+        assert result.candidates_examined == 1
+
+    def test_statistics_populated(self):
+        result = scan_join(LEFT, RIGHT, 2)
+        assert result.seconds > 0
+        assert result.candidates_examined >= len(result)
+
+
+class TestIndexJoin:
+    def test_matches_scan_join(self):
+        for k in (0, 1, 2, 3):
+            scan = scan_join(LEFT, RIGHT, k)
+            for kind in ("trie", "compressed", "qgram"):
+                indexed = index_join(LEFT, RIGHT, k, index=kind)
+                assert as_tuples(indexed) == as_tuples(scan), (k, kind)
+
+    def test_self_join_matches_scan(self):
+        data = ["Bern", "Berne", "Bern", "Ulm"]
+        for k in (0, 1, 2):
+            assert as_tuples(index_join(data, None, k)) == \
+                as_tuples(scan_join(data, None, k)), k
+
+    def test_duplicates_on_the_right_join_individually(self):
+        result = index_join(["Ulm"], ["Ulm", "Ulm"], 0)
+        assert as_tuples(result) == [(0, 0, 0), (0, 1, 0)]
+
+    def test_frequency_pruning_preserves_results(self):
+        plain = index_join(LEFT, RIGHT, 2)
+        pruned = index_join(LEFT, RIGHT, 2, tracked_symbols="AEIOU")
+        assert as_tuples(plain) == as_tuples(pruned)
+
+
+class TestSimilarityJoinFrontEnd:
+    def test_auto_selects_and_agrees(self, city_names):
+        subset = list(city_names[:60])
+        auto = similarity_join(subset, None, 1, method="auto")
+        scan = similarity_join(subset, None, 1, method="scan")
+        index = similarity_join(subset, None, 1, method="index")
+        assert as_tuples(auto) == as_tuples(scan) == as_tuples(index)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ReproError):
+            similarity_join(["a"], None, 1, method="hash")
+
+
+class TestDeduplicate:
+    def test_groups_near_duplicates(self):
+        groups = deduplicate(["Bern", "Berne", "Ulm", "Hamburg"], 1)
+        assert groups == [[0, 1]]
+
+    def test_transitive_clustering(self):
+        # a-b within 1, b-c within 1, a-c within 2: one cluster.
+        groups = deduplicate(["abcd", "abce", "abcef"], 1)
+        assert groups == [[0, 1, 2]]
+
+    def test_exact_duplicates_cluster_at_k_zero(self):
+        groups = deduplicate(["x1", "x1", "y2"], 0)
+        assert groups == [[0, 1]]
+
+    def test_no_duplicates_yields_nothing(self):
+        assert deduplicate(["aaaa", "zzzz"], 1) == []
+
+
+class TestJoinPair:
+    def test_ordering(self):
+        assert JoinPair(0, 1, 2) < JoinPair(0, 2, 0) < JoinPair(1, 0, 0)
+
+    def test_string_materialization(self):
+        result = scan_join(["Bern"], ["Berne"], 1)
+        rows = result.as_string_pairs(["Bern"], ["Berne"])
+        assert rows == [("Bern", "Berne", 1)]

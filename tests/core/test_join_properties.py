@@ -1,0 +1,89 @@
+"""Property tests: join strategies agree with each other and brute force."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.join import deduplicate, index_join, scan_join
+from repro.distance.levenshtein import edit_distance
+
+datasets = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=6),
+    min_size=0, max_size=10,
+)
+thresholds = st.integers(min_value=0, max_value=2)
+
+
+def brute_pairs(left, right, k, self_join):
+    pairs = []
+    for i, r in enumerate(left):
+        for j, s in enumerate(right):
+            if self_join and j <= i:
+                continue
+            d = edit_distance(r, s)
+            if d <= k:
+                pairs.append((i, j, d))
+    return sorted(pairs)
+
+
+def as_tuples(result):
+    return [(p.left_index, p.right_index, p.distance)
+            for p in result.pairs]
+
+
+@settings(max_examples=60)
+@given(datasets, datasets, thresholds)
+def test_scan_join_equals_brute_force(left, right, k):
+    assert as_tuples(scan_join(left, right, k)) == \
+        brute_pairs(left, right, k, self_join=False)
+
+
+@settings(max_examples=60)
+@given(datasets, thresholds)
+def test_self_scan_join_equals_brute_force(data, k):
+    assert as_tuples(scan_join(data, None, k)) == \
+        brute_pairs(data, data, k, self_join=True)
+
+
+@settings(max_examples=40)
+@given(datasets, datasets, thresholds)
+def test_index_join_equals_scan_join(left, right, k):
+    assert as_tuples(index_join(left, right, k)) == \
+        as_tuples(scan_join(left, right, k))
+
+
+@settings(max_examples=40)
+@given(datasets, datasets, thresholds)
+def test_prefix_join_equals_scan_join(left, right, k):
+    from repro.core.join import prefix_join
+
+    assert as_tuples(prefix_join(left, right, k)) == \
+        as_tuples(scan_join(left, right, k))
+
+
+@settings(max_examples=30)
+@given(datasets, thresholds)
+def test_prefix_self_join_equals_scan(data, k):
+    from repro.core.join import prefix_join
+
+    assert as_tuples(prefix_join(data, None, k)) == \
+        as_tuples(scan_join(data, None, k))
+
+
+@settings(max_examples=40)
+@given(datasets, thresholds)
+def test_dedup_groups_are_consistent(data, k):
+    groups = deduplicate(data, k)
+    seen = set()
+    for group in groups:
+        assert len(group) > 1
+        assert group == sorted(group)
+        for index in group:
+            assert index not in seen  # groups are disjoint
+            seen.add(index)
+        # Every member is within k of at least one other member
+        # (single-linkage guarantee).
+        for index in group:
+            assert any(
+                edit_distance(data[index], data[other]) <= k
+                for other in group if other != index
+            )

@@ -1,0 +1,125 @@
+"""Unit tests for the accept/reject approach pipeline."""
+
+import time
+
+import pytest
+
+from repro.core.pipeline import Approach, ApproachPipeline, StageOutcome
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.workload import Workload
+
+DATASET = ("Berlin", "Bern", "Ulm", "Hamburg")
+WORKLOAD = Workload(("Bern", "Ulm", "Hamburg", "Berlim"), 1, "unit")
+
+
+def reference_approach() -> Approach:
+    return Approach(
+        "base", lambda: SequentialScanSearcher(DATASET, kernel="reference")
+    )
+
+
+class _WrongSearcher(Searcher):
+    """Returns an extra bogus match for every query."""
+
+    name = "wrong"
+
+    def search(self, query, k):
+        real = SequentialScanSearcher(DATASET).search(query, k)
+        return real + [Match("zzz-bogus", 0)]
+
+
+class _SlowSearcher(Searcher):
+    """Correct but artificially slower than anything else."""
+
+    name = "slow"
+
+    def search(self, query, k):
+        time.sleep(0.01)
+        return SequentialScanSearcher(DATASET).search(query, k)
+
+
+class TestApproachPipeline:
+    def test_reference_is_measured_once(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        assert pipeline.reference_seconds > 0
+        assert len(pipeline.reference_results) == len(WORKLOAD)
+
+    def test_correct_faster_approach_accepted(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        outcome = pipeline.evaluate(Approach(
+            "banded",
+            lambda: SequentialScanSearcher(DATASET, kernel="banded"),
+        ))
+        assert outcome.correct
+        assert outcome.accepted
+        assert pipeline.best[0] == "banded"
+
+    def test_wrong_approach_rejected_with_reason(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        outcome = pipeline.evaluate(Approach("wrong",
+                                             lambda: _WrongSearcher()))
+        assert not outcome.correct
+        assert not outcome.accepted
+        assert outcome.error is not None
+        assert "zzz-bogus" in outcome.error
+
+    def test_slower_approach_rejected_but_correct(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        fast = pipeline.evaluate(Approach(
+            "fast",
+            lambda: SequentialScanSearcher(DATASET, kernel="bitparallel"),
+        ))
+        slow = pipeline.evaluate(Approach("slow",
+                                          lambda: _SlowSearcher()))
+        assert fast.accepted
+        assert slow.correct
+        assert not slow.accepted
+        assert pipeline.best[0] == "fast"
+
+    def test_wrong_approach_never_becomes_baseline(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        pipeline.evaluate(Approach("wrong", lambda: _WrongSearcher()))
+        assert pipeline.best[0] == "base"
+
+    def test_run_preserves_order(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        outcomes = pipeline.run([
+            Approach("a", lambda: SequentialScanSearcher(DATASET)),
+            Approach("b", lambda: _WrongSearcher()),
+        ])
+        assert [o.name for o in outcomes] == ["a", "b"]
+
+    def test_build_failure_is_reported_not_raised(self):
+        from repro.exceptions import ReproError
+
+        def broken_build():
+            raise ReproError("cannot build")
+
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        outcome = pipeline.evaluate(Approach("broken", broken_build))
+        assert not outcome.correct
+        assert outcome.error == "cannot build"
+
+    def test_report_contains_all_rows(self):
+        pipeline = ApproachPipeline(reference_approach(), WORKLOAD)
+        outcomes = pipeline.run([
+            Approach("banded",
+                     lambda: SequentialScanSearcher(DATASET,
+                                                    kernel="banded")),
+        ])
+        report = pipeline.report(outcomes)
+        assert "base" in report
+        assert "banded" in report
+        assert "best:" in report
+
+
+class TestStageOutcome:
+    def test_table_row_states_status(self):
+        accepted = StageOutcome("x", 1.0, correct=True, accepted=True)
+        slower = StageOutcome("y", 2.0, correct=True, accepted=False)
+        wrong = StageOutcome("z", 0.1, correct=False, accepted=False)
+        assert "accepted" in accepted.table_row()
+        assert "slower" in slower.table_row()
+        assert "WRONG" in wrong.table_row()

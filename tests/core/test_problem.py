@@ -1,0 +1,46 @@
+"""Unit tests for the problem statement."""
+
+import pytest
+
+from repro.core.problem import SimilaritySearchProblem
+from repro.exceptions import InvalidThresholdError, ReproError
+
+
+class TestSimilaritySearchProblem:
+    def test_dataset_is_normalized_to_tuple(self):
+        problem = SimilaritySearchProblem(["b", "a"])
+        assert problem.dataset == ("b", "a")
+        assert problem.size == 2
+
+    def test_duplicates_are_preserved(self):
+        problem = SimilaritySearchProblem(["x", "x"])
+        assert problem.size == 2
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ReproError):
+            SimilaritySearchProblem(["ok", ""])
+
+    def test_max_length(self):
+        assert SimilaritySearchProblem(["ab", "abcde"]).max_length == 5
+        assert SimilaritySearchProblem([]).max_length == 0
+
+    def test_brute_force_equation_one(self):
+        # Equation (1): x in X and ed(q, x) <= k.
+        problem = SimilaritySearchProblem(
+            ["Berlin", "Bern", "Ulm", "Bremen"]
+        )
+        assert problem.solve_brute_force("Bern", 0) == ["Bern"]
+        assert problem.solve_brute_force("Bern", 2) == ["Berlin", "Bern"]
+        assert problem.solve_brute_force("zzz", 1) == []
+
+    def test_brute_force_deduplicates(self):
+        problem = SimilaritySearchProblem(["Ulm", "Ulm"])
+        assert problem.solve_brute_force("Ulm", 0) == ["Ulm"]
+
+    def test_brute_force_rejects_bad_threshold(self):
+        problem = SimilaritySearchProblem(["a"])
+        with pytest.raises(InvalidThresholdError):
+            problem.solve_brute_force("a", -1)
+
+    def test_name_label(self):
+        assert SimilaritySearchProblem(["a"], "cities").name == "cities"

@@ -1,0 +1,59 @@
+"""Contract tests for the Searcher base class / workload execution."""
+
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.data.workload import Workload
+from repro.parallel.executor import ThreadPoolRunner
+
+
+class RecordingSearcher(Searcher):
+    """A deterministic stand-in that logs every search call."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.calls: list[tuple[str, int]] = []
+
+    def search(self, query: str, k: int) -> list[Match]:
+        self.calls.append((query, k))
+        # Match the query's reverse at distance k — arbitrary but
+        # deterministic, so ordering is observable.
+        return [Match(query[::-1], k)]
+
+
+class TestRunWorkloadContract:
+    def test_rows_follow_workload_order(self):
+        searcher = RecordingSearcher()
+        workload = Workload(("q1", "q2", "q3"), 2, "order")
+        results = searcher.run_workload(workload)
+        assert results.queries == ("q1", "q2", "q3")
+        assert results.strings_for(0) == ("1q",)
+        assert results.strings_for(2) == ("3q",)
+
+    def test_threshold_propagates_to_every_call(self):
+        searcher = RecordingSearcher()
+        workload = Workload(("a", "b"), 7, "k-prop")
+        searcher.run_workload(workload)
+        assert searcher.calls == [("a", 7), ("b", 7)]
+
+    def test_runner_injection_preserves_rows(self):
+        serial = RecordingSearcher()
+        threaded = RecordingSearcher()
+        workload = Workload(tuple(f"q{i}" for i in range(20)), 1, "run")
+        expected = serial.run_workload(workload)
+        actual = threaded.run_workload(workload,
+                                       ThreadPoolRunner(threads=4))
+        assert actual == expected
+
+    def test_empty_workload(self):
+        searcher = RecordingSearcher()
+        results = searcher.run_workload(Workload((), 1, "empty"))
+        assert len(results) == 0
+        assert searcher.calls == []
+
+    def test_duplicate_queries_each_get_a_row(self):
+        searcher = RecordingSearcher()
+        workload = Workload(("same", "same"), 0, "dups")
+        results = searcher.run_workload(workload)
+        assert len(results) == 2
+        assert len(searcher.calls) == 2

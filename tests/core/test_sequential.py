@@ -1,0 +1,117 @@
+"""Unit tests for the sequential scan searcher."""
+
+import pytest
+
+from repro.core.sequential import KERNELS, SequentialScanSearcher
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import ReproError
+from repro.filters.base import FilterChain
+from repro.filters.frequency import FrequencyVectorFilter
+from repro.filters.length import LengthFilter
+
+DATASET = ["Berlin", "Bern", "Ulm", "Hamburg", "Bremen", "Bern"]
+
+
+def brute_force(query, k):
+    return sorted({s for s in DATASET if edit_distance(query, s) <= k})
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_every_kernel_equals_brute_force(self, kernel):
+        searcher = SequentialScanSearcher(DATASET, kernel=kernel)
+        for query in ("Bern", "Berlln", "Ul", "zzz", "Hamburg"):
+            for k in (0, 1, 2, 3):
+                actual = [m.string for m in searcher.search(query, k)]
+                assert actual == brute_force(query, k), (kernel, query, k)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_distances_are_exact(self, kernel):
+        searcher = SequentialScanSearcher(DATASET, kernel=kernel)
+        for match in searcher.search("Bermen", 2):
+            assert match.distance == edit_distance("Bermen", match.string)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ReproError):
+            SequentialScanSearcher(DATASET, kernel="quantum")
+
+    def test_duplicates_reported_once(self):
+        searcher = SequentialScanSearcher(DATASET)
+        matches = searcher.search("Bern", 0)
+        assert [m.string for m in matches] == ["Bern"]
+
+
+class TestLengthOrdering:
+    def test_sorted_scan_equals_plain_scan(self):
+        plain = SequentialScanSearcher(DATASET, kernel="bitparallel")
+        ordered = SequentialScanSearcher(DATASET, kernel="bitparallel",
+                                         order="length")
+        for query in ("Bern", "B", "Hamburg!", ""):
+            for k in (0, 1, 2):
+                assert ordered.search(query, k) == plain.search(query, k)
+
+    def test_window_restricts_candidates(self):
+        ordered = SequentialScanSearcher(DATASET, order="length")
+        window = ordered._candidates("Ulm", 1)
+        assert all(2 <= len(s) <= 4 for s in window)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ReproError):
+            SequentialScanSearcher(DATASET, order="alphabet")
+
+
+class TestPrefilter:
+    def test_sound_prefilter_preserves_results(self):
+        chain = FilterChain([LengthFilter(),
+                             FrequencyVectorFilter("AEIOU")])
+        filtered = SequentialScanSearcher(DATASET, kernel="banded",
+                                          prefilter=chain)
+        plain = SequentialScanSearcher(DATASET, kernel="banded")
+        for query in ("Bern", "Bremen", "Ulm"):
+            for k in (0, 1, 2):
+                assert filtered.search(query, k) == plain.search(query, k)
+
+    def test_prefilter_reduces_kernel_work(self):
+        chain = FilterChain([LengthFilter()])
+        searcher = SequentialScanSearcher(DATASET, kernel="banded",
+                                          prefilter=chain)
+        searcher.search("Ulm", 0)
+        assert chain.stats.rejected > 0
+
+
+class TestValidation:
+    def test_empty_dataset_is_legal(self):
+        searcher = SequentialScanSearcher([])
+        assert searcher.search("anything", 3) == []
+
+    def test_empty_string_in_dataset_rejected(self):
+        with pytest.raises(ReproError):
+            SequentialScanSearcher(["ok", ""])
+
+    def test_name_reflects_configuration(self):
+        searcher = SequentialScanSearcher(DATASET, kernel="banded",
+                                          order="length")
+        assert "banded" in searcher.name
+        assert "sort" in searcher.name
+
+    def test_dataset_property(self):
+        assert SequentialScanSearcher(["a"]).dataset == ("a",)
+
+
+class TestWorkloadExecution:
+    def test_run_workload_rows_in_order(self, city_workload, city_names):
+        searcher = SequentialScanSearcher(city_names)
+        results = searcher.run_workload(city_workload)
+        assert results.queries == city_workload.queries
+        for index, query in enumerate(results.queries):
+            expected = searcher.search(query, city_workload.k)
+            assert list(results.matches_for(index)) == expected
+
+    def test_run_workload_with_runner(self, city_workload, city_names):
+        from repro.parallel.executor import ThreadPoolRunner
+
+        searcher = SequentialScanSearcher(city_names)
+        serial = searcher.run_workload(city_workload)
+        threaded = searcher.run_workload(city_workload,
+                                         ThreadPoolRunner(threads=4))
+        assert serial == threaded

@@ -1,0 +1,59 @@
+"""Unit tests for the named stage ladders."""
+
+from repro.core.pipeline import ApproachPipeline
+from repro.core.stages import index_stage_ladder, sequential_stage_ladder
+from repro.data.workload import Workload
+
+DATASET = ("Berlin", "Bern", "Ulm", "Hamburg", "Bremen")
+WORKLOAD = Workload(("Bern", "Ulm", "Hamburk"), 1, "stage-test")
+
+
+class TestSequentialLadder:
+    def test_six_stages_in_paper_order(self):
+        ladder = sequential_stage_ladder(DATASET)
+        assert len(ladder) == 6
+        assert ladder[0].name.startswith("1)")
+        assert ladder[5].name.startswith("6)")
+
+    def test_all_stages_produce_reference_results(self):
+        ladder = sequential_stage_ladder(DATASET, pool_threads=2)
+        pipeline = ApproachPipeline(ladder[0], WORKLOAD)
+        outcomes = pipeline.run(ladder[1:])
+        assert all(outcome.correct for outcome in outcomes), [
+            (o.name, o.error) for o in outcomes if not o.correct
+        ]
+
+    def test_parallel_stages_have_runners(self):
+        ladder = sequential_stage_ladder(DATASET)
+        assert ladder[4].runner is not None
+        assert ladder[5].runner is not None
+        assert ladder[0].runner is None
+
+
+class TestIndexLadder:
+    def test_three_stages_in_paper_order(self):
+        ladder = index_stage_ladder(DATASET)
+        assert len(ladder) == 3
+        assert "prefix tree" in ladder[0].name
+        assert "ompression" in ladder[1].name
+
+    def test_all_stages_produce_reference_results(self):
+        from repro.core.sequential import SequentialScanSearcher
+        from repro.core.pipeline import Approach
+
+        reference = Approach(
+            "reference",
+            lambda: SequentialScanSearcher(DATASET, kernel="reference"),
+        )
+        ladder = index_stage_ladder(DATASET, pool_threads=2)
+        pipeline = ApproachPipeline(reference, WORKLOAD)
+        outcomes = pipeline.run(ladder)
+        assert all(outcome.correct for outcome in outcomes), [
+            (o.name, o.error) for o in outcomes if not o.correct
+        ]
+
+    def test_adaptive_variant(self):
+        from repro.parallel.adaptive import AdaptiveManager
+
+        ladder = index_stage_ladder(DATASET, adaptive=True)
+        assert isinstance(ladder[2].runner, AdaptiveManager)

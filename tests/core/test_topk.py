@@ -1,0 +1,76 @@
+"""Unit tests for top-k search."""
+
+import pytest
+
+from repro.core.indexed import IndexedSearcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.topk import nearest, search_topk
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import ReproError
+
+DATASET = ["Bern", "Berlin", "Bergen", "Bremen", "Ulm", "Hamburg"]
+
+
+def brute_topk(query, count):
+    ranked = sorted(
+        set(DATASET), key=lambda s: (edit_distance(query, s), s)
+    )
+    return ranked[:count]
+
+
+class TestSearchTopk:
+    def test_matches_brute_force_ranking(self):
+        searcher = SequentialScanSearcher(DATASET)
+        for query in ("Berm", "Hamborg", "U", "zzzzz"):
+            for count in (1, 2, 4, 6):
+                actual = [m.string
+                          for m in search_topk(searcher, query, count)]
+                assert actual == brute_topk(query, count), (query, count)
+
+    def test_works_on_indexed_backend(self):
+        indexed = IndexedSearcher(DATASET, index="compressed")
+        sequential = SequentialScanSearcher(DATASET)
+        for query in ("Berm", "Ulms"):
+            assert search_topk(indexed, query, 3) == \
+                search_topk(sequential, query, 3)
+
+    def test_distances_are_exact_and_sorted(self):
+        searcher = SequentialScanSearcher(DATASET)
+        matches = search_topk(searcher, "Bermen", 4)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+        for match in matches:
+            assert match.distance == edit_distance("Bermen", match.string)
+
+    def test_count_larger_than_dataset(self):
+        searcher = SequentialScanSearcher(["a", "b"])
+        assert len(search_topk(searcher, "c", 10)) == 2
+
+    def test_empty_dataset(self):
+        searcher = SequentialScanSearcher([])
+        assert search_topk(searcher, "x", 3) == []
+
+    def test_invalid_count(self):
+        searcher = SequentialScanSearcher(DATASET)
+        with pytest.raises(ReproError):
+            search_topk(searcher, "x", 0)
+
+    def test_max_k_ceiling_respected(self):
+        searcher = SequentialScanSearcher(["aaaaaaaaaa"])
+        matches = search_topk(searcher, "z", 5, max_k=2)
+        assert matches == []  # nothing within the ceiling
+
+    def test_exact_match_found_at_k_zero(self):
+        searcher = SequentialScanSearcher(DATASET)
+        (top,) = search_topk(searcher, "Ulm", 1)
+        assert top.string == "Ulm"
+        assert top.distance == 0
+
+
+class TestNearest:
+    def test_nearest_string(self):
+        searcher = SequentialScanSearcher(DATASET)
+        assert nearest(searcher, "Berm").string == "Bern"
+
+    def test_nearest_on_empty_dataset(self):
+        assert nearest(SequentialScanSearcher([]), "x") is None

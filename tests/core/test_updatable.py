@@ -1,0 +1,134 @@
+"""Unit tests for the updatable (main + delta + tombstones) index."""
+
+import pytest
+
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.updatable import UpdatableIndex
+from repro.exceptions import ReproError
+
+
+def assert_matches_scratch(index: UpdatableIndex, contents: list[str],
+                           queries=("Bern", "Ulms", "x")):
+    """The invariant: results equal a scratch-built search."""
+    reference = SequentialScanSearcher(contents, kernel="reference")
+    for query in queries:
+        for k in (0, 1, 2):
+            assert index.search(query, k) == reference.search(query, k), \
+                (query, k, contents)
+
+
+class TestBasicUpdates:
+    def test_insert_is_visible(self):
+        index = UpdatableIndex(["Bern"])
+        index.insert("Berlin")
+        assert "Berlin" in index
+        assert_matches_scratch(index, ["Bern", "Berlin"])
+
+    def test_remove_is_invisible(self):
+        index = UpdatableIndex(["Bern", "Ulm"])
+        index.remove("Ulm")
+        assert "Ulm" not in index
+        assert_matches_scratch(index, ["Bern"])
+
+    def test_remove_missing_raises(self):
+        index = UpdatableIndex(["Bern"])
+        with pytest.raises(ReproError):
+            index.remove("Ulm")
+
+    def test_duplicate_handling(self):
+        index = UpdatableIndex(["Ulm", "Ulm"])
+        index.remove("Ulm")
+        assert index.count("Ulm") == 1
+        index.remove("Ulm")
+        assert index.count("Ulm") == 0
+        with pytest.raises(ReproError):
+            index.remove("Ulm")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ReproError):
+            UpdatableIndex([""])
+        index = UpdatableIndex()
+        with pytest.raises(ReproError):
+            index.insert("")
+
+    def test_len_tracks_multiset(self):
+        index = UpdatableIndex(["a", "a", "b"])
+        assert len(index) == 3
+        index.remove("a")
+        assert len(index) == 2
+        index.insert("c")
+        assert len(index) == 3
+
+
+class TestDeltaAndTombstones:
+    def test_insert_lands_in_delta(self):
+        index = UpdatableIndex(["x" + str(i) for i in range(100)])
+        index.insert("fresh")
+        assert index.delta_size == 1
+
+    def test_remove_of_main_string_tombstones(self):
+        index = UpdatableIndex(["x" + str(i) for i in range(100)])
+        index.remove("x5")
+        assert index.tombstone_count == 1
+        assert "x5" not in index
+
+    def test_insert_cancels_tombstone(self):
+        index = UpdatableIndex(["x" + str(i) for i in range(100)])
+        index.remove("x5")
+        index.insert("x5")
+        assert index.tombstone_count == 0
+        assert "x5" in index
+
+    def test_remove_of_delta_string_avoids_tombstone(self):
+        index = UpdatableIndex(["x" + str(i) for i in range(100)])
+        index.insert("fresh")
+        index.remove("fresh")
+        assert index.delta_size == 0
+        assert index.tombstone_count == 0
+
+    def test_churn_triggers_merge(self):
+        index = UpdatableIndex([f"s{i:03d}" for i in range(40)],
+                               merge_threshold=0.25)
+        for i in range(40):
+            index.insert(f"new{i:03d}")
+        assert index.merges >= 1
+        assert index.delta_size < 40
+
+    def test_manual_merge(self):
+        index = UpdatableIndex(["a", "b"])
+        index.insert("c")
+        index.merge()
+        assert index.delta_size == 0
+        assert index.tombstone_count == 0
+        assert_matches_scratch(index, ["a", "b", "c"],
+                               queries=("a", "c", "zz"))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ReproError):
+            UpdatableIndex(merge_threshold=0.0)
+
+
+class TestEquivalenceUnderChurn:
+    def test_random_update_stream_stays_correct(self):
+        import random
+
+        rng = random.Random(77)
+        contents: list[str] = []
+        index = UpdatableIndex(merge_threshold=0.3)
+        alphabet = "abc"
+        for step in range(300):
+            if contents and rng.random() < 0.4:
+                victim = rng.choice(contents)
+                contents.remove(victim)
+                index.remove(victim)
+            else:
+                fresh = "".join(
+                    rng.choice(alphabet)
+                    for _ in range(rng.randint(1, 6))
+                )
+                contents.append(fresh)
+                index.insert(fresh)
+            if step % 50 == 49:
+                assert_matches_scratch(index, contents,
+                                       queries=("ab", "caba"))
+        assert len(index) == len(contents)

@@ -1,0 +1,72 @@
+"""Stateful property testing of the updatable index.
+
+Hypothesis drives random insert/remove/merge/search interleavings and
+checks, after every step, that the index behaves exactly like a plain
+multiset searched by brute force — the strongest form of the
+main/delta/tombstone design's correctness claim.
+"""
+
+from collections import Counter
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.updatable import UpdatableIndex
+from repro.distance.levenshtein import edit_distance
+
+strings = st.text(alphabet="abc", min_size=1, max_size=5)
+
+
+class UpdatableIndexMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.index = UpdatableIndex(merge_threshold=0.5)
+        self.model: Counter[str] = Counter()
+
+    @rule(string=strings)
+    def insert(self, string):
+        self.index.insert(string)
+        self.model[string] += 1
+
+    @precondition(lambda self: sum(self.model.values()) > 0)
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        string = data.draw(st.sampled_from(
+            sorted(self.model.elements())
+        ))
+        self.index.remove(string)
+        self.model[string] -= 1
+        if self.model[string] == 0:
+            del self.model[string]
+
+    @rule()
+    def force_merge(self):
+        self.index.merge()
+
+    @rule(query=st.text(alphabet="abcd", max_size=5),
+          k=st.integers(min_value=0, max_value=2))
+    def search_matches_brute_force(self, query, k):
+        expected = sorted(
+            string for string in self.model
+            if edit_distance(query, string) <= k
+        )
+        actual = [m.string for m in self.index.search(query, k)]
+        assert actual == expected
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.index) == sum(self.model.values())
+        for string, multiplicity in self.model.items():
+            assert self.index.count(string) == multiplicity
+
+
+TestUpdatableIndexMachine = UpdatableIndexMachine.TestCase
+TestUpdatableIndexMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+)

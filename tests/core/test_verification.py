@@ -1,0 +1,74 @@
+"""Unit tests for result verification."""
+
+import pytest
+
+from repro.core.result import Match, ResultSet
+from repro.core.verification import verify_result_sets
+from repro.exceptions import VerificationError
+
+
+def result_set(*rows, queries=None):
+    queries = queries or [f"q{i}" for i in range(len(rows))]
+    return ResultSet(queries, list(rows))
+
+
+class TestVerifyResultSets:
+    def test_identical_sets_pass(self):
+        a = result_set([Match("x", 1)], [])
+        b = result_set([Match("x", 1)], [])
+        verify_result_sets(a, b)  # no exception
+
+    def test_missing_match_detected(self):
+        reference = result_set([Match("x", 1)])
+        candidate = result_set([])
+        with pytest.raises(VerificationError) as error:
+            verify_result_sets(reference, candidate,
+                               candidate_name="broken")
+        assert "broken" in str(error.value)
+        assert error.value.missing == {"x"}
+        assert error.value.spurious == frozenset()
+
+    def test_spurious_match_detected(self):
+        reference = result_set([])
+        candidate = result_set([Match("ghost", 0)])
+        with pytest.raises(VerificationError) as error:
+            verify_result_sets(reference, candidate)
+        assert error.value.spurious == {"ghost"}
+
+    def test_wrong_distance_detected(self):
+        reference = result_set([Match("x", 1)])
+        candidate = result_set([Match("x", 2)])
+        with pytest.raises(VerificationError) as error:
+            verify_result_sets(reference, candidate)
+        assert "distance" in str(error.value)
+
+    def test_wrong_distance_tolerated_when_disabled(self):
+        reference = result_set([Match("x", 1)])
+        candidate = result_set([Match("x", 2)])
+        verify_result_sets(reference, candidate, check_distances=False)
+
+    def test_different_queries_detected(self):
+        reference = ResultSet(["q1"], [[]])
+        candidate = ResultSet(["q2"], [[]])
+        with pytest.raises(VerificationError):
+            verify_result_sets(reference, candidate)
+
+    def test_error_reports_first_differing_query(self):
+        reference = ResultSet(["fine", "bad"],
+                              [[Match("a", 0)], [Match("b", 0)]])
+        candidate = ResultSet(["fine", "bad"],
+                              [[Match("a", 0)], []])
+        with pytest.raises(VerificationError) as error:
+            verify_result_sets(reference, candidate)
+        assert "bad" in str(error.value)
+
+    def test_aggregates_across_queries(self):
+        reference = result_set([Match("x", 0)], [Match("y", 0)])
+        candidate = result_set([], [Match("z", 0)])
+        with pytest.raises(VerificationError) as error:
+            verify_result_sets(reference, candidate)
+        assert error.value.missing == {"x", "y"}
+        assert error.value.spurious == {"z"}
+
+    def test_empty_sets_pass(self):
+        verify_result_sets(ResultSet([], []), ResultSet([], []))

@@ -1,0 +1,87 @@
+"""Unit tests for alphabets and encoders."""
+
+import pytest
+
+from repro.data.alphabet import (
+    DNA_ALPHABET,
+    Alphabet,
+    ascii_lowercase_alphabet,
+    city_alphabet,
+    dna_alphabet,
+)
+from repro.exceptions import AlphabetError
+
+
+class TestAlphabet:
+    def test_size_and_contains(self):
+        assert DNA_ALPHABET.size == 5
+        assert "A" in DNA_ALPHABET
+        assert "X" not in DNA_ALPHABET
+
+    def test_codes_follow_symbol_order(self):
+        assert DNA_ALPHABET.code("A") == 0
+        assert DNA_ALPHABET.code("T") == 4
+
+    def test_code_of_foreign_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA_ALPHABET.code("X")
+
+    def test_encode_decode_roundtrip(self):
+        text = "GATTNACA"
+        assert DNA_ALPHABET.decode(DNA_ALPHABET.encode(text)) == text
+
+    def test_encode_rejects_foreign_symbols_with_position(self):
+        with pytest.raises(AlphabetError) as error:
+            DNA_ALPHABET.encode("ACXG")
+        assert "position 2" in str(error.value)
+
+    def test_decode_rejects_out_of_range_codes(self):
+        with pytest.raises(AlphabetError):
+            DNA_ALPHABET.decode((0, 7))
+
+    def test_validate_passes_clean_text(self):
+        assert DNA_ALPHABET.validate("ACGT") == "ACGT"
+
+    def test_validate_flags_position(self):
+        with pytest.raises(AlphabetError) as error:
+            DNA_ALPHABET.validate("AC!T")
+        assert "position 2" in str(error.value)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("empty", "")
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("dup", "AAB")
+
+    def test_bits_per_symbol(self):
+        assert DNA_ALPHABET.bits_per_symbol == 3  # the paper's 3 bits
+        assert Alphabet("bin", "01").bits_per_symbol == 1
+        assert Alphabet("one", "x").bits_per_symbol == 1
+        assert ascii_lowercase_alphabet().bits_per_symbol == 5
+
+    def test_frequency_vector_full_alphabet(self):
+        assert DNA_ALPHABET.frequency_vector("AACGT") == (2, 1, 1, 0, 1)
+
+    def test_frequency_vector_tracked_subset(self):
+        assert DNA_ALPHABET.frequency_vector("AACGT", "AT") == (2, 1)
+
+
+class TestBuiltinAlphabets:
+    def test_dna_alphabet_is_cached_singleton(self):
+        assert dna_alphabet() is dna_alphabet()
+        assert dna_alphabet() is DNA_ALPHABET
+
+    def test_city_alphabet_is_large(self):
+        # Table I: "ca. 255 symbols" — large multilingual inventory.
+        assert city_alphabet().size > 200
+
+    def test_city_alphabet_spans_scripts(self):
+        alphabet = city_alphabet()
+        for symbol in ("a", "Z", "ß", "é", "Ω", "ж", "北"):
+            assert symbol in alphabet, symbol
+
+    def test_city_alphabet_has_no_duplicates(self):
+        symbols = city_alphabet().symbols
+        assert len(symbols) == len(set(symbols))

@@ -1,0 +1,65 @@
+"""Unit tests for the city-name generator."""
+
+import pytest
+
+from repro.data.alphabet import city_alphabet
+from repro.data.cities import (
+    MAX_CITY_NAME_LENGTH,
+    CityNameGenerator,
+    generate_city_names,
+)
+
+
+class TestCityNameGenerator:
+    def test_deterministic_given_seed(self):
+        assert generate_city_names(50, seed=1) == \
+            generate_city_names(50, seed=1)
+
+    def test_different_seeds_differ(self):
+        assert generate_city_names(50, seed=1) != \
+            generate_city_names(50, seed=2)
+
+    def test_count(self):
+        assert len(generate_city_names(123, seed=5)) == 123
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_city_names(-1)
+
+    def test_zero_count(self):
+        assert generate_city_names(0) == []
+
+    def test_lengths_respect_table_one(self):
+        names = generate_city_names(2000, seed=9)
+        assert all(1 <= len(name) <= MAX_CITY_NAME_LENGTH
+                   for name in names)
+
+    def test_all_symbols_in_city_alphabet(self):
+        alphabet = city_alphabet()
+        for name in generate_city_names(2000, seed=13):
+            alphabet.validate(name)
+
+    def test_natural_language_shape(self):
+        names = generate_city_names(2000, seed=17)
+        mean_length = sum(len(n) for n in names) / len(names)
+        # Short-string regime of the paper's section 2.4.
+        assert 5 <= mean_length <= 25
+        # A healthy symbol inventory (large-alphabet regime).
+        assert len(set("".join(names))) > 60
+
+    def test_contains_near_duplicates(self):
+        # Gazetteers repeat stems ("Neustadt", "Neustadt am ...");
+        # the generator should too, via shared morphology.
+        names = generate_city_names(5000, seed=23)
+        prefixes = {}
+        for name in names:
+            prefixes.setdefault(name[:4], []).append(name)
+        assert any(len(group) > 3 for group in prefixes.values())
+
+    def test_unique_mode(self):
+        names = CityNameGenerator(seed=3).generate(500, unique=True)
+        assert len(set(names)) == 500
+
+    def test_duplicates_allowed_by_default(self):
+        names = generate_city_names(20000, seed=29)
+        assert len(set(names)) < len(names)

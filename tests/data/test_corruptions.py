@@ -1,0 +1,70 @@
+"""Unit tests for controlled corruption."""
+
+import random
+
+import pytest
+
+from repro.data.corruptions import (
+    EDIT_OPERATIONS,
+    apply_one_edit,
+    apply_random_edits,
+    edit_script_names,
+)
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import ReproError
+
+
+class TestApplyOneEdit:
+    def test_changes_by_at_most_one_edit(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            corrupted = apply_one_edit("Berlin", "abc", rng)
+            assert edit_distance("Berlin", corrupted) <= 1
+
+    def test_empty_string_gets_insert(self):
+        rng = random.Random(2)
+        corrupted = apply_one_edit("", "xyz", rng)
+        assert len(corrupted) == 1
+
+    def test_replace_avoids_noop_when_possible(self):
+        rng = random.Random(3)
+        # Alphabet of two symbols: a replace on "a" must produce "b".
+        for _ in range(100):
+            corrupted = apply_one_edit("a", "ab", rng)
+            assert corrupted in ("b", "", "aa", "ba", "ab")
+
+    def test_empty_symbol_pool_rejected(self):
+        with pytest.raises(ReproError):
+            apply_one_edit("abc", "", random.Random(4))
+
+
+class TestApplyRandomEdits:
+    def test_distance_bounded_by_edit_count(self):
+        for seed in range(30):
+            corrupted = apply_random_edits("Hamburg", 3, "abcdefg",
+                                           seed=seed)
+            assert edit_distance("Hamburg", corrupted) <= 3
+
+    def test_zero_edits_is_identity(self):
+        assert apply_random_edits("Bern", 0, "abc", seed=5) == "Bern"
+
+    def test_negative_edits_rejected(self):
+        with pytest.raises(ValueError):
+            apply_random_edits("Bern", -1, "abc")
+
+    def test_deterministic_for_seed(self):
+        assert apply_random_edits("Berlin", 2, "abc", seed=9) == \
+            apply_random_edits("Berlin", 2, "abc", seed=9)
+
+    def test_accepts_shared_rng(self):
+        rng = random.Random(11)
+        first = apply_random_edits("Berlin", 2, "abc", seed=rng)
+        second = apply_random_edits("Berlin", 2, "abc", seed=rng)
+        # Drawing from one stream, the two results generally differ.
+        assert isinstance(first, str) and isinstance(second, str)
+
+
+class TestOperationNames:
+    def test_paper_operations(self):
+        assert set(edit_script_names()) == {"insert", "delete", "replace"}
+        assert edit_script_names() == EDIT_OPERATIONS

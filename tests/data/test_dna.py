@@ -1,0 +1,95 @@
+"""Unit tests for the DNA read generator."""
+
+import pytest
+
+from repro.data.dna import DnaReadGenerator, generate_reads, synthesize_genome
+
+
+class TestSynthesizeGenome:
+    def test_exact_length(self):
+        assert len(synthesize_genome(5000, seed=1)) == 5000
+
+    def test_zero_length(self):
+        assert synthesize_genome(0) == ""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_genome(-1)
+
+    def test_bad_repeat_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_genome(100, repeat_fraction=1.5)
+
+    def test_alphabet_is_acgt(self):
+        genome = synthesize_genome(3000, seed=2)
+        assert set(genome) <= set("ACGT")
+
+    def test_deterministic(self):
+        assert synthesize_genome(1000, seed=7) == \
+            synthesize_genome(1000, seed=7)
+
+    def test_repeats_create_self_similarity(self):
+        genome = synthesize_genome(20000, seed=3, repeat_fraction=0.5)
+        # Some 30-mer must occur more than once in a repeat-rich genome.
+        kmers = {}
+        for i in range(0, len(genome) - 30, 7):
+            kmer = genome[i:i + 30]
+            kmers[kmer] = kmers.get(kmer, 0) + 1
+        assert any(count > 1 for count in kmers.values())
+
+
+class TestDnaReadGenerator:
+    def test_alphabet_is_five_symbols(self):
+        generator = DnaReadGenerator(genome_length=4000, seed=4)
+        reads = generator.generate(200)
+        assert set("".join(reads)) <= set("ACGNT")
+
+    def test_read_lengths_near_target(self):
+        generator = DnaReadGenerator(genome_length=4000, read_length=100,
+                                     length_jitter=4, seed=5)
+        reads = generator.generate(200)
+        # Indels can shift by a couple of symbols beyond the jitter.
+        assert all(90 <= len(read) <= 110 for read in reads)
+
+    def test_deterministic(self):
+        a = DnaReadGenerator(genome_length=3000, seed=6).generate(50)
+        b = DnaReadGenerator(genome_length=3000, seed=6).generate(50)
+        assert a == b
+
+    def test_reads_resemble_genome(self):
+        generator = DnaReadGenerator(genome_length=3000, read_length=40,
+                                     substitution_rate=0.0, indel_rate=0.0,
+                                     n_rate=0.0, length_jitter=0, seed=7)
+        genome = generator.genome
+        for read in generator.generate(20):
+            assert read in genome  # noise-free reads are exact windows
+
+    def test_n_symbols_appear_at_configured_rate(self):
+        generator = DnaReadGenerator(genome_length=5000, n_rate=0.05,
+                                     seed=8)
+        reads = generator.generate(100)
+        text = "".join(reads)
+        n_fraction = text.count("N") / len(text)
+        assert 0.02 < n_fraction < 0.10
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            DnaReadGenerator(genome_length=50, read_length=100)
+        with pytest.raises(ValueError):
+            DnaReadGenerator(read_length=0)
+
+    def test_negative_count_rejected(self):
+        generator = DnaReadGenerator(genome_length=3000)
+        with pytest.raises(ValueError):
+            generator.generate(-1)
+
+
+class TestGenerateReadsWrapper:
+    def test_count_and_alphabet(self):
+        reads = generate_reads(80, seed=10)
+        assert len(reads) == 80
+        assert set("".join(reads)) <= set("ACGNT")
+
+    def test_custom_read_length(self):
+        reads = generate_reads(30, seed=11, read_length=50)
+        assert all(40 <= len(read) <= 60 for read in reads)

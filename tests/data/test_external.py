@@ -1,0 +1,123 @@
+"""Unit tests for external-format loaders."""
+
+import pytest
+
+from repro.data.external import (
+    read_delimited_column,
+    read_fasta,
+    write_fasta,
+)
+from repro.exceptions import DatasetFormatError
+
+
+class TestReadDelimitedColumn:
+    def test_geonames_style_extraction(self, tmp_path):
+        path = tmp_path / "geonames.txt"
+        path.write_text(
+            "2950159\tBerlin\tBerlin\t52.52\n"
+            "2867714\tMünchen\tMunich\t48.13\n",
+            encoding="utf-8",
+        )
+        assert read_delimited_column(path, 1) == ["Berlin", "München"]
+
+    def test_other_columns_and_delimiters(self, tmp_path):
+        path = tmp_path / "csv.txt"
+        path.write_text("a,b,c\nd,e,f\n", encoding="utf-8")
+        assert read_delimited_column(path, 2, delimiter=",") == \
+            ["c", "f"]
+
+    def test_max_count(self, tmp_path):
+        path = tmp_path / "many.txt"
+        path.write_text("".join(f"{i}\tname{i}\n" for i in range(50)),
+                        encoding="utf-8")
+        assert len(read_delimited_column(path, 1, max_count=10)) == 10
+
+    def test_blank_fields_skipped_by_default(self, tmp_path):
+        path = tmp_path / "gaps.txt"
+        path.write_text("1\tBerlin\n2\t\n3\tUlm\n", encoding="utf-8")
+        assert read_delimited_column(path, 1) == ["Berlin", "Ulm"]
+
+    def test_blank_fields_can_raise(self, tmp_path):
+        path = tmp_path / "gaps.txt"
+        path.write_text("1\t\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError):
+            read_delimited_column(path, 1, skip_blank_fields=False)
+
+    def test_short_row_raises_with_location(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("only-one-field\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError) as error:
+            read_delimited_column(path, 1)
+        assert "line 1" in str(error.value)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blanks.txt"
+        path.write_text("1\ta\n\n2\tb\n", encoding="utf-8")
+        assert read_delimited_column(path, 1) == ["a", "b"]
+
+    def test_invalid_utf8(self, tmp_path):
+        path = tmp_path / "bin.txt"
+        path.write_bytes(b"\xff\xfe\tbad\n")
+        with pytest.raises(DatasetFormatError):
+            read_delimited_column(path, 1)
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "reads.fa"
+        sequences = ["ACGT" * 30, "GATTACA", "NNNN"]
+        assert write_fasta(path, sequences) == 3
+        assert read_fasta(path) == sequences
+
+    def test_wrapped_sequences_joined(self, tmp_path):
+        path = tmp_path / "wrapped.fa"
+        path.write_text(">r1\nACGT\nACGT\n>r2\nGG\n", encoding="utf-8")
+        assert read_fasta(path) == ["ACGTACGT", "GG"]
+
+    def test_case_folding(self, tmp_path):
+        path = tmp_path / "soft.fa"
+        path.write_text(">r1\nacgT\n", encoding="utf-8")
+        assert read_fasta(path) == ["ACGT"]
+        assert read_fasta(path, uppercase=False, alphabet=None) == \
+            ["acgT"]
+
+    def test_alphabet_enforced(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text(">r1\nACGTX\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError) as error:
+            read_fasta(path)
+        assert "X" in str(error.value)
+
+    def test_alphabet_can_be_disabled(self, tmp_path):
+        path = tmp_path / "protein.fa"
+        path.write_text(">p1\nMKVL\n", encoding="utf-8")
+        assert read_fasta(path, alphabet=None) == ["MKVL"]
+
+    def test_sequence_before_header_rejected(self, tmp_path):
+        path = tmp_path / "headerless.fa"
+        path.write_text("ACGT\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError):
+            read_fasta(path)
+
+    def test_empty_record_rejected(self, tmp_path):
+        path = tmp_path / "empty.fa"
+        path.write_text(">r1\n>r2\nACGT\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError):
+            read_fasta(path)
+
+    def test_max_count(self, tmp_path):
+        path = tmp_path / "many.fa"
+        write_fasta(path, ["ACGT"] * 20)
+        assert len(read_fasta(path, max_count=5)) == 5
+
+    def test_write_rejects_empty_sequence(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            write_fasta(tmp_path / "x.fa", ["ACGT", ""])
+
+    def test_generated_reads_roundtrip(self, tmp_path):
+        from repro.data.dna import generate_reads
+
+        reads = generate_reads(25, seed=5)
+        path = tmp_path / "gen.fa"
+        write_fasta(path, reads)
+        assert read_fasta(path) == reads

@@ -1,0 +1,106 @@
+"""Unit tests for competition file I/O."""
+
+import pytest
+
+from repro.data.io import (
+    read_queries,
+    read_result_file,
+    read_strings,
+    write_result_file,
+    write_strings,
+)
+from repro.exceptions import DatasetFormatError
+
+
+class TestReadStrings:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "data.txt"
+        strings = ["Berlin", "Bern", "Ulm"]
+        assert write_strings(path, strings) == 3
+        assert read_strings(path) == strings
+
+    def test_unicode_roundtrip(self, tmp_path):
+        path = tmp_path / "unicode.txt"
+        strings = ["Köln", "Владивосток", "北京市"]
+        write_strings(path, strings)
+        assert read_strings(path) == strings
+
+    def test_max_count(self, tmp_path):
+        path = tmp_path / "data.txt"
+        write_strings(path, ["a", "b", "c", "d"])
+        assert read_strings(path, max_count=2) == ["a", "b"]
+
+    def test_blank_line_rejected_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("ok\n\nalso ok\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError) as error:
+            read_strings(path)
+        assert "line 2" in str(error.value)
+
+    def test_empty_file_rejected_by_default(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetFormatError):
+            read_strings(path)
+
+    def test_empty_file_allowed_when_asked(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("", encoding="utf-8")
+        assert read_strings(path, allow_empty_file=True) == []
+
+    def test_invalid_utf8_rejected(self, tmp_path):
+        path = tmp_path / "binary.txt"
+        path.write_bytes(b"\xff\xfe\x00bad")
+        with pytest.raises(DatasetFormatError):
+            read_strings(path)
+
+    def test_crlf_line_endings_handled(self, tmp_path):
+        path = tmp_path / "crlf.txt"
+        path.write_bytes(b"Berlin\r\nBern\r\n")
+        assert read_strings(path) == ["Berlin", "Bern"]
+
+    def test_read_queries_same_format(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        write_strings(path, ["q1", "q2"])
+        assert read_queries(path) == ["q1", "q2"]
+
+
+class TestWriteStrings:
+    def test_rejects_empty_string(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            write_strings(tmp_path / "x.txt", ["ok", ""])
+
+    def test_rejects_embedded_newline(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            write_strings(tmp_path / "x.txt", ["bad\nstring"])
+
+
+class TestResultFiles:
+    def test_roundtrip_with_mapping(self, tmp_path):
+        path = tmp_path / "results.txt"
+        queries = ["q1", "q2", "q3"]
+        results = {"q1": ("a", "b"), "q2": (), "q3": ("c",)}
+        write_result_file(path, queries, results)
+        assert read_result_file(path) == [
+            ("q1", ["a", "b"]), ("q2", []), ("q3", ["c"]),
+        ]
+
+    def test_roundtrip_with_parallel_rows(self, tmp_path):
+        path = tmp_path / "results.txt"
+        write_result_file(path, ["q1", "q2"], [["a"], []])
+        assert read_result_file(path) == [("q1", ["a"]), ("q2", [])]
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            write_result_file(tmp_path / "x.txt", ["q1", "q2"], [["a"]])
+
+    def test_query_missing_from_mapping_gets_empty_row(self, tmp_path):
+        path = tmp_path / "results.txt"
+        write_result_file(path, ["q1"], {})
+        assert read_result_file(path) == [("q1", [])]
+
+    def test_blank_result_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("q1\ta\n\n", encoding="utf-8")
+        with pytest.raises(DatasetFormatError):
+            read_result_file(path)

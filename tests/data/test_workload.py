@@ -1,0 +1,139 @@
+"""Unit tests for query workloads."""
+
+import pytest
+
+from repro.data.workload import (
+    CITY_THRESHOLDS,
+    DNA_THRESHOLDS,
+    PAPER_QUERY_COUNTS,
+    Workload,
+    make_workload,
+    paper_workloads,
+)
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import InvalidThresholdError, ReproError
+
+DATASET = ["Berlin", "Bern", "Ulm", "Hamburg", "Bremen"]
+
+
+class TestWorkload:
+    def test_basic_properties(self):
+        workload = Workload(("a", "b"), 2, name="demo")
+        assert len(workload) == 2
+        assert list(workload) == ["a", "b"]
+        assert workload.k == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            Workload(("a",), -1)
+
+    def test_take_prefix(self):
+        workload = Workload(("a", "b", "c"), 1, name="demo")
+        taken = workload.take(2)
+        assert taken.queries == ("a", "b")
+        assert taken.k == 1
+        assert "demo" in taken.name
+
+    def test_take_more_than_available(self):
+        workload = Workload(("a",), 0)
+        assert len(workload.take(10)) == 1
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(("a",), 0).take(-1)
+
+
+class TestMakeWorkload:
+    def test_count_and_threshold(self):
+        workload = make_workload(DATASET, 20, 2,
+                                 alphabet_symbols="abc", seed=1)
+        assert len(workload) == 20
+        assert workload.k == 2
+
+    def test_deterministic(self):
+        a = make_workload(DATASET, 10, 2, alphabet_symbols="abc", seed=3)
+        b = make_workload(DATASET, 10, 2, alphabet_symbols="abc", seed=3)
+        assert a.queries == b.queries
+
+    def test_every_query_has_a_match_at_k(self):
+        workload = make_workload(DATASET, 30, 2,
+                                 alphabet_symbols="abc", seed=5)
+        for query in workload:
+            assert any(edit_distance(query, s) <= workload.k
+                       for s in DATASET), query
+
+    def test_unperturbed_queries_are_dataset_strings(self):
+        workload = make_workload(DATASET, 15, 2, perturb=False,
+                                 alphabet_symbols="abc", seed=7)
+        assert all(query in DATASET for query in workload)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ReproError):
+            make_workload([], 5, 1, alphabet_symbols="abc")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload(DATASET, -1, 1, alphabet_symbols="abc")
+
+    def test_k_zero_yields_exact_queries(self):
+        workload = make_workload(DATASET, 10, 0,
+                                 alphabet_symbols="abc", seed=9)
+        assert all(query in DATASET for query in workload)
+
+
+class TestWorkloadPersistence:
+    def test_roundtrip(self, tmp_path):
+        from repro.data.workload import load_workload, save_workload
+
+        workload = make_workload(DATASET, 8, 2,
+                                 alphabet_symbols="abc", seed=13,
+                                 name="persisted")
+        path = tmp_path / "queries.txt"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.queries == workload.queries
+        assert loaded.k == workload.k
+        assert loaded.name == "persisted"
+
+    def test_query_file_stays_competition_compatible(self, tmp_path):
+        from repro.data.io import read_queries
+        from repro.data.workload import save_workload
+
+        workload = Workload(("Bern", "Ulm"), 1, "compat")
+        path = tmp_path / "queries.txt"
+        save_workload(workload, path)
+        assert read_queries(path) == ["Bern", "Ulm"]
+
+    def test_missing_sidecar_raises(self, tmp_path):
+        from repro.data.io import write_strings
+        from repro.data.workload import load_workload
+
+        path = tmp_path / "bare.txt"
+        write_strings(path, ["q1"])
+        with pytest.raises(ReproError):
+            load_workload(path)
+
+    def test_malformed_sidecar_raises(self, tmp_path):
+        from repro.data.io import write_strings
+        from repro.data.workload import load_workload
+
+        path = tmp_path / "bad.txt"
+        write_strings(path, ["q1"])
+        (tmp_path / "bad.txt.meta.json").write_text("{not json",
+                                                    encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_workload(path)
+
+
+class TestPaperWorkloads:
+    def test_counts_match_paper(self):
+        assert PAPER_QUERY_COUNTS == (100, 500, 1000)
+        assert CITY_THRESHOLDS == (0, 1, 2, 3)
+        assert DNA_THRESHOLDS == (0, 4, 8, 16)
+
+    def test_nested_prefixes(self):
+        series = paper_workloads(DATASET, 1, alphabet_symbols="abc",
+                                 seed=11, counts=(5, 10, 20))
+        assert set(series) == {5, 10, 20}
+        assert series[5].queries == series[20].queries[:5]
+        assert series[10].queries == series[20].queries[:10]

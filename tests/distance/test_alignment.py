@@ -1,0 +1,83 @@
+"""Unit tests for edit-script extraction."""
+
+from repro.distance.alignment import (
+    DELETE,
+    INSERT,
+    MATCH,
+    REPLACE,
+    align,
+    apply_script,
+    edit_script,
+)
+from repro.distance.levenshtein import edit_distance
+
+
+class TestAlign:
+    def test_identical_strings_all_match(self):
+        ops = align("same", "same")
+        assert all(op.kind == MATCH for op in ops)
+        assert sum(op.cost for op in ops) == 0
+
+    def test_cost_equals_distance(self):
+        pairs = [("AGGCGT", "AGAGT"), ("kitten", "sitting"),
+                 ("", "abc"), ("abc", ""), ("Bern", "Berlin")]
+        for x, y in pairs:
+            assert sum(op.cost for op in align(x, y)) == edit_distance(x, y)
+
+    def test_pure_insertion(self):
+        ops = align("", "ab")
+        assert [op.kind for op in ops] == [INSERT, INSERT]
+
+    def test_pure_deletion(self):
+        ops = align("ab", "")
+        assert [op.kind for op in ops] == [DELETE, DELETE]
+
+    def test_replace_detected(self):
+        ops = align("cat", "cut")
+        kinds = [op.kind for op in ops]
+        assert kinds == [MATCH, REPLACE, MATCH]
+
+    def test_indices_are_consistent(self):
+        for x, y in [("AGGCGT", "AGAGT"), ("flaw", "lawn")]:
+            x_cursor = 0
+            y_cursor = 0
+            for op in align(x, y):
+                if op.kind in (MATCH, REPLACE):
+                    assert op.x_index == x_cursor
+                    assert op.y_index == y_cursor
+                    x_cursor += 1
+                    y_cursor += 1
+                elif op.kind == DELETE:
+                    assert op.x_index == x_cursor
+                    assert op.y_index is None
+                    x_cursor += 1
+                else:
+                    assert op.x_index is None
+                    assert op.y_index == y_cursor
+                    y_cursor += 1
+            assert x_cursor == len(x)
+            assert y_cursor == len(y)
+
+    def test_apply_script_reconstructs_target(self):
+        pairs = [("AGGCGT", "AGAGT"), ("Bern", "Berlin"),
+                 ("", "xyz"), ("xyz", ""), ("flaw", "lawn")]
+        for x, y in pairs:
+            assert apply_script(x, align(x, y), y) == y
+
+
+class TestEditScript:
+    def test_insert_script(self):
+        lines = edit_script("Bern", "Berlin")
+        assert lines == ["insert 'l' at 3", "insert 'i' at 4"]
+
+    def test_match_only_script_is_empty(self):
+        assert edit_script("Ulm", "Ulm") == []
+
+    def test_replace_script_mentions_both_symbols(self):
+        lines = edit_script("cat", "cut")
+        assert lines == ["replace 'a' at 1 with 'u'"]
+
+    def test_delete_script(self):
+        lines = edit_script("cart", "cat")
+        assert any(line.startswith("delete") for line in lines)
+        assert len(lines) == 1

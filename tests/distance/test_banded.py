@@ -1,0 +1,134 @@
+"""Unit tests for the threshold-aware banded kernel."""
+
+import pytest
+
+from repro.distance.banded import (
+    BandedCalculator,
+    check_threshold,
+    edit_distance_bounded,
+    length_filter_passes,
+    within_distance,
+)
+from repro.exceptions import InvalidThresholdError
+
+
+class TestCheckThreshold:
+    def test_accepts_zero(self):
+        assert check_threshold(0) == 0
+
+    def test_accepts_positive(self):
+        assert check_threshold(7) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidThresholdError):
+            check_threshold(-1)
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidThresholdError):
+            check_threshold(1.5)
+
+    def test_rejects_bool(self):
+        # True == 1 in Python, but a boolean threshold is surely a bug.
+        with pytest.raises(InvalidThresholdError):
+            check_threshold(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(InvalidThresholdError):
+            check_threshold("2")
+
+
+class TestLengthFilter:
+    def test_equal_lengths_always_pass(self):
+        assert length_filter_passes(5, 5, 0)
+
+    def test_difference_at_threshold_passes(self):
+        assert length_filter_passes(5, 8, 3)
+
+    def test_difference_above_threshold_fails(self):
+        assert not length_filter_passes(5, 9, 3)
+
+    def test_order_independent(self):
+        assert length_filter_passes(9, 5, 4) == length_filter_passes(5, 9, 4)
+
+
+class TestEditDistanceBounded:
+    def test_paper_example_within(self):
+        assert edit_distance_bounded("AGGCGT", "AGAGT", 2) == 2
+
+    def test_paper_example_above(self):
+        assert edit_distance_bounded("AGGCGT", "AGAGT", 1) is None
+
+    def test_paper_abort_condition_example(self):
+        # Section 3.2's worked example: at k=1 the diagonal through the
+        # final cell exceeds 1 at M[4][3]=2 and the computation aborts.
+        assert edit_distance_bounded("AGGCGT", "AGAGT", 1) is None
+
+    def test_exact_match_any_threshold(self):
+        for k in (0, 1, 5):
+            assert edit_distance_bounded("Ulm", "Ulm", k) == 0
+
+    def test_k_zero_mismatch(self):
+        assert edit_distance_bounded("Ulm", "Uln", 0) is None
+
+    def test_length_filter_short_circuits(self):
+        assert edit_distance_bounded("a", "abcdefgh", 3) is None
+
+    def test_empty_operands(self):
+        assert edit_distance_bounded("", "", 0) == 0
+        assert edit_distance_bounded("", "ab", 2) == 2
+        assert edit_distance_bounded("ab", "", 1) is None
+
+    def test_distance_exactly_at_threshold(self):
+        assert edit_distance_bounded("kitten", "sitting", 3) == 3
+
+    def test_distance_one_above_threshold(self):
+        assert edit_distance_bounded("kitten", "sitting", 2) is None
+
+    def test_works_on_code_tuples(self):
+        assert edit_distance_bounded((1, 2, 3), (1, 3), 1) == 1
+
+    def test_large_threshold_degrades_to_exact(self):
+        assert edit_distance_bounded("abc", "xyz", 100) == 3
+
+
+class TestWithinDistance:
+    def test_within(self):
+        assert within_distance("Bern", "Berlin", 2)
+
+    def test_not_within(self):
+        assert not within_distance("Bern", "Berlin", 1)
+
+
+class TestBandedCalculator:
+    def test_matches_function_form(self):
+        calculator = BandedCalculator(max_length=16)
+        assert calculator.distance("AGGCGT", "AGAGT", 2) == 2
+        assert calculator.distance("AGGCGT", "AGAGT", 1) is None
+
+    def test_buffers_grow_on_demand(self):
+        calculator = BandedCalculator(max_length=4)
+        long_x = "a" * 50
+        long_y = "a" * 49 + "b"
+        assert calculator.distance(long_x, long_y, 2) == 1
+        assert calculator.max_length >= 50
+
+    def test_reuse_does_not_leak_state(self):
+        calculator = BandedCalculator(max_length=32)
+        # A rejected pair must not poison the buffers for the next call.
+        assert calculator.distance("aaaaaaa", "bbbbbbb", 2) is None
+        assert calculator.distance("aaaaaaa", "aaaaaab", 2) == 1
+        assert calculator.distance("same", "same", 0) == 0
+
+    def test_within_wrapper(self):
+        calculator = BandedCalculator()
+        assert calculator.within("Bern", "Berlin", 2)
+        assert not calculator.within("Bern", "Berlin", 1)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BandedCalculator(max_length=0)
+
+    def test_many_calls_identical_results(self):
+        calculator = BandedCalculator(max_length=8)
+        for _ in range(50):
+            assert calculator.distance("banana", "ananas", 3) == 2

@@ -1,0 +1,111 @@
+"""Unit tests for the Myers bit-parallel kernel."""
+
+import pytest
+
+from repro.distance.bitparallel import (
+    MyersMatcher,
+    build_peq,
+    myers_distance,
+    myers_within,
+)
+from repro.exceptions import InvalidThresholdError
+
+
+class TestBuildPeq:
+    def test_single_symbol(self):
+        assert build_peq("aaa") == {"a": 0b111}
+
+    def test_distinct_symbols(self):
+        peq = build_peq("abc")
+        assert peq == {"a": 0b001, "b": 0b010, "c": 0b100}
+
+    def test_repeated_symbol_positions(self):
+        peq = build_peq("aba")
+        assert peq["a"] == 0b101
+        assert peq["b"] == 0b010
+
+    def test_empty_pattern(self):
+        assert build_peq("") == {}
+
+    def test_code_tuples(self):
+        assert build_peq((7, 7, 9)) == {7: 0b011, 9: 0b100}
+
+
+class TestMyersDistance:
+    def test_paper_example(self):
+        assert myers_distance("AGGCGT", "AGAGT") == 2
+
+    def test_empty_pattern(self):
+        assert myers_distance("", "abc") == 3
+
+    def test_empty_text(self):
+        assert myers_distance("abc", "") == 3
+
+    def test_both_empty(self):
+        assert myers_distance("", "") == 0
+
+    def test_identical(self):
+        assert myers_distance("Hamburg", "Hamburg") == 0
+
+    def test_kitten_sitting(self):
+        assert myers_distance("kitten", "sitting") == 3
+
+    def test_symbols_outside_pattern_alphabet(self):
+        # Text symbols absent from the pattern must behave as mismatches.
+        assert myers_distance("aaa", "zzz") == 3
+
+    def test_long_pattern_beyond_64_symbols(self):
+        # Python integers are unbounded: no 64-bit word limit applies.
+        x = "a" * 100 + "b"
+        y = "a" * 100 + "c"
+        assert myers_distance(x, y) == 1
+
+    def test_precomputed_peq_matches_fresh(self):
+        peq = build_peq("pattern")
+        assert myers_distance("pattern", "pattrn", peq) == \
+            myers_distance("pattern", "pattrn")
+
+
+class TestMyersWithin:
+    def test_within(self):
+        assert myers_within("AGGCGT", "AGAGT", 2)
+
+    def test_not_within(self):
+        assert not myers_within("AGGCGT", "AGAGT", 1)
+
+    def test_length_filter_applies(self):
+        assert not myers_within("ab", "abcdefgh", 3)
+
+    def test_empty_operands(self):
+        assert myers_within("", "ab", 2)
+        assert not myers_within("", "ab", 1)
+        assert myers_within("", "", 0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            myers_within("a", "b", -1)
+
+    def test_early_abort_agrees_with_full_distance(self):
+        # A pair whose score cannot recover should still classify right.
+        x = "abcdefghij"
+        y = "zzzzzzzzzz"
+        assert not myers_within(x, y, 4)
+        assert myers_within(x, y, 10)
+
+
+class TestMyersMatcher:
+    def test_distance_and_within(self):
+        matcher = MyersMatcher("Berlin")
+        assert matcher.distance("Bern") == 2
+        assert matcher.within("Bern", 2)
+        assert not matcher.within("Bern", 1)
+
+    def test_pattern_property(self):
+        assert MyersMatcher("xyz").pattern == "xyz"
+
+    def test_reuse_across_many_texts(self):
+        matcher = MyersMatcher("GATTACA")
+        texts = ["GATTACA", "GATTAC", "CATTACA", "TTTTTTT"]
+        fresh = [myers_distance("GATTACA", t) for t in texts]
+        reused = [matcher.distance(t) for t in texts]
+        assert fresh == reused

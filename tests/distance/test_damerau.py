@@ -1,0 +1,65 @@
+"""Unit tests for the OSA (Damerau) distance."""
+
+import pytest
+
+from repro.distance.damerau import osa_distance, osa_within, transposition_gain
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import InvalidThresholdError
+
+
+class TestOsaDistance:
+    def test_adjacent_transposition_costs_one(self):
+        assert osa_distance("Bern", "Bren") == 1
+        assert edit_distance("Bern", "Bren") == 2
+
+    def test_equal_strings(self):
+        assert osa_distance("same", "same") == 0
+
+    def test_empty_operands(self):
+        assert osa_distance("", "") == 0
+        assert osa_distance("", "abc") == 3
+        assert osa_distance("abc", "") == 3
+
+    def test_classic_ca_abc(self):
+        # The example separating OSA from full Damerau-Levenshtein:
+        # OSA("CA", "ABC") = 3 (no substring edited twice), true
+        # Damerau would be 2.
+        assert osa_distance("CA", "ABC") == 3
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("kitten", "sitting"), ("abcd", "badc"),
+                 ("Bern", "Bren"), ("flaw", "lawn")]
+        for x, y in pairs:
+            assert osa_distance(x, y) <= edit_distance(x, y)
+
+    def test_symmetry(self):
+        assert osa_distance("abdc", "abcd") == osa_distance("abcd", "abdc")
+
+    def test_double_transposition(self):
+        assert osa_distance("abcd", "badc") == 2
+
+    def test_works_on_code_tuples(self):
+        assert osa_distance((1, 2), (2, 1)) == 1
+
+
+class TestOsaWithin:
+    def test_within(self):
+        assert osa_within("Bern", "Bren", 1)
+
+    def test_not_within(self):
+        assert not osa_within("CA", "ABC", 2)
+
+    def test_length_filter_applies(self):
+        assert not osa_within("a", "abcdef", 2)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            osa_within("a", "b", -1)
+
+
+class TestTranspositionGain:
+    def test_gain_on_swapped_pair(self):
+        assert transposition_gain("Bern", "Bren") == 1
+
+    def test_no_gain_without_swaps(self):
+        assert transposition_gain("kitten", "sitting") == 0

@@ -1,0 +1,56 @@
+"""Unit tests for kernel dispatch."""
+
+import pytest
+
+from repro.distance.dispatch import (
+    KernelChoice,
+    best_kernel,
+    bounded_distance,
+    explain_kernel,
+)
+from repro.exceptions import InvalidThresholdError
+
+
+class TestBestKernel:
+    def test_k_zero_is_equality(self):
+        assert best_kernel(10, 10, 0) is KernelChoice.EQUALITY
+
+    def test_small_k_short_strings_uses_band(self):
+        assert best_kernel(10, 10, 1) is KernelChoice.BANDED
+
+    def test_large_k_long_strings_uses_bitparallel(self):
+        assert best_kernel(100, 100, 16) is KernelChoice.BIT_PARALLEL
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            best_kernel(5, 5, -1)
+
+    def test_explain_names_the_choice(self):
+        text = explain_kernel(100, 100, 16)
+        assert "bit-parallel" in text
+        text = explain_kernel(10, 10, 1)
+        assert "band" in text
+
+
+class TestBoundedDistance:
+    def test_agrees_with_reference_across_regimes(self):
+        from repro.distance.levenshtein import edit_distance
+
+        pairs = [("Berlin", "Bern"), ("AGGCGT", "AGAGT"),
+                 ("A" * 80, "A" * 70 + "T" * 10), ("", ""), ("x", "")]
+        for x, y in pairs:
+            reference = edit_distance(x, y)
+            for k in (0, 1, 2, 8, 16):
+                expected = reference if reference <= k else None
+                assert bounded_distance(x, y, k) == expected, (x, y, k)
+
+    def test_equality_path(self):
+        assert bounded_distance("abc", "abc", 0) == 0
+        assert bounded_distance("abc", "abd", 0) is None
+
+    def test_length_filter_path(self):
+        assert bounded_distance("a", "abcdef", 2) is None
+
+    def test_works_on_code_tuples(self):
+        assert bounded_distance((1, 2), (1, 2, 3), 1) == 1
+        assert bounded_distance((1, 2), (1, 2, 3), 0) is None

@@ -1,0 +1,124 @@
+"""Property-based tests: metric axioms and kernel agreement.
+
+Every optimized kernel in :mod:`repro.distance` must agree exactly with
+the reference full-matrix implementation — the paper's own acceptance
+criterion, applied at the kernel level with hypothesis doing the
+adversarial work.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.alphabet import DNA_ALPHABET
+from repro.distance.alignment import align
+from repro.distance.banded import BandedCalculator, edit_distance_bounded
+from repro.distance.bitparallel import myers_distance, myers_within
+from repro.distance.dispatch import bounded_distance
+from repro.distance.hamming import hamming_distance
+from repro.distance.levenshtein import edit_distance
+from repro.distance.packed import pack, packed_edit_distance_bounded
+
+# Small alphabets maximize interesting collisions per example.
+short_text = st.text(alphabet="abcd", max_size=14)
+dna_text = st.text(alphabet="ACGNT", max_size=20)
+thresholds = st.integers(min_value=0, max_value=8)
+
+
+class TestMetricAxioms:
+    @given(short_text)
+    def test_identity(self, x):
+        assert edit_distance(x, x) == 0
+
+    @given(short_text, short_text)
+    def test_positivity(self, x, y):
+        distance = edit_distance(x, y)
+        assert distance >= 0
+        assert (distance == 0) == (x == y)
+
+    @given(short_text, short_text)
+    def test_symmetry(self, x, y):
+        assert edit_distance(x, y) == edit_distance(y, x)
+
+    @settings(max_examples=60)
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, x, y, z):
+        assert edit_distance(x, z) <= \
+            edit_distance(x, y) + edit_distance(y, z)
+
+    @given(short_text, short_text)
+    def test_length_difference_lower_bound(self, x, y):
+        # Equation 5 of the paper is a valid lower bound.
+        assert edit_distance(x, y) >= abs(len(x) - len(y))
+
+    @given(short_text, short_text)
+    def test_max_length_upper_bound(self, x, y):
+        assert edit_distance(x, y) <= max(len(x), len(y))
+
+    @given(st.text(alphabet="ACGT", min_size=0, max_size=12))
+    def test_hamming_upper_bounds_edit(self, x):
+        # Reverse the string to get an equal-length permutation.
+        y = x[::-1]
+        assert edit_distance(x, y) <= hamming_distance(x, y)
+
+
+class TestKernelAgreement:
+    @given(short_text, short_text, thresholds)
+    def test_banded_agrees_with_reference(self, x, y, k):
+        reference = edit_distance(x, y)
+        expected = reference if reference <= k else None
+        assert edit_distance_bounded(x, y, k) == expected
+
+    @given(short_text, short_text)
+    def test_myers_agrees_with_reference(self, x, y):
+        assert myers_distance(x, y) == edit_distance(x, y)
+
+    @given(short_text, short_text, thresholds)
+    def test_myers_within_agrees_with_reference(self, x, y, k):
+        assert myers_within(x, y, k) == (edit_distance(x, y) <= k)
+
+    @given(short_text, short_text, thresholds)
+    def test_dispatch_agrees_with_reference(self, x, y, k):
+        reference = edit_distance(x, y)
+        expected = reference if reference <= k else None
+        assert bounded_distance(x, y, k) == expected
+
+    @settings(max_examples=60)
+    @given(short_text, short_text, thresholds)
+    def test_calculator_reuse_agrees(self, x, y, k):
+        calculator = BandedCalculator(max_length=16)
+        # Interleave with a poisoning call to catch buffer leaks.
+        calculator.distance("zzzzzz", "aaaaaa", 1)
+        reference = edit_distance(x, y)
+        expected = reference if reference <= k else None
+        assert calculator.distance(x, y, k) == expected
+
+    @given(dna_text, dna_text, thresholds)
+    def test_packed_agrees_with_reference(self, x, y, k):
+        reference = edit_distance(x, y)
+        expected = reference if reference <= k else None
+        actual = packed_edit_distance_bounded(
+            pack(x, DNA_ALPHABET), pack(y, DNA_ALPHABET), k
+        )
+        assert actual == expected
+
+
+class TestAlignmentProperties:
+    @given(short_text, short_text)
+    def test_script_cost_equals_distance(self, x, y):
+        assert sum(op.cost for op in align(x, y)) == edit_distance(x, y)
+
+    @given(short_text, short_text)
+    def test_script_reconstructs_target(self, x, y):
+        from repro.distance.alignment import apply_script
+
+        assert apply_script(x, align(x, y), y) == y
+
+
+class TestPackedProperties:
+    @given(dna_text)
+    def test_pack_roundtrip(self, x):
+        assert pack(x, DNA_ALPHABET).decode() == x
+
+    @given(dna_text)
+    def test_packed_length(self, x):
+        assert len(pack(x, DNA_ALPHABET)) == len(x)

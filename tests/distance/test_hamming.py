@@ -1,0 +1,53 @@
+"""Unit tests for the Hamming distance kernel."""
+
+import pytest
+
+from repro.distance.hamming import hamming_distance, hamming_within
+from repro.exceptions import InvalidThresholdError
+
+
+class TestHammingDistance:
+    def test_identical(self):
+        assert hamming_distance("GATTACA", "GATTACA") == 0
+
+    def test_single_substitution(self):
+        assert hamming_distance("GATTACA", "GACTACA") == 1
+
+    def test_all_positions_differ(self):
+        assert hamming_distance("AAAA", "TTTT") == 4
+
+    def test_empty_strings(self):
+        assert hamming_distance("", "") == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance("AB", "ABC")
+
+    def test_upper_bounds_edit_distance(self):
+        from repro.distance.levenshtein import edit_distance
+
+        pairs = [("GATTACA", "GACTACA"), ("AAAA", "TTTT"),
+                 ("ACGT", "TGCA")]
+        for x, y in pairs:
+            assert edit_distance(x, y) <= hamming_distance(x, y)
+
+    def test_works_on_code_tuples(self):
+        assert hamming_distance((1, 2, 3), (1, 9, 3)) == 1
+
+
+class TestHammingWithin:
+    def test_within(self):
+        assert hamming_within("GATTACA", "GACTACA", 1)
+
+    def test_not_within(self):
+        assert not hamming_within("AAAA", "TTTT", 3)
+
+    def test_length_mismatch_is_false_not_error(self):
+        assert not hamming_within("AB", "ABC", 10)
+
+    def test_early_exit_exact_boundary(self):
+        assert hamming_within("AAAA", "TTTT", 4)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            hamming_within("A", "A", -2)

@@ -1,0 +1,81 @@
+"""Unit tests for the reference edit-distance implementation."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance, edit_distance_full_matrix
+
+
+class TestEditDistance:
+    def test_paper_worked_example(self):
+        # Figure 1 of the paper: ed("AGGCGT", "AGAGT") = 2.
+        assert edit_distance("AGGCGT", "AGAGT") == 2
+
+    def test_identical_strings(self):
+        assert edit_distance("Berlin", "Berlin") == 0
+
+    def test_empty_vs_empty(self):
+        assert edit_distance("", "") == 0
+
+    def test_empty_vs_nonempty_is_length(self):
+        assert edit_distance("", "ACGT") == 4
+        assert edit_distance("ACGT", "") == 4
+
+    def test_single_replace(self):
+        assert edit_distance("kitten", "mitten") == 1
+
+    def test_single_insert(self):
+        assert edit_distance("Bern", "Berna") == 1
+
+    def test_single_delete(self):
+        assert edit_distance("Berna", "Bern") == 1
+
+    def test_classic_kitten_sitting(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_completely_different(self):
+        assert edit_distance("aaaa", "bbbb") == 4
+
+    def test_symmetry(self):
+        assert edit_distance("flaw", "lawn") == edit_distance("lawn", "flaw")
+
+    def test_accepts_tuples_of_codes(self):
+        assert edit_distance((0, 1, 2), (0, 2)) == 1
+
+    def test_accepts_bytes(self):
+        assert edit_distance(b"AGGCGT", b"AGAGT") == 2
+
+    def test_unicode_symbols_count_as_one(self):
+        assert edit_distance("Köln", "Koln") == 1
+        assert edit_distance("北京", "北京市") == 1
+
+    def test_prefix_distance_is_suffix_length(self):
+        assert edit_distance("Berlin", "Ber") == 3
+
+
+class TestFullMatrix:
+    def test_shape(self):
+        matrix = edit_distance_full_matrix("abc", "ab")
+        assert len(matrix) == 4
+        assert all(len(row) == 3 for row in matrix)
+
+    def test_border_initialization(self):
+        matrix = edit_distance_full_matrix("abc", "de")
+        assert [row[0] for row in matrix] == [0, 1, 2, 3]
+        assert matrix[0] == [0, 1, 2]
+
+    def test_bottom_right_is_distance(self):
+        matrix = edit_distance_full_matrix("AGGCGT", "AGAGT")
+        assert matrix[6][5] == 2
+
+    def test_paper_figure_1_interior_cell(self):
+        # The paper's abort example reads M[4][3] = 2 for AGGCGT/AGAGT.
+        matrix = edit_distance_full_matrix("AGGCGT", "AGAGT")
+        assert matrix[4][3] == 2
+
+    def test_adjacent_cells_differ_by_at_most_one(self):
+        matrix = edit_distance_full_matrix("banana", "ananas")
+        for i in range(1, len(matrix)):
+            for j in range(1, len(matrix[0])):
+                assert abs(matrix[i][j] - matrix[i - 1][j]) <= 1
+                assert abs(matrix[i][j] - matrix[i][j - 1]) <= 1
+                assert 0 <= matrix[i][j] - matrix[i - 1][j - 1] <= 1

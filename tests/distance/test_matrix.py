@@ -1,0 +1,60 @@
+"""Unit tests for the inspectable DP matrix."""
+
+from repro.distance.matrix import DistanceMatrix
+
+
+class TestDistanceMatrix:
+    def test_paper_figure_1(self):
+        matrix = DistanceMatrix("AGGCGT", "AGAGT")
+        assert matrix.distance == 2
+        assert matrix.shape == (7, 6)
+
+    def test_cell_access(self):
+        matrix = DistanceMatrix("AGGCGT", "AGAGT")
+        assert matrix[0, 0] == 0
+        assert matrix[6, 5] == 2
+        assert matrix[4, 3] == 2  # the paper's abort example cell
+
+    def test_row_and_column(self):
+        matrix = DistanceMatrix("ab", "abc")
+        assert matrix.row(0) == [0, 1, 2, 3]
+        assert matrix.column(0) == [0, 1, 2]
+
+    def test_rows_are_copies(self):
+        matrix = DistanceMatrix("ab", "ab")
+        row = matrix.row(1)
+        row[0] = 99
+        assert matrix.row(1)[0] != 99
+
+    def test_final_diagonal_reaches_distance(self):
+        matrix = DistanceMatrix("AGGCGT", "AGAGT")
+        diagonal = matrix.final_diagonal()
+        assert diagonal[-1] == matrix.distance
+
+    def test_diagonals_are_non_decreasing(self):
+        # The monotonicity property that justifies the paper's
+        # early-abort conditions (6)/(7).
+        matrix = DistanceMatrix("similarity", "dissimilar")
+        rows, columns = matrix.shape
+        for offset in range(-(rows - 1), columns):
+            diagonal = matrix.diagonal(offset)
+            assert diagonal == sorted(diagonal)
+
+    def test_iter_cells_covers_all(self):
+        matrix = DistanceMatrix("ab", "c")
+        cells = list(matrix.iter_cells())
+        assert len(cells) == 3 * 2
+        assert (0, 0, 0) in cells
+
+    def test_render_contains_operands_and_values(self):
+        rendered = DistanceMatrix("AG", "AGA").render()
+        assert "A" in rendered and "G" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header + 3 matrix rows
+
+    def test_render_empty_strings(self):
+        rendered = DistanceMatrix("", "").render()
+        assert "0" in rendered
+
+    def test_repr_mentions_distance(self):
+        assert "distance=2" in repr(DistanceMatrix("AGGCGT", "AGAGT"))

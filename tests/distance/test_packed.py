@@ -1,0 +1,102 @@
+"""Unit tests for 3-bit dictionary compression."""
+
+import pytest
+
+from repro.data.alphabet import DNA_ALPHABET, Alphabet
+from repro.distance.packed import (
+    PackedString,
+    pack,
+    packed_edit_distance_bounded,
+    storage_savings,
+)
+from repro.exceptions import AlphabetError
+
+
+class TestPack:
+    def test_roundtrip(self):
+        packed = pack("GATTACA", DNA_ALPHABET)
+        assert packed.decode() == "GATTACA"
+
+    def test_empty_string(self):
+        packed = pack("", DNA_ALPHABET)
+        assert len(packed) == 0
+        assert packed.decode() == ""
+
+    def test_three_bits_per_dna_symbol(self):
+        packed = pack("ACGT", DNA_ALPHABET)
+        assert packed.bits_per_symbol == 3
+        assert packed.storage_bits == 12
+
+    def test_indexing_returns_codes(self):
+        packed = pack("ACGNT", DNA_ALPHABET)
+        assert [packed[i] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_negative_indexing(self):
+        packed = pack("ACG", DNA_ALPHABET)
+        assert packed[-1] == DNA_ALPHABET.code("G")
+
+    def test_out_of_range_raises(self):
+        packed = pack("ACG", DNA_ALPHABET)
+        with pytest.raises(IndexError):
+            packed[3]
+
+    def test_iteration_matches_encoding(self):
+        packed = pack("NGCAT", DNA_ALPHABET)
+        assert tuple(packed) == DNA_ALPHABET.encode("NGCAT")
+
+    def test_equality_and_hash(self):
+        a = pack("ACGT", DNA_ALPHABET)
+        b = pack("ACGT", DNA_ALPHABET)
+        c = pack("ACGA", DNA_ALPHABET)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_rejects_foreign_symbols(self):
+        with pytest.raises(AlphabetError):
+            pack("ACGX", DNA_ALPHABET)
+
+    def test_repr_is_readable(self):
+        assert "ACGT" in repr(pack("ACGT", DNA_ALPHABET))
+
+
+class TestPackedDistance:
+    def test_agrees_with_plain_kernel(self):
+        from repro.distance.banded import edit_distance_bounded
+
+        pairs = [("GATTACA", "GATTACA"), ("ACGT", "AGCT"),
+                 ("AAAA", "TTTT"), ("ACGNT", "ACGT"), ("", "ACG")]
+        for x, y in pairs:
+            for k in (0, 1, 2, 4):
+                expected = edit_distance_bounded(x, y, k)
+                actual = packed_edit_distance_bounded(
+                    pack(x, DNA_ALPHABET), pack(y, DNA_ALPHABET), k
+                )
+                assert actual == expected, (x, y, k)
+
+    def test_mixed_alphabets_rejected(self):
+        other = Alphabet("toy", "ACGT")
+        with pytest.raises(ValueError):
+            packed_edit_distance_bounded(
+                pack("ACG", DNA_ALPHABET), pack("ACG", other), 1
+            )
+
+    def test_k_zero_equality(self):
+        a = pack("ACGT", DNA_ALPHABET)
+        b = pack("ACGT", DNA_ALPHABET)
+        c = pack("ACGA", DNA_ALPHABET)
+        assert packed_edit_distance_bounded(a, b, 0) == 0
+        assert packed_edit_distance_bounded(a, c, 0) is None
+
+
+class TestStorageSavings:
+    def test_dna_saves_62_percent(self):
+        saving = storage_savings("A" * 100, DNA_ALPHABET)
+        assert saving == pytest.approx(1 - 3 / 8)
+
+    def test_empty_string_saves_nothing(self):
+        assert storage_savings("", DNA_ALPHABET) == 0.0
+
+    def test_binary_alphabet_saves_more(self):
+        binary = Alphabet("bin", "01")
+        assert storage_savings("0101", binary) == pytest.approx(1 - 1 / 8)

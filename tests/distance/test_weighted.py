@@ -1,0 +1,91 @@
+"""Unit tests for the weighted edit distance."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.distance.weighted import (
+    EditCosts,
+    keyboard_weights,
+    rank_corrections,
+    weighted_edit_distance,
+)
+from repro.exceptions import ReproError
+
+
+class TestWeightedEditDistance:
+    def test_default_costs_equal_unweighted(self):
+        pairs = [("AGGCGT", "AGAGT"), ("kitten", "sitting"),
+                 ("", "abc"), ("same", "same")]
+        for x, y in pairs:
+            assert weighted_edit_distance(x, y) == \
+                float(edit_distance(x, y))
+
+    def test_cheap_inserts_change_the_path(self):
+        costs = EditCosts(insert=0.1)
+        # Transforming "ab" -> "aXb" is one cheap insert.
+        assert weighted_edit_distance("ab", "aXb", costs) == \
+            pytest.approx(0.1)
+
+    def test_expensive_substitution_prefers_indel(self):
+        costs = EditCosts(substitute=lambda a, b: 10.0)
+        # Replace would cost 10; delete+insert costs 2.
+        assert weighted_edit_distance("a", "b", costs) == \
+            pytest.approx(2.0)
+
+    def test_empty_operands(self):
+        costs = EditCosts(insert=0.5, delete=2.0)
+        assert weighted_edit_distance("", "abc", costs) == \
+            pytest.approx(1.5)
+        assert weighted_edit_distance("abc", "", costs) == \
+            pytest.approx(6.0)
+
+    def test_nonpositive_costs_rejected(self):
+        with pytest.raises(ReproError):
+            EditCosts(insert=0.0)
+        with pytest.raises(ReproError):
+            EditCosts(delete=-1.0)
+
+
+class TestKeyboardWeights:
+    def test_adjacent_keys_cost_less(self):
+        costs = keyboard_weights()
+        assert weighted_edit_distance("cat", "cst", costs) == \
+            pytest.approx(0.5)
+        assert weighted_edit_distance("cat", "cpt", costs) == \
+            pytest.approx(1.0)
+
+    def test_case_errors_are_cheapest(self):
+        costs = keyboard_weights()
+        assert weighted_edit_distance("Cat", "cat", costs) == \
+            pytest.approx(0.25)
+
+    def test_symmetric_neighbourhood(self):
+        costs = keyboard_weights()
+        assert weighted_edit_distance("q", "w", costs) == \
+            weighted_edit_distance("w", "q", costs)
+
+    def test_cross_row_neighbours(self):
+        costs = keyboard_weights()
+        # 'a' sits under 'q' on QWERTY.
+        assert weighted_edit_distance("a", "q", costs) == \
+            pytest.approx(0.5)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ReproError):
+            keyboard_weights(adjacent_cost=2.0, distant_cost=1.0)
+
+
+class TestRankCorrections:
+    def test_ranks_by_typo_plausibility(self):
+        ranked = rank_corrections("cst", ["cat", "cut", "cot"], limit=3)
+        assert ranked[0] == ("cat", 0.5)
+
+    def test_limit_applies(self):
+        ranked = rank_corrections("x", ["a", "b", "c", "d"], limit=2)
+        assert len(ranked) == 2
+
+    def test_custom_costs(self):
+        flat = EditCosts()
+        ranked = rank_corrections("ab", ["ax", "xb"], costs=flat)
+        assert {r[0] for r in ranked} == {"ax", "xb"}
+        assert all(r[1] == 1.0 for r in ranked)

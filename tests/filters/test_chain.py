@@ -1,0 +1,69 @@
+"""Unit tests for filter chains and statistics."""
+
+from repro.filters.base import FilterChain, FilterStats
+from repro.filters.frequency import FrequencyVectorFilter
+from repro.filters.length import LengthFilter
+from repro.filters.qgram import QGramCountFilter
+
+
+def _chain() -> FilterChain:
+    return FilterChain([
+        LengthFilter(),
+        FrequencyVectorFilter("AEIOU"),
+        QGramCountFilter(q=2),
+    ])
+
+
+class TestFilterChain:
+    def test_admits_when_all_members_admit(self):
+        assert _chain().admits("Berlin", "Bern", 2)
+
+    def test_rejects_when_any_member_rejects(self):
+        chain = _chain()
+        assert not chain.admits("Berlin", "B", 2)        # length
+        assert not chain.admits("Berlin", "Brln", 1)     # frequency
+
+    def test_empty_chain_admits_everything(self):
+        chain = FilterChain([])
+        assert chain.admits("a", "zzzzzz", 0)
+
+    def test_survivors_preserve_order(self):
+        chain = _chain()
+        candidates = ["Berlin", "Bern", "B", "Berlin"]
+        survivors = chain.survivors("Berlin", candidates, 2)
+        assert survivors == ["Berlin", "Bern", "Berlin"]
+
+    def test_stats_count_examined_and_rejected(self):
+        chain = _chain()
+        chain.admits("Berlin", "Bern", 2)
+        chain.admits("Berlin", "B", 2)
+        assert chain.stats.examined == 2
+        assert chain.stats.rejected == 1
+        assert chain.stats.admitted == 1
+
+    def test_reset_stats(self):
+        chain = _chain()
+        chain.admits("Berlin", "B", 2)
+        chain.reset_stats()
+        assert chain.stats.examined == 0
+        assert chain.stats.rejected == 0
+
+    def test_prepare_query_reaches_all_members(self):
+        chain = _chain()
+        chain.prepare_query("Berlin")
+        # Cached paths must agree with uncached behaviour.
+        assert not chain.admits("Berlin", "Brln", 1)
+
+
+class TestFilterStats:
+    def test_rejection_rate(self):
+        stats = FilterStats(examined=4, rejected=1)
+        assert stats.rejection_rate == 0.25
+
+    def test_rejection_rate_idle(self):
+        assert FilterStats().rejection_rate == 0.0
+
+    def test_merge(self):
+        merged = FilterStats(4, 1).merge(FilterStats(6, 2))
+        assert merged.examined == 10
+        assert merged.rejected == 3

@@ -1,0 +1,75 @@
+"""Property-based tests: filters never produce false negatives.
+
+The soundness contract of :mod:`repro.filters` — a rejected pair is
+provably beyond the threshold — is exactly what keeps every optimized
+searcher's results identical to the reference. Hypothesis hunts for
+counterexamples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.levenshtein import edit_distance
+from repro.filters.base import FilterChain
+from repro.filters.frequency import FrequencyVectorFilter
+from repro.filters.length import LengthFilter
+from repro.filters.qgram import QGramCountFilter
+
+# Alphabet with vowels so the frequency filter has tracked symbols.
+text = st.text(alphabet="aeioubcd", max_size=12)
+thresholds = st.integers(min_value=0, max_value=6)
+
+
+class TestNoFalseNegatives:
+    @given(text, text, thresholds)
+    def test_length_filter_sound(self, x, y, k):
+        if edit_distance(x, y) <= k:
+            assert LengthFilter().admits(x, y, k)
+
+    @given(text, text, thresholds)
+    def test_frequency_filter_sound(self, x, y, k):
+        filter_ = FrequencyVectorFilter("AEIOU")
+        if edit_distance(x, y) <= k:
+            assert filter_.admits(x, y, k)
+
+    @given(text, text, thresholds, st.integers(min_value=1, max_value=3))
+    def test_qgram_filter_sound(self, x, y, k, q):
+        filter_ = QGramCountFilter(q=q)
+        if edit_distance(x, y) <= k:
+            assert filter_.admits(x, y, k)
+
+    @settings(max_examples=60)
+    @given(text, text, thresholds)
+    def test_chain_sound(self, x, y, k):
+        chain = FilterChain([
+            LengthFilter(),
+            FrequencyVectorFilter("AEIOU"),
+            QGramCountFilter(q=2),
+        ])
+        if edit_distance(x, y) <= k:
+            assert chain.admits(x, y, k)
+
+    @settings(max_examples=60)
+    @given(text, text, thresholds)
+    def test_prepared_equals_unprepared(self, x, y, k):
+        prepared = FrequencyVectorFilter("AEIOU")
+        prepared.prepare_query(x)
+        fresh = FrequencyVectorFilter("AEIOU")
+        assert prepared.admits(x, y, k) == fresh.admits(x, y, k)
+
+
+class TestRejectionsAreCorrect:
+    @given(text, text, thresholds)
+    def test_length_filter_rejections_justified(self, x, y, k):
+        if not LengthFilter().admits(x, y, k):
+            assert edit_distance(x, y) > k
+
+    @given(text, text, thresholds)
+    def test_frequency_rejections_justified(self, x, y, k):
+        if not FrequencyVectorFilter("AEIOU").admits(x, y, k):
+            assert edit_distance(x, y) > k
+
+    @given(text, text, thresholds)
+    def test_qgram_rejections_justified(self, x, y, k):
+        if not QGramCountFilter(q=2).admits(x, y, k):
+            assert edit_distance(x, y) > k

@@ -1,0 +1,94 @@
+"""Unit tests for the frequency-vector filter."""
+
+import pytest
+
+from repro.filters.frequency import (
+    FrequencyVectorFilter,
+    frequency_lower_bound,
+    frequency_vector,
+)
+
+
+class TestFrequencyVector:
+    def test_counts_tracked_symbols(self):
+        assert frequency_vector("banana", "abn",
+                                case_insensitive=False) == (3, 1, 2)
+
+    def test_case_insensitive_by_default(self):
+        assert frequency_vector("Banana", "B") == (1,)
+
+    def test_case_sensitive_mode(self):
+        assert frequency_vector("Banana", "B",
+                                case_insensitive=False) == (1,)
+        assert frequency_vector("banana", "B",
+                                case_insensitive=False) == (0,)
+
+    def test_untracked_symbols_ignored(self):
+        assert frequency_vector("xyzzy", "AEIOU") == (0, 0, 0, 0, 0)
+
+
+class TestFrequencyLowerBound:
+    def test_identical_vectors(self):
+        assert frequency_lower_bound((1, 2, 3), (1, 2, 3)) == 0
+
+    def test_pure_surplus(self):
+        assert frequency_lower_bound((3, 0), (1, 0)) == 2
+
+    def test_pure_deficit(self):
+        assert frequency_lower_bound((0, 1), (2, 1)) == 2
+
+    def test_mixed_takes_max_side(self):
+        # Surplus 2 in slot 0, deficit 1 in slot 1 -> bound is 2: two
+        # replaces can fix both sides simultaneously.
+        assert frequency_lower_bound((3, 0), (1, 1)) == 2
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            frequency_lower_bound((1,), (1, 2))
+
+    def test_is_a_true_lower_bound(self):
+        from repro.distance.levenshtein import edit_distance
+
+        pairs = [("Berlin", "Brln"), ("aeiou", "xyzzy"),
+                 ("banana", "bandana"), ("", "aeiou")]
+        for x, y in pairs:
+            bound = frequency_lower_bound(
+                frequency_vector(x, "AEIOU"), frequency_vector(y, "AEIOU")
+            )
+            assert bound <= edit_distance(x, y), (x, y)
+
+
+class TestFrequencyVectorFilter:
+    def test_rejects_on_vowel_deficit(self):
+        filter_ = FrequencyVectorFilter("AEIOU")
+        assert not filter_.admits("Berlin", "Brln", 1)
+
+    def test_admits_at_boundary(self):
+        filter_ = FrequencyVectorFilter("AEIOU")
+        assert filter_.admits("Berlin", "Brln", 2)
+
+    def test_prepare_query_caches_vector(self):
+        filter_ = FrequencyVectorFilter("AEIOU")
+        filter_.prepare_query("Berlin")
+        # Same result with and without preparation.
+        assert filter_.admits("Berlin", "Brln", 2)
+        assert not filter_.admits("Berlin", "Brln", 1)
+
+    def test_uncached_query_still_works(self):
+        filter_ = FrequencyVectorFilter("AEIOU")
+        filter_.prepare_query("something else")
+        assert not filter_.admits("Berlin", "Brln", 1)
+
+    def test_dna_tracked_symbols(self):
+        filter_ = FrequencyVectorFilter("ACGNT", case_insensitive=False)
+        assert not filter_.admits("AAAA", "TTTT", 3)
+        assert filter_.admits("AAAA", "TTTT", 4)
+
+    def test_rejects_empty_tracked_set(self):
+        with pytest.raises(ValueError):
+            FrequencyVectorFilter("")
+
+    def test_vector_accessor(self):
+        filter_ = FrequencyVectorFilter("AEIOU")
+        assert filter_.vector("Europe") == (0, 2, 0, 1, 1)
+        assert filter_.tracked == "AEIOU"

@@ -1,0 +1,36 @@
+"""Unit tests for the length filter."""
+
+from repro.filters.length import LengthFilter
+
+
+class TestLengthFilter:
+    def test_admits_equal_lengths(self):
+        assert LengthFilter().admits("abcd", "wxyz", 0)
+
+    def test_rejects_when_gap_exceeds_k(self):
+        assert not LengthFilter().admits("Hamburg", "Hamm", 2)
+
+    def test_admits_at_exact_boundary(self):
+        assert LengthFilter().admits("Hamburg", "Hamm", 3)
+
+    def test_symmetric(self):
+        filter_ = LengthFilter()
+        assert filter_.admits("ab", "abcd", 2) == \
+            filter_.admits("abcd", "ab", 2)
+
+    def test_never_false_negative_on_true_matches(self):
+        from repro.distance.levenshtein import edit_distance
+
+        filter_ = LengthFilter()
+        pairs = [("Bern", "Berlin"), ("a", "ab"), ("same", "same")]
+        for x, y in pairs:
+            k = edit_distance(x, y)
+            assert filter_.admits(x, y, k)
+
+    def test_name(self):
+        assert LengthFilter().name == "length"
+
+    def test_prepare_query_is_a_noop(self):
+        filter_ = LengthFilter()
+        filter_.prepare_query("anything")  # must not raise
+        assert filter_.admits("anything", "anythin", 1)

@@ -1,0 +1,101 @@
+"""Unit tests for filter-chain ordering."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.filters.base import CandidateFilter, FilterChain
+from repro.filters.frequency import FrequencyVectorFilter
+from repro.filters.length import LengthFilter
+from repro.filters.ordering import (
+    FilterMeasurement,
+    explain_ordering,
+    measure_filters,
+    optimize_chain,
+)
+from repro.filters.qgram import QGramCountFilter
+
+QUERIES = ["Bern", "Hamburg"]
+CANDIDATES = ["Berlin", "B", "Hamm", "Hamburg", "Ulm", "Bremen"]
+
+
+class TestFilterMeasurement:
+    def test_rank_prefers_cheap_selective(self):
+        cheap = FilterMeasurement("cheap", 1e-7, 0.5)
+        pricey = FilterMeasurement("pricey", 1e-5, 0.5)
+        assert cheap.rank < pricey.rank
+
+    def test_useless_filter_ranks_last(self):
+        useless = FilterMeasurement("useless", 1e-9, 0.0)
+        assert useless.rank == float("inf")
+
+
+class TestMeasureFilters:
+    def test_measures_every_filter(self):
+        filters = [LengthFilter(), FrequencyVectorFilter("AEIOU")]
+        measurements = measure_filters(filters, QUERIES, CANDIDATES, 1)
+        assert [m.name for m in measurements] == \
+            ["length", "frequency-vector"]
+        assert all(m.seconds_per_call > 0 for m in measurements)
+        assert all(0.0 <= m.rejection_rate <= 1.0 for m in measurements)
+
+    def test_length_filter_rejects_on_this_sample(self):
+        (measurement,) = measure_filters([LengthFilter()], QUERIES,
+                                         CANDIDATES, 1)
+        assert measurement.rejection_rate > 0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError):
+            measure_filters([LengthFilter()], [], CANDIDATES, 1)
+        with pytest.raises(ReproError):
+            measure_filters([LengthFilter()], QUERIES, [], 1)
+
+
+class TestOptimizeChain:
+    def test_results_unchanged_by_reordering(self):
+        chain = FilterChain([QGramCountFilter(2), LengthFilter(),
+                             FrequencyVectorFilter("AEIOU")])
+        tuned = optimize_chain(chain, QUERIES, CANDIDATES, 1)
+        assert {f.name for f in tuned.filters} == \
+            {f.name for f in chain.filters}
+        for query in QUERIES:
+            for candidate in CANDIDATES:
+                chain.prepare_query(query)
+                tuned.prepare_query(query)
+                assert chain.admits(query, candidate, 1) == \
+                    tuned.admits(query, candidate, 1)
+
+    def test_length_filter_migrates_to_front(self):
+        # The length filter is far cheaper than the q-gram filter and
+        # rejects plenty here, so it must end up first.
+        chain = FilterChain([QGramCountFilter(2),
+                             FrequencyVectorFilter("AEIOU"),
+                             LengthFilter()])
+        tuned = optimize_chain(chain, QUERIES, CANDIDATES, 1)
+        assert tuned.filters[0].name == "length"
+
+    def test_input_chain_unmodified(self):
+        chain = FilterChain([QGramCountFilter(2), LengthFilter()])
+        original = [f.name for f in chain.filters]
+        optimize_chain(chain, QUERIES, CANDIDATES, 1)
+        assert [f.name for f in chain.filters] == original
+
+    def test_never_rejecting_filter_sinks(self):
+        class AdmitAll(CandidateFilter):
+            name = "admit-all"
+
+            def admits(self, query, candidate, k):
+                return True
+
+        chain = FilterChain([AdmitAll(), LengthFilter()])
+        tuned = optimize_chain(chain, QUERIES, CANDIDATES, 1)
+        assert tuned.filters[-1].name == "admit-all"
+
+
+class TestExplainOrdering:
+    def test_report_contains_rank_columns(self):
+        chain = FilterChain([LengthFilter(),
+                             FrequencyVectorFilter("AEIOU")])
+        report = explain_ordering(chain, QUERIES, CANDIDATES, 1)
+        assert "us/call" in report
+        assert "length" in report
+        assert "frequency-vector" in report

@@ -1,0 +1,76 @@
+"""Unit tests for prefix filtering."""
+
+from collections import Counter
+
+from repro.filters.prefix import (
+    gram_frequencies,
+    prefix_filter_admits,
+    prefix_grams,
+)
+from repro.filters.qgram import qgrams
+
+
+class TestGramFrequencies:
+    def test_document_frequency_not_multiplicity(self):
+        # "aaa" contains "aa" twice but counts once per document.
+        frequencies = gram_frequencies(["aaa", "aab"], 2)
+        assert frequencies["aa"] == 2
+        assert frequencies["ab"] == 1
+
+    def test_empty_dataset(self):
+        assert gram_frequencies([], 2) == Counter()
+
+
+class TestPrefixGrams:
+    FREQ = gram_frequencies(
+        ["common common", "common again", "rareXgram"], 2
+    )
+
+    def test_short_string_returns_all_grams(self):
+        # 3 positional grams <= k*q+1 = 3: no pruning power, all grams.
+        assert prefix_grams("abcd", 1, 2, self.FREQ) == \
+            sorted(set(qgrams("abcd", 2)))
+
+    def test_prefers_rare_grams(self):
+        text = "Xcommon"          # "Xc" is rare, "co"/"om" etc common
+        chosen = prefix_grams(text, 1, 2, self.FREQ)
+        assert "Xc" in chosen
+
+    def test_covers_required_occurrences(self):
+        # The chosen distinct grams must cover >= k*q+1 positional
+        # occurrences.
+        text = "ababababab"
+        chosen = prefix_grams(text, 2, 2, self.FREQ)
+        occurrences = Counter(qgrams(text, 2))
+        covered = sum(occurrences[gram] for gram in chosen)
+        assert covered >= 2 * 2 + 1
+
+    def test_deterministic(self):
+        assert prefix_grams("deterministic", 1, 2, self.FREQ) == \
+            prefix_grams("deterministic", 1, 2, self.FREQ)
+
+
+class TestPrefixFilterAdmits:
+    def test_admits_on_shared_gram(self):
+        assert prefix_filter_admits(["ab", "cd"], {"xy", "cd"})
+
+    def test_rejects_on_disjoint_sets(self):
+        assert not prefix_filter_admits(["ab", "cd"], {"xy", "zz"})
+
+    def test_soundness_on_true_matches(self):
+        # Any pair within k must survive the filter when the prefix
+        # has full power.
+        from repro.distance.levenshtein import edit_distance
+
+        dataset = ["similarity", "similarly", "dissimilar", "simulate"]
+        frequencies = gram_frequencies(dataset, 2)
+        k = 2
+        for r in dataset:
+            prefix = prefix_grams(r, k, 2, frequencies)
+            if len(qgrams(r, 2)) <= k * 2 + 1:
+                continue  # wildcard case, filter not applicable
+            for s in dataset:
+                if edit_distance(r, s) <= k:
+                    assert prefix_filter_admits(
+                        prefix, set(qgrams(s, 2))
+                    ), (r, s)

@@ -1,0 +1,106 @@
+"""Unit tests for the q-gram count filter."""
+
+import pytest
+
+from repro.filters.qgram import (
+    QGramCountFilter,
+    qgram_overlap,
+    qgram_profile,
+    qgrams,
+    required_overlap,
+)
+
+
+class TestQGrams:
+    def test_basic_bigrams(self):
+        assert qgrams("ACGT", 2) == ["AC", "CG", "GT"]
+
+    def test_string_shorter_than_q(self):
+        assert qgrams("A", 2) == []
+
+    def test_string_equal_to_q(self):
+        assert qgrams("AB", 2) == ["AB"]
+
+    def test_q_one_is_symbols(self):
+        assert qgrams("abc", 1) == ["a", "b", "c"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_profile_counts_multiplicity(self):
+        profile = qgram_profile("AAAA", 2)
+        assert profile["AA"] == 3
+
+
+class TestOverlap:
+    def test_identical_profiles(self):
+        p = qgram_profile("ACGT", 2)
+        assert qgram_overlap(p, p) == 3
+
+    def test_disjoint_profiles(self):
+        assert qgram_overlap(qgram_profile("AAAA", 2),
+                             qgram_profile("TTTT", 2)) == 0
+
+    def test_multiset_semantics(self):
+        # "AAA" has AA x2; "AAAA" has AA x3; overlap is min = 2.
+        assert qgram_overlap(qgram_profile("AAA", 2),
+                             qgram_profile("AAAA", 2)) == 2
+
+    def test_symmetry(self):
+        a = qgram_profile("banana", 2)
+        b = qgram_profile("bandana", 2)
+        assert qgram_overlap(a, b) == qgram_overlap(b, a)
+
+
+class TestRequiredOverlap:
+    def test_exact_match_requirement(self):
+        # k=0: all max(len)-q+1 grams must be shared.
+        assert required_overlap(6, 6, 2, 0) == 5
+
+    def test_each_error_destroys_q_grams(self):
+        assert required_overlap(6, 6, 2, 1) == 3
+        assert required_overlap(6, 6, 2, 2) == 1
+
+    def test_bound_can_go_non_positive(self):
+        assert required_overlap(4, 4, 2, 2) <= 0
+
+
+class TestQGramCountFilter:
+    def test_rejects_clearly_distant_pair(self):
+        assert not QGramCountFilter(q=2).admits(
+            "ACGTACGT", "TTTTTTTT", 1
+        )
+
+    def test_admits_near_pair(self):
+        assert QGramCountFilter(q=2).admits("ACGTACGT", "ACGTACGA", 1)
+
+    def test_powerless_bound_admits_everything(self):
+        # Short strings: the bound is non-positive, nothing is rejected.
+        filter_ = QGramCountFilter(q=3)
+        assert filter_.admits("ab", "xy", 2)
+
+    def test_no_false_negatives_on_sample(self):
+        from repro.distance.levenshtein import edit_distance
+
+        filter_ = QGramCountFilter(q=2)
+        pairs = [("banana", "bandana"), ("Berlin", "Bern"),
+                 ("GATTACA", "GATTACA"), ("abcdef", "abcdeg")]
+        for x, y in pairs:
+            k = edit_distance(x, y)
+            filter_.prepare_query(x)
+            assert filter_.admits(x, y, k), (x, y, k)
+
+    def test_prepare_query_caching(self):
+        filter_ = QGramCountFilter(q=2)
+        filter_.prepare_query("ACGTACGT")
+        assert not filter_.admits("ACGTACGT", "TTTTTTTT", 1)
+        # A different query than the cached one must still be handled.
+        assert not filter_.admits("GGGGGGGG", "TTTTTTTT", 1)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            QGramCountFilter(q=0)
+
+    def test_q_property(self):
+        assert QGramCountFilter(q=3).q == 3

@@ -1,0 +1,79 @@
+"""Property tests: automaton and BK-tree equal the brute-force answer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.damerau import osa_distance
+from repro.distance.levenshtein import edit_distance
+from repro.index.automaton import LevenshteinAutomaton, automaton_trie_search
+from repro.index.bktree import BKTree
+from repro.index.traversal import trie_similarity_search
+from repro.index.trie import PrefixTrie
+
+datasets = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=8),
+    min_size=1, max_size=12,
+)
+texts = st.text(alphabet="abcd", max_size=9)
+thresholds = st.integers(min_value=0, max_value=3)
+
+
+class TestAutomatonProperties:
+    @settings(max_examples=80)
+    @given(texts, texts, st.integers(min_value=0, max_value=4))
+    def test_automaton_distance_equals_reference(self, x, y, k):
+        reference = edit_distance(x, y)
+        expected = reference if reference <= k else None
+        assert LevenshteinAutomaton(x, k).distance(y) == expected
+
+    @settings(max_examples=60)
+    @given(datasets, texts, thresholds)
+    def test_intersection_equals_dp_traversal(self, dataset, query, k):
+        trie = PrefixTrie(dataset)
+        assert automaton_trie_search(trie, query, k) == \
+            trie_similarity_search(trie, query, k)
+
+
+class TestBKTreeProperties:
+    @settings(max_examples=60)
+    @given(datasets, texts, thresholds)
+    def test_bktree_equals_brute_force(self, dataset, query, k):
+        tree = BKTree(dataset)
+        expected = sorted(
+            {s for s in dataset if edit_distance(query, s) <= k}
+        )
+        assert tree.search_strings(query, k) == expected
+
+    @settings(max_examples=60)
+    @given(datasets)
+    def test_insertion_order_never_changes_results(self, dataset):
+        forward = BKTree(dataset)
+        backward = BKTree(list(reversed(dataset)))
+        for query in dataset[:3]:
+            assert forward.search_strings(query, 1) == \
+                backward.search_strings(query, 1)
+
+
+class TestOsaProperties:
+    @settings(max_examples=100)
+    @given(texts, texts)
+    def test_osa_bounded_by_levenshtein(self, x, y):
+        osa = osa_distance(x, y)
+        levenshtein = edit_distance(x, y)
+        # One transposition replaces at most two Levenshtein edits.
+        assert levenshtein / 2 <= osa <= levenshtein
+
+    @settings(max_examples=100)
+    @given(texts, texts)
+    def test_osa_symmetry(self, x, y):
+        assert osa_distance(x, y) == osa_distance(y, x)
+
+    @settings(max_examples=100)
+    @given(texts)
+    def test_osa_identity(self, x):
+        assert osa_distance(x, x) == 0
+
+    @settings(max_examples=100)
+    @given(texts, texts)
+    def test_osa_length_lower_bound(self, x, y):
+        assert osa_distance(x, y) >= abs(len(x) - len(y))

@@ -1,0 +1,90 @@
+"""Unit tests for error-tolerant autocompletion."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import InvalidThresholdError
+from repro.index.autocomplete import Completion, autocomplete
+from repro.index.compressed import CompressedTrie
+from repro.index.trie import PrefixTrie
+
+NAMES = ["Magdeburg", "Marburg", "Hamburg", "Hamm", "Magda", "Ulm"]
+
+
+def brute_force(data, query, k):
+    scored = {}
+    for string in set(data):
+        best = min(
+            edit_distance(query, string[:i])
+            for i in range(len(string) + 1)
+        )
+        if best <= k:
+            scored[string] = best
+    return sorted(scored.items(), key=lambda item: (item[1], item[0]))
+
+
+class TestAutocomplete:
+    def test_plain_prefix_match(self):
+        trie = PrefixTrie(NAMES)
+        strings = [c.string for c in autocomplete(trie, "Mag", 0)]
+        assert strings == ["Magda", "Magdeburg"]
+
+    def test_typo_in_prefix(self):
+        trie = PrefixTrie(NAMES)
+        completions = autocomplete(trie, "Mxg", 1)
+        assert {c.string for c in completions} == {"Magda", "Magdeburg"}
+        assert all(c.prefix_distance == 1 for c in completions)
+
+    def test_empty_query_completes_everything(self):
+        trie = PrefixTrie(NAMES)
+        completions = autocomplete(trie, "", 0, limit=None)
+        assert {c.string for c in completions} == set(NAMES)
+        assert all(c.prefix_distance == 0 for c in completions)
+
+    def test_equals_brute_force(self):
+        trie = PrefixTrie(NAMES)
+        for query in ("Ham", "Hxm", "Magde", "Ulmx", "zz", ""):
+            for k in (0, 1, 2):
+                expected = brute_force(NAMES, query, k)
+                actual = [
+                    (c.string, c.prefix_distance)
+                    for c in autocomplete(trie, query, k, limit=None)
+                ]
+                assert actual == expected, (query, k)
+
+    def test_compressed_trie_agrees(self):
+        plain = PrefixTrie(NAMES)
+        compressed = CompressedTrie(NAMES)
+        for query in ("Mar", "Hxmb", "M"):
+            assert autocomplete(plain, query, 1, limit=None) == \
+                autocomplete(compressed, query, 1, limit=None)
+
+    def test_limit_keeps_best(self):
+        trie = PrefixTrie(NAMES)
+        completions = autocomplete(trie, "Ma", 1, limit=2)
+        assert len(completions) == 2
+        # Distance-0 completions (Ma... prefixes) must win the cut.
+        assert all(c.prefix_distance == 0 for c in completions)
+
+    def test_multiplicity_reported(self):
+        trie = PrefixTrie(["Ulm", "Ulm"])
+        (completion,) = autocomplete(trie, "Ul", 0)
+        assert completion.multiplicity == 2
+
+    def test_invalid_inputs(self):
+        trie = PrefixTrie(NAMES)
+        with pytest.raises(InvalidThresholdError):
+            autocomplete(trie, "x", -1)
+        with pytest.raises(ValueError):
+            autocomplete(trie, "x", 1, limit=0)
+
+    def test_no_completions(self):
+        trie = PrefixTrie(NAMES)
+        assert autocomplete(trie, "zzzz", 1) == []
+
+    def test_query_longer_than_any_string(self):
+        trie = PrefixTrie(["ab"])
+        # ed("abxx", "ab") = 2: the whole string is the best prefix.
+        (completion,) = autocomplete(trie, "abxx", 2)
+        assert completion.string == "ab"
+        assert completion.prefix_distance == 2

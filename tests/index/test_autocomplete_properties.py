@@ -1,0 +1,68 @@
+"""Property tests: autocomplete equals its brute-force definition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.levenshtein import edit_distance
+from repro.index.autocomplete import autocomplete
+from repro.index.compressed import CompressedTrie
+from repro.index.trie import PrefixTrie
+
+datasets = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=7),
+    min_size=1, max_size=10,
+)
+queries = st.text(alphabet="abcd", max_size=6)
+thresholds = st.integers(min_value=0, max_value=2)
+
+
+def brute_force(dataset, query, k):
+    scored = {}
+    for string in set(dataset):
+        best = min(
+            edit_distance(query, string[:i])
+            for i in range(len(string) + 1)
+        )
+        if best <= k:
+            scored[string] = best
+    return sorted(scored.items(), key=lambda item: (item[1], item[0]))
+
+
+@settings(max_examples=80)
+@given(datasets, queries, thresholds)
+def test_autocomplete_equals_brute_force(dataset, query, k):
+    trie = PrefixTrie(dataset)
+    actual = [
+        (c.string, c.prefix_distance)
+        for c in autocomplete(trie, query, k, limit=None)
+    ]
+    assert actual == brute_force(dataset, query, k)
+
+
+@settings(max_examples=60)
+@given(datasets, queries, thresholds)
+def test_compression_invariant(dataset, query, k):
+    plain = PrefixTrie(dataset)
+    compressed = CompressedTrie(dataset)
+    assert autocomplete(plain, query, k, limit=None) == \
+        autocomplete(compressed, query, k, limit=None)
+
+
+@settings(max_examples=60)
+@given(datasets, queries, thresholds,
+       st.integers(min_value=1, max_value=5))
+def test_limit_is_a_prefix_of_the_full_ranking(dataset, query, k, limit):
+    trie = PrefixTrie(dataset)
+    full = autocomplete(trie, query, k, limit=None)
+    trimmed = autocomplete(trie, query, k, limit=limit)
+    assert trimmed == full[:limit]
+
+
+@settings(max_examples=60)
+@given(datasets, queries)
+def test_threshold_monotonicity(dataset, query):
+    # Raising k never loses completions.
+    trie = PrefixTrie(dataset)
+    small = {c.string for c in autocomplete(trie, query, 0, limit=None)}
+    large = {c.string for c in autocomplete(trie, query, 2, limit=None)}
+    assert small <= large

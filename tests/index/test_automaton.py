@@ -1,0 +1,95 @@
+"""Unit tests for the Levenshtein automaton and trie intersection."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import InvalidThresholdError
+from repro.index.automaton import LevenshteinAutomaton, automaton_trie_search
+from repro.index.compressed import CompressedTrie
+from repro.index.traversal import TraversalStats, trie_similarity_search
+from repro.index.trie import PrefixTrie
+
+
+class TestAutomatonKernel:
+    def test_accepts_exact_match(self):
+        assert LevenshteinAutomaton("Bern", 0).accepts("Bern")
+
+    def test_rejects_beyond_threshold(self):
+        assert not LevenshteinAutomaton("Bern", 1).accepts("Berlin")
+
+    def test_distance_reports_exact_value(self):
+        automaton = LevenshteinAutomaton("AGGCGT", 2)
+        assert automaton.distance("AGAGT") == 2
+
+    def test_distance_none_when_above(self):
+        assert LevenshteinAutomaton("AGGCGT", 1).distance("AGAGT") is None
+
+    def test_empty_query(self):
+        automaton = LevenshteinAutomaton("", 2)
+        assert automaton.distance("") == 0
+        assert automaton.distance("ab") == 2
+        assert automaton.distance("abc") is None
+
+    def test_empty_text(self):
+        automaton = LevenshteinAutomaton("abc", 3)
+        assert automaton.distance("") == 3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            LevenshteinAutomaton("x", -1)
+
+    def test_agrees_with_reference_on_samples(self):
+        pairs = [("kitten", "sitting"), ("flaw", "lawn"),
+                 ("Berlin", "Bern"), ("aaa", "bbb"), ("", "xy")]
+        for x, y in pairs:
+            for k in (0, 1, 2, 3):
+                reference = edit_distance(x, y)
+                expected = reference if reference <= k else None
+                assert LevenshteinAutomaton(x, k).distance(y) == expected
+
+    def test_stepwise_api(self):
+        automaton = LevenshteinAutomaton("ab", 1)
+        state = automaton.start()
+        for symbol in "ab":
+            state = automaton.step(state, symbol)
+        assert automaton.acceptance(state) == 0
+
+    def test_dead_state_detection(self):
+        automaton = LevenshteinAutomaton("aa", 0)
+        state = automaton.step(automaton.start(), "z")
+        assert automaton.is_dead(state)
+
+
+class TestAutomatonTrieSearch:
+    DATA = ["Berlin", "Bern", "Bergen", "Ulm", "Hamburg"]
+
+    def test_equals_dp_traversal(self):
+        trie = PrefixTrie(self.DATA)
+        compressed = CompressedTrie(self.DATA)
+        for query in ("Bern", "Bermen", "Ul", "zzz"):
+            for k in (0, 1, 2, 3):
+                reference = trie_similarity_search(trie, query, k)
+                assert automaton_trie_search(trie, query, k) == reference
+                assert automaton_trie_search(compressed, query,
+                                             k) == reference
+
+    def test_multiplicities_preserved(self):
+        trie = PrefixTrie(["Ulm", "Ulm"])
+        (match,) = automaton_trie_search(trie, "Ulm", 0)
+        assert match.multiplicity == 2
+
+    def test_stats_populated(self):
+        trie = PrefixTrie(self.DATA)
+        stats = TraversalStats()
+        automaton_trie_search(trie, "Bern", 1, stats=stats)
+        assert stats.nodes_visited > 0
+        assert stats.symbols_processed > 0
+
+    def test_dead_branches_are_pruned(self):
+        trie = PrefixTrie(["aaaa", "zzzz"])
+        stats = TraversalStats()
+        automaton_trie_search(trie, "aaaa", 1, stats=stats)
+        assert stats.branches_pruned_by_length >= 1
+
+    def test_empty_trie(self):
+        assert automaton_trie_search(PrefixTrie(), "x", 2) == []

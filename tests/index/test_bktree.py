@@ -1,0 +1,69 @@
+"""Unit tests for the BK-tree baseline."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import IndexConstructionError, InvalidThresholdError
+from repro.index.bktree import BKTree, bktree_from
+
+
+class TestConstruction:
+    def test_size_counts_duplicates(self):
+        tree = BKTree(["Ulm", "Ulm", "Bern"])
+        assert tree.size == 3
+
+    def test_empty_tree(self):
+        tree = BKTree()
+        assert tree.size == 0
+        assert tree.search("x", 5) == []
+        assert tree.depth() == 0
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            BKTree([""])
+
+    def test_depth_grows_with_content(self):
+        assert BKTree(["a"]).depth() == 1
+        assert BKTree(["a", "ab", "abc"]).depth() >= 2
+
+    def test_shuffled_build_helper(self):
+        strings = sorted(["alpha", "beta", "gamma", "delta", "epsilon"])
+        tree = bktree_from(strings)
+        assert tree.size == 5
+        assert tree.search_strings("beta", 0) == ["beta"]
+
+
+class TestSearch:
+    DATA = ["Berlin", "Bern", "Bergen", "Ulm", "Hamburg", "Hamm", "Bern"]
+
+    def test_equals_brute_force(self):
+        tree = BKTree(self.DATA)
+        for query in ("Bern", "Hamm", "Ulmen", "zzz", "Bergen"):
+            for k in (0, 1, 2, 3):
+                expected = sorted(
+                    {s for s in self.DATA if edit_distance(query, s) <= k}
+                )
+                assert tree.search_strings(query, k) == expected, (query, k)
+
+    def test_multiplicity_reported(self):
+        tree = BKTree(self.DATA)
+        match = next(m for m in tree.search("Bern", 0))
+        assert match.multiplicity == 2
+
+    def test_distances_exact(self):
+        tree = BKTree(self.DATA)
+        for match in tree.search("Berg", 3):
+            assert match.distance == edit_distance("Berg", match.string)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            BKTree(["a"]).search("a", -1)
+
+    def test_triangle_pruning_skips_distance_computations(self):
+        # With a tight threshold, the tree must compute far fewer
+        # distances than a full scan would.
+        strings = [f"prefix{i:04d}" for i in range(200)]
+        tree = BKTree(strings)
+        tree.distance_computations = 0
+        tree.search("prefix0000", 1)
+        assert tree.distance_computations < len(strings)

@@ -1,0 +1,99 @@
+"""Unit tests for the radix-compressed trie."""
+
+from repro.index.compressed import CompressedTrie
+from repro.index.trie import PrefixTrie
+
+
+class TestCompression:
+    def test_paper_figure_4_halves_node_count(self):
+        # The paper's example: Berlin, Bern, Ulm compress from 11 to
+        # about half the nodes (root + "Ber" + "lin" + "n" + "Ulm").
+        plain = PrefixTrie(["Berlin", "Bern", "Ulm"])
+        compressed = CompressedTrie(["Berlin", "Bern", "Ulm"])
+        assert plain.node_count == 11
+        assert compressed.node_count == 5
+
+    def test_string_set_preserved(self):
+        strings = ["Berlin", "Bern", "Ulm", "Bergen", "Ulm"]
+        assert sorted(CompressedTrie(strings)) == sorted(set(strings))
+
+    def test_counts_preserved(self):
+        compressed = CompressedTrie(["Ulm", "Ulm", "Bern"])
+        assert compressed.count("Ulm") == 2
+        assert compressed.count("Bern") == 1
+        assert compressed.string_count == 3
+
+    def test_from_existing_trie(self):
+        trie = PrefixTrie(["Berlin", "Bern", "Ulm"])
+        compressed = CompressedTrie.from_trie(trie)
+        assert sorted(compressed) == sorted(trie)
+        assert compressed.node_count <= trie.node_count
+
+    def test_single_string_collapses_to_one_edge(self):
+        compressed = CompressedTrie(["abcdefgh"])
+        assert compressed.node_count == 2  # root + one merged node
+
+    def test_terminal_in_the_middle_stays_a_boundary(self):
+        # "Bern" ends inside the chain leading to "Berner": the chain
+        # must split at the terminal.
+        compressed = CompressedTrie(["Bern", "Berner"])
+        assert "Bern" in compressed
+        assert "Berner" in compressed
+        assert "Berne" not in compressed
+
+    def test_never_more_nodes_than_plain(self):
+        strings = ["a", "ab", "abc", "b", "ba", "bab", "xyz"]
+        plain = PrefixTrie(strings)
+        compressed = CompressedTrie(strings)
+        assert compressed.node_count <= plain.node_count
+
+    def test_empty_trie(self):
+        compressed = CompressedTrie([])
+        assert len(compressed) == 0
+        assert list(compressed) == []
+
+
+class TestMembership:
+    def test_contains(self):
+        compressed = CompressedTrie(["Berlin", "Bern", "Ulm"])
+        assert "Berlin" in compressed
+        assert "Bern" in compressed
+        assert "Ulm" in compressed
+
+    def test_prefix_inside_merged_label_is_not_member(self):
+        compressed = CompressedTrie(["Berlin"])
+        assert "Ber" not in compressed
+        assert "Berli" not in compressed
+
+    def test_divergence_inside_label(self):
+        compressed = CompressedTrie(["Berlin"])
+        assert "Berlxn" not in compressed
+
+    def test_extension_not_member(self):
+        compressed = CompressedTrie(["Ulm"])
+        assert "Ulmer" not in compressed
+
+
+class TestAnnotations:
+    def test_length_bounds_survive_compression(self):
+        plain = PrefixTrie(["Berlin", "Bern", "Ulm"])
+        compressed = CompressedTrie(["Berlin", "Bern", "Ulm"])
+        plain_b = plain.root.children["B"]
+        compressed_b = compressed.root.children["B"]
+        assert compressed_b.subtree_min_length == \
+            plain_b.subtree_min_length
+        assert compressed_b.subtree_max_length == \
+            plain_b.subtree_max_length
+
+    def test_frequency_bounds_survive_compression(self):
+        compressed = CompressedTrie(
+            ["AA", "AT"], tracked_symbols="AT",
+            case_insensitive_frequencies=False,
+        )
+        assert compressed.root.freq_min == [1, 0]
+        assert compressed.root.freq_max == [2, 1]
+
+    def test_merged_label_content(self):
+        compressed = CompressedTrie(["Berlin", "Bern", "Ulm"])
+        assert compressed.root.children["B"].label == "Ber"
+        assert compressed.root.children["U"].label == "Ulm"

@@ -1,0 +1,104 @@
+"""Unit tests for the DAWG (minimal acyclic DFA) index."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import IndexConstructionError, InvalidThresholdError
+from repro.index.compressed import CompressedTrie
+from repro.index.dawg import Dawg
+from repro.index.traversal import TraversalStats
+from repro.index.trie import PrefixTrie
+
+SUFFIX_HEAVY = ["Hamburg", "Magdeburg", "Marburg", "Freiburg",
+                "Neustadt", "Darmstadt"]
+
+
+class TestConstruction:
+    def test_set_semantics(self):
+        dawg = Dawg(["b", "a", "b"])
+        assert list(dawg) == ["a", "b"]
+        assert dawg.string_count == 3
+        assert dawg.count("b") == 2
+        assert len(dawg) == 3
+
+    def test_empty_dawg(self):
+        dawg = Dawg()
+        assert list(dawg) == []
+        assert dawg.search("x", 3) == []
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(IndexConstructionError):
+            Dawg([""])
+
+    def test_membership(self):
+        dawg = Dawg(SUFFIX_HEAVY)
+        assert "Marburg" in dawg
+        assert "Marbur" not in dawg
+        assert "Marburgg" not in dawg
+
+    def test_suffix_sharing_beats_the_trie(self):
+        # Six names, four sharing "burg" and two sharing "stadt": the
+        # DAWG must need fewer states than the uncompressed trie.
+        dawg = Dawg(SUFFIX_HEAVY)
+        trie = PrefixTrie(SUFFIX_HEAVY)
+        assert dawg.node_count < trie.node_count
+
+    def test_minimality_on_shared_suffix_pairs(self):
+        # "xab" and "yab" share the "ab" tail: minimal DFA has
+        # root -> {x,y} -> a -> b(final) = 4 states.
+        dawg = Dawg(["xab", "yab"])
+        assert dawg.node_count == 4
+
+    def test_max_depth(self):
+        assert Dawg(["ab", "abcde"]).max_depth == 5
+
+
+class TestHeights:
+    def test_root_heights_span_lengths(self):
+        dawg = Dawg(["ab", "abcd"])
+        assert dawg._root.min_height == 2
+        assert dawg._root.max_height == 4
+
+
+class TestSearch:
+    def test_equals_brute_force(self):
+        dawg = Dawg(SUFFIX_HEAVY)
+        for query in ("Marburg", "Hamburk", "Neustadt", "burg", "zzz"):
+            for k in (0, 1, 2, 3):
+                expected = sorted({
+                    s for s in SUFFIX_HEAVY
+                    if edit_distance(query, s) <= k
+                })
+                assert dawg.search_strings(query, k) == expected, \
+                    (query, k)
+
+    def test_equals_trie_search(self):
+        from repro.index.traversal import trie_similarity_search
+
+        data = ["Bern", "Berlin", "Bergen", "Ulm", "Ulm"]
+        dawg = Dawg(data)
+        trie = CompressedTrie(data)
+        for query in ("Bern", "Ulms", "xxxx"):
+            for k in (0, 1, 2):
+                assert dawg.search(query, k) == \
+                    trie_similarity_search(trie, query, k)
+
+    def test_multiplicity(self):
+        dawg = Dawg(["Ulm", "Ulm"])
+        (match,) = dawg.search("Ulm", 0)
+        assert match.multiplicity == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            Dawg(["a"]).search("a", -1)
+
+    def test_stats_and_pruning(self):
+        dawg = Dawg(["a" * 20, "zz"])
+        stats = TraversalStats()
+        dawg.search("zz", 1, stats=stats)
+        assert stats.nodes_visited > 0
+        assert stats.branches_pruned_by_length >= 1
+
+    def test_empty_query(self):
+        dawg = Dawg(["a", "ab", "abc"])
+        assert dawg.search_strings("", 2) == ["a", "ab"]

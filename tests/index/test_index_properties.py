@@ -1,0 +1,127 @@
+"""Property-based tests: every index equals the brute-force answer.
+
+This is the paper's central correctness invariant, hypothesis-driven:
+for any dataset, query and threshold, the trie, the compressed trie and
+the q-gram index return exactly the strings the full-matrix scan finds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.levenshtein import edit_distance
+from repro.index.compressed import CompressedTrie
+from repro.index.qgram_index import QGramIndex
+from repro.index.suffix_array import SuffixArray
+from repro.index.traversal import trie_similarity_search
+from repro.index.trie import PrefixTrie
+
+datasets = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=8),
+    min_size=1, max_size=12,
+)
+queries = st.text(alphabet="abcd", max_size=8)
+thresholds = st.integers(min_value=0, max_value=4)
+
+
+def brute_force(dataset, query, k):
+    return sorted({s for s in dataset if edit_distance(query, s) <= k})
+
+
+class TestSearchEquivalence:
+    @settings(max_examples=80)
+    @given(datasets, queries, thresholds)
+    def test_trie_equals_brute_force(self, dataset, query, k):
+        trie = PrefixTrie(dataset)
+        actual = [m.string for m in trie_similarity_search(trie, query, k)]
+        assert actual == brute_force(dataset, query, k)
+
+    @settings(max_examples=80)
+    @given(datasets, queries, thresholds)
+    def test_compressed_equals_brute_force(self, dataset, query, k):
+        compressed = CompressedTrie(dataset)
+        actual = [
+            m.string for m in trie_similarity_search(compressed, query, k)
+        ]
+        assert actual == brute_force(dataset, query, k)
+
+    @settings(max_examples=80)
+    @given(datasets, queries, thresholds)
+    def test_frequency_pruned_trie_equals_brute_force(self, dataset,
+                                                      query, k):
+        trie = PrefixTrie(dataset, tracked_symbols="abc",
+                          case_insensitive_frequencies=False)
+        actual = [m.string for m in trie_similarity_search(trie, query, k)]
+        assert actual == brute_force(dataset, query, k)
+
+    @settings(max_examples=80)
+    @given(datasets, queries, thresholds)
+    def test_qgram_index_equals_brute_force(self, dataset, query, k):
+        index = QGramIndex(dataset, q=2)
+        assert index.search_strings(query, k) == \
+            brute_force(dataset, query, k)
+
+    @settings(max_examples=60)
+    @given(datasets, queries, thresholds)
+    def test_matches_report_exact_distances(self, dataset, query, k):
+        trie = PrefixTrie(dataset)
+        for match in trie_similarity_search(trie, query, k):
+            assert match.distance == edit_distance(query, match.string)
+            assert match.multiplicity == dataset.count(match.string)
+
+
+class TestTrieSetSemantics:
+    @settings(max_examples=80)
+    @given(datasets)
+    def test_enumeration_matches_input_set(self, dataset):
+        assert list(PrefixTrie(dataset)) == sorted(set(dataset))
+        assert list(CompressedTrie(dataset)) == sorted(set(dataset))
+
+    @settings(max_examples=80)
+    @given(datasets)
+    def test_compression_preserves_counts(self, dataset):
+        compressed = CompressedTrie(dataset)
+        for string in set(dataset):
+            assert compressed.count(string) == dataset.count(string)
+
+    @settings(max_examples=60)
+    @given(datasets, st.text(alphabet="abc", min_size=1, max_size=8))
+    def test_membership_agrees(self, dataset, probe):
+        plain = PrefixTrie(dataset)
+        compressed = CompressedTrie(dataset)
+        assert (probe in plain) == (probe in dataset)
+        assert (probe in compressed) == (probe in dataset)
+
+
+class TestSuffixArrayProperties:
+    @settings(max_examples=60)
+    @given(st.text(alphabet="ab", max_size=30),
+           st.text(alphabet="ab", min_size=1, max_size=4))
+    def test_exact_occurrences_match_naive(self, text, pattern):
+        sa = SuffixArray(text)
+        naive = [
+            i for i in range(len(text) - len(pattern) + 1)
+            if text.startswith(pattern, i)
+        ]
+        assert sa.find_occurrences(pattern) == naive
+
+    @settings(max_examples=40)
+    @given(st.text(alphabet="ab", min_size=4, max_size=24),
+           st.text(alphabet="ab", min_size=2, max_size=5),
+           st.integers(min_value=0, max_value=2))
+    def test_approximate_hits_complete_and_sound(self, text, pattern, k):
+        sa = SuffixArray(text)
+        hits = {h.start: h for h in sa.approximate_occurrences(pattern, k)}
+        m = len(pattern)
+        for start in range(len(text) + 1):
+            best = None
+            for length in range(max(0, m - k), m + k + 1):
+                if start + length > len(text):
+                    break
+                distance = edit_distance(pattern, text[start:start + length])
+                if distance <= k and (best is None or distance < best):
+                    best = distance
+            if best is None:
+                assert start not in hits
+            else:
+                assert start in hits
+                assert hits[start].distance == best

@@ -1,0 +1,80 @@
+"""Cross-validation stress tests: every index kind on realistic data.
+
+The per-structure unit tests use toy datasets; these run every
+``IndexedSearcher`` kind against the reference scan on the session's
+realistic fixtures (generated city names and DNA reads), at every
+Table-I threshold that is tractable — the closest thing to running the
+paper's correctness gate over the full configuration matrix.
+"""
+
+import pytest
+
+from repro.core.indexed import INDEX_KINDS, IndexedSearcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.verification import verify_result_sets
+
+
+@pytest.fixture(scope="module")
+def city_reference(city_names, city_workload):
+    searcher = SequentialScanSearcher(city_names, kernel="reference")
+    return searcher.run_workload(city_workload)
+
+
+@pytest.fixture(scope="module")
+def dna_reference(dna_reads, dna_workload):
+    searcher = SequentialScanSearcher(dna_reads, kernel="reference")
+    return searcher.run_workload(dna_workload)
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_every_kind_on_city_fixture(kind, city_names, city_workload,
+                                    city_reference):
+    searcher = IndexedSearcher(city_names, index=kind)
+    verify_result_sets(city_reference,
+                       searcher.run_workload(city_workload),
+                       candidate_name=f"{kind} (cities)")
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_every_kind_on_dna_fixture(kind, dna_reads, dna_workload,
+                                   dna_reference):
+    searcher = IndexedSearcher(dna_reads, index=kind)
+    verify_result_sets(dna_reference,
+                       searcher.run_workload(dna_workload),
+                       candidate_name=f"{kind} (DNA)")
+
+
+@pytest.mark.parametrize("tracked,fixture_name", [
+    ("AEIOU", "city"), ("ACGNT", "dna"),
+])
+def test_frequency_pruning_on_fixtures(tracked, fixture_name, city_names,
+                                       city_workload, dna_reads,
+                                       dna_workload, city_reference,
+                                       dna_reference):
+    if fixture_name == "city":
+        dataset, workload, reference = (city_names, city_workload,
+                                        city_reference)
+    else:
+        dataset, workload, reference = (dna_reads, dna_workload,
+                                        dna_reference)
+    searcher = IndexedSearcher(dataset, index="compressed",
+                               frequency_pruning=True,
+                               tracked_symbols=tracked)
+    verify_result_sets(reference, searcher.run_workload(workload),
+                       candidate_name=f"freq ({fixture_name})")
+
+
+def test_all_city_thresholds(city_names):
+    reference = SequentialScanSearcher(city_names, kernel="reference")
+    compressed = IndexedSearcher(city_names, index="compressed")
+    query = city_names[11]
+    for k in (0, 1, 2, 3):
+        assert compressed.search(query, k) == reference.search(query, k)
+
+
+def test_all_dna_thresholds(dna_reads):
+    reference = SequentialScanSearcher(dna_reads, kernel="reference")
+    compressed = IndexedSearcher(dna_reads, index="compressed")
+    query = dna_reads[5]
+    for k in (0, 4, 8, 16):
+        assert compressed.search(query, k) == reference.search(query, k)

@@ -1,0 +1,45 @@
+"""Unit tests for trie nodes."""
+
+from repro.index.node import TrieNode
+
+
+class TestTrieNode:
+    def test_fresh_node_defaults(self):
+        node = TrieNode("x")
+        assert node.label == "x"
+        assert not node.is_terminal
+        assert node.is_leaf
+        assert node.terminal_count == 0
+        assert node.freq_min is None
+
+    def test_observe_string_updates_length_bounds(self):
+        node = TrieNode()
+        node.observe_string(5, None)
+        node.observe_string(3, None)
+        node.observe_string(9, None)
+        assert node.subtree_min_length == 3
+        assert node.subtree_max_length == 9
+
+    def test_observe_string_updates_frequency_box(self):
+        node = TrieNode()
+        node.observe_string(4, (1, 2))
+        node.observe_string(4, (3, 0))
+        assert node.freq_min == [1, 0]
+        assert node.freq_max == [3, 2]
+
+    def test_node_count_counts_subtree(self):
+        root = TrieNode()
+        child_a = TrieNode("a")
+        child_b = TrieNode("b")
+        grandchild = TrieNode("c")
+        root.children["a"] = child_a
+        root.children["b"] = child_b
+        child_a.children["c"] = grandchild
+        assert root.node_count() == 4
+        assert child_a.node_count() == 2
+
+    def test_repr_is_informative(self):
+        node = TrieNode("q")
+        node.terminal_count = 2
+        text = repr(node)
+        assert "q" in text and "2" in text

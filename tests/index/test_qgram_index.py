@@ -1,0 +1,76 @@
+"""Unit tests for the inverted q-gram index."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.index.qgram_index import QGramIndex
+
+
+class TestConstruction:
+    def test_counts(self):
+        index = QGramIndex(["Berlin", "Bern", "Ulm", "Bern"], q=2)
+        assert index.string_count == 4
+        assert index.distinct_count == 3
+        assert index.q == 2
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            QGramIndex(["a"], q=0)
+
+    def test_posting_lists(self):
+        index = QGramIndex(["Bern", "Berlin"], q=2)
+        assert len(index.posting_list("Be")) == 2
+        assert len(index.posting_list("rn")) == 1
+        assert index.posting_list("zz") == ()
+
+    def test_gram_count(self):
+        index = QGramIndex(["abc"], q=2)
+        assert index.gram_count == 2  # "ab", "bc"
+
+
+class TestSearch:
+    def test_exact_search(self):
+        index = QGramIndex(["Berlin", "Bern", "Ulm"], q=2)
+        assert index.search_strings("Bern", 0) == ["Bern"]
+
+    def test_fuzzy_search(self):
+        index = QGramIndex(["Berlin", "Bern", "Ulm"], q=2)
+        assert index.search_strings("Berlino", 2) == ["Berlin"]
+        assert index.search_strings("Berlino", 3) == ["Berlin", "Bern"]
+
+    def test_strings_shorter_than_q_are_findable(self):
+        # A one-symbol string has no bigrams; only the length side
+        # table can reach it.
+        index = QGramIndex(["a", "ab", "Berlin"], q=2)
+        assert index.search_strings("a", 1) == ["a", "ab"]
+
+    def test_query_shorter_than_q(self):
+        index = QGramIndex(["ab", "cd", "abcd"], q=3)
+        assert index.search_strings("ab", 1) == ["ab"] or \
+            "ab" in index.search_strings("ab", 1)
+
+    def test_multiplicity_in_matches(self):
+        index = QGramIndex(["Ulm", "Ulm"], q=2)
+        (match,) = index.search("Ulm", 0)
+        assert match.multiplicity == 2
+
+    def test_distances_exact(self):
+        index = QGramIndex(["Berlin", "Bern", "Bergen"], q=2)
+        for match in index.search("Berln", 2):
+            assert match.distance == edit_distance("Berln", match.string)
+
+    def test_agrees_with_brute_force(self):
+        strings = ["Berlin", "Bern", "Bergen", "Ulm", "Hamburg",
+                   "Hamm", "a", "ab"]
+        index = QGramIndex(strings, q=2)
+        for query in ("Berlin", "Ham", "b", "Ulmen", "zzz"):
+            for k in (0, 1, 2, 3):
+                expected = sorted(
+                    {s for s in strings if edit_distance(query, s) <= k}
+                )
+                assert index.search_strings(query, k) == expected, \
+                    (query, k)
+
+    def test_empty_results(self):
+        index = QGramIndex(["Berlin"], q=2)
+        assert index.search("zzzzzzzz", 1) == []

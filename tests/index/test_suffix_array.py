@@ -1,0 +1,127 @@
+"""Unit tests for the suffix-array substrate."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.index.suffix_array import SuffixArray, _partition
+
+
+class TestConstruction:
+    def test_banana(self):
+        sa = SuffixArray("banana")
+        # Classic result: suffixes sorted are a, ana, anana, banana,
+        # na, nana -> start positions 5, 3, 1, 0, 4, 2.
+        assert sa.array == [5, 3, 1, 0, 4, 2]
+
+    def test_empty_text(self):
+        sa = SuffixArray("")
+        assert len(sa) == 0
+        assert sa.find_occurrences("a") == []
+
+    def test_single_symbol(self):
+        assert SuffixArray("x").array == [0]
+
+    def test_repeated_symbol(self):
+        assert SuffixArray("aaaa").array == [3, 2, 1, 0]
+
+    def test_array_is_a_permutation(self):
+        text = "mississippi"
+        sa = SuffixArray(text)
+        assert sorted(sa.array) == list(range(len(text)))
+
+    def test_array_is_sorted_by_suffix(self):
+        text = "mississippi"
+        sa = SuffixArray(text)
+        suffixes = [text[i:] for i in sa.array]
+        assert suffixes == sorted(suffixes)
+
+
+class TestExactSearch:
+    def test_find_occurrences(self):
+        sa = SuffixArray("banana")
+        assert sa.find_occurrences("ana") == [1, 3]
+        assert sa.find_occurrences("banana") == [0]
+        assert sa.find_occurrences("nab") == []
+
+    def test_contains(self):
+        sa = SuffixArray("mississippi")
+        assert sa.contains("ssis")
+        assert not sa.contains("ssx")
+        assert sa.contains("")
+
+    def test_empty_pattern_matches_everywhere(self):
+        sa = SuffixArray("abc")
+        assert sa.find_occurrences("") == [0, 1, 2]
+
+    def test_pattern_longer_than_text(self):
+        sa = SuffixArray("ab")
+        assert sa.find_occurrences("abc") == []
+
+    def test_matches_str_find_semantics(self):
+        text = "abracadabra"
+        sa = SuffixArray(text)
+        for pattern in ("a", "abra", "cad", "zz", "ra"):
+            naive = [
+                i for i in range(len(text) - len(pattern) + 1)
+                if text.startswith(pattern, i)
+            ]
+            assert sa.find_occurrences(pattern) == naive
+
+
+class TestApproximateSearch:
+    def test_exact_hit_at_k_zero(self):
+        sa = SuffixArray("GATTACAGATTACA")
+        hits = sa.approximate_occurrences("GATTACA", 0)
+        assert [h.start for h in hits] == [0, 7]
+        assert all(h.distance == 0 for h in hits)
+
+    def test_one_error_hit(self):
+        sa = SuffixArray("xxGATTACAxx")
+        hits = sa.approximate_occurrences("GATTCCA", 1)
+        assert any(h.distance == 1 for h in hits)
+
+    def test_hits_are_verified(self):
+        text = "abcabcabcabc"
+        sa = SuffixArray(text)
+        for hit in sa.approximate_occurrences("abcb", 1):
+            assert edit_distance("abcb", text[hit.start:hit.end]) == \
+                hit.distance <= 1
+
+    def test_degenerate_pattern_shorter_than_k(self):
+        sa = SuffixArray("abab")
+        hits = sa.approximate_occurrences("a", 2)
+        # Every start offers some window within distance 2.
+        assert [h.start for h in hits] == list(range(5))
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SuffixArray("abc").approximate_occurrences("", 1)
+
+    def test_hit_length_property(self):
+        sa = SuffixArray("GATTACA")
+        (hit,) = [h for h in sa.approximate_occurrences("GATT", 0)]
+        assert hit.length == 4
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert _partition("abcdef", 2) == [(0, "abc"), (3, "def")]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert _partition("abcde", 2) == [(0, "abc"), (3, "de")]
+
+    def test_more_pieces_than_symbols(self):
+        pieces = _partition("ab", 5)
+        assert len(pieces) == 2
+        assert "".join(piece for _, piece in pieces) == "ab"
+
+    def test_offsets_tile_the_pattern(self):
+        pattern = "abcdefghij"
+        for count in (1, 2, 3, 4):
+            pieces = _partition(pattern, count)
+            rebuilt = "".join(piece for _, piece in pieces)
+            assert rebuilt == pattern
+            offset = 0
+            for piece_offset, piece in pieces:
+                assert piece_offset == offset
+                offset += len(piece)

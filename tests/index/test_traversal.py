@@ -1,0 +1,143 @@
+"""Unit tests for the banded similarity traversal."""
+
+import pytest
+
+from repro.distance.levenshtein import edit_distance
+from repro.exceptions import InvalidThresholdError
+from repro.index.compressed import CompressedTrie
+from repro.index.traversal import TraversalStats, trie_similarity_search
+from repro.index.trie import PrefixTrie
+
+CITY_SAMPLE = ["Berlin", "Bern", "Ulm", "Bergen", "Hamburg", "Hamm"]
+
+
+class TestBasicSearch:
+    def test_exact_match_at_k_zero(self):
+        trie = PrefixTrie(CITY_SAMPLE)
+        matches = trie_similarity_search(trie, "Bern", 0)
+        assert [m.string for m in matches] == ["Bern"]
+        assert matches[0].distance == 0
+
+    def test_paper_style_fuzzy_query(self):
+        trie = PrefixTrie(CITY_SAMPLE)
+        matches = trie_similarity_search(trie, "Berlino", 2)
+        assert [m.string for m in matches] == ["Berlin"]
+        matches = trie_similarity_search(trie, "Berlino", 3)
+        assert [m.string for m in matches] == ["Bergen", "Berlin", "Bern"]
+
+    def test_no_matches(self):
+        trie = PrefixTrie(CITY_SAMPLE)
+        assert trie_similarity_search(trie, "Xyzzy", 1) == []
+
+    def test_results_sorted_lexicographically(self):
+        trie = PrefixTrie(CITY_SAMPLE)
+        matches = trie_similarity_search(trie, "Ber", 3)
+        strings = [m.string for m in matches]
+        assert strings == sorted(strings)
+
+    def test_distances_are_exact(self):
+        trie = PrefixTrie(CITY_SAMPLE)
+        for match in trie_similarity_search(trie, "Hamburh", 3):
+            assert match.distance == edit_distance("Hamburh", match.string)
+
+    def test_multiplicity_reported(self):
+        trie = PrefixTrie(["Ulm", "Ulm", "Bern"])
+        (match,) = trie_similarity_search(trie, "Ulm", 0)
+        assert match.multiplicity == 2
+
+    def test_empty_query_matches_short_strings(self):
+        trie = PrefixTrie(["a", "ab", "abc"])
+        matches = trie_similarity_search(trie, "", 2)
+        assert [m.string for m in matches] == ["a", "ab"]
+
+    def test_empty_trie(self):
+        assert trie_similarity_search(PrefixTrie(), "anything", 3) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(InvalidThresholdError):
+            trie_similarity_search(PrefixTrie(["a"]), "a", -1)
+
+    def test_compressed_gives_identical_results(self):
+        plain = PrefixTrie(CITY_SAMPLE)
+        compressed = CompressedTrie(CITY_SAMPLE)
+        for query in ("Berlin", "Hamm", "Ulms", "xxxx"):
+            for k in (0, 1, 2, 3):
+                assert (
+                    trie_similarity_search(plain, query, k)
+                    == trie_similarity_search(compressed, query, k)
+                )
+
+
+class TestPruning:
+    def test_stats_are_populated(self):
+        trie = PrefixTrie(CITY_SAMPLE)
+        stats = TraversalStats()
+        trie_similarity_search(trie, "Bern", 1, stats=stats)
+        assert stats.nodes_visited >= 1
+        assert stats.symbols_processed >= 4
+        assert stats.matches == len(
+            trie_similarity_search(trie, "Bern", 1)
+        )
+
+    def test_length_pruning_cuts_branches(self):
+        # A long-only branch must be pruned for a short query.
+        trie = PrefixTrie(["x" * 30, "ab"])
+        stats = TraversalStats()
+        trie_similarity_search(trie, "ab", 1, stats=stats)
+        assert stats.branches_pruned_by_length >= 1
+        # The long branch must not be walked to its end.
+        assert stats.symbols_processed < 30
+
+    def test_frequency_pruning_cuts_branches(self):
+        trie = PrefixTrie(["AAAAAAA", "TTTTTTT"], tracked_symbols="AT",
+                          case_insensitive_frequencies=False)
+        stats = TraversalStats()
+        matches = trie_similarity_search(trie, "AAAAAAA", 2, stats=stats)
+        assert [m.string for m in matches] == ["AAAAAAA"]
+        assert stats.branches_pruned_by_frequency >= 1
+
+    def test_frequency_pruning_can_be_disabled(self):
+        trie = PrefixTrie(["AAAAAAA", "TTTTTTT"], tracked_symbols="AT",
+                          case_insensitive_frequencies=False)
+        with_stats = TraversalStats()
+        without_stats = TraversalStats()
+        with_result = trie_similarity_search(
+            trie, "AAAAAAA", 2, stats=with_stats
+        )
+        without_result = trie_similarity_search(
+            trie, "AAAAAAA", 2, use_frequency_pruning=False,
+            stats=without_stats,
+        )
+        assert with_result == without_result
+        assert without_stats.branches_pruned_by_frequency == 0
+
+    def test_pruning_never_loses_matches(self):
+        # Brute-force cross-check on a deliberately prune-heavy trie.
+        strings = ["a" * n for n in range(1, 12)] + ["b" * 6, "ab" * 3]
+        trie = PrefixTrie(strings, tracked_symbols="ab")
+        for query in ("aaa", "bbbbbb", "ababab", ""):
+            for k in (0, 1, 2, 3):
+                expected = sorted(
+                    {s for s in strings if edit_distance(query, s) <= k}
+                )
+                actual = [
+                    m.string
+                    for m in trie_similarity_search(trie, query, k)
+                ]
+                assert actual == expected, (query, k)
+
+
+class TestBandCorrectness:
+    def test_threshold_larger_than_strings(self):
+        trie = PrefixTrie(["ab", "cd"])
+        matches = trie_similarity_search(trie, "x", 10)
+        assert [m.string for m in matches] == ["ab", "cd"]
+
+    def test_query_longer_than_everything(self):
+        trie = PrefixTrie(["ab"])
+        assert trie_similarity_search(trie, "a" * 20, 3) == []
+
+    def test_deep_trie_beyond_band(self):
+        trie = PrefixTrie(["abcdefghij"])
+        matches = trie_similarity_search(trie, "abcdefghij", 0)
+        assert len(matches) == 1

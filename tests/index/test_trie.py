@@ -1,0 +1,114 @@
+"""Unit tests for the annotated prefix trie."""
+
+import pytest
+
+from repro.exceptions import IndexConstructionError
+from repro.index.trie import PrefixTrie
+
+
+class TestConstruction:
+    def test_empty_trie(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.node_count == 1  # just the root
+        assert list(trie) == []
+
+    def test_paper_figure_4_strings(self):
+        trie = PrefixTrie(["Berlin", "Bern", "Ulm"])
+        assert trie.string_count == 3
+        # Root + B,e,r (shared) + l,i,n + n + U,l,m = 11 nodes.
+        assert trie.node_count == 11
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(IndexConstructionError):
+            PrefixTrie([""])
+
+    def test_duplicates_accumulate(self):
+        trie = PrefixTrie(["Ulm", "Ulm", "Ulm"])
+        assert trie.string_count == 3
+        assert trie.count("Ulm") == 3
+        assert list(trie) == ["Ulm"]
+
+    def test_extend(self):
+        trie = PrefixTrie(["a"])
+        trie.extend(["b", "c"])
+        assert sorted(trie) == ["a", "b", "c"]
+
+    def test_max_depth_is_longest_string(self):
+        trie = PrefixTrie(["ab", "abcde", "a"])
+        assert trie.max_depth == 5
+
+
+class TestMembership:
+    def test_contains_inserted(self):
+        trie = PrefixTrie(["Berlin", "Bern"])
+        assert "Berlin" in trie
+        assert "Bern" in trie
+
+    def test_prefix_of_member_is_not_member(self):
+        trie = PrefixTrie(["Berlin"])
+        assert "Berl" not in trie
+
+    def test_extension_of_member_is_not_member(self):
+        trie = PrefixTrie(["Bern"])
+        assert "Berner" not in trie
+
+    def test_count_of_absent_is_zero(self):
+        assert PrefixTrie(["a"]).count("b") == 0
+
+
+class TestEnumeration:
+    def test_iteration_is_sorted_and_distinct(self):
+        strings = ["delta", "alpha", "beta", "alpha"]
+        trie = PrefixTrie(strings)
+        assert list(trie) == ["alpha", "beta", "delta"]
+
+    def test_iter_with_counts(self):
+        trie = PrefixTrie(["b", "a", "b"])
+        assert list(trie.iter_with_counts()) == [("a", 1), ("b", 2)]
+
+    def test_starts_with(self):
+        trie = PrefixTrie(["Berlin", "Bern", "Ulm", "Bergen"])
+        assert trie.starts_with("Ber") == ["Bergen", "Berlin", "Bern"]
+        assert trie.starts_with("U") == ["Ulm"]
+        assert trie.starts_with("X") == []
+
+    def test_starts_with_full_string(self):
+        trie = PrefixTrie(["Bern", "Berner"])
+        assert trie.starts_with("Bern") == ["Bern", "Berner"]
+
+
+class TestAnnotations:
+    def test_root_length_bounds(self):
+        trie = PrefixTrie(["ab", "abcdef", "xyz"])
+        assert trie.root.subtree_min_length == 2
+        assert trie.root.subtree_max_length == 6
+
+    def test_branch_length_bounds(self):
+        trie = PrefixTrie(["Berlin", "Bern", "Ulm"])
+        b_node = trie.root.children["B"]
+        assert b_node.subtree_min_length == 4   # Bern
+        assert b_node.subtree_max_length == 6   # Berlin
+        u_node = trie.root.children["U"]
+        assert u_node.subtree_min_length == 3
+        assert u_node.subtree_max_length == 3
+
+    def test_frequency_bounds_tracked(self):
+        trie = PrefixTrie(["AA", "AT"], tracked_symbols="AT",
+                          case_insensitive_frequencies=False)
+        root = trie.root
+        assert root.freq_min == [1, 0]   # A: min 1, T: min 0
+        assert root.freq_max == [2, 1]   # A: max 2, T: max 1
+
+    def test_no_frequency_bounds_by_default(self):
+        trie = PrefixTrie(["abc"])
+        assert trie.root.freq_min is None
+        assert trie.tracked_symbols is None
+
+    def test_terminal_flags(self):
+        trie = PrefixTrie(["Bern", "Berner"])
+        node = trie.root
+        for symbol in "Bern":
+            node = node.children[symbol]
+        assert node.is_terminal
+        assert not node.is_leaf

@@ -1,0 +1,81 @@
+"""Unit tests for the real master-slave adaptive manager."""
+
+import time
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.adaptive import AdaptiveManager, ManagerRules
+
+
+class TestManagerRules:
+    def test_defaults_match_paper(self):
+        rules = ManagerRules()
+        assert rules.open_threshold == 0.7
+        assert rules.close_threshold == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ParallelismError):
+            ManagerRules(min_threads=0)
+        with pytest.raises(ParallelismError):
+            ManagerRules(min_threads=4, max_threads=2)
+        with pytest.raises(ParallelismError):
+            ManagerRules(open_threshold=0.1, close_threshold=0.5)
+        with pytest.raises(ParallelismError):
+            ManagerRules(sample_interval=0)
+
+
+class TestAdaptiveManager:
+    def test_results_keep_input_order(self):
+        manager = AdaptiveManager(ManagerRules(min_threads=2))
+        queries = list(range(40))
+        assert manager.run(lambda q: q + 1, queries) == \
+            [q + 1 for q in queries]
+
+    def test_empty_batch(self):
+        assert AdaptiveManager().run(lambda q: q, []) == []
+
+    def test_bookkeeping_after_run(self):
+        manager = AdaptiveManager(
+            ManagerRules(min_threads=2, max_threads=4,
+                         sample_interval=0.002)
+        )
+        manager.run(lambda q: time.sleep(0.003) or q, list(range(30)))
+        assert manager.threads_opened >= 2
+        assert manager.peak_threads >= 2
+        assert manager.peak_threads <= 4
+
+    def test_grows_under_sustained_load(self):
+        manager = AdaptiveManager(
+            ManagerRules(min_threads=1, max_threads=6,
+                         sample_interval=0.002)
+        )
+        manager.run(lambda q: time.sleep(0.004) or q, list(range(60)))
+        # Utilization is 100% throughout (pure backlog), so the master
+        # must have opened extra workers.
+        assert manager.threads_opened > 1
+
+    def test_exceptions_propagate(self):
+        manager = AdaptiveManager(ManagerRules(min_threads=2))
+
+        def boom(q):
+            if q == 5:
+                raise RuntimeError("query 5 failed")
+            return q
+
+        with pytest.raises(RuntimeError):
+            manager.run(boom, list(range(12)))
+
+    def test_utilization_samples_in_range(self):
+        manager = AdaptiveManager(
+            ManagerRules(min_threads=2, sample_interval=0.002)
+        )
+        manager.run(lambda q: time.sleep(0.002) or q, list(range(30)))
+        for sample in manager.utilization_samples:
+            assert 0.0 <= sample.utilization <= 1.0
+
+    def test_results_match_serial_execution(self):
+        manager = AdaptiveManager(ManagerRules(min_threads=3))
+        queries = [f"q{i}" for i in range(25)]
+        assert manager.run(str.upper, queries) == \
+            [q.upper() for q in queries]

@@ -1,0 +1,118 @@
+"""Unit tests for the real execution backends."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.executor import (
+    ProcessPoolRunner,
+    SerialRunner,
+    ThreadPerQueryRunner,
+    ThreadPoolRunner,
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+QUERIES = list(range(50))
+EXPECTED = [square(q) for q in QUERIES]
+
+
+class TestSerialRunner:
+    def test_maps_in_order(self):
+        assert SerialRunner().run(square, QUERIES) == EXPECTED
+
+    def test_empty_batch(self):
+        assert SerialRunner().run(square, []) == []
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            SerialRunner().run(boom, [1])
+
+
+class TestThreadPoolRunner:
+    def test_results_keep_input_order(self):
+        assert ThreadPoolRunner(threads=4).run(square, QUERIES) == EXPECTED
+
+    def test_single_thread(self):
+        assert ThreadPoolRunner(threads=1).run(square, QUERIES) == EXPECTED
+
+    def test_more_threads_than_queries(self):
+        assert ThreadPoolRunner(threads=64).run(square, [1, 2]) == [1, 4]
+
+    def test_empty_batch(self):
+        assert ThreadPoolRunner(threads=4).run(square, []) == []
+
+    def test_work_actually_crosses_threads(self):
+        seen: set[str] = set()
+        lock = threading.Lock()
+
+        def record(x):
+            with lock:
+                seen.add(threading.current_thread().name)
+            return x
+
+        ThreadPoolRunner(threads=4).run(record, list(range(200)))
+        assert threading.current_thread().name not in seen
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("bad query")
+            return x
+
+        with pytest.raises(ValueError):
+            ThreadPoolRunner(threads=2).run(boom, list(range(8)))
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ParallelismError):
+            ThreadPoolRunner(threads=0)
+
+
+class TestThreadPerQueryRunner:
+    def test_results_keep_input_order(self):
+        runner = ThreadPerQueryRunner(max_live=16)
+        assert runner.run(square, QUERIES) == EXPECTED
+
+    def test_empty_batch(self):
+        assert ThreadPerQueryRunner().run(square, []) == []
+
+    def test_respects_live_cap(self):
+        # With a cap of 4, at most 4 worker threads exist at once; we
+        # can only observe indirectly that all work completes.
+        runner = ThreadPerQueryRunner(max_live=4)
+        assert runner.run(square, list(range(23))) == \
+            [square(q) for q in range(23)]
+
+    def test_invalid_cap(self):
+        with pytest.raises(ParallelismError):
+            ThreadPerQueryRunner(max_live=0)
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise KeyError(x)
+
+        with pytest.raises(KeyError):
+            ThreadPerQueryRunner(max_live=2).run(boom, [1, 2, 3])
+
+
+class TestProcessPoolRunner:
+    def test_results_keep_input_order(self):
+        runner = ProcessPoolRunner(processes=2)
+        assert runner.run(square, QUERIES) == EXPECTED
+
+    def test_empty_batch(self):
+        assert ProcessPoolRunner(processes=2).run(square, []) == []
+
+    def test_invalid_process_count(self):
+        with pytest.raises(ParallelismError):
+            ProcessPoolRunner(processes=0)
+
+    def test_default_uses_cpu_count(self):
+        assert ProcessPoolRunner().processes >= 1

@@ -1,0 +1,58 @@
+"""Unit tests for query partitioning."""
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.partition import balanced_chunks, round_robin_chunks
+
+
+class TestBalancedChunks:
+    def test_even_split(self):
+        assert balanced_chunks([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_remainder_goes_to_front(self):
+        assert balanced_chunks([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_sizes_differ_by_at_most_one(self):
+        chunks = balanced_chunks(list(range(17)), 5)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = balanced_chunks([1, 2], 4)
+        assert chunks == [[1], [2], [], []]
+
+    def test_empty_input(self):
+        assert balanced_chunks([], 3) == [[], [], []]
+
+    def test_concatenation_preserves_order(self):
+        items = list(range(23))
+        chunks = balanced_chunks(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ParallelismError):
+            balanced_chunks([1], 0)
+
+
+class TestRoundRobinChunks:
+    def test_dealing_order(self):
+        assert round_robin_chunks([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_single_chunk_is_identity(self):
+        assert round_robin_chunks([3, 1, 2], 1) == [[3, 1, 2]]
+
+    def test_every_item_lands_exactly_once(self):
+        items = list(range(31))
+        chunks = round_robin_chunks(items, 7)
+        flattened = sorted(x for chunk in chunks for x in chunk)
+        assert flattened == items
+
+    def test_sizes_differ_by_at_most_one(self):
+        chunks = round_robin_chunks(list(range(10)), 4)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ParallelismError):
+            round_robin_chunks([1], -1)

@@ -1,0 +1,54 @@
+"""Unit tests for the strategy-to-executor factory."""
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.adaptive import AdaptiveManager
+from repro.parallel.executor import (
+    SerialRunner,
+    ThreadPerQueryRunner,
+    ThreadPoolRunner,
+    runner_from_strategy,
+)
+from repro.parallel.strategies import (
+    AdaptiveStrategy,
+    FixedPoolStrategy,
+    SerialStrategy,
+    ThreadPerQueryStrategy,
+)
+
+
+class TestRunnerFromStrategy:
+    def test_serial(self):
+        assert isinstance(runner_from_strategy(SerialStrategy()),
+                          SerialRunner)
+
+    def test_thread_per_query(self):
+        assert isinstance(
+            runner_from_strategy(ThreadPerQueryStrategy()),
+            ThreadPerQueryRunner,
+        )
+
+    def test_fixed_pool_carries_thread_count(self):
+        runner = runner_from_strategy(FixedPoolStrategy(threads=6))
+        assert isinstance(runner, ThreadPoolRunner)
+        assert runner.threads == 6
+
+    def test_adaptive_carries_rules(self):
+        strategy = AdaptiveStrategy(min_threads=2, max_threads=5,
+                                    open_threshold=0.8,
+                                    close_threshold=0.2)
+        runner = runner_from_strategy(strategy)
+        assert isinstance(runner, AdaptiveManager)
+        assert runner.rules.min_threads == 2
+        assert runner.rules.max_threads == 5
+        assert runner.rules.open_threshold == 0.8
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParallelismError):
+            runner_from_strategy(object())
+
+    def test_produced_runners_work(self):
+        for strategy in (SerialStrategy(), FixedPoolStrategy(threads=2)):
+            runner = runner_from_strategy(strategy)
+            assert runner.run(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]

@@ -1,0 +1,204 @@
+"""Unit tests for the scheduler model."""
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.simulator import (
+    SchedulerModel,
+    simulate_adaptive,
+    simulate_fixed_pool,
+    simulate_serial,
+    simulate_thread_per_query,
+)
+from repro.parallel.strategies import AdaptiveStrategy
+
+#: A model with zero overheads isolates pure scheduling behaviour.
+FRICTIONLESS = SchedulerModel(
+    cores=8, thread_create_cost=0.0, thread_join_cost=0.0,
+    context_switch_penalty=0.0,
+)
+
+
+class TestSchedulerModel:
+    def test_rate_full_speed_within_cores(self):
+        model = SchedulerModel(cores=8)
+        assert model.rate(1) == 1.0
+        assert model.rate(8) == 1.0
+
+    def test_rate_degrades_when_oversubscribed(self):
+        model = SchedulerModel(cores=8, context_switch_penalty=0.1)
+        assert model.rate(16) < 8 / 16
+        assert model.rate(16) == pytest.approx((8 / 16) / 1.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParallelismError):
+            SchedulerModel(cores=0)
+        with pytest.raises(ParallelismError):
+            SchedulerModel(thread_create_cost=-1)
+        with pytest.raises(ParallelismError):
+            SchedulerModel(context_switch_penalty=-0.1)
+        with pytest.raises(ParallelismError):
+            SchedulerModel(manager_interval=0)
+
+
+class TestSerial:
+    def test_wall_time_is_total_work(self):
+        result = simulate_serial([1.0, 2.0, 3.0])
+        assert result.wall_time == 6.0
+        assert result.total_work == 6.0
+        assert result.queries == 3
+
+    def test_empty_batch(self):
+        result = simulate_serial([])
+        assert result.wall_time == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParallelismError):
+            simulate_serial([1.0, -0.5])
+
+
+class TestFixedPool:
+    def test_perfect_speedup_with_frictionless_model(self):
+        costs = [1.0] * 8
+        result = simulate_fixed_pool(costs, 8, FRICTIONLESS)
+        assert result.wall_time == pytest.approx(1.0, rel=1e-6)
+        assert result.speedup_bound == pytest.approx(8.0, rel=1e-6)
+
+    def test_single_thread_equals_serial(self):
+        costs = [0.5, 0.25, 1.0]
+        pooled = simulate_fixed_pool(costs, 1, FRICTIONLESS)
+        assert pooled.wall_time == pytest.approx(sum(costs), rel=1e-6)
+
+    def test_work_is_conserved(self):
+        costs = [0.1, 0.7, 0.3, 0.9, 0.2]
+        for threads in (1, 2, 4, 8, 32):
+            result = simulate_fixed_pool(costs, threads, FRICTIONLESS)
+            assert result.total_work == pytest.approx(sum(costs))
+
+    def test_creation_overhead_charged_per_thread(self):
+        model = SchedulerModel(cores=8, thread_create_cost=1.0,
+                               thread_join_cost=0.5,
+                               context_switch_penalty=0.0)
+        result = simulate_fixed_pool([0.0], 4, model)
+        assert result.creation_overhead == pytest.approx(4 * 1.5)
+        assert result.threads_opened == 4
+
+    def test_oversubscription_is_penalized(self):
+        costs = [0.1] * 64
+        at_cores = simulate_fixed_pool(costs, 8, FRICTIONLESS)
+        oversubscribed = simulate_fixed_pool(
+            costs, 32,
+            SchedulerModel(cores=8, thread_create_cost=0.0,
+                           thread_join_cost=0.0,
+                           context_switch_penalty=0.2),
+        )
+        assert oversubscribed.wall_time > at_cores.wall_time
+        assert oversubscribed.contention_overhead > 0
+
+    def test_more_threads_help_skewed_work(self):
+        # One long query plus many short ones: 16 threads balance the
+        # round-robin partition better than 2.
+        costs = [2.0] + [0.1] * 30
+        few = simulate_fixed_pool(costs, 2, FRICTIONLESS)
+        many = simulate_fixed_pool(costs, 16, FRICTIONLESS)
+        assert many.wall_time < few.wall_time
+
+    def test_empty_batch(self):
+        result = simulate_fixed_pool([], 4, FRICTIONLESS)
+        assert result.queries == 0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ParallelismError):
+            simulate_fixed_pool([1.0], 0)
+
+    def test_wall_time_bounded_below_by_work_over_cores(self):
+        costs = [0.2] * 40
+        for threads in (4, 8, 16):
+            result = simulate_fixed_pool(costs, threads, FRICTIONLESS)
+            assert result.wall_time >= sum(costs) / 8 - 1e-9
+
+    def test_deterministic(self):
+        costs = [0.13, 0.7, 0.22, 0.9]
+        a = simulate_fixed_pool(costs, 4, SchedulerModel())
+        b = simulate_fixed_pool(costs, 4, SchedulerModel())
+        assert a.wall_time == b.wall_time
+
+
+class TestThreadPerQuery:
+    def test_one_thread_per_query(self):
+        result = simulate_thread_per_query([0.1] * 12, FRICTIONLESS)
+        assert result.threads_opened == 12
+
+    def test_creation_overhead_dominates_short_queries(self):
+        # The paper's stage-5 lesson: per-query threads lose when
+        # creation costs rival query costs.
+        model = SchedulerModel(cores=8, thread_create_cost=0.1,
+                               thread_join_cost=0.02)
+        costs = [0.02] * 100
+        per_query = simulate_thread_per_query(costs, model)
+        serial = simulate_serial(costs)
+        assert per_query.wall_time > serial.wall_time
+
+    def test_empty_batch(self):
+        assert simulate_thread_per_query([], FRICTIONLESS).queries == 0
+
+
+class TestAdaptive:
+    def test_completes_all_work(self):
+        costs = [0.05] * 40
+        result = simulate_adaptive(costs, AdaptiveStrategy(max_threads=8))
+        assert result.queries == 40
+        assert result.total_work == pytest.approx(sum(costs))
+
+    def test_pool_grows_under_load(self):
+        costs = [0.5] * 60
+        strategy = AdaptiveStrategy(min_threads=1, max_threads=8)
+        result = simulate_adaptive(costs, strategy)
+        assert result.peak_threads > 1
+        assert result.threads_opened >= result.peak_threads
+
+    def test_respects_max_threads(self):
+        costs = [0.5] * 100
+        strategy = AdaptiveStrategy(min_threads=1, max_threads=4)
+        result = simulate_adaptive(costs, strategy)
+        assert result.peak_threads <= 4
+
+    def test_beats_thread_per_query_on_short_queries(self):
+        model = SchedulerModel(cores=8, thread_create_cost=0.05,
+                               thread_join_cost=0.01)
+        costs = [0.02] * 200
+        adaptive = simulate_adaptive(costs, AdaptiveStrategy(), model)
+        per_query = simulate_thread_per_query(costs, model)
+        assert adaptive.wall_time < per_query.wall_time
+
+    def test_utilization_samples_recorded(self):
+        costs = [0.3] * 30
+        result = simulate_adaptive(costs, AdaptiveStrategy(max_threads=8))
+        assert result.utilization_samples
+        assert all(0.0 <= s.utilization <= 1.0
+                   for s in result.utilization_samples)
+
+    def test_empty_batch(self):
+        assert simulate_adaptive([]).queries == 0
+
+    def test_deterministic(self):
+        costs = [0.11, 0.5, 0.07] * 10
+        a = simulate_adaptive(costs, AdaptiveStrategy())
+        b = simulate_adaptive(costs, AdaptiveStrategy())
+        assert a.wall_time == b.wall_time
+        assert a.threads_opened == b.threads_opened
+
+
+class TestResultMetrics:
+    def test_summary_mentions_key_numbers(self):
+        result = simulate_fixed_pool([1.0] * 4, 4, FRICTIONLESS)
+        summary = result.summary()
+        assert "queries=4" in summary
+        assert "threads=4" in summary
+
+    def test_speedup_bound_zero_for_zero_wall(self):
+        result = simulate_serial([])
+        assert result.speedup_bound == 0.0
+
+    def test_mean_utilization_idle(self):
+        assert simulate_serial([]).mean_utilization == 0.0

@@ -1,0 +1,99 @@
+"""Property-based tests: conservation laws of the scheduler model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.simulator import (
+    SchedulerModel,
+    simulate_adaptive,
+    simulate_fixed_pool,
+    simulate_serial,
+    simulate_thread_per_query,
+)
+from repro.parallel.strategies import AdaptiveStrategy
+
+costs_lists = st.lists(
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False,
+              allow_infinity=False),
+    max_size=25,
+)
+thread_counts = st.integers(min_value=1, max_value=32)
+
+FRICTIONLESS = SchedulerModel(
+    cores=8, thread_create_cost=0.0, thread_join_cost=0.0,
+    context_switch_penalty=0.0,
+)
+REALISTIC = SchedulerModel(cores=8)
+
+
+class TestConservation:
+    @settings(max_examples=60)
+    @given(costs_lists, thread_counts)
+    def test_work_in_equals_work_out(self, costs, threads):
+        result = simulate_fixed_pool(costs, threads, REALISTIC)
+        assert abs(result.total_work - sum(costs)) < 1e-9
+        assert result.queries == len(costs)
+
+    @settings(max_examples=60)
+    @given(costs_lists)
+    def test_adaptive_conserves_work(self, costs):
+        result = simulate_adaptive(costs, AdaptiveStrategy(), REALISTIC)
+        assert abs(result.total_work - sum(costs)) < 1e-9
+        assert result.queries == len(costs)
+
+    @settings(max_examples=60)
+    @given(costs_lists)
+    def test_thread_per_query_conserves_work(self, costs):
+        result = simulate_thread_per_query(costs, REALISTIC)
+        assert abs(result.total_work - sum(costs)) < 1e-9
+
+
+class TestPhysicalBounds:
+    @settings(max_examples=60)
+    @given(costs_lists, thread_counts)
+    def test_wall_time_at_least_critical_path(self, costs, threads):
+        result = simulate_fixed_pool(costs, threads, FRICTIONLESS)
+        # No schedule beats work/cores, nor the longest single query.
+        lower = max(sum(costs) / FRICTIONLESS.cores,
+                    max(costs, default=0.0))
+        assert result.wall_time >= lower - 1e-9
+
+    @settings(max_examples=60)
+    @given(costs_lists, thread_counts)
+    def test_wall_time_at_most_serial_plus_overhead(self, costs, threads):
+        result = simulate_fixed_pool(costs, threads, REALISTIC)
+        overhead = threads * (REALISTIC.thread_create_cost
+                              + REALISTIC.thread_join_cost)
+        # Oversubscription can waste at most the configured penalty.
+        slack = 1.0 + REALISTIC.context_switch_penalty * (
+            threads / REALISTIC.cores
+        )
+        assert result.wall_time <= sum(costs) * slack + overhead + 1e-6
+
+    @settings(max_examples=60)
+    @given(costs_lists, thread_counts)
+    def test_contention_zero_within_core_budget(self, costs, threads):
+        if threads <= FRICTIONLESS.cores:
+            result = simulate_fixed_pool(costs, threads, FRICTIONLESS)
+            assert result.contention_overhead == 0.0
+
+    @settings(max_examples=60)
+    @given(costs_lists)
+    def test_serial_is_exact(self, costs):
+        result = simulate_serial(costs)
+        assert abs(result.wall_time - sum(costs)) < 1e-9
+
+
+class TestMonotonicity:
+    @settings(max_examples=40)
+    @given(costs_lists)
+    def test_frictionless_pool_never_slower_than_serial(self, costs):
+        pooled = simulate_fixed_pool(costs, 8, FRICTIONLESS)
+        assert pooled.wall_time <= sum(costs) + 1e-9
+
+    @settings(max_examples=40)
+    @given(costs_lists)
+    def test_adaptive_peak_bounded(self, costs):
+        strategy = AdaptiveStrategy(min_threads=1, max_threads=6)
+        result = simulate_adaptive(costs, strategy, REALISTIC)
+        assert result.peak_threads <= 6

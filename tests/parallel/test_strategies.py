@@ -1,0 +1,47 @@
+"""Unit tests for strategy descriptors."""
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.strategies import (
+    AdaptiveStrategy,
+    FixedPoolStrategy,
+    SerialStrategy,
+    ThreadPerQueryStrategy,
+)
+
+
+class TestDescriptors:
+    def test_names(self):
+        assert SerialStrategy().name == "serial"
+        assert ThreadPerQueryStrategy().name == "thread-per-query"
+        assert FixedPoolStrategy().name == "fixed-pool"
+        assert AdaptiveStrategy().name == "adaptive"
+
+    def test_fixed_pool_default_is_paper_core_count(self):
+        assert FixedPoolStrategy().threads == 8
+
+    def test_fixed_pool_rejects_zero_threads(self):
+        with pytest.raises(ParallelismError):
+            FixedPoolStrategy(threads=0)
+
+    def test_adaptive_default_rules_match_paper(self):
+        strategy = AdaptiveStrategy()
+        assert strategy.open_threshold == 0.7
+        assert strategy.close_threshold == 0.3
+
+    def test_adaptive_rejects_inverted_thresholds(self):
+        with pytest.raises(ParallelismError):
+            AdaptiveStrategy(open_threshold=0.2, close_threshold=0.5)
+
+    def test_adaptive_rejects_bad_bounds(self):
+        with pytest.raises(ParallelismError):
+            AdaptiveStrategy(min_threads=0)
+        with pytest.raises(ParallelismError):
+            AdaptiveStrategy(min_threads=8, max_threads=4)
+
+    def test_descriptors_are_hashable_values(self):
+        assert FixedPoolStrategy(threads=8) == FixedPoolStrategy(threads=8)
+        assert len({FixedPoolStrategy(threads=4),
+                    FixedPoolStrategy(threads=4),
+                    FixedPoolStrategy(threads=8)}) == 2

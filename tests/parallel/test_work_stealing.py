@@ -1,0 +1,73 @@
+"""Unit tests for the work-stealing scheduler variant."""
+
+import pytest
+
+from repro.exceptions import ParallelismError
+from repro.parallel.simulator import (
+    SchedulerModel,
+    simulate_fixed_pool,
+    simulate_work_stealing,
+)
+
+FRICTIONLESS = SchedulerModel(
+    cores=8, thread_create_cost=0.0, thread_join_cost=0.0,
+    context_switch_penalty=0.0,
+)
+
+
+class TestWorkStealing:
+    def test_work_is_conserved(self):
+        costs = [0.3, 0.1, 0.9, 0.05, 0.4]
+        result = simulate_work_stealing(costs, 4, FRICTIONLESS)
+        assert result.total_work == pytest.approx(sum(costs))
+        assert result.queries == len(costs)
+
+    def test_uniform_costs_match_fixed_pool(self):
+        costs = [0.2] * 32
+        stolen = simulate_work_stealing(costs, 8, FRICTIONLESS,
+                                        steal_cost=0.0)
+        static = simulate_fixed_pool(costs, 8, FRICTIONLESS)
+        assert stolen.wall_time == pytest.approx(static.wall_time,
+                                                 rel=0.05)
+
+    def test_stealing_beats_static_on_skewed_backlogs(self):
+        # Round-robin over 2 workers puts all the heavy queries on
+        # worker 0; stealing must rebalance.
+        costs = [1.0, 0.01] * 16
+        static = simulate_fixed_pool(costs, 2, FRICTIONLESS)
+        stolen = simulate_work_stealing(costs, 2, FRICTIONLESS)
+        assert stolen.wall_time < static.wall_time
+
+    def test_never_worse_than_serial(self):
+        costs = [0.1, 0.5, 0.2]
+        result = simulate_work_stealing(costs, 4, FRICTIONLESS)
+        assert result.wall_time <= sum(costs) + 1e-9
+
+    def test_wall_time_at_least_critical_path(self):
+        costs = [2.0] + [0.01] * 20
+        result = simulate_work_stealing(costs, 8, FRICTIONLESS)
+        assert result.wall_time >= 2.0 - 1e-9
+
+    def test_empty_batch(self):
+        assert simulate_work_stealing([], 4, FRICTIONLESS).queries == 0
+
+    def test_deterministic(self):
+        costs = [0.13, 0.7, 0.22, 0.9, 0.05]
+        a = simulate_work_stealing(costs, 3, SchedulerModel())
+        b = simulate_work_stealing(costs, 3, SchedulerModel())
+        assert a.wall_time == b.wall_time
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParallelismError):
+            simulate_work_stealing([1.0], 0, FRICTIONLESS)
+        with pytest.raises(ParallelismError):
+            simulate_work_stealing([1.0], 2, FRICTIONLESS,
+                                   steal_cost=-1.0)
+
+    def test_steal_cost_slows_but_terminates(self):
+        costs = [1.0, 0.01] * 8
+        cheap = simulate_work_stealing(costs, 2, FRICTIONLESS,
+                                       steal_cost=0.0)
+        pricey = simulate_work_stealing(costs, 2, FRICTIONLESS,
+                                        steal_cost=0.05)
+        assert pricey.wall_time >= cheap.wall_time

@@ -1,0 +1,190 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import read_result_file, write_strings
+
+
+@pytest.fixture()
+def city_files(tmp_path):
+    data = tmp_path / "cities.txt"
+    queries = tmp_path / "queries.txt"
+    write_strings(data, ["Berlin", "Bern", "Ulm", "Hamburg"])
+    write_strings(queries, ["Bern", "Hamburk", "zzz"])
+    return data, queries
+
+
+class TestSearchCommand:
+    def test_writes_result_file(self, city_files, tmp_path, capsys):
+        data, queries = city_files
+        output = tmp_path / "results.txt"
+        exit_code = main([
+            "search", str(data), str(queries), "-k", "1",
+            "-o", str(output),
+        ])
+        assert exit_code == 0
+        rows = read_result_file(output)
+        assert rows[0] == ("Bern", ["Bern"])
+        assert rows[1] == ("Hamburk", ["Hamburg"])
+        assert rows[2] == ("zzz", [])
+
+    def test_stdout_mode(self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "Bern\tBern" in captured.out
+        assert "backend:" in captured.err
+
+    def test_forced_backend(self, city_files, capsys):
+        data, queries = city_files
+        main(["search", str(data), str(queries), "-k", "1",
+              "--backend", "indexed"])
+        assert "indexed" in capsys.readouterr().err
+
+    def test_thread_runner(self, city_files, tmp_path):
+        data, queries = city_files
+        output = tmp_path / "results.txt"
+        assert main([
+            "search", str(data), str(queries), "-k", "1",
+            "-o", str(output), "--runner", "threads:2",
+        ]) == 0
+        assert read_result_file(output)[0] == ("Bern", ["Bern"])
+
+    def test_bad_runner_spec_is_an_error(self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--runner", "gpu"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.txt"
+        with pytest.raises(FileNotFoundError):
+            main(["search", str(missing), str(missing), "-k", "1"])
+
+
+class TestGenerateCommand:
+    def test_generate_cities(self, tmp_path):
+        output = tmp_path / "cities.txt"
+        assert main(["generate", "cities", "-n", "25",
+                     "-o", str(output)]) == 0
+        from repro.data.io import read_strings
+
+        assert len(read_strings(output)) == 25
+
+    def test_generate_dna(self, tmp_path):
+        output = tmp_path / "reads.txt"
+        assert main(["generate", "dna", "-n", "10",
+                     "-o", str(output)]) == 0
+        from repro.data.io import read_strings
+
+        reads = read_strings(output)
+        assert len(reads) == 10
+        assert set("".join(reads)) <= set("ACGNT")
+
+    def test_seed_reproducibility(self, tmp_path):
+        a = tmp_path / "a.txt"
+        b = tmp_path / "b.txt"
+        main(["generate", "cities", "-n", "10", "-o", str(a),
+              "--seed", "42"])
+        main(["generate", "cities", "-n", "10", "-o", str(b),
+              "--seed", "42"])
+        assert a.read_text() == b.read_text()
+
+
+class TestStatsCommand:
+    def test_reports_table_one_properties(self, city_files, capsys):
+        data, _ = city_files
+        assert main(["stats", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "strings:" in out
+        assert "alphabet size:" in out
+        assert "length:" in out
+
+
+class TestDistanceCommand:
+    def test_plain_distance(self, capsys):
+        assert main(["distance", "AGGCGT", "AGAGT"]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_matrix_mode_prints_figure_one(self, capsys):
+        assert main(["distance", "AGGCGT", "AGAGT", "--matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "edit distance: 2" in out
+        assert "A" in out and "G" in out
+
+
+class TestSuggestCommand:
+    def test_ranked_suggestions(self, city_files, capsys):
+        data, _ = city_files
+        assert main(["suggest", str(data), "Hamburk", "-n", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "Hamburg\t1"
+        assert len(lines) == 2
+
+    def test_count_larger_than_dataset(self, city_files, capsys):
+        data, _ = city_files
+        assert main(["suggest", str(data), "Bern", "-n", "99"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 4
+
+
+class TestCompleteCommand:
+    def test_prefix_completion(self, city_files, capsys):
+        data, _ = city_files
+        assert main(["complete", str(data), "Ber", "-k", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Berlin\t0" in out
+        assert "Bern\t0" in out
+        assert "Hamburg" not in out
+
+    def test_typo_in_prefix(self, city_files, capsys):
+        data, _ = city_files
+        assert main(["complete", str(data), "Bwr", "-k", "1",
+                     "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Berlin\t1" in out
+
+
+class TestJoinCommand:
+    def test_two_sided_join(self, city_files, tmp_path, capsys):
+        data, queries = city_files
+        output = tmp_path / "pairs.txt"
+        assert main(["join", str(queries), str(data), "-k", "1",
+                     "-o", str(output)]) == 0
+        lines = output.read_text().splitlines()
+        assert "Bern\tBern\t0" in lines
+        assert "Hamburk\tHamburg\t1" in lines
+        assert "pairs" in capsys.readouterr().err
+
+    def test_self_join_to_stdout(self, tmp_path, capsys):
+        data = tmp_path / "dup.txt"
+        write_strings(data, ["Bern", "Berne", "Ulm"])
+        assert main(["join", str(data), "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bern\tBerne\t1" in out
+        assert "Ulm" not in out
+
+    def test_forced_method(self, city_files, capsys):
+        data, queries = city_files
+        for method in ("scan", "index"):
+            assert main(["join", str(queries), str(data), "-k", "1",
+                         "--method", method]) == 0
+
+
+class TestExplainCommand:
+    def test_traces_the_layers(self, capsys):
+        assert main(["explain", "Bern", "Berlin", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+        assert "length filter" in out
+        assert "kernel dispatch" in out
+
+    def test_no_match_verdict(self, capsys):
+        assert main(["explain", "aaaa", "zzzz", "-k", "1"]) == 0
+        assert "NO MATCH" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_unknown_experiment_is_an_error(self, capsys):
+        assert main(["bench", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,34 @@
+"""Execute every docstring example in the library.
+
+Doc examples are documentation that can rot; this module runs them all
+through :mod:`doctest` so the README-level promises stay true.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    module.name
+    for module in pkgutil.walk_packages(repro.__path__,
+                                        prefix="repro.")
+    if not module.name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

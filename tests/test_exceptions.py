@@ -1,0 +1,68 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    AlphabetError,
+    DatasetFormatError,
+    ExperimentError,
+    IndexConstructionError,
+    InvalidThresholdError,
+    ParallelismError,
+    ReproError,
+    VerificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", [
+        AlphabetError, DatasetFormatError, ExperimentError,
+        IndexConstructionError, InvalidThresholdError, ParallelismError,
+        VerificationError,
+    ])
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Threshold/alphabet/format errors double as ValueError so
+        # generic callers can catch them idiomatically.
+        assert issubclass(InvalidThresholdError, ValueError)
+        assert issubclass(AlphabetError, ValueError)
+        assert issubclass(DatasetFormatError, ValueError)
+
+
+class TestInvalidThresholdError:
+    def test_message_carries_value(self):
+        error = InvalidThresholdError(-3)
+        assert "-3" in str(error)
+        assert error.k == -3
+
+
+class TestDatasetFormatError:
+    def test_location_formatting(self):
+        error = DatasetFormatError("bad line", path="data.txt",
+                                   line_number=7)
+        assert "data.txt" in str(error)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+
+    def test_path_only(self):
+        error = DatasetFormatError("empty", path="data.txt")
+        assert "data.txt" in str(error)
+        assert error.line_number is None
+
+    def test_bare_message(self):
+        assert str(DatasetFormatError("oops")) == "oops"
+
+
+class TestVerificationError:
+    def test_carries_diff_sets(self):
+        error = VerificationError("differs", missing=frozenset({"a"}),
+                                  spurious=frozenset({"b"}))
+        assert error.missing == {"a"}
+        assert error.spurious == {"b"}
+
+    def test_defaults_are_empty(self):
+        error = VerificationError("differs")
+        assert error.missing == frozenset()
+        assert error.spurious == frozenset()

@@ -1,0 +1,154 @@
+"""End-to-end integration tests: the competition workflow.
+
+These tests run the full pipeline the paper describes in section 3.1 —
+read a data file, read a query file, compute all results, write a
+result file — through both solutions and every execution strategy, and
+assert byte-identical outputs.
+"""
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.indexed import IndexedSearcher
+from repro.core.pipeline import Approach, ApproachPipeline
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.stages import index_stage_ladder, sequential_stage_ladder
+from repro.core.verification import verify_result_sets
+from repro.data.io import (
+    read_queries,
+    read_result_file,
+    read_strings,
+    write_result_file,
+    write_strings,
+)
+from repro.data.workload import Workload
+from repro.parallel.adaptive import AdaptiveManager, ManagerRules
+from repro.parallel.executor import SerialRunner, ThreadPoolRunner
+
+
+@pytest.fixture()
+def competition_files(tmp_path, city_names, city_workload):
+    data_path = tmp_path / "data.txt"
+    query_path = tmp_path / "queries.txt"
+    write_strings(data_path, city_names)
+    write_strings(query_path, city_workload.queries)
+    return data_path, query_path
+
+
+class TestCompetitionWorkflow:
+    def test_file_to_file_roundtrip(self, competition_files, tmp_path,
+                                    city_workload):
+        data_path, query_path = competition_files
+        dataset = read_strings(data_path)
+        queries = read_queries(query_path)
+        engine = SearchEngine(dataset)
+        workload = Workload(tuple(queries), city_workload.k, "e2e")
+        results = engine.run_workload(workload)
+
+        result_path = tmp_path / "results.txt"
+        write_result_file(
+            result_path, list(results.queries),
+            [list(results.strings_for(i)) for i in range(len(results))],
+        )
+        rows = read_result_file(result_path)
+        assert len(rows) == len(queries)
+        for (query, matches), index in zip(rows, range(len(rows))):
+            assert query == queries[index]
+            assert tuple(matches) == results.strings_for(index)
+
+    def test_both_solutions_write_identical_result_files(
+            self, competition_files, tmp_path, city_workload):
+        data_path, query_path = competition_files
+        dataset = read_strings(data_path)
+        queries = tuple(read_queries(query_path))
+        workload = Workload(queries, city_workload.k, "e2e")
+
+        paths = []
+        for name, searcher in (
+            ("seq", SequentialScanSearcher(dataset)),
+            ("idx", IndexedSearcher(dataset, index="compressed")),
+        ):
+            results = searcher.run_workload(workload)
+            path = tmp_path / f"{name}.txt"
+            write_result_file(
+                path, list(queries),
+                [list(results.strings_for(i)) for i in range(len(results))],
+            )
+            paths.append(path)
+        assert paths[0].read_text() == paths[1].read_text()
+
+
+class TestStrategyInvariance:
+    def test_every_runner_yields_identical_results(self, city_names,
+                                                   city_workload):
+        searcher = SequentialScanSearcher(city_names)
+        reference = searcher.run_workload(city_workload, SerialRunner())
+        for runner in (
+            ThreadPoolRunner(threads=2),
+            ThreadPoolRunner(threads=8),
+            AdaptiveManager(ManagerRules(min_threads=2, max_threads=4,
+                                         sample_interval=0.005)),
+        ):
+            candidate = searcher.run_workload(city_workload, runner)
+            verify_result_sets(reference, candidate,
+                               candidate_name=runner.name)
+
+
+class TestFullLadders:
+    def test_sequential_ladder_on_dna(self, dna_reads, dna_workload):
+        ladder = sequential_stage_ladder(dna_reads, pool_threads=2)
+        pipeline = ApproachPipeline(ladder[0], dna_workload.take(3))
+        outcomes = pipeline.run(ladder[1:])
+        assert all(o.correct for o in outcomes), [
+            (o.name, o.error) for o in outcomes if not o.correct
+        ]
+
+    def test_index_ladder_on_dna(self, dna_reads, dna_workload):
+        reference = Approach(
+            "reference",
+            lambda: SequentialScanSearcher(dna_reads, kernel="reference"),
+        )
+        pipeline = ApproachPipeline(reference, dna_workload.take(3))
+        outcomes = pipeline.run(index_stage_ladder(dna_reads,
+                                                   pool_threads=2))
+        assert all(o.correct for o in outcomes)
+
+    def test_city_thresholds_table_one(self, city_names):
+        # Every threshold of Table I works end to end on city names.
+        searcher = SearchEngine(city_names)
+        reference = SequentialScanSearcher(city_names, kernel="reference")
+        query = city_names[7]
+        for k in (0, 1, 2, 3):
+            expected = [m.string for m in reference.search(query, k)]
+            actual = [m.string for m in searcher.search(query, k)]
+            assert actual == expected
+
+    def test_dna_thresholds_table_one(self, dna_reads):
+        searcher = SearchEngine(dna_reads)
+        reference = SequentialScanSearcher(dna_reads, kernel="reference")
+        query = dna_reads[3]
+        for k in (0, 4, 8, 16):
+            expected = [m.string for m in reference.search(query, k)]
+            actual = [m.string for m in searcher.search(query, k)]
+            assert actual == expected, k
+
+
+class TestAdversarialInputs:
+    def test_unicode_queries_against_city_index(self, city_names):
+        searcher = IndexedSearcher(city_names, index="compressed")
+        for query in ("北京市", "Владивосток", "Ωmega", "a" * 64):
+            matches = searcher.search(query, 2)
+            assert isinstance(matches, list)
+
+    def test_very_large_threshold(self):
+        dataset = ["a", "bb", "ccc"]
+        seq = SequentialScanSearcher(dataset)
+        idx = IndexedSearcher(dataset, index="trie")
+        assert [m.string for m in seq.search("x", 100)] == \
+            [m.string for m in idx.search("x", 100)] == dataset
+
+    def test_single_string_dataset(self):
+        for backend in ("sequential", "indexed"):
+            engine = SearchEngine(["lonely"], backend=backend)
+            assert [m.string for m in engine.search("lonely", 0)] == \
+                ["lonely"]
