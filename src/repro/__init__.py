@@ -40,8 +40,16 @@ from repro.core.topk import nearest, search_topk
 from repro.core.updatable import UpdatableIndex
 from repro.core.result import Match, ResultSet
 from repro.core.sequential import SequentialScanSearcher
-from repro.core.verification import verify_result_sets
+from repro.core.verification import (
+    verify_against_reference,
+    verify_result_sets,
+)
 from repro.data.workload import Workload, make_workload
+from repro.scan import (
+    BatchScanExecutor,
+    CompiledCorpus,
+    CompiledScanSearcher,
+)
 from repro.distance.banded import edit_distance_bounded, within_distance
 from repro.distance.levenshtein import edit_distance
 from repro.exceptions import (
@@ -52,6 +60,7 @@ from repro.exceptions import (
     ParallelismError,
     ReproError,
     VerificationError,
+    WorkloadError,
 )
 
 __version__ = "1.0.0"
@@ -59,6 +68,9 @@ __version__ = "1.0.0"
 __all__ = [
     "SearchEngine",
     "SequentialScanSearcher",
+    "CompiledScanSearcher",
+    "CompiledCorpus",
+    "BatchScanExecutor",
     "IndexedSearcher",
     "SimilaritySearchProblem",
     "Match",
@@ -67,6 +79,7 @@ __all__ = [
     "ApproachPipeline",
     "StageOutcome",
     "verify_result_sets",
+    "verify_against_reference",
     "Workload",
     "make_workload",
     "JoinPair",
@@ -85,6 +98,7 @@ __all__ = [
     "AlphabetError",
     "DatasetFormatError",
     "VerificationError",
+    "WorkloadError",
     "IndexConstructionError",
     "ParallelismError",
     "__version__",

@@ -56,10 +56,16 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("-o", "--output", default=None,
                         help="result file (default: stdout)")
     search.add_argument("--backend", default="auto",
-                        choices=("auto", "sequential", "indexed"),
+                        choices=("auto", "sequential", "indexed",
+                                 "compiled"),
                         help="force a solution side (default: auto)")
     search.add_argument("--runner", default="serial",
                         help="serial | threads:N | processes:N")
+    search.add_argument("--batch", action="store_true",
+                        help="answer the query file through the "
+                             "compiled-corpus batch engine (dedupes "
+                             "repeated queries, amortizes per-query "
+                             "setup; identical results)")
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic dataset",
@@ -162,13 +168,24 @@ def _command_search(args: argparse.Namespace) -> int:
     )
     workload = Workload(tuple(queries), args.k, name=args.query_file)
     started = time.perf_counter()
-    results = engine.run_workload(workload)
+    if args.batch:
+        results = engine.search_many(workload.queries, workload.k)
+    else:
+        results = engine.run_workload(workload)
     elapsed = time.perf_counter() - started
     print(
         f"{len(queries)} queries in {elapsed:.3f}s "
         f"({results.total_matches} matches)",
         file=sys.stderr,
     )
+    if args.batch and engine.batch_stats is not None:
+        stats = engine.batch_stats
+        print(
+            f"batch: {stats.unique_queries} unique of "
+            f"{stats.queries_seen} queries, {stats.cache_hits} cache "
+            f"hits, {stats.scans_executed} scans executed",
+            file=sys.stderr,
+        )
     lines = (
         "\t".join([query, *row])
         for query, row in (

@@ -5,6 +5,14 @@ alphabet favour the optimized sequential scan; long strings over a tiny
 alphabet favour the trie index. :class:`SearchEngine` encodes that rule
 so a downstream user gets the right configuration without re-reading
 the evaluation section — and can always override it.
+
+The rule has a second axis since the batch engine landed: *how many*
+queries arrive together. A scan-regime dataset probed by a whole
+workload goes through the compiled-corpus batch path
+(:mod:`repro.scan`), which deduplicates queries and amortizes
+query-side setup; :meth:`SearchEngine.search_many` applies that
+automatically, and ``backend="compiled"`` forces the compiled searcher
+for everything.
 """
 
 from __future__ import annotations
@@ -45,8 +53,9 @@ class SearchEngine:
     dataset:
         The strings to search.
     backend:
-        ``"auto"`` applies the paper's decision rule; ``"sequential"``
-        and ``"indexed"`` force a side.
+        ``"auto"`` applies the paper's decision rule; ``"sequential"``,
+        ``"indexed"`` and ``"compiled"`` (the batch-amortized scan of
+        :mod:`repro.scan`) force a side.
     runner:
         Optional parallel runner used by :meth:`run_workload`.
 
@@ -63,17 +72,24 @@ class SearchEngine:
                  backend: str = "auto",
                  runner: QueryRunner | None = None) -> None:
         strings = tuple(dataset)
-        if backend not in ("auto", "sequential", "indexed"):
+        if backend not in ("auto", "sequential", "indexed", "compiled"):
             raise ReproError(
                 f"unknown backend {backend!r}; expected 'auto', "
-                "'sequential' or 'indexed'"
+                "'sequential', 'indexed' or 'compiled'"
             )
         self._runner = runner
+        self._strings = strings
+        self._batch_searcher: Searcher | None = None
         self._choice = self._decide(strings, backend)
         if self._choice.backend == "sequential":
             self._searcher: Searcher = SequentialScanSearcher(
                 strings, kernel="bitparallel", order="length"
             )
+        elif self._choice.backend == "compiled":
+            from repro.scan.searcher import CompiledScanSearcher
+
+            self._searcher = CompiledScanSearcher(strings)
+            self._batch_searcher = self._searcher
         else:
             self._searcher = IndexedSearcher(strings, index="compressed")
 
@@ -108,9 +124,46 @@ class SearchEngine:
         """The underlying searcher (for inspection)."""
         return self._searcher
 
+    @property
+    def batch_stats(self):
+        """Dedup/memo counters of the batch path (``None`` before use).
+
+        A :class:`repro.scan.executor.BatchStats` once
+        :meth:`search_many` has routed through the compiled engine.
+        """
+        if self._batch_searcher is None:
+            return None
+        return self._batch_searcher.executor.stats
+
     def search(self, query: str, k: int) -> list[Match]:
         """All dataset strings within edit distance ``k`` of ``query``."""
         return self._searcher.search(query, k)
+
+    def search_many(self, queries: Iterable[str], k: int) -> ResultSet:
+        """Answer a whole batch of queries at one threshold.
+
+        In the scan regime (``sequential`` or ``compiled``) this routes
+        through the compiled-corpus batch engine — queries are
+        deduplicated, the corpus is encoded and bucketed once, and
+        repeats hit the result memo — which is the decision rule's
+        batch extension: amortize the data side whenever the workload
+        allows it. The indexed backend answers per query (a trie probe
+        has no batch-side setup worth amortizing).
+
+        Results are always one row per input query, in input order,
+        identical to calling :meth:`search` in a loop.
+        """
+        queries = list(queries)
+        if self._choice.backend == "indexed":
+            rows = [self._searcher.search(query, k) for query in queries]
+            return ResultSet(queries, rows)
+        if self._batch_searcher is None:
+            from repro.scan.searcher import CompiledScanSearcher
+
+            self._batch_searcher = CompiledScanSearcher(self._strings)
+        return self._batch_searcher.search_many(
+            queries, k, runner=self._runner
+        )
 
     def run_workload(self, workload: Workload) -> ResultSet:
         """Execute a workload through the configured runner."""

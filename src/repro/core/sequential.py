@@ -49,6 +49,11 @@ KERNELS = (
     "dispatch",
 )
 
+#: How many per-query ``peq`` tables the bitparallel kernel retains.
+#: Workloads repeat queries (section 5.2 runs nested prefix batches), so
+#: rebuilding the table per ``search()`` call was pure waste.
+PEQ_CACHE_SIZE = 256
+
 
 class SequentialScanSearcher(Searcher):
     """Scan the whole dataset per query, with staged optimizations.
@@ -105,6 +110,10 @@ class SequentialScanSearcher(Searcher):
         # Stage 3's reusable buffers are per-thread: parallel runners
         # share the searcher, and DP rows must never be shared.
         self._local = threading.local()
+        # Query → peq table for the bitparallel kernel. Tables are
+        # read-only after construction, so sharing across threads is
+        # safe; a race at worst rebuilds one table.
+        self._peq_cache: dict[str, dict[str, int]] = {}
 
         if order == "length":
             self._sorted = sorted(self._dataset, key=len)
@@ -131,6 +140,16 @@ class SequentialScanSearcher(Searcher):
         lo = bisect_left(self._sorted_lengths, len(query) - k)
         hi = bisect_right(self._sorted_lengths, len(query) + k)
         return self._sorted[lo:hi]
+
+    def _query_peq(self, query: str) -> dict[str, int]:
+        """The query's Myers ``peq`` table, built once per distinct query."""
+        peq = self._peq_cache.get(query)
+        if peq is None:
+            peq = build_peq(query)
+            if len(self._peq_cache) >= PEQ_CACHE_SIZE:
+                self._peq_cache.clear()
+            self._peq_cache[query] = peq
+        return peq
 
     def _calculator(self) -> BandedCalculator:
         calculator = getattr(self._local, "calculator", None)
@@ -183,7 +202,7 @@ class SequentialScanSearcher(Searcher):
             # inlining Myers' scan loop here — no per-candidate method
             # dispatch, the length filter as plain arithmetic, and an
             # early abort once the running score cannot recover.
-            peq_get = build_peq(query).get
+            peq_get = self._query_peq(query).get
             n = len(query)
             if n == 0:
                 for candidate in candidates:

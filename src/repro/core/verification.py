@@ -9,6 +9,8 @@ kernel is debuggable from the error alone.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.result import ResultSet
 from repro.exceptions import VerificationError
 
@@ -83,3 +85,51 @@ def verify_result_sets(reference: ResultSet, candidate: ResultSet, *,
         missing=frozenset(all_missing),
         spurious=frozenset(all_spurious),
     )
+
+
+def verify_against_reference(candidate, dataset: Iterable[str],
+                             workload, *,
+                             candidate_name: str | None = None,
+                             runner=None) -> ResultSet:
+    """Run ``candidate`` on ``workload`` and gate it against the reference.
+
+    Builds the trusted base implementation
+    (:class:`repro.core.sequential.SequentialScanSearcher` with the
+    ``"reference"`` kernel) over ``dataset``, executes the workload on
+    both sides, and applies :func:`verify_result_sets`. This is the
+    paper's section-3.1 methodology as one call, used to gate the batch
+    execution engine (:mod:`repro.scan`) before its timings count.
+
+    Parameters
+    ----------
+    candidate:
+        Any :class:`repro.core.searcher.Searcher` (or object with the
+        same ``run_workload`` signature).
+    dataset:
+        The strings both sides search.
+    workload:
+        The :class:`repro.data.workload.Workload` to execute.
+    candidate_name:
+        Error-message label; defaults to the candidate's ``name``.
+    runner:
+        Optional parallel runner for the *candidate* side (the
+        reference always runs serially — it is the ground truth).
+
+    Returns
+    -------
+    ResultSet
+        The candidate's (verified) results, so callers can keep them.
+    """
+    from repro.core.sequential import SequentialScanSearcher
+
+    reference = SequentialScanSearcher(
+        dataset, kernel="reference"
+    ).run_workload(workload)
+    result = candidate.run_workload(workload, runner)
+    verify_result_sets(
+        reference, result,
+        candidate_name=candidate_name or getattr(
+            candidate, "name", "candidate"
+        ),
+    )
+    return result

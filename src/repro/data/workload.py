@@ -16,7 +16,7 @@ from typing import Iterator, Sequence
 
 from repro.data.corruptions import apply_random_edits
 from repro.distance.banded import check_threshold
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, WorkloadError
 
 #: Query counts measured throughout the paper's evaluation.
 PAPER_QUERY_COUNTS = (100, 500, 1000)
@@ -54,9 +54,25 @@ class Workload:
         return iter(self.queries)
 
     def take(self, count: int) -> "Workload":
-        """A prefix workload with the first ``count`` queries."""
+        """A prefix workload with the first ``count`` queries.
+
+        ``count`` larger than the workload clamps to the whole workload
+        and keeps the original name — the label only carries a
+        ``[:count]`` suffix when it truly truncates, so a report never
+        claims more queries than it ran.
+
+        Raises
+        ------
+        WorkloadError
+            If ``count`` is negative.
+        """
         if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
+            raise WorkloadError(
+                f"cannot take {count} queries from workload "
+                f"{self.name!r}: count must be non-negative"
+            )
+        if count >= len(self.queries):
+            return self
         return Workload(self.queries[:count], self.k,
                         f"{self.name}[:{count}]")
 
@@ -81,7 +97,9 @@ def make_workload(dataset: Sequence[str], count: int, k: int, *,
     """
     check_threshold(k)
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise WorkloadError(
+            f"count must be non-negative, got {count}"
+        )
     if not dataset:
         raise ReproError("cannot build a workload from an empty dataset")
     rng = random.Random(seed)

@@ -40,6 +40,14 @@ class DatasetFormatError(ReproError, ValueError):
         self.line_number = line_number
 
 
+class WorkloadError(ReproError, ValueError):
+    """A workload was built or sliced with impossible parameters.
+
+    Derives from :class:`ValueError` too, so callers that predate the
+    hierarchy keep working.
+    """
+
+
 class VerificationError(ReproError):
     """An optimized approach returned results that differ from the reference.
 

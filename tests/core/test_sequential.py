@@ -115,3 +115,45 @@ class TestWorkloadExecution:
         threaded = searcher.run_workload(city_workload,
                                          ThreadPoolRunner(threads=4))
         assert serial == threaded
+
+
+class TestPeqCache:
+    """The bitparallel kernel builds each query's peq table once."""
+
+    def test_repeated_queries_reuse_the_table(self, monkeypatch):
+        import repro.core.sequential as sequential
+
+        calls = []
+        original = sequential.build_peq
+
+        def counting_build_peq(pattern):
+            calls.append(pattern)
+            return original(pattern)
+
+        monkeypatch.setattr(sequential, "build_peq", counting_build_peq)
+        searcher = SequentialScanSearcher(DATASET, kernel="bitparallel")
+        for _ in range(5):
+            searcher.search("Bern", 2)
+            searcher.search("Hamburg", 1)
+        assert calls.count("Bern") == 1
+        assert calls.count("Hamburg") == 1
+
+    def test_cached_results_stay_identical(self):
+        searcher = SequentialScanSearcher(DATASET, kernel="bitparallel")
+        first = searcher.search("Bermen", 2)
+        for _ in range(3):
+            assert searcher.search("Bermen", 2) == first
+        assert [m.string for m in first] == brute_force("Bermen", 2)
+
+    def test_cache_is_bounded(self):
+        from repro.core.sequential import PEQ_CACHE_SIZE
+
+        searcher = SequentialScanSearcher(DATASET, kernel="bitparallel")
+        for index in range(PEQ_CACHE_SIZE + 10):
+            searcher.search(f"q{index}", 0)
+        assert len(searcher._peq_cache) <= PEQ_CACHE_SIZE
+
+    def test_cache_untouched_by_other_kernels(self):
+        searcher = SequentialScanSearcher(DATASET, kernel="reference")
+        searcher.search("Bern", 1)
+        assert searcher._peq_cache == {}

@@ -72,3 +72,37 @@ class TestVerifyResultSets:
 
     def test_empty_sets_pass(self):
         verify_result_sets(ResultSet([], []), ResultSet([], []))
+
+
+class TestVerifyAgainstReference:
+    DATASET = ["Berlin", "Bern", "Ulm", "Hamburg"]
+
+    def test_honest_searcher_passes_and_returns_results(self):
+        from repro.core.sequential import SequentialScanSearcher
+        from repro.core.verification import verify_against_reference
+        from repro.data.workload import Workload
+
+        workload = Workload(("Bern", "Hamburk"), 1, "gate")
+        results = verify_against_reference(
+            SequentialScanSearcher(self.DATASET, kernel="bitparallel"),
+            self.DATASET, workload,
+        )
+        assert results.strings_for(0) == ("Bern",)
+        assert results.strings_for(1) == ("Hamburg",)
+
+    def test_broken_searcher_is_caught(self):
+        from repro.core.sequential import SequentialScanSearcher
+        from repro.core.verification import verify_against_reference
+        from repro.data.workload import Workload
+
+        class DropsEverything(SequentialScanSearcher):
+            def search(self, query, k):
+                return []
+
+        workload = Workload(("Bern",), 1, "gate")
+        with pytest.raises(VerificationError) as error:
+            verify_against_reference(
+                DropsEverything(self.DATASET), self.DATASET, workload,
+                candidate_name="broken",
+            )
+        assert "broken" in str(error.value)

@@ -34,13 +34,34 @@ class TestWorkload:
         assert taken.k == 1
         assert "demo" in taken.name
 
-    def test_take_more_than_available(self):
+    def test_take_more_than_available_clamps(self):
         workload = Workload(("a",), 0)
         assert len(workload.take(10)) == 1
+
+    def test_take_oversized_labels_honestly(self):
+        # The label must never claim more queries than the workload
+        # holds: clamping keeps the original name, no "[:10]" suffix.
+        workload = Workload(("a",), 0, name="demo")
+        assert workload.take(10).name == "demo"
+        assert workload.take(1).name == "demo"
+
+    def test_take_truncation_is_labelled(self):
+        workload = Workload(("a", "b", "c"), 0, name="demo")
+        assert workload.take(2).name == "demo[:2]"
 
     def test_take_negative_rejected(self):
         with pytest.raises(ValueError):
             Workload(("a",), 0).take(-1)
+
+    def test_take_negative_is_a_repro_error(self):
+        # The library's own hierarchy, so one except-clause at an API
+        # boundary catches it (previously a bare ValueError).
+        from repro.exceptions import WorkloadError
+
+        with pytest.raises(ReproError):
+            Workload(("a",), 0).take(-2)
+        with pytest.raises(WorkloadError):
+            Workload(("a",), 0).take(-2)
 
 
 class TestMakeWorkload:
@@ -73,6 +94,10 @@ class TestMakeWorkload:
 
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):
+            make_workload(DATASET, -1, 1, alphabet_symbols="abc")
+
+    def test_negative_count_is_a_repro_error(self):
+        with pytest.raises(ReproError):
             make_workload(DATASET, -1, 1, alphabet_symbols="abc")
 
     def test_k_zero_yields_exact_queries(self):

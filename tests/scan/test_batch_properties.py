@@ -1,0 +1,118 @@
+"""Property tests: batch results equal the reference scan, always.
+
+The acceptance criterion of the whole amortization layer is the paper's
+own (section 3.1): whatever the compiled corpus precomputes and the
+batch executor dedupes, memoizes or fans out, the result rows must be
+byte-identical to ``SequentialScanSearcher(kernel="reference")`` — on
+both alphabet regimes, for random strings and random thresholds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.verification import verify_against_reference
+from repro.data.alphabet import DNA_ALPHABET, city_alphabet
+from repro.data.workload import Workload
+from repro.scan.corpus import CompiledCorpus
+from repro.scan.executor import BatchScanExecutor
+from repro.scan.searcher import CompiledScanSearcher
+
+# Non-empty strings: the searchers reject empty dataset members.
+dna_strings = st.lists(
+    st.text(alphabet="ACGNT", min_size=1, max_size=16),
+    min_size=1, max_size=24,
+)
+# A slice of the city alphabet, diacritics included, to exercise the
+# large-alphabet regime without blowing up example generation.
+city_strings = st.lists(
+    st.text(alphabet="abcdeßüé -", min_size=1, max_size=12),
+    min_size=1, max_size=24,
+)
+queries_dna = st.lists(st.text(alphabet="ACGNT", max_size=16),
+                       min_size=1, max_size=8)
+queries_city = st.lists(st.text(alphabet="abcdeßüé -", max_size=12),
+                        min_size=1, max_size=8)
+thresholds = st.integers(min_value=0, max_value=5)
+
+
+def assert_batch_equals_reference(dataset, queries, k):
+    reference = SequentialScanSearcher(dataset, kernel="reference")
+    expected = [tuple(reference.search(query, k)) for query in queries]
+    executor = BatchScanExecutor(CompiledCorpus(dataset))
+    results = executor.search_many(queries, k)
+    assert list(results.rows) == expected
+
+
+class TestBothAlphabets:
+    @settings(max_examples=60, deadline=None)
+    @given(dna_strings, queries_dna, thresholds)
+    def test_dna_regime(self, dataset, queries, k):
+        assert_batch_equals_reference(dataset, queries, k)
+
+    @settings(max_examples=60, deadline=None)
+    @given(city_strings, queries_city, thresholds)
+    def test_city_regime(self, dataset, queries, k):
+        assert_batch_equals_reference(dataset, queries, k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna_strings, queries_dna, thresholds)
+    def test_explicit_alphabet_matches_inferred(self, dataset, queries, k):
+        inferred = BatchScanExecutor(CompiledCorpus(dataset))
+        explicit = BatchScanExecutor(
+            CompiledCorpus(dataset, alphabet=DNA_ALPHABET)
+        )
+        assert inferred.search_many(queries, k) == \
+            explicit.search_many(queries, k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(city_strings, queries_city, thresholds)
+    def test_searcher_verifies_against_reference(self, dataset, queries, k):
+        workload = Workload(tuple(queries), k, "property")
+        verify_against_reference(
+            CompiledScanSearcher(dataset), dataset, workload
+        )
+
+
+class TestEdgeCases:
+    def test_empty_corpus(self):
+        executor = BatchScanExecutor(CompiledCorpus([]))
+        results = executor.search_many(["anything", ""], 3)
+        assert all(row == () for row in results.rows)
+
+    def test_empty_query(self):
+        dataset = ["a", "ab", "abc", "abcd"]
+        assert_batch_equals_reference(dataset, [""], 2)
+
+    def test_empty_query_k_zero(self):
+        assert_batch_equals_reference(["a", "bb"], [""], 0)
+
+    def test_duplicate_queries_identical_rows(self):
+        dataset = ["Bern", "Bonn", "Ulm"]
+        executor = BatchScanExecutor(CompiledCorpus(dataset))
+        results = executor.search_many(["Bern", "Bern", "Bern"], 2)
+        assert results.rows[0] == results.rows[1] == results.rows[2]
+        assert executor.stats.scans_executed == 1
+
+    def test_k_zero_is_exact_membership(self):
+        dataset = ["Bern", "Bonn"]
+        assert_batch_equals_reference(dataset, ["Bern", "Berna"], 0)
+
+    def test_unknown_query_symbols(self):
+        dataset = ["ACGT", "ACGA"]
+        assert_batch_equals_reference(dataset, ["ACGZ", "ZZZZ"], 1)
+
+    def test_city_alphabet_sample_end_to_end(self, city_names):
+        queries = list(city_names[:6]) + list(city_names[:3])
+        assert_batch_equals_reference(list(city_names), queries, 2)
+
+    def test_dna_sample_end_to_end(self, dna_reads):
+        queries = list(dna_reads[:4])
+        assert_batch_equals_reference(list(dna_reads), queries, 4)
+
+    def test_city_alphabet_object_accepted(self, city_names):
+        corpus = CompiledCorpus(city_names, alphabet=city_alphabet())
+        executor = BatchScanExecutor(corpus)
+        reference = SequentialScanSearcher(city_names, kernel="reference")
+        query = city_names[0]
+        assert executor.search(query, 1) == reference.search(query, 1)

@@ -1,0 +1,101 @@
+"""Unit tests for the CompiledScanSearcher adapter and engine wiring."""
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.verification import verify_against_reference
+from repro.data.workload import Workload
+from repro.parallel.executor import ThreadPoolRunner
+from repro.scan.corpus import CompiledCorpus
+from repro.scan.searcher import CompiledScanSearcher
+
+DATASET = ["Berlin", "Bern", "Ulm", "Hamburg", "Bremen", "Bonn"]
+
+
+class TestSearcherContract:
+    def test_search_equals_reference(self):
+        searcher = CompiledScanSearcher(DATASET)
+        reference = SequentialScanSearcher(DATASET, kernel="reference")
+        for query in ("Bern", "Hamburk", "zzz", ""):
+            assert searcher.search(query, 2) == reference.search(query, 2)
+
+    def test_accepts_prebuilt_corpus(self):
+        corpus = CompiledCorpus(DATASET)
+        a = CompiledScanSearcher(corpus)
+        b = CompiledScanSearcher(corpus)
+        assert a.corpus is b.corpus          # compilation shared
+        assert a.search("Bern", 1) == b.search("Bern", 1)
+
+    def test_name_and_dataset(self):
+        searcher = CompiledScanSearcher(DATASET + ["Bern"])
+        assert searcher.name == "compiled-scan"
+        assert searcher.dataset == tuple(DATASET)   # dedup, order kept
+
+    def test_run_workload_dedupes_but_keeps_rows(self):
+        searcher = CompiledScanSearcher(DATASET)
+        workload = Workload(("Bern", "Ulm", "Bern"), 1, "dup")
+        results = searcher.run_workload(workload)
+        assert len(results) == 3
+        assert results.rows[0] == results.rows[2]
+        assert searcher.executor.stats.deduplicated == 1
+
+    def test_run_workload_with_runner(self):
+        searcher = CompiledScanSearcher(DATASET)
+        workload = Workload(tuple(DATASET), 2, "threaded")
+        serial = searcher.run_workload(workload)
+        threaded = CompiledScanSearcher(DATASET).run_workload(
+            workload, ThreadPoolRunner(threads=3)
+        )
+        assert serial == threaded
+
+    def test_verifies_against_reference_helper(self, city_names,
+                                               city_workload):
+        verify_against_reference(
+            CompiledScanSearcher(city_names), city_names, city_workload
+        )
+
+    def test_verifies_on_dna(self, dna_reads, dna_workload):
+        verify_against_reference(
+            CompiledScanSearcher(dna_reads), dna_reads, dna_workload
+        )
+
+
+class TestEngineWiring:
+    def test_compiled_backend_forced(self):
+        engine = SearchEngine(DATASET, backend="compiled")
+        assert engine.choice.backend == "compiled"
+        assert isinstance(engine.searcher, CompiledScanSearcher)
+        reference = SequentialScanSearcher(DATASET, kernel="reference")
+        assert engine.search("Hamburk", 1) == reference.search("Hamburk", 1)
+
+    def test_auto_rule_unchanged(self, city_names, dna_reads):
+        assert SearchEngine(city_names).choice.backend == "sequential"
+        assert SearchEngine(dna_reads).choice.backend == "indexed"
+
+    def test_search_many_routes_through_batch_engine(self, city_names):
+        engine = SearchEngine(city_names)        # sequential regime
+        queries = [city_names[0], city_names[1], city_names[0]]
+        results = engine.search_many(queries, 1)
+        assert len(results) == 3
+        assert engine.batch_stats is not None
+        assert engine.batch_stats.deduplicated == 1
+        reference = SequentialScanSearcher(city_names, kernel="reference")
+        assert list(results.rows) == [
+            tuple(reference.search(query, 1)) for query in queries
+        ]
+
+    def test_search_many_indexed_backend_falls_back(self, city_names):
+        engine = SearchEngine(city_names, backend="indexed")
+        queries = [city_names[0], city_names[0]]
+        results = engine.search_many(queries, 1)
+        assert len(results) == 2
+        assert engine.batch_stats is None
+
+    def test_search_many_equals_search_loop(self, city_names):
+        engine = SearchEngine(city_names, backend="compiled")
+        queries = list(city_names[:5])
+        batch = engine.search_many(queries, 2)
+        assert list(batch.rows) == [
+            tuple(engine.search(query, 2)) for query in queries
+        ]

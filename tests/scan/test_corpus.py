@@ -1,0 +1,108 @@
+"""Unit tests for the compiled corpus."""
+
+import pickle
+
+import pytest
+
+from repro.data.alphabet import DNA_ALPHABET, Alphabet
+from repro.exceptions import AlphabetError, ReproError
+from repro.scan.corpus import CompiledCorpus
+
+
+class TestCompilation:
+    def test_duplicates_collapsed_first_occurrence_order(self):
+        corpus = CompiledCorpus(["b", "a", "b", "c", "a"])
+        assert corpus.strings == ("b", "a", "c")
+        assert corpus.size == 3
+        assert corpus.total_strings == 5
+
+    def test_empty_strings_rejected(self):
+        with pytest.raises(ReproError):
+            CompiledCorpus(["ok", ""])
+
+    def test_empty_corpus_is_legal(self):
+        corpus = CompiledCorpus([])
+        assert corpus.size == 0
+        assert corpus.alphabet is None
+        assert corpus.buckets == ()
+        assert corpus.window(5, 2) == (0, 0)
+        assert corpus.encode_query("abc") == (-1, -1, -1)
+
+    def test_alphabet_inferred_from_data(self):
+        corpus = CompiledCorpus(["ba", "ab"])
+        assert corpus.alphabet is not None
+        assert corpus.alphabet.symbols == "ab"
+
+    def test_explicit_alphabet_validates(self):
+        with pytest.raises(AlphabetError):
+            CompiledCorpus(["ACGT", "HELLO"], alphabet=DNA_ALPHABET)
+
+    def test_encoding_round_trips(self):
+        corpus = CompiledCorpus(["GATT", "ACA"], alphabet=DNA_ALPHABET)
+        for bucket in corpus.buckets:
+            for string, codes in zip(bucket.strings, bucket.encoded):
+                assert DNA_ALPHABET.decode(codes) == string
+
+
+class TestBuckets:
+    def test_buckets_sorted_by_length(self):
+        corpus = CompiledCorpus(["aaaa", "a", "aa", "bb", "ccc"])
+        assert corpus.lengths == (1, 2, 3, 4)
+        assert [len(b) for b in corpus.buckets] == [1, 2, 1, 1]
+        assert corpus.min_length == 1
+        assert corpus.max_length == 4
+
+    def test_window_is_equation_five(self):
+        corpus = CompiledCorpus(["a", "bb", "ccc", "dddd", "eeeee"])
+        window = corpus.buckets_in_window(3, 1)
+        assert [b.length for b in window] == [2, 3, 4]
+        assert corpus.candidates_in_window(3, 1) == 3
+
+    def test_window_outside_lengths_is_empty(self):
+        corpus = CompiledCorpus(["aa", "bb"])
+        assert corpus.buckets_in_window(10, 2) == ()
+
+    def test_window_k_zero_is_exact_length(self):
+        corpus = CompiledCorpus(["a", "bb", "ccc"])
+        assert [b.length for b in corpus.buckets_in_window(2, 0)] == [2]
+
+
+class TestFrequencyVectors:
+    def test_tiny_alphabet_tracks_everything(self):
+        corpus = CompiledCorpus(["ACCA"], alphabet=DNA_ALPHABET)
+        assert corpus.tracked == "ACGNT"
+        assert corpus.buckets[0].frequencies[0] == (2, 2, 0, 0, 0)
+
+    def test_large_alphabet_tracks_vowels(self):
+        alphabet = Alphabet("wide", "abcdefghij")
+        corpus = CompiledCorpus(["beach"], alphabet=alphabet)
+        assert "a" in corpus.tracked and "e" in corpus.tracked
+
+    def test_query_vector_pairs_with_bucket_vectors(self):
+        corpus = CompiledCorpus(["ACCA"], alphabet=DNA_ALPHABET)
+        assert corpus.query_frequencies("CAT") == (1, 1, 0, 0, 1)
+
+    def test_tracked_override(self):
+        corpus = CompiledCorpus(["abc"], tracked="a")
+        assert corpus.tracked == "a"
+        assert corpus.buckets[0].frequencies[0] == (1,)
+
+
+class TestQueryEncoding:
+    def test_unknown_symbols_map_to_sentinel(self):
+        corpus = CompiledCorpus(["ACGT"], alphabet=DNA_ALPHABET)
+        assert corpus.encode_query("AXG") == (0, -1, 2)
+
+    def test_picklable_for_process_pools(self):
+        corpus = CompiledCorpus(["Bern", "Ulm"])
+        clone = pickle.loads(pickle.dumps(corpus))
+        assert clone.strings == corpus.strings
+        assert clone.lengths == corpus.lengths
+        assert clone.encode_query("Bern") == corpus.encode_query("Bern")
+
+    def test_describe_reports_compile_facts(self):
+        corpus = CompiledCorpus(["aa", "aa", "b"])
+        facts = corpus.describe()
+        assert facts["strings"] == 2
+        assert facts["duplicates_collapsed"] == 1
+        assert facts["buckets"] == 2

@@ -1,0 +1,170 @@
+"""Unit tests for the batch scan executor and its LRU memo."""
+
+import pytest
+
+from repro.core.result import Match
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.workload import Workload
+from repro.exceptions import InvalidThresholdError, ReproError
+from repro.parallel.executor import SerialRunner, ThreadPoolRunner
+from repro.scan.cache import LRUCache
+from repro.scan.corpus import CompiledCorpus
+from repro.scan.executor import BatchScanExecutor, scan_query
+
+DATASET = ["Berlin", "Bern", "Ulm", "Hamburg", "Bremen", "Bonn"]
+
+
+def reference_rows(queries, k):
+    searcher = SequentialScanSearcher(DATASET, kernel="reference")
+    return [tuple(searcher.search(query, k)) for query in queries]
+
+
+class TestScanQuery:
+    def test_matches_reference_kernel(self):
+        corpus = CompiledCorpus(DATASET)
+        for query in ("Bern", "Hamburk", "zzz", ""):
+            for k in (0, 1, 2):
+                assert tuple(scan_query(corpus, query, k)) == \
+                    reference_rows([query], k)[0]
+
+    def test_bucket_slice_restriction(self):
+        corpus = CompiledCorpus(DATASET)
+        full = scan_query(corpus, "Bern", 2)
+        lo, hi = corpus.window(4, 2)
+        parts = []
+        for index in range(lo, hi):
+            parts.extend(scan_query(corpus, "Bern", 2,
+                                    lo=index, hi=index + 1))
+        assert sorted(parts) == full
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(InvalidThresholdError):
+            scan_query(CompiledCorpus(DATASET), "Bern", -1)
+
+    def test_frequency_filter_does_not_change_results(self):
+        corpus = CompiledCorpus(DATASET)
+        for query in ("Bern", "Brln", "Hamburk"):
+            with_filter = scan_query(corpus, query, 2, use_frequency=True)
+            without = scan_query(corpus, query, 2, use_frequency=False)
+            assert with_filter == without
+
+
+class TestSearchMany:
+    def test_rows_in_input_order_with_duplicates(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET))
+        queries = ["Bern", "Ulm", "Bern", "zzz", "Bern"]
+        results = executor.search_many(queries, 1)
+        assert results.queries == tuple(queries)
+        assert list(results.rows) == reference_rows(queries, 1)
+
+    def test_deduplication_counted(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET))
+        executor.search_many(["Bern"] * 10 + ["Ulm"], 1)
+        assert executor.stats.queries_seen == 11
+        assert executor.stats.unique_queries == 2
+        assert executor.stats.deduplicated == 9
+        assert executor.stats.scans_executed == 2
+
+    def test_memo_spans_batches(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET))
+        executor.search_many(["Bern", "Ulm"], 1)
+        executor.search_many(["Bern", "Ulm"], 1)
+        assert executor.stats.cache_hits == 2
+        assert executor.stats.scans_executed == 2
+
+    def test_memo_keyed_by_threshold_too(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET))
+        executor.search_many(["Bern"], 1)
+        executor.search_many(["Bern"], 2)
+        assert executor.stats.scans_executed == 2
+
+    def test_cache_disabled(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET),
+                                     cache_size=0)
+        assert executor.cache is None
+        executor.search_many(["Bern"], 1)
+        executor.search_many(["Bern"], 1)
+        assert executor.stats.scans_executed == 2
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ReproError):
+            BatchScanExecutor(CompiledCorpus(DATASET), cache_size=-1)
+
+    def test_runner_fanout_identical(self):
+        serial = BatchScanExecutor(CompiledCorpus(DATASET), cache_size=0)
+        threaded = BatchScanExecutor(CompiledCorpus(DATASET), cache_size=0,
+                                     runner=ThreadPoolRunner(threads=3))
+        queries = ["Bern", "Hamburk", "Bremen", "Ulm", "Bern"]
+        assert serial.search_many(queries, 2) == \
+            threaded.search_many(queries, 2)
+
+    def test_single_query_bucket_fanout(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET), cache_size=0)
+        chunked = executor.search_many(
+            ["Bern"], 2, runner=ThreadPoolRunner(threads=4)
+        )
+        assert list(chunked.rows) == reference_rows(["Bern"], 2)
+
+    def test_single_query_fanout_serial_runner(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET), cache_size=0)
+        result = executor.search_many(["Bern"], 2, runner=SerialRunner())
+        assert list(result.rows) == reference_rows(["Bern"], 2)
+
+    def test_run_workload_adapter(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET))
+        workload = Workload(("Bern", "Ulm", "Bern"), 1, "adapter")
+        results = executor.run_workload(workload)
+        assert list(results.rows) == reference_rows(workload.queries, 1)
+
+    def test_empty_batch(self):
+        executor = BatchScanExecutor(CompiledCorpus(DATASET))
+        assert len(executor.search_many([], 1)) == 0
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1       # refresh "a"
+        cache.put("c", 3)                # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_refresh_on_put(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)               # refresh, no eviction
+        cache.put("c", 3)                # evicts "b"
+        assert sorted(cache.keys()) == ["a", "c"]
+        assert cache.get("a") == 10
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            LRUCache(maxsize=0)
+
+    def test_clear(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_pickles_to_cold_cache(self):
+        import pickle
+
+        cache = LRUCache(maxsize=2)
+        cache.put("a", Match("x", 1))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0
+        clone.put("b", 2)                # lock restored and usable
+        assert clone.get("b") == 2

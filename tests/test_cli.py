@@ -51,6 +51,32 @@ class TestSearchCommand:
         ]) == 0
         assert read_result_file(output)[0] == ("Bern", ["Bern"])
 
+    def test_batch_mode_identical_results(self, city_files, tmp_path):
+        data, queries = city_files
+        plain = tmp_path / "plain.txt"
+        batched = tmp_path / "batched.txt"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "-o", str(plain)]) == 0
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "-o", str(batched), "--batch"]) == 0
+        assert plain.read_text() == batched.read_text()
+
+    def test_batch_mode_reports_dedup_stats(self, city_files, tmp_path,
+                                            capsys):
+        data, _ = city_files
+        queries = tmp_path / "repeats.txt"
+        write_strings(queries, ["Bern", "Bern", "Bern", "Ulm"])
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--batch"]) == 0
+        err = capsys.readouterr().err
+        assert "batch: 2 unique of 4 queries" in err
+
+    def test_compiled_backend(self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--backend", "compiled"]) == 0
+        assert "compiled" in capsys.readouterr().err
+
     def test_bad_runner_spec_is_an_error(self, city_files, capsys):
         data, queries = city_files
         assert main(["search", str(data), str(queries), "-k", "1",
