@@ -1,0 +1,287 @@
+"""Head-to-head: compiled scan vs compiled index, both sides fast.
+
+PR 1 compiled the scan side (:mod:`repro.scan`); this benchmark exists
+because the index side is now compiled too (:mod:`repro.index.flat`),
+which makes the paper's central comparison fair again: neither solution
+is handicapped by per-node (or per-string) interpreter overhead.
+
+Four contenders answer the same workloads on both of the paper's
+regimes, across the full Table-I threshold ladders (city k = 0..3,
+DNA k = 0/4/8/16):
+
+* ``trie`` — the paper's base index, ``IndexedSearcher(index="trie")``;
+* ``compressed`` — its radix-merged stage 2;
+* ``flat_index`` — the compressed trie frozen into flat arrays,
+  answered through :class:`repro.index.batch.BatchIndexExecutor`;
+* ``compiled_scan`` — the compiled-corpus batch scan of PR 1.
+
+Correctness is gated off-clock, twice: every contender's rows must be
+identical at every rung, and the flat index is checked against the
+reference kernel on a sampled sub-workload
+(:func:`repro.core.verification.verify_against_reference`), with the
+sample size recorded in the JSON. Index/corpus builds happen before the
+clock starts — the paper times query execution only.
+
+The run emits ``BENCH_headtohead.json`` at the repository root. The
+acceptance bar lives on the DNA regime, where the paper says the index
+should win: the compiled flat trie must finish the ladder at least 2x
+faster than the object trie it froze.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_headtohead.py
+
+``--smoke`` shrinks everything to a seconds-long, correctness-only run
+(used by CI); ``--verify-sample N`` sizes the off-clock reference gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.indexed import IndexedSearcher
+from repro.core.verification import verify_against_reference
+from repro.data.cities import generate_city_names
+from repro.data.dna import generate_reads
+from repro.data.workload import (
+    CITY_THRESHOLDS,
+    DNA_THRESHOLDS,
+    make_workload,
+)
+from repro.index.batch import FlatIndexSearcher
+from repro.scan.searcher import CompiledScanSearcher
+
+#: Where the machine-readable record lands (repository root).
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_headtohead.json"
+
+#: Default off-clock reference-gate sample per regime (the quadratic
+#: reference kernel dominates wall time well before it adds confidence).
+VERIFY_QUERIES = 20
+
+#: The acceptance bar: flat trie vs object trie on the DNA ladder.
+REQUIRED_DNA_SPEEDUP = 2.0
+
+
+def _time(function):
+    started = time.perf_counter()
+    value = function()
+    return value, time.perf_counter() - started
+
+
+def run_regime(dataset, *, label: str, thresholds, queries_per_k: int,
+               alphabet_symbols: str,
+               verify_sample: int = VERIFY_QUERIES) -> dict:
+    """One regime's full threshold ladder; returns its record."""
+    # Build each contender separately so per-structure build cost is
+    # attributable (and clearly outside every timed rung).
+    contenders = []
+    builds = {}
+    for name, factory in (
+        ("trie", lambda: IndexedSearcher(dataset, index="trie")),
+        ("compressed",
+         lambda: IndexedSearcher(dataset, index="compressed")),
+        ("flat_index", lambda: FlatIndexSearcher(dataset)),
+        ("compiled_scan", lambda: CompiledScanSearcher(dataset)),
+    ):
+        searcher, seconds = _time(factory)
+        contenders.append((name, searcher))
+        builds[name] = round(seconds, 6)
+
+    ladder = []
+    totals = {name: 0.0 for name, _ in contenders}
+    for k in thresholds:
+        workload = make_workload(
+            dataset, queries_per_k, k,
+            alphabet_symbols=alphabet_symbols,
+            seed=2013 + k, name=f"{label}-k{k}",
+        )
+        rows = {}
+        seconds = {}
+        for name, searcher in contenders:
+            rows[name], seconds[name] = _time(
+                lambda s=searcher: s.run_workload(workload)
+            )
+            totals[name] += seconds[name]
+        # Off-clock gate 1: every contender returns identical rows.
+        reference_name, reference_rows = next(iter(rows.items()))
+        for name, result in rows.items():
+            assert result == reference_rows, (
+                f"{label} k={k}: {name} diverges from {reference_name}"
+            )
+        ladder.append({
+            "k": k,
+            "queries": len(workload),
+            "matches": reference_rows.total_matches,
+            "seconds": {name: round(value, 6)
+                        for name, value in seconds.items()},
+        })
+
+    # Off-clock gate 2: the flat index against the reference kernel on
+    # a sampled sub-workload at the ladder's hardest rung.
+    gate_workload = make_workload(
+        dataset, min(verify_sample, queries_per_k), thresholds[-1],
+        alphabet_symbols=alphabet_symbols,
+        seed=2013 + thresholds[-1], name=f"{label}-verify",
+    )
+    flat = dict(contenders)["flat_index"]
+    _, verify_seconds = _time(lambda: verify_against_reference(
+        flat, dataset, gate_workload,
+        candidate_name=f"flat_index[{label}]",
+    ))
+
+    flat_speedup = (
+        totals["trie"] / totals["flat_index"]
+        if totals["flat_index"] else 0.0
+    )
+    return {
+        "regime": label,
+        "dataset_strings": len(dataset),
+        "thresholds": list(thresholds),
+        "queries_per_k": queries_per_k,
+        "build_seconds_offclock": builds,
+        "ladder": ladder,
+        "total_seconds": {name: round(value, 6)
+                          for name, value in totals.items()},
+        "flat_vs_trie_speedup": round(flat_speedup, 3),
+        "verify_sample": len(gate_workload),
+        "verify_seconds_offclock": round(verify_seconds, 6),
+    }
+
+
+def run_benchmark(*, city_count: int = 4000, dna_count: int = 300,
+                  city_queries: int = 60, dna_queries: int = 15,
+                  verify_sample: int = VERIFY_QUERIES,
+                  smoke: bool = False) -> dict:
+    """Both regimes, full ladders; returns the record written to JSON."""
+    if smoke:
+        city_count, dna_count = 150, 40
+        city_queries, dna_queries = 6, 4
+        verify_sample = min(verify_sample, 4)
+    cities = generate_city_names(city_count, seed=2013)
+    reads = generate_reads(dna_count, seed=2013)
+
+    record = {
+        "benchmark": "bench_headtohead",
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "contenders": {
+            "trie": "IndexedSearcher(index='trie')",
+            "compressed": "IndexedSearcher(index='compressed')",
+            "flat_index": "FlatIndexSearcher (BatchIndexExecutor over "
+                          "FlatTrie)",
+            "compiled_scan": "CompiledScanSearcher (BatchScanExecutor "
+                             "over CompiledCorpus)",
+        },
+        "regimes": [
+            run_regime(cities, label="city",
+                       thresholds=CITY_THRESHOLDS,
+                       queries_per_k=city_queries,
+                       alphabet_symbols="abcdefghinorst",
+                       verify_sample=verify_sample),
+            run_regime(reads, label="dna",
+                       thresholds=DNA_THRESHOLDS,
+                       queries_per_k=dna_queries,
+                       alphabet_symbols="ACGNT",
+                       verify_sample=verify_sample),
+        ],
+    }
+    by_regime = {entry["regime"]: entry for entry in record["regimes"]}
+    record["dna_flat_vs_trie_speedup"] = (
+        by_regime["dna"]["flat_vs_trie_speedup"]
+    )
+    record["required_dna_speedup"] = REQUIRED_DNA_SPEEDUP
+    return record
+
+
+def render(record: dict) -> str:
+    lines = [
+        "head-to-head: compiled scan vs compiled index "
+        "(seconds per ladder rung)",
+        f"  python {record['python']}"
+        + ("  [smoke: correctness only]" if record["smoke"] else ""),
+    ]
+    names = list(record["contenders"])
+    for entry in record["regimes"]:
+        lines.append("")
+        lines.append(
+            f"  {entry['regime']} — {entry['dataset_strings']} strings, "
+            f"{entry['queries_per_k']} queries per k"
+        )
+        header = f"  {'k':>4}{'matches':>9}"
+        header += "".join(f"{name:>15}" for name in names)
+        lines.append(header)
+        for rung in entry["ladder"]:
+            row = f"  {rung['k']:>4}{rung['matches']:>9}"
+            row += "".join(
+                f"{rung['seconds'][name]:>14.3f}s" for name in names
+            )
+            lines.append(row)
+        total = f"  {'all':>4}{'':>9}"
+        total += "".join(
+            f"{entry['total_seconds'][name]:>14.3f}s" for name in names
+        )
+        lines.append(total)
+        lines.append(
+            f"  flat index vs object trie: "
+            f"{entry['flat_vs_trie_speedup']:.2f}x "
+            f"(reference-verified on {entry['verify_sample']} queries, "
+            f"off-clock)"
+        )
+    lines.append("")
+    lines.append(
+        f"  DNA regime gate: {record['dna_flat_vs_trie_speedup']:.2f}x "
+        f">= {record['required_dna_speedup']:.1f}x required"
+    )
+    return "\n".join(lines)
+
+
+def write_record(record: dict) -> Path:
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n",
+                         encoding="utf-8")
+    return JSON_PATH
+
+
+def test_headtohead_speedup(emit):
+    record = run_benchmark()
+    write_record(record)
+    emit("headtohead", render(record))
+    # The acceptance bar: on the regime where the paper's index wins,
+    # the compiled flat trie must at least double the object trie.
+    assert record["dna_flat_vs_trie_speedup"] >= REQUIRED_DNA_SPEEDUP, (
+        record
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compiled scan vs compiled index across the "
+                    "paper's threshold ladders",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny datasets, correctness gates only (CI mode; the "
+             "speedup bar is not enforced)",
+    )
+    parser.add_argument(
+        "--verify-sample", type=int, default=VERIFY_QUERIES, metavar="N",
+        help="queries per regime gated against the reference kernel, "
+             f"off-clock (default {VERIFY_QUERIES})",
+    )
+    args = parser.parse_args(argv)
+    record = run_benchmark(smoke=args.smoke,
+                           verify_sample=args.verify_sample)
+    path = write_record(record)
+    print(render(record))
+    print(f"\nrecorded to {path}")
+    if args.smoke:
+        return 0
+    return 0 if (record["dna_flat_vs_trie_speedup"]
+                 >= REQUIRED_DNA_SPEEDUP) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,14 +58,18 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--backend", default="auto",
                         choices=("auto", "sequential", "indexed",
                                  "compiled"),
-                        help="force a solution side (default: auto)")
+                        help="force a solution side (default: auto; "
+                             "'indexed' is served by the compiled "
+                             "flat trie)")
     search.add_argument("--runner", default="serial",
                         help="serial | threads:N | processes:N")
     search.add_argument("--batch", action="store_true",
                         help="answer the query file through the "
-                             "compiled-corpus batch engine (dedupes "
-                             "repeated queries, amortizes per-query "
-                             "setup; identical results)")
+                             "matching compiled batch engine — the "
+                             "corpus scan or the flat-trie index — "
+                             "which dedupes repeated queries and "
+                             "amortizes per-query setup; identical "
+                             "results)")
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic dataset",

@@ -6,13 +6,17 @@ alphabet favour the trie index. :class:`SearchEngine` encodes that rule
 so a downstream user gets the right configuration without re-reading
 the evaluation section — and can always override it.
 
-The rule has a second axis since the batch engine landed: *how many*
+The rule has a second axis since the batch engines landed: *how many*
 queries arrive together. A scan-regime dataset probed by a whole
 workload goes through the compiled-corpus batch path
-(:mod:`repro.scan`), which deduplicates queries and amortizes
-query-side setup; :meth:`SearchEngine.search_many` applies that
-automatically, and ``backend="compiled"`` forces the compiled searcher
-for everything.
+(:mod:`repro.scan`); an index-regime dataset goes through the compiled
+flat-trie batch path (:mod:`repro.index.batch`). Both deduplicate
+queries and amortize query-side setup; :meth:`SearchEngine.search_many`
+applies the right one automatically, and ``backend="compiled"`` forces
+the compiled scan for everything. The indexed side itself is compiled
+too: the ``indexed`` backend builds the paper's compressed trie frozen
+into flat arrays (``index="flat"``), which answers identically to the
+object trie but without per-node interpreter overhead.
 """
 
 from __future__ import annotations
@@ -80,6 +84,7 @@ class SearchEngine:
         self._runner = runner
         self._strings = strings
         self._batch_searcher: Searcher | None = None
+        self._batch_index = None
         self._choice = self._decide(strings, backend)
         if self._choice.backend == "sequential":
             self._searcher: Searcher = SequentialScanSearcher(
@@ -91,7 +96,7 @@ class SearchEngine:
             self._searcher = CompiledScanSearcher(strings)
             self._batch_searcher = self._searcher
         else:
-            self._searcher = IndexedSearcher(strings, index="compressed")
+            self._searcher = IndexedSearcher(strings, index="flat")
 
     @staticmethod
     def _decide(strings: tuple[str, ...], backend: str) -> EngineChoice:
@@ -105,7 +110,8 @@ class SearchEngine:
                 "indexed",
                 f"mean length {stats.mean_length:.0f} > "
                 f"{MEAN_LENGTH_CUTOFF} over {stats.alphabet_size} symbols: "
-                "the DNA regime, where the trie index wins (paper §5.8)",
+                "the DNA regime, where the trie index wins (paper §5.8) "
+                "— served by the compiled flat trie",
             )
         return EngineChoice(
             "sequential",
@@ -129,8 +135,11 @@ class SearchEngine:
         """Dedup/memo counters of the batch path (``None`` before use).
 
         A :class:`repro.scan.executor.BatchStats` once
-        :meth:`search_many` has routed through the compiled engine.
+        :meth:`search_many` has routed through either compiled engine
+        (the batch scan and the batch index share the counter type).
         """
+        if self._batch_index is not None:
+            return self._batch_index.stats
         if self._batch_searcher is None:
             return None
         return self._batch_searcher.executor.stats
@@ -145,18 +154,30 @@ class SearchEngine:
         In the scan regime (``sequential`` or ``compiled``) this routes
         through the compiled-corpus batch engine — queries are
         deduplicated, the corpus is encoded and bucketed once, and
-        repeats hit the result memo — which is the decision rule's
-        batch extension: amortize the data side whenever the workload
-        allows it. The indexed backend answers per query (a trie probe
-        has no batch-side setup worth amortizing).
+        repeats hit the result memo. In the index regime it routes
+        through the compiled flat-trie batch engine
+        (:class:`repro.index.batch.BatchIndexExecutor`), which dedupes
+        and memoizes the same way and fans distinct queries out over
+        the configured runner. Either way the decision rule's batch
+        extension applies: amortize whatever depends only on the data
+        or only on the distinct query.
 
         Results are always one row per input query, in input order,
         identical to calling :meth:`search` in a loop.
         """
         queries = list(queries)
         if self._choice.backend == "indexed":
-            rows = [self._searcher.search(query, k) for query in queries]
-            return ResultSet(queries, rows)
+            if self._batch_index is None:
+                from repro.index.batch import BatchIndexExecutor
+                from repro.index.flat import FlatTrie
+
+                flat = getattr(self._searcher, "flat_trie", None)
+                if flat is None:
+                    flat = FlatTrie(self._strings)
+                self._batch_index = BatchIndexExecutor(flat)
+            return self._batch_index.search_many(
+                queries, k, runner=self._runner
+            )
         if self._batch_searcher is None:
             from repro.scan.searcher import CompiledScanSearcher
 

@@ -1,6 +1,7 @@
 """The index-based solution (paper section 4), stages configurable.
 
-Three index configurations back the paper's ladder (Figure 5):
+Four index configurations back the paper's ladder (Figure 5) and its
+compiled extension:
 
 ===================  =====================================================
 Paper stage          Configuration
@@ -8,6 +9,9 @@ Paper stage          Configuration
 1 base               ``index="trie"`` — annotated prefix tree
 2 compression        ``index="compressed"`` — radix-merged tree
 3 managed threads    pass a pool/adaptive runner to the workload
+beyond the paper     ``index="flat"`` — the compressed tree frozen into
+                     flat arrays (:mod:`repro.index.flat`), descended
+                     iteratively without per-node object overhead
 ===================  =====================================================
 
 Beyond the paper, the same searcher fronts every other structure in the
@@ -31,6 +35,7 @@ from repro.index.automaton import automaton_trie_search
 from repro.index.bktree import bktree_from
 from repro.index.compressed import CompressedTrie
 from repro.index.dawg import Dawg
+from repro.index.flat import FlatTrie, flat_similarity_search
 from repro.index.qgram_index import QGramIndex
 from repro.index.traversal import (
     TraversalStats,
@@ -39,12 +44,13 @@ from repro.index.traversal import (
 )
 from repro.index.trie import PrefixTrie
 
-#: Index configurations; the first two are the paper's.
-INDEX_KINDS = ("trie", "compressed", "qgram", "dawg", "bktree",
+#: Index configurations; the first two are the paper's, ``flat`` is
+#: their compiled form.
+INDEX_KINDS = ("trie", "compressed", "flat", "qgram", "dawg", "bktree",
                "automaton")
 
 #: Kinds that support PETER-style frequency pruning.
-_FREQUENCY_CAPABLE = ("trie", "compressed")
+_FREQUENCY_CAPABLE = ("trie", "compressed", "flat")
 
 
 class IndexedSearcher(Searcher):
@@ -103,6 +109,8 @@ class IndexedSearcher(Searcher):
             self.name += "+freq"
         self.last_stats: TraversalStats | None = None
         self._node_count = 0
+        self._flat_trie: FlatTrie | None = None
+        self._row_bank: list = []
         self._search_fn = self._build(strings, index, frequency_pruning,
                                       tracked_symbols, q)
 
@@ -125,6 +133,24 @@ class IndexedSearcher(Searcher):
                     structure, query, k,
                     use_frequency_pruning=frequency_pruning,
                     stats=stats,
+                )
+                self.last_stats = stats
+                return matches
+
+            return search
+        if index == "flat":
+            flat = FlatTrie(strings, compress=True,
+                            tracked_symbols=tracked)
+            self._flat_trie = flat
+            self._node_count = flat.node_count
+
+            def search(query: str, k: int) -> list[TrieMatch]:
+                stats = TraversalStats()
+                matches = flat_similarity_search(
+                    flat, query, k,
+                    use_frequency_pruning=frequency_pruning,
+                    stats=stats,
+                    row_bank=self._row_bank,
                 )
                 self.last_stats = stats
                 return matches
@@ -155,9 +181,25 @@ class IndexedSearcher(Searcher):
             return search
         if index == "bktree":
             tree = bktree_from(list(strings))
-            return lambda query, k: tree.search(query, k)
+
+            def search(query: str, k: int) -> list[TrieMatch]:
+                before = tree.distance_computations
+                matches = tree.search(query, k)
+                self.last_stats = TraversalStats(
+                    nodes_visited=tree.distance_computations - before,
+                    matches=len(matches),
+                )
+                return matches
+
+            return search
         qgram = QGramIndex(strings, q=q)
-        return lambda query, k: qgram.search(query, k)
+
+        def search(query: str, k: int) -> list[TrieMatch]:
+            matches = qgram.search(query, k)
+            self.last_stats = TraversalStats(matches=len(matches))
+            return matches
+
+        return search
 
     @property
     def kind(self) -> str:
@@ -169,9 +211,25 @@ class IndexedSearcher(Searcher):
         """States in the underlying tree/automaton (0 where moot)."""
         return self._node_count
 
+    @property
+    def flat_trie(self) -> FlatTrie | None:
+        """The compiled trie backing ``index="flat"`` (else ``None``).
+
+        Exposed so the engine can put the same compiled structure on
+        the batch path (:class:`repro.index.batch.BatchIndexExecutor`)
+        without freezing it twice.
+        """
+        return self._flat_trie
+
     def search(self, query: str, k: int) -> list[Match]:
-        """All distinct dataset strings within distance ``k`` of ``query``."""
+        """All distinct dataset strings within distance ``k`` of ``query``.
+
+        ``last_stats`` is reset at entry and filled by every kind, so
+        the counters always describe *this* search — a failed or
+        stats-less probe can never leak a previous search's numbers.
+        """
         check_threshold(k)
+        self.last_stats = None
         return [
             Match(m.string, m.distance)
             for m in self._search_fn(query, k)

@@ -10,6 +10,11 @@ and the related-work alternatives it is positioned against:
   frequency-vector annotations (section 2.3 / future work section 6).
 * :class:`CompressedTrie` — the radix-compressed form of section 4.2.
 * :func:`trie_similarity_search` — threshold search over either trie.
+* :class:`FlatTrie` / :func:`flat_similarity_search` — either trie
+  frozen into flat CSR arrays with an iterative, allocation-free
+  descent (see :mod:`repro.index.flat`), plus
+  :class:`BatchIndexExecutor` / :class:`FlatIndexSearcher` for
+  batch-amortized execution (see :mod:`repro.index.batch`).
 * :class:`QGramIndex` — inverted q-gram index, the "well-known index"
   family most mature systems use.
 * :class:`SuffixArray` — Navarro-style suffix-array substrate with
@@ -18,9 +23,11 @@ and the related-work alternatives it is positioned against:
 
 from repro.index.autocomplete import Completion, autocomplete
 from repro.index.automaton import LevenshteinAutomaton, automaton_trie_search
+from repro.index.batch import BatchIndexExecutor, FlatIndexSearcher
 from repro.index.bktree import BKTree, bktree_from
 from repro.index.compressed import CompressedTrie
 from repro.index.dawg import Dawg
+from repro.index.flat import FlatTrie, flat_similarity_search
 from repro.index.node import TrieNode
 from repro.index.qgram_index import QGramIndex
 from repro.index.suffix_array import SuffixArray
@@ -33,6 +40,10 @@ __all__ = [
     "CompressedTrie",
     "trie_similarity_search",
     "TraversalStats",
+    "FlatTrie",
+    "flat_similarity_search",
+    "BatchIndexExecutor",
+    "FlatIndexSearcher",
     "LevenshteinAutomaton",
     "automaton_trie_search",
     "Completion",

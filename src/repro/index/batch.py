@@ -1,0 +1,280 @@
+"""Batch query execution over a compiled flat trie.
+
+The index-side mirror of :mod:`repro.scan.executor`: where
+:class:`repro.scan.executor.BatchScanExecutor` amortizes a workload
+against a :class:`repro.scan.corpus.CompiledCorpus`,
+:class:`BatchIndexExecutor` amortizes it against a
+:class:`repro.index.flat.FlatTrie`:
+
+* identical queries are deduplicated — each distinct ``(query, k)``
+  pair descends the trie once per batch, however often it repeats;
+* DP row buffers live in a per-executor ``row_bank`` and are reused
+  across every query in the batch (and across batches), so the serial
+  path allocates one fresh row — row 0 — per query;
+* finished rows live in a bounded :class:`repro.scan.cache.LRUCache`,
+  so repeats *across* batches are lookups too;
+* distinct queries fan out over any :mod:`repro.parallel` runner; the
+  flat trie is plain tuples, so a process pool ships it once per chunk.
+
+Results are identical to the object-trie traversal and to the
+reference scan by construction (same DP, same sound pruning), and
+:func:`repro.core.verification.verify_against_reference` gates exactly
+that before any benchmark timing counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.result import Match, ResultSet
+from repro.core.searcher import QueryRunner, Searcher
+from repro.data.alphabet import Alphabet
+from repro.data.workload import Workload
+from repro.distance.banded import check_threshold
+from repro.exceptions import ReproError
+from repro.index.flat import FlatTrie, flat_similarity_search
+from repro.scan.cache import LRUCache
+from repro.scan.executor import DEFAULT_CACHE_SIZE, BatchStats
+
+
+def probe_query(flat: FlatTrie, query: str, k: int, *,
+                use_frequency: bool = True,
+                row_bank: list | None = None) -> list[Match]:
+    """One query's matches through the compiled trie, as core matches.
+
+    The flat trie collapses duplicates into terminal multiplicities, so
+    rows already list distinct strings — the searcher contract.
+    """
+    return [
+        Match(m.string, m.distance)
+        for m in flat_similarity_search(
+            flat, query, k,
+            use_frequency_pruning=use_frequency,
+            row_bank=row_bank,
+        )
+    ]
+
+
+@dataclass(frozen=True)
+class _ProbeTask:
+    """Picklable per-query work unit for runner fan-out.
+
+    Stateless on purpose: thread runners share one task object across
+    workers, so the DP row bank cannot live here — each call brings its
+    own rows and the executor keeps the reusable bank on the serial
+    path only.
+    """
+
+    flat: FlatTrie
+    k: int
+    use_frequency: bool
+
+    def __call__(self, query: str) -> tuple[Match, ...]:
+        return tuple(probe_query(self.flat, query, self.k,
+                                 use_frequency=self.use_frequency))
+
+
+class BatchIndexExecutor:
+    """Answer whole workloads against one :class:`FlatTrie`.
+
+    Parameters
+    ----------
+    flat:
+        The compiled index (built once, shared by every call).
+    runner:
+        Optional default :class:`repro.core.searcher.QueryRunner` used
+        by :meth:`search_many` (overridable per call).
+    cache_size:
+        Capacity of the ``(query, k)`` result memo; ``0`` disables it.
+    use_frequency:
+        Apply PETER-style pruning when the trie carries bounds (sound,
+        so results never change).
+
+    Examples
+    --------
+    >>> executor = BatchIndexExecutor(FlatTrie(["Bern", "Bonn", "Ulm"]))
+    >>> [m.string for m in executor.search("Bern", 2)]
+    ['Bern', 'Bonn']
+    >>> results = executor.search_many(["Bern", "Bern", "Ulm"], 1)
+    >>> results.total_matches
+    3
+    >>> executor.stats.deduplicated
+    1
+    """
+
+    def __init__(self, flat: FlatTrie, *,
+                 runner: QueryRunner | None = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 use_frequency: bool = True) -> None:
+        if cache_size < 0:
+            raise ReproError(
+                f"cache_size must be non-negative, got {cache_size}"
+            )
+        self._flat = flat
+        self._runner = runner
+        self._cache: LRUCache[tuple[str, int], tuple[Match, ...]] | None = (
+            LRUCache(cache_size) if cache_size else None
+        )
+        self._use_frequency = use_frequency
+        self._row_bank: list = []
+        self.stats = BatchStats()
+
+    @property
+    def flat(self) -> FlatTrie:
+        """The compiled index."""
+        return self._flat
+
+    @property
+    def cache(self) -> LRUCache | None:
+        """The result memo (``None`` when disabled)."""
+        return self._cache
+
+    def search(self, query: str, k: int) -> list[Match]:
+        """One query's matches (memoized like any batch member)."""
+        check_threshold(k)
+        row = self._cached_row(query, k)
+        if row is None:
+            row = tuple(probe_query(self._flat, query, k,
+                                    use_frequency=self._use_frequency,
+                                    row_bank=self._row_bank))
+            self.stats.scans_executed += 1
+            self._store_row(query, k, row)
+        self.stats.queries_seen += 1
+        self.stats.unique_queries += 1
+        return list(row)
+
+    def search_many(self, queries: Sequence[str], k: int, *,
+                    runner: QueryRunner | None = None) -> ResultSet:
+        """Answer a whole batch, amortizing per-query work.
+
+        Returns a :class:`ResultSet` with one row per input query, in
+        input order — duplicate queries share one descent but still get
+        their own (identical) rows, so the result is directly
+        comparable to any per-query searcher's.
+        """
+        check_threshold(k)
+        queries = list(queries)
+        runner = runner if runner is not None else self._runner
+
+        order: dict[str, None] = dict.fromkeys(queries)
+        resolved: dict[str, tuple[Match, ...]] = {}
+        misses: list[str] = []
+        for query in order:
+            row = self._cached_row(query, k)
+            if row is None:
+                misses.append(query)
+            else:
+                resolved[query] = row
+                self.stats.cache_hits += 1
+
+        if misses:
+            rows = self._execute(misses, k, runner)
+            for query, row in zip(misses, rows):
+                resolved[query] = row
+                self._store_row(query, k, row)
+            self.stats.scans_executed += len(misses)
+
+        self.stats.queries_seen += len(queries)
+        self.stats.unique_queries += len(order)
+        return ResultSet(queries, [resolved[query] for query in queries])
+
+    def run_workload(self, workload: Workload,
+                     runner: QueryRunner | None = None) -> ResultSet:
+        """Workload adapter mirroring :meth:`Searcher.run_workload`."""
+        return self.search_many(list(workload.queries), workload.k,
+                                runner=runner)
+
+    # ------------------------------------------------------------------
+
+    def _cached_row(self, query: str, k: int) -> tuple[Match, ...] | None:
+        if self._cache is None:
+            return None
+        return self._cache.get((query, k))
+
+    def _store_row(self, query: str, k: int,
+                   row: tuple[Match, ...]) -> None:
+        if self._cache is not None:
+            self._cache.put((query, k), row)
+
+    def _execute(self, misses: list[str], k: int,
+                 runner: QueryRunner | None) -> list[tuple[Match, ...]]:
+        if runner is None or len(misses) == 1:
+            bank = self._row_bank
+            return [
+                tuple(probe_query(self._flat, query, k,
+                                  use_frequency=self._use_frequency,
+                                  row_bank=bank))
+                for query in misses
+            ]
+        task = _ProbeTask(self._flat, k, self._use_frequency)
+        return runner.run(task, misses)
+
+
+class FlatIndexSearcher(Searcher):
+    """The Searcher adapter over the batch index engine.
+
+    Drop-in sibling of :class:`repro.scan.searcher.CompiledScanSearcher`
+    on the index side: same constructor shape, same
+    :meth:`search`/:meth:`search_many`/:meth:`run_workload` contract,
+    same result sets — so the engine, the CLI and the benchmark harness
+    can put the *index* on the batch path without touching anything
+    downstream.
+
+    Examples
+    --------
+    >>> searcher = FlatIndexSearcher(["Berlin", "Bern", "Ulm"])
+    >>> [match.string for match in searcher.search("Berlino", 2)]
+    ['Berlin']
+    """
+
+    def __init__(self, dataset: Iterable[str] | FlatTrie, *,
+                 compress: bool = True,
+                 tracked_symbols: str | None = None,
+                 alphabet: Alphabet | None = None,
+                 runner: QueryRunner | None = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 use_frequency: bool = True) -> None:
+        if isinstance(dataset, FlatTrie):
+            self._flat = dataset
+        else:
+            self._flat = FlatTrie(
+                dataset, compress=compress,
+                tracked_symbols=tracked_symbols, alphabet=alphabet,
+            )
+        self._executor = BatchIndexExecutor(
+            self._flat, runner=runner, cache_size=cache_size,
+            use_frequency=use_frequency,
+        )
+        self.name = "flat-index"
+
+    @property
+    def flat(self) -> FlatTrie:
+        """The compiled index."""
+        return self._flat
+
+    @property
+    def executor(self) -> BatchIndexExecutor:
+        """The batch engine answering queries."""
+        return self._executor
+
+    @property
+    def dataset(self) -> tuple[str, ...]:
+        """The distinct indexed strings (lexicographic order)."""
+        return self._flat.strings
+
+    def search(self, query: str, k: int) -> list[Match]:
+        """All distinct dataset strings within distance ``k``."""
+        return self._executor.search(query, k)
+
+    def search_many(self, queries, k: int, *,
+                    runner: QueryRunner | None = None) -> ResultSet:
+        """Batch entry point (see :meth:`BatchIndexExecutor.search_many`)."""
+        return self._executor.search_many(queries, k, runner=runner)
+
+    def run_workload(self, workload: Workload,
+                     runner: QueryRunner | None = None) -> ResultSet:
+        """Execute a workload through the batch index path."""
+        return self._executor.search_many(
+            list(workload.queries), workload.k, runner=runner
+        )

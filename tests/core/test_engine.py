@@ -69,3 +69,37 @@ class TestSearch:
             city_names, runner=ThreadPoolRunner(threads=3)
         ).run_workload(workload)
         assert plain == threaded
+
+
+class TestBatchPath:
+    def test_indexed_backend_is_served_by_the_flat_trie(self, dna_reads):
+        engine = SearchEngine(dna_reads)
+        assert engine.searcher.kind == "flat"
+        assert engine.searcher.flat_trie is not None
+
+    def test_search_many_equals_per_query_loop(self, dna_reads):
+        engine = SearchEngine(dna_reads)
+        queries = [dna_reads[0], dna_reads[1], dna_reads[0], "ACGT"]
+        results = engine.search_many(queries, 4)
+        assert results.queries == tuple(queries)
+        assert [list(row) for row in results.rows] == [
+            engine.search(query, 4) for query in queries
+        ]
+
+    def test_search_many_indexed_reports_batch_stats(self, dna_reads):
+        engine = SearchEngine(dna_reads)
+        assert engine.batch_stats is None
+        engine.search_many([dna_reads[0]] * 4 + [dna_reads[1]], 2)
+        stats = engine.batch_stats
+        assert stats.queries_seen == 5
+        assert stats.unique_queries == 2
+        assert stats.deduplicated == 3
+
+    def test_search_many_agrees_across_backends(self, dna_reads):
+        queries = [dna_reads[0], "ACGTACGT", dna_reads[2]]
+        indexed = SearchEngine(dna_reads, backend="indexed")
+        compiled = SearchEngine(dna_reads, backend="compiled")
+        sequential = SearchEngine(dna_reads, backend="sequential")
+        expected = sequential.search_many(queries, 4)
+        assert indexed.search_many(queries, 4) == expected
+        assert compiled.search_many(queries, 4) == expected

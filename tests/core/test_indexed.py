@@ -72,10 +72,36 @@ class TestTraversalStats:
         assert searcher.last_stats is not None
         assert searcher.last_stats.nodes_visited > 0
 
-    def test_no_stats_for_qgram(self):
-        searcher = IndexedSearcher(DATASET, index="qgram")
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_every_kind_reports_stats(self, kind):
+        searcher = IndexedSearcher(DATASET, index=kind)
+        matches = searcher.search("Bern", 1)
+        assert searcher.last_stats is not None
+        assert searcher.last_stats.matches == len(matches)
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_stats_reset_per_search(self, kind):
+        # Regression: a search must never report a previous search's
+        # counters — the bktree/qgram kinds used to leave last_stats
+        # untouched.
+        searcher = IndexedSearcher(DATASET, index=kind)
+        searcher.search("Bern", 2)
+        busy = searcher.last_stats
+        searcher.search("zzzzzzzz", 0)
+        idle = searcher.last_stats
+        assert idle is not busy
+        assert idle.matches == 0
+
+    def test_bktree_counts_distance_computations(self):
+        searcher = IndexedSearcher(DATASET, index="bktree")
         searcher.search("Bern", 1)
-        assert searcher.last_stats is None
+        assert searcher.last_stats.nodes_visited > 0
+
+    def test_flat_stats_match_object_trie(self):
+        flat = IndexedSearcher(DATASET, index="flat")
+        compressed = IndexedSearcher(DATASET, index="compressed")
+        assert flat.search("Berlln", 2) == compressed.search("Berlln", 2)
+        assert vars(flat.last_stats) == vars(compressed.last_stats)
 
 
 class TestWorkloadExecution:

@@ -1,0 +1,174 @@
+"""Unit tests for the batch index executor and its Searcher adapter."""
+
+import pytest
+
+from repro.core.sequential import SequentialScanSearcher
+from repro.core.verification import verify_against_reference
+from repro.data.workload import Workload
+from repro.exceptions import (
+    InvalidThresholdError,
+    ReproError,
+    VerificationError,
+)
+from repro.index.batch import (
+    BatchIndexExecutor,
+    FlatIndexSearcher,
+    probe_query,
+)
+from repro.index.flat import FlatTrie
+from repro.parallel.executor import (
+    ProcessPoolRunner,
+    SerialRunner,
+    ThreadPoolRunner,
+)
+
+DATASET = ["Berlin", "Bern", "Ulm", "Hamburg", "Bremen", "Bonn", "Bern"]
+
+
+def reference_rows(queries, k):
+    searcher = SequentialScanSearcher(DATASET, kernel="reference")
+    return [tuple(searcher.search(query, k)) for query in queries]
+
+
+class TestProbeQuery:
+    def test_matches_reference_kernel(self):
+        flat = FlatTrie(DATASET)
+        for query in ("Bern", "Hamburk", "zzz", ""):
+            for k in (0, 1, 2):
+                assert tuple(probe_query(flat, query, k)) == \
+                    reference_rows([query], k)[0]
+
+    def test_frequency_pruning_does_not_change_results(self):
+        flat = FlatTrie(DATASET, tracked_symbols="AEIOU")
+        for query in ("Bern", "Brln", "Hamburk"):
+            pruned = probe_query(flat, query, 2, use_frequency=True)
+            plain = probe_query(flat, query, 2, use_frequency=False)
+            assert pruned == plain
+
+
+class TestSearchMany:
+    def test_rows_in_input_order_with_duplicates(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        queries = ["Bern", "Ulm", "Bern", "zzz", "Bern"]
+        results = executor.search_many(queries, 1)
+        assert results.queries == tuple(queries)
+        assert list(results.rows) == reference_rows(queries, 1)
+
+    def test_deduplication_counted(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        executor.search_many(["Bern"] * 10 + ["Ulm"], 1)
+        assert executor.stats.queries_seen == 11
+        assert executor.stats.unique_queries == 2
+        assert executor.stats.deduplicated == 9
+        assert executor.stats.scans_executed == 2
+
+    def test_memo_spans_batches(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        executor.search_many(["Bern", "Ulm"], 1)
+        executor.search_many(["Bern", "Ulm"], 1)
+        assert executor.stats.cache_hits == 2
+        assert executor.stats.scans_executed == 2
+
+    def test_memo_keyed_by_threshold_too(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        executor.search_many(["Bern"], 1)
+        executor.search_many(["Bern"], 2)
+        assert executor.stats.scans_executed == 2
+
+    def test_single_search_is_memoized_too(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        first = executor.search("Bern", 1)
+        second = executor.search("Bern", 1)
+        assert first == second
+        assert executor.stats.scans_executed == 1
+
+    def test_cache_disabled(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET), cache_size=0)
+        assert executor.cache is None
+        executor.search_many(["Bern"], 1)
+        executor.search_many(["Bern"], 1)
+        assert executor.stats.scans_executed == 2
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ReproError):
+            BatchIndexExecutor(FlatTrie(DATASET), cache_size=-1)
+
+    def test_invalid_threshold_rejected(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        with pytest.raises(InvalidThresholdError):
+            executor.search_many(["Bern"], -1)
+
+    def test_thread_fanout_identical(self):
+        serial = BatchIndexExecutor(FlatTrie(DATASET), cache_size=0)
+        threaded = BatchIndexExecutor(FlatTrie(DATASET), cache_size=0,
+                                      runner=ThreadPoolRunner(threads=3))
+        queries = ["Bern", "Hamburk", "Bremen", "Ulm", "Bern"]
+        assert serial.search_many(queries, 2) == \
+            threaded.search_many(queries, 2)
+
+    def test_process_fanout_identical(self):
+        # The flat trie is plain tuples, so it must survive pickling
+        # into pool workers and answer identically there.
+        executor = BatchIndexExecutor(FlatTrie(DATASET), cache_size=0)
+        queries = ["Bern", "Hamburk", "Bremen", "Ulm"]
+        fanned = executor.search_many(
+            queries, 2, runner=ProcessPoolRunner(processes=2)
+        )
+        assert list(fanned.rows) == reference_rows(queries, 2)
+
+    def test_serial_runner_accepted(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET), cache_size=0)
+        result = executor.search_many(["Bern", "Ulm"], 2,
+                                      runner=SerialRunner())
+        assert list(result.rows) == reference_rows(["Bern", "Ulm"], 2)
+
+    def test_run_workload_adapter(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        workload = Workload(("Bern", "Ulm", "Bern"), 1, "adapter")
+        results = executor.run_workload(workload)
+        assert list(results.rows) == reference_rows(workload.queries, 1)
+
+    def test_empty_batch(self):
+        executor = BatchIndexExecutor(FlatTrie(DATASET))
+        assert len(executor.search_many([], 1)) == 0
+
+
+class TestFlatIndexSearcher:
+    def test_search_contract(self):
+        searcher = FlatIndexSearcher(DATASET)
+        for query in ("Berlino", "Bern", "zzz"):
+            for k in (0, 1, 2):
+                assert tuple(searcher.search(query, k)) == \
+                    reference_rows([query], k)[0]
+
+    def test_accepts_a_prebuilt_flat_trie(self):
+        flat = FlatTrie(DATASET)
+        searcher = FlatIndexSearcher(flat)
+        assert searcher.flat is flat
+        assert searcher.executor.flat is flat
+
+    def test_dataset_property_lists_distinct_strings(self):
+        searcher = FlatIndexSearcher(DATASET)
+        assert searcher.dataset == tuple(sorted(set(DATASET)))
+
+    def test_search_many_matches_per_query_loop(self):
+        searcher = FlatIndexSearcher(DATASET)
+        queries = ["Bern", "Hamburk", "Bern", ""]
+        batched = searcher.search_many(queries, 2)
+        assert [list(row) for row in batched.rows] == [
+            searcher.search(query, 2) for query in queries
+        ]
+
+    def test_verifies_against_reference(self):
+        searcher = FlatIndexSearcher(DATASET)
+        workload = Workload(("Bern", "Hamburk", "Ulm"), 2, "gate")
+        results = verify_against_reference(searcher, DATASET, workload)
+        assert results.queries == workload.queries
+
+    def test_verification_catches_a_wrong_dataset(self):
+        searcher = FlatIndexSearcher(
+            [s for s in DATASET if s != "Bern"]
+        )
+        workload = Workload(("Bern",), 1, "gate")
+        with pytest.raises(VerificationError):
+            verify_against_reference(searcher, DATASET, workload)

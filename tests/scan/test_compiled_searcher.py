@@ -85,12 +85,20 @@ class TestEngineWiring:
             tuple(reference.search(query, 1)) for query in queries
         ]
 
-    def test_search_many_indexed_backend_falls_back(self, city_names):
+    def test_search_many_indexed_backend_uses_index_batch(self,
+                                                          city_names):
+        # Since the flat trie landed, the indexed backend has its own
+        # batch engine instead of falling back to a per-query loop.
         engine = SearchEngine(city_names, backend="indexed")
         queries = [city_names[0], city_names[0]]
         results = engine.search_many(queries, 1)
         assert len(results) == 2
-        assert engine.batch_stats is None
+        assert engine.batch_stats is not None
+        assert engine.batch_stats.unique_queries == 1
+        reference = SequentialScanSearcher(city_names, kernel="reference")
+        assert list(results.rows) == [
+            tuple(reference.search(query, 1)) for query in queries
+        ]
 
     def test_search_many_equals_search_loop(self, city_names):
         engine = SearchEngine(city_names, backend="compiled")
