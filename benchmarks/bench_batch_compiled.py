@@ -32,6 +32,7 @@ from repro.core.verification import verify_against_reference
 from repro.data.cities import generate_city_names
 from repro.data.dna import generate_reads
 from repro.data.workload import make_workload
+from repro.obs.report import build_report
 from repro.scan.corpus import CompiledCorpus
 from repro.scan.executor import BatchScanExecutor
 from repro.scan.searcher import CompiledScanSearcher
@@ -96,6 +97,22 @@ def run_workload_comparison(dataset, workload, *, label: str,
 
     speedup = per_query_seconds / batch_seconds if batch_seconds else 0.0
     stats = executor.stats
+    # The executor is fresh, so its cumulative counters/stats are
+    # exactly this batch's work — the same SearchReport the engine API
+    # hands out, embedded so CI can validate the artifact's schema.
+    report = build_report(
+        backend="compiled",
+        engine="compiled-scan",
+        mode="batch",
+        queries=len(workload),
+        k=workload.k,
+        matches=batch_results.total_matches,
+        seconds=batch_seconds,
+        counters=executor.counters_snapshot(),
+        batch=stats,
+        choice_backend="compiled",
+        choice_reason=f"benchmark harness ({label} regime)",
+    )
     return {
         "workload": workload.name,
         "dataset_strings": len(dataset),
@@ -112,6 +129,7 @@ def run_workload_comparison(dataset, workload, *, label: str,
         "verified_queries": len(sample),
         "speedup_vs_per_query": round(speedup, 3),
         "corpus": corpus.describe(),
+        "report": report.to_dict(),
     }
 
 
@@ -201,11 +219,38 @@ def main(argv=None) -> int:
              f"(default {VERIFY_QUERIES}; the quadratic reference "
              "dominates wall time well before it adds confidence)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small datasets, no speedup gate: exercises the full "
+             "pipeline (and emits the same BENCH_batch.json shape) in "
+             "seconds — what the CI schema job runs",
+    )
+    parser.add_argument(
+        "--stats-format", default=None, choices=("json", "prom"),
+        help="additionally print each workload's embedded SearchReport "
+             "to stdout (JSON lines or Prometheus text)",
+    )
     args = parser.parse_args(argv)
-    record = run_benchmark(verify_sample=args.verify_sample)
+    if args.smoke:
+        record = run_benchmark(city_count=600, dna_count=120,
+                               verify_sample=min(args.verify_sample, 10))
+        record["smoke"] = True
+    else:
+        record = run_benchmark(verify_sample=args.verify_sample)
     path = write_record(record)
     print(render(record))
     print(f"\nrecorded to {path}")
+    if args.stats_format:
+        from repro.obs.report import report_from_dict
+
+        for entry in record["workloads"]:
+            report = report_from_dict(entry["report"])
+            if args.stats_format == "json":
+                print(report.to_json())
+            else:
+                print(report.to_prometheus(), end="")
+    if args.smoke:
+        return 0
     return 0 if record["min_speedup"] >= 1.5 else 1
 
 

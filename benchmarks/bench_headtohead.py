@@ -53,7 +53,27 @@ from repro.data.workload import (
     make_workload,
 )
 from repro.index.batch import FlatIndexSearcher
+from repro.obs.registry import counter_delta
+from repro.obs.report import BatchCounters, build_report
 from repro.scan.searcher import CompiledScanSearcher
+
+#: Which report backend each contender's rows come from.
+_CONTENDER_BACKENDS = {
+    "trie": "indexed",
+    "compressed": "indexed",
+    "flat_index": "indexed",
+    "compiled_scan": "compiled",
+}
+
+
+def _batch_counters(searcher):
+    """The cumulative BatchStats tuple of a batch contender, else None."""
+    executor = getattr(searcher, "executor", None)
+    if executor is None:
+        return None
+    stats = executor.stats
+    return (stats.queries_seen, stats.unique_queries,
+            stats.cache_hits, stats.scans_executed)
 
 #: Where the machine-readable record lands (repository root).
 JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_headtohead.json"
@@ -101,11 +121,37 @@ def run_regime(dataset, *, label: str, thresholds, queries_per_k: int,
         )
         rows = {}
         seconds = {}
+        reports = {}
         for name, searcher in contenders:
+            before = searcher.counters_snapshot()
+            batch_before = _batch_counters(searcher)
             rows[name], seconds[name] = _time(
                 lambda s=searcher: s.run_workload(workload)
             )
             totals[name] += seconds[name]
+            # Every contender speaks the same SearchReport schema; the
+            # per-rung reports embed the work-counter deltas so the
+            # JSON artifact records what each ladder rung actually did
+            # (and CI validates the schema).
+            batch_after = _batch_counters(searcher)
+            reports[name] = build_report(
+                backend=_CONTENDER_BACKENDS[name],
+                engine=searcher.name,
+                mode="workload",
+                queries=len(workload),
+                k=k,
+                matches=rows[name].total_matches,
+                seconds=seconds[name],
+                counters=counter_delta(before,
+                                       searcher.counters_snapshot()),
+                batch=BatchCounters(
+                    queries_seen=batch_after[0] - batch_before[0],
+                    unique_queries=batch_after[1] - batch_before[1],
+                    cache_hits=batch_after[2] - batch_before[2],
+                    scans_executed=batch_after[3] - batch_before[3],
+                ) if batch_before is not None else None,
+                choice_reason=f"benchmark contender ({label} regime)",
+            ).to_dict()
         # Off-clock gate 1: every contender returns identical rows.
         reference_name, reference_rows = next(iter(rows.items()))
         for name, result in rows.items():
@@ -118,6 +164,7 @@ def run_regime(dataset, *, label: str, thresholds, queries_per_k: int,
             "matches": reference_rows.total_matches,
             "seconds": {name: round(value, 6)
                         for name, value in seconds.items()},
+            "reports": reports,
         })
 
     # Off-clock gate 2: the flat index against the reference kernel on
@@ -271,12 +318,28 @@ def main(argv=None) -> int:
         help="queries per regime gated against the reference kernel, "
              f"off-clock (default {VERIFY_QUERIES})",
     )
+    parser.add_argument(
+        "--stats-format", default=None, choices=("json", "prom"),
+        help="additionally print every rung's embedded SearchReports "
+             "to stdout (JSON lines or Prometheus text)",
+    )
     args = parser.parse_args(argv)
     record = run_benchmark(smoke=args.smoke,
                            verify_sample=args.verify_sample)
     path = write_record(record)
     print(render(record))
     print(f"\nrecorded to {path}")
+    if args.stats_format:
+        from repro.obs.report import report_from_dict
+
+        for entry in record["regimes"]:
+            for rung in entry["ladder"]:
+                for rep in rung["reports"].values():
+                    report = report_from_dict(rep)
+                    if args.stats_format == "json":
+                        print(report.to_json())
+                    else:
+                        print(report.to_prometheus(), end="")
     if args.smoke:
         return 0
     return 0 if (record["dna_flat_vs_trie_speedup"]

@@ -55,11 +55,12 @@ def main() -> None:
         print(f"  distance {match.distance:>2}  {match.string[:60]}...")
     if len(matches) > 5:
         print(f"  ... and {len(matches) - 5} more")
+    counters = index.counters_snapshot()
     print(f"  [{query_ms:.1f} ms; traversal visited "
-          f"{index.last_stats.nodes_visited:,} nodes, pruned "
-          f"{index.last_stats.branches_pruned_by_length:,} branches "
+          f"{counters['trie.nodes_visited']:,} nodes, pruned "
+          f"{counters['trie.branches_pruned_by_length']:,} branches "
           f"by length and "
-          f"{index.last_stats.branches_pruned_by_frequency:,} "
+          f"{counters['trie.branches_pruned_by_frequency']:,} "
           f"by frequency vectors]\n")
 
     # --- read mapping with the suffix array ---------------------------

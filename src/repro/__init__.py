@@ -52,6 +52,13 @@ from repro.scan import (
 )
 from repro.distance.banded import edit_distance_bounded, within_distance
 from repro.distance.levenshtein import edit_distance
+from repro.obs import (
+    MetricsRegistry,
+    SearchReport,
+    build_report,
+    use_registry,
+    validate_report,
+)
 from repro.exceptions import (
     AlphabetError,
     DatasetFormatError,
@@ -89,6 +96,11 @@ __all__ = [
     "search_topk",
     "nearest",
     "UpdatableIndex",
+    "MetricsRegistry",
+    "SearchReport",
+    "build_report",
+    "use_registry",
+    "validate_report",
     "explain_pair",
     "edit_distance",
     "edit_distance_bounded",

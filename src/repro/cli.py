@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
@@ -70,6 +69,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              "which dedupes repeated queries and "
                              "amortizes per-query setup; identical "
                              "results)")
+    search.add_argument("--stats", action="store_true",
+                        help="emit the run's SearchReport (work "
+                             "counters, timings, batch dedup/memo "
+                             "profile) after the results")
+    search.add_argument("--stats-format", default="text",
+                        choices=("text", "json", "prom"),
+                        help="SearchReport rendering: human text, one "
+                             "JSON document, or Prometheus text "
+                             "exposition (implies --stats)")
+    search.add_argument("--stats-output", default=None,
+                        help="write the report there instead of "
+                             "stderr (implies --stats)")
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic dataset",
@@ -161,35 +172,56 @@ def _make_runner(spec: str):
     )
 
 
+def _emit_report(report, args: argparse.Namespace) -> None:
+    """Render the run's SearchReport per --stats-format/--stats-output."""
+    if args.stats_format == "json":
+        rendered = report.to_json(indent=2)
+    elif args.stats_format == "prom":
+        rendered = report.to_prometheus()
+    else:
+        rendered = report.render()
+    if args.stats_output:
+        with open(args.stats_output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+    else:
+        print(rendered, file=sys.stderr)
+
+
 def _command_search(args: argparse.Namespace) -> int:
     dataset = read_strings(args.data_file)
     queries = read_queries(args.query_file)
     runner = _make_runner(args.runner)
-    engine = SearchEngine(dataset, backend=args.backend, runner=runner)
+    want_stats = (args.stats or args.stats_output is not None
+                  or args.stats_format != "text")
+    engine = SearchEngine(dataset, backend=args.backend, runner=runner,
+                          observe=want_stats)
     print(
         f"backend: {engine.choice.backend} ({engine.choice.reason})",
         file=sys.stderr,
     )
     workload = Workload(tuple(queries), args.k, name=args.query_file)
-    started = time.perf_counter()
     if args.batch:
-        results = engine.search_many(workload.queries, workload.k)
+        results, report = engine.search_many(workload.queries, workload.k,
+                                             report=True)
     else:
-        results = engine.run_workload(workload)
-    elapsed = time.perf_counter() - started
+        results, report = engine.run_workload(workload, report=True)
     print(
-        f"{len(queries)} queries in {elapsed:.3f}s "
+        f"{len(queries)} queries in {report.seconds:.3f}s "
         f"({results.total_matches} matches)",
         file=sys.stderr,
     )
-    if args.batch and engine.batch_stats is not None:
-        stats = engine.batch_stats
+    if args.batch and report.batch is not None:
+        batch = report.batch
         print(
-            f"batch: {stats.unique_queries} unique of "
-            f"{stats.queries_seen} queries, {stats.cache_hits} cache "
-            f"hits, {stats.scans_executed} scans executed",
+            f"batch: {batch.unique_queries} unique of "
+            f"{batch.queries_seen} queries, {batch.cache_hits} cache "
+            f"hits, {batch.scans_executed} scans executed",
             file=sys.stderr,
         )
+    if want_stats:
+        _emit_report(report, args)
     lines = (
         "\t".join([query, *row])
         for query, row in (

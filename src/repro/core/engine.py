@@ -22,8 +22,9 @@ object trie but without per-node interpreter overhead.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.indexed import IndexedSearcher
 from repro.core.result import Match, ResultSet
@@ -32,6 +33,8 @@ from repro.core.sequential import SequentialScanSearcher
 from repro.data.stats import describe
 from repro.data.workload import Workload
 from repro.exceptions import ReproError
+from repro.obs.registry import MetricsRegistry, counter_delta
+from repro.obs.report import BatchCounters, SearchReport, build_report
 
 #: Decision boundary carried over from the paper's two regimes: city
 #: names average well under this, DNA reads well over it.
@@ -62,6 +65,13 @@ class SearchEngine:
         :mod:`repro.scan`) force a side.
     runner:
         Optional parallel runner used by :meth:`run_workload`.
+    observe:
+        Create a :class:`repro.obs.MetricsRegistry`, attach it to every
+        backend the engine touches, and collect span/timer evidence in
+        it (reachable as :attr:`metrics`). Off by default — the
+        always-on work counters and :attr:`last_report` do not need it.
+    metrics:
+        Use a caller-owned registry instead (implies ``observe``).
 
     Examples
     --------
@@ -70,11 +80,15 @@ class SearchEngine:
     'sequential'
     >>> [match.string for match in engine.search("Berlino", 2)]
     ['Berlin']
+    >>> engine.last_report.matches
+    1
     """
 
     def __init__(self, dataset: Iterable[str], *,
                  backend: str = "auto",
-                 runner: QueryRunner | None = None) -> None:
+                 runner: QueryRunner | None = None,
+                 observe: bool = False,
+                 metrics: MetricsRegistry | None = None) -> None:
         strings = tuple(dataset)
         if backend not in ("auto", "sequential", "indexed", "compiled"):
             raise ReproError(
@@ -83,8 +97,15 @@ class SearchEngine:
             )
         self._runner = runner
         self._strings = strings
+        if metrics is not None:
+            self._metrics: MetricsRegistry | None = metrics
+        else:
+            self._metrics = MetricsRegistry() if observe else None
         self._batch_searcher: Searcher | None = None
         self._batch_index = None
+        self._last_batch_executor = None
+        self._last_call: dict | None = None
+        self._last_report_cache: SearchReport | None = None
         self._choice = self._decide(strings, backend)
         if self._choice.backend == "sequential":
             self._searcher: Searcher = SequentialScanSearcher(
@@ -97,6 +118,8 @@ class SearchEngine:
             self._batch_searcher = self._searcher
         else:
             self._searcher = IndexedSearcher(strings, index="flat")
+        if self._metrics is not None:
+            self._searcher.attach_metrics(self._metrics)
 
     @staticmethod
     def _decide(strings: tuple[str, ...], backend: str) -> EngineChoice:
@@ -131,24 +154,175 @@ class SearchEngine:
         return self._searcher
 
     @property
-    def batch_stats(self):
-        """Dedup/memo counters of the batch path (``None`` before use).
+    def metrics(self) -> MetricsRegistry | None:
+        """The attached observability registry (``None`` unless asked)."""
+        return self._metrics
 
-        A :class:`repro.scan.executor.BatchStats` once
-        :meth:`search_many` has routed through either compiled engine
-        (the batch scan and the batch index share the counter type).
+    @property
+    def last_report(self) -> SearchReport | None:
+        """The :class:`repro.obs.SearchReport` of the last engine call.
+
+        ``None`` before the first call. Always describes the backend
+        that *actually served* the call — including a per-call
+        ``backend=`` override on :meth:`search_many` — never a stale
+        sibling. Built lazily from snapshots taken around the call, so
+        reading it costs nothing on the hot path.
         """
+        if self._last_call is None:
+            return None
+        if self._last_report_cache is None:
+            self._last_report_cache = build_report(
+                choice_backend=self._choice.backend,
+                choice_reason=self._choice.reason,
+                **self._last_call,
+            )
+        return self._last_report_cache
+
+    @property
+    def batch_stats(self):
+        """Deprecated: dedup/memo counters of the last-used batch path.
+
+        .. deprecated::
+            Use ``search_many(..., report=True)`` or
+            ``engine.last_report.batch`` — the report's ``batch``
+            section is the per-call delta of these counters and always
+            describes the executor that served the last call.
+        """
+        warnings.warn(
+            "SearchEngine.batch_stats is deprecated; use "
+            "search_many(..., report=True) or engine.last_report.batch "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._last_batch_executor is not None:
+            return self._last_batch_executor.stats
+        if self._batch_searcher is not None:
+            return self._batch_searcher.executor.stats
         if self._batch_index is not None:
             return self._batch_index.stats
+        return None
+
+    # ----------------------------------------------------------------
+    # report plumbing
+
+    @staticmethod
+    def _batch_state(executor) -> tuple[int, int, int, int]:
+        stats = executor.stats
+        return (stats.queries_seen, stats.unique_queries,
+                stats.cache_hits, stats.scans_executed)
+
+    @staticmethod
+    def _batch_delta(before: tuple[int, int, int, int],
+                     after: tuple[int, int, int, int]) -> BatchCounters:
+        return BatchCounters(
+            queries_seen=after[0] - before[0],
+            unique_queries=after[1] - before[1],
+            cache_hits=after[2] - before[2],
+            scans_executed=after[3] - before[3],
+        )
+
+    def _timers_delta(self, before: dict) -> dict:
+        if self._metrics is None:
+            return {}
+        delta: dict = {}
+        for name, cell in self._metrics.timers().items():
+            prior = before.get(name)
+            seconds = cell["seconds"] - (prior["seconds"] if prior else 0.0)
+            calls = cell["calls"] - (prior["calls"] if prior else 0)
+            if calls or seconds:
+                delta[name] = {"seconds": seconds, "calls": calls}
+        return delta
+
+    def _observed_call(self, *, component, backend: str, engine_name: str,
+                       mode: str, queries: int, k: int,
+                       call: Callable[[], ResultSet | list[Match]],
+                       batch_executor=None):
+        """Run one engine call and capture its report window.
+
+        Counters are cumulative in the serving component; the window is
+        the before/after difference, so the report holds exactly this
+        call's work no matter how many calls came before.
+        """
+        snapshot = getattr(component, "counters_snapshot", None)
+        before_counters = snapshot() if snapshot is not None else {}
+        before_timers = (dict(self._metrics.timers())
+                         if self._metrics is not None else {})
+        before_batch = (self._batch_state(batch_executor)
+                        if batch_executor is not None else None)
+        started = time.perf_counter()
+        result = call()
+        seconds = time.perf_counter() - started
+        after_counters = snapshot() if snapshot is not None else {}
+        matches = (result.total_matches if isinstance(result, ResultSet)
+                   else len(result))
+        self._last_call = {
+            "backend": backend,
+            "engine": engine_name,
+            "mode": mode,
+            "queries": queries,
+            "k": k,
+            "matches": matches,
+            "seconds": seconds,
+            "counters": counter_delta(before_counters, after_counters),
+            "timers": self._timers_delta(before_timers),
+            "batch": (self._batch_delta(before_batch,
+                                        self._batch_state(batch_executor))
+                      if batch_executor is not None else None),
+        }
+        self._last_report_cache = None
+        if batch_executor is not None:
+            self._last_batch_executor = batch_executor
+        return result
+
+    def _ensure_batch_searcher(self) -> Searcher:
         if self._batch_searcher is None:
-            return None
-        return self._batch_searcher.executor.stats
+            from repro.scan.searcher import CompiledScanSearcher
 
-    def search(self, query: str, k: int) -> list[Match]:
-        """All dataset strings within edit distance ``k`` of ``query``."""
-        return self._searcher.search(query, k)
+            self._batch_searcher = CompiledScanSearcher(self._strings)
+            if self._metrics is not None:
+                self._batch_searcher.attach_metrics(self._metrics)
+        return self._batch_searcher
 
-    def search_many(self, queries: Iterable[str], k: int) -> ResultSet:
+    def _ensure_batch_index(self):
+        if self._batch_index is None:
+            from repro.index.batch import BatchIndexExecutor
+            from repro.index.flat import FlatTrie
+
+            flat = getattr(self._searcher, "flat_trie", None)
+            if flat is None:
+                flat = FlatTrie(self._strings)
+            self._batch_index = BatchIndexExecutor(flat)
+            if self._metrics is not None:
+                self._batch_index.attach_metrics(self._metrics)
+        return self._batch_index
+
+    # ----------------------------------------------------------------
+    # the one-call API
+
+    def search(self, query: str, k: int, *, report: bool = False):
+        """All dataset strings within edit distance ``k`` of ``query``.
+
+        With ``report=True`` returns ``(matches, SearchReport)``; either
+        way :attr:`last_report` describes this call afterwards.
+        """
+        component = self._searcher
+        matches = self._observed_call(
+            component=component,
+            backend=self._choice.backend,
+            engine_name=getattr(component, "name", self._choice.backend),
+            mode="search",
+            queries=1,
+            k=k,
+            call=lambda: component.search(query, k),
+            batch_executor=getattr(component, "executor", None),
+        )
+        if report:
+            return matches, self.last_report
+        return matches
+
+    def search_many(self, queries: Iterable[str], k: int, *,
+                    backend: str | None = None, report: bool = False):
         """Answer a whole batch of queries at one threshold.
 
         In the scan regime (``sequential`` or ``compiled``) this routes
@@ -162,40 +336,79 @@ class SearchEngine:
         extension applies: amortize whatever depends only on the data
         or only on the distinct query.
 
+        ``backend`` overrides the routing for this call only:
+        ``"compiled"`` forces the batch scan, ``"indexed"`` the batch
+        index. :attr:`last_report` (and the deprecated ``batch_stats``)
+        always reflect the executor that actually served this call.
+
         Results are always one row per input query, in input order,
-        identical to calling :meth:`search` in a loop.
+        identical to calling :meth:`search` in a loop. With
+        ``report=True`` returns ``(results, SearchReport)``.
         """
-        queries = list(queries)
-        if self._choice.backend == "indexed":
-            if self._batch_index is None:
-                from repro.index.batch import BatchIndexExecutor
-                from repro.index.flat import FlatTrie
-
-                flat = getattr(self._searcher, "flat_trie", None)
-                if flat is None:
-                    flat = FlatTrie(self._strings)
-                self._batch_index = BatchIndexExecutor(flat)
-            return self._batch_index.search_many(
-                queries, k, runner=self._runner
+        if backend not in (None, "compiled", "indexed"):
+            raise ReproError(
+                f"unknown batch backend {backend!r}; expected None, "
+                "'compiled' or 'indexed'"
             )
-        if self._batch_searcher is None:
-            from repro.scan.searcher import CompiledScanSearcher
-
-            self._batch_searcher = CompiledScanSearcher(self._strings)
-        return self._batch_searcher.search_many(
-            queries, k, runner=self._runner
+        queries = list(queries)
+        use_indexed = (backend == "indexed" if backend is not None
+                       else self._choice.backend == "indexed")
+        if use_indexed:
+            executor = self._ensure_batch_index()
+            served = "indexed"
+            engine_name = "batch-index[flat]"
+            call = lambda: executor.search_many(  # noqa: E731
+                queries, k, runner=self._runner)
+        else:
+            searcher = self._ensure_batch_searcher()
+            executor = searcher.executor
+            served = "compiled"
+            engine_name = searcher.name
+            call = lambda: searcher.search_many(  # noqa: E731
+                queries, k, runner=self._runner)
+        results = self._observed_call(
+            component=executor,
+            backend=served,
+            engine_name=engine_name,
+            mode="batch",
+            queries=len(queries),
+            k=k,
+            call=call,
+            batch_executor=executor,
         )
+        if report:
+            return results, self.last_report
+        return results
 
-    def run_workload(self, workload: Workload) -> ResultSet:
-        """Execute a workload through the configured runner."""
-        return self._searcher.run_workload(workload, self._runner)
+    def run_workload(self, workload: Workload, *,
+                     report: bool = False):
+        """Execute a workload through the configured runner.
+
+        With ``report=True`` returns ``(results, SearchReport)``; the
+        report's mode is ``"workload"``.
+        """
+        component = self._searcher
+        results = self._observed_call(
+            component=component,
+            backend=self._choice.backend,
+            engine_name=getattr(component, "name", self._choice.backend),
+            mode="workload",
+            queries=len(workload.queries),
+            k=workload.k,
+            call=lambda: component.run_workload(workload, self._runner),
+            batch_executor=getattr(component, "executor", None),
+        )
+        if report:
+            return results, self.last_report
+        return results
 
     def timed_workload(self, workload: Workload) -> tuple[ResultSet, float]:
         """Execute a workload and report (results, elapsed seconds).
 
         Times only query execution, like the paper (index build happened
-        in the constructor).
+        in the constructor). The same window is what
+        :attr:`last_report` records as ``seconds``.
         """
-        started = time.perf_counter()
         results = self.run_workload(workload)
-        return results, time.perf_counter() - started
+        assert self._last_call is not None
+        return results, self._last_call["seconds"]

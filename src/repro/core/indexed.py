@@ -25,6 +25,8 @@ changes.
 
 from __future__ import annotations
 
+import threading
+import warnings
 from typing import Callable, Iterable
 
 from repro.core.result import Match
@@ -51,6 +53,18 @@ INDEX_KINDS = ("trie", "compressed", "flat", "qgram", "dawg", "bktree",
 
 #: Kinds that support PETER-style frequency pruning.
 _FREQUENCY_CAPABLE = ("trie", "compressed", "flat")
+
+#: Counter names this searcher reports (dotted ``trie.*`` namespace of
+#: the observability layer; see docs/OBSERVABILITY.md). Cumulative
+#: sums of the per-call :class:`TraversalStats` fields.
+INDEX_COUNTERS = (
+    "trie.searches",
+    "trie.nodes_visited",
+    "trie.symbols_processed",
+    "trie.branches_pruned_by_length",
+    "trie.branches_pruned_by_frequency",
+    "trie.matches",
+)
 
 
 class IndexedSearcher(Searcher):
@@ -107,10 +121,16 @@ class IndexedSearcher(Searcher):
         self.name = f"indexed[{index}]"
         if frequency_pruning:
             self.name += "+freq"
-        self.last_stats: TraversalStats | None = None
+        self._last_stats: TraversalStats | None = None
         self._node_count = 0
         self._flat_trie: FlatTrie | None = None
         self._row_bank: list = []
+        # Cumulative work counters (trie.* namespace), flushed once per
+        # search under the lock so parallel runners sharing this
+        # searcher aggregate correctly.
+        self._counters = dict.fromkeys(INDEX_COUNTERS, 0)
+        self._counters_lock = threading.Lock()
+        self._metrics = None
         self._search_fn = self._build(strings, index, frequency_pruning,
                                       tracked_symbols, q)
 
@@ -134,7 +154,7 @@ class IndexedSearcher(Searcher):
                     use_frequency_pruning=frequency_pruning,
                     stats=stats,
                 )
-                self.last_stats = stats
+                self._record(stats)
                 return matches
 
             return search
@@ -152,7 +172,7 @@ class IndexedSearcher(Searcher):
                     stats=stats,
                     row_bank=self._row_bank,
                 )
-                self.last_stats = stats
+                self._record(stats)
                 return matches
 
             return search
@@ -164,7 +184,7 @@ class IndexedSearcher(Searcher):
                 stats = TraversalStats()
                 matches = automaton_trie_search(trie, query, k,
                                                 stats=stats)
-                self.last_stats = stats
+                self._record(stats)
                 return matches
 
             return search
@@ -175,7 +195,7 @@ class IndexedSearcher(Searcher):
             def search(query: str, k: int) -> list[TrieMatch]:
                 stats = TraversalStats()
                 matches = dawg.search(query, k, stats=stats)
-                self.last_stats = stats
+                self._record(stats)
                 return matches
 
             return search
@@ -185,10 +205,10 @@ class IndexedSearcher(Searcher):
             def search(query: str, k: int) -> list[TrieMatch]:
                 before = tree.distance_computations
                 matches = tree.search(query, k)
-                self.last_stats = TraversalStats(
+                self._record(TraversalStats(
                     nodes_visited=tree.distance_computations - before,
                     matches=len(matches),
-                )
+                ))
                 return matches
 
             return search
@@ -196,10 +216,24 @@ class IndexedSearcher(Searcher):
 
         def search(query: str, k: int) -> list[TrieMatch]:
             matches = qgram.search(query, k)
-            self.last_stats = TraversalStats(matches=len(matches))
+            self._record(TraversalStats(matches=len(matches)))
             return matches
 
         return search
+
+    def _record(self, stats: TraversalStats) -> None:
+        """Publish one call's traversal stats and roll them into totals."""
+        self._last_stats = stats
+        with self._counters_lock:
+            counters = self._counters
+            counters["trie.searches"] += 1
+            counters["trie.nodes_visited"] += stats.nodes_visited
+            counters["trie.symbols_processed"] += stats.symbols_processed
+            counters["trie.branches_pruned_by_length"] += \
+                stats.branches_pruned_by_length
+            counters["trie.branches_pruned_by_frequency"] += \
+                stats.branches_pruned_by_frequency
+            counters["trie.matches"] += stats.matches
 
     @property
     def kind(self) -> str:
@@ -221,15 +255,60 @@ class IndexedSearcher(Searcher):
         """
         return self._flat_trie
 
+    @property
+    def last_stats(self) -> TraversalStats | None:
+        """Deprecated: the previous call's raw :class:`TraversalStats`.
+
+        .. deprecated::
+            Use ``SearchEngine.search(..., report=True)`` /
+            ``SearchEngine.last_report`` — the unified
+            :class:`repro.obs.SearchReport` carries the same numbers as
+            ``trie.*`` counters with one schema across all backends.
+        """
+        warnings.warn(
+            "IndexedSearcher.last_stats is deprecated; use the "
+            "SearchReport API (SearchEngine.search(..., report=True) "
+            "or engine.last_report) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_stats
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` (or ``None``).
+
+        With a registry attached, every :meth:`search` call records an
+        ``index.search`` span; the always-on ``trie.*`` work counters
+        are independent of this hook (see :meth:`counters_snapshot`).
+        """
+        self._metrics = registry
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``trie.*`` work counters since construction.
+
+        Monotonic and thread-safe: callers diff two snapshots to carve
+        out one call's work (what :class:`repro.core.engine.SearchEngine`
+        does to build a :class:`repro.obs.SearchReport`).
+        """
+        with self._counters_lock:
+            return dict(self._counters)
+
     def search(self, query: str, k: int) -> list[Match]:
         """All distinct dataset strings within distance ``k`` of ``query``.
 
-        ``last_stats`` is reset at entry and filled by every kind, so
-        the counters always describe *this* search — a failed or
-        stats-less probe can never leak a previous search's numbers.
+        The traversal stats are reset at entry and filled by every
+        kind, so the counters always describe *this* search — a failed
+        or stats-less probe can never leak a previous search's numbers.
         """
         check_threshold(k)
-        self.last_stats = None
+        self._last_stats = None
+        metrics = self._metrics
+        if metrics is not None:
+            with metrics.trace("index.search"):
+                return [
+                    Match(m.string, m.distance)
+                    for m in self._search_fn(query, k)
+                ]
         return [
             Match(m.string, m.distance)
             for m in self._search_fn(query, k)

@@ -54,6 +54,18 @@ KERNELS = (
 #: rebuilding the table per ``search()`` call was pure waste.
 PEQ_CACHE_SIZE = 256
 
+#: Counter names this searcher reports (dotted ``scan.*`` namespace of
+#: the observability layer; see docs/OBSERVABILITY.md).
+SCAN_COUNTERS = (
+    "scan.searches",
+    "scan.candidates",
+    "scan.length_rejects",
+    "scan.prefilter_rejects",
+    "scan.kernel_calls",
+    "scan.early_aborts",
+    "scan.matches",
+)
+
 
 class SequentialScanSearcher(Searcher):
     """Scan the whole dataset per query, with staged optimizations.
@@ -114,6 +126,12 @@ class SequentialScanSearcher(Searcher):
         # read-only after construction, so sharing across threads is
         # safe; a race at worst rebuilds one table.
         self._peq_cache: dict[str, dict[str, int]] = {}
+        # Cumulative work counters (scan.* namespace). Kernels count in
+        # locals and flush once per search under the lock, so parallel
+        # runners sharing this searcher aggregate correctly.
+        self._counters = dict.fromkeys(SCAN_COUNTERS, 0)
+        self._counters_lock = threading.Lock()
+        self._metrics = None
 
         if order == "length":
             self._sorted = sorted(self._dataset, key=len)
@@ -158,13 +176,61 @@ class SequentialScanSearcher(Searcher):
             self._local.calculator = calculator
         return calculator
 
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` (or ``None``).
+
+        With a registry attached, every :meth:`search` call records a
+        ``scan.search`` span; the always-on ``scan.*`` work counters
+        are independent of this hook (see :meth:`counters_snapshot`).
+        """
+        self._metrics = registry
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``scan.*`` work counters since construction.
+
+        Monotonic and thread-safe: callers diff two snapshots to carve
+        out one call's work (what :class:`repro.core.engine.SearchEngine`
+        does to build a :class:`repro.obs.SearchReport`).
+        """
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def _flush_counters(self, candidates: int, length_rejects: int,
+                        prefilter_rejects: int, kernel_calls: int,
+                        early_aborts: int, matches: int) -> None:
+        with self._counters_lock:
+            counters = self._counters
+            counters["scan.searches"] += 1
+            counters["scan.candidates"] += candidates
+            counters["scan.length_rejects"] += length_rejects
+            counters["scan.prefilter_rejects"] += prefilter_rejects
+            counters["scan.kernel_calls"] += kernel_calls
+            counters["scan.early_aborts"] += early_aborts
+            counters["scan.matches"] += matches
+
     def search(self, query: str, k: int) -> list[Match]:
         """All distinct dataset strings within distance ``k`` of ``query``."""
+        metrics = self._metrics
+        if metrics is not None:
+            with metrics.trace("scan.search"):
+                return self._search_impl(query, k)
+        return self._search_impl(query, k)
+
+    def _search_impl(self, query: str, k: int) -> list[Match]:
         check_threshold(k)
         candidates = self._candidates(query, k)
         prefilter = self._prefilter
         if prefilter is not None:
             prefilter.prepare_query(query)
+
+        # Work counters, kept in locals through the hot loops and
+        # flushed once at the end: with ``order="length"`` the strings
+        # the window never visits are length-filter rejects too.
+        length_rejects = (len(self._dataset) - len(candidates)
+                          if self._sorted is not None else 0)
+        prefilter_rejects = 0
+        kernel_calls = 0
+        early_aborts = 0
 
         found: dict[str, int] = {}
         kernel = self._kernel
@@ -173,7 +239,9 @@ class SequentialScanSearcher(Searcher):
                 if candidate in found:
                     continue
                 if prefilter and not prefilter.admits(query, candidate, k):
+                    prefilter_rejects += 1
                     continue
+                kernel_calls += 1
                 distance = edit_distance(query, candidate)
                 if distance <= k:
                     found[candidate] = distance
@@ -182,20 +250,28 @@ class SequentialScanSearcher(Searcher):
                 if candidate in found:
                     continue
                 if prefilter and not prefilter.admits(query, candidate, k):
+                    prefilter_rejects += 1
                     continue
+                kernel_calls += 1
                 distance = edit_distance_bounded(query, candidate, k)
                 if distance is not None:
                     found[candidate] = distance
+                else:
+                    early_aborts += 1
         elif kernel == "banded-reused":
             calculator = self._calculator()
             for candidate in candidates:
                 if candidate in found:
                     continue
                 if prefilter and not prefilter.admits(query, candidate, k):
+                    prefilter_rejects += 1
                     continue
+                kernel_calls += 1
                 distance = calculator.distance(query, candidate, k)
                 if distance is not None:
                     found[candidate] = distance
+                else:
+                    early_aborts += 1
         elif kernel == "bitparallel":
             # The paper's "simple data types and program methods" stage
             # re-implements the hot path by hand; the Python analog is
@@ -208,6 +284,10 @@ class SequentialScanSearcher(Searcher):
                 for candidate in candidates:
                     if len(candidate) <= k:
                         found.setdefault(candidate, len(candidate))
+                    else:
+                        length_rejects += 1
+                self._flush_counters(len(candidates), length_rejects,
+                                     0, 0, 0, len(found))
                 return sorted(
                     (Match(s, d) for s, d in found.items())
                 )
@@ -216,10 +296,15 @@ class SequentialScanSearcher(Searcher):
             for candidate in candidates:
                 length = len(candidate)
                 gap = length - n
-                if gap > k or -gap > k or candidate in found:
+                if candidate in found:
+                    continue
+                if gap > k or -gap > k:
+                    length_rejects += 1
                     continue
                 if prefilter and not prefilter.admits(query, candidate, k):
+                    prefilter_rejects += 1
                     continue
+                kernel_calls += 1
                 pv = mask
                 mv = 0
                 score = n
@@ -237,6 +322,7 @@ class SequentialScanSearcher(Searcher):
                     remaining -= 1
                     if score - remaining > k:
                         score = k + 1
+                        early_aborts += 1
                         break
                     ph = ((ph << 1) | 1) & mask
                     mh = (mh << 1) & mask
@@ -249,11 +335,18 @@ class SequentialScanSearcher(Searcher):
                 if candidate in found:
                     continue
                 if prefilter and not prefilter.admits(query, candidate, k):
+                    prefilter_rejects += 1
                     continue
+                kernel_calls += 1
                 distance = bounded_distance(query, candidate, k)
                 if distance is not None:
                     found[candidate] = distance
+                else:
+                    early_aborts += 1
 
+        self._flush_counters(len(candidates), length_rejects,
+                             prefilter_rejects, kernel_calls,
+                             early_aborts, len(found))
         return sorted(
             (Match(string, distance) for string, distance in found.items())
         )

@@ -24,7 +24,9 @@ that before any benchmark timing counts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.core.result import Match, ResultSet
@@ -34,26 +36,56 @@ from repro.data.workload import Workload
 from repro.distance.banded import check_threshold
 from repro.exceptions import ReproError
 from repro.index.flat import FlatTrie, flat_similarity_search
+from repro.index.traversal import TraversalStats
 from repro.scan.cache import LRUCache
 from repro.scan.executor import DEFAULT_CACHE_SIZE, BatchStats
 
 
+def _flush_trie_counters(counters: dict, stats: TraversalStats) -> None:
+    """Add one traversal's work to an open ``trie.*`` counter mapping."""
+    get = counters.get
+    counters["trie.searches"] = get("trie.searches", 0) + 1
+    counters["trie.nodes_visited"] = get("trie.nodes_visited", 0) \
+        + stats.nodes_visited
+    counters["trie.symbols_processed"] = get("trie.symbols_processed", 0) \
+        + stats.symbols_processed
+    counters["trie.branches_pruned_by_length"] = \
+        get("trie.branches_pruned_by_length", 0) \
+        + stats.branches_pruned_by_length
+    counters["trie.branches_pruned_by_frequency"] = \
+        get("trie.branches_pruned_by_frequency", 0) \
+        + stats.branches_pruned_by_frequency
+    counters["trie.matches"] = get("trie.matches", 0) + stats.matches
+
+
 def probe_query(flat: FlatTrie, query: str, k: int, *,
                 use_frequency: bool = True,
-                row_bank: list | None = None) -> list[Match]:
+                row_bank: list | None = None,
+                counters: dict | None = None) -> list[Match]:
     """One query's matches through the compiled trie, as core matches.
 
     The flat trie collapses duplicates into terminal multiplicities, so
     rows already list distinct strings — the searcher contract.
+
+    ``counters`` accepts an open ``trie.*`` counter mapping to add this
+    descent's work profile to (nodes visited, symbols processed, band
+    and frequency prunes, matches); the traversal collects into a
+    throwaway :class:`TraversalStats` which is folded in once at the
+    end.
     """
-    return [
+    stats = TraversalStats() if counters is not None else None
+    matches = [
         Match(m.string, m.distance)
         for m in flat_similarity_search(
             flat, query, k,
             use_frequency_pruning=use_frequency,
+            stats=stats,
             row_bank=row_bank,
         )
     ]
+    if counters is not None:
+        _flush_trie_counters(counters, stats)
+    return matches
 
 
 @dataclass(frozen=True)
@@ -63,16 +95,26 @@ class _ProbeTask:
     Stateless on purpose: thread runners share one task object across
     workers, so the DP row bank cannot live here — each call brings its
     own rows and the executor keeps the reusable bank on the serial
-    path only.
+    path only. With ``collect`` set, each call returns ``(row,
+    counters, seconds)`` so worker processes ship their work profile
+    back with their rows.
     """
 
     flat: FlatTrie
     k: int
     use_frequency: bool
+    collect: bool = False
 
-    def __call__(self, query: str) -> tuple[Match, ...]:
-        return tuple(probe_query(self.flat, query, self.k,
-                                 use_frequency=self.use_frequency))
+    def __call__(self, query: str):
+        if not self.collect:
+            return tuple(probe_query(self.flat, query, self.k,
+                                     use_frequency=self.use_frequency))
+        counters: dict = {}
+        started = perf_counter()
+        row = tuple(probe_query(self.flat, query, self.k,
+                                use_frequency=self.use_frequency,
+                                counters=counters))
+        return row, counters, perf_counter() - started
 
 
 class BatchIndexExecutor:
@@ -119,6 +161,64 @@ class BatchIndexExecutor:
         self._use_frequency = use_frequency
         self._row_bank: list = []
         self.stats = BatchStats()
+        # Cumulative trie.* work counters, merged back from every probe
+        # (including ones executed in worker processes).
+        self._counters: dict[str, int] = {}
+        self._counters_lock = threading.Lock()
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` (or ``None``).
+
+        With a registry attached, the executor mirrors its ``trie.*``
+        work counters into it and records ``index.probe`` timer
+        observations per executed descent.
+        """
+        self._metrics = registry
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``trie.*`` work counters since construction.
+
+        Monotonic and thread-safe; includes work done in worker
+        processes (tasks ship their counters back with their rows) and
+        the serial path's row-bank reuse profile.
+        """
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def _merge_counters(self, counters: dict, seconds: float) -> None:
+        with self._counters_lock:
+            own = self._counters
+            for name, value in counters.items():
+                own[name] = own.get(name, 0) + value
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.merge_counts(counters)
+            metrics.observe("index.probe", seconds)
+
+    def _probe_with_bank(self, query: str, k: int) -> tuple[Match, ...]:
+        """Serial-path probe: reuse the executor's DP row bank.
+
+        Row-bank reuse is counted here — rows the bank already held are
+        reuses; any growth is fresh allocation — because only the
+        serial path owns a bank (worker probes bring their own rows).
+        """
+        counters: dict = {}
+        bank = self._row_bank
+        held = len(bank)
+        started = perf_counter()
+        row = tuple(probe_query(self._flat, query, k,
+                                use_frequency=self._use_frequency,
+                                row_bank=bank,
+                                counters=counters))
+        seconds = perf_counter() - started
+        grown = len(bank) - held
+        counters["trie.rows_allocated"] = grown
+        if grown == 0 and held:
+            # The descent ran entirely on previously banked rows.
+            counters["trie.bank_reuses"] = 1
+        self._merge_counters(counters, seconds)
+        return row
 
     @property
     def flat(self) -> FlatTrie:
@@ -135,11 +235,11 @@ class BatchIndexExecutor:
         check_threshold(k)
         row = self._cached_row(query, k)
         if row is None:
-            row = tuple(probe_query(self._flat, query, k,
-                                    use_frequency=self._use_frequency,
-                                    row_bank=self._row_bank))
+            row = self._probe_with_bank(query, k)
             self.stats.scans_executed += 1
             self._store_row(query, k, row)
+        else:
+            self.stats.cache_hits += 1
         self.stats.queries_seen += 1
         self.stats.unique_queries += 1
         return list(row)
@@ -200,15 +300,13 @@ class BatchIndexExecutor:
     def _execute(self, misses: list[str], k: int,
                  runner: QueryRunner | None) -> list[tuple[Match, ...]]:
         if runner is None or len(misses) == 1:
-            bank = self._row_bank
-            return [
-                tuple(probe_query(self._flat, query, k,
-                                  use_frequency=self._use_frequency,
-                                  row_bank=bank))
-                for query in misses
-            ]
-        task = _ProbeTask(self._flat, k, self._use_frequency)
-        return runner.run(task, misses)
+            return [self._probe_with_bank(query, k) for query in misses]
+        task = _ProbeTask(self._flat, k, self._use_frequency, collect=True)
+        rows: list[tuple[Match, ...]] = []
+        for row, counters, seconds in runner.run(task, misses):
+            self._merge_counters(counters, seconds)
+            rows.append(row)
+        return rows
 
 
 class FlatIndexSearcher(Searcher):
@@ -257,6 +355,14 @@ class FlatIndexSearcher(Searcher):
     def executor(self) -> BatchIndexExecutor:
         """The batch engine answering queries."""
         return self._executor
+
+    def attach_metrics(self, registry) -> None:
+        """Forward a metrics registry to the underlying executor."""
+        self._executor.attach_metrics(registry)
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``trie.*`` counters of the underlying executor."""
+        return self._executor.counters_snapshot()
 
     @property
     def dataset(self) -> tuple[str, ...]:

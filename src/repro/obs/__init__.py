@@ -1,0 +1,77 @@
+"""Unified observability: metrics, tracing, and the one-call report API.
+
+The paper's whole method is evidential — keep an optimization only if
+it verifies identically *and* measurably helps — so per-stage counters
+(filter hits, pruned subtrees, dedup savings) are first-class outputs
+of this library, not debug prints. This package is the single
+instrumentation layer both engines share:
+
+:mod:`repro.obs.registry`
+    :class:`MetricsRegistry` — counters, gauges, nesting monotonic
+    timers — plus span-based tracing (``with trace("scan.kernel")``)
+    and the :data:`NULL` no-op registry the hot paths default to.
+:mod:`repro.obs.report`
+    :class:`SearchReport`, the frozen per-call record every engine
+    returns through ``SearchEngine.search(..., report=True)`` /
+    ``SearchEngine.last_report``, with its documented schema and
+    validator.
+:mod:`repro.obs.export`
+    Structured-dict, JSON-lines and Prometheus-text exporters for
+    registries and reports.
+:mod:`repro.obs.validate`
+    ``python -m repro.obs.validate FILE...`` — the CI gate that checks
+    emitted benchmark/CLI reports against the schema.
+
+See ``docs/OBSERVABILITY.md`` for the tour and the migration notes for
+the deprecated ``last_stats`` / ``batch_stats`` surfaces.
+"""
+
+from repro.obs.export import (
+    to_dict,
+    to_json,
+    to_json_lines,
+    to_prometheus,
+)
+from repro.obs.registry import (
+    NULL,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+    counter_delta,
+    current_registry,
+    trace,
+    use_registry,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    SCHEMA_VERSION,
+    BatchCounters,
+    SearchReport,
+    build_report,
+    report_from_dict,
+    require_valid_report,
+    validate_report,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL",
+    "Span",
+    "trace",
+    "use_registry",
+    "current_registry",
+    "counter_delta",
+    "SearchReport",
+    "BatchCounters",
+    "build_report",
+    "report_from_dict",
+    "validate_report",
+    "require_valid_report",
+    "REPORT_SCHEMA",
+    "SCHEMA_VERSION",
+    "to_dict",
+    "to_json",
+    "to_json_lines",
+    "to_prometheus",
+]

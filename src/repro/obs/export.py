@@ -1,0 +1,127 @@
+"""Exporters: one registry/report, three wire formats.
+
+* :func:`to_dict` — plain structures for embedding in benchmark JSON;
+* :func:`to_json` / :func:`to_json_lines` — machine-readable dumps
+  (JSON lines is one compact report per line, the shape log shippers
+  and ``jq`` pipelines expect);
+* :func:`to_prometheus` / :func:`report_to_prometheus` — the Prometheus
+  text exposition format (``# TYPE`` headers, sanitized metric names),
+  so a scrape endpoint or a textfile collector can serve engine
+  counters directly.
+
+Exporters read snapshots; they never mutate the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.report import SearchReport
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, *, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name (dots and dashes become ``_``).
+
+    >>> metric_name("scan.early_aborts")
+    'repro_scan_early_aborts'
+    """
+    cleaned = _NAME_RE.sub("_", name)
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def to_dict(source: Any) -> dict:
+    """Plain-dict form of a registry, report, or mapping."""
+    if hasattr(source, "snapshot"):
+        return source.snapshot()
+    if hasattr(source, "to_dict"):
+        return source.to_dict()
+    return dict(source)
+
+
+def to_json(source: Any, *, indent: int | None = None) -> str:
+    """JSON form of anything :func:`to_dict` accepts."""
+    return json.dumps(to_dict(source), indent=indent, sort_keys=True)
+
+
+def to_json_lines(reports: Iterable[Any]) -> str:
+    """One compact JSON document per line (the ``jsonl`` convention)."""
+    return "\n".join(
+        json.dumps(to_dict(report), sort_keys=True) for report in reports
+    )
+
+
+def _prom_lines(kind: str, name: str, value: float,
+                labels: str = "") -> list[str]:
+    return [
+        f"# TYPE {name} {kind}",
+        f"{name}{labels} {value:g}",
+    ]
+
+
+def to_prometheus(registry: "MetricsRegistry", *,
+                  prefix: str = "repro") -> str:
+    """Prometheus text exposition of a registry snapshot.
+
+    Counters export as ``counter``, gauges as ``gauge``, and each timer
+    as a ``_seconds_total`` counter plus a ``_calls_total`` counter —
+    the idiomatic pair for cumulative duration series.
+    """
+    lines: list[str] = []
+    for name, value in sorted(registry.counters().items()):
+        lines += _prom_lines("counter",
+                             metric_name(name, prefix=prefix) + "_total",
+                             value)
+    for name, value in sorted(registry.gauges().items()):
+        lines += _prom_lines("gauge", metric_name(name, prefix=prefix),
+                             value)
+    for name, cell in sorted(registry.timers().items()):
+        base = metric_name(name, prefix=prefix)
+        lines += _prom_lines("counter", base + "_seconds_total",
+                             cell["seconds"])
+        lines += _prom_lines("counter", base + "_calls_total",
+                             cell["calls"])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def report_to_prometheus(report: "SearchReport", *,
+                         prefix: str = "repro") -> str:
+    """Prometheus text exposition of one :class:`SearchReport`.
+
+    Scalar facts (queries, matches, seconds) export as gauges labelled
+    with the serving backend; counters, timers and the batch section
+    export as counters under the same label.
+    """
+    labels = f'{{backend="{report.backend}",mode="{report.mode}"}}'
+    lines: list[str] = []
+    for name, value in (
+        ("queries", report.queries),
+        ("k", report.k),
+        ("matches", report.matches),
+        ("seconds", report.seconds),
+    ):
+        lines += _prom_lines("gauge",
+                             metric_name(f"report.{name}", prefix=prefix),
+                             value, labels)
+    for name, value in sorted(report.counters.items()):
+        lines += _prom_lines("counter",
+                             metric_name(name, prefix=prefix) + "_total",
+                             value, labels)
+    for name, cell in sorted(report.timers.items()):
+        base = metric_name(name, prefix=prefix)
+        lines += _prom_lines("counter", base + "_seconds_total",
+                             cell["seconds"], labels)
+        lines += _prom_lines("counter", base + "_calls_total",
+                             cell["calls"], labels)
+    if report.batch is not None:
+        for name, value in report.batch.to_dict().items():
+            lines += _prom_lines(
+                "counter",
+                metric_name(f"batch.{name}", prefix=prefix) + "_total",
+                value, labels)
+    return "\n".join(lines) + ("\n" if lines else "")

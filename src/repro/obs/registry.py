@@ -1,0 +1,325 @@
+"""The metrics registry: counters, gauges, timers and span tracing.
+
+One instrumentation substrate for both engines. A
+:class:`MetricsRegistry` accumulates
+
+* **counters** — monotonically increasing integers under dotted names
+  (``scan.candidates``, ``trie.nodes_visited``);
+* **gauges** — last-write-wins numeric observations (``corpus.buckets``);
+* **timers** — total seconds and call counts per name, fed either by
+  :meth:`MetricsRegistry.observe` or by the :meth:`MetricsRegistry.timer`
+  context manager;
+* **spans** — lightweight trace records (:class:`Span`) produced by
+  :meth:`MetricsRegistry.trace`, which nest: a span entered while
+  another is open records its depth and dotted path, so ``with
+  trace("batch"): with trace("scan.kernel"): ...`` reconstructs the
+  call structure without a profiler.
+
+Hot paths are instrumented behind **no-op hooks**: every engine accepts
+an optional registry and, when none is attached, pays only a ``None``
+check per call (never per candidate). :data:`NULL` is a shared
+:class:`NullRegistry` whose every method discards its input, for code
+that wants to call hooks unconditionally.
+
+The module-level :func:`trace` uses an ambient per-thread registry set
+with :func:`use_registry`, so deeply nested helpers can emit spans
+without threading a registry argument through every signature::
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with trace("scan.kernel"):
+            ...
+    registry.timers()["scan.kernel"]["calls"]  # 1
+
+Registries are cheap (plain dicts) and mergeable
+(:meth:`MetricsRegistry.merge_counts` / :func:`counter_delta`), which
+is how per-chunk counters from process-pool workers aggregate back into
+one workload-level view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+#: Spans kept per registry before new ones are dropped (and counted
+#: under ``obs.spans_dropped``) — tracing must never grow unbounded.
+DEFAULT_MAX_SPANS = 2048
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed traced section.
+
+    Attributes
+    ----------
+    name:
+        The name passed to :func:`trace`.
+    path:
+        Slash-joined names of every enclosing open span plus this one
+        (``"batch/scan.kernel"``), so nesting survives flattening.
+    depth:
+        How many spans were open when this one started (0 = top level).
+    started:
+        Seconds since the registry was created when the span opened.
+    seconds:
+        The span's elapsed wall-clock time.
+    """
+
+    name: str
+    path: str
+    depth: int
+    started: float
+    seconds: float
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges, timers and spans.
+
+    Not a singleton: engines own private registries, benchmarks build
+    one per measured stage, and tests build throwaways. Counter updates
+    are GIL-atomic enough for the flush-once-per-search discipline the
+    engines follow; cross-process aggregation goes through explicit
+    counter dicts returned by worker tasks, never shared state.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("scan.candidates", 40)
+    >>> with registry.trace("scan.kernel"):
+    ...     registry.inc("scan.early_aborts")
+    >>> registry.counters()["scan.candidates"]
+    40
+    >>> registry.timers()["scan.kernel"]["calls"]
+    1
+    >>> registry.spans[0].name
+    'scan.kernel'
+    """
+
+    #: ``False`` only on :class:`NullRegistry`; hot paths may branch on
+    #: it instead of ``is not None`` when a registry is always present.
+    enabled: bool = True
+
+    def __init__(self, *, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, list[float]] = {}  # name -> [seconds, calls]
+        self._max_spans = max_spans
+        self._span_stack: list[str] = []
+        self.spans: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    # -- counters ------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        """Fold a counter mapping in (worker chunks report this way)."""
+        counters = self._counters
+        for name, value in counts.items():
+            counters[name] = counters.get(name, 0) + value
+
+    def counters(self) -> dict[str, int]:
+        """A copy of the current counter values."""
+        return dict(self._counters)
+
+    # -- gauges --------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a last-write-wins observation."""
+        self._gauges[name] = value
+
+    def gauges(self) -> dict[str, float]:
+        """A copy of the current gauge values."""
+        return dict(self._gauges)
+
+    # -- timers and spans ----------------------------------------------
+
+    def observe(self, name: str, seconds: float, count: int = 1) -> None:
+        """Add an elapsed-seconds observation to timer ``name``."""
+        cell = self._timers.get(name)
+        if cell is None:
+            self._timers[name] = [seconds, count]
+        else:
+            cell[0] += seconds
+            cell[1] += count
+
+    def timers(self) -> dict[str, dict[str, float]]:
+        """Timer totals: ``{name: {"seconds": ..., "calls": ...}}``."""
+        return {
+            name: {"seconds": cell[0], "calls": cell[1]}
+            for name, cell in self._timers.items()
+        }
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block into timer ``name`` (no span record)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    @contextmanager
+    def trace(self, name: str) -> Iterator[None]:
+        """Time a block, record a nested :class:`Span`, feed the timer."""
+        depth = len(self._span_stack)
+        self._span_stack.append(name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            path = "/".join(self._span_stack)
+            self._span_stack.pop()
+            if len(self.spans) < self._max_spans:
+                self.spans.append(Span(
+                    name=name, path=path, depth=depth,
+                    started=started - self._epoch, seconds=elapsed,
+                ))
+            else:
+                self.inc("obs.spans_dropped")
+            self.observe(name, elapsed)
+
+    # -- snapshots -----------------------------------------------------
+
+    def timers_flat(self) -> dict[str, float]:
+        """Timers flattened to ``name.seconds`` / ``name.calls`` keys.
+
+        The flat form subtracts cleanly (see :func:`counter_delta`),
+        which is how per-call report windows are carved out of a
+        cumulative registry.
+        """
+        flat: dict[str, float] = {}
+        for name, cell in self._timers.items():
+            flat[f"{name}.seconds"] = cell[0]
+            flat[f"{name}.calls"] = cell[1]
+        return flat
+
+    def snapshot(self) -> dict:
+        """Everything, as one plain structure (for exporters)."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "timers": self.timers(),
+            "spans": [
+                {
+                    "name": span.name, "path": span.path,
+                    "depth": span.depth,
+                    "started": round(span.started, 6),
+                    "seconds": round(span.seconds, 6),
+                }
+                for span in self.spans
+            ],
+        }
+
+    def reset(self) -> None:
+        """Zero every series (spans included)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+        self._epoch = time.perf_counter()
+
+
+class _NullContext:
+    """A reusable do-nothing context manager."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that discards everything — the off switch.
+
+    Every method is a no-op, and the context managers are a shared
+    pre-built object, so instrumented code can call hooks
+    unconditionally at (near) zero cost.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+    def merge_counts(self, counts: Mapping[str, int]) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float, count: int = 1) -> None:
+        pass
+
+    def timer(self, name: str) -> _NullContext:  # type: ignore[override]
+        return _NULL_CONTEXT
+
+    def trace(self, name: str) -> _NullContext:  # type: ignore[override]
+        return _NULL_CONTEXT
+
+
+#: Shared no-op registry for unconditional hook calls.
+NULL = NullRegistry()
+
+
+_ambient = threading.local()
+
+
+def current_registry() -> MetricsRegistry:
+    """The calling thread's ambient registry (:data:`NULL` by default)."""
+    return getattr(_ambient, "registry", NULL)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` the ambient one for this thread, in a block."""
+    previous = getattr(_ambient, "registry", NULL)
+    _ambient.registry = registry
+    try:
+        yield registry
+    finally:
+        _ambient.registry = previous
+
+
+def trace(name: str, registry: MetricsRegistry | None = None):
+    """Span-trace a block against ``registry`` or the ambient one.
+
+    >>> registry = MetricsRegistry()
+    >>> with use_registry(registry):
+    ...     with trace("scan.kernel"):
+    ...         pass
+    >>> [span.name for span in registry.spans]
+    ['scan.kernel']
+    """
+    return (registry if registry is not None else current_registry()
+            ).trace(name)
+
+
+def counter_delta(before: Mapping[str, float],
+                  after: Mapping[str, float]) -> dict[str, float]:
+    """Per-key ``after - before``, keeping only keys that moved.
+
+    Used to carve one call's counters out of cumulative series: snapshot
+    before, snapshot after, subtract.
+
+    >>> counter_delta({"a": 1}, {"a": 3, "b": 2})
+    {'a': 2, 'b': 2}
+    """
+    delta: dict[str, float] = {}
+    for name, value in after.items():
+        moved = value - before.get(name, 0)
+        if moved:
+            delta[name] = moved
+    return delta

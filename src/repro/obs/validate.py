@@ -1,0 +1,92 @@
+"""Schema validation for report artifacts: ``python -m repro.obs.validate``.
+
+CI runs the benchmark smoke modes, which embed live
+:class:`repro.obs.report.SearchReport` dicts in their ``BENCH_*.json``
+records, then validates every embedded report here against
+:data:`repro.obs.report.REPORT_SCHEMA`. The CLI's ``--stats-output``
+files validate the same way. Exit status is 0 only when every report in
+every file conforms and at least one report was found per file —
+a benchmark that silently stopped embedding reports is a failure, not
+a pass.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.obs.report import validate_report
+
+
+def iter_reports(document: Any, path: str = "$"
+                 ) -> Iterator[tuple[str, dict]]:
+    """Yield ``(json_path, report_dict)`` for every embedded report.
+
+    A dict counts as a report candidate when it carries both
+    ``schema_version`` and ``backend`` keys; nesting inside lists and
+    dicts is searched recursively.
+    """
+    if isinstance(document, dict):
+        if "schema_version" in document and "backend" in document:
+            yield path, document
+            return
+        for key, value in document.items():
+            yield from iter_reports(value, f"{path}.{key}")
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            yield from iter_reports(value, f"{path}[{index}]")
+
+
+def validate_file(path: Path) -> list[str]:
+    """All schema problems in one JSON (or JSON-lines) file."""
+    problems: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+    try:
+        documents: list[Any] = [json.loads(text)]
+    except json.JSONDecodeError:
+        documents = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                documents.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                problems.append(f"{path}:{number}: not JSON ({error})")
+    found = 0
+    for document in documents:
+        for where, report in iter_reports(document):
+            found += 1
+            for problem in validate_report(report):
+                problems.append(f"{path} at {where}: {problem}")
+    if not found:
+        problems.append(f"{path}: no embedded SearchReport found")
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Validate every file given; print findings; return an exit code."""
+    paths = [Path(arg) for arg in
+             (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: python -m repro.obs.validate FILE [FILE...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        problems = validate_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"INVALID {problem}", file=sys.stderr)
+        else:
+            print(f"ok {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

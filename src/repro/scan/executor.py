@@ -24,7 +24,9 @@ checks exactly that.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Sequence
 
 from repro.core.result import Match, ResultSet
@@ -43,9 +45,27 @@ DEFAULT_CACHE_SIZE = 1024
 DEFAULT_BUCKET_CHUNKS = 4
 
 
+def _flush_scan_counters(counters: dict, *, buckets: int, candidates: int,
+                         freq_rejects: int, early_aborts: int,
+                         matches: int) -> None:
+    """Add one scan's work to an open ``scan.*`` counter mapping."""
+    get = counters.get
+    counters["scan.buckets_scanned"] = get("scan.buckets_scanned", 0) \
+        + buckets
+    counters["scan.candidates"] = get("scan.candidates", 0) + candidates
+    counters["scan.freq_rejects"] = get("scan.freq_rejects", 0) \
+        + freq_rejects
+    counters["scan.kernel_calls"] = get("scan.kernel_calls", 0) \
+        + (candidates - freq_rejects)
+    counters["scan.early_aborts"] = get("scan.early_aborts", 0) \
+        + early_aborts
+    counters["scan.matches"] = get("scan.matches", 0) + matches
+
+
 def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
                lo: int | None = None, hi: int | None = None,
-               use_frequency: bool = True) -> list[Match]:
+               use_frequency: bool = True,
+               counters: dict | None = None) -> list[Match]:
     """Scan one query against (a bucket slice of) a compiled corpus.
 
     The hot loop is the same inlined Myers recurrence as the
@@ -57,6 +77,11 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
     ``lo``/``hi`` restrict the scan to ``corpus.buckets[lo:hi]`` (they
     are intersected with the query's length window), which is how a
     single query is chunked across workers.
+
+    ``counters`` accepts an open ``scan.*`` counter mapping to add this
+    scan's work profile to (buckets/candidates scanned, frequency
+    rejects, kernel calls, early aborts, matches). The hot loop only
+    maintains local integers; the mapping is touched once at the end.
     """
     check_threshold(k)
     window_lo, window_hi = corpus.window(len(query), k)
@@ -65,20 +90,31 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
     if hi is not None:
         window_hi = min(window_hi, hi)
     if window_lo >= window_hi:
+        if counters is not None:
+            _flush_scan_counters(counters, buckets=0, candidates=0,
+                                 freq_rejects=0, early_aborts=0, matches=0)
         return []
     buckets = corpus.buckets[window_lo:window_hi]
 
     encoded = corpus.encode_query(query)
     n = len(encoded)
     matches: list[Match] = []
+    candidates = 0
+    freq_rejects = 0
+    early_aborts = 0
 
     if n == 0:
         # Every bucket in the window has length <= k; the distance to an
         # empty query is the candidate's length.
         for bucket in buckets:
             distance = bucket.length
+            candidates += len(bucket.strings)
             matches.extend(Match(s, distance) for s in bucket.strings)
         matches.sort()
+        if counters is not None:
+            _flush_scan_counters(counters, buckets=len(buckets),
+                                 candidates=candidates, freq_rejects=0,
+                                 early_aborts=0, matches=len(matches))
         return matches
 
     peq_get = build_peq(encoded).get
@@ -93,6 +129,7 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
         length = bucket.length
         strings = bucket.strings
         frequencies = bucket.frequencies
+        candidates += len(strings)
         for index, codes in enumerate(bucket.encoded):
             if check_frequency:
                 # Inlined frequency_lower_bound: the larger of total
@@ -108,6 +145,7 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
                     else:
                         deficit -= difference
                 if surplus > k or deficit > k:
+                    freq_rejects += 1
                     continue
             pv = mask
             mv = 0
@@ -126,6 +164,7 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
                 remaining -= 1
                 if score - remaining > k:
                     score = k + 1
+                    early_aborts += 1
                     break
                 ph = ((ph << 1) | 1) & mask
                 mh = (mh << 1) & mask
@@ -135,36 +174,68 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
                 matches.append(Match(strings[index], score))
 
     matches.sort()
+    if counters is not None:
+        _flush_scan_counters(counters, buckets=len(buckets),
+                             candidates=candidates,
+                             freq_rejects=freq_rejects,
+                             early_aborts=early_aborts,
+                             matches=len(matches))
     return matches
 
 
 @dataclass(frozen=True)
 class _QueryTask:
-    """Picklable per-query work unit for runner fan-out."""
+    """Picklable per-query work unit for runner fan-out.
+
+    With ``collect`` set, each call returns ``(row, counters, seconds)``
+    instead of the bare row — counters cross process boundaries as plain
+    dicts and merge back in the parent, so process-pool runs report the
+    same work profile serial runs do.
+    """
 
     corpus: CompiledCorpus
     k: int
     use_frequency: bool
+    collect: bool = False
 
-    def __call__(self, query: str) -> tuple[Match, ...]:
-        return tuple(scan_query(self.corpus, query, self.k,
-                                use_frequency=self.use_frequency))
+    def __call__(self, query: str):
+        if not self.collect:
+            return tuple(scan_query(self.corpus, query, self.k,
+                                    use_frequency=self.use_frequency))
+        counters: dict = {}
+        started = perf_counter()
+        row = tuple(scan_query(self.corpus, query, self.k,
+                               use_frequency=self.use_frequency,
+                               counters=counters))
+        return row, counters, perf_counter() - started
 
 
 @dataclass(frozen=True)
 class _BucketChunkTask:
-    """Picklable bucket-slice work unit for single-query fan-out."""
+    """Picklable bucket-slice work unit for single-query fan-out.
+
+    ``collect`` behaves as on :class:`_QueryTask`.
+    """
 
     corpus: CompiledCorpus
     query: str
     k: int
     use_frequency: bool
+    collect: bool = False
 
-    def __call__(self, chunk: tuple[int, int]) -> tuple[Match, ...]:
+    def __call__(self, chunk: tuple[int, int]):
         lo, hi = chunk
-        return tuple(scan_query(self.corpus, self.query, self.k,
-                                lo=lo, hi=hi,
-                                use_frequency=self.use_frequency))
+        if not self.collect:
+            return tuple(scan_query(self.corpus, self.query, self.k,
+                                    lo=lo, hi=hi,
+                                    use_frequency=self.use_frequency))
+        counters: dict = {}
+        started = perf_counter()
+        row = tuple(scan_query(self.corpus, self.query, self.k,
+                               lo=lo, hi=hi,
+                               use_frequency=self.use_frequency,
+                               counters=counters))
+        return row, counters, perf_counter() - started
 
 
 @dataclass
@@ -225,6 +296,40 @@ class BatchScanExecutor:
         )
         self._use_frequency = use_frequency
         self.stats = BatchStats()
+        # Cumulative scan.* work counters, merged back from every task
+        # (including ones executed in worker processes).
+        self._counters: dict[str, int] = {}
+        self._counters_lock = threading.Lock()
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` (or ``None``).
+
+        With a registry attached, the executor mirrors its ``scan.*``
+        work counters into it and records ``scan.query`` /
+        ``scan.chunk`` timer observations per executed scan.
+        """
+        self._metrics = registry
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``scan.*`` work counters since construction.
+
+        Monotonic and thread-safe; includes work done in worker
+        processes (tasks ship their counters back with their rows).
+        """
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def _merge_counters(self, counters: dict, seconds: float,
+                        timer: str = "scan.query") -> None:
+        with self._counters_lock:
+            own = self._counters
+            for name, value in counters.items():
+                own[name] = own.get(name, 0) + value
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.merge_counts(counters)
+            metrics.observe(timer, seconds)
 
     @property
     def corpus(self) -> CompiledCorpus:
@@ -241,10 +346,16 @@ class BatchScanExecutor:
         check_threshold(k)
         row = self._cached_row(query, k)
         if row is None:
+            counters: dict = {}
+            started = perf_counter()
             row = tuple(scan_query(self._corpus, query, k,
-                                   use_frequency=self._use_frequency))
+                                   use_frequency=self._use_frequency,
+                                   counters=counters))
+            self._merge_counters(counters, perf_counter() - started)
             self.stats.scans_executed += 1
             self._store_row(query, k, row)
+        else:
+            self.stats.cache_hits += 1
         self.stats.queries_seen += 1
         self.stats.unique_queries += 1
         return list(row)
@@ -304,12 +415,19 @@ class BatchScanExecutor:
 
     def _execute(self, misses: list[str], k: int,
                  runner: QueryRunner | None) -> list[tuple[Match, ...]]:
-        task = _QueryTask(self._corpus, k, self._use_frequency)
+        task = _QueryTask(self._corpus, k, self._use_frequency,
+                          collect=True)
         if runner is None:
-            return [task(query) for query in misses]
-        if len(misses) == 1:
-            return [self._scan_chunked(misses[0], k, runner)]
-        return runner.run(task, misses)
+            outcomes = [task(query) for query in misses]
+        else:
+            if len(misses) == 1:
+                return [self._scan_chunked(misses[0], k, runner)]
+            outcomes = runner.run(task, misses)
+        rows: list[tuple[Match, ...]] = []
+        for row, counters, seconds in outcomes:
+            self._merge_counters(counters, seconds)
+            rows.append(row)
+        return rows
 
     def _scan_chunked(self, query: str, k: int,
                       runner: QueryRunner) -> tuple[Match, ...]:
@@ -320,8 +438,13 @@ class BatchScanExecutor:
                    or DEFAULT_BUCKET_CHUNKS)
         chunk_count = max(1, min(workers, hi - lo))
         if chunk_count == 1:
-            return tuple(scan_query(self._corpus, query, k,
-                                    use_frequency=self._use_frequency))
+            counters: dict = {}
+            started = perf_counter()
+            row = tuple(scan_query(self._corpus, query, k,
+                                   use_frequency=self._use_frequency,
+                                   counters=counters))
+            self._merge_counters(counters, perf_counter() - started)
+            return row
         bounds = [
             lo + (hi - lo) * step // chunk_count
             for step in range(chunk_count + 1)
@@ -329,9 +452,11 @@ class BatchScanExecutor:
         chunks = [
             (bounds[step], bounds[step + 1]) for step in range(chunk_count)
         ]
-        task = _BucketChunkTask(self._corpus, query, k, self._use_frequency)
+        task = _BucketChunkTask(self._corpus, query, k,
+                                self._use_frequency, collect=True)
         merged: list[Match] = []
-        for part in runner.run(task, chunks):
+        for part, counters, seconds in runner.run(task, chunks):
+            self._merge_counters(counters, seconds, timer="scan.chunk")
             merged.extend(part)
         merged.sort()
         return tuple(merged)

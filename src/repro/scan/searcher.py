@@ -70,6 +70,14 @@ class CompiledScanSearcher(Searcher):
         """The batch engine answering queries."""
         return self._executor
 
+    def attach_metrics(self, registry) -> None:
+        """Forward a metrics registry to the underlying executor."""
+        self._executor.attach_metrics(registry)
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``scan.*`` counters of the underlying executor."""
+        return self._executor.counters_snapshot()
+
     @property
     def dataset(self) -> tuple[str, ...]:
         """The distinct searched strings (compile order)."""

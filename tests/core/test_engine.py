@@ -88,12 +88,12 @@ class TestBatchPath:
 
     def test_search_many_indexed_reports_batch_stats(self, dna_reads):
         engine = SearchEngine(dna_reads)
-        assert engine.batch_stats is None
+        assert engine.last_report is None
         engine.search_many([dna_reads[0]] * 4 + [dna_reads[1]], 2)
-        stats = engine.batch_stats
-        assert stats.queries_seen == 5
-        assert stats.unique_queries == 2
-        assert stats.deduplicated == 3
+        batch = engine.last_report.batch
+        assert batch.queries_seen == 5
+        assert batch.unique_queries == 2
+        assert batch.deduplicated == 3
 
     def test_search_many_agrees_across_backends(self, dna_reads):
         queries = [dna_reads[0], "ACGTACGT", dna_reads[2]]

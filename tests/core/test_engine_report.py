@@ -1,0 +1,230 @@
+"""Tests for the redesigned one-call reporting API of SearchEngine.
+
+One SearchReport schema across all four execution paths, per-call
+windows that always describe the backend that actually served the call,
+counter parity between serial and process-pool execution, deprecation
+of the old stats attributes, and the near-zero-cost guarantee of the
+always-on counters.
+"""
+
+import time
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.workload import Workload
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import SearchReport, validate_report
+from repro.parallel.executor import ProcessPoolRunner
+
+
+class TestOneSchemaAcrossBackends:
+    def test_sequential_search_report(self, city_names):
+        engine = SearchEngine(city_names, backend="sequential")
+        matches, report = engine.search(city_names[0], 1, report=True)
+        assert isinstance(report, SearchReport)
+        assert validate_report(report.to_dict()) == []
+        assert report.backend == "sequential"
+        assert report.mode == "search"
+        assert report.queries == 1 and report.k == 1
+        assert report.matches == len(matches)
+        assert report.counters["scan.searches"] == 1
+        assert report.counters["scan.candidates"] > 0
+        assert report.batch is None
+
+    def test_compiled_search_report(self, city_names):
+        engine = SearchEngine(city_names, backend="compiled")
+        _, report = engine.search(city_names[0], 1, report=True)
+        assert validate_report(report.to_dict()) == []
+        assert report.backend == "compiled"
+        assert report.engine == "compiled-scan"
+        assert report.counters["scan.kernel_calls"] > 0
+        assert report.batch is not None      # served by the batch executor
+
+    def test_indexed_search_report(self, city_names):
+        engine = SearchEngine(city_names, backend="indexed")
+        _, report = engine.search(city_names[0], 1, report=True)
+        assert validate_report(report.to_dict()) == []
+        assert report.backend == "indexed"
+        assert report.counters["trie.searches"] == 1
+        assert report.counters["trie.nodes_visited"] > 0
+
+    def test_batch_index_report(self, dna_reads):
+        engine = SearchEngine(dna_reads)     # indexed regime
+        _, report = engine.search_many(dna_reads[:3], 2, report=True)
+        assert validate_report(report.to_dict()) == []
+        assert report.backend == "indexed"
+        assert report.engine == "batch-index[flat]"
+        assert report.mode == "batch"
+        assert report.queries == 3
+        assert report.counters["trie.nodes_visited"] > 0
+        assert report.batch.queries_seen == 3
+
+    def test_workload_report(self, city_names, city_workload):
+        engine = SearchEngine(city_names)
+        results, report = engine.run_workload(city_workload, report=True)
+        assert validate_report(report.to_dict()) == []
+        assert report.mode == "workload"
+        assert report.queries == len(city_workload.queries)
+        assert report.matches == results.total_matches
+
+    def test_choice_section_carries_the_decision(self, dna_reads):
+        engine = SearchEngine(dna_reads)
+        engine.search(dna_reads[0], 2)
+        choice = engine.last_report.to_dict()["choice"]
+        assert choice["backend"] == "indexed"
+        assert "regime" in choice["reason"]
+
+
+class TestPerCallWindows:
+    def test_last_report_is_none_before_any_call(self, city_names):
+        assert SearchEngine(city_names).last_report is None
+
+    def test_report_holds_only_the_last_calls_work(self, city_names):
+        engine = SearchEngine(city_names, backend="sequential")
+        engine.search(city_names[0], 2)
+        first = engine.last_report.counters["scan.candidates"]
+        engine.search(city_names[0], 2)
+        # cumulative counters keep growing; the window must not
+        assert engine.last_report.counters["scan.candidates"] == first
+        assert engine.searcher.counters_snapshot()["scan.candidates"] \
+            == 2 * first
+
+    def test_report_true_returns_the_same_object_as_last_report(
+            self, city_names):
+        engine = SearchEngine(city_names)
+        _, report = engine.search(city_names[0], 1, report=True)
+        assert report is engine.last_report
+
+    def test_timed_workload_seconds_match_the_report(self, city_names):
+        engine = SearchEngine(city_names)
+        workload = Workload(tuple(city_names[:5]), 1, "report-test")
+        _, seconds = engine.timed_workload(workload)
+        assert engine.last_report.seconds == seconds
+
+
+class TestServingBackendNeverStale:
+    def test_forced_compiled_batch_on_an_indexed_engine(self, dna_reads):
+        # Regression: after a caller forces the compiled path, the
+        # report (and the deprecated shim) must describe the compiled
+        # executor, not the engine's own batch index.
+        engine = SearchEngine(dna_reads)     # indexed regime
+        engine.search_many(dna_reads[:2], 2)           # batch index
+        engine.search_many(dna_reads[:4], 2, backend="compiled")
+        report = engine.last_report
+        assert report.backend == "compiled"
+        assert report.batch.queries_seen == 4
+        assert "scan.kernel_calls" in report.counters
+        assert "trie.nodes_visited" not in report.counters
+        with pytest.warns(DeprecationWarning):
+            stats = engine.batch_stats
+        assert stats.queries_seen == 4       # the compiled executor's
+
+    def test_switching_back_to_the_index(self, dna_reads):
+        engine = SearchEngine(dna_reads)
+        engine.search_many(dna_reads[:4], 2, backend="compiled")
+        engine.search_many(dna_reads[:3], 2, backend="indexed")
+        report = engine.last_report
+        assert report.backend == "indexed"
+        assert report.batch.queries_seen == 3
+        with pytest.warns(DeprecationWarning):
+            assert engine.batch_stats.queries_seen == 3
+
+    def test_batch_stats_shim_warns_and_is_none_before_batches(
+            self, city_names):
+        engine = SearchEngine(city_names)
+        with pytest.warns(DeprecationWarning, match="last_report"):
+            assert engine.batch_stats is None
+
+
+class TestProcessPoolParity:
+    def test_compiled_batch_counters_match_serial(self, city_names):
+        queries = list(city_names[:6]) + [city_names[0]]
+        serial = SearchEngine(city_names, backend="compiled")
+        pooled = SearchEngine(city_names, backend="compiled",
+                              runner=ProcessPoolRunner(processes=2))
+        serial_results, serial_report = serial.search_many(
+            queries, 2, report=True)
+        pooled_results, pooled_report = pooled.search_many(
+            queries, 2, report=True)
+        assert serial_results == pooled_results
+        # workers ship their counters home: the report must not lose
+        # work done in child processes
+        assert pooled_report.counters == serial_report.counters
+        assert pooled_report.batch.to_dict() \
+            == serial_report.batch.to_dict()
+
+    def test_batch_index_counters_match_serial(self, dna_reads):
+        queries = list(dna_reads[:5])
+        serial = SearchEngine(dna_reads)
+        pooled = SearchEngine(dna_reads,
+                              runner=ProcessPoolRunner(processes=2))
+        serial_results, serial_report = serial.search_many(
+            queries, 2, report=True)
+        pooled_results, pooled_report = pooled.search_many(
+            queries, 2, report=True)
+        assert serial_results == pooled_results
+        # the row bank is a parent-process resource: its counters only
+        # move on the serial path, so compare the traversal work itself
+        bank_keys = {"trie.rows_allocated", "trie.bank_reuses"}
+        strip = lambda c: {k: v for k, v in c.items()  # noqa: E731
+                           if k not in bank_keys}
+        assert strip(pooled_report.counters) \
+            == strip(serial_report.counters)
+
+
+class TestObserveMode:
+    def test_observe_creates_a_registry_and_fills_timers(self, city_names):
+        engine = SearchEngine(city_names, backend="compiled", observe=True)
+        assert isinstance(engine.metrics, MetricsRegistry)
+        engine.search_many(city_names[:4], 1)
+        report = engine.last_report
+        assert "scan.query" in report.timers
+        assert report.timers["scan.query"]["calls"] > 0
+        assert engine.metrics.counters()["scan.kernel_calls"] > 0
+
+    def test_caller_owned_registry(self, city_names):
+        registry = MetricsRegistry()
+        engine = SearchEngine(city_names, backend="sequential",
+                              metrics=registry)
+        engine.search(city_names[0], 1)
+        assert engine.metrics is registry
+        assert registry.timers()["scan.search"]["calls"] == 1
+
+    def test_observe_off_means_no_registry_and_no_timers(self, city_names):
+        engine = SearchEngine(city_names)
+        engine.search(city_names[0], 1)
+        assert engine.metrics is None
+        assert dict(engine.last_report.timers) == {}
+
+
+class TestOverheadGuard:
+    def test_default_engine_overhead_under_five_percent(self, city_names):
+        # The redesigned API must stay near-zero-cost when nobody asks
+        # for reports: counters flush once per search and the report is
+        # built lazily. Guard the engine wrapper against regressing.
+        queries = list(city_names[:40])
+        plain = SequentialScanSearcher(city_names, kernel="bitparallel",
+                                       order="length")
+        engine = SearchEngine(city_names, backend="sequential")
+
+        def measure(call):
+            best = float("inf")
+            for _ in range(5):
+                started = time.perf_counter()
+                for query in queries:
+                    call(query, 2)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        measure(plain.search)                # warm both paths up
+        measure(engine.search)
+        plain_time = measure(plain.search)
+        engine_time = measure(engine.search)
+        # 5% relative, plus a small absolute allowance so scheduler
+        # noise on a tiny dataset cannot flake the build
+        assert engine_time <= plain_time * 1.05 + 0.002, (
+            f"engine overhead too high: {engine_time:.6f}s vs "
+            f"{plain_time:.6f}s plain"
+        )

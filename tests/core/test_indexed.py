@@ -65,7 +65,12 @@ class TestFrequencyPruning:
         assert "freq" in searcher.name
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestTraversalStats:
+    # ``last_stats`` is a deprecated shim now (the SearchReport API
+    # replaces it); these tests keep asserting the shim still returns
+    # the correct per-search numbers. The deprecation itself is
+    # asserted in test_last_stats_warns below.
     def test_stats_available_after_trie_search(self):
         searcher = IndexedSearcher(DATASET, index="trie")
         searcher.search("Bern", 1)
@@ -102,6 +107,23 @@ class TestTraversalStats:
         compressed = IndexedSearcher(DATASET, index="compressed")
         assert flat.search("Berlln", 2) == compressed.search("Berlln", 2)
         assert vars(flat.last_stats) == vars(compressed.last_stats)
+
+
+class TestLastStatsDeprecation:
+    def test_last_stats_warns(self):
+        searcher = IndexedSearcher(DATASET, index="trie")
+        searcher.search("Bern", 1)
+        with pytest.warns(DeprecationWarning, match="SearchReport"):
+            stats = searcher.last_stats
+        assert stats.matches == 1
+
+    def test_counters_snapshot_is_the_replacement(self):
+        searcher = IndexedSearcher(DATASET, index="trie")
+        searcher.search("Bern", 1)
+        searcher.search("Bern", 1)
+        counters = searcher.counters_snapshot()
+        assert counters["trie.searches"] == 2
+        assert counters["trie.nodes_visited"] > 0
 
 
 class TestWorkloadExecution:

@@ -1,0 +1,81 @@
+"""Unit tests for the exporters."""
+
+import json
+
+from repro.obs.export import (
+    metric_name,
+    to_dict,
+    to_json,
+    to_json_lines,
+    to_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import BatchCounters, build_report
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.inc("scan.early_aborts", 4)
+    registry.gauge("corpus.buckets", 7)
+    registry.observe("scan.query", 0.5, count=2)
+    return registry
+
+
+def make_report():
+    return build_report(
+        backend="compiled", engine="compiled-scan", mode="batch",
+        queries=5, k=2, matches=9, seconds=0.01,
+        counters={"scan.kernel_calls": 30},
+        timers={"scan.query": {"seconds": 0.01, "calls": 2}},
+        batch=BatchCounters(5, 2, 1, 2),
+    )
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("scan.early_aborts") \
+            == "repro_scan_early_aborts"
+
+    def test_custom_and_empty_prefix(self):
+        assert metric_name("a.b", prefix="x") == "x_a_b"
+        assert metric_name("a-b c", prefix="") == "a_b_c"
+
+
+class TestDictAndJson:
+    def test_to_dict_accepts_registry_report_and_mapping(self):
+        assert to_dict(make_registry())["counters"] \
+            == {"scan.early_aborts": 4}
+        assert to_dict(make_report())["backend"] == "compiled"
+        assert to_dict({"a": 1}) == {"a": 1}
+
+    def test_to_json_is_valid_json(self):
+        document = json.loads(to_json(make_registry()))
+        assert document["gauges"] == {"corpus.buckets": 7}
+
+    def test_to_json_lines_one_document_per_line(self):
+        lines = to_json_lines([make_report(), make_report()]).splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert json.loads(line)["mode"] == "batch"
+
+
+class TestPrometheus:
+    def test_registry_exposition(self):
+        text = to_prometheus(make_registry())
+        assert "# TYPE repro_scan_early_aborts_total counter" in text
+        assert "repro_scan_early_aborts_total 4" in text
+        assert "# TYPE repro_corpus_buckets gauge" in text
+        assert "repro_scan_query_seconds_total 0.5" in text
+        assert "repro_scan_query_calls_total 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_exports_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_report_exposition_labels_the_backend(self):
+        text = make_report().to_prometheus()
+        label = '{backend="compiled",mode="batch"}'
+        assert f"repro_report_matches{label} 9" in text
+        assert f"repro_scan_kernel_calls_total{label} 30" in text
+        assert f"repro_batch_deduplicated_total{label} 3" in text
+        assert f"repro_scan_query_seconds_total{label} 0.01" in text

@@ -1,0 +1,154 @@
+"""Unit tests for the SearchReport schema and builders."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.report import (
+    BATCH_SCHEMA_KEYS,
+    SCHEMA_VERSION,
+    BatchCounters,
+    SearchReport,
+    build_report,
+    report_from_dict,
+    require_valid_report,
+    validate_report,
+)
+
+
+def make_report(**overrides):
+    kwargs = dict(
+        backend="sequential",
+        engine="sequential[bitparallel]",
+        mode="search",
+        queries=1,
+        k=2,
+        matches=3,
+        seconds=0.004,
+        counters={"scan.candidates": 40, "scan.matches": 3},
+        timers={"scan.search": {"seconds": 0.004, "calls": 1}},
+    )
+    kwargs.update(overrides)
+    return build_report(**kwargs)
+
+
+class TestBuildReport:
+    def test_report_is_frozen(self):
+        report = make_report()
+        with pytest.raises(AttributeError):
+            report.matches = 99
+        with pytest.raises(TypeError):
+            report.counters["scan.candidates"] = 0
+
+    def test_defensive_copy_of_counters(self):
+        counters = {"scan.candidates": 1}
+        report = make_report(counters=counters)
+        counters["scan.candidates"] = 999
+        assert report.counters["scan.candidates"] == 1
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ReproError):
+            make_report(mode="streaming")
+
+    def test_batch_accepts_duck_typed_stats(self):
+        class Stats:
+            queries_seen = 5
+            unique_queries = 2
+            cache_hits = 1
+            scans_executed = 2
+
+        report = make_report(mode="batch", batch=Stats())
+        assert isinstance(report.batch, BatchCounters)
+        assert report.batch.deduplicated == 3
+
+    def test_to_dict_conforms_to_schema(self):
+        report = make_report(mode="batch",
+                             batch=BatchCounters(5, 2, 1, 2))
+        assert validate_report(report.to_dict()) == []
+
+    def test_choice_defaults_to_serving_backend(self):
+        report = make_report()
+        assert report.to_dict()["choice"]["backend"] == "sequential"
+        forced = make_report(choice_backend="auto-pick")
+        assert forced.to_dict()["choice"]["backend"] == "auto-pick"
+
+
+class TestBatchCounters:
+    def test_deduplicated_is_derived(self):
+        assert BatchCounters(queries_seen=7, unique_queries=4) \
+            .deduplicated == 3
+
+    def test_to_dict_has_every_schema_key(self):
+        assert set(BatchCounters().to_dict()) == set(BATCH_SCHEMA_KEYS)
+
+
+class TestRoundTrip:
+    def test_report_from_dict_inverts_to_dict(self):
+        report = make_report(mode="batch",
+                             batch=BatchCounters(5, 2, 1, 2),
+                             choice_backend="sequential",
+                             choice_reason="test")
+        rebuilt = report_from_dict(report.to_dict())
+        assert isinstance(rebuilt, SearchReport)
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_round_trip_without_batch(self):
+        report = make_report()
+        assert report_from_dict(report.to_dict()).batch is None
+
+    def test_json_round_trips_through_validate(self):
+        import json
+
+        document = json.loads(make_report().to_json())
+        assert validate_report(document) == []
+        assert document["schema_version"] == SCHEMA_VERSION
+
+
+class TestValidateReport:
+    def test_missing_keys_reported(self):
+        problems = validate_report({"backend": "sequential"})
+        assert any("schema_version" in p for p in problems)
+
+    def test_not_a_mapping(self):
+        assert validate_report([1, 2]) != []
+
+    def test_wrong_types_reported(self):
+        document = make_report().to_dict()
+        document["queries"] = "one"
+        assert any("queries" in p for p in validate_report(document))
+
+    def test_bool_is_not_a_count(self):
+        document = make_report().to_dict()
+        document["matches"] = True
+        assert validate_report(document) != []
+
+    def test_wrong_schema_version(self):
+        document = make_report().to_dict()
+        document["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in p
+                   for p in validate_report(document))
+
+    def test_non_numeric_counter(self):
+        document = make_report().to_dict()
+        document["counters"]["scan.candidates"] = "lots"
+        assert any("counter" in p for p in validate_report(document))
+
+    def test_incomplete_batch_section(self):
+        document = make_report(mode="batch",
+                               batch=BatchCounters()).to_dict()
+        del document["batch"]["cache_hits"]
+        assert any("cache_hits" in p for p in validate_report(document))
+
+    def test_require_valid_report_raises(self):
+        with pytest.raises(ReproError):
+            require_valid_report({"backend": "x"})
+        require_valid_report(make_report().to_dict())  # no raise
+
+
+class TestRender:
+    def test_render_mentions_the_essentials(self):
+        text = make_report(mode="batch",
+                           batch=BatchCounters(5, 2, 1, 2)).render()
+        assert "backend=sequential" in text
+        assert "scan.candidates = 40" in text
+        assert "3 deduplicated" in text
+        assert "scan.search" in text

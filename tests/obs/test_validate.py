@@ -1,0 +1,88 @@
+"""Unit tests for the report-artifact validator (the CI schema gate)."""
+
+import json
+
+from repro.obs.report import BatchCounters, build_report
+from repro.obs.validate import iter_reports, main, validate_file
+
+
+def make_report_dict(**overrides):
+    report = build_report(
+        backend="compiled", engine="compiled-scan", mode="batch",
+        queries=3, k=1, matches=2, seconds=0.002,
+        counters={"scan.candidates": 12},
+        batch=BatchCounters(3, 2, 0, 2),
+    ).to_dict()
+    report.update(overrides)
+    return report
+
+
+class TestIterReports:
+    def test_finds_reports_nested_in_benchmark_records(self):
+        document = {
+            "results": [
+                {"label": "city", "report": make_report_dict()},
+                {"label": "dna",
+                 "reports": {"trie": make_report_dict()}},
+            ],
+        }
+        found = dict(iter_reports(document))
+        assert set(found) == {
+            "$.results[0].report",
+            "$.results[1].reports.trie",
+        }
+
+    def test_does_not_descend_into_a_report(self):
+        # the choice sub-dict must not be mistaken for a report
+        found = list(iter_reports({"report": make_report_dict()}))
+        assert len(found) == 1
+
+
+class TestValidateFile:
+    def test_valid_single_document(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"report": make_report_dict()}))
+        assert validate_file(path) == []
+
+    def test_valid_json_lines(self, tmp_path):
+        path = tmp_path / "reports.jsonl"
+        path.write_text("\n".join(
+            json.dumps(make_report_dict()) for _ in range(3)
+        ))
+        assert validate_file(path) == []
+
+    def test_schema_problem_is_located(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"nested": {"report": make_report_dict(mode="bogus")}}
+        ))
+        problems = validate_file(path)
+        assert problems
+        assert "$.nested.report" in problems[0]
+
+    def test_no_reports_is_a_failure(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"results": []}))
+        assert any("no embedded SearchReport" in p
+                   for p in validate_file(path))
+
+    def test_unreadable_file_is_a_failure(self, tmp_path):
+        assert validate_file(tmp_path / "missing.json") != []
+
+
+class TestMain:
+    def test_exit_zero_on_valid(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(make_report_dict()))
+        assert main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_exit_one_on_invalid(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(make_report_dict(queries="three")))
+        assert main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_usage_without_arguments(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err

@@ -78,8 +78,8 @@ class TestEngineWiring:
         queries = [city_names[0], city_names[1], city_names[0]]
         results = engine.search_many(queries, 1)
         assert len(results) == 3
-        assert engine.batch_stats is not None
-        assert engine.batch_stats.deduplicated == 1
+        assert engine.last_report.batch is not None
+        assert engine.last_report.batch.deduplicated == 1
         reference = SequentialScanSearcher(city_names, kernel="reference")
         assert list(results.rows) == [
             tuple(reference.search(query, 1)) for query in queries
@@ -93,8 +93,8 @@ class TestEngineWiring:
         queries = [city_names[0], city_names[0]]
         results = engine.search_many(queries, 1)
         assert len(results) == 2
-        assert engine.batch_stats is not None
-        assert engine.batch_stats.unique_queries == 1
+        assert engine.last_report.batch is not None
+        assert engine.last_report.batch.unique_queries == 1
         reference = SequentialScanSearcher(city_names, kernel="reference")
         assert list(results.rows) == [
             tuple(reference.search(query, 1)) for query in queries
