@@ -1,0 +1,194 @@
+"""Service-level latency: deadlines honored under the hardest workload.
+
+The resilient service's operational claim, measured: DNA reads probed
+at ``k=16`` — the paper's worst-case regime, where a single unbounded
+trie descent can dwarf any reasonable latency target — are submitted
+through :class:`repro.service.Service` with a wall-clock deadline per
+query. The bar is a *tail* bound: the p99 submit latency must stay
+under ``2 x`` the requested deadline (the ladder may burn a slice of
+deadline per rung before the filter-only floor answers), and every
+result must be honestly labeled (verified flags checked against a
+reference searcher on a sample).
+
+Besides the rendered table, the run emits a machine-readable
+``BENCH_service.json`` at the repository root with the service's
+``service.*`` counters embedded as a schema-validated
+:class:`repro.obs.SearchReport` (``mode="service"``). Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+or through pytest (``pytest benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.deadline import Deadline
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.dna import generate_reads
+from repro.obs.report import require_valid_report
+from repro.service import Service
+
+#: Where the machine-readable record lands (repository root).
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+#: Requested per-query wall-clock deadline.
+DEADLINE_SECONDS = 0.05
+
+#: The tail bound: p99 submit latency <= this multiple of the deadline.
+P99_MULTIPLE = 2.0
+
+#: Queries whose verified results are gated against the reference
+#: searcher (exact statuses must match it; partials must be subsets).
+VERIFY_SAMPLE = 10
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1,
+                max(0, int(round(fraction * (len(ranked) - 1)))))
+    return ranked[index]
+
+
+def run_benchmark(read_count: int = 1200, query_count: int = 120, *,
+                  k: int = 16,
+                  deadline_seconds: float = DEADLINE_SECONDS,
+                  shards: int = 4,
+                  verify_sample: int = VERIFY_SAMPLE) -> dict:
+    """Submit ``query_count`` deadline-bounded queries; record the tail."""
+    reads = generate_reads(read_count, seed=2013)
+    queries = reads[:query_count]
+    service = Service(reads, shards=shards)
+    reference = SequentialScanSearcher(sorted(set(reads)))
+
+    latencies: list[float] = []
+    statuses: dict[str, int] = {}
+    verified_checked = 0
+    for index, query in enumerate(queries):
+        started = time.perf_counter()
+        result = service.submit(
+            query, k,
+            deadline=Deadline(deadline_seconds, check_interval=64))
+        latencies.append(time.perf_counter() - started)
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+        if verified_checked < verify_sample and result.verified:
+            exact = set(reference.search(query, k))
+            got = set(result.matches)
+            if result.complete:
+                assert got == exact, (
+                    f"query {index}: exact-labeled result diverges "
+                    "from the reference searcher"
+                )
+            else:
+                assert got <= exact, (
+                    f"query {index}: partial is not a subset of the "
+                    "reference answer"
+                )
+            verified_checked += 1
+
+    p50 = _percentile(latencies, 0.50)
+    p99 = _percentile(latencies, 0.99)
+    report = service.report(queries=len(queries), k=k,
+                            matches=sum(statuses.values()))
+    report_dict = report.to_dict()
+    require_valid_report(report_dict)
+    return {
+        "benchmark": "bench_service",
+        "python": platform.python_version(),
+        "dataset_strings": len(reads),
+        "queries": len(queries),
+        "k": k,
+        "shards": shards,
+        "deadline_seconds": deadline_seconds,
+        "p99_bound_seconds": deadline_seconds * P99_MULTIPLE,
+        "latency_seconds": {
+            "p50": round(p50, 6),
+            "p99": round(p99, 6),
+            "max": round(max(latencies), 6),
+        },
+        "statuses": statuses,
+        "verified_against_reference": verified_checked,
+        "report": report_dict,
+    }
+
+
+def render(record: dict) -> str:
+    latency = record["latency_seconds"]
+    statuses = ", ".join(
+        f"{count} {status}" for status, count in
+        sorted(record["statuses"].items())
+    )
+    return "\n".join([
+        "service deadline soak: DNA reads at k=16 through the ladder",
+        f"  python {record['python']}",
+        "",
+        f"  {record['queries']} queries over {record['dataset_strings']} "
+        f"reads, {record['shards']} shards, "
+        f"{record['deadline_seconds'] * 1000:.0f}ms deadline each",
+        f"  latency: p50 {latency['p50'] * 1000:.1f}ms, "
+        f"p99 {latency['p99'] * 1000:.1f}ms, "
+        f"max {latency['max'] * 1000:.1f}ms "
+        f"(bound: p99 <= {record['p99_bound_seconds'] * 1000:.0f}ms)",
+        f"  statuses: {statuses}",
+        f"  {record['verified_against_reference']} verified results "
+        "gated against the reference searcher (off-clock)",
+    ])
+
+
+def write_record(record: dict) -> Path:
+    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n",
+                         encoding="utf-8")
+    return JSON_PATH
+
+
+def test_service_p99_under_deadline(emit):
+    record = run_benchmark(read_count=600, query_count=60)
+    write_record(record)
+    emit("service", render(record))
+    assert record["latency_seconds"]["p99"] \
+        <= record["p99_bound_seconds"], record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="deadline-bounded service latency soak",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small corpus and query count: exercises the full "
+             "pipeline (and emits the same BENCH_service.json shape) "
+             "in seconds — what the CI service-smoke job runs",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=DEADLINE_SECONDS * 1000,
+        help="requested per-query deadline in milliseconds "
+             f"(default {DEADLINE_SECONDS * 1000:.0f})",
+    )
+    args = parser.parse_args(argv)
+    seconds = args.deadline_ms / 1000.0
+    if args.smoke:
+        record = run_benchmark(read_count=400, query_count=40,
+                               deadline_seconds=seconds,
+                               verify_sample=5)
+        record["smoke"] = True
+    else:
+        record = run_benchmark(deadline_seconds=seconds)
+    path = write_record(record)
+    print(render(record))
+    print(f"\nrecorded to {path}")
+    ok = record["latency_seconds"]["p99"] <= record["p99_bound_seconds"]
+    if not ok:
+        print(
+            f"FAIL: p99 {record['latency_seconds']['p99']:.3f}s exceeds "
+            f"{record['p99_bound_seconds']:.3f}s",
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

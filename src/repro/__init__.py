@@ -25,8 +25,10 @@ See README.md for the architecture tour and DESIGN.md for the
 paper-to-module map.
 """
 
+from repro.core.deadline import Budget, Deadline
 from repro.core.engine import SearchEngine
 from repro.core.explain import explain_pair
+from repro.core.request import SearchOptions, SearchRequest
 from repro.core.indexed import IndexedSearcher
 from repro.core.join import (
     JoinPair,
@@ -62,13 +64,17 @@ from repro.obs import (
 from repro.exceptions import (
     AlphabetError,
     DatasetFormatError,
+    DeadlineExceeded,
     IndexConstructionError,
     InvalidThresholdError,
     ParallelismError,
+    PartialResultError,
     ReproError,
+    ServiceOverloaded,
     VerificationError,
     WorkloadError,
 )
+from repro.service import Service, ServiceResult, ShardedCorpus
 
 __version__ = "1.0.0"
 
@@ -105,6 +111,13 @@ __all__ = [
     "edit_distance",
     "edit_distance_bounded",
     "within_distance",
+    "SearchRequest",
+    "SearchOptions",
+    "Deadline",
+    "Budget",
+    "Service",
+    "ServiceResult",
+    "ShardedCorpus",
     "ReproError",
     "InvalidThresholdError",
     "AlphabetError",
@@ -113,5 +126,8 @@ __all__ = [
     "WorkloadError",
     "IndexConstructionError",
     "ParallelismError",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
+    "PartialResultError",
     "__version__",
 ]

@@ -21,6 +21,7 @@ import sys
 from typing import Sequence
 
 from repro.bench.registry import EXPERIMENTS, run_experiment
+from repro.core.deadline import Deadline
 from repro.core.engine import SearchEngine
 from repro.data.cities import generate_city_names
 from repro.data.dna import generate_reads
@@ -29,7 +30,7 @@ from repro.data.stats import describe
 from repro.data.workload import Workload
 from repro.distance.levenshtein import edit_distance
 from repro.distance.matrix import DistanceMatrix
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceeded, ReproError
 from repro.parallel.executor import (
     ProcessPoolRunner,
     SerialRunner,
@@ -81,6 +82,21 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--stats-output", default=None,
                         help="write the report there instead of "
                              "stderr (implies --stats)")
+    search.add_argument("--deadline-ms", type=float, default=None,
+                        help="wall-clock deadline in milliseconds — "
+                             "per query with --service (the ladder "
+                             "degrades), per run otherwise (on expiry "
+                             "completed queries are written, the "
+                             "truncation is reported on stderr, and "
+                             "the exit code is 3)")
+    search.add_argument("--service", action="store_true",
+                        help="serve queries through the resilient "
+                             "repro.service ladder (sharded corpus, "
+                             "degradation on deadline expiry, honest "
+                             "result labels)")
+    search.add_argument("--shards", type=int, default=4,
+                        help="service-mode corpus shard count "
+                             "(default 4)")
 
     generate = commands.add_parser(
         "generate", help="generate a synthetic dataset",
@@ -189,12 +205,75 @@ def _emit_report(report, args: argparse.Namespace) -> None:
         print(rendered, file=sys.stderr)
 
 
+def _write_result_lines(lines, output: str | None) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line)
+                handle.write("\n")
+    else:
+        for line in lines:
+            print(line)
+
+
+def _command_search_service(args: argparse.Namespace, dataset,
+                            queries, want_stats: bool) -> int:
+    from repro.core.deadline import Deadline
+    from repro.service import Service
+
+    service = Service(dataset, shards=args.shards)
+    seconds = (args.deadline_ms / 1000.0
+               if args.deadline_ms is not None else None)
+    rows: list[tuple[str, list[str]]] = []
+    status_counts: dict[str, int] = {}
+    total_matches = 0
+    for query in queries:
+        deadline = Deadline(seconds) if seconds is not None else None
+        result = service.submit(query, args.k, deadline=deadline)
+        status_counts[result.status] = \
+            status_counts.get(result.status, 0) + 1
+        total_matches += len(result.matches)
+        if result.status != "complete":
+            print(
+                f"{query}: {result.status} via "
+                f"{result.plan or 'merged partials'} "
+                f"({len(result.matches)} matches, "
+                f"verified={result.verified})",
+                file=sys.stderr,
+            )
+        rows.append((query, [m.string for m in result.matches]))
+    summary = ", ".join(
+        f"{count} {status}" for status, count in
+        sorted(status_counts.items())
+    )
+    print(
+        f"service: {len(queries)} queries over "
+        f"{service.corpus.shard_count} shards ({summary}; "
+        f"{total_matches} matches)",
+        file=sys.stderr,
+    )
+    if want_stats:
+        _emit_report(
+            service.report(queries=len(queries), k=args.k,
+                           matches=total_matches),
+            args,
+        )
+    _write_result_lines(
+        ("\t".join([query, *matched]) for query, matched in rows),
+        args.output,
+    )
+    return 0
+
+
 def _command_search(args: argparse.Namespace) -> int:
     dataset = read_strings(args.data_file)
     queries = read_queries(args.query_file)
-    runner = _make_runner(args.runner)
     want_stats = (args.stats or args.stats_output is not None
                   or args.stats_format != "text")
+    if args.service:
+        return _command_search_service(args, dataset, queries,
+                                       want_stats)
+    runner = _make_runner(args.runner)
     engine = SearchEngine(dataset, backend=args.backend, runner=runner,
                           observe=want_stats)
     print(
@@ -202,11 +281,31 @@ def _command_search(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     workload = Workload(tuple(queries), args.k, name=args.query_file)
-    if args.batch:
-        results, report = engine.search_many(workload.queries, workload.k,
-                                             report=True)
-    else:
-        results, report = engine.run_workload(workload, report=True)
+    deadline = (Deadline(args.deadline_ms / 1000.0)
+                if args.deadline_ms is not None else None)
+    try:
+        if args.batch:
+            results, report = engine.search_many(
+                workload.queries, workload.k, deadline=deadline,
+                report=True)
+        else:
+            results, report = engine.run_workload(
+                workload, deadline=deadline, report=True)
+    except DeadlineExceeded as error:
+        completed = dict(error.partial) if isinstance(error.partial,
+                                                      dict) else {}
+        print(
+            f"deadline exceeded: {error.completed} of {error.total} "
+            f"distinct queries completed within {args.deadline_ms}ms; "
+            "writing partial results (completed queries only)",
+            file=sys.stderr,
+        )
+        _write_result_lines(
+            ("\t".join([query, *[m.string for m in completed[query]]])
+             for query in queries if query in completed),
+            args.output,
+        )
+        return 3
     print(
         f"{len(queries)} queries in {report.seconds:.3f}s "
         f"({results.total_matches} matches)",
@@ -229,14 +328,7 @@ def _command_search(args: argparse.Namespace) -> int:
             for index, query in enumerate(results.queries)
         )
     )
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            for line in lines:
-                handle.write(line)
-                handle.write("\n")
-    else:
-        for line in lines:
-            print(line)
+    _write_result_lines(lines, args.output)
     return 0
 
 

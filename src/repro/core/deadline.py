@@ -1,0 +1,161 @@
+"""Deadlines and work budgets: bounding how long a query may run.
+
+Every hot path in the library — the sequential scan, the compiled
+batch scan, the object-trie traversal and the flat-trie descent — can
+run unboundedly long on adversarial inputs (a DNA read at ``k=16``
+visits most of the trie). The service layer (:mod:`repro.service`)
+needs to cap that, so each hot path accepts an optional *deadline*
+object and polls it **amortized**: once every
+:attr:`Deadline.check_interval` work units (corpus candidates, trie
+nodes), never per symbol. With no deadline set the hot paths pay one
+falsy branch per unit at most, which keeps them inside the engine's
+existing <5% overhead guard.
+
+Two implementations share the one-method protocol ``spend(units) ->
+bool`` (``True`` means "stop now"):
+
+:class:`Deadline`
+    Wall-clock: expires when ``time.monotonic()`` passes the limit.
+    What production callers use.
+:class:`Budget`
+    Work-unit count: expires after a fixed number of units have been
+    spent. Deterministic, so tests (and simulations) can force a
+    partial result at an exact point without depending on machine
+    speed.
+
+When a poll returns ``True`` the path raises
+:class:`repro.exceptions.DeadlineExceeded` carrying the partial,
+well-labeled results it had proven so far.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import ReproError
+
+#: Work units (candidates scanned / trie nodes visited) between two
+#: deadline polls. Polling costs one ``time.monotonic()`` call; at this
+#: interval the amortized cost is far below the 5% overhead budget
+#: while still bounding overshoot to a sub-millisecond slice of work.
+DEFAULT_CHECK_INTERVAL = 256
+
+
+class Deadline:
+    """A wall-clock time limit, polled cheaply from hot loops.
+
+    Parameters
+    ----------
+    seconds:
+        Time allowed from *now* (``time.monotonic()``) until expiry.
+        Must be non-negative; ``0`` is legal and expires immediately
+        (useful for probing the partial-result machinery).
+    check_interval:
+        How many work units a hot path processes between polls.
+
+    Examples
+    --------
+    >>> deadline = Deadline(60.0)
+    >>> deadline.expired()
+    False
+    >>> deadline.remaining() <= 60.0
+    True
+    >>> Deadline(0.0).expired()
+    True
+    """
+
+    __slots__ = ("expires_at", "check_interval")
+
+    def __init__(self, seconds: float, *,
+                 check_interval: int = DEFAULT_CHECK_INTERVAL) -> None:
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ReproError(
+                f"deadline seconds must be a non-negative number, "
+                f"got {seconds!r}"
+            )
+        if check_interval < 1:
+            raise ReproError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        self.expires_at = time.monotonic() + seconds
+        self.check_interval = check_interval
+
+    @classmethod
+    def after(cls, seconds: float, *,
+              check_interval: int = DEFAULT_CHECK_INTERVAL) -> "Deadline":
+        """Alias constructor reading naturally: ``Deadline.after(0.05)``."""
+        return cls(seconds, check_interval=check_interval)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once past it)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the wall clock has passed the limit."""
+        return time.monotonic() >= self.expires_at
+
+    def spend(self, units: int) -> bool:
+        """Poll hook for hot paths; ``units`` is ignored (time-based)."""
+        return time.monotonic() >= self.expires_at
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.4f}s)"
+
+
+class Budget:
+    """A deterministic work-unit budget with the deadline protocol.
+
+    Hot paths charge it through the same amortized ``spend(units)``
+    polls they use for :class:`Deadline`, so a test can force "the scan
+    aborted after ~1000 candidates" exactly, on any machine. Because
+    polls happen every ``check_interval`` units, expiry resolution is
+    one interval.
+
+    Examples
+    --------
+    >>> budget = Budget(100, check_interval=50)
+    >>> budget.spend(50)
+    False
+    >>> budget.spend(50)
+    True
+    >>> budget.exhausted()
+    True
+    """
+
+    __slots__ = ("limit", "spent", "check_interval")
+
+    def __init__(self, limit: int, *,
+                 check_interval: int = DEFAULT_CHECK_INTERVAL) -> None:
+        if not isinstance(limit, int) or isinstance(limit, bool) \
+                or limit < 0:
+            raise ReproError(
+                f"budget limit must be a non-negative integer, "
+                f"got {limit!r}"
+            )
+        if check_interval < 1:
+            raise ReproError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        self.limit = limit
+        self.spent = 0
+        self.check_interval = check_interval
+
+    def remaining(self) -> float:
+        """Units left before exhaustion (never negative)."""
+        return max(0, self.limit - self.spent)
+
+    def exhausted(self) -> bool:
+        """Whether the budget has been used up."""
+        return self.spent >= self.limit
+
+    def expired(self) -> bool:
+        """Deadline-protocol alias for :meth:`exhausted`."""
+        return self.spent >= self.limit
+
+    def spend(self, units: int) -> bool:
+        """Charge ``units``; ``True`` once the budget is used up."""
+        self.spent += units
+        return self.spent >= self.limit
+
+    def __repr__(self) -> str:
+        return f"Budget(spent={self.spent}, limit={self.limit})"

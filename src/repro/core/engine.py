@@ -26,7 +26,13 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.core.deadline import Budget, Deadline
 from repro.core.indexed import IndexedSearcher
+from repro.core.request import (
+    SearchOptions,
+    SearchRequest,
+    as_request,
+)
 from repro.core.result import Match, ResultSet
 from repro.core.searcher import QueryRunner, Searcher
 from repro.core.sequential import SequentialScanSearcher
@@ -103,6 +109,7 @@ class SearchEngine:
             self._metrics = MetricsRegistry() if observe else None
         self._batch_searcher: Searcher | None = None
         self._batch_index = None
+        self._override_searchers: dict[str, Searcher] = {}
         self._last_batch_executor = None
         self._last_call: dict | None = None
         self._last_report_cache: SearchReport | None = None
@@ -298,31 +305,102 @@ class SearchEngine:
         return self._batch_index
 
     # ----------------------------------------------------------------
+    # request plumbing
+
+    def _to_request(self, query, k, *, deadline=None, backend=None,
+                    report: bool = False,
+                    options: SearchOptions | None = None,
+                    batch: bool = False) -> SearchRequest:
+        """Normalize legacy arguments or a :class:`SearchRequest`.
+
+        The legacy ``report=`` flag folds into ``options.report``;
+        combining it with an explicit request (or explicit options) is
+        a conflict, mirroring :func:`repro.core.request.as_request`.
+        """
+        if report:
+            if isinstance(query, SearchRequest) or options is not None:
+                raise ReproError(
+                    "pass report inside SearchOptions, not alongside a "
+                    "SearchRequest/options value"
+                )
+            options = SearchOptions(report=True)
+        return as_request(query, k, deadline=deadline, backend=backend,
+                          options=options, batch=batch)
+
+    def _component_for(self, backend: str | None) -> tuple[Searcher, str]:
+        """The searcher serving a per-call backend hint.
+
+        Returns ``(component, served_backend)``. ``None``/``"auto"``
+        keep the constructor's decision; a differing hint builds (and
+        caches) a sibling searcher so one engine can serve any backend
+        per request.
+        """
+        if backend in (None, "auto") or backend == self._choice.backend:
+            return self._searcher, self._choice.backend
+        if backend == "compiled":
+            return self._ensure_batch_searcher(), "compiled"
+        cached = self._override_searchers.get(backend)
+        if cached is not None:
+            return cached, backend
+        if backend == "sequential":
+            searcher: Searcher = SequentialScanSearcher(
+                self._strings, kernel="bitparallel", order="length"
+            )
+        else:
+            searcher = IndexedSearcher(self._strings, index="flat")
+        if self._metrics is not None:
+            searcher.attach_metrics(self._metrics)
+        self._override_searchers[backend] = searcher
+        return searcher, backend
+
+    # ----------------------------------------------------------------
     # the one-call API
 
-    def search(self, query: str, k: int, *, report: bool = False):
+    def search(self, query: str | SearchRequest, k: int | None = None,
+               *, deadline: Deadline | Budget | None = None,
+               backend: str | None = None,
+               options: SearchOptions | None = None,
+               report: bool = False):
         """All dataset strings within edit distance ``k`` of ``query``.
 
-        With ``report=True`` returns ``(matches, SearchReport)``; either
+        Accepts either the legacy positional form (``query, k`` plus
+        keywords) or a single :class:`repro.core.request.SearchRequest`
+        carrying the same information; a batch request is routed to
+        :meth:`search_many`. With ``report=True`` (or
+        ``options.report``) returns ``(matches, SearchReport)``; either
         way :attr:`last_report` describes this call afterwards.
+
+        A ``deadline`` bounds the work: on expiry the call raises
+        :class:`repro.exceptions.DeadlineExceeded` carrying the
+        verified partial matches found so far.
         """
-        component = self._searcher
+        request = self._to_request(query, k, deadline=deadline,
+                                   backend=backend, report=report,
+                                   options=options)
+        if request.is_batch:
+            return self.search_many(request)
+        component, served = self._component_for(request.backend)
         matches = self._observed_call(
             component=component,
-            backend=self._choice.backend,
-            engine_name=getattr(component, "name", self._choice.backend),
+            backend=served,
+            engine_name=getattr(component, "name", served),
             mode="search",
             queries=1,
-            k=k,
-            call=lambda: component.search(query, k),
+            k=request.k,
+            call=lambda: component.search(request.query, request.k,
+                                          deadline=request.deadline),
             batch_executor=getattr(component, "executor", None),
         )
-        if report:
+        if request.options.report:
             return matches, self.last_report
         return matches
 
-    def search_many(self, queries: Iterable[str], k: int, *,
-                    backend: str | None = None, report: bool = False):
+    def search_many(self, queries: Iterable[str] | SearchRequest,
+                    k: int | None = None, *,
+                    backend: str | None = None,
+                    deadline: Deadline | Budget | None = None,
+                    options: SearchOptions | None = None,
+                    report: bool = False):
         """Answer a whole batch of queries at one threshold.
 
         In the scan regime (``sequential`` or ``compiled``) this routes
@@ -340,65 +418,102 @@ class SearchEngine:
         ``"compiled"`` forces the batch scan, ``"indexed"`` the batch
         index. :attr:`last_report` (and the deprecated ``batch_stats``)
         always reflect the executor that actually served this call.
+        A :class:`SearchRequest` may be passed instead of
+        ``queries``/``k``; its fields supply the same information.
 
         Results are always one row per input query, in input order,
         identical to calling :meth:`search` in a loop. With
-        ``report=True`` returns ``(results, SearchReport)``.
+        ``report=True`` returns ``(results, SearchReport)``. With a
+        ``deadline``, distinct queries execute serially and expiry
+        raises :class:`repro.exceptions.DeadlineExceeded` whose
+        ``partial`` maps each *completed* query to its full row.
         """
-        if backend not in (None, "compiled", "indexed"):
+        request = self._to_request(queries, k, deadline=deadline,
+                                   backend=backend, report=report,
+                                   options=options, batch=True)
+        results = self._execute_batch(request, mode="batch")
+        if request.options.report:
+            return results, self.last_report
+        return results
+
+    def _execute_batch(self, request: SearchRequest, *,
+                       mode: str) -> ResultSet:
+        backend = request.backend
+        if backend not in (None, "auto", "compiled", "indexed"):
             raise ReproError(
                 f"unknown batch backend {backend!r}; expected None, "
                 "'compiled' or 'indexed'"
             )
-        queries = list(queries)
-        use_indexed = (backend == "indexed" if backend is not None
+        query_list = list(request.queries)
+        k = request.k
+        deadline = request.deadline
+        use_indexed = (backend == "indexed" if backend not in (None, "auto")
                        else self._choice.backend == "indexed")
         if use_indexed:
             executor = self._ensure_batch_index()
             served = "indexed"
             engine_name = "batch-index[flat]"
             call = lambda: executor.search_many(  # noqa: E731
-                queries, k, runner=self._runner)
+                query_list, k, runner=self._runner, deadline=deadline)
         else:
             searcher = self._ensure_batch_searcher()
             executor = searcher.executor
             served = "compiled"
             engine_name = searcher.name
             call = lambda: searcher.search_many(  # noqa: E731
-                queries, k, runner=self._runner)
-        results = self._observed_call(
+                query_list, k, runner=self._runner, deadline=deadline)
+        return self._observed_call(
             component=executor,
             backend=served,
             engine_name=engine_name,
-            mode="batch",
-            queries=len(queries),
+            mode=mode,
+            queries=len(query_list),
             k=k,
             call=call,
             batch_executor=executor,
         )
-        if report:
-            return results, self.last_report
-        return results
 
-    def run_workload(self, workload: Workload, *,
+    def run_workload(self, workload: Workload | SearchRequest, *,
+                     deadline: Deadline | Budget | None = None,
                      report: bool = False):
         """Execute a workload through the configured runner.
 
         With ``report=True`` returns ``(results, SearchReport)``; the
-        report's mode is ``"workload"``.
+        report's mode is ``"workload"``. Accepts a
+        :class:`SearchRequest` (built with
+        :meth:`SearchRequest.from_workload`) in place of a workload.
+        With a ``deadline`` the workload routes through the batch
+        engine serially so expiry has a well-defined abort point.
         """
+        if isinstance(workload, SearchRequest):
+            request = self._to_request(workload, None, deadline=deadline,
+                                       report=report)
+            run = Workload(queries=request.queries, k=request.k)
+        else:
+            request = SearchRequest.from_workload(
+                workload, deadline=deadline,
+                options=SearchOptions(report=report),
+            )
+            run = workload
+        if request.deadline is not None:
+            results = self._execute_batch(request, mode="workload")
+            if request.options.report:
+                return results, self.last_report
+            return results
         component = self._searcher
+        queries = request.queries
+        k = request.k
         results = self._observed_call(
             component=component,
             backend=self._choice.backend,
             engine_name=getattr(component, "name", self._choice.backend),
             mode="workload",
-            queries=len(workload.queries),
-            k=workload.k,
-            call=lambda: component.run_workload(workload, self._runner),
+            queries=len(queries),
+            k=k,
+            call=lambda: component.run_workload(run, self._runner),
             batch_executor=getattr(component, "executor", None),
         )
-        if report:
+        if request.options.report:
             return results, self.last_report
         return results
 

@@ -29,10 +29,11 @@ import threading
 import warnings
 from typing import Callable, Iterable
 
+from repro.core.deadline import Budget, Deadline
 from repro.core.result import Match
 from repro.core.searcher import Searcher
 from repro.distance.banded import check_threshold
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceeded, ReproError
 from repro.index.automaton import automaton_trie_search
 from repro.index.bktree import bktree_from
 from repro.index.compressed import CompressedTrie
@@ -136,7 +137,7 @@ class IndexedSearcher(Searcher):
 
     def _build(self, strings: tuple[str, ...], index: str,
                frequency_pruning: bool, tracked_symbols: str | None,
-               q: int) -> Callable[[str, int], list[TrieMatch]]:
+               q: int) -> Callable[..., list[TrieMatch]]:
         tracked = tracked_symbols if frequency_pruning else None
         if index in ("trie", "compressed"):
             structure: PrefixTrie | CompressedTrie
@@ -147,13 +148,19 @@ class IndexedSearcher(Searcher):
                                            tracked_symbols=tracked)
             self._node_count = structure.node_count
 
-            def search(query: str, k: int) -> list[TrieMatch]:
+            def search(query: str, k: int,
+                       deadline=None) -> list[TrieMatch]:
                 stats = TraversalStats()
-                matches = trie_similarity_search(
-                    structure, query, k,
-                    use_frequency_pruning=frequency_pruning,
-                    stats=stats,
-                )
+                try:
+                    matches = trie_similarity_search(
+                        structure, query, k,
+                        use_frequency_pruning=frequency_pruning,
+                        stats=stats,
+                        deadline=deadline,
+                    )
+                except DeadlineExceeded:
+                    self._record(stats)
+                    raise
                 self._record(stats)
                 return matches
 
@@ -164,14 +171,20 @@ class IndexedSearcher(Searcher):
             self._flat_trie = flat
             self._node_count = flat.node_count
 
-            def search(query: str, k: int) -> list[TrieMatch]:
+            def search(query: str, k: int,
+                       deadline=None) -> list[TrieMatch]:
                 stats = TraversalStats()
-                matches = flat_similarity_search(
-                    flat, query, k,
-                    use_frequency_pruning=frequency_pruning,
-                    stats=stats,
-                    row_bank=self._row_bank,
-                )
+                try:
+                    matches = flat_similarity_search(
+                        flat, query, k,
+                        use_frequency_pruning=frequency_pruning,
+                        stats=stats,
+                        row_bank=self._row_bank,
+                        deadline=deadline,
+                    )
+                except DeadlineExceeded:
+                    self._record(stats)
+                    raise
                 self._record(stats)
                 return matches
 
@@ -180,7 +193,9 @@ class IndexedSearcher(Searcher):
             trie = CompressedTrie(strings)
             self._node_count = trie.node_count
 
-            def search(query: str, k: int) -> list[TrieMatch]:
+            def search(query: str, k: int,
+                       deadline=None) -> list[TrieMatch]:
+                self._reject_deadline(deadline)
                 stats = TraversalStats()
                 matches = automaton_trie_search(trie, query, k,
                                                 stats=stats)
@@ -192,7 +207,9 @@ class IndexedSearcher(Searcher):
             dawg = Dawg(strings)
             self._node_count = dawg.node_count
 
-            def search(query: str, k: int) -> list[TrieMatch]:
+            def search(query: str, k: int,
+                       deadline=None) -> list[TrieMatch]:
+                self._reject_deadline(deadline)
                 stats = TraversalStats()
                 matches = dawg.search(query, k, stats=stats)
                 self._record(stats)
@@ -202,7 +219,9 @@ class IndexedSearcher(Searcher):
         if index == "bktree":
             tree = bktree_from(list(strings))
 
-            def search(query: str, k: int) -> list[TrieMatch]:
+            def search(query: str, k: int,
+                       deadline=None) -> list[TrieMatch]:
+                self._reject_deadline(deadline)
                 before = tree.distance_computations
                 matches = tree.search(query, k)
                 self._record(TraversalStats(
@@ -214,12 +233,24 @@ class IndexedSearcher(Searcher):
             return search
         qgram = QGramIndex(strings, q=q)
 
-        def search(query: str, k: int) -> list[TrieMatch]:
+        def search(query: str, k: int,
+                   deadline=None) -> list[TrieMatch]:
+            self._reject_deadline(deadline)
             matches = qgram.search(query, k)
             self._record(TraversalStats(matches=len(matches)))
             return matches
 
         return search
+
+    def _reject_deadline(self, deadline) -> None:
+        """Refuse a deadline on index kinds that cannot honor one."""
+        if deadline is not None:
+            raise ReproError(
+                f"index kind {self._kind!r} does not support deadlines; "
+                "use one of the trie kinds "
+                f"({', '.join(_FREQUENCY_CAPABLE)}) or the sequential/"
+                "compiled backends"
+            )
 
     def _record(self, stats: TraversalStats) -> None:
         """Publish one call's traversal stats and roll them into totals."""
@@ -293,23 +324,37 @@ class IndexedSearcher(Searcher):
         with self._counters_lock:
             return dict(self._counters)
 
-    def search(self, query: str, k: int) -> list[Match]:
+    def search(self, query: str, k: int, *,
+               deadline: Deadline | Budget | None = None) -> list[Match]:
         """All distinct dataset strings within distance ``k`` of ``query``.
 
         The traversal stats are reset at entry and filled by every
         kind, so the counters always describe *this* search — a failed
         or stats-less probe can never leak a previous search's numbers.
+
+        With a ``deadline`` (trie kinds only), an expiring descent
+        raises :class:`DeadlineExceeded` whose ``partial`` holds the
+        verified :class:`Match` objects found before the cutoff.
         """
         check_threshold(k)
         self._last_stats = None
         metrics = self._metrics
-        if metrics is not None:
-            with metrics.trace("index.search"):
-                return [
-                    Match(m.string, m.distance)
-                    for m in self._search_fn(query, k)
-                ]
-        return [
-            Match(m.string, m.distance)
-            for m in self._search_fn(query, k)
-        ]
+        try:
+            if metrics is not None:
+                with metrics.trace("index.search"):
+                    return [
+                        Match(m.string, m.distance)
+                        for m in self._search_fn(query, k, deadline)
+                    ]
+            return [
+                Match(m.string, m.distance)
+                for m in self._search_fn(query, k, deadline)
+            ]
+        except DeadlineExceeded as error:
+            raise DeadlineExceeded(
+                str(error),
+                partial=tuple(Match(m.string, m.distance)
+                              for m in error.partial),
+                scope=error.scope, completed=error.completed,
+                total=error.total,
+            ) from error

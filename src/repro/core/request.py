@@ -1,0 +1,203 @@
+"""The unified request surface: ``SearchRequest`` and ``SearchOptions``.
+
+Before this layer, every entry point had a slightly different calling
+convention: ``SearchEngine.search(query, k, report=...)``,
+``search_many(queries, k, backend=..., report=...)``,
+``run_workload(workload, report=...)``, and each raw searcher its own
+positional spelling. :class:`SearchRequest` is the one value that can
+be handed to any of them — engine methods, the batch executors'
+adapters and :meth:`repro.service.Service.submit` — so callers build a
+request once and route it anywhere.
+
+Legacy ↔ request mapping (the documented compatibility table; the old
+kwarg spellings keep working unchanged):
+
+======================================  ===========================
+Legacy spelling                         Request field
+======================================  ===========================
+``search(query, k)``                    ``query``, ``k``
+``search_many(queries, k)``             ``query`` (a sequence), ``k``
+``run_workload(workload)``              ``SearchRequest.from_workload``
+``search_many(..., backend="...")``     ``backend``
+``search(..., deadline=...)``           ``deadline``
+``search(..., report=True)``            ``options.report``
+``Service.submit(..., allow_partial=)`` ``options.allow_partial``
+======================================  ===========================
+
+Passing both a :class:`SearchRequest` and a conflicting legacy kwarg is
+an error (no silent behavior change): a request is self-contained, so
+``engine.search(request, 3)`` raises rather than guessing which ``k``
+was meant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.core.deadline import Budget, Deadline
+from repro.distance.banded import check_threshold
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Cross-cutting execution options, identical for every backend.
+
+    Attributes
+    ----------
+    report:
+        Return ``(results, SearchReport)`` instead of bare results
+        (engine entry points only).
+    allow_partial:
+        Service-level: when the degradation ladder is exhausted,
+        return the best partial :class:`repro.service.ServiceResult`
+        instead of raising :class:`repro.exceptions.PartialResultError`.
+    use_frequency:
+        Apply the (sound) frequency prefilters; disabling isolates
+        their effect in ablations. Honored by paths that have them.
+    """
+
+    report: bool = False
+    allow_partial: bool = True
+    use_frequency: bool = True
+
+
+#: Shared default so request construction allocates nothing extra.
+DEFAULT_OPTIONS = SearchOptions()
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One similarity query (or batch of queries), fully described.
+
+    Attributes
+    ----------
+    query:
+        A single query string, or a tuple of query strings for batch
+        entry points (``search_many`` / ``run_workload``).
+    k:
+        The edit-distance threshold (validated at construction).
+    deadline:
+        Optional :class:`repro.core.deadline.Deadline` (wall-clock) or
+        :class:`repro.core.deadline.Budget` (work units). ``None``
+        means unbounded — results are exact and byte-identical to the
+        pre-deadline code paths.
+    backend:
+        Optional backend hint: ``"sequential"``, ``"compiled"`` or
+        ``"indexed"``. ``None`` lets the engine's decision rule (or
+        the service's ladder) choose.
+    options:
+        A :class:`SearchOptions` value.
+
+    Examples
+    --------
+    >>> request = SearchRequest("Berlino", 2)
+    >>> request.k
+    2
+    >>> batch = SearchRequest(("Bern", "Ulm"), 1)
+    >>> batch.queries
+    ('Bern', 'Ulm')
+    >>> batch.is_batch
+    True
+    """
+
+    query: str | tuple[str, ...]
+    k: int
+    deadline: Deadline | Budget | None = None
+    backend: str | None = None
+    options: SearchOptions = field(default=DEFAULT_OPTIONS)
+
+    def __post_init__(self) -> None:
+        check_threshold(self.k)
+        if not isinstance(self.query, str):
+            object.__setattr__(self, "query", tuple(self.query))
+            for item in self.query:
+                if not isinstance(item, str):
+                    raise ReproError(
+                        f"batch request queries must be strings, "
+                        f"got {item!r}"
+                    )
+        if self.backend is not None and self.backend not in (
+                "auto", "sequential", "indexed", "compiled"):
+            raise ReproError(
+                f"unknown backend {self.backend!r}; expected 'auto', "
+                "'sequential', 'indexed' or 'compiled'"
+            )
+
+    @property
+    def is_batch(self) -> bool:
+        """Whether this request carries multiple queries."""
+        return not isinstance(self.query, str)
+
+    @property
+    def queries(self) -> tuple[str, ...]:
+        """The queries as a tuple (singleton for a single query)."""
+        if isinstance(self.query, str):
+            return (self.query,)
+        return self.query
+
+    @classmethod
+    def from_workload(cls, workload, *,
+                      deadline: Deadline | Budget | None = None,
+                      backend: str | None = None,
+                      options: SearchOptions = DEFAULT_OPTIONS,
+                      ) -> "SearchRequest":
+        """A batch request over a :class:`repro.data.workload.Workload`."""
+        return cls(tuple(workload.queries), workload.k,
+                   deadline=deadline, backend=backend, options=options)
+
+    def with_options(self, **changes) -> "SearchRequest":
+        """A copy with :class:`SearchOptions` fields replaced."""
+        return replace(self, options=replace(self.options, **changes))
+
+
+def as_request(query, k: int | None = None, *,
+               deadline: Deadline | Budget | None = None,
+               backend: str | None = None,
+               options: SearchOptions | None = None,
+               batch: bool = False) -> SearchRequest:
+    """Normalize the legacy positional form or a request into a request.
+
+    The single adapter every entry point routes through. ``query`` may
+    be a :class:`SearchRequest` (then every legacy argument must be
+    left at its default — conflicts raise, never silently lose) or the
+    legacy ``query``/``queries`` value, combined with ``k`` and the
+    keyword arguments per the mapping in the module docstring.
+    ``batch`` wraps a non-request ``query`` as a batch of queries.
+    """
+    if isinstance(query, SearchRequest):
+        if k is not None:
+            raise ReproError(
+                "pass k inside the SearchRequest, not alongside it"
+            )
+        for name, value in (("deadline", deadline), ("backend", backend),
+                            ("options", options)):
+            if value is not None:
+                raise ReproError(
+                    f"pass {name} inside the SearchRequest, not "
+                    "alongside it"
+                )
+        return query
+    if k is None:
+        raise ReproError(
+            "k is required unless a SearchRequest is passed"
+        )
+    if batch and isinstance(query, str):
+        raise ReproError(
+            "batch entry points take a sequence of queries; pass a "
+            "list/tuple of strings (or a SearchRequest)"
+        )
+    if batch:
+        query = tuple(query)
+    return SearchRequest(
+        query, k, deadline=deadline, backend=backend,
+        options=options if options is not None else DEFAULT_OPTIONS,
+    )
+
+
+def _normalize_batch(queries: Sequence[str] | SearchRequest):
+    """Back-compat helper for executor adapters (queries or request)."""
+    if isinstance(queries, SearchRequest):
+        return list(queries.queries), queries
+    return list(queries), None

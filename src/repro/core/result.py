@@ -9,6 +9,7 @@ strings.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
@@ -83,12 +84,44 @@ class ResultSet:
         """Total matches over all queries."""
         return sum(len(row) for row in self._rows)
 
-    def as_mapping(self) -> Mapping[str, tuple[str, ...]]:
-        """Query → matched strings (last row wins for repeated queries).
+    def by_query(self) -> Mapping[str, tuple[Match, ...]]:
+        """Query → its full :class:`Match` row (last row wins for
+        repeated queries).
 
-        Convenient for result-file writing; batch comparison should use
-        the full row structure (``==``) instead.
+        This is the canonical mapping accessor of the unified request
+        API: it keeps distances, so a consumer can verify or re-rank
+        without re-running the search. Batch comparison should still
+        use the full row structure (``==``), which preserves duplicate
+        queries and order.
         """
+        return dict(zip(self._queries, self._rows))
+
+    def flat(self) -> tuple[Match, ...]:
+        """All matches across all rows, deduplicated and sorted.
+
+        The "one merged answer" view a service caller wants when the
+        per-query breakdown is irrelevant. Duplicate (string, distance)
+        pairs collapse; the same string at different distances (from
+        different queries) stays distinct because the distance is part
+        of the match identity.
+        """
+        return tuple(sorted({match for row in self._rows
+                             for match in row}))
+
+    def as_mapping(self) -> Mapping[str, tuple[str, ...]]:
+        """Deprecated: query → matched strings, distances dropped.
+
+        .. deprecated::
+            Use :meth:`by_query` (full :class:`Match` rows) and project
+            to strings at the call site, or :meth:`flat` for one merged
+            answer. This shape loses distances and will be removed.
+        """
+        warnings.warn(
+            "ResultSet.as_mapping() is deprecated; use by_query() for "
+            "query->Match rows or flat() for one merged answer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return {
             query: tuple(match.string for match in row)
             for query, row in zip(self._queries, self._rows)

@@ -27,6 +27,7 @@ import threading
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
+from repro.core.deadline import Budget, Deadline
 from repro.core.result import Match
 from repro.core.searcher import Searcher
 from repro.distance.banded import (
@@ -37,7 +38,7 @@ from repro.distance.banded import (
 from repro.distance.bitparallel import build_peq
 from repro.distance.dispatch import bounded_distance
 from repro.distance.levenshtein import edit_distance
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceeded, ReproError
 from repro.filters.base import FilterChain
 
 #: Kernel configurations in paper-ladder order.
@@ -208,17 +209,36 @@ class SequentialScanSearcher(Searcher):
             counters["scan.early_aborts"] += early_aborts
             counters["scan.matches"] += matches
 
-    def search(self, query: str, k: int) -> list[Match]:
-        """All distinct dataset strings within distance ``k`` of ``query``."""
+    def search(self, query: str, k: int, *,
+               deadline: Deadline | Budget | None = None) -> list[Match]:
+        """All distinct dataset strings within distance ``k`` of ``query``.
+
+        With a ``deadline`` set, the scan polls it every
+        ``deadline.check_interval`` candidates and raises
+        :class:`DeadlineExceeded` carrying the matches proven so far
+        (a subset of the exact answer). With ``deadline=None`` the code
+        path is byte-identical to before deadlines existed.
+        """
         metrics = self._metrics
         if metrics is not None:
             with metrics.trace("scan.search"):
-                return self._search_impl(query, k)
-        return self._search_impl(query, k)
+                return self._search_impl(query, k, deadline)
+        return self._search_impl(query, k, deadline)
 
-    def _search_impl(self, query: str, k: int) -> list[Match]:
+    def _search_impl(self, query: str, k: int,
+                     deadline: Deadline | Budget | None = None
+                     ) -> list[Match]:
         check_threshold(k)
         candidates = self._candidates(query, k)
+        candidate_count = len(candidates)
+        found: dict[str, int] = {}
+        if deadline is not None:
+            # Deadline runs go through a checking generator: zero cost
+            # on the deadline-free path, one poll per check_interval
+            # candidates otherwise. The generator closes over ``found``
+            # so the exception can carry everything proven so far.
+            candidates = _checked_candidates(candidates, deadline,
+                                             found, query, k)
         prefilter = self._prefilter
         if prefilter is not None:
             prefilter.prepare_query(query)
@@ -226,13 +246,12 @@ class SequentialScanSearcher(Searcher):
         # Work counters, kept in locals through the hot loops and
         # flushed once at the end: with ``order="length"`` the strings
         # the window never visits are length-filter rejects too.
-        length_rejects = (len(self._dataset) - len(candidates)
+        length_rejects = (len(self._dataset) - candidate_count
                           if self._sorted is not None else 0)
         prefilter_rejects = 0
         kernel_calls = 0
         early_aborts = 0
 
-        found: dict[str, int] = {}
         kernel = self._kernel
         if kernel == "reference":
             for candidate in candidates:
@@ -286,7 +305,7 @@ class SequentialScanSearcher(Searcher):
                         found.setdefault(candidate, len(candidate))
                     else:
                         length_rejects += 1
-                self._flush_counters(len(candidates), length_rejects,
+                self._flush_counters(candidate_count, length_rejects,
                                      0, 0, 0, len(found))
                 return sorted(
                     (Match(s, d) for s, d in found.items())
@@ -344,9 +363,43 @@ class SequentialScanSearcher(Searcher):
                 else:
                     early_aborts += 1
 
-        self._flush_counters(len(candidates), length_rejects,
+        self._flush_counters(candidate_count, length_rejects,
                              prefilter_rejects, kernel_calls,
                              early_aborts, len(found))
         return sorted(
             (Match(string, distance) for string, distance in found.items())
         )
+
+
+def _checked_candidates(candidates: Sequence[str],
+                        deadline: Deadline | Budget,
+                        found: dict[str, int], query: str, k: int):
+    """Yield candidates, polling the deadline every ``check_interval``.
+
+    On expiry raises :class:`DeadlineExceeded` carrying the matches the
+    enclosing scan had fully verified by then (``found`` is the scan's
+    live result dict, mutated in place as the kernel proves matches).
+    """
+    interval = deadline.check_interval
+    countdown = interval
+    total = len(candidates)
+    scanned = 0
+    for candidate in candidates:
+        yield candidate
+        scanned += 1
+        countdown -= 1
+        if not countdown:
+            countdown = interval
+            if deadline.spend(interval):
+                raise DeadlineExceeded(
+                    f"sequential scan for {query!r} (k={k}) exceeded "
+                    f"its deadline after {scanned} of {total} "
+                    "candidates",
+                    partial=tuple(sorted(
+                        Match(string, distance)
+                        for string, distance in found.items()
+                    )),
+                    scope="candidates",
+                    completed=scanned,
+                    total=total,
+                )

@@ -63,6 +63,73 @@ class VerificationError(ReproError):
         self.spurious = spurious
 
 
+class DeadlineExceeded(ReproError):
+    """A query ran out of time (or work budget) before finishing.
+
+    Raised by every hot path that accepts a deadline — the sequential
+    scan, the compiled batch scan, the object-trie traversal and the
+    flat-trie descent — and by the layers above them (batch executors,
+    sharded corpus, service). The exception always carries *partial,
+    well-labeled results*: everything the aborted computation had
+    already proven before the deadline fired. Partial matches are true
+    matches (each one was fully verified before the abort), so the
+    partial set is a subset of the exact answer — never a superset.
+
+    Attributes
+    ----------
+    partial:
+        What completed before the abort. A tuple of
+        :class:`repro.core.result.Match` for single-query paths; a
+        mapping of ``query -> tuple[Match, ...]`` for batch paths
+        (completed queries only); merged matches for sharded paths.
+    scope:
+        What ``completed``/``total`` count: ``"candidates"`` (scan
+        paths), ``"nodes"`` (trie paths), ``"queries"`` (batch
+        executors) or ``"shards"`` (sharded corpus).
+    completed / total:
+        Progress through that scope when the deadline fired
+        (``total`` may be 0 when the path cannot know it cheaply).
+    """
+
+    def __init__(self, message: str, *, partial: object = (),
+                 scope: str = "candidates", completed: int = 0,
+                 total: int = 0) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.scope = scope
+        self.completed = completed
+        self.total = total
+
+
+class ServiceOverloaded(ReproError):
+    """The service's admission queue is full; the request was rejected.
+
+    Explicit load shedding: callers should back off and retry rather
+    than pile onto a saturated service. ``capacity`` and ``in_flight``
+    describe the admission state at rejection time.
+    """
+
+    def __init__(self, message: str, *, capacity: int = 0,
+                 in_flight: int = 0) -> None:
+        super().__init__(message)
+        self.capacity = capacity
+        self.in_flight = in_flight
+
+
+class PartialResultError(ReproError):
+    """Only partial results are available and the caller required all.
+
+    Raised by :class:`repro.service.Service` when the degradation
+    ladder is exhausted and ``allow_partial=False``; ``result`` holds
+    the best partial :class:`repro.service.ServiceResult` so callers
+    that change their mind can still use it.
+    """
+
+    def __init__(self, message: str, *, result: object = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
 class IndexConstructionError(ReproError):
     """An index could not be built from the supplied dataset."""
 

@@ -29,12 +29,13 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterable, Sequence
 
+from repro.core.deadline import Budget, Deadline
 from repro.core.result import Match, ResultSet
 from repro.core.searcher import QueryRunner, Searcher
 from repro.data.alphabet import Alphabet
 from repro.data.workload import Workload
 from repro.distance.banded import check_threshold
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceeded, ReproError
 from repro.index.flat import FlatTrie, flat_similarity_search
 from repro.index.traversal import TraversalStats
 from repro.scan.cache import LRUCache
@@ -61,7 +62,8 @@ def _flush_trie_counters(counters: dict, stats: TraversalStats) -> None:
 def probe_query(flat: FlatTrie, query: str, k: int, *,
                 use_frequency: bool = True,
                 row_bank: list | None = None,
-                counters: dict | None = None) -> list[Match]:
+                counters: dict | None = None,
+                deadline: Deadline | Budget | None = None) -> list[Match]:
     """One query's matches through the compiled trie, as core matches.
 
     The flat trie collapses duplicates into terminal multiplicities, so
@@ -74,15 +76,29 @@ def probe_query(flat: FlatTrie, query: str, k: int, *,
     end.
     """
     stats = TraversalStats() if counters is not None else None
-    matches = [
-        Match(m.string, m.distance)
-        for m in flat_similarity_search(
-            flat, query, k,
-            use_frequency_pruning=use_frequency,
-            stats=stats,
-            row_bank=row_bank,
-        )
-    ]
+    try:
+        matches = [
+            Match(m.string, m.distance)
+            for m in flat_similarity_search(
+                flat, query, k,
+                use_frequency_pruning=use_frequency,
+                stats=stats,
+                row_bank=row_bank,
+                deadline=deadline,
+            )
+        ]
+    except DeadlineExceeded as error:
+        if counters is not None:
+            _flush_trie_counters(counters, stats)
+        # Re-surface the partial in the core Match currency every
+        # batch layer speaks.
+        raise DeadlineExceeded(
+            str(error),
+            partial=tuple(Match(m.string, m.distance)
+                          for m in error.partial),
+            scope=error.scope, completed=error.completed,
+            total=error.total,
+        ) from error
     if counters is not None:
         _flush_trie_counters(counters, stats)
     return matches
@@ -196,7 +212,9 @@ class BatchIndexExecutor:
             metrics.merge_counts(counters)
             metrics.observe("index.probe", seconds)
 
-    def _probe_with_bank(self, query: str, k: int) -> tuple[Match, ...]:
+    def _probe_with_bank(self, query: str, k: int,
+                         deadline: Deadline | Budget | None = None
+                         ) -> tuple[Match, ...]:
         """Serial-path probe: reuse the executor's DP row bank.
 
         Row-bank reuse is counted here — rows the bank already held are
@@ -207,10 +225,15 @@ class BatchIndexExecutor:
         bank = self._row_bank
         held = len(bank)
         started = perf_counter()
-        row = tuple(probe_query(self._flat, query, k,
-                                use_frequency=self._use_frequency,
-                                row_bank=bank,
-                                counters=counters))
+        try:
+            row = tuple(probe_query(self._flat, query, k,
+                                    use_frequency=self._use_frequency,
+                                    row_bank=bank,
+                                    counters=counters,
+                                    deadline=deadline))
+        except DeadlineExceeded:
+            self._merge_counters(counters, perf_counter() - started)
+            raise
         seconds = perf_counter() - started
         grown = len(bank) - held
         counters["trie.rows_allocated"] = grown
@@ -230,12 +253,18 @@ class BatchIndexExecutor:
         """The result memo (``None`` when disabled)."""
         return self._cache
 
-    def search(self, query: str, k: int) -> list[Match]:
-        """One query's matches (memoized like any batch member)."""
+    def search(self, query: str, k: int, *,
+               deadline: Deadline | Budget | None = None) -> list[Match]:
+        """One query's matches (memoized like any batch member).
+
+        With a ``deadline`` set, an expiring descent raises
+        :class:`DeadlineExceeded` carrying the matches proven so far;
+        partial rows are never stored in the memo.
+        """
         check_threshold(k)
         row = self._cached_row(query, k)
         if row is None:
-            row = self._probe_with_bank(query, k)
+            row = self._probe_with_bank(query, k, deadline)
             self.stats.scans_executed += 1
             self._store_row(query, k, row)
         else:
@@ -245,13 +274,20 @@ class BatchIndexExecutor:
         return list(row)
 
     def search_many(self, queries: Sequence[str], k: int, *,
-                    runner: QueryRunner | None = None) -> ResultSet:
+                    runner: QueryRunner | None = None,
+                    deadline: Deadline | Budget | None = None
+                    ) -> ResultSet:
         """Answer a whole batch, amortizing per-query work.
 
         Returns a :class:`ResultSet` with one row per input query, in
         input order — duplicate queries share one descent but still get
         their own (identical) rows, so the result is directly
         comparable to any per-query searcher's.
+
+        With a ``deadline`` set, distinct queries execute serially (so
+        the abort point is well-defined) and an expiry raises
+        :class:`DeadlineExceeded` whose ``partial`` is a mapping of the
+        *completed* queries to their full rows.
         """
         check_threshold(k)
         queries = list(queries)
@@ -269,15 +305,39 @@ class BatchIndexExecutor:
                 self.stats.cache_hits += 1
 
         if misses:
-            rows = self._execute(misses, k, runner)
-            for query, row in zip(misses, rows):
-                resolved[query] = row
-                self._store_row(query, k, row)
-            self.stats.scans_executed += len(misses)
+            if deadline is not None:
+                self._execute_bounded(misses, k, deadline, resolved,
+                                      total=len(order))
+            else:
+                rows = self._execute(misses, k, runner)
+                for query, row in zip(misses, rows):
+                    resolved[query] = row
+                    self._store_row(query, k, row)
+                self.stats.scans_executed += len(misses)
 
         self.stats.queries_seen += len(queries)
         self.stats.unique_queries += len(order)
         return ResultSet(queries, [resolved[query] for query in queries])
+
+    def _execute_bounded(self, misses: list[str], k: int,
+                         deadline: Deadline | Budget,
+                         resolved: dict[str, tuple[Match, ...]],
+                         total: int) -> None:
+        """Serial deadline-bounded execution, filling ``resolved``."""
+        for query in misses:
+            try:
+                row = self._probe_with_bank(query, k, deadline)
+            except DeadlineExceeded as error:
+                raise DeadlineExceeded(
+                    f"batch index probe exceeded its deadline with "
+                    f"{len(resolved)} of {total} distinct queries "
+                    f"complete (in-flight: {error})",
+                    partial=dict(resolved), scope="queries",
+                    completed=len(resolved), total=total,
+                ) from error
+            self.stats.scans_executed += 1
+            resolved[query] = row
+            self._store_row(query, k, row)
 
     def run_workload(self, workload: Workload,
                      runner: QueryRunner | None = None) -> ResultSet:
@@ -369,14 +429,16 @@ class FlatIndexSearcher(Searcher):
         """The distinct indexed strings (lexicographic order)."""
         return self._flat.strings
 
-    def search(self, query: str, k: int) -> list[Match]:
+    def search(self, query: str, k: int, *, deadline=None) -> list[Match]:
         """All distinct dataset strings within distance ``k``."""
-        return self._executor.search(query, k)
+        return self._executor.search(query, k, deadline=deadline)
 
     def search_many(self, queries, k: int, *,
-                    runner: QueryRunner | None = None) -> ResultSet:
+                    runner: QueryRunner | None = None,
+                    deadline=None) -> ResultSet:
         """Batch entry point (see :meth:`BatchIndexExecutor.search_many`)."""
-        return self._executor.search_many(queries, k, runner=runner)
+        return self._executor.search_many(queries, k, runner=runner,
+                                          deadline=deadline)
 
     def run_workload(self, workload: Workload,
                      runner: QueryRunner | None = None) -> ResultSet:

@@ -44,9 +44,10 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Iterable, Iterator
 
+from repro.core.deadline import Budget, Deadline
 from repro.data.alphabet import Alphabet
 from repro.distance.banded import check_threshold
-from repro.exceptions import IndexConstructionError
+from repro.exceptions import DeadlineExceeded, IndexConstructionError
 from repro.filters.frequency import frequency_vector
 from repro.index.compressed import CompressedTrie
 from repro.index.traversal import TraversalStats, TrieMatch
@@ -345,6 +346,7 @@ def flat_similarity_search(flat: FlatTrie, query: str, k: int, *,
                            use_frequency_pruning: bool = True,
                            stats: TraversalStats | None = None,
                            row_bank: list | None = None,
+                           deadline: Deadline | Budget | None = None,
                            ) -> list[TrieMatch]:
     """All dataset strings within edit distance ``k`` of ``query``.
 
@@ -370,6 +372,13 @@ def flat_similarity_search(flat: FlatTrie, query: str, k: int, *,
         Optional caller-owned list of DP row buffers, reused across
         calls (the executor passes one per worker); grown on demand,
         never shrunk.
+    deadline:
+        Optional :class:`repro.core.deadline.Deadline` /
+        :class:`repro.core.deadline.Budget`, polled every
+        ``check_interval`` visited nodes; on expiry the descent raises
+        :class:`DeadlineExceeded` carrying the matches proven so far
+        (a subset of the exact answer), with the stats object already
+        updated with the partial traversal's work.
 
     Examples
     --------
@@ -437,9 +446,32 @@ def flat_similarity_search(flat: FlatTrie, query: str, k: int, *,
     push = frames.append
     pop = frames.pop
 
+    check_interval = deadline.check_interval if deadline is not None else 0
+    countdown = check_interval
+
     while frames:
         node, depth = pop()
         nodes_visited += 1
+
+        if countdown:
+            countdown -= 1
+            if not countdown:
+                countdown = check_interval
+                if deadline.spend(check_interval):
+                    stats.nodes_visited += nodes_visited
+                    stats.symbols_processed += symbols_total
+                    stats.branches_pruned_by_length += pruned_length
+                    stats.branches_pruned_by_frequency += pruned_frequency
+                    stats.matches += len(matches)
+                    matches.sort(key=lambda match: match.string)
+                    raise DeadlineExceeded(
+                        f"flat-trie descent for {query!r} (k={k}) "
+                        f"exceeded its deadline after {nodes_visited} "
+                        "nodes",
+                        partial=tuple(matches), scope="nodes",
+                        completed=nodes_visited,
+                        total=flat.node_count,
+                    )
 
         if query_frequency is not None:
             base = node * width

@@ -32,7 +32,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
+from repro.core.deadline import Budget, Deadline
 from repro.distance.banded import check_threshold
+from repro.exceptions import DeadlineExceeded
 from repro.filters.frequency import frequency_vector
 from repro.index.node import TrieNode
 
@@ -86,6 +88,7 @@ class TraversalStats:
 def trie_similarity_search(trie: _TrieLike, query: str, k: int, *,
                            use_frequency_pruning: bool = True,
                            stats: TraversalStats | None = None,
+                           deadline: Deadline | Budget | None = None,
                            ) -> list[TrieMatch]:
     """All dataset strings within edit distance ``k`` of ``query``.
 
@@ -102,6 +105,12 @@ def trie_similarity_search(trie: _TrieLike, query: str, k: int, *,
         annotations; disabling it isolates the effect in ablations.
     stats:
         Optional counter object to fill with traversal work.
+    deadline:
+        Optional :class:`repro.core.deadline.Deadline` /
+        :class:`repro.core.deadline.Budget`, polled every
+        ``check_interval`` visited nodes; on expiry the descent raises
+        :class:`DeadlineExceeded` carrying the matches proven so far
+        (a subset of the exact answer).
 
     Returns
     -------
@@ -125,7 +134,8 @@ def trie_similarity_search(trie: _TrieLike, query: str, k: int, *,
             query, tracked, trie.case_insensitive_frequencies
         )
 
-    search = _Descent(query, k, trie.max_depth, query_frequency, stats)
+    search = _Descent(query, k, trie.max_depth, query_frequency, stats,
+                      deadline=deadline)
     search.visit(trie.root, "")
     search.matches.sort(key=lambda match: match.string)
     return search.matches
@@ -141,13 +151,16 @@ class _Descent:
 
     def __init__(self, query: str, k: int, max_depth: int,
                  query_frequency: tuple[int, ...] | None,
-                 stats: TraversalStats) -> None:
+                 stats: TraversalStats, *,
+                 deadline: Deadline | Budget | None = None) -> None:
         self._query = query
         self._k = k
         self._n = len(query)
         self._infinity = k + 1
         self._frequency = query_frequency
         self._stats = stats
+        self._deadline = deadline
+        self._countdown = deadline.check_interval if deadline else 0
         self.matches: list[TrieMatch] = []
         # Depth-indexed row buffers; row 0 is the classic first DP row,
         # banded: cells beyond k are unreachable within the threshold.
@@ -168,6 +181,20 @@ class _Descent:
         """Process ``node``: prune, consume its label, collect, recurse."""
         stats = self._stats
         stats.nodes_visited += 1
+        if self._countdown:
+            self._countdown -= 1
+            if not self._countdown:
+                deadline = self._deadline
+                self._countdown = deadline.check_interval
+                if deadline.spend(deadline.check_interval):
+                    self.matches.sort(key=lambda match: match.string)
+                    raise DeadlineExceeded(
+                        f"trie traversal for {self._query!r} "
+                        f"(k={self._k}) exceeded its deadline after "
+                        f"{stats.nodes_visited} nodes",
+                        partial=tuple(self.matches), scope="nodes",
+                        completed=stats.nodes_visited,
+                    )
         k = self._k
         n = self._n
 

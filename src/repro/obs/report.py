@@ -38,7 +38,7 @@ REPORT_SCHEMA: dict[str, Any] = {
     "schema_version": int,
     "backend": str,        # side that actually served the call
     "engine": str,         # serving searcher/executor name
-    "mode": str,           # "search" | "batch" | "workload"
+    "mode": str,           # "search" | "batch" | "workload" | "service"
     "queries": int,
     "k": int,
     "matches": int,
@@ -55,8 +55,9 @@ BATCH_SCHEMA_KEYS = (
     "cache_hits", "scans_executed",
 )
 
-#: Allowed ``mode`` values.
-REPORT_MODES = ("search", "batch", "workload")
+#: Allowed ``mode`` values. ``"service"`` reports come from
+#: :class:`repro.service.Service` (additive — same schema version).
+REPORT_MODES = ("search", "batch", "workload", "service")
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,11 @@ from repro.parallel.executor import (
     runner_from_strategy,
 )
 from repro.parallel.metrics import SimulationResult, UtilizationSample
-from repro.parallel.partition import balanced_chunks, round_robin_chunks
+from repro.parallel.partition import (
+    balanced_chunks,
+    partition_dataset,
+    round_robin_chunks,
+)
 from repro.parallel.simulator import (
     SchedulerModel,
     simulate_adaptive,
@@ -54,6 +58,7 @@ __all__ = [
     "FixedPoolStrategy",
     "AdaptiveStrategy",
     "balanced_chunks",
+    "partition_dataset",
     "round_robin_chunks",
     "SerialRunner",
     "ThreadPoolRunner",

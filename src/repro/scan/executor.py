@@ -29,11 +29,12 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
 
+from repro.core.deadline import Budget, Deadline
 from repro.core.result import Match, ResultSet
 from repro.core.searcher import QueryRunner
 from repro.distance.banded import check_threshold
 from repro.distance.bitparallel import build_peq
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceeded, ReproError
 from repro.scan.cache import LRUCache
 from repro.scan.corpus import CompiledCorpus
 
@@ -65,7 +66,8 @@ def _flush_scan_counters(counters: dict, *, buckets: int, candidates: int,
 def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
                lo: int | None = None, hi: int | None = None,
                use_frequency: bool = True,
-               counters: dict | None = None) -> list[Match]:
+               counters: dict | None = None,
+               deadline: Deadline | Budget | None = None) -> list[Match]:
     """Scan one query against (a bucket slice of) a compiled corpus.
 
     The hot loop is the same inlined Myers recurrence as the
@@ -82,6 +84,12 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
     scan's work profile to (buckets/candidates scanned, frequency
     rejects, kernel calls, early aborts, matches). The hot loop only
     maintains local integers; the mapping is touched once at the end.
+
+    ``deadline`` bounds the scan: polled every
+    ``deadline.check_interval`` candidates, and on expiry the function
+    raises :class:`DeadlineExceeded` carrying the matches proven so far
+    (a subset of the exact answer). ``deadline=None`` keeps the hot
+    loop byte-identical in behavior to the pre-deadline code.
     """
     check_threshold(k)
     window_lo, window_hi = corpus.window(len(query), k)
@@ -103,10 +111,21 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
     freq_rejects = 0
     early_aborts = 0
 
+    check_interval = deadline.check_interval if deadline is not None else 0
+    countdown = check_interval
+
     if n == 0:
         # Every bucket in the window has length <= k; the distance to an
         # empty query is the candidate's length.
         for bucket in buckets:
+            if check_interval and deadline.spend(len(bucket.strings)):
+                matches.sort()
+                raise DeadlineExceeded(
+                    f"compiled scan for {query!r} (k={k}) exceeded its "
+                    f"deadline after {candidates} candidates",
+                    partial=tuple(matches), scope="candidates",
+                    completed=candidates,
+                )
             distance = bucket.length
             candidates += len(bucket.strings)
             matches.extend(Match(s, distance) for s in bucket.strings)
@@ -131,6 +150,26 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
         frequencies = bucket.frequencies
         candidates += len(strings)
         for index, codes in enumerate(bucket.encoded):
+            if countdown:
+                countdown -= 1
+                if not countdown:
+                    countdown = check_interval
+                    if deadline.spend(check_interval):
+                        matches.sort()
+                        if counters is not None:
+                            _flush_scan_counters(
+                                counters, buckets=len(buckets),
+                                candidates=candidates,
+                                freq_rejects=freq_rejects,
+                                early_aborts=early_aborts,
+                                matches=len(matches))
+                        raise DeadlineExceeded(
+                            f"compiled scan for {query!r} (k={k}) "
+                            "exceeded its deadline mid-bucket",
+                            partial=tuple(matches), scope="candidates",
+                            completed=candidates - len(strings) + index,
+                            total=sum(len(b.strings) for b in buckets),
+                        )
             if check_frequency:
                 # Inlined frequency_lower_bound: the larger of total
                 # surplus and total deficit bounds the edit distance.
@@ -341,16 +380,27 @@ class BatchScanExecutor:
         """The result memo (``None`` when disabled)."""
         return self._cache
 
-    def search(self, query: str, k: int) -> list[Match]:
-        """One query's matches (memoized like any batch member)."""
+    def search(self, query: str, k: int, *,
+               deadline: Deadline | Budget | None = None) -> list[Match]:
+        """One query's matches (memoized like any batch member).
+
+        With a ``deadline`` set, an expiring scan raises
+        :class:`DeadlineExceeded` carrying the matches proven so far;
+        partial rows are never stored in the memo.
+        """
         check_threshold(k)
         row = self._cached_row(query, k)
         if row is None:
             counters: dict = {}
             started = perf_counter()
-            row = tuple(scan_query(self._corpus, query, k,
-                                   use_frequency=self._use_frequency,
-                                   counters=counters))
+            try:
+                row = tuple(scan_query(self._corpus, query, k,
+                                       use_frequency=self._use_frequency,
+                                       counters=counters,
+                                       deadline=deadline))
+            except DeadlineExceeded:
+                self._merge_counters(counters, perf_counter() - started)
+                raise
             self._merge_counters(counters, perf_counter() - started)
             self.stats.scans_executed += 1
             self._store_row(query, k, row)
@@ -361,13 +411,20 @@ class BatchScanExecutor:
         return list(row)
 
     def search_many(self, queries: Sequence[str], k: int, *,
-                    runner: QueryRunner | None = None) -> ResultSet:
+                    runner: QueryRunner | None = None,
+                    deadline: Deadline | Budget | None = None
+                    ) -> ResultSet:
         """Answer a whole batch, amortizing per-query work.
 
         Returns a :class:`ResultSet` with one row per input query, in
         input order — duplicate queries share one scan but still get
         their own (identical) rows, so the result is directly
         comparable to any per-query searcher's.
+
+        With a ``deadline`` set, distinct queries are executed serially
+        (so the abort point is well-defined) and an expiry raises
+        :class:`DeadlineExceeded` whose ``partial`` is a mapping of the
+        *completed* queries to their full rows.
         """
         check_threshold(k)
         queries = list(queries)
@@ -385,15 +442,50 @@ class BatchScanExecutor:
                 self.stats.cache_hits += 1
 
         if misses:
-            rows = self._execute(misses, k, runner)
-            for query, row in zip(misses, rows):
-                resolved[query] = row
-                self._store_row(query, k, row)
-            self.stats.scans_executed += len(misses)
+            if deadline is not None:
+                self._execute_bounded(misses, k, deadline, resolved,
+                                      total=len(order))
+            else:
+                rows = self._execute(misses, k, runner)
+                for query, row in zip(misses, rows):
+                    resolved[query] = row
+                    self._store_row(query, k, row)
+                self.stats.scans_executed += len(misses)
 
         self.stats.queries_seen += len(queries)
         self.stats.unique_queries += len(order)
         return ResultSet(queries, [resolved[query] for query in queries])
+
+    def _execute_bounded(self, misses: list[str], k: int,
+                         deadline: Deadline | Budget,
+                         resolved: dict[str, tuple[Match, ...]],
+                         total: int) -> None:
+        """Serial deadline-bounded execution, filling ``resolved``.
+
+        On expiry re-raises with the batch-level partial: every
+        *completed* query's full row (cache hits included).
+        """
+        for query in misses:
+            counters: dict = {}
+            started = perf_counter()
+            try:
+                row = tuple(scan_query(self._corpus, query, k,
+                                       use_frequency=self._use_frequency,
+                                       counters=counters,
+                                       deadline=deadline))
+            except DeadlineExceeded as error:
+                self._merge_counters(counters, perf_counter() - started)
+                raise DeadlineExceeded(
+                    f"batch scan exceeded its deadline with "
+                    f"{len(resolved)} of {total} distinct queries "
+                    f"complete (in-flight: {error})",
+                    partial=dict(resolved), scope="queries",
+                    completed=len(resolved), total=total,
+                ) from error
+            self._merge_counters(counters, perf_counter() - started)
+            self.stats.scans_executed += 1
+            resolved[query] = row
+            self._store_row(query, k, row)
 
     def run_workload(self, workload, runner: QueryRunner | None = None
                      ) -> ResultSet:

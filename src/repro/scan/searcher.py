@@ -83,14 +83,16 @@ class CompiledScanSearcher(Searcher):
         """The distinct searched strings (compile order)."""
         return self._corpus.strings
 
-    def search(self, query: str, k: int) -> list[Match]:
+    def search(self, query: str, k: int, *, deadline=None) -> list[Match]:
         """All distinct dataset strings within distance ``k``."""
-        return self._executor.search(query, k)
+        return self._executor.search(query, k, deadline=deadline)
 
     def search_many(self, queries, k: int, *,
-                    runner: QueryRunner | None = None) -> ResultSet:
+                    runner: QueryRunner | None = None,
+                    deadline=None) -> ResultSet:
         """Batch entry point (see :meth:`BatchScanExecutor.search_many`)."""
-        return self._executor.search_many(queries, k, runner=runner)
+        return self._executor.search_many(queries, k, runner=runner,
+                                          deadline=deadline)
 
     def run_workload(self, workload: Workload,
                      runner: QueryRunner | None = None) -> ResultSet:

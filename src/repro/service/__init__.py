@@ -1,0 +1,44 @@
+"""repro.service — the deadline-aware resilient query service.
+
+The operational layer over the library's engines: unified
+:class:`repro.core.request.SearchRequest` submits, wall-clock
+(:class:`repro.core.deadline.Deadline`) or work-unit
+(:class:`repro.core.deadline.Budget`) deadlines with honest partial
+results, a sharded corpus so expiries only forfeit lagging shards, a
+degradation ladder down to a filter-only pass that always answers, and
+bounded admission control. See docs/SERVICE.md for the full contract.
+"""
+
+from repro.service.plans import (
+    BackendPlan,
+    FilterOnlyPlan,
+    PlanResult,
+    default_ladder,
+)
+from repro.service.service import (
+    DEFAULT_CAPACITY,
+    SERVICE_COUNTERS,
+    SERVICE_STATUSES,
+    Service,
+    ServiceResult,
+)
+from repro.service.sharding import (
+    SHARD_PLAN_KINDS,
+    ShardedCorpus,
+    merge_matches,
+)
+
+__all__ = [
+    "Service",
+    "ServiceResult",
+    "ShardedCorpus",
+    "merge_matches",
+    "BackendPlan",
+    "FilterOnlyPlan",
+    "PlanResult",
+    "default_ladder",
+    "SERVICE_COUNTERS",
+    "SERVICE_STATUSES",
+    "SHARD_PLAN_KINDS",
+    "DEFAULT_CAPACITY",
+]

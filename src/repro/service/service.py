@@ -1,0 +1,385 @@
+"""The deadline-aware resilient query service.
+
+:class:`Service` is the operational wrapper the library was missing:
+where :class:`repro.core.engine.SearchEngine` answers "which algorithm
+should serve this data", the service answers "what happens when the
+answer must arrive *by then*". It composes four mechanisms:
+
+* **admission control** — a bounded in-flight slot pool; a submit that
+  finds no free slot is rejected immediately with
+  :class:`repro.exceptions.ServiceOverloaded` instead of queueing
+  unboundedly (fail fast beats fail slow);
+* **sharded execution** — queries run over a
+  :class:`repro.service.sharding.ShardedCorpus`, so an expiring
+  deadline only forfeits the shards that had not finished;
+* **a degradation ladder** — an ordered tuple of plans
+  (:mod:`repro.service.plans`); when a rung raises, the service backs
+  off (bounded exponential, capped by the remaining wall-clock
+  deadline) and tries the next rung, down to a filter-only pass that
+  always answers;
+* **observability** — ``service.*`` counters and per-attempt spans
+  through :mod:`repro.obs`, and a :meth:`Service.report` that emits
+  the standard validated :class:`repro.obs.SearchReport` with
+  ``mode="service"``.
+
+The result is always a :class:`ServiceResult` that says *exactly* what
+the caller got: ``complete`` (exact, first rung), ``degraded`` (exact,
+lower rung), ``partial`` (verified subset rescued from an expiry) or
+``candidates`` (unverified filter-only superset). Verified flags are
+never inflated — a partial or candidate answer can be acted on, but
+cannot be mistaken for the full exact answer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.deadline import Budget, Deadline
+from repro.core.request import SearchOptions, SearchRequest, as_request
+from repro.core.result import Match
+from repro.exceptions import (
+    DeadlineExceeded,
+    PartialResultError,
+    ReproError,
+    ServiceOverloaded,
+)
+from repro.obs.registry import NULL, MetricsRegistry
+from repro.obs.report import SearchReport, build_report
+from repro.service.plans import default_ladder
+from repro.service.sharding import ShardedCorpus
+
+#: Result statuses, best to worst.
+SERVICE_STATUSES = ("complete", "degraded", "partial", "candidates")
+
+#: Counters the service reports (``service.*`` namespace; open
+#: counters section of the standard report schema).
+SERVICE_COUNTERS = (
+    "service.submitted",
+    "service.accepted",
+    "service.rejected",
+    "service.completed",
+    "service.degraded",
+    "service.partial",
+    "service.candidates",
+    "service.deadline_expirations",
+    "service.retries",
+    "service.attempts",
+)
+
+#: Default bounded-queue capacity (concurrent in-flight submits).
+DEFAULT_CAPACITY = 8
+
+#: Default extra attempts per rung after the first.
+DEFAULT_RETRY_BUDGET = 1
+
+#: Exponential backoff: first retry sleeps ``base``, then doubles.
+DEFAULT_BACKOFF_BASE = 0.005
+
+#: Backoff never exceeds this many seconds per sleep.
+DEFAULT_BACKOFF_CAP = 0.05
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What one submit produced, honestly labeled.
+
+    Attributes
+    ----------
+    query:
+        The submitted query.
+    k:
+        The edit-distance threshold.
+    status:
+        One of :data:`SERVICE_STATUSES` — ``complete`` (exact answer
+        from the preferred rung), ``degraded`` (exact answer from a
+        lower rung), ``partial`` (verified subset of the exact answer,
+        rescued from a deadline expiry) or ``candidates`` (unverified
+        filter-only superset; distances are lower bounds).
+    matches:
+        Sorted, deduplicated matches.
+    verified:
+        ``True`` iff every match carries a true edit distance
+        ``<= k``. ``partial`` results are verified but incomplete.
+    plan:
+        Name of the plan that produced the matches (``""`` when an
+        expiry left only merged partials).
+    attempts:
+        Total plan executions performed for this submit.
+    """
+
+    query: str
+    k: int
+    status: str
+    matches: tuple[Match, ...]
+    verified: bool
+    plan: str
+    attempts: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether the matches are the full exact answer."""
+        return self.status in ("complete", "degraded")
+
+
+class Service:
+    """Deadline-aware similarity-search service over one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The strings to serve, or a prebuilt :class:`ShardedCorpus`.
+    shards:
+        Shard count when building the corpus here.
+    capacity:
+        Maximum concurrent in-flight submits; the bounded queue. A
+        submit beyond it raises :class:`ServiceOverloaded` immediately.
+    retry_budget:
+        Extra attempts per rung after the first, for transient errors.
+        Deadline expiry never retries the same rung — it degrades.
+    backoff_base / backoff_cap:
+        Bounded exponential backoff between retries, in seconds; each
+        sleep is additionally capped by the remaining wall-clock
+        deadline.
+    plans:
+        The degradation ladder, best rung first. Defaults to
+        :func:`repro.service.plans.default_ladder`. Injectable for
+        tests (any object with ``name`` and
+        ``run(corpus, query, k, deadline)``).
+    scheme:
+        Dataset partition scheme (see :class:`ShardedCorpus`).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` for spans; the
+        always-on ``service.*`` counters do not need it.
+    sleep:
+        Injectable sleep function (tests pass a recorder).
+
+    Examples
+    --------
+    >>> service = Service(["Berlin", "Bern", "Ulm"], shards=2)
+    >>> result = service.submit("Berlino", 2)
+    >>> result.status
+    'complete'
+    >>> [m.string for m in result.matches]
+    ['Berlin']
+    """
+
+    def __init__(self, dataset: Iterable[str] | ShardedCorpus, *,
+                 shards: int = 4,
+                 capacity: int = DEFAULT_CAPACITY,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 plans: Sequence | None = None,
+                 scheme: str = "round_robin",
+                 metrics: MetricsRegistry | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if capacity < 1:
+            raise ReproError(
+                f"capacity must be positive, got {capacity}"
+            )
+        if retry_budget < 0:
+            raise ReproError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        if isinstance(dataset, ShardedCorpus):
+            self._corpus = dataset
+        else:
+            self._corpus = ShardedCorpus(dataset, shards, scheme=scheme)
+        self._plans = tuple(plans) if plans is not None \
+            else default_ladder()
+        if not self._plans:
+            raise ReproError("the plan ladder must have at least one rung")
+        self._capacity = capacity
+        self._retry_budget = retry_budget
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._slots = threading.BoundedSemaphore(capacity)
+        self._in_flight = 0
+        self._metrics = metrics if metrics is not None else NULL
+        self._sleep = sleep
+        self._counters = dict.fromkeys(SERVICE_COUNTERS, 0)
+        self._counters_lock = threading.Lock()
+        self._last_seconds = 0.0
+
+    @property
+    def corpus(self) -> ShardedCorpus:
+        """The sharded data side."""
+        return self._corpus
+
+    @property
+    def capacity(self) -> int:
+        """The bounded queue's size."""
+        return self._capacity
+
+    @property
+    def plans(self) -> tuple:
+        """The degradation ladder, best rung first."""
+        return self._plans
+
+    def attach_metrics(self, registry: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a span/timer registry."""
+        self._metrics = registry if registry is not None else NULL
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``service.*`` counters since construction."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[name] += value
+        self._metrics.inc(name, value)
+
+    # ----------------------------------------------------------------
+
+    def submit(self, query: str | SearchRequest, k: int | None = None,
+               *, deadline: Deadline | Budget | None = None,
+               backend: str | None = None,
+               options: SearchOptions | None = None) -> ServiceResult:
+        """Answer one query through admission, ladder and deadline.
+
+        Accepts the legacy positional form or a single
+        :class:`SearchRequest`. Raises :class:`ServiceOverloaded` when
+        all ``capacity`` slots are taken, and
+        :class:`PartialResultError` when the answer is not the full
+        exact one and ``options.allow_partial`` is ``False`` (the
+        refused result rides on the error's ``result`` attribute).
+        """
+        request = as_request(query, k, deadline=deadline,
+                             backend=backend, options=options)
+        if request.is_batch:
+            raise ReproError(
+                "Service.submit answers one query per call; submit "
+                "batch queries one at a time"
+            )
+        self._count("service.submitted")
+        if not self._slots.acquire(blocking=False):
+            self._count("service.rejected")
+            raise ServiceOverloaded(
+                f"service at capacity ({self._capacity} in flight); "
+                "submit rejected",
+                capacity=self._capacity, in_flight=self._capacity,
+            )
+        self._in_flight += 1
+        started = time.perf_counter()
+        try:
+            self._count("service.accepted")
+            with self._metrics.trace("service.submit"):
+                result = self._run_ladder(request)
+        finally:
+            self._in_flight -= 1
+            self._slots.release()
+            self._last_seconds = time.perf_counter() - started
+        if not result.complete and not request.options.allow_partial:
+            raise PartialResultError(
+                f"query {request.query!r} (k={request.k}) produced a "
+                f"{result.status} result and allow_partial is off",
+                result=result,
+            )
+        return result
+
+    def _ordered_plans(self, backend: str | None) -> tuple:
+        """The ladder, with the hinted rung (if any) promoted to front."""
+        hint = {"indexed": "flat", "compiled": "compiled",
+                "sequential": "sequential"}.get(backend or "")
+        if hint is None:
+            return self._plans
+        promoted = [plan for plan in self._plans
+                    if getattr(plan, "name", "") == hint]
+        rest = [plan for plan in self._plans
+                if getattr(plan, "name", "") != hint]
+        return tuple(promoted + rest)
+
+    def _backoff(self, retry: int,
+                 deadline: Deadline | Budget | None) -> None:
+        """Sleep before a retry: bounded exponential, deadline-capped."""
+        delay = min(self._backoff_cap,
+                    self._backoff_base * (2 ** retry))
+        if isinstance(deadline, Deadline):
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                return
+            delay = min(delay, remaining)
+        if delay > 0:
+            self._sleep(delay)
+
+    def _run_ladder(self, request: SearchRequest) -> ServiceResult:
+        query = request.query
+        k = request.k
+        deadline = request.deadline
+        plans = self._ordered_plans(request.backend)
+        best_partial: tuple[Match, ...] | None = None
+        attempts = 0
+        for rung, plan in enumerate(plans):
+            name = getattr(plan, "name", plan.__class__.__name__)
+            for retry in range(self._retry_budget + 1):
+                attempts += 1
+                self._count("service.attempts")
+                try:
+                    with self._metrics.trace(f"service.attempt[{name}]"):
+                        outcome = plan.run(self._corpus, query, k,
+                                           deadline)
+                except DeadlineExceeded as error:
+                    self._count("service.deadline_expirations")
+                    partial = tuple(error.partial)
+                    if best_partial is None \
+                            or len(partial) > len(best_partial):
+                        best_partial = partial
+                    break  # expiry degrades; retrying the rung cannot help
+                except ReproError:
+                    if retry >= self._retry_budget:
+                        break
+                    self._count("service.retries")
+                    self._backoff(retry, deadline)
+                    continue
+                if not outcome.verified:
+                    status, counter = "candidates", "service.candidates"
+                elif rung == 0:
+                    status, counter = "complete", "service.completed"
+                else:
+                    status, counter = "degraded", "service.degraded"
+                self._count(counter)
+                return ServiceResult(
+                    query=query, k=k, status=status,
+                    matches=tuple(outcome.matches),
+                    verified=outcome.verified,
+                    plan=outcome.plan, attempts=attempts,
+                )
+        # Every rung failed. Surface the best verified partial (it is
+        # still a strict subset of the exact answer).
+        self._count("service.partial")
+        return ServiceResult(
+            query=query, k=k, status="partial",
+            matches=best_partial if best_partial is not None else (),
+            verified=True, plan="", attempts=attempts,
+        )
+
+    # ----------------------------------------------------------------
+
+    def report(self, *, queries: int = 1, k: int = 0,
+               matches: int = 0) -> SearchReport:
+        """A standard validated report of the service's counters.
+
+        ``mode="service"``; the ``counters`` section holds the
+        cumulative ``service.*`` series. Benchmarks embed this in
+        their ``BENCH_*.json`` records like any engine report.
+        """
+        return build_report(
+            backend="service",
+            engine="service[ladder]",
+            mode="service",
+            queries=queries,
+            k=k,
+            matches=matches,
+            seconds=self._last_seconds,
+            counters=self.counters_snapshot(),
+            choice_backend="service",
+            choice_reason=(
+                f"degradation ladder over {self._corpus.shard_count} "
+                f"shards: " + " -> ".join(
+                    getattr(plan, "name", "?") for plan in self._plans)
+            ),
+        )

@@ -1,0 +1,186 @@
+"""Corpus sharding: the dataset split into independently searchable parts.
+
+A deadline that expires mid-scan over one monolithic corpus loses
+everything past the abort point. Sharding changes the failure mode:
+the corpus is partitioned into ``shards`` independently searchable
+pieces, each shard answers in full or not at all, and an expiry only
+costs the shards that had not finished — every completed shard's
+matches are exact and keepable. With the default round-robin scheme
+each shard is a statistically representative sample of the corpus, so
+even a heavily truncated answer covers the whole key space rather than
+one contiguous slice of it.
+
+Shards execute *serially* here: the abort point is then well-defined
+(shard ``i`` died, shards ``0..i-1`` completed) and partial results are
+deterministic — the property the service tests pin down with
+work-unit :class:`repro.core.deadline.Budget` deadlines. Wall-clock
+parallelism across shards belongs to the runner layer, not this one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.deadline import Budget, Deadline
+from repro.core.indexed import IndexedSearcher
+from repro.core.result import Match
+from repro.core.searcher import Searcher
+from repro.core.sequential import SequentialScanSearcher
+from repro.exceptions import DeadlineExceeded, ReproError
+from repro.parallel.partition import partition_dataset
+
+#: Plan kinds a shard can serve, mapping 1:1 onto the library's
+#: searchers (see :meth:`ShardedCorpus.searcher_for`).
+SHARD_PLAN_KINDS = ("flat", "compiled", "sequential")
+
+
+class ShardedCorpus:
+    """The dataset partitioned into independently searchable shards.
+
+    Parameters
+    ----------
+    dataset:
+        The strings to search (duplicates allowed; every occurrence
+        lands in exactly one shard).
+    shards:
+        Number of partitions (``>= 1``).
+    scheme:
+        ``"round_robin"`` (default; shards sample the corpus evenly)
+        or ``"balanced"`` (contiguous runs, better prefix locality).
+
+    Shard searchers are built lazily, per ``(plan, shard)`` pair, and
+    cached — a service that only ever runs the flat plan never pays for
+    compiled-scan construction.
+
+    Examples
+    --------
+    >>> corpus = ShardedCorpus(["Berlin", "Bern", "Ulm"], shards=2)
+    >>> corpus.shard_count
+    2
+    >>> [m.string for m in corpus.search("Berlino", 2)]
+    ['Berlin']
+    """
+
+    def __init__(self, dataset: Iterable[str], shards: int = 4, *,
+                 scheme: str = "round_robin") -> None:
+        strings = tuple(dataset)
+        if shards < 1:
+            raise ReproError(
+                f"shards must be positive, got {shards}"
+            )
+        self._strings = strings
+        self._parts = [tuple(part) for part in
+                       partition_dataset(strings, shards, scheme=scheme)]
+        self._scheme = scheme
+        self._searchers: dict[tuple[str, int], Searcher | None] = {}
+
+    @property
+    def strings(self) -> tuple[str, ...]:
+        """The full dataset, in input order."""
+        return self._strings
+
+    @property
+    def shard_count(self) -> int:
+        """Number of partitions."""
+        return len(self._parts)
+
+    @property
+    def scheme(self) -> str:
+        """The partitioning scheme in use."""
+        return self._scheme
+
+    def shard(self, index: int) -> tuple[str, ...]:
+        """The strings of one shard."""
+        return self._parts[index]
+
+    def searcher_for(self, plan: str, index: int) -> Searcher | None:
+        """The (cached) searcher serving ``plan`` on shard ``index``.
+
+        ``None`` for an empty shard — there is nothing to search and
+        some structures cannot be built over zero strings.
+        """
+        if plan not in SHARD_PLAN_KINDS:
+            raise ReproError(
+                f"unknown shard plan {plan!r}; expected one of "
+                f"{SHARD_PLAN_KINDS}"
+            )
+        key = (plan, index)
+        if key in self._searchers:
+            return self._searchers[key]
+        part = self._parts[index]
+        searcher: Searcher | None
+        if not part:
+            searcher = None
+        elif plan == "flat":
+            searcher = IndexedSearcher(part, index="flat")
+        elif plan == "compiled":
+            from repro.scan.searcher import CompiledScanSearcher
+
+            searcher = CompiledScanSearcher(part)
+        else:
+            searcher = SequentialScanSearcher(
+                part, kernel="bitparallel", order="length"
+            )
+        self._searchers[key] = searcher
+        return searcher
+
+    def search(self, query: str, k: int, *, plan: str = "flat",
+               deadline: Deadline | Budget | None = None
+               ) -> tuple[Match, ...]:
+        """All dataset strings within distance ``k``, merged over shards.
+
+        Shards run serially, all against the *shared* ``deadline``. On
+        expiry the raised :class:`DeadlineExceeded` carries, as
+        ``partial``, the merged matches of every *completed* shard plus
+        whatever the lagging shard had verified — still a strict subset
+        of the exact answer — with ``scope="shards"`` and
+        ``completed``/``total`` counting shards.
+        """
+        merged: list[tuple[Match, ...]] = []
+        total = len(self._parts)
+        for index in range(total):
+            # Pre-check between shards: a shard small enough never to
+            # hit an amortized poll must not run on a dead deadline.
+            if deadline is not None and deadline.spend(0):
+                raise DeadlineExceeded(
+                    f"sharded {plan} search for {query!r} (k={k}) "
+                    f"found its deadline expired before shard {index} "
+                    f"of {total}",
+                    partial=merge_matches(merged), scope="shards",
+                    completed=index, total=total,
+                )
+            searcher = self.searcher_for(plan, index)
+            if searcher is None:
+                continue
+            try:
+                row = searcher.search(query, k, deadline=deadline)
+            except DeadlineExceeded as error:
+                partial = merge_matches(merged + [tuple(error.partial)])
+                raise DeadlineExceeded(
+                    f"sharded {plan} search for {query!r} (k={k}) "
+                    f"exceeded its deadline on shard {index} of {total} "
+                    f"({len(partial)} verified matches kept)",
+                    partial=partial, scope="shards",
+                    completed=index, total=total,
+                ) from error
+            merged.append(tuple(row))
+        return merge_matches(merged)
+
+
+def merge_matches(rows: Iterable[Iterable[Match]]) -> tuple[Match, ...]:
+    """Merge per-shard match rows into one deduplicated, sorted row.
+
+    A string duplicated in the dataset may land in several shards and
+    match in each; the merge keeps one entry per string. Distances to
+    the same string are equal by definition, but the minimum is kept
+    anyway so a mixed-verification merge stays conservative.
+    """
+    best: dict[str, int] = {}
+    for row in rows:
+        for match in row:
+            prior = best.get(match.string)
+            if prior is None or match.distance < prior:
+                best[match.string] = match.distance
+    return tuple(sorted(
+        Match(string, distance) for string, distance in best.items()
+    ))

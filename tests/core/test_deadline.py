@@ -1,0 +1,74 @@
+"""Unit tests for the Deadline/Budget work-limiting protocol."""
+
+import pytest
+
+from repro.core.deadline import DEFAULT_CHECK_INTERVAL, Budget, Deadline
+from repro.exceptions import ReproError
+
+
+class TestDeadline:
+    def test_fresh_deadline_not_expired(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert deadline.remaining() > 0
+        assert not deadline.spend(1000)
+
+    def test_zero_deadline_expires_immediately(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        assert deadline.spend(1)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ReproError):
+            Deadline(-1.0)
+
+    def test_bad_check_interval_rejected(self):
+        with pytest.raises(ReproError):
+            Deadline(1.0, check_interval=0)
+
+    def test_default_check_interval(self):
+        assert Deadline(1.0).check_interval == DEFAULT_CHECK_INTERVAL
+
+    def test_after_classmethod(self):
+        assert not Deadline.after(60.0).expired()
+
+
+class TestBudget:
+    def test_spend_accumulates_to_limit(self):
+        budget = Budget(10)
+        assert not budget.spend(4)
+        assert not budget.spend(5)
+        assert budget.spend(1)
+        assert budget.exhausted()
+
+    def test_remaining(self):
+        budget = Budget(10)
+        budget.spend(3)
+        assert budget.remaining() == 7
+
+    def test_exhausted_stays_exhausted(self):
+        budget = Budget(1)
+        assert budget.spend(5)
+        assert budget.spend(0)
+        assert budget.expired()
+
+    def test_zero_budget_expires_immediately(self):
+        budget = Budget(0)
+        assert budget.exhausted()
+        assert budget.spend(1)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ReproError):
+            Budget(-1)
+
+    def test_deterministic_across_runs(self):
+        # The whole point of Budget: identical spend sequences expire
+        # at identical points, machine speed notwithstanding.
+        def run():
+            budget = Budget(100, check_interval=8)
+            steps = 0
+            while not budget.spend(8):
+                steps += 1
+            return steps
+
+        assert run() == run()

@@ -51,9 +51,28 @@ class TestResultSet:
                             [[Match("a", 0), Match("b", 1)], []])
         assert results.total_matches == 2
 
-    def test_as_mapping(self):
+    def test_as_mapping_deprecated_shape_still_works(self):
         results = ResultSet(["q1"], [[Match("a", 0)]])
-        assert results.as_mapping() == {"q1": ("a",)}
+        with pytest.warns(DeprecationWarning):
+            assert results.as_mapping() == {"q1": ("a",)}
+
+    def test_by_query_keeps_match_rows(self):
+        results = ResultSet(["q1", "q2"], [[Match("a", 0)], []])
+        assert results.by_query() == {
+            "q1": (Match("a", 0),),
+            "q2": (),
+        }
+
+    def test_by_query_last_row_wins_for_repeats(self):
+        results = ResultSet(["q", "q"], [[Match("a", 0)], []])
+        assert results.by_query() == {"q": ()}
+
+    def test_flat_merges_and_dedups(self):
+        results = ResultSet(
+            ["q1", "q2"],
+            [[Match("b", 1), Match("a", 0)], [Match("a", 0)]],
+        )
+        assert results.flat() == (Match("a", 0), Match("b", 1))
 
     def test_repeated_queries_keep_separate_rows(self):
         results = ResultSet(["q", "q"], [[Match("a", 0)], []])

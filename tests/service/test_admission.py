@@ -1,0 +1,85 @@
+"""Admission control: the bounded queue rejects at capacity."""
+
+import threading
+
+import pytest
+
+from repro.core.result import Match
+from repro.exceptions import ServiceOverloaded
+from repro.service import PlanResult, Service
+
+DATASET = ["Berlin", "Bern", "Ulm"] * 5
+
+
+class GatedPlan:
+    """Blocks inside run() until released, so tests can hold slots open."""
+
+    name = "gated"
+
+    def __init__(self):
+        self.entered = threading.Semaphore(0)
+        self.release = threading.Event()
+
+    def run(self, corpus, query, k, deadline):
+        self.entered.release()
+        assert self.release.wait(timeout=10), "test forgot to release"
+        return PlanResult(plan=self.name,
+                          matches=(Match("Berlin", 1),), verified=True)
+
+
+class TestAdmission:
+    def test_rejects_beyond_capacity(self):
+        plan = GatedPlan()
+        service = Service(DATASET, capacity=2, plans=[plan])
+        outcomes = []
+
+        def submit():
+            try:
+                outcomes.append(service.submit("Berlino", 2).status)
+            except ServiceOverloaded as error:
+                outcomes.append(error)
+
+        holders = [threading.Thread(target=submit) for _ in range(2)]
+        for thread in holders:
+            thread.start()
+        # Both slots taken and blocked inside the plan.
+        assert plan.entered.acquire(timeout=10)
+        assert plan.entered.acquire(timeout=10)
+
+        with pytest.raises(ServiceOverloaded) as caught:
+            service.submit("Berlino", 2)
+        assert caught.value.capacity == 2
+        assert caught.value.in_flight == 2
+
+        plan.release.set()
+        for thread in holders:
+            thread.join(timeout=10)
+        assert outcomes == ["complete", "complete"]
+
+    def test_slots_recycle_after_completion(self):
+        service = Service(DATASET, capacity=1, shards=1)
+        # Serial submits never collide: each releases its slot.
+        for _ in range(3):
+            assert service.submit("Berlino", 2).status == "complete"
+
+    def test_rejection_counted_not_queued(self):
+        plan = GatedPlan()
+        service = Service(DATASET, capacity=1, plans=[plan])
+        holder = threading.Thread(
+            target=lambda: service.submit("Berlino", 2))
+        holder.start()
+        assert plan.entered.acquire(timeout=10)
+        with pytest.raises(ServiceOverloaded):
+            service.submit("Berlino", 2)
+        plan.release.set()
+        holder.join(timeout=10)
+        counters = service.counters_snapshot()
+        assert counters["service.rejected"] == 1
+        assert counters["service.submitted"] == 2
+        assert counters["service.accepted"] == 1
+
+    def test_bad_capacity_rejected(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            Service(DATASET, capacity=0)

@@ -1,0 +1,170 @@
+"""The degradation ladder: fallbacks, retries, honest labels."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.deadline import Budget
+from repro.core.request import SearchOptions, SearchRequest
+from repro.core.result import Match
+from repro.core.sequential import SequentialScanSearcher
+from repro.exceptions import (
+    DeadlineExceeded,
+    PartialResultError,
+    ReproError,
+)
+from repro.service import (
+    BackendPlan,
+    FilterOnlyPlan,
+    PlanResult,
+    Service,
+    default_ladder,
+)
+
+DATASET = ["Berlin", "Berlyn", "Bern", "Merlin", "Ulm", "Hamburg"] * 4
+
+
+@dataclass
+class ScriptedPlan:
+    """Test double: raises per script, then succeeds."""
+
+    name: str
+    failures: list = field(default_factory=list)
+    matches: tuple = (Match("Berlin", 1),)
+    calls: int = 0
+
+    def run(self, corpus, query, k, deadline):
+        self.calls += 1
+        if self.failures:
+            raise self.failures.pop(0)
+        return PlanResult(plan=self.name, matches=self.matches,
+                          verified=True)
+
+
+class TestLadderFallback:
+    def test_first_rung_success_is_complete(self):
+        service = Service(DATASET, shards=2)
+        result = service.submit("Berlino", 2)
+        assert result.status == "complete"
+        assert result.verified
+        assert result.plan == "flat"
+
+    def test_results_verified_correct_down_the_ladder(self):
+        # Whatever rung answers, an exact-status result must equal the
+        # plain reference searcher's answer.
+        reference = set(SequentialScanSearcher(sorted(set(DATASET)))
+                        .search("Berlino", 2))
+        for plans in ([BackendPlan("flat")], [BackendPlan("compiled")],
+                      [BackendPlan("sequential")], default_ladder()):
+            service = Service(DATASET, shards=3, plans=plans)
+            result = service.submit("Berlino", 2)
+            assert result.complete
+            assert set(result.matches) == reference
+
+    def test_expiry_degrades_to_next_rung(self):
+        flaky = ScriptedPlan("flaky", failures=[
+            DeadlineExceeded("expired", partial=(Match("Bern", 2),)),
+        ])
+        solid = ScriptedPlan("solid")
+        service = Service(DATASET, plans=[flaky, solid])
+        result = service.submit("Berlino", 2)
+        assert result.status == "degraded"
+        assert result.plan == "solid"
+        assert flaky.calls == 1  # expiry does not retry the same rung
+        assert result.attempts == 2
+
+    def test_transient_error_retries_with_backoff(self):
+        sleeps = []
+        plan = ScriptedPlan("wobbly", failures=[ReproError("transient")])
+        service = Service(DATASET, plans=[plan], retry_budget=2,
+                          sleep=sleeps.append)
+        result = service.submit("Berlino", 2)
+        assert result.status == "complete"
+        assert plan.calls == 2
+        assert len(sleeps) == 1
+        assert sleeps[0] > 0
+
+    def test_backoff_is_bounded_exponential(self):
+        sleeps = []
+        plan = ScriptedPlan("wobbly", failures=[
+            ReproError("one"), ReproError("two"), ReproError("three"),
+        ])
+        service = Service(DATASET, plans=[plan], retry_budget=3,
+                          backoff_base=0.01, backoff_cap=0.025,
+                          sleep=sleeps.append)
+        service.submit("Berlino", 2)
+        assert sleeps == [0.01, 0.02, 0.025]  # doubling, then capped
+
+    def test_retry_budget_exhausted_falls_through(self):
+        always_down = ScriptedPlan("down", failures=[
+            ReproError("boom")] * 10)
+        solid = ScriptedPlan("solid")
+        service = Service(DATASET, plans=[always_down, solid],
+                          retry_budget=1, sleep=lambda _: None)
+        result = service.submit("Berlino", 2)
+        assert result.status == "degraded"
+        assert always_down.calls == 2  # first try + one retry
+
+    def test_full_default_ladder_ends_in_candidates(self):
+        service = Service(DATASET, shards=2)
+        result = service.submit("Berlino", 2,
+                                deadline=Budget(0, check_interval=1))
+        assert result.status == "candidates"
+        assert not result.verified
+        assert result.plan == "filter-only"
+        # Candidates are a superset of the exact answer.
+        exact = {m.string for m in SequentialScanSearcher(
+            sorted(set(DATASET))).search("Berlino", 2)}
+        assert exact <= {m.string for m in result.matches}
+
+    def test_exhausted_ladder_surfaces_best_partial(self):
+        first = ScriptedPlan("a", failures=[
+            DeadlineExceeded("expired", partial=(Match("Bern", 2),))])
+        second = ScriptedPlan("b", failures=[
+            DeadlineExceeded("expired", partial=(
+                Match("Bern", 2), Match("Berlin", 1)))])
+        service = Service(DATASET, plans=[first, second])
+        result = service.submit("Berlino", 2)
+        assert result.status == "partial"
+        assert result.verified
+        assert set(result.matches) == {Match("Bern", 2),
+                                       Match("Berlin", 1)}
+
+    def test_allow_partial_false_raises_with_result_attached(self):
+        service = Service(DATASET, shards=2)
+        with pytest.raises(PartialResultError) as caught:
+            service.submit(SearchRequest(
+                "Berlino", 2, deadline=Budget(0, check_interval=1),
+                options=SearchOptions(allow_partial=False)))
+        refused = caught.value.result
+        assert refused.status == "candidates"
+
+    def test_backend_hint_promotes_rung(self):
+        service = Service(DATASET, shards=2)
+        result = service.submit("Berlino", 2, backend="compiled")
+        assert result.status == "complete"
+        assert result.plan == "compiled"
+
+
+class TestFilterOnlyPlan:
+    def test_superset_and_lower_bound_distances(self):
+        from repro.service.sharding import ShardedCorpus
+
+        corpus = ShardedCorpus(DATASET, shards=2)
+        outcome = FilterOnlyPlan().run(corpus, "Berlino", 2, None)
+        assert not outcome.verified
+        exact = SequentialScanSearcher(sorted(set(DATASET))).search(
+            "Berlino", 2)
+        candidates = {m.string: m.distance for m in outcome.matches}
+        for match in exact:
+            assert match.string in candidates
+            assert candidates[match.string] <= match.distance
+
+    def test_relaxation_widens_the_net(self):
+        from repro.service.sharding import ShardedCorpus
+
+        corpus = ShardedCorpus(["ab", "abcd", "abcdef"], shards=1)
+        strict = FilterOnlyPlan().run(corpus, "ab", 1, None)
+        relaxed = FilterOnlyPlan(relax=3).run(corpus, "ab", 1, None)
+        assert {m.string for m in strict.matches} \
+            < {m.string for m in relaxed.matches}

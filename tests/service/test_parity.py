@@ -1,0 +1,75 @@
+"""Zero-deadline parity: the instrumented paths change nothing.
+
+The refactor's safety net. With ``deadline=None``, every backend must
+return byte-identical results through byte-identical code paths — the
+deadline hooks reduce to (at most) one falsy branch per work unit, and
+the request surface is a pure adapter over the legacy arguments.
+"""
+
+import pytest
+
+from repro.core.engine import SearchEngine
+from repro.core.indexed import IndexedSearcher
+from repro.core.request import SearchRequest
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.cities import generate_city_names
+from repro.data.dna import generate_reads
+from repro.data.workload import Workload
+from repro.index.batch import FlatIndexSearcher
+from repro.scan.searcher import CompiledScanSearcher
+from repro.service import Service
+
+CITIES = generate_city_names(300, seed=11)
+READS = generate_reads(120, seed=11)
+
+
+@pytest.mark.parametrize("dataset,query,k", [
+    (CITIES, CITIES[3][:-1] + "x", 2),
+    (READS, READS[5], 4),
+], ids=["cities", "dna"])
+class TestBackendParity:
+    def test_all_backends_identical_without_deadline(self, dataset,
+                                                     query, k):
+        reference = sorted(SequentialScanSearcher(sorted(set(dataset)))
+                           .search(query, k))
+        for searcher in (
+            SequentialScanSearcher(dataset),
+            CompiledScanSearcher(dataset),
+            IndexedSearcher(dataset, index="trie"),
+            IndexedSearcher(dataset, index="compressed"),
+            IndexedSearcher(dataset, index="flat"),
+            FlatIndexSearcher(dataset),
+        ):
+            assert sorted(searcher.search(query, k)) == reference
+
+    def test_deadline_none_kwarg_is_inert(self, dataset, query, k):
+        for searcher in (
+            SequentialScanSearcher(dataset),
+            CompiledScanSearcher(dataset),
+            IndexedSearcher(dataset, index="flat"),
+            FlatIndexSearcher(dataset),
+        ):
+            with_kwarg = searcher.search(query, k, deadline=None)
+            plain = searcher.search(query, k)
+            assert with_kwarg == plain
+
+    def test_service_matches_engine_without_deadline(self, dataset,
+                                                     query, k):
+        engine = SearchEngine(dataset)
+        service = Service(dataset, shards=3)
+        assert sorted(service.submit(query, k).matches) \
+            == sorted(engine.search(query, k))
+
+
+class TestEngineParity:
+    def test_request_and_legacy_spellings_identical(self):
+        engine = SearchEngine(CITIES)
+        query = CITIES[0]
+        assert engine.search(query, 1) \
+            == engine.search(SearchRequest(query, 1))
+
+    def test_workload_and_request_identical(self):
+        engine = SearchEngine(CITIES)
+        workload = Workload(tuple(CITIES[:20]), 1)
+        assert engine.run_workload(workload) \
+            == engine.run_workload(SearchRequest.from_workload(workload))

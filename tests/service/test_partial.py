@@ -1,0 +1,114 @@
+"""Partial results are verified subsets of the exact answer.
+
+The partial-result contract (docs/SERVICE.md): whatever a
+:class:`DeadlineExceeded` carries in ``partial`` was *proven* before
+the cutoff — every match is a real ``<= k`` neighbor, so the partial is
+a strict subset of the exact answer, never a guess. Checked here for
+all four hot paths using deterministic work-unit budgets.
+"""
+
+import pytest
+
+from repro.core.deadline import Budget
+from repro.core.indexed import IndexedSearcher
+from repro.core.result import Match
+from repro.core.sequential import SequentialScanSearcher
+from repro.exceptions import DeadlineExceeded
+from repro.index.batch import FlatIndexSearcher
+from repro.scan.searcher import CompiledScanSearcher
+
+# A corpus dense enough that a tiny budget always expires mid-search,
+# with several neighbors so partials are usually non-empty.
+DATASET = (
+    ["Berlin", "Berlyn", "Berlim", "Bern", "Merlin", "Marlin"]
+    + [f"pad{i:04d}x" for i in range(400)]
+)
+QUERY = "Berlino"
+K = 2
+
+
+def exact_answer():
+    return set(SequentialScanSearcher(sorted(set(DATASET)))
+               .search(QUERY, K))
+
+
+@pytest.mark.parametrize("make_searcher", [
+    lambda: SequentialScanSearcher(DATASET),
+    lambda: CompiledScanSearcher(DATASET),
+    lambda: IndexedSearcher(DATASET, index="trie"),
+    lambda: IndexedSearcher(DATASET, index="compressed"),
+    lambda: IndexedSearcher(DATASET, index="flat"),
+    lambda: FlatIndexSearcher(DATASET),
+], ids=["sequential", "compiled-scan", "object-trie",
+        "compressed-trie", "flat-trie", "batch-index"])
+class TestPartialSubsetContract:
+    def test_partial_is_subset_of_exact(self, make_searcher):
+        exact = exact_answer()
+        searcher = make_searcher()
+        with pytest.raises(DeadlineExceeded) as caught:
+            # A one-unit budget polled every unit: expires on the very
+            # first check, deterministically, on any machine.
+            searcher.search(QUERY, K,
+                            deadline=Budget(1, check_interval=1))
+        error = caught.value
+        partial = set(error.partial)
+        assert partial <= exact
+        assert all(isinstance(match, Match) for match in partial)
+        assert all(match.distance <= K for match in partial)
+
+    def test_error_is_labeled(self, make_searcher):
+        searcher = make_searcher()
+        with pytest.raises(DeadlineExceeded) as caught:
+            searcher.search(QUERY, K,
+                            deadline=Budget(1, check_interval=1))
+        error = caught.value
+        assert error.scope in ("candidates", "nodes", "queries", "shards")
+        assert error.completed >= 0
+        assert error.total >= 0
+
+    def test_larger_budget_grows_toward_exact(self, make_searcher):
+        # Monotonicity: more budget can only add verified matches.
+        exact = exact_answer()
+        small_partial = set()
+        try:
+            make_searcher().search(
+                QUERY, K, deadline=Budget(64, check_interval=16))
+        except DeadlineExceeded as error:
+            small_partial = set(error.partial)
+        try:
+            large = set(make_searcher().search(
+                QUERY, K, deadline=Budget(10**9, check_interval=16)))
+        except DeadlineExceeded as error:  # pragma: no cover
+            large = set(error.partial)
+        assert small_partial <= large <= exact
+
+
+class TestBatchPartials:
+    @pytest.mark.parametrize("make_searcher", [
+        lambda: CompiledScanSearcher(DATASET),
+        lambda: FlatIndexSearcher(DATASET),
+    ], ids=["compiled-scan", "batch-index"])
+    def test_batch_partial_maps_completed_queries(self, make_searcher):
+        searcher = make_searcher()
+        queries = [QUERY, "Bern", "Marlin"]
+        with pytest.raises(DeadlineExceeded) as caught:
+            searcher.search_many(queries, K,
+                                 deadline=Budget(1, check_interval=1))
+        error = caught.value
+        assert error.scope == "queries"
+        assert isinstance(error.partial, dict)
+        exact = {
+            query: tuple(sorted(SequentialScanSearcher(
+                sorted(set(DATASET))).search(query, K)))
+            for query in queries
+        }
+        for query, row in error.partial.items():
+            assert tuple(row) == exact[query]
+
+    def test_partial_rows_never_cached(self):
+        searcher = CompiledScanSearcher(DATASET)
+        with pytest.raises(DeadlineExceeded):
+            searcher.search(QUERY, K, deadline=Budget(1, check_interval=1))
+        # A subsequent unbounded search must re-scan and be exact, not
+        # replay a truncated memo row.
+        assert set(searcher.search(QUERY, K)) == exact_answer()

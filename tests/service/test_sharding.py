@@ -1,0 +1,89 @@
+"""ShardedCorpus: partitioned search with deadline-safe merging."""
+
+import pytest
+
+from repro.core.deadline import Budget
+from repro.core.result import Match
+from repro.core.sequential import SequentialScanSearcher
+from repro.exceptions import DeadlineExceeded, ReproError
+from repro.service.sharding import ShardedCorpus, merge_matches
+
+DATASET = (
+    ["Berlin", "Berlyn", "Bern", "Merlin", "Hamburg", "Bremen"]
+    + [f"city{i:03d}" for i in range(150)]
+)
+
+
+class TestPartitioning:
+    def test_every_string_lands_in_exactly_one_shard(self):
+        corpus = ShardedCorpus(DATASET, shards=4)
+        rejoined = sorted(
+            string for index in range(corpus.shard_count)
+            for string in corpus.shard(index)
+        )
+        assert rejoined == sorted(DATASET)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ReproError):
+            ShardedCorpus(DATASET, shards=0)
+
+    def test_more_shards_than_strings(self):
+        corpus = ShardedCorpus(["a", "b"], shards=5)
+        assert corpus.shard_count == 5
+        assert [m.string for m in corpus.search("a", 0)] == ["a"]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("plan", ["flat", "compiled", "sequential"])
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_matches_unsharded_reference(self, plan, shards):
+        reference = set(SequentialScanSearcher(sorted(set(DATASET)))
+                        .search("Berlino", 2))
+        corpus = ShardedCorpus(DATASET, shards=shards)
+        assert set(corpus.search("Berlino", 2, plan=plan)) == reference
+
+    def test_duplicates_across_shards_deduplicated(self):
+        # Round-robin splits repeated strings over shards; the merge
+        # must still return each string once.
+        corpus = ShardedCorpus(["Bern"] * 7, shards=3)
+        assert corpus.search("Bern", 0) == (Match("Bern", 0),)
+
+    def test_unknown_plan_rejected(self):
+        corpus = ShardedCorpus(DATASET, shards=2)
+        with pytest.raises(ReproError):
+            corpus.search("Bern", 1, plan="bogus")
+
+
+class TestDeadlineAcrossShards:
+    def test_expiry_keeps_completed_shards(self):
+        corpus = ShardedCorpus(DATASET, shards=4)
+        exact = set(corpus.search("Berlino", 2))
+        # Budget sized so at least one shard completes but not all:
+        # each shard scans ~39 strings; poll every unit.
+        with pytest.raises(DeadlineExceeded) as caught:
+            corpus.search("Berlino", 2, plan="sequential",
+                          deadline=Budget(45, check_interval=1))
+        error = caught.value
+        assert error.scope == "shards"
+        assert 0 < error.completed < error.total == 4
+        assert set(error.partial) <= exact
+
+    def test_immediate_expiry_yields_empty_partial(self):
+        corpus = ShardedCorpus(DATASET, shards=2)
+        with pytest.raises(DeadlineExceeded) as caught:
+            corpus.search("Berlino", 2, plan="sequential",
+                          deadline=Budget(0, check_interval=1))
+        assert caught.value.completed == 0
+
+
+class TestMergeMatches:
+    def test_dedups_keeping_min_distance(self):
+        merged = merge_matches([
+            [Match("a", 2), Match("b", 1)],
+            [Match("a", 1)],
+        ])
+        assert merged == (Match("a", 1), Match("b", 1))
+
+    def test_sorted_output(self):
+        merged = merge_matches([[Match("z", 0)], [Match("a", 0)]])
+        assert [m.string for m in merged] == ["a", "z"]

@@ -5,11 +5,14 @@ import pytest
 from repro.exceptions import (
     AlphabetError,
     DatasetFormatError,
+    DeadlineExceeded,
     ExperimentError,
     IndexConstructionError,
     InvalidThresholdError,
     ParallelismError,
+    PartialResultError,
     ReproError,
+    ServiceOverloaded,
     VerificationError,
 )
 
@@ -18,7 +21,8 @@ class TestHierarchy:
     @pytest.mark.parametrize("error_type", [
         AlphabetError, DatasetFormatError, ExperimentError,
         IndexConstructionError, InvalidThresholdError, ParallelismError,
-        VerificationError,
+        VerificationError, DeadlineExceeded, ServiceOverloaded,
+        PartialResultError,
     ])
     def test_all_derive_from_repro_error(self, error_type):
         assert issubclass(error_type, ReproError)
@@ -66,3 +70,35 @@ class TestVerificationError:
         error = VerificationError("differs")
         assert error.missing == frozenset()
         assert error.spurious == frozenset()
+
+
+class TestDeadlineExceeded:
+    def test_carries_partial_contract(self):
+        error = DeadlineExceeded("out of time", partial=("a", "b"),
+                                 scope="candidates", completed=512,
+                                 total=2048)
+        assert error.partial == ("a", "b")
+        assert error.scope == "candidates"
+        assert error.completed == 512
+        assert error.total == 2048
+
+    def test_defaults(self):
+        error = DeadlineExceeded("out of time")
+        assert error.partial == ()
+        assert error.scope == "candidates"
+        assert error.completed == 0
+        assert error.total == 0
+
+
+class TestServiceOverloaded:
+    def test_carries_capacity(self):
+        error = ServiceOverloaded("full", capacity=8, in_flight=8)
+        assert error.capacity == 8
+        assert error.in_flight == 8
+
+
+class TestPartialResultError:
+    def test_carries_refused_result(self):
+        refused = object()
+        error = PartialResultError("partial refused", result=refused)
+        assert error.result is refused
