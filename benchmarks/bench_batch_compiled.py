@@ -22,10 +22,14 @@ or through pytest (``pytest benchmarks/bench_batch_compiled.py``).
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import time
 from pathlib import Path
+
+try:  # package mode (pytest) vs script mode (python benchmarks/...)
+    from benchmarks import common
+except ImportError:  # pragma: no cover - script-mode fallback
+    import common
 
 from repro.core.sequential import SequentialScanSearcher
 from repro.core.verification import verify_against_reference
@@ -97,9 +101,10 @@ def run_workload_comparison(dataset, workload, *, label: str,
 
     speedup = per_query_seconds / batch_seconds if batch_seconds else 0.0
     stats = executor.stats
-    # The executor is fresh, so its cumulative counters/stats are
-    # exactly this batch's work — the same SearchReport the engine API
-    # hands out, embedded so CI can validate the artifact's schema.
+    # The executor is fresh, so its cumulative counters/stats/histograms
+    # are exactly this batch's work — the same SearchReport the engine
+    # API hands out, embedded so CI can validate the artifact's schema
+    # (and the regression gate can diff the latency quantiles).
     report = build_report(
         backend="compiled",
         engine="compiled-scan",
@@ -109,6 +114,7 @@ def run_workload_comparison(dataset, workload, *, label: str,
         matches=batch_results.total_matches,
         seconds=batch_seconds,
         counters=executor.counters_snapshot(),
+        histograms=executor.hists_snapshot(),
         batch=stats,
         choice_backend="compiled",
         choice_reason=f"benchmark harness ({label} regime)",
@@ -134,17 +140,18 @@ def run_workload_comparison(dataset, workload, *, label: str,
 
 
 def run_benchmark(city_count: int = 3000, dna_count: int = 400, *,
+                  city_unique: int = 40, dna_unique: int = 20,
                   verify_sample: int = VERIFY_QUERIES) -> dict:
     """Both regimes; returns the full record written to JSON."""
     cities = generate_city_names(city_count, seed=2013)
     reads = generate_reads(dna_count, seed=2013)
 
     city_workload = _repeated_mix(
-        cities, unique=40, repeats=3, k=2,
+        cities, unique=city_unique, repeats=3, k=2,
         alphabet_symbols="abcdefghinorst", name="city-mix",
     )
     dna_workload = _repeated_mix(
-        reads, unique=20, repeats=3, k=4,
+        reads, unique=dna_unique, repeats=3, k=4,
         alphabet_symbols="ACGNT", name="dna-mix",
     )
 
@@ -164,6 +171,14 @@ def run_benchmark(city_count: int = 3000, dna_count: int = 400, *,
     record["min_speedup"] = min(
         entry["speedup_vs_per_query"] for entry in record["workloads"]
     )
+    # The flat series the regression gate diffs label-by-label (the
+    # per-report histograms cover per-query latency; these cover the
+    # stage wall-clocks, compile cost included).
+    record["measurements"] = common.build_measurements({
+        f"{entry['workload']}.{stage}": seconds
+        for entry in record["workloads"]
+        for stage, seconds in entry["stages"].items()
+    })
     return record
 
 
@@ -195,9 +210,7 @@ def render(record: dict) -> str:
 
 
 def write_record(record: dict) -> Path:
-    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n",
-                         encoding="utf-8")
-    return JSON_PATH
+    return common.write_record(record, JSON_PATH)
 
 
 def test_batch_compiled_speedup(emit):
@@ -232,7 +245,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.smoke:
+        # The smoke workload is deliberately a different shape (half
+        # the unique queries) so the regression gate compares it to a
+        # full-mode baseline per unit of work, not by exact matches.
         record = run_benchmark(city_count=600, dna_count=120,
+                               city_unique=20, dna_unique=10,
                                verify_sample=min(args.verify_sample, 10))
         record["smoke"] = True
     else:

@@ -38,10 +38,14 @@ Run directly::
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import time
 from pathlib import Path
+
+try:  # package mode (pytest) vs script mode (python benchmarks/...)
+    from benchmarks import common
+except ImportError:  # pragma: no cover - script-mode fallback
+    import common
 
 from repro.core.indexed import IndexedSearcher
 from repro.core.verification import verify_against_reference
@@ -53,6 +57,7 @@ from repro.data.workload import (
     make_workload,
 )
 from repro.index.batch import FlatIndexSearcher
+from repro.obs.hist import hists_delta
 from repro.obs.registry import counter_delta
 from repro.obs.report import BatchCounters, build_report
 from repro.scan.searcher import CompiledScanSearcher
@@ -124,15 +129,17 @@ def run_regime(dataset, *, label: str, thresholds, queries_per_k: int,
         reports = {}
         for name, searcher in contenders:
             before = searcher.counters_snapshot()
+            before_hists = searcher.hists_snapshot()
             batch_before = _batch_counters(searcher)
             rows[name], seconds[name] = _time(
                 lambda s=searcher: s.run_workload(workload)
             )
             totals[name] += seconds[name]
             # Every contender speaks the same SearchReport schema; the
-            # per-rung reports embed the work-counter deltas so the
-            # JSON artifact records what each ladder rung actually did
-            # (and CI validates the schema).
+            # per-rung reports embed the work-counter and histogram
+            # deltas so the JSON artifact records what each ladder rung
+            # actually did — latency quantiles included, which is what
+            # the regression gate diffs (and CI validates the schema).
             batch_after = _batch_counters(searcher)
             reports[name] = build_report(
                 backend=_CONTENDER_BACKENDS[name],
@@ -144,6 +151,8 @@ def run_regime(dataset, *, label: str, thresholds, queries_per_k: int,
                 seconds=seconds[name],
                 counters=counter_delta(before,
                                        searcher.counters_snapshot()),
+                histograms=hists_delta(before_hists,
+                                       searcher.hists_snapshot()),
                 batch=BatchCounters(
                     queries_seen=batch_after[0] - batch_before[0],
                     unique_queries=batch_after[1] - batch_before[1],
@@ -241,6 +250,17 @@ def run_benchmark(*, city_count: int = 4000, dna_count: int = 300,
         by_regime["dna"]["flat_vs_trie_speedup"]
     )
     record["required_dna_speedup"] = REQUIRED_DNA_SPEEDUP
+    # Flat per-contender totals for the regression gate: one stable
+    # label per (regime, contender) pair plus the off-clock build cost.
+    record["measurements"] = common.build_measurements({
+        f"{entry['regime']}.{name}_total_seconds": seconds
+        for entry in record["regimes"]
+        for name, seconds in entry["total_seconds"].items()
+    } | {
+        f"{entry['regime']}.{name}_build_seconds": seconds
+        for entry in record["regimes"]
+        for name, seconds in entry["build_seconds_offclock"].items()
+    })
     return record
 
 
@@ -287,9 +307,7 @@ def render(record: dict) -> str:
 
 
 def write_record(record: dict) -> Path:
-    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n",
-                         encoding="utf-8")
-    return JSON_PATH
+    return common.write_record(record, JSON_PATH)
 
 
 def test_headtohead_speedup(emit):

@@ -23,10 +23,14 @@ or through pytest (``pytest benchmarks/bench_service.py``).
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import time
 from pathlib import Path
+
+try:  # package mode (pytest) vs script mode (python benchmarks/...)
+    from benchmarks import common
+except ImportError:  # pragma: no cover - script-mode fallback
+    import common
 
 from repro.core.deadline import Deadline
 from repro.core.sequential import SequentialScanSearcher
@@ -113,6 +117,11 @@ def run_benchmark(read_count: int = 1200, query_count: int = 120, *,
         },
         "statuses": statuses,
         "verified_against_reference": verified_checked,
+        "measurements": common.build_measurements({
+            "submit_p50_seconds": p50,
+            "submit_p99_seconds": p99,
+            "submit_max_seconds": max(latencies),
+        }),
         "report": report_dict,
     }
 
@@ -141,9 +150,7 @@ def render(record: dict) -> str:
 
 
 def write_record(record: dict) -> Path:
-    JSON_PATH.write_text(json.dumps(record, indent=2) + "\n",
-                         encoding="utf-8")
-    return JSON_PATH
+    return common.write_record(record, JSON_PATH)
 
 
 def test_service_p99_under_deadline(emit):

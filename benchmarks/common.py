@@ -1,0 +1,111 @@
+"""The shared bench-artifact writer every harness records through.
+
+Each standalone harness (``bench_batch_compiled``, ``bench_headtohead``,
+``bench_service``) used to hand-roll its own ``json.dumps`` call; they
+now all ship their records through :func:`write_record`, which is where
+the observability pipeline's guarantees are enforced **at write time**:
+
+* every embedded :class:`repro.obs.SearchReport` dict is validated
+  against ``REPORT_SCHEMA`` before the file is written — a harness can
+  never commit an artifact the regression gate
+  (:mod:`repro.obs.regress`) would refuse to read;
+* the record is stamped with :data:`RESULT_SCHEMA_VERSION` so future
+  writers can evolve the envelope without silent drift;
+* a ``measurements`` mapping (``{label: seconds}``) gives the gate
+  flat, harness-defined wall-clock series to diff even where no
+  SearchReport applies (build times, off-clock verification, ...).
+
+The rendered text twin lands next to the JSON through :func:`emit_text`
+(the same ``benchmarks/results/`` directory the pytest ``emit`` fixture
+uses), so a direct ``python benchmarks/bench_*.py`` run leaves the same
+artifacts as ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+from repro.obs.report import validate_report
+from repro.obs.validate import iter_reports
+
+#: Version stamp for the harness record envelope (not the embedded
+#: SearchReport schema, which carries its own ``schema_version``).
+RESULT_SCHEMA_VERSION = 1
+
+#: Where rendered text reports land (shared with the pytest fixture).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def build_measurements(stages: Mapping[str, float]) -> dict[str, float]:
+    """A flat ``{label: seconds}`` mapping for the regression gate.
+
+    Labels are harness-defined; :mod:`repro.obs.regress` pairs them by
+    ``(benchmark, label)`` across baseline and current, so keep them
+    stable across runs (they are an interface, like counter names).
+    """
+    measurements = {}
+    for label, seconds in stages.items():
+        if not isinstance(seconds, (int, float)):
+            raise ReproError(
+                f"measurement {label!r} must be seconds (a number), "
+                f"got {type(seconds).__name__}"
+            )
+        measurements[str(label)] = round(float(seconds), 6)
+    return measurements
+
+
+def validate_record(record: Mapping[str, Any]) -> list[str]:
+    """Every problem that would make the regression gate reject this.
+
+    Checks the envelope (``benchmark`` name, ``measurements`` shape)
+    and validates every embedded SearchReport dict against the report
+    schema. An empty list means :mod:`repro.obs.regress` will accept
+    the record as one side of a comparison.
+    """
+    problems: list[str] = []
+    if not record.get("benchmark"):
+        problems.append("record has no 'benchmark' name")
+    measurements = record.get("measurements")
+    if not isinstance(measurements, Mapping):
+        problems.append("record has no 'measurements' mapping")
+    else:
+        for label, seconds in measurements.items():
+            if not isinstance(seconds, (int, float)):
+                problems.append(
+                    f"measurement {label!r} is not a number"
+                )
+    for where, report in iter_reports(record):
+        for problem in validate_report(report):
+            problems.append(f"report at {where}: {problem}")
+    return problems
+
+
+def write_record(record: Mapping[str, Any], json_path: Path) -> Path:
+    """Validate and persist one harness record as a JSON artifact.
+
+    Raises :class:`repro.exceptions.ReproError` instead of writing when
+    the record would not survive the regression gate — a bad artifact
+    on disk is strictly worse than a failed benchmark run.
+    """
+    record = dict(record)
+    record.setdefault("result_schema_version", RESULT_SCHEMA_VERSION)
+    problems = validate_record(record)
+    if problems:
+        raise ReproError(
+            f"refusing to write {json_path.name}: "
+            + "; ".join(problems)
+        )
+    json_path.write_text(json.dumps(record, indent=2) + "\n",
+                         encoding="utf-8")
+    return json_path
+
+
+def emit_text(name: str, report: str) -> Path:
+    """Persist a rendered report to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(report + "\n", encoding="utf-8")
+    return path

@@ -82,6 +82,17 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--stats-output", default=None,
                         help="write the report there instead of "
                              "stderr (implies --stats)")
+    search.add_argument("--slowlog", type=int, default=None,
+                        metavar="N",
+                        help="record every query on a flight recorder "
+                             "and print the N slowest (per-stage "
+                             "timings and work counters) to stderr "
+                             "after the run")
+    search.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="export the run's spans as Chrome/"
+                             "Perfetto trace-event JSON to FILE (open "
+                             "in chrome://tracing or ui.perfetto.dev); "
+                             "implies span collection")
     search.add_argument("--deadline-ms", type=float, default=None,
                         help="wall-clock deadline in milliseconds — "
                              "per query with --service (the ladder "
@@ -205,6 +216,42 @@ def _emit_report(report, args: argparse.Namespace) -> None:
         print(rendered, file=sys.stderr)
 
 
+def _make_observability(args: argparse.Namespace):
+    """The run's optional flight recorder and trace registry."""
+    recorder = None
+    if args.slowlog is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        if args.slowlog < 1:
+            raise ReproError(
+                f"--slowlog needs a positive count, got {args.slowlog}"
+            )
+        recorder = FlightRecorder(top_n=max(args.slowlog, 16))
+    metrics = None
+    if args.trace_out is not None:
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    return recorder, metrics
+
+
+def _emit_slowlog_and_trace(args: argparse.Namespace, recorder,
+                            metrics) -> None:
+    """Print the slowlog and write the trace file, as requested."""
+    if recorder is not None:
+        print(recorder.render(args.slowlog), file=sys.stderr)
+    if metrics is not None and args.trace_out is not None:
+        from repro.obs.traceexport import write_trace
+
+        write_trace(args.trace_out, metrics)
+        print(
+            f"trace: {len(metrics.spans)} spans written to "
+            f"{args.trace_out} (open in chrome://tracing or "
+            "ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+
+
 def _write_result_lines(lines, output: str | None) -> None:
     if output:
         with open(output, "w", encoding="utf-8") as handle:
@@ -221,7 +268,9 @@ def _command_search_service(args: argparse.Namespace, dataset,
     from repro.core.deadline import Deadline
     from repro.service import Service
 
-    service = Service(dataset, shards=args.shards)
+    recorder, metrics = _make_observability(args)
+    service = Service(dataset, shards=args.shards, metrics=metrics,
+                      recorder=recorder)
     seconds = (args.deadline_ms / 1000.0
                if args.deadline_ms is not None else None)
     rows: list[tuple[str, list[str]]] = []
@@ -258,6 +307,7 @@ def _command_search_service(args: argparse.Namespace, dataset,
                            matches=total_matches),
             args,
         )
+    _emit_slowlog_and_trace(args, recorder, metrics)
     _write_result_lines(
         ("\t".join([query, *matched]) for query, matched in rows),
         args.output,
@@ -274,8 +324,10 @@ def _command_search(args: argparse.Namespace) -> int:
         return _command_search_service(args, dataset, queries,
                                        want_stats)
     runner = _make_runner(args.runner)
+    recorder, metrics = _make_observability(args)
     engine = SearchEngine(dataset, backend=args.backend, runner=runner,
-                          observe=want_stats)
+                          observe=want_stats or metrics is not None,
+                          metrics=metrics, recorder=recorder)
     print(
         f"backend: {engine.choice.backend} ({engine.choice.reason})",
         file=sys.stderr,
@@ -300,6 +352,7 @@ def _command_search(args: argparse.Namespace) -> int:
             "writing partial results (completed queries only)",
             file=sys.stderr,
         )
+        _emit_slowlog_and_trace(args, recorder, metrics)
         _write_result_lines(
             ("\t".join([query, *[m.string for m in completed[query]]])
              for query in queries if query in completed),
@@ -321,6 +374,7 @@ def _command_search(args: argparse.Namespace) -> int:
         )
     if want_stats:
         _emit_report(report, args)
+    _emit_slowlog_and_trace(args, recorder, metrics)
     lines = (
         "\t".join([query, *row])
         for query, row in (

@@ -39,6 +39,8 @@ from repro.core.sequential import SequentialScanSearcher
 from repro.data.stats import describe
 from repro.data.workload import Workload
 from repro.exceptions import ReproError
+from repro.obs.hist import hists_delta
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry, counter_delta
 from repro.obs.report import BatchCounters, SearchReport, build_report
 
@@ -75,9 +77,15 @@ class SearchEngine:
         Create a :class:`repro.obs.MetricsRegistry`, attach it to every
         backend the engine touches, and collect span/timer evidence in
         it (reachable as :attr:`metrics`). Off by default — the
-        always-on work counters and :attr:`last_report` do not need it.
+        always-on work counters, per-query histograms and
+        :attr:`last_report` do not need it.
     metrics:
         Use a caller-owned registry instead (implies ``observe``).
+    recorder:
+        Optional :class:`repro.obs.FlightRecorder` forwarded to every
+        backend the engine touches, so slow queries leave exemplars
+        (query, k, per-stage timings, work counters) no matter which
+        component serves them.
 
     Examples
     --------
@@ -94,7 +102,8 @@ class SearchEngine:
                  backend: str = "auto",
                  runner: QueryRunner | None = None,
                  observe: bool = False,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 recorder: FlightRecorder | None = None) -> None:
         strings = tuple(dataset)
         if backend not in ("auto", "sequential", "indexed", "compiled"):
             raise ReproError(
@@ -107,6 +116,7 @@ class SearchEngine:
             self._metrics: MetricsRegistry | None = metrics
         else:
             self._metrics = MetricsRegistry() if observe else None
+        self._recorder = recorder
         self._batch_searcher: Searcher | None = None
         self._batch_index = None
         self._override_searchers: dict[str, Searcher] = {}
@@ -125,8 +135,18 @@ class SearchEngine:
             self._batch_searcher = self._searcher
         else:
             self._searcher = IndexedSearcher(strings, index="flat")
+        self._attach_obs(self._searcher)
+
+    def _attach_obs(self, component) -> None:
+        """Attach the engine's registry/recorder where supported."""
         if self._metrics is not None:
-            self._searcher.attach_metrics(self._metrics)
+            attach = getattr(component, "attach_metrics", None)
+            if attach is not None:
+                attach(self._metrics)
+        if self._recorder is not None:
+            attach = getattr(component, "attach_recorder", None)
+            if attach is not None:
+                attach(self._recorder)
 
     @staticmethod
     def _decide(strings: tuple[str, ...], backend: str) -> EngineChoice:
@@ -166,6 +186,11 @@ class SearchEngine:
         return self._metrics
 
     @property
+    def recorder(self) -> FlightRecorder | None:
+        """The attached flight recorder (``None`` unless asked)."""
+        return self._recorder
+
+    @property
     def last_report(self) -> SearchReport | None:
         """The :class:`repro.obs.SearchReport` of the last engine call.
 
@@ -190,15 +215,16 @@ class SearchEngine:
         """Deprecated: dedup/memo counters of the last-used batch path.
 
         .. deprecated::
-            Use ``search_many(..., report=True)`` or
+            Slated for removal in 2.0. Use
+            ``search_many(..., report=True)`` or
             ``engine.last_report.batch`` — the report's ``batch``
             section is the per-call delta of these counters and always
             describes the executor that served the last call.
         """
         warnings.warn(
-            "SearchEngine.batch_stats is deprecated; use "
-            "search_many(..., report=True) or engine.last_report.batch "
-            "instead",
+            "SearchEngine.batch_stats is deprecated and will be "
+            "removed in 2.0; use search_many(..., report=True) or "
+            "engine.last_report.batch instead",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -247,20 +273,30 @@ class SearchEngine:
                        batch_executor=None):
         """Run one engine call and capture its report window.
 
-        Counters are cumulative in the serving component; the window is
-        the before/after difference, so the report holds exactly this
-        call's work no matter how many calls came before.
+        Counters and histograms are cumulative in the serving
+        component; the window is the before/after difference, so the
+        report holds exactly this call's work no matter how many calls
+        came before.
         """
         snapshot = getattr(component, "counters_snapshot", None)
         before_counters = snapshot() if snapshot is not None else {}
+        hist_snapshot = getattr(component, "hists_snapshot", None)
+        before_hists = (hist_snapshot() if hist_snapshot is not None
+                        else {})
         before_timers = (dict(self._metrics.timers())
                          if self._metrics is not None else {})
         before_batch = (self._batch_state(batch_executor)
                         if batch_executor is not None else None)
         started = time.perf_counter()
-        result = call()
+        if self._metrics is not None:
+            with self._metrics.trace(f"engine.{mode}"):
+                result = call()
+        else:
+            result = call()
         seconds = time.perf_counter() - started
         after_counters = snapshot() if snapshot is not None else {}
+        after_hists = (hist_snapshot() if hist_snapshot is not None
+                       else {})
         matches = (result.total_matches if isinstance(result, ResultSet)
                    else len(result))
         self._last_call = {
@@ -273,6 +309,8 @@ class SearchEngine:
             "seconds": seconds,
             "counters": counter_delta(before_counters, after_counters),
             "timers": self._timers_delta(before_timers),
+            # Live Histogram deltas; build_report summarizes lazily.
+            "histograms": hists_delta(before_hists, after_hists),
             "batch": (self._batch_delta(before_batch,
                                         self._batch_state(batch_executor))
                       if batch_executor is not None else None),
@@ -287,8 +325,7 @@ class SearchEngine:
             from repro.scan.searcher import CompiledScanSearcher
 
             self._batch_searcher = CompiledScanSearcher(self._strings)
-            if self._metrics is not None:
-                self._batch_searcher.attach_metrics(self._metrics)
+            self._attach_obs(self._batch_searcher)
         return self._batch_searcher
 
     def _ensure_batch_index(self):
@@ -300,8 +337,7 @@ class SearchEngine:
             if flat is None:
                 flat = FlatTrie(self._strings)
             self._batch_index = BatchIndexExecutor(flat)
-            if self._metrics is not None:
-                self._batch_index.attach_metrics(self._metrics)
+            self._attach_obs(self._batch_index)
         return self._batch_index
 
     # ----------------------------------------------------------------
@@ -348,8 +384,7 @@ class SearchEngine:
             )
         else:
             searcher = IndexedSearcher(self._strings, index="flat")
-        if self._metrics is not None:
-            searcher.attach_metrics(self._metrics)
+        self._attach_obs(searcher)
         self._override_searchers[backend] = searcher
         return searcher, backend
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import warnings
+from time import perf_counter
 from typing import Callable, Iterable
 
 from repro.core.deadline import Budget, Deadline
@@ -46,6 +47,8 @@ from repro.index.traversal import (
     trie_similarity_search,
 )
 from repro.index.trie import PrefixTrie
+from repro.obs.hist import Histogram
+from repro.obs.recorder import QueryExemplar
 
 #: Index configurations; the first two are the paper's, ``flat`` is
 #: their compiled form.
@@ -65,6 +68,13 @@ INDEX_COUNTERS = (
     "trie.branches_pruned_by_length",
     "trie.branches_pruned_by_frequency",
     "trie.matches",
+)
+
+#: Histogram names this searcher records, once per completed search.
+INDEX_HISTOGRAMS = (
+    "trie.query_seconds",
+    "trie.nodes_per_query",
+    "trie.symbols_per_query",
 )
 
 
@@ -130,8 +140,10 @@ class IndexedSearcher(Searcher):
         # search under the lock so parallel runners sharing this
         # searcher aggregate correctly.
         self._counters = dict.fromkeys(INDEX_COUNTERS, 0)
+        self._hists = {name: Histogram() for name in INDEX_HISTOGRAMS}
         self._counters_lock = threading.Lock()
         self._metrics = None
+        self._recorder = None
         self._search_fn = self._build(strings, index, frequency_pruning,
                                       tracked_symbols, q)
 
@@ -291,15 +303,17 @@ class IndexedSearcher(Searcher):
         """Deprecated: the previous call's raw :class:`TraversalStats`.
 
         .. deprecated::
-            Use ``SearchEngine.search(..., report=True)`` /
+            Slated for removal in 2.0. Use
+            ``SearchEngine.search(..., report=True)`` /
             ``SearchEngine.last_report`` — the unified
             :class:`repro.obs.SearchReport` carries the same numbers as
             ``trie.*`` counters with one schema across all backends.
         """
         warnings.warn(
-            "IndexedSearcher.last_stats is deprecated; use the "
-            "SearchReport API (SearchEngine.search(..., report=True) "
-            "or engine.last_report) instead",
+            "IndexedSearcher.last_stats is deprecated and will be "
+            "removed in 2.0; use the SearchReport API "
+            "(SearchEngine.search(..., report=True) or "
+            "engine.last_report) instead",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -324,6 +338,48 @@ class IndexedSearcher(Searcher):
         with self._counters_lock:
             return dict(self._counters)
 
+    def hists_snapshot(self) -> dict[str, Histogram]:
+        """Cumulative per-query histograms since construction.
+
+        Same contract as :meth:`counters_snapshot`: monotonic,
+        thread-safe, and exact to delta (histogram state is bucketwise
+        additive), so the engine carves out one call's distribution.
+        """
+        with self._counters_lock:
+            return {name: hist.copy()
+                    for name, hist in self._hists.items()}
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.FlightRecorder` (or ``None``).
+
+        With a recorder attached, each completed search offers a
+        :class:`repro.obs.QueryExemplar` carrying this search's
+        traversal profile; the recorder's threshold decides retention.
+        """
+        self._recorder = recorder
+
+    def _observe_query(self, query: str, k: int, seconds: float,
+                       matches: int) -> None:
+        """Record one completed search's histograms and exemplar."""
+        stats = self._last_stats
+        nodes = stats.nodes_visited if stats is not None else 0
+        symbols = stats.symbols_processed if stats is not None else 0
+        with self._counters_lock:
+            hists = self._hists
+            hists["trie.query_seconds"].record(seconds)
+            hists["trie.nodes_per_query"].record(nodes)
+            hists["trie.symbols_per_query"].record(symbols)
+        recorder = self._recorder
+        if recorder is not None and recorder.interested(seconds):
+            recorder.record(QueryExemplar(
+                query=query, k=k, backend=self.name, seconds=seconds,
+                matches=matches, stages={"index.search": seconds},
+                counters={
+                    "trie.nodes_visited": nodes,
+                    "trie.symbols_processed": symbols,
+                },
+            ))
+
     def search(self, query: str, k: int, *,
                deadline: Deadline | Budget | None = None) -> list[Match]:
         """All distinct dataset strings within distance ``k`` of ``query``.
@@ -339,17 +395,19 @@ class IndexedSearcher(Searcher):
         check_threshold(k)
         self._last_stats = None
         metrics = self._metrics
+        started = perf_counter()
         try:
             if metrics is not None:
                 with metrics.trace("index.search"):
-                    return [
+                    matches = [
                         Match(m.string, m.distance)
                         for m in self._search_fn(query, k, deadline)
                     ]
-            return [
-                Match(m.string, m.distance)
-                for m in self._search_fn(query, k, deadline)
-            ]
+            else:
+                matches = [
+                    Match(m.string, m.distance)
+                    for m in self._search_fn(query, k, deadline)
+                ]
         except DeadlineExceeded as error:
             raise DeadlineExceeded(
                 str(error),
@@ -358,3 +416,6 @@ class IndexedSearcher(Searcher):
                 scope=error.scope, completed=error.completed,
                 total=error.total,
             ) from error
+        self._observe_query(query, k, perf_counter() - started,
+                            len(matches))
+        return matches

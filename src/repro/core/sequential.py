@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left, bisect_right
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.core.deadline import Budget, Deadline
@@ -40,6 +41,8 @@ from repro.distance.dispatch import bounded_distance
 from repro.distance.levenshtein import edit_distance
 from repro.exceptions import DeadlineExceeded, ReproError
 from repro.filters.base import FilterChain
+from repro.obs.hist import Histogram
+from repro.obs.recorder import QueryExemplar
 
 #: Kernel configurations in paper-ladder order.
 KERNELS = (
@@ -65,6 +68,14 @@ SCAN_COUNTERS = (
     "scan.kernel_calls",
     "scan.early_aborts",
     "scan.matches",
+)
+
+#: Histogram names this searcher records (same always-on discipline as
+#: the counters: one flush per search under the counters lock).
+SCAN_HISTOGRAMS = (
+    "scan.query_seconds",
+    "scan.candidates_per_query",
+    "scan.kernel_calls_per_query",
 )
 
 
@@ -131,8 +142,12 @@ class SequentialScanSearcher(Searcher):
         # locals and flush once per search under the lock, so parallel
         # runners sharing this searcher aggregate correctly.
         self._counters = dict.fromkeys(SCAN_COUNTERS, 0)
+        # Per-query latency/size distributions, flushed with the
+        # counters so one lock round-trip covers both.
+        self._hists = {name: Histogram() for name in SCAN_HISTOGRAMS}
         self._counters_lock = threading.Lock()
         self._metrics = None
+        self._recorder = None
 
         if order == "length":
             self._sorted = sorted(self._dataset, key=len)
@@ -186,6 +201,15 @@ class SequentialScanSearcher(Searcher):
         """
         self._metrics = registry
 
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.FlightRecorder` (or ``None``).
+
+        With a recorder attached, each completed search offers a
+        :class:`repro.obs.QueryExemplar` carrying its per-query work
+        counters; the recorder's threshold decides what is kept.
+        """
+        self._recorder = recorder
+
     def counters_snapshot(self) -> dict[str, int]:
         """Cumulative ``scan.*`` work counters since construction.
 
@@ -196,9 +220,23 @@ class SequentialScanSearcher(Searcher):
         with self._counters_lock:
             return dict(self._counters)
 
-    def _flush_counters(self, candidates: int, length_rejects: int,
+    def hists_snapshot(self) -> dict[str, Histogram]:
+        """Cumulative per-query histograms since construction.
+
+        Same contract as :meth:`counters_snapshot`: monotonic and
+        thread-safe, and two snapshots delta exactly (histogram state
+        is bucketwise additive), so the engine can carve out one
+        call's latency/size distribution for its report.
+        """
+        with self._counters_lock:
+            return {name: hist.copy()
+                    for name, hist in self._hists.items()}
+
+    def _flush_counters(self, query: str, k: int, started: float,
+                        candidates: int, length_rejects: int,
                         prefilter_rejects: int, kernel_calls: int,
                         early_aborts: int, matches: int) -> None:
+        seconds = perf_counter() - started
         with self._counters_lock:
             counters = self._counters
             counters["scan.searches"] += 1
@@ -208,6 +246,23 @@ class SequentialScanSearcher(Searcher):
             counters["scan.kernel_calls"] += kernel_calls
             counters["scan.early_aborts"] += early_aborts
             counters["scan.matches"] += matches
+            hists = self._hists
+            hists["scan.query_seconds"].record(seconds)
+            hists["scan.candidates_per_query"].record(candidates)
+            hists["scan.kernel_calls_per_query"].record(kernel_calls)
+        recorder = self._recorder
+        if recorder is not None and recorder.interested(seconds):
+            recorder.record(QueryExemplar(
+                query=query, k=k, backend=self.name, seconds=seconds,
+                matches=matches, stages={"scan.search": seconds},
+                counters={
+                    "scan.candidates": candidates,
+                    "scan.length_rejects": length_rejects,
+                    "scan.prefilter_rejects": prefilter_rejects,
+                    "scan.kernel_calls": kernel_calls,
+                    "scan.early_aborts": early_aborts,
+                },
+            ))
 
     def search(self, query: str, k: int, *,
                deadline: Deadline | Budget | None = None) -> list[Match]:
@@ -228,6 +283,7 @@ class SequentialScanSearcher(Searcher):
     def _search_impl(self, query: str, k: int,
                      deadline: Deadline | Budget | None = None
                      ) -> list[Match]:
+        started = perf_counter()
         check_threshold(k)
         candidates = self._candidates(query, k)
         candidate_count = len(candidates)
@@ -305,7 +361,8 @@ class SequentialScanSearcher(Searcher):
                         found.setdefault(candidate, len(candidate))
                     else:
                         length_rejects += 1
-                self._flush_counters(candidate_count, length_rejects,
+                self._flush_counters(query, k, started,
+                                     candidate_count, length_rejects,
                                      0, 0, 0, len(found))
                 return sorted(
                     (Match(s, d) for s, d in found.items())
@@ -363,7 +420,8 @@ class SequentialScanSearcher(Searcher):
                 else:
                     early_aborts += 1
 
-        self._flush_counters(candidate_count, length_rejects,
+        self._flush_counters(query, k, started,
+                             candidate_count, length_rejects,
                              prefilter_rejects, kernel_calls,
                              early_aborts, len(found))
         return sorted(

@@ -38,8 +38,17 @@ from repro.distance.banded import check_threshold
 from repro.exceptions import DeadlineExceeded, ReproError
 from repro.index.flat import FlatTrie, flat_similarity_search
 from repro.index.traversal import TraversalStats
+from repro.obs.hist import Histogram
+from repro.obs.recorder import QueryExemplar
 from repro.scan.cache import LRUCache
 from repro.scan.executor import DEFAULT_CACHE_SIZE, BatchStats
+
+#: Histogram names the executor records per executed probe.
+TRIE_HISTOGRAMS = (
+    "trie.query_seconds",
+    "trie.nodes_per_query",
+    "trie.symbols_per_query",
+)
 
 
 def _flush_trie_counters(counters: dict, stats: TraversalStats) -> None:
@@ -112,8 +121,9 @@ class _ProbeTask:
     workers, so the DP row bank cannot live here — each call brings its
     own rows and the executor keeps the reusable bank on the serial
     path only. With ``collect`` set, each call returns ``(row,
-    counters, seconds)`` so worker processes ship their work profile
-    back with their rows.
+    counters, timers, seconds)`` so worker processes ship their work
+    profile — including the ``index.probe`` timer observation — back
+    with their rows.
     """
 
     flat: FlatTrie
@@ -130,7 +140,8 @@ class _ProbeTask:
         row = tuple(probe_query(self.flat, query, self.k,
                                 use_frequency=self.use_frequency,
                                 counters=counters))
-        return row, counters, perf_counter() - started
+        seconds = perf_counter() - started
+        return row, counters, {"index.probe": (seconds, 1)}, seconds
 
 
 class BatchIndexExecutor:
@@ -180,8 +191,10 @@ class BatchIndexExecutor:
         # Cumulative trie.* work counters, merged back from every probe
         # (including ones executed in worker processes).
         self._counters: dict[str, int] = {}
+        self._hists = {name: Histogram() for name in TRIE_HISTOGRAMS}
         self._counters_lock = threading.Lock()
         self._metrics = None
+        self._recorder = None
 
     def attach_metrics(self, registry) -> None:
         """Attach a :class:`repro.obs.MetricsRegistry` (or ``None``).
@@ -202,15 +215,63 @@ class BatchIndexExecutor:
         with self._counters_lock:
             return dict(self._counters)
 
-    def _merge_counters(self, counters: dict, seconds: float) -> None:
+    def hists_snapshot(self) -> dict[str, Histogram]:
+        """Cumulative per-probe histograms since construction.
+
+        Same contract as :meth:`counters_snapshot`: monotonic,
+        thread-safe, exact to delta, and inclusive of worker-process
+        probes (which ship their seconds back with their rows).
+        """
+        with self._counters_lock:
+            return {name: hist.copy()
+                    for name, hist in self._hists.items()}
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.FlightRecorder` (or ``None``)."""
+        self._recorder = recorder
+
+    def _merge_counters(self, counters: dict, seconds: float, *,
+                        started: float | None = None,
+                        timers: dict | None = None) -> None:
+        """Fold one executed probe's profile into the cumulative state.
+
+        Every merge here is a whole query (the trie has no chunk
+        fan-out), so the per-query histograms record unconditionally.
+        ``started`` (serial probes only) upgrades the timer observation
+        to a real span for trace export; ``timers`` merges a
+        worker-shipped ``{name: (seconds, calls)}`` mapping instead.
+        """
         with self._counters_lock:
             own = self._counters
             for name, value in counters.items():
                 own[name] = own.get(name, 0) + value
+            hists = self._hists
+            hists["trie.query_seconds"].record(seconds)
+            hists["trie.nodes_per_query"].record(
+                counters.get("trie.nodes_visited", 0))
+            hists["trie.symbols_per_query"].record(
+                counters.get("trie.symbols_processed", 0))
         metrics = self._metrics
         if metrics is not None:
             metrics.merge_counts(counters)
-            metrics.observe("index.probe", seconds)
+            if timers:
+                metrics.merge_timers(timers)
+            elif started is not None:
+                metrics.record_span("index.probe", started, seconds)
+            else:
+                metrics.observe("index.probe", seconds)
+
+    def _offer_exemplar(self, query: str, k: int, seconds: float,
+                        matches: int, counters: dict) -> None:
+        """Offer a completed probe to the flight recorder, if any."""
+        recorder = self._recorder
+        if recorder is not None and recorder.interested(seconds):
+            recorder.record(QueryExemplar(
+                query=query, k=k, backend="flat-index",
+                seconds=seconds, matches=matches,
+                stages={"index.probe": seconds},
+                counters=dict(counters),
+            ))
 
     def _probe_with_bank(self, query: str, k: int,
                          deadline: Deadline | Budget | None = None
@@ -232,7 +293,8 @@ class BatchIndexExecutor:
                                     counters=counters,
                                     deadline=deadline))
         except DeadlineExceeded:
-            self._merge_counters(counters, perf_counter() - started)
+            self._merge_counters(counters, perf_counter() - started,
+                                 started=started)
             raise
         seconds = perf_counter() - started
         grown = len(bank) - held
@@ -240,7 +302,8 @@ class BatchIndexExecutor:
         if grown == 0 and held:
             # The descent ran entirely on previously banked rows.
             counters["trie.bank_reuses"] = 1
-        self._merge_counters(counters, seconds)
+        self._merge_counters(counters, seconds, started=started)
+        self._offer_exemplar(query, k, seconds, len(row), counters)
         return row
 
     @property
@@ -363,8 +426,10 @@ class BatchIndexExecutor:
             return [self._probe_with_bank(query, k) for query in misses]
         task = _ProbeTask(self._flat, k, self._use_frequency, collect=True)
         rows: list[tuple[Match, ...]] = []
-        for row, counters, seconds in runner.run(task, misses):
-            self._merge_counters(counters, seconds)
+        for query, (row, counters, timers, seconds) in zip(
+                misses, runner.run(task, misses)):
+            self._merge_counters(counters, seconds, timers=timers)
+            self._offer_exemplar(query, k, seconds, len(row), counters)
             rows.append(row)
         return rows
 
@@ -423,6 +488,14 @@ class FlatIndexSearcher(Searcher):
     def counters_snapshot(self) -> dict[str, int]:
         """Cumulative ``trie.*`` counters of the underlying executor."""
         return self._executor.counters_snapshot()
+
+    def hists_snapshot(self) -> dict[str, Histogram]:
+        """Cumulative per-probe histograms of the underlying executor."""
+        return self._executor.hists_snapshot()
+
+    def attach_recorder(self, recorder) -> None:
+        """Forward a flight recorder to the underlying executor."""
+        self._executor.attach_recorder(recorder)
 
     @property
     def dataset(self) -> tuple[str, ...]:

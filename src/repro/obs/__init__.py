@@ -8,19 +8,33 @@ instrumentation layer both engines share:
 
 :mod:`repro.obs.registry`
     :class:`MetricsRegistry` — counters, gauges, nesting monotonic
-    timers — plus span-based tracing (``with trace("scan.kernel")``)
-    and the :data:`NULL` no-op registry the hot paths default to.
+    timers, latency histograms — plus span-based tracing
+    (``with trace("scan.kernel")``) and the :data:`NULL` no-op
+    registry the hot paths default to.
+:mod:`repro.obs.hist`
+    :class:`Histogram` — fixed-boundary log-bucket latency/size
+    histograms whose state is bucketwise additive, so worker shipping,
+    merging, and before/after windowing are exact.
 :mod:`repro.obs.report`
     :class:`SearchReport`, the frozen per-call record every engine
     returns through ``SearchEngine.search(..., report=True)`` /
     ``SearchEngine.last_report``, with its documented schema and
-    validator.
+    validator. Schema v2 adds per-call histogram quantile summaries.
+:mod:`repro.obs.recorder`
+    :class:`FlightRecorder` — the bounded slow-query flight recorder
+    behind ``Service`` event exemplars and the CLI ``--slowlog``.
+:mod:`repro.obs.traceexport`
+    Span export to Chrome/Perfetto trace-event JSON
+    (``--trace-out FILE``).
 :mod:`repro.obs.export`
     Structured-dict, JSON-lines and Prometheus-text exporters for
     registries and reports.
 :mod:`repro.obs.validate`
     ``python -m repro.obs.validate FILE...`` — the CI gate that checks
     emitted benchmark/CLI reports against the schema.
+:mod:`repro.obs.regress`
+    ``python -m repro.obs.regress BASELINE CURRENT`` — the noise-aware
+    regression gate CI runs over committed ``BENCH_*.json`` baselines.
 
 See ``docs/OBSERVABILITY.md`` for the tour and the migration notes for
 the deprecated ``last_stats`` / ``batch_stats`` surfaces.
@@ -31,6 +45,15 @@ from repro.obs.export import (
     to_json,
     to_json_lines,
     to_prometheus,
+)
+from repro.obs.hist import (
+    Histogram,
+    hists_delta,
+    summarize,
+)
+from repro.obs.recorder import (
+    FlightRecorder,
+    QueryExemplar,
 )
 from repro.obs.registry import (
     NULL,
@@ -43,6 +66,7 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.report import (
+    HISTOGRAM_SUMMARY_KEYS,
     REPORT_SCHEMA,
     SCHEMA_VERSION,
     BatchCounters,
@@ -51,6 +75,10 @@ from repro.obs.report import (
     report_from_dict,
     require_valid_report,
     validate_report,
+)
+from repro.obs.traceexport import (
+    trace_document,
+    write_trace,
 )
 
 __all__ = [
@@ -62,6 +90,13 @@ __all__ = [
     "use_registry",
     "current_registry",
     "counter_delta",
+    "Histogram",
+    "hists_delta",
+    "summarize",
+    "FlightRecorder",
+    "QueryExemplar",
+    "trace_document",
+    "write_trace",
     "SearchReport",
     "BatchCounters",
     "build_report",
@@ -70,6 +105,7 @@ __all__ = [
     "require_valid_report",
     "REPORT_SCHEMA",
     "SCHEMA_VERSION",
+    "HISTOGRAM_SUMMARY_KEYS",
     "to_dict",
     "to_json",
     "to_json_lines",

@@ -118,6 +118,19 @@ def report_to_prometheus(report: "SearchReport", *,
                              cell["seconds"], labels)
         lines += _prom_lines("counter", base + "_calls_total",
                              cell["calls"], labels)
+    for name, cell in sorted(report.histograms.items()):
+        # Quantile summaries export in the Prometheus summary shape:
+        # one gauge per quantile label, plus _count and _sum.
+        base = metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {base} summary")
+        for key, quantile in (("p50", "0.5"), ("p90", "0.9"),
+                              ("p99", "0.99"), ("p999", "0.999")):
+            labelled = (f'{{backend="{report.backend}",'
+                        f'mode="{report.mode}",quantile="{quantile}"}}')
+            lines.append(f"{base}{labelled} {cell[key]:g}")
+        lines.append(f"{base}_count{labels} {cell['count']:g}")
+        lines.append(
+            f"{base}_sum{labels} {cell['mean'] * cell['count']:g}")
     if report.batch is not None:
         for name, value in report.batch.to_dict().items():
             lines += _prom_lines(

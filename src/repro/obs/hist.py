@@ -1,0 +1,291 @@
+"""Fixed-boundary log-bucket histograms (HDR-style), mergeable.
+
+Aggregate means hide exactly the evidence the paper's method needs:
+which *fraction* of queries a change helped, and what happened to the
+tail. :class:`Histogram` records observations into logarithmically
+spaced buckets whose boundaries are **fixed at import time** — every
+histogram in every process uses the same edges — so histograms combine
+the same three ways counters do:
+
+* **merge** — bucketwise addition, how process-pool workers ship their
+  per-scan observations home (:meth:`Histogram.merge`);
+* **delta** — bucketwise subtraction, how the engine carves one call's
+  window out of a cumulative series (:meth:`Histogram.delta`);
+* **serialize** — a sparse plain-dict form that survives JSON and
+  pickling round trips (:meth:`Histogram.to_dict` /
+  :meth:`Histogram.from_dict`).
+
+Quantiles are read from bucket upper bounds, so they are exact to one
+bucket's width (:data:`GROWTH` per step, ~19% relative). That is the
+HDR trade: bounded memory, O(1) recording, mergeability — in exchange
+for quantile-bucket resolution. Two histograms fed the same values in
+any order, split across any number of workers, report identical
+quantiles.
+
+The value range covers :data:`SMALLEST` (100ns, below any Python-level
+latency) through ``SMALLEST * GROWTH**MAX_BUCKET`` (~1.8e13, above any
+plausible candidate count); values outside land in dedicated underflow
+and overflow buckets and saturate at the range edge instead of
+distorting their neighbours.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+#: Lower edge of the tracked range. Values at or below it (zero and
+#: negatives included) land in the underflow bucket, index 0.
+SMALLEST = 1e-7
+
+#: Geometric bucket growth factor: 2**(1/4) ~= 1.189, four buckets per
+#: octave — quantiles resolve to within ~19%.
+GROWTH = 2.0 ** 0.25
+
+#: Number of regular buckets (indexes 1..MAX_BUCKET). The top regular
+#: edge is ``SMALLEST * GROWTH**MAX_BUCKET`` ~= 1.8e13.
+MAX_BUCKET = 268
+
+#: Index of the overflow bucket (values beyond the top regular edge).
+OVERFLOW_BUCKET = MAX_BUCKET + 1
+
+_LOG_GROWTH = math.log(GROWTH)
+_LOG_SMALLEST = math.log(SMALLEST)
+
+#: Quantiles every summary reports (the report schema's histogram keys).
+SUMMARY_QUANTILES = (("p50", 0.50), ("p90", 0.90),
+                     ("p99", 0.99), ("p999", 0.999))
+
+
+def bucket_index(value: float) -> int:
+    """The fixed bucket an observation falls into.
+
+    >>> bucket_index(0.0)
+    0
+    >>> bucket_index(float("inf")) == OVERFLOW_BUCKET
+    True
+    """
+    if value <= SMALLEST:
+        return 0
+    if not math.isfinite(value):
+        return OVERFLOW_BUCKET
+    index = int((math.log(value) - _LOG_SMALLEST) / _LOG_GROWTH) + 1
+    if index > MAX_BUCKET:
+        return OVERFLOW_BUCKET
+    return index
+
+
+def bucket_upper_bound(index: int) -> float:
+    """The bucket's inclusive upper edge — what quantiles report.
+
+    The overflow bucket saturates at the top regular edge rather than
+    reporting infinity, so summaries stay finite and JSON-safe.
+    """
+    if index <= 0:
+        return SMALLEST
+    if index >= OVERFLOW_BUCKET:
+        index = MAX_BUCKET
+    return math.exp(_LOG_SMALLEST + index * _LOG_GROWTH)
+
+
+class Histogram:
+    """Sparse log-bucket histogram: record, merge, delta, quantile.
+
+    State is three fields — a sparse ``{bucket_index: count}`` mapping,
+    the total count and the value sum — all bucketwise additive, which
+    is what makes merge and delta exact (no resampling, no loss).
+
+    Examples
+    --------
+    >>> hist = Histogram()
+    >>> for value in (0.001, 0.002, 0.004, 0.050):
+    ...     hist.record(value)
+    >>> hist.count
+    4
+    >>> hist.quantile(0.5) <= hist.quantile(0.99)
+    True
+    >>> merged = Histogram()
+    >>> merged.merge(hist)
+    >>> merged.count
+    4
+    """
+
+    __slots__ = ("_counts", "_count", "_sum")
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        index = bucket_index(value)
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
+        self._count += 1
+        self._sum += value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Add a batch of observations."""
+        for value in values:
+            self.record(value)
+
+    # -- combining -----------------------------------------------------
+
+    def merge(self, other: "Histogram | Mapping") -> None:
+        """Fold another histogram (or its dict form) in, bucketwise.
+
+        Exact: merging worker histograms equals recording every value
+        in one histogram, because the bucket edges are globally fixed.
+        """
+        if isinstance(other, Histogram):
+            counts = other._counts
+            count = other._count
+            total = other._sum
+        else:
+            counts = {int(index): value
+                      for index, value in other["counts"].items()}
+            count = other["count"]
+            total = other["sum"]
+        own = self._counts
+        for index, value in counts.items():
+            own[index] = own.get(index, 0) + value
+        self._count += count
+        self._sum += total
+
+    def delta(self, before: "Histogram | None") -> "Histogram":
+        """Bucketwise ``self - before`` (``before=None`` means empty).
+
+        The histogram analog of :func:`repro.obs.registry.counter_delta`
+        — valid when ``before`` is an earlier snapshot of this series
+        (cumulative series only grow).
+        """
+        result = Histogram()
+        if before is None:
+            result._counts = dict(self._counts)
+            result._count = self._count
+            result._sum = self._sum
+            return result
+        old = before._counts
+        counts = result._counts
+        for index, value in self._counts.items():
+            moved = value - old.get(index, 0)
+            if moved > 0:
+                counts[index] = moved
+        result._count = max(0, self._count - before._count)
+        result._sum = self._sum - before._sum
+        return result
+
+    def copy(self) -> "Histogram":
+        """An independent snapshot of the current state."""
+        return self.delta(None)
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of every recorded value (exact, not bucket-resolved)."""
+        return self._sum
+
+    def mean(self) -> float:
+        """Average recorded value (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """The value at ``fraction`` of the distribution, to one bucket.
+
+        Reported as the containing bucket's upper edge, so quantile
+        estimates never understate. An empty histogram reports 0.0.
+        """
+        if self._count == 0:
+            return 0.0
+        target = min(self._count,
+                     max(1, math.ceil(fraction * self._count)))
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= target:
+                return bucket_upper_bound(index)
+        return bucket_upper_bound(OVERFLOW_BUCKET)
+
+    def max_value(self) -> float:
+        """Upper edge of the highest occupied bucket (0.0 when empty)."""
+        if self._count == 0:
+            return 0.0
+        return bucket_upper_bound(max(self._counts))
+
+    def summary(self) -> dict[str, float]:
+        """The fixed quantile summary embedded in reports.
+
+        Keys: ``count``, ``mean``, ``p50``, ``p90``, ``p99``, ``p999``,
+        ``max`` — the shape :func:`repro.obs.report.validate_report`
+        checks for every ``histograms`` entry.
+        """
+        summary: dict[str, float] = {
+            "count": self._count,
+            "mean": round(self.mean(), 9),
+        }
+        for key, fraction in SUMMARY_QUANTILES:
+            summary[key] = round(self.quantile(fraction), 9)
+        summary["max"] = round(self.max_value(), 9)
+        return summary
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Sparse JSON-safe form (keys stringified for JSON objects)."""
+        return {
+            "counts": {str(index): value
+                       for index, value in sorted(self._counts.items())},
+            "count": self._count,
+            "sum": round(self._sum, 9),
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output."""
+        hist = cls()
+        hist.merge(mapping)
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram(count={self._count}, "
+                f"buckets={len(self._counts)})")
+
+
+def hists_delta(before: Mapping[str, Histogram],
+                after: Mapping[str, Histogram]
+                ) -> dict[str, Histogram]:
+    """Per-name :meth:`Histogram.delta`, keeping only moved series.
+
+    The mapping-level analog of
+    :func:`repro.obs.registry.counter_delta`: snapshot before, snapshot
+    after, subtract — the result holds exactly one call's observations.
+    """
+    delta: dict[str, Histogram] = {}
+    for name, hist in after.items():
+        moved = hist.delta(before.get(name))
+        if moved.count:
+            delta[name] = moved
+    return delta
+
+
+def summarize(hists: Mapping[str, "Histogram | Mapping"]
+              ) -> dict[str, dict[str, float]]:
+    """Per-name quantile summaries (dict forms pass through rebuilt)."""
+    out: dict[str, dict[str, float]] = {}
+    for name, hist in hists.items():
+        if not isinstance(hist, Histogram):
+            if "count" in hist and "p50" in hist:
+                out[name] = dict(hist)  # already a summary
+                continue
+            hist = Histogram.from_dict(hist)
+        out[name] = hist.summary()
+    return out

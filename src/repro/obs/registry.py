@@ -9,6 +9,10 @@ One instrumentation substrate for both engines. A
 * **timers** — total seconds and call counts per name, fed either by
   :meth:`MetricsRegistry.observe` or by the :meth:`MetricsRegistry.timer`
   context manager;
+* **histograms** — fixed-boundary log-bucket distributions
+  (:class:`repro.obs.hist.Histogram`), fed by
+  :meth:`MetricsRegistry.hist`, mergeable across processes like
+  counters;
 * **spans** — lightweight trace records (:class:`Span`) produced by
   :meth:`MetricsRegistry.trace`, which nest: a span entered while
   another is open records its depth and dotted path, so ``with
@@ -44,6 +48,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Mapping
+
+from repro.obs.hist import Histogram
 
 #: Spans kept per registry before new ones are dropped (and counted
 #: under ``obs.spans_dropped``) — tracing must never grow unbounded.
@@ -107,6 +113,7 @@ class MetricsRegistry:
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
         self._timers: dict[str, list[float]] = {}  # name -> [seconds, calls]
+        self._hists: dict[str, Histogram] = {}
         self._max_spans = max_spans
         self._span_stack: list[str] = []
         self.spans: list[Span] = []
@@ -149,12 +156,60 @@ class MetricsRegistry:
             cell[0] += seconds
             cell[1] += count
 
+    def merge_timers(self, timers: Mapping) -> None:
+        """Fold a timer mapping in (worker chunks ship timers this way).
+
+        Accepts either the ``timers()`` shape (``{name: {"seconds":
+        ..., "calls": ...}}``) or the compact ``[seconds, calls]``
+        pairs worker tasks return.
+        """
+        for name, cell in timers.items():
+            if isinstance(cell, Mapping):
+                self.observe(name, cell["seconds"], int(cell["calls"]))
+            else:
+                self.observe(name, cell[0], int(cell[1]))
+
     def timers(self) -> dict[str, dict[str, float]]:
         """Timer totals: ``{name: {"seconds": ..., "calls": ...}}``."""
         return {
             name: {"seconds": cell[0], "calls": cell[1]}
             for name, cell in self._timers.items()
         }
+
+    # -- histograms ----------------------------------------------------
+
+    def hist(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram()
+        hist.record(value)
+
+    def merge_hists(self, hists: Mapping) -> None:
+        """Fold a histogram mapping in (``Histogram`` or dict forms)."""
+        for name, other in hists.items():
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = Histogram()
+            hist.merge(other)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Independent snapshots of every histogram series."""
+        return {name: hist.copy() for name, hist in self._hists.items()}
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's counters, gauges, timers and
+        histograms in — the one-call form of worker shipping.
+
+        Gauges are last-write-wins (the merged registry's value
+        replaces this one's); everything else is additive. Spans are
+        *not* merged: they carry process-local clock offsets.
+        """
+        self.merge_counts(other._counters)
+        self._gauges.update(other._gauges)
+        for name, cell in other._timers.items():
+            self.observe(name, cell[0], int(cell[1]))
+        self.merge_hists(other._hists)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -186,6 +241,26 @@ class MetricsRegistry:
                 self.inc("obs.spans_dropped")
             self.observe(name, elapsed)
 
+    def record_span(self, name: str, started: float,
+                    seconds: float) -> None:
+        """Append an already-measured section as a top-level span.
+
+        ``started`` is the :func:`time.perf_counter` timestamp at which
+        the section began. Used by the batch executors, which measure
+        each scan themselves (the timing exists anyway for counter
+        shipping) — so traces from the batch paths carry one span per
+        executed scan without a context-manager on the hot path. The
+        timer series under ``name`` is fed exactly like :meth:`trace`.
+        """
+        if len(self.spans) < self._max_spans:
+            self.spans.append(Span(
+                name=name, path=name, depth=0,
+                started=started - self._epoch, seconds=seconds,
+            ))
+        else:
+            self.inc("obs.spans_dropped")
+        self.observe(name, seconds)
+
     # -- snapshots -----------------------------------------------------
 
     def timers_flat(self) -> dict[str, float]:
@@ -207,6 +282,8 @@ class MetricsRegistry:
             "counters": self.counters(),
             "gauges": self.gauges(),
             "timers": self.timers(),
+            "histograms": {name: hist.to_dict()
+                           for name, hist in self._hists.items()},
             "spans": [
                 {
                     "name": span.name, "path": span.path,
@@ -223,6 +300,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._hists.clear()
         self.spans.clear()
         self._span_stack.clear()
         self._epoch = time.perf_counter()
@@ -261,6 +339,22 @@ class NullRegistry(MetricsRegistry):
         pass
 
     def observe(self, name: str, seconds: float, count: int = 1) -> None:
+        pass
+
+    def merge_timers(self, timers: Mapping) -> None:
+        pass
+
+    def hist(self, name: str, value: float) -> None:
+        pass
+
+    def merge_hists(self, hists: Mapping) -> None:
+        pass
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
+
+    def record_span(self, name: str, started: float,
+                    seconds: float) -> None:
         pass
 
     def timer(self, name: str) -> _NullContext:  # type: ignore[override]

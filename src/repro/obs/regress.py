@@ -1,0 +1,302 @@
+"""The bench-regression gate: ``python -m repro.obs.regress``.
+
+Turns the committed ``BENCH_*.json`` records from a log into a gate:
+
+.. code-block:: console
+
+    python -m repro.obs.regress BASELINE.json CURRENT.json
+
+diffs two schema-validated bench artifacts and exits non-zero when the
+current run regressed. Comparison is **noise-aware** on purpose —
+wall-clock numbers from two runs are never identical, and a gate that
+cries wolf gets deleted:
+
+* reports are paired by ``(backend, engine, mode, k)`` in order of
+  appearance, so the same logical measurement is compared even when
+  the files carry many reports;
+* latency is compared **per query** (and, when both sides carry a
+  ``*_seconds`` histogram, at p50), so a smoke-mode current run
+  against a full-mode baseline only fails when it is genuinely
+  *slower per unit of work*;
+* the median must exceed the baseline by ``--median-pct`` percent
+  (default 25) *and* by ``--noise-floor`` absolute seconds (default
+  0.0005) to count — sub-millisecond jitter cannot fail a build;
+* p99 has its own looser guardrail (``--p99-pct``, default 75): tails
+  are noisier, but an order-of-magnitude tail blowup must still fail;
+* result counts are compared exactly when the paired reports answered
+  the same workload shape (equal queries and k) — a *correctness*
+  drift is never excused by thresholds.
+
+Self-diffing any file exits 0 by construction. Files whose embedded
+reports break :data:`repro.obs.report.REPORT_SCHEMA` exit 2 (the gate
+refuses to compare garbage), as do missing files and empty report
+sets. CI runs this against the committed baselines with generous
+smoke-mode thresholds; see ``.github/workflows/ci.yml``.
+
+Records written by :mod:`benchmarks.common` (``benchmark`` +
+``measurements``) are compared too: measurement labels shared by both
+files gate on the same median threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.obs.report import validate_report
+from repro.obs.validate import iter_reports
+
+#: Default allowed median (p50 / per-query seconds) growth, percent.
+DEFAULT_MEDIAN_PCT = 25.0
+
+#: Default allowed p99 growth, percent (tails are noisier).
+DEFAULT_P99_PCT = 75.0
+
+#: Absolute seconds a comparison must move to count as signal.
+DEFAULT_NOISE_FLOOR = 0.0005
+
+#: Exit codes: clean / regression / usage-or-validation error.
+EXIT_OK, EXIT_REGRESSION, EXIT_ERROR = 0, 1, 2
+
+
+def _load(path: Path) -> Any:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SystemExit(
+            f"regress: cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"regress: {path} is not JSON: {error}") from error
+
+
+def iter_measurements(document: Any, path: str = "$"
+                      ) -> Iterator[tuple[str, dict]]:
+    """Yield every ``benchmarks.common`` measurement record.
+
+    A dict counts when it carries both ``benchmark`` and
+    ``measurements`` keys (the shared writer's shape).
+    """
+    if isinstance(document, dict):
+        if "benchmark" in document and "measurements" in document \
+                and isinstance(document["measurements"], dict):
+            yield path, document
+        for key, value in document.items():
+            yield from iter_measurements(value, f"{path}.{key}")
+    elif isinstance(document, list):
+        for index, value in enumerate(document):
+            yield from iter_measurements(value, f"{path}[{index}]")
+
+
+def _report_key(report: dict) -> tuple:
+    return (report.get("backend"), report.get("engine"),
+            report.get("mode"), report.get("k"))
+
+
+def _collect_reports(document: Any, label: str
+                     ) -> tuple[dict[tuple, list[dict]], list[str]]:
+    """Validated reports grouped by pairing key, plus any problems."""
+    grouped: dict[tuple, list[dict]] = {}
+    problems: list[str] = []
+    for where, report in iter_reports(document):
+        for problem in validate_report(report):
+            problems.append(f"{label} at {where}: {problem}")
+        grouped.setdefault(_report_key(report), []).append(report)
+    return grouped, problems
+
+
+def _latency_hist(report: dict) -> tuple[str, dict] | None:
+    """The report's query-latency histogram summary, if any."""
+    for name in sorted(report.get("histograms", {})):
+        if name.endswith("_seconds"):
+            cell = report["histograms"][name]
+            if cell.get("count"):
+                return name, cell
+    return None
+
+
+class _Gate:
+    """Accumulates comparison lines and the overall verdict."""
+
+    def __init__(self, *, median_pct: float, p99_pct: float,
+                 noise_floor: float) -> None:
+        self.median_pct = median_pct
+        self.p99_pct = p99_pct
+        self.noise_floor = noise_floor
+        self.lines: list[str] = []
+        self.regressions = 0
+        self.compared = 0
+
+    def check(self, label: str, metric: str, base: float,
+              current: float, pct: float) -> None:
+        """One noise-aware threshold comparison."""
+        self.compared += 1
+        allowed = base * (1.0 + pct / 100.0)
+        grew = current - base
+        if current > allowed and grew > self.noise_floor:
+            self.regressions += 1
+            self.lines.append(
+                f"REGRESSION {label} {metric}: {base:.6f}s -> "
+                f"{current:.6f}s (+{grew / base * 100.0:.1f}%, "
+                f"allowed +{pct:g}%)"
+            )
+        else:
+            self.lines.append(
+                f"ok {label} {metric}: {base:.6f}s -> {current:.6f}s"
+            )
+
+    def check_exact(self, label: str, metric: str, base: float,
+                    current: float) -> None:
+        """A drift check with no tolerance (correctness, not noise)."""
+        self.compared += 1
+        if current != base:
+            self.regressions += 1
+            self.lines.append(
+                f"REGRESSION {label} {metric}: {base:g} -> {current:g} "
+                "(result drift; identical workloads must answer "
+                "identically)"
+            )
+
+    def warn(self, message: str) -> None:
+        self.lines.append(f"warn {message}")
+
+    def compare_reports(self, label: str, base: dict,
+                        current: dict) -> None:
+        """One paired report comparison: latency, tail, results."""
+        base_hist = _latency_hist(base)
+        current_hist = _latency_hist(current)
+        if base_hist is not None and current_hist is not None \
+                and base_hist[0] == current_hist[0]:
+            name, base_cell = base_hist
+            current_cell = current_hist[1]
+            self.check(label, f"{name}.p50", base_cell["p50"],
+                       current_cell["p50"], self.median_pct)
+            self.check(label, f"{name}.p99", base_cell["p99"],
+                       current_cell["p99"], self.p99_pct)
+        else:
+            base_queries = max(1, base.get("queries", 1))
+            current_queries = max(1, current.get("queries", 1))
+            self.check(label, "seconds/query",
+                       base["seconds"] / base_queries,
+                       current["seconds"] / current_queries,
+                       self.median_pct)
+        if base.get("queries") == current.get("queries") \
+                and base.get("k") == current.get("k"):
+            self.check_exact(label, "matches", base.get("matches", 0),
+                             current.get("matches", 0))
+
+
+def compare_documents(baseline: Any, current: Any, *,
+                      median_pct: float = DEFAULT_MEDIAN_PCT,
+                      p99_pct: float = DEFAULT_P99_PCT,
+                      noise_floor: float = DEFAULT_NOISE_FLOOR
+                      ) -> tuple[int, list[str]]:
+    """Diff two loaded bench documents; returns (exit_code, lines)."""
+    gate = _Gate(median_pct=median_pct, p99_pct=p99_pct,
+                 noise_floor=noise_floor)
+    base_reports, base_problems = _collect_reports(baseline, "baseline")
+    curr_reports, curr_problems = _collect_reports(current, "current")
+    problems = base_problems + curr_problems
+    if problems:
+        return EXIT_ERROR, [f"INVALID {p}" for p in problems]
+
+    for key, base_list in base_reports.items():
+        curr_list = curr_reports.get(key)
+        backend, engine, mode, k = key
+        label = f"[{backend}/{engine}/{mode}/k={k}]"
+        if not curr_list:
+            gate.warn(f"{label} present in baseline only")
+            continue
+        if len(base_list) != len(curr_list):
+            gate.warn(
+                f"{label} report count differs "
+                f"({len(base_list)} baseline vs {len(curr_list)} "
+                "current); comparing the overlapping prefix"
+            )
+        for index, (base, curr) in enumerate(zip(base_list, curr_list)):
+            suffix = f"#{index}" if len(base_list) > 1 else ""
+            gate.compare_reports(label + suffix, base, curr)
+    for key in curr_reports:
+        if key not in base_reports:
+            backend, engine, mode, k = key
+            gate.warn(f"[{backend}/{engine}/{mode}/k={k}] new in "
+                      "current (no baseline)")
+
+    base_measurements = {
+        (record["benchmark"], label): seconds
+        for _, record in iter_measurements(baseline)
+        for label, seconds in record["measurements"].items()
+    }
+    curr_measurements = {
+        (record["benchmark"], label): seconds
+        for _, record in iter_measurements(current)
+        for label, seconds in record["measurements"].items()
+    }
+    for key, base_seconds in base_measurements.items():
+        current_seconds = curr_measurements.get(key)
+        if current_seconds is None:
+            gate.warn(f"measurement {key[0]}:{key[1]!r} baseline only")
+            continue
+        gate.check(f"[{key[0]}] {key[1]!r}", "seconds",
+                   base_seconds, current_seconds, median_pct)
+
+    if not gate.compared:
+        return EXIT_ERROR, gate.lines + [
+            "INVALID nothing comparable: no paired reports or "
+            "measurements between the two files"
+        ]
+    gate.lines.append(
+        f"{gate.compared} comparisons, {gate.regressions} regressions"
+    )
+    return (EXIT_REGRESSION if gate.regressions else EXIT_OK), gate.lines
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="noise-aware regression gate over two bench "
+                    "report files",
+    )
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--median-pct", type=float, default=DEFAULT_MEDIAN_PCT,
+        help="allowed median / per-query growth in percent "
+             f"(default {DEFAULT_MEDIAN_PCT:g})",
+    )
+    parser.add_argument(
+        "--p99-pct", type=float, default=DEFAULT_P99_PCT,
+        help="allowed p99 growth in percent "
+             f"(default {DEFAULT_P99_PCT:g})",
+    )
+    parser.add_argument(
+        "--noise-floor", type=float, default=DEFAULT_NOISE_FLOOR,
+        metavar="SECONDS",
+        help="absolute growth below this never counts "
+             f"(default {DEFAULT_NOISE_FLOOR:g}s)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = _load(Path(args.baseline))
+        current = _load(Path(args.current))
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return EXIT_ERROR
+    code, lines = compare_documents(
+        baseline, current,
+        median_pct=args.median_pct,
+        p99_pct=args.p99_pct,
+        noise_floor=args.noise_floor,
+    )
+    stream = sys.stderr if code else sys.stdout
+    for line in lines:
+        print(line, file=stream)
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -28,7 +28,14 @@ from typing import Any, Mapping
 from repro.exceptions import ReproError
 
 #: Version stamped into every report; bump on breaking schema changes.
-SCHEMA_VERSION = 1
+#: Version 2 added the required ``histograms`` section (per-series
+#: quantile summaries from the fixed-boundary log-bucket histograms).
+SCHEMA_VERSION = 2
+
+#: Keys every non-empty ``histograms`` entry must carry (quantile
+#: summaries produced by :meth:`repro.obs.hist.Histogram.summary`).
+HISTOGRAM_SUMMARY_KEYS = ("count", "mean", "p50", "p90", "p99",
+                          "p999", "max")
 
 #: The documented shape of ``SearchReport.to_dict()``. ``counters`` is
 #: an open namespace (``scan.*``, ``trie.*``, ``obs.*``) because each
@@ -45,6 +52,7 @@ REPORT_SCHEMA: dict[str, Any] = {
     "seconds": float,
     "counters": dict,      # dotted-name -> number
     "timers": dict,        # name -> {"seconds": float, "calls": number}
+    "histograms": dict,    # name -> quantile summary (p50/p90/p99/...)
     "batch": (dict, type(None)),  # dedup/memo counters, None off-batch
     "choice": dict,        # {"backend": str, "reason": str}
 }
@@ -131,6 +139,8 @@ class SearchReport:
     seconds: float
     counters: Mapping[str, float] = field(default_factory=dict)
     timers: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    histograms: Mapping[str, Mapping[str, float]] = field(
+        default_factory=dict)
     batch: BatchCounters | None = None
     choice_backend: str = ""
     choice_reason: str = ""
@@ -150,6 +160,8 @@ class SearchReport:
             "counters": dict(self.counters),
             "timers": {name: dict(cell)
                        for name, cell in self.timers.items()},
+            "histograms": {name: dict(cell)
+                           for name, cell in self.histograms.items()},
             "batch": self.batch.to_dict() if self.batch else None,
             "choice": {
                 "backend": self.choice_backend or self.backend,
@@ -191,6 +203,13 @@ class SearchReport:
                 f"  {name}: {cell['seconds']:.4f}s over "
                 f"{cell['calls']:g} calls"
             )
+        for name in sorted(self.histograms):
+            cell = self.histograms[name]
+            lines.append(
+                f"  {name}: n={cell['count']:g} p50={cell['p50']:g} "
+                f"p90={cell['p90']:g} p99={cell['p99']:g} "
+                f"max={cell['max']:g}"
+            )
         return "\n".join(lines)
 
 
@@ -198,6 +217,7 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
                  k: int, matches: int, seconds: float,
                  counters: Mapping[str, float] | None = None,
                  timers: Mapping[str, Mapping[str, float]] | None = None,
+                 histograms: Mapping | None = None,
                  batch: Any = None,
                  choice_backend: str = "",
                  choice_reason: str = "") -> SearchReport:
@@ -205,7 +225,9 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
 
     ``batch`` accepts ``None``, a :class:`BatchCounters`, or any
     ``BatchStats``-shaped object (frozen via duck typing); mappings are
-    defensively copied and wrapped read-only.
+    defensively copied and wrapped read-only. ``histograms`` accepts
+    live :class:`repro.obs.hist.Histogram` objects (summarized here)
+    or ready-made summary dicts.
     """
     if mode not in REPORT_MODES:
         raise ReproError(
@@ -213,6 +235,10 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
         )
     if batch is not None and not isinstance(batch, BatchCounters):
         batch = BatchCounters.from_stats(batch)
+    if histograms:
+        from repro.obs.hist import summarize
+
+        histograms = summarize(histograms)
     return SearchReport(
         backend=backend,
         engine=engine,
@@ -225,6 +251,10 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
         timers=MappingProxyType({
             name: _frozen_mapping(cell)
             for name, cell in (timers or {}).items()
+        }),
+        histograms=MappingProxyType({
+            name: _frozen_mapping(cell)
+            for name, cell in (histograms or {}).items()
         }),
         batch=batch,
         choice_backend=choice_backend,
@@ -251,6 +281,7 @@ def report_from_dict(mapping: Mapping[str, Any]) -> SearchReport:
         seconds=mapping["seconds"],
         counters=mapping.get("counters"),
         timers=mapping.get("timers"),
+        histograms=mapping.get("histograms"),
         batch=BatchCounters(
             queries_seen=batch["queries_seen"],
             unique_queries=batch["unique_queries"],
@@ -310,6 +341,18 @@ def validate_report(mapping: Mapping[str, Any]) -> list[str]:
             problems.append(
                 f"timer {name!r} lacks seconds/calls"
             )
+    for name, cell in mapping["histograms"].items():
+        if not isinstance(cell, Mapping):
+            problems.append(f"histogram {name!r} is not a mapping")
+            continue
+        for key in HISTOGRAM_SUMMARY_KEYS:
+            if key not in cell:
+                problems.append(f"histogram {name!r} missing key: {key}")
+            elif isinstance(cell[key], bool) \
+                    or not isinstance(cell[key], (int, float)):
+                problems.append(
+                    f"histogram {name!r} key {key!r} is not numeric"
+                )
     batch = mapping["batch"]
     if batch is not None:
         for key in BATCH_SCHEMA_KEYS:

@@ -35,6 +35,8 @@ from repro.core.searcher import QueryRunner
 from repro.distance.banded import check_threshold
 from repro.distance.bitparallel import build_peq
 from repro.exceptions import DeadlineExceeded, ReproError
+from repro.obs.hist import Histogram
+from repro.obs.recorder import QueryExemplar
 from repro.scan.cache import LRUCache
 from repro.scan.corpus import CompiledCorpus
 
@@ -44,6 +46,13 @@ DEFAULT_CACHE_SIZE = 1024
 #: How many bucket chunks a single-query fan-out produces per worker
 #: hint when the runner does not advertise a worker count.
 DEFAULT_BUCKET_CHUNKS = 4
+
+#: Histogram names the executor records per executed query scan.
+SCAN_HISTOGRAMS = (
+    "scan.query_seconds",
+    "scan.candidates_per_query",
+    "scan.kernel_calls_per_query",
+)
 
 
 def _flush_scan_counters(counters: dict, *, buckets: int, candidates: int,
@@ -226,10 +235,12 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
 class _QueryTask:
     """Picklable per-query work unit for runner fan-out.
 
-    With ``collect`` set, each call returns ``(row, counters, seconds)``
-    instead of the bare row — counters cross process boundaries as plain
-    dicts and merge back in the parent, so process-pool runs report the
-    same work profile serial runs do.
+    With ``collect`` set, each call returns
+    ``(row, counters, timers, seconds)`` instead of the bare row —
+    counters *and* timer observations cross process boundaries as
+    plain dicts and merge back in the parent, so process-pool runs
+    report the same work profile serial runs do. ``timers`` maps
+    timer name to ``(seconds, calls)``.
     """
 
     corpus: CompiledCorpus
@@ -246,7 +257,8 @@ class _QueryTask:
         row = tuple(scan_query(self.corpus, query, self.k,
                                use_frequency=self.use_frequency,
                                counters=counters))
-        return row, counters, perf_counter() - started
+        seconds = perf_counter() - started
+        return row, counters, {"scan.query": (seconds, 1)}, seconds
 
 
 @dataclass(frozen=True)
@@ -274,7 +286,8 @@ class _BucketChunkTask:
                                lo=lo, hi=hi,
                                use_frequency=self.use_frequency,
                                counters=counters))
-        return row, counters, perf_counter() - started
+        seconds = perf_counter() - started
+        return row, counters, {"scan.chunk": (seconds, 1)}, seconds
 
 
 @dataclass
@@ -338,8 +351,10 @@ class BatchScanExecutor:
         # Cumulative scan.* work counters, merged back from every task
         # (including ones executed in worker processes).
         self._counters: dict[str, int] = {}
+        self._hists = {name: Histogram() for name in SCAN_HISTOGRAMS}
         self._counters_lock = threading.Lock()
         self._metrics = None
+        self._recorder = None
 
     def attach_metrics(self, registry) -> None:
         """Attach a :class:`repro.obs.MetricsRegistry` (or ``None``).
@@ -359,16 +374,82 @@ class BatchScanExecutor:
         with self._counters_lock:
             return dict(self._counters)
 
+    def hists_snapshot(self) -> dict[str, Histogram]:
+        """Cumulative per-query histograms since construction.
+
+        Includes scans executed in worker processes (workers ship
+        their per-query seconds and counters back; the parent records
+        them here), so pooled runs distribute like serial runs —
+        modulo worker wall-clocks for the latency series.
+        """
+        with self._counters_lock:
+            return {name: hist.copy()
+                    for name, hist in self._hists.items()}
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.FlightRecorder` (or ``None``)."""
+        self._recorder = recorder
+
     def _merge_counters(self, counters: dict, seconds: float,
-                        timer: str = "scan.query") -> None:
+                        timer: str = "scan.query", *,
+                        started: float | None = None,
+                        timers: dict | None = None) -> None:
+        """Fold one executed scan's profile into the cumulative state.
+
+        ``timer`` names the observation; per-query histograms are only
+        recorded for whole-query scans (``scan.query``), never chunk
+        fragments, so chunked fan-out cannot skew the distribution.
+        ``started`` (serial scans only — worker clocks don't compare)
+        turns the observation into a real span for trace export;
+        ``timers`` is a worker-shipped ``{name: (seconds, calls)}``
+        mapping merged verbatim instead.
+        """
         with self._counters_lock:
             own = self._counters
             for name, value in counters.items():
                 own[name] = own.get(name, 0) + value
+            if timer == "scan.query":
+                hists = self._hists
+                hists["scan.query_seconds"].record(seconds)
+                hists["scan.candidates_per_query"].record(
+                    counters.get("scan.candidates", 0))
+                hists["scan.kernel_calls_per_query"].record(
+                    counters.get("scan.kernel_calls", 0))
         metrics = self._metrics
         if metrics is not None:
             metrics.merge_counts(counters)
-            metrics.observe(timer, seconds)
+            if timers:
+                metrics.merge_timers(timers)
+            elif started is not None:
+                metrics.record_span(timer, started, seconds)
+            else:
+                metrics.observe(timer, seconds)
+
+    def _record_query_hists(self, seconds: float, candidates: int,
+                            kernel_calls: int) -> None:
+        """Record one whole query's histogram entries directly.
+
+        Used by the chunked single-query path, whose ``_merge_counters``
+        calls are per-chunk and therefore skip the histograms.
+        """
+        with self._counters_lock:
+            hists = self._hists
+            hists["scan.query_seconds"].record(seconds)
+            hists["scan.candidates_per_query"].record(candidates)
+            hists["scan.kernel_calls_per_query"].record(kernel_calls)
+
+    def _offer_exemplar(self, query: str, k: int, seconds: float,
+                        matches: int, counters: dict,
+                        stages: dict | None = None) -> None:
+        """Offer a completed query to the flight recorder, if any."""
+        recorder = self._recorder
+        if recorder is not None and recorder.interested(seconds):
+            recorder.record(QueryExemplar(
+                query=query, k=k, backend="compiled-scan",
+                seconds=seconds, matches=matches,
+                stages=stages or {"scan.query": seconds},
+                counters=dict(counters),
+            ))
 
     @property
     def corpus(self) -> CompiledCorpus:
@@ -399,9 +480,12 @@ class BatchScanExecutor:
                                        counters=counters,
                                        deadline=deadline))
             except DeadlineExceeded:
-                self._merge_counters(counters, perf_counter() - started)
+                self._merge_counters(counters, perf_counter() - started,
+                                     started=started)
                 raise
-            self._merge_counters(counters, perf_counter() - started)
+            seconds = perf_counter() - started
+            self._merge_counters(counters, seconds, started=started)
+            self._offer_exemplar(query, k, seconds, len(row), counters)
             self.stats.scans_executed += 1
             self._store_row(query, k, row)
         else:
@@ -474,7 +558,8 @@ class BatchScanExecutor:
                                        counters=counters,
                                        deadline=deadline))
             except DeadlineExceeded as error:
-                self._merge_counters(counters, perf_counter() - started)
+                self._merge_counters(counters, perf_counter() - started,
+                                     started=started)
                 raise DeadlineExceeded(
                     f"batch scan exceeded its deadline with "
                     f"{len(resolved)} of {total} distinct queries "
@@ -482,7 +567,9 @@ class BatchScanExecutor:
                     partial=dict(resolved), scope="queries",
                     completed=len(resolved), total=total,
                 ) from error
-            self._merge_counters(counters, perf_counter() - started)
+            seconds = perf_counter() - started
+            self._merge_counters(counters, seconds, started=started)
+            self._offer_exemplar(query, k, seconds, len(row), counters)
             self.stats.scans_executed += 1
             resolved[query] = row
             self._store_row(query, k, row)
@@ -516,8 +603,10 @@ class BatchScanExecutor:
                 return [self._scan_chunked(misses[0], k, runner)]
             outcomes = runner.run(task, misses)
         rows: list[tuple[Match, ...]] = []
-        for row, counters, seconds in outcomes:
-            self._merge_counters(counters, seconds)
+        for query, (row, counters, timers, seconds) in zip(misses,
+                                                           outcomes):
+            self._merge_counters(counters, seconds, timers=timers)
+            self._offer_exemplar(query, k, seconds, len(row), counters)
             rows.append(row)
         return rows
 
@@ -535,7 +624,9 @@ class BatchScanExecutor:
             row = tuple(scan_query(self._corpus, query, k,
                                    use_frequency=self._use_frequency,
                                    counters=counters))
-            self._merge_counters(counters, perf_counter() - started)
+            seconds = perf_counter() - started
+            self._merge_counters(counters, seconds, started=started)
+            self._offer_exemplar(query, k, seconds, len(row), counters)
             return row
         bounds = [
             lo + (hi - lo) * step // chunk_count
@@ -547,8 +638,25 @@ class BatchScanExecutor:
         task = _BucketChunkTask(self._corpus, query, k,
                                 self._use_frequency, collect=True)
         merged: list[Match] = []
-        for part, counters, seconds in runner.run(task, chunks):
-            self._merge_counters(counters, seconds, timer="scan.chunk")
+        totals: dict = {}
+        stages: dict[str, float] = {}
+        started = perf_counter()
+        for index, (part, counters, timers, seconds) in enumerate(
+                runner.run(task, chunks)):
+            self._merge_counters(counters, seconds, timer="scan.chunk",
+                                 timers=timers)
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0) + value
+            stages[f"scan.chunk[{index}]"] = seconds
             merged.extend(part)
         merged.sort()
+        # The chunk merges above skip the per-query histograms (their
+        # unit is a fragment); record the whole query once here. Wall
+        # clock is the parent-observed window, work is the chunk sum.
+        wall = perf_counter() - started
+        self._record_query_hists(wall,
+                                 totals.get("scan.candidates", 0),
+                                 totals.get("scan.kernel_calls", 0))
+        self._offer_exemplar(query, k, wall, len(merged), totals,
+                             stages=stages)
         return tuple(merged)

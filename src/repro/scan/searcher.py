@@ -78,6 +78,14 @@ class CompiledScanSearcher(Searcher):
         """Cumulative ``scan.*`` counters of the underlying executor."""
         return self._executor.counters_snapshot()
 
+    def hists_snapshot(self):
+        """Cumulative per-query histograms of the underlying executor."""
+        return self._executor.hists_snapshot()
+
+    def attach_recorder(self, recorder) -> None:
+        """Forward a flight recorder to the underlying executor."""
+        self._executor.attach_recorder(recorder)
+
     @property
     def dataset(self) -> tuple[str, ...]:
         """The distinct searched strings (compile order)."""

@@ -46,6 +46,8 @@ from repro.exceptions import (
     ReproError,
     ServiceOverloaded,
 )
+from repro.obs.hist import Histogram
+from repro.obs.recorder import FlightRecorder, QueryExemplar
 from repro.obs.registry import NULL, MetricsRegistry
 from repro.obs.report import SearchReport, build_report
 from repro.service.plans import default_ladder
@@ -153,6 +155,12 @@ class Service:
     metrics:
         Optional :class:`repro.obs.MetricsRegistry` for spans; the
         always-on ``service.*`` counters do not need it.
+    recorder:
+        Optional :class:`repro.obs.FlightRecorder`. Every degradation
+        event — deadline expiry, retry, overload rejection, degraded
+        or partial answer — force-records an exemplar (the ladder's
+        audit trail), and slow complete submits compete for the
+        slowlog like any engine query.
     sleep:
         Injectable sleep function (tests pass a recorder).
 
@@ -175,6 +183,7 @@ class Service:
                  plans: Sequence | None = None,
                  scheme: str = "round_robin",
                  metrics: MetricsRegistry | None = None,
+                 recorder: FlightRecorder | None = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if capacity < 1:
             raise ReproError(
@@ -199,8 +208,10 @@ class Service:
         self._slots = threading.BoundedSemaphore(capacity)
         self._in_flight = 0
         self._metrics = metrics if metrics is not None else NULL
+        self._recorder = recorder
         self._sleep = sleep
         self._counters = dict.fromkeys(SERVICE_COUNTERS, 0)
+        self._hists = {"service.submit_seconds": Histogram()}
         self._counters_lock = threading.Lock()
         self._last_seconds = 0.0
 
@@ -223,15 +234,46 @@ class Service:
         """Attach (or detach, with ``None``) a span/timer registry."""
         self._metrics = registry if registry is not None else NULL
 
+    def attach_recorder(self, recorder: FlightRecorder | None) -> None:
+        """Attach (or detach, with ``None``) a flight recorder."""
+        self._recorder = recorder
+
+    @property
+    def recorder(self) -> FlightRecorder | None:
+        """The attached flight recorder (``None`` unless asked)."""
+        return self._recorder
+
     def counters_snapshot(self) -> dict[str, int]:
         """Cumulative ``service.*`` counters since construction."""
         with self._counters_lock:
             return dict(self._counters)
 
+    def hists_snapshot(self) -> dict[str, Histogram]:
+        """Cumulative submit-latency histograms since construction."""
+        with self._counters_lock:
+            return {name: hist.copy()
+                    for name, hist in self._hists.items()}
+
     def _count(self, name: str, value: int = 1) -> None:
         with self._counters_lock:
             self._counters[name] += value
         self._metrics.inc(name, value)
+
+    def _record_event(self, query: str, k: int, seconds: float,
+                      kind: str, *, matches: int = -1,
+                      note: str = "") -> None:
+        """Force-record a ladder event on the flight recorder, if any.
+
+        Forced records bypass the latency threshold — every degrade,
+        retry, expiry and overload leaves an exemplar; the recorder's
+        ring is bounded, so this stays safe always-on.
+        """
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.record(QueryExemplar(
+                query=query, k=k, backend="service[ladder]",
+                seconds=seconds, matches=matches, kind=kind, note=note,
+            ), force=True)
 
     # ----------------------------------------------------------------
 
@@ -258,6 +300,10 @@ class Service:
         self._count("service.submitted")
         if not self._slots.acquire(blocking=False):
             self._count("service.rejected")
+            self._record_event(
+                request.query, request.k, 0.0, "overload",
+                note=f"rejected at capacity {self._capacity}",
+            )
             raise ServiceOverloaded(
                 f"service at capacity ({self._capacity} in flight); "
                 "submit rejected",
@@ -268,11 +314,27 @@ class Service:
         try:
             self._count("service.accepted")
             with self._metrics.trace("service.submit"):
-                result = self._run_ladder(request)
+                result = self._run_ladder(request, started)
         finally:
             self._in_flight -= 1
             self._slots.release()
             self._last_seconds = time.perf_counter() - started
+            with self._counters_lock:
+                self._hists["service.submit_seconds"].record(
+                    self._last_seconds)
+        recorder = self._recorder
+        if recorder is not None and result.status == "complete" \
+                and recorder.interested(self._last_seconds):
+            # Non-complete outcomes already left forced event
+            # exemplars inside the ladder; complete submits compete
+            # for the slowlog on latency like any engine query.
+            recorder.record(QueryExemplar(
+                query=request.query, k=request.k,
+                backend="service[ladder]", seconds=self._last_seconds,
+                matches=len(result.matches),
+                stages={"service.submit": self._last_seconds},
+                note=f"plan={result.plan}",
+            ))
         if not result.complete and not request.options.allow_partial:
             raise PartialResultError(
                 f"query {request.query!r} (k={request.k}) produced a "
@@ -306,7 +368,8 @@ class Service:
         if delay > 0:
             self._sleep(delay)
 
-    def _run_ladder(self, request: SearchRequest) -> ServiceResult:
+    def _run_ladder(self, request: SearchRequest,
+                    started: float) -> ServiceResult:
         query = request.query
         k = request.k
         deadline = request.deadline
@@ -328,11 +391,23 @@ class Service:
                     if best_partial is None \
                             or len(partial) > len(best_partial):
                         best_partial = partial
+                    self._record_event(
+                        query, k, time.perf_counter() - started,
+                        "deadline", matches=len(partial),
+                        note=f"plan={name}, rescued {len(partial)} "
+                             "partial matches",
+                    )
                     break  # expiry degrades; retrying the rung cannot help
                 except ReproError:
                     if retry >= self._retry_budget:
                         break
                     self._count("service.retries")
+                    self._record_event(
+                        query, k, time.perf_counter() - started,
+                        "retry",
+                        note=f"plan={name}, retry {retry + 1} of "
+                             f"{self._retry_budget}",
+                    )
                     self._backoff(retry, deadline)
                     continue
                 if not outcome.verified:
@@ -342,6 +417,12 @@ class Service:
                 else:
                     status, counter = "degraded", "service.degraded"
                 self._count(counter)
+                if status != "complete":
+                    self._record_event(
+                        query, k, time.perf_counter() - started,
+                        status, matches=len(outcome.matches),
+                        note=f"plan={outcome.plan}, rung {rung}",
+                    )
                 return ServiceResult(
                     query=query, k=k, status=status,
                     matches=tuple(outcome.matches),
@@ -351,10 +432,15 @@ class Service:
         # Every rung failed. Surface the best verified partial (it is
         # still a strict subset of the exact answer).
         self._count("service.partial")
+        matches = best_partial if best_partial is not None else ()
+        self._record_event(
+            query, k, time.perf_counter() - started, "partial",
+            matches=len(matches),
+            note=f"every rung failed after {attempts} attempts",
+        )
         return ServiceResult(
             query=query, k=k, status="partial",
-            matches=best_partial if best_partial is not None else (),
-            verified=True, plan="", attempts=attempts,
+            matches=matches, verified=True, plan="", attempts=attempts,
         )
 
     # ----------------------------------------------------------------
@@ -364,8 +450,10 @@ class Service:
         """A standard validated report of the service's counters.
 
         ``mode="service"``; the ``counters`` section holds the
-        cumulative ``service.*`` series. Benchmarks embed this in
-        their ``BENCH_*.json`` records like any engine report.
+        cumulative ``service.*`` series and the ``histograms`` section
+        summarizes the cumulative ``service.submit_seconds``
+        distribution. Benchmarks embed this in their ``BENCH_*.json``
+        records like any engine report.
         """
         return build_report(
             backend="service",
@@ -376,6 +464,7 @@ class Service:
             matches=matches,
             seconds=self._last_seconds,
             counters=self.counters_snapshot(),
+            histograms=self.hists_snapshot(),
             choice_backend="service",
             choice_reason=(
                 f"degradation ladder over {self._corpus.shard_count} "

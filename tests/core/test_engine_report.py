@@ -77,6 +77,50 @@ class TestOneSchemaAcrossBackends:
         assert "regime" in choice["reason"]
 
 
+class TestReportHistograms:
+    """Every backend's report carries per-query latency quantiles."""
+
+    EXPECTED = {
+        "sequential": "scan.query_seconds",
+        "compiled": "scan.query_seconds",
+        "indexed": "trie.query_seconds",
+    }
+
+    @pytest.mark.parametrize("backend,series", sorted(EXPECTED.items()))
+    def test_search_report_has_latency_quantiles(self, city_names,
+                                                 backend, series):
+        engine = SearchEngine(city_names, backend=backend)
+        _, report = engine.search(city_names[0], 1, report=True)
+        histograms = report.to_dict()["histograms"]
+        assert series in histograms, sorted(histograms)
+        cell = histograms[series]
+        assert cell["count"] == 1
+        assert cell["p50"] <= cell["p90"] <= cell["p99"]
+        assert validate_report(report.to_dict()) == []
+
+    def test_batch_index_report_has_latency_quantiles(self, dna_reads):
+        engine = SearchEngine(dna_reads)     # indexed regime
+        _, report = engine.search_many(dna_reads[:4], 2, report=True)
+        cell = report.to_dict()["histograms"]["trie.query_seconds"]
+        assert cell["count"] == 4
+
+    def test_window_isolation(self, city_names):
+        engine = SearchEngine(city_names, backend="sequential")
+        engine.search(city_names[0], 1)
+        engine.search_many(city_names[:5], 1)
+        cell = engine.last_report.to_dict()["histograms"][
+            "scan.query_seconds"]
+        # only the 5 queries of the last call, not the earlier one
+        assert cell["count"] == 5
+
+    def test_work_profile_histograms_ride_along(self, city_names):
+        engine = SearchEngine(city_names, backend="compiled")
+        _, report = engine.search_many(city_names[:3], 1, report=True)
+        histograms = report.to_dict()["histograms"]
+        assert histograms["scan.candidates_per_query"]["count"] == 3
+        assert histograms["scan.kernel_calls_per_query"]["count"] == 3
+
+
 class TestPerCallWindows:
     def test_last_report_is_none_before_any_call(self, city_names):
         assert SearchEngine(city_names).last_report is None
@@ -138,6 +182,31 @@ class TestServingBackendNeverStale:
             assert engine.batch_stats is None
 
 
+class TestDeprecationMessages:
+    """Both legacy stats shims must name their removal version."""
+
+    def test_batch_stats_names_the_removal_version(self, city_names):
+        engine = SearchEngine(city_names)
+        with pytest.warns(DeprecationWarning,
+                          match=r"removed in 2\.0") as captured:
+            engine.batch_stats
+        message = str(captured[0].message)
+        assert "SearchEngine.batch_stats is deprecated" in message
+        assert "engine.last_report" in message
+
+    def test_last_stats_names_the_removal_version(self, city_names):
+        from repro.core.indexed import IndexedSearcher
+
+        searcher = IndexedSearcher(city_names)
+        searcher.search(city_names[0], 1)
+        with pytest.warns(DeprecationWarning,
+                          match=r"removed in 2\.0") as captured:
+            searcher.last_stats
+        message = str(captured[0].message)
+        assert "IndexedSearcher.last_stats is deprecated" in message
+        assert "SearchReport" in message
+
+
 class TestProcessPoolParity:
     def test_compiled_batch_counters_match_serial(self, city_names):
         queries = list(city_names[:6]) + [city_names[0]]
@@ -172,6 +241,59 @@ class TestProcessPoolParity:
                            if k not in bank_keys}
         assert strip(pooled_report.counters) \
             == strip(serial_report.counters)
+
+    def test_compiled_histograms_match_serial(self, city_names):
+        # Work-profile histograms (candidates, kernel calls per query)
+        # must be bucket-for-bucket identical across execution modes:
+        # the parent records them from worker-shipped counters, so the
+        # pool cannot lose or distort per-query observations. Latency
+        # histograms are wall-clock, so only their sample counts match.
+        queries = list(city_names[:6])
+        serial = SearchEngine(city_names, backend="compiled")
+        pooled = SearchEngine(city_names, backend="compiled",
+                              runner=ProcessPoolRunner(processes=2))
+        _, serial_report = serial.search_many(queries, 2, report=True)
+        _, pooled_report = pooled.search_many(queries, 2, report=True)
+        serial_hists = serial_report.to_dict()["histograms"]
+        pooled_hists = pooled_report.to_dict()["histograms"]
+        assert set(serial_hists) == set(pooled_hists)
+        for name in ("scan.candidates_per_query",
+                     "scan.kernel_calls_per_query"):
+            assert pooled_hists[name] == serial_hists[name]
+        assert pooled_hists["scan.query_seconds"]["count"] \
+            == serial_hists["scan.query_seconds"]["count"] \
+            == len(queries)
+
+    def test_batch_index_histograms_match_serial(self, dna_reads):
+        queries = list(dna_reads[:5])
+        serial = SearchEngine(dna_reads)
+        pooled = SearchEngine(dna_reads,
+                              runner=ProcessPoolRunner(processes=2))
+        _, serial_report = serial.search_many(queries, 2, report=True)
+        _, pooled_report = pooled.search_many(queries, 2, report=True)
+        serial_hists = serial_report.to_dict()["histograms"]
+        pooled_hists = pooled_report.to_dict()["histograms"]
+        for name in ("trie.nodes_per_query", "trie.symbols_per_query"):
+            assert pooled_hists[name] == serial_hists[name]
+        assert pooled_hists["trie.query_seconds"]["count"] \
+            == serial_hists["trie.query_seconds"]["count"]
+
+    def test_workers_ship_their_timers_home(self, city_names):
+        # Satellite guarantee: per-scan timers measured inside worker
+        # processes arrive in the parent registry via merge_timers —
+        # the pooled run must time the same number of scans the serial
+        # run does, not zero.
+        queries = list(city_names[:6])
+        serial = SearchEngine(city_names, backend="compiled",
+                              observe=True)
+        pooled = SearchEngine(city_names, backend="compiled",
+                              observe=True,
+                              runner=ProcessPoolRunner(processes=2))
+        _, serial_report = serial.search_many(queries, 2, report=True)
+        _, pooled_report = pooled.search_many(queries, 2, report=True)
+        assert pooled_report.timers["scan.query"]["calls"] \
+            == serial_report.timers["scan.query"]["calls"]
+        assert pooled_report.timers["scan.query"]["seconds"] > 0
 
 
 class TestObserveMode:

@@ -1,0 +1,191 @@
+"""Tests for the fixed-boundary log-bucket histograms.
+
+The edge cases that matter operationally: empty histograms must answer
+quantiles without dividing by zero, single samples must round-trip,
+merges of disjoint ranges must be exact, out-of-range values must land
+in the saturating edge buckets, and the quantile ordering invariant
+(p50 <= p90 <= p99) must hold for arbitrary inputs.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.hist import (
+    GROWTH,
+    MAX_BUCKET,
+    OVERFLOW_BUCKET,
+    SMALLEST,
+    Histogram,
+    bucket_index,
+    bucket_upper_bound,
+    hists_delta,
+    summarize,
+)
+
+
+class TestEmptyHistogram:
+    def test_quantiles_are_zero(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.99) == 0.0
+        assert hist.max_value() == 0.0
+        assert hist.mean() == 0.0
+
+    def test_summary_shape(self):
+        summary = Histogram().summary()
+        assert summary == {"count": 0, "mean": 0.0, "p50": 0.0,
+                           "p90": 0.0, "p99": 0.0, "p999": 0.0,
+                           "max": 0.0}
+
+    def test_merge_of_empties_stays_empty(self):
+        hist = Histogram()
+        hist.merge(Histogram())
+        assert hist.count == 0
+
+
+class TestSingleSample:
+    def test_every_quantile_reports_the_sample_bucket(self):
+        hist = Histogram()
+        hist.record(0.004)
+        edge = bucket_upper_bound(bucket_index(0.004))
+        for fraction in (0.01, 0.5, 0.9, 0.99, 0.999, 1.0):
+            assert hist.quantile(fraction) == edge
+
+    def test_bucket_edge_brackets_the_value(self):
+        # The reported quantile never understates: value <= edge and
+        # the edge is within one bucket's growth of the value.
+        value = 0.0371
+        edge = bucket_upper_bound(bucket_index(value))
+        assert value <= edge <= value * GROWTH * (1 + 1e-9)
+
+
+class TestEdgeBuckets:
+    def test_underflow(self):
+        for value in (0.0, -1.0, SMALLEST, SMALLEST / 2):
+            assert bucket_index(value) == 0
+        assert bucket_upper_bound(0) == SMALLEST
+
+    def test_overflow(self):
+        top_edge = SMALLEST * GROWTH ** MAX_BUCKET
+        assert bucket_index(top_edge * 2) == OVERFLOW_BUCKET
+        assert bucket_index(float("inf")) == OVERFLOW_BUCKET
+        assert bucket_index(float("nan")) == OVERFLOW_BUCKET
+
+    def test_overflow_saturates_instead_of_reporting_infinity(self):
+        hist = Histogram()
+        hist.record(1e30)
+        assert math.isfinite(hist.quantile(0.5))
+        assert hist.quantile(0.5) == bucket_upper_bound(MAX_BUCKET)
+        assert json.dumps(hist.summary())  # JSON-safe
+
+    def test_buckets_are_monotone(self):
+        edges = [bucket_upper_bound(i) for i in range(OVERFLOW_BUCKET)]
+        assert edges == sorted(edges)
+
+
+class TestMerge:
+    def test_disjoint_ranges_merge_exactly(self):
+        low, high = Histogram(), Histogram()
+        low.record_many([1e-6, 2e-6, 4e-6])
+        high.record_many([1.0, 2.0, 4.0])
+        merged = low.copy()
+        merged.merge(high)
+        direct = Histogram()
+        direct.record_many([1e-6, 2e-6, 4e-6, 1.0, 2.0, 4.0])
+        assert merged.to_dict() == direct.to_dict()
+        assert merged.summary() == direct.summary()
+
+    def test_merge_equals_single_recorder_any_split(self):
+        values = [0.001 * (i + 1) for i in range(20)]
+        whole = Histogram()
+        whole.record_many(values)
+        parts = [Histogram() for _ in range(3)]
+        for index, value in enumerate(values):
+            parts[index % 3].record(value)
+        merged = Histogram()
+        for part in parts:
+            merged.merge(part)
+        assert merged.to_dict() == whole.to_dict()
+
+    def test_merge_accepts_the_dict_form(self):
+        hist = Histogram()
+        hist.record_many([0.01, 0.02])
+        rebuilt = Histogram()
+        rebuilt.merge(hist.to_dict())
+        assert rebuilt.summary() == hist.summary()
+
+
+class TestDelta:
+    def test_delta_isolates_the_window(self):
+        hist = Histogram()
+        hist.record_many([0.001, 0.002])
+        before = hist.copy()
+        hist.record_many([0.5, 0.6, 0.7])
+        window = hist.delta(before)
+        assert window.count == 3
+        direct = Histogram()
+        direct.record_many([0.5, 0.6, 0.7])
+        assert window.to_dict()["counts"] == direct.to_dict()["counts"]
+
+    def test_hists_delta_drops_unmoved_series(self):
+        moved, still = Histogram(), Histogram()
+        moved.record(0.1)
+        after = {"moved": moved, "still": still}
+        before = {"moved": Histogram(), "still": still.copy()}
+        after["moved"] = moved
+        delta = hists_delta(before, after)
+        assert set(delta) == {"moved"}
+        assert delta["moved"].count == 1
+
+    def test_roundtrip_serialization(self):
+        hist = Histogram()
+        hist.record_many([0.003, 0.004, 7.0, 0.0])
+        rebuilt = Histogram.from_dict(
+            json.loads(json.dumps(hist.to_dict())))
+        assert rebuilt.to_dict() == hist.to_dict()
+
+
+class TestSummarize:
+    def test_accepts_histograms_dicts_and_summaries(self):
+        hist = Histogram()
+        hist.record(0.25)
+        out = summarize({
+            "live": hist,
+            "serialized": hist.to_dict(),
+            "already": hist.summary(),
+        })
+        assert out["live"] == out["serialized"] == out["already"]
+
+
+class TestQuantileInvariants:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_quantiles_are_ordered(self, values):
+        hist = Histogram()
+        hist.record_many(values)
+        p50, p90, p99 = (hist.quantile(f) for f in (0.50, 0.90, 0.99))
+        assert p50 <= p90 <= p99 <= hist.max_value()
+
+    @given(st.lists(st.floats(min_value=1e-7, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=100),
+           st.integers(min_value=2, max_value=5))
+    def test_split_and_merge_preserves_quantiles(self, values, shards):
+        whole = Histogram()
+        whole.record_many(values)
+        parts = [Histogram() for _ in range(shards)]
+        for index, value in enumerate(values):
+            parts[index % shards].record(value)
+        merged = Histogram()
+        for part in parts:
+            merged.merge(part)
+        assert merged.summary() == whole.summary()
+
+    @pytest.mark.parametrize("value", [1e-7, 1e-3, 1.0, 1e6])
+    def test_quantile_never_understates(self, value):
+        hist = Histogram()
+        hist.record(value)
+        assert hist.quantile(1.0) >= value

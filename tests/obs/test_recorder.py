@@ -1,0 +1,123 @@
+"""Tests for the bounded slow-query flight recorder."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.recorder import FlightRecorder, QueryExemplar
+
+
+def _exemplar(query="q", seconds=0.01, **kwargs):
+    return QueryExemplar(query=query, k=2, backend="test",
+                         seconds=seconds, **kwargs)
+
+
+class TestBounds:
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3, top_n=0)
+        for index in range(5):
+            recorder.record(_exemplar(query=f"q{index}"))
+        assert [e.query for e in recorder.records()] \
+            == ["q2", "q3", "q4"]
+        assert len(recorder) == 3
+
+    def test_top_n_keeps_the_slowest_ever(self):
+        recorder = FlightRecorder(capacity=2, top_n=2)
+        recorder.record(_exemplar(query="slowest", seconds=9.0))
+        for index in range(10):
+            recorder.record(_exemplar(query=f"fast{index}",
+                                      seconds=0.001))
+        # the ring has wrapped past it, but the heap remembers
+        assert recorder.slowest(1)[0].query == "slowest"
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ReproError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ReproError):
+            FlightRecorder(top_n=-1)
+        with pytest.raises(ReproError):
+            FlightRecorder(threshold=-0.1)
+
+
+class TestThreshold:
+    def test_below_threshold_skips_the_ring(self):
+        recorder = FlightRecorder(threshold=0.1, top_n=0)
+        assert not recorder.record(_exemplar(seconds=0.05))
+        assert recorder.record(_exemplar(seconds=0.15))
+        assert len(recorder) == 1
+        assert recorder.seen == 2 and recorder.recorded == 1
+
+    def test_force_bypasses_the_threshold(self):
+        recorder = FlightRecorder(threshold=10.0, top_n=0)
+        event = _exemplar(seconds=0.001, kind="degraded")
+        assert recorder.record(event, force=True)
+        assert recorder.records() == (event,)
+
+    def test_interested_is_consistent_with_record(self):
+        recorder = FlightRecorder(threshold=0.1, top_n=1)
+        assert recorder.interested(0.2)       # clears the threshold
+        assert recorder.interested(0.05)      # top-N has a free slot
+        recorder.record(_exemplar(seconds=0.5))
+        assert not recorder.interested(0.05)  # slower root, under bar
+
+
+class TestSlowest:
+    def test_ranked_and_deduplicated(self):
+        recorder = FlightRecorder(capacity=8, top_n=4)
+        for seconds in (0.03, 0.01, 0.04, 0.02):
+            recorder.record(_exemplar(query=f"{seconds}",
+                                      seconds=seconds))
+        ranked = [e.seconds for e in recorder.slowest()]
+        assert ranked == sorted(ranked, reverse=True)
+        assert len(ranked) == 4  # each exemplar appears once
+
+    def test_clear(self):
+        recorder = FlightRecorder()
+        recorder.record(_exemplar())
+        recorder.clear()
+        assert recorder.slowest() == ()
+        assert recorder.seen == 1  # counters survive a clear
+
+
+class TestRender:
+    def test_empty(self):
+        assert "no queries" in FlightRecorder().render()
+
+    def test_render_carries_stages_counters_and_note(self):
+        recorder = FlightRecorder()
+        recorder.record(_exemplar(
+            query="Berlin", seconds=0.25, matches=3, kind="degraded",
+            stages={"scan.search": 0.2},
+            counters={"scan.candidates": 41},
+            note="plan=flat"))
+        text = recorder.render(5)
+        assert "'Berlin'" in text
+        assert "matches=3" in text
+        assert "kind=degraded" in text
+        assert "stage scan.search: 200.000ms" in text
+        assert "scan.candidates = 41" in text
+        assert "(plan=flat)" in text
+
+
+class TestConcurrency:
+    def test_parallel_records_stay_bounded_and_counted(self):
+        recorder = FlightRecorder(capacity=16, top_n=4)
+        per_thread = 200
+
+        def hammer(tag):
+            for index in range(per_thread):
+                recorder.record(_exemplar(query=f"{tag}-{index}",
+                                          seconds=index * 1e-4))
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.seen == 4 * per_thread
+        assert len(recorder) == 16
+        slowest = recorder.slowest()
+        assert all(e.seconds == pytest.approx((per_thread - 1) * 1e-4)
+                   for e in slowest[:4])

@@ -1,0 +1,175 @@
+"""Tests for the noise-aware bench regression gate.
+
+The gate's contract, exercised against the real committed artifacts:
+self-diffing any ``BENCH_*.json`` exits 0, an artificially slowed copy
+exits 1, and garbage (broken schema, missing files, nothing to
+compare) exits 2 rather than pretending to pass.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.regress import (
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    compare_documents,
+    iter_measurements,
+    main,
+)
+from repro.obs.validate import iter_reports
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def _inflate(document, factor=10.0):
+    """A copy of the document with every latency multiplied."""
+    inflated = copy.deepcopy(document)
+    for _, report in iter_reports(inflated):
+        report["seconds"] = report["seconds"] * factor
+        for name, cell in report.get("histograms", {}).items():
+            if name.endswith("_seconds"):
+                for key in ("mean", "p50", "p90", "p99", "p999", "max"):
+                    cell[key] = cell[key] * factor
+    for _, record in iter_measurements(inflated):
+        record["measurements"] = {
+            label: seconds * factor
+            for label, seconds in record["measurements"].items()
+        }
+    return inflated
+
+
+class TestCommittedBaselines:
+    def test_baselines_exist(self):
+        names = {path.name for path in BENCH_FILES}
+        assert {"BENCH_batch.json", "BENCH_headtohead.json",
+                "BENCH_service.json"} <= names
+
+    @pytest.mark.parametrize(
+        "path", BENCH_FILES, ids=lambda p: p.name)
+    def test_self_diff_exits_zero(self, path):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        code, lines = compare_documents(document, document)
+        assert code == EXIT_OK, lines
+        assert not any(line.startswith("REGRESSION") for line in lines)
+
+    @pytest.mark.parametrize(
+        "path", BENCH_FILES, ids=lambda p: p.name)
+    def test_inflated_copy_exits_one(self, path):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        code, lines = compare_documents(document, _inflate(document))
+        assert code == EXIT_REGRESSION, lines
+        assert any(line.startswith("REGRESSION") for line in lines)
+
+    def test_deflated_copy_is_not_a_regression(self):
+        # getting faster must never fail the gate
+        document = json.loads(
+            (REPO_ROOT / "BENCH_batch.json").read_text(encoding="utf-8"))
+        code, lines = compare_documents(_inflate(document), document)
+        assert code == EXIT_OK, lines
+
+
+class TestNoiseAwareness:
+    def _doc(self, seconds, matches=5, p50=None, p99=None):
+        hist = {}
+        if p50 is not None:
+            hist["scan.query_seconds"] = {
+                "count": 10, "mean": p50, "p50": p50, "p90": p50,
+                "p99": p99 if p99 is not None else p50,
+                "p999": p99 if p99 is not None else p50, "max": p50,
+            }
+        return {"report": {
+            "schema_version": 2, "backend": "compiled",
+            "engine": "compiled-scan", "mode": "batch",
+            "queries": 10, "k": 2, "matches": matches,
+            "seconds": seconds, "counters": {}, "timers": {},
+            "histograms": hist,
+            "choice": {"backend": "compiled", "reason": "test"},
+            "batch": None,
+        }}
+
+    def test_sub_noise_floor_growth_is_excused(self):
+        code, _ = compare_documents(
+            self._doc(0.0010), self._doc(0.0012), noise_floor=0.01)
+        assert code == EXIT_OK
+
+    def test_growth_above_both_bars_regresses(self):
+        code, lines = compare_documents(
+            self._doc(1.0), self._doc(2.0))
+        assert code == EXIT_REGRESSION
+        assert any("seconds/query" in line for line in lines)
+
+    def test_histogram_p50_wins_over_wall_clock(self):
+        # per-query p50 identical, wall clock doubled (e.g. twice the
+        # queries in the current run): not a regression
+        base = self._doc(1.0, p50=0.01)
+        curr = self._doc(2.0, p50=0.01)
+        code, lines = compare_documents(base, curr)
+        assert code == EXIT_OK, lines
+
+    def test_p99_has_its_own_looser_bar(self):
+        base = self._doc(1.0, p50=0.01, p99=0.02)
+        tail = self._doc(1.0, p50=0.01, p99=0.2)
+        code, lines = compare_documents(base, tail)
+        assert code == EXIT_REGRESSION
+        assert any("p99" in line and line.startswith("REGRESSION")
+                   for line in lines)
+
+    def test_matches_drift_is_never_excused(self):
+        code, lines = compare_documents(
+            self._doc(1.0, matches=5), self._doc(1.0, matches=6),
+            median_pct=1e9)
+        assert code == EXIT_REGRESSION
+        assert any("result drift" in line for line in lines)
+
+
+class TestErrorPaths:
+    def test_invalid_report_exits_two(self):
+        broken = {"report": {"schema_version": 2, "backend": "x"}}
+        code, lines = compare_documents(broken, broken)
+        assert code == EXIT_ERROR
+        assert any(line.startswith("INVALID") for line in lines)
+
+    def test_nothing_comparable_exits_two(self):
+        code, lines = compare_documents({"a": 1}, {"b": 2})
+        assert code == EXIT_ERROR
+        assert any("nothing comparable" in line for line in lines)
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["/nonexistent/base.json",
+                     "/nonexistent/curr.json"]) == EXIT_ERROR
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCli:
+    def test_main_self_diff(self, capsys):
+        path = str(REPO_ROOT / "BENCH_service.json")
+        assert main([path, path]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 regressions" in out
+
+    def test_main_regression_prints_to_stderr(self, tmp_path, capsys):
+        baseline = REPO_ROOT / "BENCH_service.json"
+        document = json.loads(baseline.read_text(encoding="utf-8"))
+        slowed = tmp_path / "slow.json"
+        slowed.write_text(json.dumps(_inflate(document)),
+                          encoding="utf-8")
+        assert main([str(baseline), str(slowed)]) == EXIT_REGRESSION
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+
+    def test_thresholds_are_configurable(self, tmp_path):
+        document = json.loads(
+            (REPO_ROOT / "BENCH_batch.json").read_text(encoding="utf-8"))
+        slowed = tmp_path / "slow.json"
+        slowed.write_text(json.dumps(_inflate(document, factor=1.5)),
+                          encoding="utf-8")
+        generous = main([str(REPO_ROOT / "BENCH_batch.json"),
+                         str(slowed), "--median-pct", "1000",
+                         "--p99-pct", "1000"])
+        assert generous == EXIT_OK

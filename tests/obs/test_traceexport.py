@@ -1,0 +1,97 @@
+"""Tests for the Chrome/Perfetto trace-event export."""
+
+import json
+
+from repro.obs.registry import MetricsRegistry, Span
+from repro.obs.traceexport import (
+    span_to_event,
+    trace_document,
+    trace_events,
+    write_trace,
+)
+
+
+def _span(name="scan.search", path=None, depth=0, started=0.001,
+          seconds=0.002):
+    return Span(name=name, path=path or name, depth=depth,
+                started=started, seconds=seconds)
+
+
+class TestSpanToEvent:
+    def test_complete_event_in_microseconds(self):
+        event = span_to_event(_span(started=0.5, seconds=0.25))
+        assert event["ph"] == "X"
+        assert event["ts"] == 500000.0
+        assert event["dur"] == 250000.0
+        assert event["cat"] == "repro"
+
+    def test_nesting_rides_in_args(self):
+        event = span_to_event(_span(name="scan.kernel",
+                                    path="batch/scan.kernel", depth=1))
+        assert event["args"] == {"path": "batch/scan.kernel",
+                                 "depth": 1}
+
+
+class TestTraceDocument:
+    def test_metadata_precedes_spans(self):
+        events = trace_events([_span()], process_name="unit")
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "unit"
+        assert events[1]["ph"] == "X"
+
+    def test_accepts_a_registry(self):
+        registry = MetricsRegistry()
+        with registry.trace("outer"):
+            with registry.trace("inner"):
+                pass
+        document = trace_document(registry)
+        names = [e["name"] for e in document["traceEvents"]]
+        assert "outer" in names and "inner" in names
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_nested_span_paths_survive(self):
+        registry = MetricsRegistry()
+        with registry.trace("outer"):
+            with registry.trace("inner"):
+                pass
+        by_name = {e["name"]: e for e in
+                   trace_document(registry)["traceEvents"]
+                   if e["ph"] == "X"}
+        assert by_name["inner"]["args"]["path"] == "outer/inner"
+        assert by_name["inner"]["args"]["depth"] == 1
+
+
+class TestWriteTrace:
+    def test_file_is_valid_trace_event_json(self, tmp_path):
+        registry = MetricsRegistry()
+        with registry.trace("engine.search"):
+            pass
+        path = write_trace(tmp_path / "trace.json", registry)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(document["traceEvents"], list)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        event = spans[0]
+        # every field a viewer needs, with sane units
+        assert event["name"] == "engine.search"
+        assert set(event) >= {"ph", "ts", "dur", "pid", "tid", "cat"}
+        assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_plain_span_iterable_works_too(self, tmp_path):
+        path = write_trace(tmp_path / "t.json",
+                           [_span(), _span(name="other")])
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert len(document["traceEvents"]) == 3  # metadata + 2 spans
+
+    def test_engine_search_produces_spans(self, tmp_path, city_names):
+        from repro.core.engine import SearchEngine
+
+        registry = MetricsRegistry()
+        engine = SearchEngine(city_names, backend="sequential",
+                              metrics=registry)
+        engine.search(city_names[0], 1)
+        path = write_trace(tmp_path / "engine.json", registry)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in document["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "engine.search" in names

@@ -89,6 +89,80 @@ class TestSearchCommand:
             main(["search", str(missing), str(missing), "-k", "1"])
 
 
+class TestObservabilityFlags:
+    def test_slowlog_prints_slowest_queries_with_stages(
+            self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--slowlog", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "slowlog: top 2 of 3 queries" in err
+        assert "stage scan.search:" in err
+        assert "scan.candidates = " in err
+
+    def test_slowlog_on_the_compiled_backend(self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--backend", "compiled", "--slowlog", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "backend=compiled-scan" in err
+        assert "stage scan.query:" in err
+
+    def test_slowlog_on_the_service_path(self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--service", "--slowlog", "3"]) == 0
+        err = capsys.readouterr().err
+        assert "slowlog:" in err
+        assert "backend=service[ladder]" in err
+
+    def test_slowlog_must_be_positive(self, city_files, capsys):
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--slowlog", "0"]) == 2
+        assert "slowlog" in capsys.readouterr().err
+
+    def test_trace_out_writes_valid_trace_event_json(
+            self, city_files, tmp_path, capsys):
+        import json
+
+        data, queries = city_files
+        trace = tmp_path / "trace.json"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--trace-out", str(trace)]) == 0
+        assert "spans written" in capsys.readouterr().err
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        spans = [event for event in document["traceEvents"]
+                 if event.get("ph") == "X"]
+        assert spans, document
+        assert any(event["name"].startswith("engine.")
+                   for event in spans)
+
+    def test_trace_out_on_the_service_path(self, city_files, tmp_path):
+        import json
+
+        data, queries = city_files
+        trace = tmp_path / "svc.json"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--service", "--trace-out", str(trace)]) == 0
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        assert any(event.get("ph") == "X"
+                   for event in document["traceEvents"])
+
+    def test_flags_compose_with_stats_and_results_stay_identical(
+            self, city_files, tmp_path, capsys):
+        data, queries = city_files
+        plain = tmp_path / "plain.txt"
+        observed = tmp_path / "observed.txt"
+        trace = tmp_path / "trace.json"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "-o", str(plain)]) == 0
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "-o", str(observed), "--stats", "--slowlog", "2",
+                     "--trace-out", str(trace)]) == 0
+        assert plain.read_text() == observed.read_text()
+
+
 class TestGenerateCommand:
     def test_generate_cities(self, tmp_path):
         output = tmp_path / "cities.txt"
