@@ -9,13 +9,20 @@ visible.
 
 ``deep_sizeof`` walks the object graph with :func:`sys.getsizeof`,
 deduplicating shared objects by identity — which is precisely what
-makes DAWG suffix sharing measurable.
+makes DAWG suffix sharing measurable. ``numpy`` arrays are handled
+specially: an owning array counts header plus buffer, a view counts
+its header and attributes the buffer to its base (counted once), and
+an ``mmap``-backed array counts headers only — the buffer lives in the
+page cache, not on this process's heap, which is exactly the segment
+story :func:`measure_compiled_footprints` quantifies.
 """
 
 from __future__ import annotations
 
 import sys
 from typing import Any
+
+import numpy as np
 
 from repro.index.bktree import bktree_from
 from repro.index.compressed import CompressedTrie
@@ -45,6 +52,15 @@ def deep_sizeof(root: Any) -> int:
         seen.add(identity)
         total += sys.getsizeof(obj)
         if isinstance(obj, _ATOMIC):
+            continue
+        if isinstance(obj, np.ndarray):
+            # getsizeof already includes the buffer for an owning
+            # array and only the header for a view; chase the base so
+            # a shared buffer is charged exactly once. An mmap base
+            # (np.memmap) costs its small object header, never the
+            # mapped bytes — those are page cache, not heap.
+            if obj.base is not None:
+                stack.append(obj.base)
             continue
         if isinstance(obj, dict):
             stack.extend(obj.keys())
@@ -90,6 +106,64 @@ def measure_footprints(strings: list[str]) -> dict[str, int]:
         "inverted q-gram index": deep_sizeof(QGramIndex(strings, q=2)),
         "BK-tree": deep_sizeof(bktree_from(strings)),
     }
+
+
+def measure_compiled_footprints(
+        strings: list[str], *, segment_path: str | None = None
+) -> dict[str, int]:
+    """Deep sizes (bytes) of the compiled scan/index artifacts.
+
+    Measures the raw-speed layer's storage ladder: the encoded
+    compiled corpus, its packed (``numpy``) variant, the flat trie —
+    and, when ``segment_path`` is given, the same packed corpus saved
+    there and mmap-loaded back, whose arrays cost this process nothing
+    beyond object headers.
+    """
+    from repro.index.flat import FlatTrie
+    from repro.scan.corpus import CompiledCorpus
+
+    packed = CompiledCorpus(strings, packed=True)
+    sizes = {
+        "raw strings (list)": deep_sizeof(list(strings)),
+        "compiled corpus (encoded)": deep_sizeof(CompiledCorpus(strings)),
+        "compiled corpus (packed)": deep_sizeof(packed),
+        "flat trie": deep_sizeof(FlatTrie(strings)),
+    }
+    if segment_path is not None:
+        from repro.speed import load_segment, save_segment
+
+        save_segment(packed, segment_path)
+        sizes["corpus segment (mmap heap cost)"] = deep_sizeof(
+            load_segment(segment_path)
+        )
+    return sizes
+
+
+def render_compiled_footprints(strings: list[str], label: str, *,
+                               segment_path: str | None = None) -> str:
+    """Text report of compiled-artifact memory footprints."""
+    from repro.scan.corpus import CompiledCorpus
+
+    sizes = measure_compiled_footprints(strings,
+                                        segment_path=segment_path)
+    raw = sizes["raw strings (list)"]
+    lines = [
+        f"Compiled-artifact footprints over {len(strings):,} "
+        f"{label} strings",
+        "-" * 60,
+    ]
+    for name, size in sizes.items():
+        ratio = size / raw if raw else 0.0
+        lines.append(
+            f"{name:<34} {format_bytes(size):>10}   {ratio:>5.1f}x raw"
+        )
+    profile = CompiledCorpus(strings, packed=True).storage_profile()
+    lines.append(
+        f"packed code storage: {format_bytes(profile['packed_bytes'])} "
+        f"vs {format_bytes(profile['byte_code_bytes'])} byte codes "
+        f"({profile['packed_reduction']:.2f}x reduction)"
+    )
+    return "\n".join(lines)
 
 
 def render_footprints(strings: list[str], label: str) -> str:

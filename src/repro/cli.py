@@ -100,6 +100,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              "completed queries are written, the "
                              "truncation is reported on stderr, and "
                              "the exit code is 3)")
+    search.add_argument("--segment", default=None, metavar="FILE",
+                        help="mmap-load the compiled corpus from this "
+                             "segment file (repro.speed format); if the "
+                             "file does not exist it is compiled from "
+                             "the data file and saved there first, so "
+                             "every later start is near-instant; "
+                             "implies --backend compiled")
+    search.add_argument("--save-segment", default=None, metavar="FILE",
+                        help="after the run, save the compiled corpus "
+                             "to FILE as a zero-copy segment for later "
+                             "--segment runs")
     search.add_argument("--service", action="store_true",
                         help="serve queries through the resilient "
                              "repro.service ladder (sharded corpus, "
@@ -321,13 +332,25 @@ def _command_search(args: argparse.Namespace) -> int:
     want_stats = (args.stats or args.stats_output is not None
                   or args.stats_format != "text")
     if args.service:
+        if args.segment or args.save_segment:
+            raise ReproError(
+                "--segment/--save-segment apply to the engine path, "
+                "not --service (the sharded corpus manages its own "
+                "per-shard segments)"
+            )
         return _command_search_service(args, dataset, queries,
                                        want_stats)
+    if args.segment and args.backend not in ("auto", "compiled"):
+        raise ReproError(
+            f"--segment serves the compiled backend; it cannot be "
+            f"combined with --backend {args.backend}"
+        )
     runner = _make_runner(args.runner)
     recorder, metrics = _make_observability(args)
     engine = SearchEngine(dataset, backend=args.backend, runner=runner,
                           observe=want_stats or metrics is not None,
-                          metrics=metrics, recorder=recorder)
+                          metrics=metrics, recorder=recorder,
+                          segment=args.segment)
     print(
         f"backend: {engine.choice.backend} ({engine.choice.reason})",
         file=sys.stderr,
@@ -375,6 +398,17 @@ def _command_search(args: argparse.Namespace) -> int:
     if want_stats:
         _emit_report(report, args)
     _emit_slowlog_and_trace(args, recorder, metrics)
+    if args.save_segment:
+        from repro.speed import save_segment
+
+        corpus = getattr(engine.searcher, "corpus", None)
+        if corpus is None:
+            from repro.scan.corpus import CompiledCorpus
+
+            corpus = CompiledCorpus(dataset, packed=True)
+        saved = save_segment(corpus, args.save_segment)
+        print(f"segment: compiled corpus saved to {saved}",
+              file=sys.stderr)
     lines = (
         "\t".join([query, *row])
         for query, row in (

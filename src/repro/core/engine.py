@@ -86,6 +86,13 @@ class SearchEngine:
         backend the engine touches, so slow queries leave exemplars
         (query, k, per-stage timings, work counters) no matter which
         component serves them.
+    segment:
+        Optional path to a corpus segment file (see
+        :mod:`repro.speed`). The compiled backend then mmap-loads its
+        corpus from the file — compiling and saving it first if the
+        file does not exist yet — instead of compiling from scratch on
+        every start. Implies ``backend="compiled"`` unless a backend
+        was forced explicitly.
 
     Examples
     --------
@@ -103,7 +110,8 @@ class SearchEngine:
                  runner: QueryRunner | None = None,
                  observe: bool = False,
                  metrics: MetricsRegistry | None = None,
-                 recorder: FlightRecorder | None = None) -> None:
+                 recorder: FlightRecorder | None = None,
+                 segment: str | None = None) -> None:
         strings = tuple(dataset)
         if backend not in ("auto", "sequential", "indexed", "compiled"):
             raise ReproError(
@@ -112,6 +120,7 @@ class SearchEngine:
             )
         self._runner = runner
         self._strings = strings
+        self._segment = segment
         if metrics is not None:
             self._metrics: MetricsRegistry | None = metrics
         else:
@@ -123,15 +132,18 @@ class SearchEngine:
         self._last_batch_executor = None
         self._last_call: dict | None = None
         self._last_report_cache: SearchReport | None = None
-        self._choice = self._decide(strings, backend)
+        if segment is not None and backend == "auto":
+            self._choice = EngineChoice(
+                "compiled", "segment-backed corpus serves the compiled "
+                            "scan")
+        else:
+            self._choice = self._decide(strings, backend)
         if self._choice.backend == "sequential":
             self._searcher: Searcher = SequentialScanSearcher(
                 strings, kernel="bitparallel", order="length"
             )
         elif self._choice.backend == "compiled":
-            from repro.scan.searcher import CompiledScanSearcher
-
-            self._searcher = CompiledScanSearcher(strings)
+            self._searcher = self._make_compiled_searcher()
             self._batch_searcher = self._searcher
         else:
             self._searcher = IndexedSearcher(strings, index="flat")
@@ -320,11 +332,21 @@ class SearchEngine:
             self._last_batch_executor = batch_executor
         return result
 
+    def _make_compiled_searcher(self) -> Searcher:
+        """A compiled-scan searcher, segment-backed when configured."""
+        from repro.scan.searcher import CompiledScanSearcher
+
+        if self._segment is not None:
+            from repro.speed import load_or_build_corpus_segment
+
+            corpus = load_or_build_corpus_segment(self._strings,
+                                                  self._segment)
+            return CompiledScanSearcher(corpus)
+        return CompiledScanSearcher(self._strings)
+
     def _ensure_batch_searcher(self) -> Searcher:
         if self._batch_searcher is None:
-            from repro.scan.searcher import CompiledScanSearcher
-
-            self._batch_searcher = CompiledScanSearcher(self._strings)
+            self._batch_searcher = self._make_compiled_searcher()
             self._attach_obs(self._batch_searcher)
         return self._batch_searcher
 

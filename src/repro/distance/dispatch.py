@@ -23,6 +23,7 @@ from repro.distance.banded import (
     length_filter_passes,
 )
 from repro.distance.bitparallel import myers_distance
+from repro.distance.packed import PackedString, packed_edit_distance_bounded
 
 
 class KernelChoice(Enum):
@@ -31,6 +32,7 @@ class KernelChoice(Enum):
     EQUALITY = "equality"
     BANDED = "banded"
     BIT_PARALLEL = "bit-parallel"
+    PACKED = "packed"
 
 
 #: Band cells per bit-parallel word-op at which banding stops paying off.
@@ -82,8 +84,20 @@ def bounded_distance(x: Sequence, y: Sequence, k: int) -> int | None:
 
     Returns the distance when it is at most ``k`` and ``None`` otherwise,
     delegating to whichever kernel :func:`best_kernel` selects.
+
+    :class:`repro.distance.packed.PackedString` operands are routed to
+    :func:`repro.distance.packed.packed_edit_distance_bounded`
+    automatically — the comparison runs shift/mask on the packed words,
+    never materializing the decoded text (:data:`KernelChoice.PACKED`).
+    A packed operand paired with a plain string is decoded first, since
+    symbol codes and characters do not compare.
     """
     check_threshold(k)
+    if isinstance(x, PackedString) or isinstance(y, PackedString):
+        if isinstance(x, PackedString) and isinstance(y, PackedString):
+            return packed_edit_distance_bounded(x, y, k)
+        x = x.decode() if isinstance(x, PackedString) else x
+        y = y.decode() if isinstance(y, PackedString) else y
     if not length_filter_passes(len(x), len(y), k):
         return None
     choice = _decide(len(x), len(y), k).choice

@@ -11,9 +11,17 @@ module implements that idea for any alphabet:
 * :func:`packed_edit_distance_bounded` runs the banded threshold kernel
   directly on the packed representation, decoding symbols on the fly
   with shifts and masks — no intermediate string is materialized.
+* :func:`pack_bucket` is the bulk form: it packs a whole length bucket
+  of equal-length strings into a :class:`PackedBucket` — one contiguous
+  ``numpy`` code matrix (one row per string, one small unsigned int per
+  symbol) for the vectorized kernels, plus the bit-packed words (the
+  paper's 3-bit layout, row-major) as the canonical compressed storage
+  the memory accounting reports.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.data.alphabet import Alphabet
 from repro.distance.banded import check_threshold, length_filter_passes
@@ -193,6 +201,166 @@ def packed_edit_distance_bounded(x: PackedString, y: PackedString,
 
     result = previous[len_y]
     return result if result <= k else None
+
+
+class PackedBucket:
+    """A whole length bucket of equal-length strings, packed as arrays.
+
+    Two parallel representations of the same symbols:
+
+    ``codes``
+        ``(count, length)`` matrix of dense symbol codes (``uint8``,
+        or ``uint16`` for alphabets wider than 256 symbols). This is
+        what the vectorized kernels gather from — one fancy-indexing
+        ``Peq`` lookup per text column.
+    ``packed``
+        ``(count, row_bytes)`` matrix of the bit-packed words: each row
+        is the string's symbols at ``bits_per_symbol`` bits each,
+        symbol 0 in the lowest bits (the :class:`PackedString` layout,
+        so ``packed_string(i)`` is a cheap reinterpretation). For DNA's
+        3-bit codes this is the ~2.6x compression the paper's
+        section 6 anticipates; it is the number the memory accounting
+        reports as the corpus' resident payload.
+
+    Build instances with :func:`pack_bucket`.
+    """
+
+    __slots__ = ("codes", "packed", "_length", "_alphabet")
+
+    def __init__(self, codes: np.ndarray, packed: np.ndarray,
+                 length: int, alphabet: Alphabet) -> None:
+        self.codes = codes
+        self.packed = packed
+        self._length = length
+        self._alphabet = alphabet
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet the symbol codes refer to."""
+        return self._alphabet
+
+    @property
+    def length(self) -> int:
+        """The shared string length."""
+        return self._length
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Bits each symbol occupies in :attr:`packed`."""
+        return self._alphabet.bits_per_symbol
+
+    @property
+    def count(self) -> int:
+        """Number of strings in the bucket."""
+        return self.codes.shape[0]
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def codes_nbytes(self) -> int:
+        """Bytes of the kernel-facing code matrix (1–2 per symbol)."""
+        return self.codes.nbytes
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Bytes of the bit-packed payload (``bits_per_symbol`` each)."""
+        return self.packed.nbytes
+
+    def row_codes(self, index: int) -> tuple[int, ...]:
+        """One string's symbol codes as a plain tuple."""
+        return tuple(int(code) for code in self.codes[index])
+
+    def packed_string(self, index: int) -> PackedString:
+        """Row ``index`` reinterpreted as a :class:`PackedString`.
+
+        The row's bytes *are* the packed word in little-endian order,
+        so this is a byte copy plus one ``int.from_bytes`` — no
+        re-encoding.
+        """
+        word = int.from_bytes(self.packed[index].tobytes(), "little")
+        return PackedString(word, self._length, self._alphabet)
+
+    def decode(self, index: int) -> str:
+        """Recover one original string."""
+        return self._alphabet.decode(self.row_codes(index))
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedBucket(count={len(self)}, length={self._length}, "
+            f"bits={self.bits_per_symbol}, "
+            f"alphabet={self._alphabet.name!r})"
+        )
+
+
+def code_dtype(alphabet: Alphabet) -> np.dtype:
+    """The narrowest unsigned dtype that holds the alphabet's codes."""
+    return np.dtype(np.uint8 if alphabet.size <= 256 else np.uint16)
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack a ``(count, length)`` code matrix row by row.
+
+    Each output row holds ``length * bits`` payload bits, symbol 0 in
+    the lowest bits of byte 0 (LSB-first within each byte), padded with
+    zero bits to a whole byte — exactly the :class:`PackedString` word
+    serialized little-endian.
+    """
+    if codes.size == 0:
+        return np.zeros((codes.shape[0], 0), dtype=np.uint8)
+    shifts = np.arange(bits, dtype=codes.dtype)
+    # (count, length, bits) bit planes, LSB first, flattened row-major:
+    # the bit stream PackedString defines.
+    bit_planes = (
+        (codes[:, :, None] >> shifts) & 1
+    ).astype(np.uint8).reshape(codes.shape[0], -1)
+    return np.packbits(bit_planes, axis=1, bitorder="little")
+
+
+def unpack_codes(packed: np.ndarray, length: int, bits: int,
+                 dtype: np.dtype) -> np.ndarray:
+    """Invert :func:`pack_codes` back to a ``(count, length)`` matrix."""
+    count = packed.shape[0]
+    if length == 0 or count == 0:
+        return np.zeros((count, length), dtype=dtype)
+    bit_planes = np.unpackbits(
+        packed, axis=1, count=length * bits, bitorder="little"
+    ).reshape(count, length, bits).astype(dtype)
+    shifts = np.arange(bits, dtype=dtype)
+    return (bit_planes << shifts).sum(axis=2, dtype=dtype)
+
+
+def pack_bucket(strings, alphabet: Alphabet, *,
+                encoded=None) -> PackedBucket:
+    """Pack equal-length ``strings`` into a :class:`PackedBucket`.
+
+    ``encoded`` optionally supplies the already-encoded symbol tuples
+    (as :class:`repro.scan.corpus.CompiledCorpus` holds them), skipping
+    a second encode pass.
+
+    Raises
+    ------
+    ReproError
+        If the strings do not all share one length.
+    AlphabetError
+        If a string contains symbols outside the alphabet.
+    """
+    from repro.exceptions import ReproError
+
+    strings = tuple(strings)
+    if encoded is None:
+        encoded = tuple(alphabet.encode(s) for s in strings)
+    length = len(encoded[0]) if encoded else 0
+    for position, row in enumerate(encoded):
+        if len(row) != length:
+            raise ReproError(
+                f"pack_bucket needs equal-length strings: row "
+                f"{position} has length {len(row)}, expected {length}"
+            )
+    dtype = code_dtype(alphabet)
+    codes = np.array(encoded, dtype=dtype).reshape(len(encoded), length)
+    packed = pack_codes(codes, alphabet.bits_per_symbol)
+    return PackedBucket(codes, packed, length, alphabet)
 
 
 def storage_savings(text: str, alphabet: Alphabet,

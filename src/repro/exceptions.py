@@ -134,6 +134,22 @@ class IndexConstructionError(ReproError):
     """An index could not be built from the supplied dataset."""
 
 
+class SegmentError(ReproError):
+    """A compiled-artifact segment file is unreadable or incompatible.
+
+    Raised by :mod:`repro.speed.segment` when a file is not a segment
+    (bad magic), was written by an incompatible format version, names
+    an unknown artifact kind, or is truncated/corrupted. ``path``
+    locates the offending file.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        if path is not None:
+            message = f"{message} ({path})"
+        super().__init__(message)
+        self.path = path
+
+
 class ParallelismError(ReproError):
     """An execution strategy was configured or driven inconsistently."""
 

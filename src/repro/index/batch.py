@@ -41,7 +41,12 @@ from repro.index.traversal import TraversalStats
 from repro.obs.hist import Histogram
 from repro.obs.recorder import QueryExemplar
 from repro.scan.cache import LRUCache
-from repro.scan.executor import DEFAULT_CACHE_SIZE, BatchStats
+from repro.scan.executor import (
+    DEFAULT_CACHE_SIZE,
+    BatchStats,
+    _pool_payload,
+    _resolve_artifact,
+)
 
 #: Histogram names the executor records per executed probe.
 TRIE_HISTOGRAMS = (
@@ -132,12 +137,13 @@ class _ProbeTask:
     collect: bool = False
 
     def __call__(self, query: str):
+        flat = _resolve_artifact(self.flat)
         if not self.collect:
-            return tuple(probe_query(self.flat, query, self.k,
+            return tuple(probe_query(flat, query, self.k,
                                      use_frequency=self.use_frequency))
         counters: dict = {}
         started = perf_counter()
-        row = tuple(probe_query(self.flat, query, self.k,
+        row = tuple(probe_query(flat, query, self.k,
                                 use_frequency=self.use_frequency,
                                 counters=counters))
         seconds = perf_counter() - started
@@ -424,7 +430,8 @@ class BatchIndexExecutor:
                  runner: QueryRunner | None) -> list[tuple[Match, ...]]:
         if runner is None or len(misses) == 1:
             return [self._probe_with_bank(query, k) for query in misses]
-        task = _ProbeTask(self._flat, k, self._use_frequency, collect=True)
+        task = _ProbeTask(_pool_payload(self._flat, runner, "flat trie"),
+                          k, self._use_frequency, collect=True)
         rows: list[tuple[Match, ...]] = []
         for query, (row, counters, timers, seconds) in zip(
                 misses, runner.run(task, misses)):

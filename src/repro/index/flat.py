@@ -118,6 +118,7 @@ class FlatTrie:
 
     def _freeze(self, trie: PrefixTrie | CompressedTrie,
                 alphabet: Alphabet | None) -> None:
+        self._segment_path: str | None = None
         self._tracked = trie.tracked_symbols
         self._case_insensitive = trie.case_insensitive_frequencies
         self._string_count = trie.string_count
@@ -215,6 +216,16 @@ class FlatTrie:
     def alphabet(self) -> Alphabet | None:
         """The alphabet labels are encoded over (``None`` iff empty)."""
         return self._alphabet
+
+    @property
+    def segment_path(self) -> str | None:
+        """The segment file backing this trie, if it was mmap-loaded.
+
+        Set by :func:`repro.speed.load_segment`; the batch executor
+        uses it to ship a :class:`repro.speed.SegmentRef` to pool
+        workers instead of pickling the trie.
+        """
+        return self._segment_path
 
     @property
     def node_count(self) -> int:

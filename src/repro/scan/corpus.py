@@ -33,6 +33,7 @@ from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
 from repro.data.alphabet import Alphabet
+from repro.distance.packed import PackedBucket, pack_bucket
 from repro.exceptions import ReproError
 
 #: Alphabets at or below this size track every symbol in their
@@ -66,9 +67,20 @@ class LengthBucket:
     strings: tuple[str, ...]
     encoded: tuple[tuple[int, ...], ...]
     frequencies: tuple[tuple[int, ...], ...]
+    packed: PackedBucket | None = None
 
     def __len__(self) -> int:
         return len(self.strings)
+
+    def code_rows(self):
+        """Per-string symbol codes, whichever storage mode holds them.
+
+        Encoded mode returns the symbol-code tuples; packed mode
+        returns the rows of the contiguous ``numpy`` code matrix. Both
+        index and compare identically, so the scalar kernel runs
+        unchanged on either.
+        """
+        return self.encoded if self.packed is None else self.packed.codes
 
 
 def _count_vector(text: str, tracked: str) -> tuple[int, ...]:
@@ -91,6 +103,16 @@ class CompiledCorpus:
         Symbols counted into per-string frequency vectors. Defaults to
         the whole alphabet when it is tiny (DNA) and to vowels for
         large alphabets.
+    packed:
+        Store each length bucket as a contiguous
+        :class:`repro.distance.packed.PackedBucket` (``numpy`` code
+        matrix + bit-packed words) instead of Python tuples — the
+        paper's section-6 dictionary compression in bulk. Packed
+        storage feeds the vectorized kernel directly, shrinks the
+        resident payload (~2.6x for 3-bit DNA, see
+        :meth:`storage_profile`) and is what
+        :func:`repro.speed.save_segment` serializes. Results are
+        identical in either mode.
 
     Examples
     --------
@@ -105,7 +127,8 @@ class CompiledCorpus:
 
     def __init__(self, dataset: Iterable[str], *,
                  alphabet: Alphabet | None = None,
-                 tracked: str | None = None) -> None:
+                 tracked: str | None = None,
+                 packed: bool = False) -> None:
         raw = tuple(dataset)
         for index, string in enumerate(raw):
             if not string:
@@ -131,6 +154,8 @@ class CompiledCorpus:
 
         self._total_strings = len(raw)
         self._strings = unique
+        self._packed = bool(packed)
+        self._segment_path: str | None = None
 
         by_length: dict[int, list[str]] = {}
         for string in unique:
@@ -138,15 +163,34 @@ class CompiledCorpus:
         buckets = []
         for length in sorted(by_length):
             members = tuple(by_length[length])
-            buckets.append(LengthBucket(
-                length=length,
-                strings=members,
-                encoded=tuple(alphabet.encode(s) for s in members)
-                if alphabet is not None else (),
-                frequencies=tuple(
-                    _count_vector(s, self._tracked) for s in members
-                ),
-            ))
+            encoded = tuple(alphabet.encode(s) for s in members) \
+                if alphabet is not None else ()
+            counts = tuple(
+                _count_vector(s, self._tracked) for s in members
+            )
+            if self._packed and alphabet is not None:
+                # Packed mode drops the per-string Python tuples: the
+                # code matrix (kernel-facing) plus the bit-packed words
+                # (resident payload) replace ``encoded``, and the
+                # frequency vectors collapse into one integer matrix.
+                import numpy as np
+
+                bulk = pack_bucket(members, alphabet, encoded=encoded)
+                buckets.append(LengthBucket(
+                    length=length,
+                    strings=members,
+                    encoded=(),
+                    frequencies=np.array(counts, dtype=np.int64).reshape(
+                        len(members), len(self._tracked)),
+                    packed=bulk,
+                ))
+            else:
+                buckets.append(LengthBucket(
+                    length=length,
+                    strings=members,
+                    encoded=encoded,
+                    frequencies=counts,
+                ))
         self._buckets = tuple(buckets)
         self._lengths = tuple(bucket.length for bucket in self._buckets)
 
@@ -177,6 +221,21 @@ class CompiledCorpus:
     def tracked(self) -> str:
         """Symbols counted into frequency vectors."""
         return self._tracked
+
+    @property
+    def packed(self) -> bool:
+        """Whether buckets use packed (``numpy``) storage."""
+        return self._packed
+
+    @property
+    def segment_path(self) -> str | None:
+        """The segment file backing this corpus, if it was mmap-loaded.
+
+        Set by :func:`repro.speed.load_segment`; the batch executors
+        use it to ship a :class:`repro.speed.SegmentRef` to pool
+        workers instead of pickling the corpus.
+        """
+        return self._segment_path
 
     @property
     def buckets(self) -> tuple[LengthBucket, ...]:
@@ -249,6 +308,37 @@ class CompiledCorpus:
         """The query's tracked-symbol counts (pairs with bucket vectors)."""
         return _count_vector(query, self._tracked)
 
+    def storage_profile(self) -> dict:
+        """Byte accounting of the symbol payload, per storage mode.
+
+        ``byte_code_bytes`` is what one-byte-per-symbol code storage
+        costs (two for alphabets wider than 256 symbols);
+        ``packed_bytes`` is the bit-packed payload
+        (``bits_per_symbol`` bits each, rows padded to whole bytes).
+        ``packed_reduction`` is their ratio — ~2.6x for 3-bit DNA, the
+        paper's section-6 dictionary-compression estimate.
+        """
+        symbols = sum(bucket.length * len(bucket) for bucket in self._buckets)
+        itemsize = 1
+        packed_bytes = 0
+        if self._packed:
+            for bucket in self._buckets:
+                if bucket.packed is not None:
+                    itemsize = bucket.packed.codes.dtype.itemsize
+                    packed_bytes += bucket.packed.packed_nbytes
+        elif self._alphabet is not None and self._alphabet.size > 256:
+            itemsize = 2
+        byte_code_bytes = symbols * itemsize
+        return {
+            "mode": "packed" if self._packed else "encoded",
+            "strings": self.size,
+            "symbols": symbols,
+            "byte_code_bytes": byte_code_bytes,
+            "packed_bytes": packed_bytes,
+            "packed_reduction": (byte_code_bytes / packed_bytes
+                                 if packed_bytes else 0.0),
+        }
+
     def describe(self) -> dict:
         """Compile-time facts, for benchmarks and reports."""
         return {
@@ -259,6 +349,7 @@ class CompiledCorpus:
             "min_length": self.min_length,
             "max_length": self.max_length,
             "tracked_symbols": self._tracked,
+            "storage": "packed" if self._packed else "encoded",
         }
 
     def __repr__(self) -> str:

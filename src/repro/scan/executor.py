@@ -25,6 +25,7 @@ checks exactly that.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Sequence
@@ -34,6 +35,11 @@ from repro.core.result import Match, ResultSet
 from repro.core.searcher import QueryRunner
 from repro.distance.banded import check_threshold
 from repro.distance.bitparallel import build_peq
+from repro.distance.vectorized import (
+    DEFAULT_VECTOR_MIN_BUCKET,
+    bucket_distances,
+    prepare_query,
+)
 from repro.exceptions import DeadlineExceeded, ReproError
 from repro.obs.hist import Histogram
 from repro.obs.recorder import QueryExemplar
@@ -42,6 +48,9 @@ from repro.scan.corpus import CompiledCorpus
 
 #: Default capacity of the per-executor result memo.
 DEFAULT_CACHE_SIZE = 1024
+
+#: Kernel choices ``scan_query`` (and the executors above it) accept.
+SCAN_KERNELS = ("auto", "scalar", "vectorized")
 
 #: How many bucket chunks a single-query fan-out produces per worker
 #: hint when the runner does not advertise a worker count.
@@ -53,6 +62,45 @@ SCAN_HISTOGRAMS = (
     "scan.candidates_per_query",
     "scan.kernel_calls_per_query",
 )
+
+
+def _resolve_artifact(obj):
+    """Materialize a :class:`repro.speed.SegmentRef`, pass others through.
+
+    Duck-typed on ``resolve()`` so worker processes only import
+    :mod:`repro.speed` when a ref actually arrives.
+    """
+    resolve = getattr(obj, "resolve", None)
+    return resolve() if resolve is not None else obj
+
+
+def _pool_payload(artifact, runner, what: str):
+    """The value a task should carry for ``runner`` — artifact or ref.
+
+    Thread runners share memory, so they always get the artifact
+    itself. Process pools get a :class:`repro.speed.SegmentRef` when
+    the artifact is segment-backed (workers mmap the file: ~1x resident
+    memory however many workers run); otherwise the artifact is
+    pickled, which is deprecated — each worker then holds a private
+    copy.
+    """
+    if getattr(runner, "processes", None) is None:
+        return artifact
+    path = getattr(artifact, "segment_path", None)
+    if path is not None:
+        from repro.speed import SegmentRef
+
+        return SegmentRef(path)
+    warnings.warn(
+        f"pickling a {what} to process-pool workers is deprecated and "
+        f"will be removed in 2.0; save it with "
+        f"repro.speed.save_segment and search the "
+        f"repro.speed.load_segment result so workers mmap the segment "
+        f"instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return artifact
 
 
 def _flush_scan_counters(counters: dict, *, buckets: int, candidates: int,
@@ -76,7 +124,8 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
                lo: int | None = None, hi: int | None = None,
                use_frequency: bool = True,
                counters: dict | None = None,
-               deadline: Deadline | Budget | None = None) -> list[Match]:
+               deadline: Deadline | Budget | None = None,
+               kernel: str = "auto") -> list[Match]:
     """Scan one query against (a bucket slice of) a compiled corpus.
 
     The hot loop is the same inlined Myers recurrence as the
@@ -99,8 +148,26 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
     raises :class:`DeadlineExceeded` carrying the matches proven so far
     (a subset of the exact answer). ``deadline=None`` keeps the hot
     loop byte-identical in behavior to the pre-deadline code.
+
+    ``kernel`` selects the per-bucket distance engine: ``"scalar"``
+    (the inlined big-int Myers loop), ``"vectorized"`` (the ``numpy``
+    bucket kernel of :mod:`repro.distance.vectorized`), or ``"auto"``
+    (default). Auto on a packed bucket always runs the frequency
+    prefilter vectorized (a win at any size), then picks the distance
+    kernel by how many candidates *survived*: vectorized for at least
+    :data:`repro.distance.vectorized.DEFAULT_VECTOR_MIN_BUCKET`
+    survivors — where amortizing the interpreter per column pays —
+    and the scalar loop below that, where numpy dispatch overhead
+    would dominate. Match sets, distances and ``scan.*`` counters are
+    identical whichever kernel runs; with a deadline the vectorized
+    kernel polls between column blocks instead of between candidates.
     """
     check_threshold(k)
+    if kernel not in SCAN_KERNELS:
+        raise ReproError(
+            f"unknown scan kernel {kernel!r}; expected one of "
+            f"{SCAN_KERNELS}"
+        )
     window_lo, window_hi = corpus.window(len(query), k)
     if lo is not None:
         window_lo = max(window_lo, lo)
@@ -153,12 +220,125 @@ def scan_query(corpus: CompiledCorpus, query: str, k: int, *,
     check_frequency = use_frequency and tracked_width > 0
     query_vector = corpus.query_frequencies(query) if check_frequency else ()
 
+    vector_query = None  # built lazily, shared by every vectorized bucket
+
     for bucket in buckets:
         length = bucket.length
         strings = bucket.strings
         frequencies = bucket.frequencies
         candidates += len(strings)
-        for index, codes in enumerate(bucket.encoded):
+
+        if kernel == "vectorized" or (
+                kernel == "auto" and bucket.packed is not None):
+            import numpy as np
+
+            rows = bucket.packed.codes if bucket.packed is not None \
+                else np.asarray(bucket.encoded, dtype=np.uint16).reshape(
+                    len(strings), length)
+            kept = None
+            if check_frequency:
+                freq = np.asarray(frequencies, dtype=np.int64).reshape(
+                    len(strings), tracked_width)
+                diff = np.asarray(query_vector, dtype=np.int64) - freq
+                positive = diff > 0
+                surplus = np.where(positive, diff, 0).sum(axis=1)
+                deficit = np.where(positive, 0, -diff).sum(axis=1)
+                kept = np.nonzero((surplus <= k) & (deficit <= k))[0]
+                rejected = len(strings) - len(kept)
+                if rejected:
+                    freq_rejects += int(rejected)
+                    rows = rows[kept]
+                else:
+                    kept = None
+            try:
+                # Charge the freq-rejected candidates too (the scalar
+                # loop spends one unit per candidate either way); the
+                # kernel then charges its own rows between blocks.
+                if deadline is not None and len(rows) < len(strings) \
+                        and deadline.spend(len(strings) - len(rows)):
+                    raise DeadlineExceeded(
+                        f"compiled scan for {query!r} (k={k}) exceeded "
+                        f"its deadline between buckets",
+                        scope="candidates",
+                    )
+                if kernel == "auto" and \
+                        len(rows) < DEFAULT_VECTOR_MIN_BUCKET:
+                    # Too few survivors for the per-column numpy
+                    # overhead to pay off: run the scalar kernel over
+                    # just the kept rows (the prefilter above already
+                    # ran vectorized, which wins at any bucket size).
+                    if deadline is not None and len(rows) \
+                            and deadline.spend(len(rows)):
+                        raise DeadlineExceeded(
+                            f"compiled scan for {query!r} (k={k}) "
+                            f"exceeded its deadline between buckets",
+                            scope="candidates",
+                        )
+                    for position in range(len(rows)):
+                        pv = mask
+                        mv = 0
+                        score = n
+                        remaining = length
+                        for code in rows[position]:
+                            eq = peq_get(code, 0)
+                            xv = eq | mv
+                            xh = (((eq & pv) + pv) ^ pv) | eq
+                            ph = mv | (~(xh | pv) & mask)
+                            mh = pv & xh
+                            if ph & last:
+                                score += 1
+                            elif mh & last:
+                                score -= 1
+                            remaining -= 1
+                            if score - remaining > k:
+                                score = k + 1
+                                early_aborts += 1
+                                break
+                            ph = ((ph << 1) | 1) & mask
+                            mh = (mh << 1) & mask
+                            pv = mh | (~(xv | ph) & mask)
+                            mv = ph & xv
+                        if score <= k:
+                            sid = (position if kept is None
+                                   else int(kept[position]))
+                            matches.append(Match(strings[sid], score))
+                    continue
+                if vector_query is None:
+                    vector_query = prepare_query(
+                        encoded, corpus.alphabet.size)
+                scores = bucket_distances(vector_query, rows, k,
+                                          deadline=deadline)
+            except DeadlineExceeded as error:
+                matches.sort()
+                if counters is not None:
+                    _flush_scan_counters(
+                        counters, buckets=len(buckets),
+                        candidates=candidates,
+                        freq_rejects=freq_rejects,
+                        early_aborts=early_aborts,
+                        matches=len(matches))
+                raise DeadlineExceeded(
+                    f"compiled scan for {query!r} (k={k}) exceeded its "
+                    f"deadline mid-bucket (vectorized)",
+                    partial=tuple(matches), scope="candidates",
+                    completed=candidates - len(strings),
+                    total=sum(len(b.strings) for b in buckets),
+                ) from error
+            hits = np.nonzero(scores <= k)[0]
+            # Scalar-loop invariant: every non-match trips the abort
+            # check (at the last column ``remaining`` is 0), so
+            # early_aborts == kernel_calls - matches exactly.
+            early_aborts += int(len(scores) - len(hits))
+            if kept is None:
+                matches.extend(
+                    Match(strings[int(i)], int(scores[i])) for i in hits)
+            else:
+                matches.extend(
+                    Match(strings[int(kept[i])], int(scores[i]))
+                    for i in hits)
+            continue
+
+        for index, codes in enumerate(bucket.code_rows()):
             if countdown:
                 countdown -= 1
                 if not countdown:
@@ -247,16 +427,19 @@ class _QueryTask:
     k: int
     use_frequency: bool
     collect: bool = False
+    kernel: str = "auto"
 
     def __call__(self, query: str):
+        corpus = _resolve_artifact(self.corpus)
         if not self.collect:
-            return tuple(scan_query(self.corpus, query, self.k,
-                                    use_frequency=self.use_frequency))
+            return tuple(scan_query(corpus, query, self.k,
+                                    use_frequency=self.use_frequency,
+                                    kernel=self.kernel))
         counters: dict = {}
         started = perf_counter()
-        row = tuple(scan_query(self.corpus, query, self.k,
+        row = tuple(scan_query(corpus, query, self.k,
                                use_frequency=self.use_frequency,
-                               counters=counters))
+                               counters=counters, kernel=self.kernel))
         seconds = perf_counter() - started
         return row, counters, {"scan.query": (seconds, 1)}, seconds
 
@@ -273,19 +456,22 @@ class _BucketChunkTask:
     k: int
     use_frequency: bool
     collect: bool = False
+    kernel: str = "auto"
 
     def __call__(self, chunk: tuple[int, int]):
         lo, hi = chunk
+        corpus = _resolve_artifact(self.corpus)
         if not self.collect:
-            return tuple(scan_query(self.corpus, self.query, self.k,
+            return tuple(scan_query(corpus, self.query, self.k,
                                     lo=lo, hi=hi,
-                                    use_frequency=self.use_frequency))
+                                    use_frequency=self.use_frequency,
+                                    kernel=self.kernel))
         counters: dict = {}
         started = perf_counter()
-        row = tuple(scan_query(self.corpus, self.query, self.k,
+        row = tuple(scan_query(corpus, self.query, self.k,
                                lo=lo, hi=hi,
                                use_frequency=self.use_frequency,
-                               counters=counters))
+                               counters=counters, kernel=self.kernel))
         seconds = perf_counter() - started
         return row, counters, {"scan.chunk": (seconds, 1)}, seconds
 
@@ -320,6 +506,10 @@ class BatchScanExecutor:
     use_frequency:
         Apply the precomputed frequency-vector lower bound before the
         kernel (sound, so results never change).
+    kernel:
+        Distance-kernel selection forwarded to every
+        :func:`scan_query` call — ``"auto"`` (default), ``"scalar"``
+        or ``"vectorized"``; see :func:`scan_query`.
 
     Examples
     --------
@@ -336,13 +526,20 @@ class BatchScanExecutor:
     def __init__(self, corpus: CompiledCorpus, *,
                  runner: QueryRunner | None = None,
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 use_frequency: bool = True) -> None:
+                 use_frequency: bool = True,
+                 kernel: str = "auto") -> None:
         if cache_size < 0:
             raise ReproError(
                 f"cache_size must be non-negative, got {cache_size}"
             )
+        if kernel not in SCAN_KERNELS:
+            raise ReproError(
+                f"unknown scan kernel {kernel!r}; expected one of "
+                f"{SCAN_KERNELS}"
+            )
         self._corpus = corpus
         self._runner = runner
+        self._kernel = kernel
         self._cache: LRUCache[tuple[str, int], tuple[Match, ...]] | None = (
             LRUCache(cache_size) if cache_size else None
         )
@@ -457,6 +654,11 @@ class BatchScanExecutor:
         return self._corpus
 
     @property
+    def kernel(self) -> str:
+        """The configured kernel selection (``"auto"`` by default)."""
+        return self._kernel
+
+    @property
     def cache(self) -> LRUCache | None:
         """The result memo (``None`` when disabled)."""
         return self._cache
@@ -478,7 +680,8 @@ class BatchScanExecutor:
                 row = tuple(scan_query(self._corpus, query, k,
                                        use_frequency=self._use_frequency,
                                        counters=counters,
-                                       deadline=deadline))
+                                       deadline=deadline,
+                                       kernel=self._kernel))
             except DeadlineExceeded:
                 self._merge_counters(counters, perf_counter() - started,
                                      started=started)
@@ -556,7 +759,8 @@ class BatchScanExecutor:
                 row = tuple(scan_query(self._corpus, query, k,
                                        use_frequency=self._use_frequency,
                                        counters=counters,
-                                       deadline=deadline))
+                                       deadline=deadline,
+                                       kernel=self._kernel))
             except DeadlineExceeded as error:
                 self._merge_counters(counters, perf_counter() - started,
                                      started=started)
@@ -594,13 +798,16 @@ class BatchScanExecutor:
 
     def _execute(self, misses: list[str], k: int,
                  runner: QueryRunner | None) -> list[tuple[Match, ...]]:
-        task = _QueryTask(self._corpus, k, self._use_frequency,
-                          collect=True)
         if runner is None:
+            task = _QueryTask(self._corpus, k, self._use_frequency,
+                              collect=True, kernel=self._kernel)
             outcomes = [task(query) for query in misses]
         else:
             if len(misses) == 1:
                 return [self._scan_chunked(misses[0], k, runner)]
+            task = _QueryTask(
+                _pool_payload(self._corpus, runner, "compiled corpus"),
+                k, self._use_frequency, collect=True, kernel=self._kernel)
             outcomes = runner.run(task, misses)
         rows: list[tuple[Match, ...]] = []
         for query, (row, counters, timers, seconds) in zip(misses,
@@ -623,7 +830,8 @@ class BatchScanExecutor:
             started = perf_counter()
             row = tuple(scan_query(self._corpus, query, k,
                                    use_frequency=self._use_frequency,
-                                   counters=counters))
+                                   counters=counters,
+                                   kernel=self._kernel))
             seconds = perf_counter() - started
             self._merge_counters(counters, seconds, started=started)
             self._offer_exemplar(query, k, seconds, len(row), counters)
@@ -635,8 +843,10 @@ class BatchScanExecutor:
         chunks = [
             (bounds[step], bounds[step + 1]) for step in range(chunk_count)
         ]
-        task = _BucketChunkTask(self._corpus, query, k,
-                                self._use_frequency, collect=True)
+        task = _BucketChunkTask(
+            _pool_payload(self._corpus, runner, "compiled corpus"),
+            query, k, self._use_frequency, collect=True,
+            kernel=self._kernel)
         merged: list[Match] = []
         totals: dict = {}
         stages: dict[str, float] = {}

@@ -37,6 +37,14 @@ class CompiledScanSearcher(Searcher):
         Result-memo capacity (``0`` disables memoization).
     use_frequency:
         Apply the precomputed frequency-vector prefilter.
+    packed:
+        Compile the corpus in packed (``numpy``) storage mode — see
+        :class:`CompiledCorpus`. Ignored when ``dataset`` is already a
+        compiled corpus.
+    kernel:
+        Distance-kernel selection (``"auto"``, ``"scalar"`` or
+        ``"vectorized"``), forwarded to the executor — see
+        :func:`repro.scan.executor.scan_query`.
 
     Examples
     --------
@@ -49,14 +57,17 @@ class CompiledScanSearcher(Searcher):
                  alphabet: Alphabet | None = None,
                  runner: QueryRunner | None = None,
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 use_frequency: bool = True) -> None:
+                 use_frequency: bool = True,
+                 packed: bool = False,
+                 kernel: str = "auto") -> None:
         if isinstance(dataset, CompiledCorpus):
             self._corpus = dataset
         else:
-            self._corpus = CompiledCorpus(dataset, alphabet=alphabet)
+            self._corpus = CompiledCorpus(dataset, alphabet=alphabet,
+                                          packed=packed)
         self._executor = BatchScanExecutor(
             self._corpus, runner=runner, cache_size=cache_size,
-            use_frequency=use_frequency,
+            use_frequency=use_frequency, kernel=kernel,
         )
         self.name = "compiled-scan"
 

@@ -47,6 +47,13 @@ class ShardedCorpus:
     scheme:
         ``"round_robin"`` (default; shards sample the corpus evenly)
         or ``"balanced"`` (contiguous runs, better prefix locality).
+    segment_dir:
+        Optional directory of per-shard segment files (see
+        :mod:`repro.speed`). With it set, the ``"compiled"`` plan
+        mmap-loads ``shard-NNNN.seg`` when present and compiles + saves
+        it when not — so every cold start after the first is
+        near-instant and shards share page-cache memory across
+        processes.
 
     Shard searchers are built lazily, per ``(plan, shard)`` pair, and
     cached — a service that only ever runs the flat plan never pays for
@@ -62,7 +69,8 @@ class ShardedCorpus:
     """
 
     def __init__(self, dataset: Iterable[str], shards: int = 4, *,
-                 scheme: str = "round_robin") -> None:
+                 scheme: str = "round_robin",
+                 segment_dir: str | None = None) -> None:
         strings = tuple(dataset)
         if shards < 1:
             raise ReproError(
@@ -72,6 +80,7 @@ class ShardedCorpus:
         self._parts = [tuple(part) for part in
                        partition_dataset(strings, shards, scheme=scheme)]
         self._scheme = scheme
+        self._segment_dir = segment_dir
         self._searchers: dict[tuple[str, int], Searcher | None] = {}
 
     @property
@@ -116,7 +125,17 @@ class ShardedCorpus:
         elif plan == "compiled":
             from repro.scan.searcher import CompiledScanSearcher
 
-            searcher = CompiledScanSearcher(part)
+            if self._segment_dir is not None:
+                import os
+
+                from repro.speed import load_or_build_corpus_segment
+
+                corpus = load_or_build_corpus_segment(
+                    part, os.path.join(self._segment_dir,
+                                       f"shard-{index:04d}.seg"))
+                searcher = CompiledScanSearcher(corpus)
+            else:
+                searcher = CompiledScanSearcher(part)
         else:
             searcher = SequentialScanSearcher(
                 part, kernel="bitparallel", order="length"

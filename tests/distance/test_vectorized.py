@@ -1,0 +1,182 @@
+"""Property-based tests for the vectorized Myers bucket kernel.
+
+The vectorized kernel must agree *exactly* with the scalar bit-parallel
+kernel — identical distances for every candidate of every bucket, at
+every threshold — because the scan executor switches between them
+silently. Hypothesis drives the adversarial search; the scalar kernel
+(itself pinned to the full-matrix reference elsewhere) is the oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline import Budget
+from repro.distance.bitparallel import myers_distance
+from repro.distance.vectorized import (
+    DEFAULT_VECTOR_MIN_BUCKET,
+    bucket_distances,
+    prepare_query,
+)
+from repro.exceptions import DeadlineExceeded
+
+#: Codes are ord(symbol) - ord('a'); 'z' encodes to -1, the stranger
+#: marker the corpus uses for query symbols outside its alphabet.
+_ALPHABET = "acgt"
+
+
+def _encode(text: str) -> tuple[int, ...]:
+    return tuple(
+        _ALPHABET.index(ch) if ch in _ALPHABET else -1 for ch in text
+    )
+
+
+def _codes_matrix(rows: list[str], length: int) -> np.ndarray:
+    data = [[_ALPHABET.index(ch) for ch in row] for row in rows]
+    return np.array(data, dtype=np.uint16).reshape(len(rows), length)
+
+
+def _reference(query: str, rows: list[str], k: int) -> list[int]:
+    return [min(myers_distance(query, row), k + 1) for row in rows]
+
+
+@st.composite
+def bucket_cases(draw):
+    query = draw(st.text(alphabet=_ALPHABET + "z", min_size=1,
+                         max_size=75))
+    length = draw(st.integers(min_value=0, max_value=70))
+    count = draw(st.integers(min_value=0, max_value=12))
+    rows = [
+        draw(st.text(alphabet=_ALPHABET, min_size=length,
+                     max_size=length))
+        for _ in range(count)
+    ]
+    k = draw(st.integers(min_value=0, max_value=8))
+    return query, rows, length, k
+
+
+class TestScalarParity:
+    @settings(max_examples=150, deadline=None)
+    @given(bucket_cases())
+    def test_matches_scalar_kernel(self, case):
+        query, rows, length, k = case
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        got = bucket_distances(vq, _codes_matrix(rows, length), k)
+        assert got.tolist() == _reference(query, rows, k)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.text(alphabet=_ALPHABET, min_size=65, max_size=150),
+        st.lists(st.text(alphabet=_ALPHABET, min_size=100,
+                         max_size=100), max_size=6),
+        st.integers(min_value=0, max_value=12),
+    )
+    def test_multi_word_queries(self, query, rows, k):
+        # Queries past 64 symbols exercise the carry propagation and
+        # cross-word shifts; DNA reads live exactly in this regime.
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        assert vq.words >= 2
+        got = bucket_distances(vq, _codes_matrix(rows, 100), k)
+        assert got.tolist() == _reference(query, rows, k)
+
+    def test_empty_bucket(self):
+        vq = prepare_query(_encode("acgt"), len(_ALPHABET))
+        got = bucket_distances(vq, np.zeros((0, 7), dtype=np.uint16), 2)
+        assert got.shape == (0,)
+
+    def test_singleton_bucket(self):
+        vq = prepare_query(_encode("acgt"), len(_ALPHABET))
+        got = bucket_distances(vq, _codes_matrix(["acgt"], 4), 2)
+        assert got.tolist() == [0]
+
+    def test_zero_length_candidates(self):
+        vq = prepare_query(_encode("acg"), len(_ALPHABET))
+        within = bucket_distances(vq, np.zeros((3, 0), dtype=np.uint16),
+                                  3)
+        assert within.tolist() == [3, 3, 3]
+        beyond = bucket_distances(vq, np.zeros((3, 0), dtype=np.uint16),
+                                  2)
+        assert beyond.tolist() == [3, 3, 3]  # k + 1: excluded
+
+    def test_stranger_query_symbols_never_match(self):
+        # 'z' encodes to -1: no peq bit, so it costs one edit against
+        # every candidate symbol — the raw-string semantics.
+        vq = prepare_query(_encode("zzzz"), len(_ALPHABET))
+        got = bucket_distances(vq, _codes_matrix(["acgt"], 4), 4)
+        assert got.tolist() == [4]
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_query((), len(_ALPHABET))
+
+
+class TestEarlyAbort:
+    def test_all_candidates_die_early(self):
+        # k=0 against uniformly wrong rows kills the whole active set
+        # long before the last column; result must still be k + 1.
+        query = "a" * 40
+        rows = ["c" * 40] * 5
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        got = bucket_distances(vq, _codes_matrix(rows, 40), 0)
+        assert got.tolist() == [1] * 5
+
+    def test_survivors_keep_exact_distances_after_compaction(self):
+        # Mixed bucket: some rows die early, some match — compaction
+        # must not scramble who is who.
+        query = "acgtacgtacgtacgtacgtacgtacgtacgt"  # 32 symbols
+        rows = ["c" * 32, query, "t" * 32,
+                query[:-1] + "a", "g" * 32]
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        got = bucket_distances(vq, _codes_matrix(rows, 32), 2)
+        assert got.tolist() == _reference(query, rows, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bucket_cases())
+    def test_abort_paths_agree_at_tight_thresholds(self, case):
+        # k=0 and k=1 maximize early aborts; parity must survive them.
+        query, rows, length, _ = case
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        codes = _codes_matrix(rows, length)
+        for k in (0, 1):
+            got = bucket_distances(vq, codes, k)
+            assert got.tolist() == _reference(query, rows, k)
+
+
+class TestDeadlines:
+    def test_whole_bucket_charges_one_unit_per_candidate(self):
+        query = "acgt" * 10
+        rows = ["acgt" * 10, "aggt" * 10, "tttt" * 10]
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        budget = Budget(len(rows) + 1, check_interval=1)
+        bucket_distances(vq, _codes_matrix(rows, 40), 3,
+                         deadline=budget)
+        assert budget.spent == len(rows)
+
+    def test_early_return_still_charges_full_bucket(self):
+        # The scalar kernel charges every candidate it touches; the
+        # vectorized early return must not under-report work.
+        query = "a" * 40
+        rows = ["c" * 40] * 4
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        budget = Budget(len(rows) + 1, check_interval=1)
+        bucket_distances(vq, _codes_matrix(rows, 40), 0,
+                         deadline=budget)
+        assert budget.spent == len(rows)
+
+    def test_mid_bucket_expiry_raises_without_partial(self):
+        query = "acgt" * 20
+        rows = ["acgt" * 20] * 50
+        vq = prepare_query(_encode(query), len(_ALPHABET))
+        budget = Budget(5, check_interval=1)
+        with pytest.raises(DeadlineExceeded) as caught:
+            bucket_distances(vq, _codes_matrix(rows, 80), 2,
+                             deadline=budget, block=8)
+        assert caught.value.scope == "candidates"
+        assert caught.value.partial == ()
+
+
+def test_auto_threshold_is_sane():
+    # The executor's auto heuristic keys off this constant; pin it so
+    # a change is a conscious decision, not a drive-by.
+    assert DEFAULT_VECTOR_MIN_BUCKET >= 2

@@ -88,6 +88,44 @@ class TestSearchCommand:
         with pytest.raises(FileNotFoundError):
             main(["search", str(missing), str(missing), "-k", "1"])
 
+    def test_save_segment_then_segment_round_trip(self, city_files,
+                                                  tmp_path, capsys):
+        data, queries = city_files
+        segment = tmp_path / "corpus.seg"
+        first = tmp_path / "first.txt"
+        second = tmp_path / "second.txt"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "-o", str(first),
+                     "--save-segment", str(segment)]) == 0
+        assert segment.exists()
+        assert "segment: compiled corpus saved" in \
+            capsys.readouterr().err
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "-o", str(second), "--segment", str(segment)]) == 0
+        assert "segment-backed corpus" in capsys.readouterr().err
+        assert first.read_text() == second.read_text()
+
+    def test_segment_builds_the_file_when_missing(self, city_files,
+                                                  tmp_path):
+        data, queries = city_files
+        segment = tmp_path / "fresh.seg"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--segment", str(segment),
+                     "-o", str(tmp_path / "out.txt")]) == 0
+        assert segment.exists()
+
+    def test_segment_conflicts_are_errors(self, city_files, tmp_path,
+                                          capsys):
+        data, queries = city_files
+        segment = tmp_path / "corpus.seg"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--segment", str(segment),
+                     "--backend", "indexed"]) == 2
+        assert "--segment" in capsys.readouterr().err
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--segment", str(segment), "--service"]) == 2
+        assert "engine path" in capsys.readouterr().err
+
 
 class TestObservabilityFlags:
     def test_slowlog_prints_slowest_queries_with_stages(
