@@ -30,7 +30,11 @@ from repro.data.stats import describe
 from repro.data.workload import Workload
 from repro.distance.levenshtein import edit_distance
 from repro.distance.matrix import DistanceMatrix
-from repro.exceptions import DeadlineExceeded, ReproError
+from repro.exceptions import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloaded,
+)
 from repro.parallel.executor import (
     ProcessPoolRunner,
     SerialRunner,
@@ -289,7 +293,19 @@ def _command_search_service(args: argparse.Namespace, dataset,
     total_matches = 0
     for query in queries:
         deadline = Deadline(seconds) if seconds is not None else None
-        result = service.submit(query, args.k, deadline=deadline)
+        try:
+            result = service.submit(query, args.k, deadline=deadline)
+        except ServiceOverloaded as error:
+            hint = (f"; retry in ~{error.retry_after_ms:.0f}ms"
+                    if error.retry_after_ms is not None
+                    else "; back off and retry")
+            print(
+                f"{query}: rejected — service overloaded "
+                f"({error.in_flight} of {error.capacity} slots in "
+                f"flight){hint}",
+                file=sys.stderr,
+            )
+            raise
         status_counts[result.status] = \
             status_counts.get(result.status, 0) + 1
         total_matches += len(result.matches)

@@ -67,7 +67,7 @@ class SearchOptions:
 DEFAULT_OPTIONS = SearchOptions()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SearchRequest:
     """One similarity query (or batch of queries), fully described.
 
@@ -90,6 +90,17 @@ class SearchRequest:
     options:
         A :class:`SearchOptions` value.
 
+    Equality and hashing are **canonical**: two requests are equal when
+    they describe the same question, regardless of how they were
+    spelled. Concretely, :meth:`canonical_key` normalizes the backend
+    hint (``None`` and ``"auto"`` both mean "you pick") and compares
+    options by value (an explicitly passed all-default
+    :class:`SearchOptions` equals an omitted one), and the ``deadline``
+    is **excluded** — it is execution context (how long *this* attempt
+    may run), not part of the question's identity. That is what lets
+    result-cache keys (:mod:`repro.traffic.cache`) and batch-dedup
+    agree on which requests are "the same query".
+
     Examples
     --------
     >>> request = SearchRequest("Berlino", 2)
@@ -99,6 +110,9 @@ class SearchRequest:
     >>> batch.queries
     ('Bern', 'Ulm')
     >>> batch.is_batch
+    True
+    >>> SearchRequest("Bern", 1) == SearchRequest(
+    ...     "Bern", 1, backend="auto", options=SearchOptions())
     True
     """
 
@@ -124,6 +138,24 @@ class SearchRequest:
                 f"unknown backend {self.backend!r}; expected 'auto', "
                 "'sequential', 'indexed' or 'compiled'"
             )
+
+    def canonical_key(self) -> tuple:
+        """The request's identity, normalized (see the class docstring).
+
+        ``(query, k, backend, options)`` with ``backend="auto"``
+        folded to ``None`` and the deadline left out. Stable across
+        spelling variants, so it is safe as a cache or dedup key.
+        """
+        backend = self.backend if self.backend != "auto" else None
+        return (self.query, self.k, backend, self.options)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SearchRequest):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
 
     @property
     def is_batch(self) -> bool:

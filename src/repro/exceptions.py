@@ -106,14 +106,20 @@ class ServiceOverloaded(ReproError):
 
     Explicit load shedding: callers should back off and retry rather
     than pile onto a saturated service. ``capacity`` and ``in_flight``
-    describe the admission state at rejection time.
+    describe the admission state at rejection time, and
+    ``retry_after_ms`` — when the rejecting layer can estimate it from
+    its recent drain rate — suggests how long to wait before the next
+    attempt (``None`` when no estimate is available; a well-behaved
+    client treats it like an HTTP ``Retry-After`` header).
     """
 
     def __init__(self, message: str, *, capacity: int = 0,
-                 in_flight: int = 0) -> None:
+                 in_flight: int = 0,
+                 retry_after_ms: float | None = None) -> None:
         super().__init__(message)
         self.capacity = capacity
         self.in_flight = in_flight
+        self.retry_after_ms = retry_after_ms
 
 
 class PartialResultError(ReproError):

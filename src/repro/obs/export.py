@@ -94,8 +94,11 @@ def report_to_prometheus(report: "SearchReport", *,
     """Prometheus text exposition of one :class:`SearchReport`.
 
     Scalar facts (queries, matches, seconds) export as gauges labelled
-    with the serving backend; counters, timers and the batch section
-    export as counters under the same label.
+    with the serving backend, as does the report's own ``gauges``
+    section (last-write-wins observations such as
+    ``service.queue_depth`` or ``service.cache.size``); counters,
+    timers and the batch section export as counters under the same
+    label.
     """
     labels = f'{{backend="{report.backend}",mode="{report.mode}"}}'
     lines: list[str] = []
@@ -107,6 +110,9 @@ def report_to_prometheus(report: "SearchReport", *,
     ):
         lines += _prom_lines("gauge",
                              metric_name(f"report.{name}", prefix=prefix),
+                             value, labels)
+    for name, value in sorted(report.gauges.items()):
+        lines += _prom_lines("gauge", metric_name(name, prefix=prefix),
                              value, labels)
     for name, value in sorted(report.counters.items()):
         lines += _prom_lines("counter",

@@ -40,7 +40,11 @@ HISTOGRAM_SUMMARY_KEYS = ("count", "mean", "p50", "p90", "p99",
 #: The documented shape of ``SearchReport.to_dict()``. ``counters`` is
 #: an open namespace (``scan.*``, ``trie.*``, ``obs.*``) because each
 #: backend reports the work profile it actually has; everything else is
-#: closed and type-checked by :func:`validate_report`.
+#: closed and type-checked by :func:`validate_report`. ``gauges`` is an
+#: *optional additive* section (same schema version): last-write-wins
+#: observations such as ``service.queue_depth`` or
+#: ``service.cache.size``, exported as Prometheus gauges. Reports
+#: written before the section existed validate unchanged.
 REPORT_SCHEMA: dict[str, Any] = {
     "schema_version": int,
     "backend": str,        # side that actually served the call
@@ -55,6 +59,12 @@ REPORT_SCHEMA: dict[str, Any] = {
     "histograms": dict,    # name -> quantile summary (p50/p90/p99/...)
     "batch": (dict, type(None)),  # dedup/memo counters, None off-batch
     "choice": dict,        # {"backend": str, "reason": str}
+}
+
+#: Optional top-level sections :func:`validate_report` type-checks only
+#: when present (additive evolution without a schema-version bump).
+OPTIONAL_REPORT_SCHEMA: dict[str, Any] = {
+    "gauges": dict,        # dotted-name -> number, last-write-wins
 }
 
 #: Required keys of a non-``None`` ``batch`` section.
@@ -141,14 +151,20 @@ class SearchReport:
     timers: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
     histograms: Mapping[str, Mapping[str, float]] = field(
         default_factory=dict)
+    gauges: Mapping[str, float] = field(default_factory=dict)
     batch: BatchCounters | None = None
     choice_backend: str = ""
     choice_reason: str = ""
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
-        """The documented structured form (see :data:`REPORT_SCHEMA`)."""
-        return {
+        """The documented structured form (see :data:`REPORT_SCHEMA`).
+
+        The ``gauges`` key is emitted only when the report carries any
+        — reports from paths without gauges keep their historical shape
+        byte-for-byte.
+        """
+        mapping = {
             "schema_version": self.schema_version,
             "backend": self.backend,
             "engine": self.engine,
@@ -168,6 +184,9 @@ class SearchReport:
                 "reason": self.choice_reason,
             },
         }
+        if self.gauges:
+            mapping["gauges"] = dict(self.gauges)
+        return mapping
 
     def to_json(self, *, indent: int | None = None) -> str:
         """The report as JSON (one line when ``indent`` is ``None``)."""
@@ -197,6 +216,8 @@ class SearchReport:
             )
         for name in sorted(self.counters):
             lines.append(f"  {name} = {self.counters[name]:g}")
+        for name in sorted(self.gauges):
+            lines.append(f"  {name} = {self.gauges[name]:g} (gauge)")
         for name in sorted(self.timers):
             cell = self.timers[name]
             lines.append(
@@ -218,6 +239,7 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
                  counters: Mapping[str, float] | None = None,
                  timers: Mapping[str, Mapping[str, float]] | None = None,
                  histograms: Mapping | None = None,
+                 gauges: Mapping[str, float] | None = None,
                  batch: Any = None,
                  choice_backend: str = "",
                  choice_reason: str = "") -> SearchReport:
@@ -256,6 +278,7 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
             name: _frozen_mapping(cell)
             for name, cell in (histograms or {}).items()
         }),
+        gauges=_frozen_mapping(gauges),
         batch=batch,
         choice_backend=choice_backend,
         choice_reason=choice_reason,
@@ -282,6 +305,7 @@ def report_from_dict(mapping: Mapping[str, Any]) -> SearchReport:
         counters=mapping.get("counters"),
         timers=mapping.get("timers"),
         histograms=mapping.get("histograms"),
+        gauges=mapping.get("gauges"),
         batch=BatchCounters(
             queries_seen=batch["queries_seen"],
             unique_queries=batch["unique_queries"],
@@ -331,6 +355,17 @@ def validate_report(mapping: Mapping[str, Any]) -> list[str]:
         )
     if mapping["mode"] not in REPORT_MODES:
         problems.append(f"mode {mapping['mode']!r} not in {REPORT_MODES}")
+    for key, expected in OPTIONAL_REPORT_SCHEMA.items():
+        if key in mapping and not isinstance(mapping[key], expected):
+            problems.append(
+                f"optional key {key!r} has type "
+                f"{type(mapping[key]).__name__}"
+            )
+    if isinstance(mapping.get("gauges"), Mapping):
+        for name, value in mapping["gauges"].items():
+            if not isinstance(name, str) or isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                problems.append(f"gauge {name!r} is not numeric")
     for name, value in mapping["counters"].items():
         if not isinstance(name, str) or isinstance(value, bool) \
                 or not isinstance(value, (int, float)):

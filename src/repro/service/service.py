@@ -254,6 +254,21 @@ class Service:
             return {name: hist.copy()
                     for name, hist in self._hists.items()}
 
+    def estimate_retry_after_ms(self) -> float | None:
+        """How long a rejected caller should wait before retrying.
+
+        Estimated from the queue drain rate: with every slot taken, one
+        frees after roughly a mean submit's worth of work, so the mean
+        of the cumulative ``service.submit_seconds`` histogram is the
+        expected wait for the next free slot. ``None`` until at least
+        one submit has completed (no drain rate to extrapolate from).
+        """
+        with self._counters_lock:
+            hist = self._hists["service.submit_seconds"]
+            if not hist.count:
+                return None
+            return hist.mean() * 1000.0
+
     def _count(self, name: str, value: int = 1) -> None:
         with self._counters_lock:
             self._counters[name] += value
@@ -304,10 +319,14 @@ class Service:
                 request.query, request.k, 0.0, "overload",
                 note=f"rejected at capacity {self._capacity}",
             )
+            retry_after = self.estimate_retry_after_ms()
+            hint = (f"; retry in ~{retry_after:.0f}ms"
+                    if retry_after is not None else "")
             raise ServiceOverloaded(
                 f"service at capacity ({self._capacity} in flight); "
-                "submit rejected",
+                f"submit rejected{hint}",
                 capacity=self._capacity, in_flight=self._capacity,
+                retry_after_ms=retry_after,
             )
         self._in_flight += 1
         started = time.perf_counter()

@@ -1,0 +1,342 @@
+"""The asyncio gateway: open-loop arrivals over the blocking service.
+
+:class:`repro.service.Service` answers on the caller's thread — a
+closed loop, where a slow answer *slows the arrival of the next
+question* and the measured latency flatters the system (coordinated
+omission). Real traffic is open-loop: requests arrive on their own
+schedule whether or not the last one finished. :class:`AsyncService`
+is the adapter between the two worlds, and the place the whole
+traffic stack composes:
+
+1. **cache** — a hit answers from memory before anything else runs
+   (:class:`repro.traffic.cache.ResultCache`; only complete results
+   live there, so a hit is always a full exact answer);
+2. **shedding** — the queue-depth watermark policy
+   (:class:`repro.traffic.shedding.LoadShedder`) decides admit /
+   degrade-to-floor / fast-reject *before* any deadline is burned;
+3. **execution** — admitted requests run on the per-shard worker
+   pools (:class:`repro.traffic.pools.ShardPools`) when attached, or
+   through the service's degradation ladder otherwise, off the event
+   loop either way;
+4. **observability** — ``service.queue_depth`` and
+   ``service.cache.size`` gauges, ``service.gateway.*`` counters, a
+   gateway-latency histogram, and a :meth:`AsyncService.report` that
+   folds in the cache, shedder, pool and underlying-service series.
+
+The gateway also drives the pools' §3.6 adaptive re-fit: every
+``refit_interval`` completions it calls :meth:`ShardPools.refit`, so
+crew sizes track the workload with a single decision maker and no
+timer thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from functools import partial
+from typing import Sequence
+
+from repro.core.deadline import Budget, Deadline
+from repro.core.request import SearchOptions, SearchRequest, as_request
+from repro.exceptions import ReproError, ServiceOverloaded
+from repro.obs.hist import Histogram
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import SearchReport, build_report
+from repro.service.plans import FilterOnlyPlan
+from repro.service.service import Service, ServiceResult
+from repro.traffic.cache import ResultCache
+from repro.traffic.pools import ShardPools
+from repro.traffic.shedding import LoadShedder, ShedDecision
+
+#: Counters the gateway maintains (``service.gateway.*`` namespace).
+GATEWAY_COUNTERS = (
+    "service.gateway.submitted",
+    "service.gateway.cache_answers",
+    "service.gateway.pool_answers",
+    "service.gateway.ladder_answers",
+    "service.gateway.floor_answers",
+    "service.gateway.rejections",
+)
+
+#: Completions between two adaptive pool re-fits.
+DEFAULT_REFIT_INTERVAL = 64
+
+
+class AsyncService:
+    """Async facade over a :class:`repro.service.Service`.
+
+    Parameters
+    ----------
+    service:
+        The blocking service underneath (its corpus, ladder and
+        admission stay authoritative for ladder execution).
+    cache:
+        Optional hot-query :class:`ResultCache`; consulted first.
+    shedder:
+        Optional :class:`LoadShedder`; without one every request is
+        admitted (the service's own slot pool still applies).
+    pools:
+        Optional :class:`ShardPools`; admitted requests then execute
+        on the shard crews instead of the caller-side ladder.
+    metrics:
+        Optional registry mirroring gateway gauges and counters.
+    refit_interval:
+        Completions between adaptive :meth:`ShardPools.refit` calls.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> service = Service(["Berlin", "Bern", "Ulm"], shards=2)
+    >>> gateway = AsyncService(service, cache=ResultCache())
+    >>> result = asyncio.run(gateway.submit("Berlino", 2))
+    >>> result.status
+    'complete'
+    """
+
+    def __init__(self, service: Service, *,
+                 cache: ResultCache | None = None,
+                 shedder: LoadShedder | None = None,
+                 pools: ShardPools | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 refit_interval: int = DEFAULT_REFIT_INTERVAL) -> None:
+        if refit_interval < 1:
+            raise ReproError(
+                f"refit_interval must be positive, got {refit_interval}"
+            )
+        self._service = service
+        self._cache = cache
+        self._shedder = shedder
+        self._pools = pools
+        self._metrics = metrics
+        self._refit_interval = refit_interval
+        self._floor = FilterOnlyPlan()
+        self._counters = dict.fromkeys(GATEWAY_COUNTERS, 0)
+        self._hists = {"gateway.submit_seconds": Histogram()}
+        self._pending = 0
+        self._completions = 0
+        self._last_seconds = 0.0
+
+    @property
+    def service(self) -> Service:
+        """The blocking service underneath."""
+        return self._service
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The attached result cache, if any."""
+        return self._cache
+
+    @property
+    def shedder(self) -> LoadShedder | None:
+        """The attached load shedder, if any."""
+        return self._shedder
+
+    @property
+    def pools(self) -> ShardPools | None:
+        """The attached shard pools, if any."""
+        return self._pools
+
+    def queue_depth(self) -> int:
+        """Requests admitted by the gateway but not yet answered."""
+        return self._pending
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``service.gateway.*`` counters."""
+        return dict(self._counters)
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self._counters[name] += value
+        if self._metrics is not None:
+            self._metrics.inc(name, value)
+
+    def _set_gauges(self) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.gauge("service.queue_depth", self._pending)
+        if self._cache is not None:
+            self._metrics.gauge("service.cache.size", len(self._cache))
+        if self._pools is not None:
+            self._metrics.gauge(
+                "pool.workers", sum(self._pools.workers().values()))
+
+    # ----------------------------------------------------------------
+
+    async def submit(self, query: str | SearchRequest,
+                     k: int | None = None, *,
+                     deadline: Deadline | Budget | None = None,
+                     backend: str | None = None,
+                     options: SearchOptions | None = None
+                     ) -> ServiceResult:
+        """Answer one request through cache, shedding and execution.
+
+        Raises :class:`repro.exceptions.ServiceOverloaded` (with a
+        ``retry_after_ms`` hint) when the shedder's reject watermark is
+        breached. A shed-to-floor answer comes back as an honest
+        ``candidates`` result, exactly like a ladder bottom-out.
+        """
+        request = as_request(query, k, deadline=deadline,
+                             backend=backend, options=options)
+        if request.is_batch:
+            raise ReproError(
+                "AsyncService.submit answers one query per call; use "
+                "submit_many for workloads"
+            )
+        self._count("service.gateway.submitted")
+        if self._cache is not None:
+            hit = self._cache.get(request)
+            if hit is not None:
+                self._count("service.gateway.cache_answers")
+                self._set_gauges()
+                return hit
+        decision = self._decide()
+        if decision.action == "reject":
+            self._count("service.gateway.rejections")
+            self._set_gauges()
+            hint = (f"; retry in ~{decision.retry_after_ms:.0f}ms"
+                    if decision.retry_after_ms is not None else "")
+            raise ServiceOverloaded(
+                f"gateway shedding at queue depth "
+                f"{decision.queue_depth}; submit rejected{hint}",
+                capacity=decision.queue_depth,
+                in_flight=decision.queue_depth,
+                retry_after_ms=decision.retry_after_ms,
+            )
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        self._pending += 1
+        self._set_gauges()
+        try:
+            if decision.action == "degrade":
+                self._count("service.gateway.floor_answers")
+                result = await loop.run_in_executor(
+                    None, self._run_floor, request)
+            elif self._pools is not None:
+                self._count("service.gateway.pool_answers")
+                ticket = self._pools.submit(request)
+                result = await loop.run_in_executor(None, ticket.result)
+            else:
+                self._count("service.gateway.ladder_answers")
+                result = await loop.run_in_executor(
+                    None, partial(self._service.submit, request))
+        finally:
+            self._pending -= 1
+            seconds = time.perf_counter() - started
+            self._last_seconds = seconds
+            self._hists["gateway.submit_seconds"].record(seconds)
+            if self._shedder is not None:
+                self._shedder.observe_completion(seconds)
+            self._completions += 1
+            if self._pools is not None \
+                    and self._completions % self._refit_interval == 0:
+                self._pools.refit()
+            self._set_gauges()
+        if self._cache is not None:
+            self._cache.put(request, result)
+            self._set_gauges()
+        return result
+
+    async def submit_many(self, requests: Sequence[SearchRequest], *,
+                          arrivals: Sequence[float] | None = None
+                          ) -> list:
+        """Run a workload of requests, optionally on an arrival schedule.
+
+        ``arrivals`` gives each request's offset in seconds from the
+        call (an **open-loop** schedule: request *i* launches at
+        ``arrivals[i]`` whether or not earlier ones finished — the
+        load-generation discipline that keeps latency honest under
+        saturation). Without it every request launches immediately.
+
+        Returns one entry per request, in request order; a rejected
+        submit's entry is its :class:`ServiceOverloaded` (or other
+        exception) instance rather than a raise, so a replay records
+        rejections alongside answers.
+        """
+        if arrivals is not None and len(arrivals) != len(requests):
+            raise ReproError(
+                f"arrivals ({len(arrivals)}) and requests "
+                f"({len(requests)}) must align"
+            )
+
+        async def timed(request: SearchRequest, offset: float):
+            if offset > 0:
+                await asyncio.sleep(offset)
+            return await self.submit(request)
+
+        tasks = [
+            timed(request,
+                  arrivals[index] if arrivals is not None else 0.0)
+            for index, request in enumerate(requests)
+        ]
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ----------------------------------------------------------------
+
+    def _decide(self) -> ShedDecision:
+        depth = self._pending
+        if self._shedder is None:
+            return ShedDecision(action="admit", queue_depth=depth)
+        return self._shedder.decide(depth)
+
+    def _run_floor(self, request: SearchRequest) -> ServiceResult:
+        """The shed path: straight to the filter-only floor, no queue."""
+        outcome = self._floor.run(self._service.corpus, request.query,
+                                  request.k, request.deadline)
+        return ServiceResult(
+            query=request.query, k=request.k, status="candidates",
+            matches=tuple(outcome.matches), verified=False,
+            plan=f"{outcome.plan}[shed]", attempts=1,
+        )
+
+    # ----------------------------------------------------------------
+
+    def report(self, *, queries: int = 1, k: int = 0,
+               matches: int = 0) -> SearchReport:
+        """One validated report over the whole traffic stack.
+
+        Counters fold together the gateway's own series, the cache's
+        ``service.cache.*``, the shedder's ``service.shed.*``, the
+        pools' ``pool.*`` and the underlying service's ``service.*``;
+        histograms carry gateway latency next to the service and pool
+        distributions; the ``gauges`` section snapshots
+        ``service.queue_depth``, ``service.cache.size`` and live
+        worker counts.
+        """
+        counters: dict[str, float] = dict(self._counters)
+        counters.update(self._service.counters_snapshot())
+        hists: dict[str, Histogram] = {
+            name: hist.copy() for name, hist in self._hists.items()
+        }
+        hists.update(self._service.hists_snapshot())
+        gauges: dict[str, float] = {
+            "service.queue_depth": float(self._pending),
+        }
+        if self._cache is not None:
+            counters.update(self._cache.counters_snapshot())
+            gauges["service.cache.size"] = float(len(self._cache))
+        if self._shedder is not None:
+            counters.update(self._shedder.counters_snapshot())
+        if self._pools is not None:
+            counters.update(self._pools.counters_snapshot())
+            hists.update(self._pools.hists_snapshot())
+            gauges["pool.workers"] = float(
+                sum(self._pools.workers().values()))
+        parts = ["gateway"]
+        if self._cache is not None:
+            parts.append("cache")
+        if self._shedder is not None:
+            parts.append("shedding")
+        parts.append("pools" if self._pools is not None else "ladder")
+        return build_report(
+            backend="traffic",
+            engine="traffic[gateway]",
+            mode="service",
+            queries=queries,
+            k=k,
+            matches=matches,
+            seconds=self._last_seconds,
+            counters=counters,
+            histograms=hists,
+            gauges=gauges,
+            choice_backend="traffic",
+            choice_reason=" + ".join(parts),
+        )

@@ -1,0 +1,199 @@
+"""Load shedding: act on queue depth *before* the deadline ladder does.
+
+The service's degradation ladder reacts per query — a deadline expires,
+a rung fails, the submit degrades. Under sustained overload that is too
+late: every queued query will expire, and the ladder burns its deadline
+discovering that one submit at a time. The shedder consults **queue
+depth** (the leading indicator — depth rises before latency does) at
+admission and decides per request:
+
+* **admit** — depth below the shed watermark: run the full ladder;
+* **degrade** — depth between the watermarks: skip straight to the
+  filter-only floor. The caller gets an *unverified candidate* answer
+  in O(corpus) integer comparisons instead of joining a queue it would
+  time out in; the labeling contract (``status="candidates"``,
+  ``verified=False``) keeps the downgrade honest.
+* **reject** — depth at or above the reject watermark: fail fast with
+  :class:`repro.exceptions.ServiceOverloaded` carrying a
+  ``retry_after_ms`` hint estimated from the measured queue drain rate
+  (depth ahead of the caller x seconds per drained request).
+
+Decisions are pure (:meth:`LoadShedder.decide` reads a depth, returns a
+:class:`ShedDecision`) so tests drive them without a live queue, and
+the drain-rate estimator takes an injectable clock for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+#: Counters the shedder maintains (``service.shed.*`` namespace).
+SHED_COUNTERS = (
+    "service.shed.admitted",
+    "service.shed.degraded",
+    "service.shed.rejected",
+)
+
+#: Decision kinds, best to worst.
+SHED_ACTIONS = ("admit", "degrade", "reject")
+
+#: Exponential smoothing weight of the newest drain observation.
+DEFAULT_DRAIN_ALPHA = 0.2
+
+#: Fallback per-request drain estimate before any completion has been
+#: observed (a conservative guess beats no hint at all).
+DEFAULT_DRAIN_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """The two queue-depth thresholds of the shedding policy.
+
+    ``shed_depth`` is where degradation to the filter-only floor
+    starts; ``reject_depth`` is where fast rejection starts. Below
+    ``shed_depth`` every request is admitted in full.
+    """
+
+    shed_depth: int = 32
+    reject_depth: int = 128
+
+    def __post_init__(self) -> None:
+        if self.shed_depth < 1:
+            raise ReproError(
+                f"shed_depth must be positive, got {self.shed_depth}"
+            )
+        if self.reject_depth < self.shed_depth:
+            raise ReproError(
+                f"reject_depth ({self.reject_depth}) must be >= "
+                f"shed_depth ({self.shed_depth})"
+            )
+
+
+class DrainRateEstimator:
+    """An EWMA of seconds-per-drained-request, for retry hints.
+
+    Every completed request reports its service seconds through
+    :meth:`observe`; :meth:`seconds_per_request` is the smoothed
+    estimate and :meth:`retry_after_ms` scales it by the queue depth a
+    rejected caller would be waiting behind. Before any observation the
+    estimator answers with a fixed conservative default — a weak hint,
+    but strictly more useful than none.
+    """
+
+    def __init__(self, *, alpha: float = DEFAULT_DRAIN_ALPHA,
+                 default_seconds: float = DEFAULT_DRAIN_SECONDS) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError(
+                f"alpha must be in (0, 1], got {alpha}"
+            )
+        if default_seconds <= 0:
+            raise ReproError(
+                f"default_seconds must be positive, got {default_seconds}"
+            )
+        self._alpha = alpha
+        self._default = default_seconds
+        self._ewma: float | None = None
+        self._observations = 0
+
+    @property
+    def observations(self) -> int:
+        """How many completions have been folded in."""
+        return self._observations
+
+    def observe(self, seconds: float) -> None:
+        """Fold one completed request's service seconds in."""
+        if seconds < 0:
+            raise ReproError(
+                f"service seconds must be non-negative, got {seconds}"
+            )
+        if self._ewma is None:
+            self._ewma = seconds
+        else:
+            self._ewma += self._alpha * (seconds - self._ewma)
+        self._observations += 1
+
+    def seconds_per_request(self) -> float:
+        """The smoothed drain estimate (the default until observed)."""
+        return self._ewma if self._ewma is not None else self._default
+
+    def retry_after_ms(self, queue_depth: int) -> float:
+        """Estimated wait for ``queue_depth`` requests to drain, in ms.
+
+        At least one request's worth — even an empty queue needs the
+        in-flight request to finish before a slot frees.
+        """
+        return max(1, queue_depth) * self.seconds_per_request() * 1000.0
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """One admission decision, with the evidence it was made on.
+
+    ``action`` is one of :data:`SHED_ACTIONS`; ``retry_after_ms`` is
+    set only on ``reject`` (the hint the overload error should carry).
+    """
+
+    action: str
+    queue_depth: int
+    retry_after_ms: float | None = None
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the request runs the full ladder."""
+        return self.action == "admit"
+
+
+class LoadShedder:
+    """Watermark policy + drain estimator + ``service.shed.*`` counters.
+
+    >>> shedder = LoadShedder(Watermarks(shed_depth=2, reject_depth=4))
+    >>> shedder.decide(0).action
+    'admit'
+    >>> shedder.decide(2).action
+    'degrade'
+    >>> shedder.decide(4).action
+    'reject'
+    """
+
+    def __init__(self, watermarks: Watermarks = Watermarks(), *,
+                 estimator: DrainRateEstimator | None = None) -> None:
+        self._watermarks = watermarks
+        self._estimator = estimator if estimator is not None \
+            else DrainRateEstimator()
+        self._counters = dict.fromkeys(SHED_COUNTERS, 0)
+
+    @property
+    def watermarks(self) -> Watermarks:
+        """The configured thresholds."""
+        return self._watermarks
+
+    @property
+    def estimator(self) -> DrainRateEstimator:
+        """The drain-rate estimator fed by completed requests."""
+        return self._estimator
+
+    def counters_snapshot(self) -> dict[str, int]:
+        """Cumulative ``service.shed.*`` counters since construction."""
+        return dict(self._counters)
+
+    def observe_completion(self, seconds: float) -> None:
+        """Report one completed request, refining the drain estimate."""
+        self._estimator.observe(seconds)
+
+    def decide(self, queue_depth: int) -> ShedDecision:
+        """The admission decision at the given queue depth."""
+        marks = self._watermarks
+        if queue_depth >= marks.reject_depth:
+            self._counters["service.shed.rejected"] += 1
+            return ShedDecision(
+                action="reject", queue_depth=queue_depth,
+                retry_after_ms=self._estimator.retry_after_ms(
+                    queue_depth - marks.reject_depth + 1),
+            )
+        if queue_depth >= marks.shed_depth:
+            self._counters["service.shed.degraded"] += 1
+            return ShedDecision(action="degrade", queue_depth=queue_depth)
+        self._counters["service.shed.admitted"] += 1
+        return ShedDecision(action="admit", queue_depth=queue_depth)

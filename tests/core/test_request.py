@@ -56,6 +56,64 @@ class TestSearchRequest:
             request.k = 2
 
 
+class TestCanonicalIdentity:
+    """Equality/hash must agree with cache keys and dedup (regression:
+    two spellings of the same request used to compare unequal)."""
+
+    def test_default_options_explicit_or_implicit(self):
+        implicit = SearchRequest("q", 1)
+        explicit = SearchRequest("q", 1, options=SearchOptions())
+        assert implicit == explicit
+        assert hash(implicit) == hash(explicit)
+
+    def test_options_value_equality(self):
+        one = SearchRequest("q", 1,
+                            options=SearchOptions(report=True))
+        two = SearchRequest("q", 1,
+                            options=SearchOptions(report=True))
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_differing_options_differ(self):
+        plain = SearchRequest("q", 1)
+        reporting = SearchRequest("q", 1,
+                                  options=SearchOptions(report=True))
+        assert plain != reporting
+
+    def test_auto_backend_equals_none(self):
+        assert SearchRequest("q", 1, backend="auto") \
+            == SearchRequest("q", 1)
+        assert hash(SearchRequest("q", 1, backend="auto")) \
+            == hash(SearchRequest("q", 1))
+
+    def test_real_backend_hint_distinguishes(self):
+        assert SearchRequest("q", 1, backend="compiled") \
+            != SearchRequest("q", 1)
+
+    def test_deadline_is_execution_context_not_identity(self):
+        bounded = SearchRequest("q", 1, deadline=Deadline(5.0))
+        unbounded = SearchRequest("q", 1)
+        assert bounded == unbounded
+        assert hash(bounded) == hash(unbounded)
+
+    def test_query_and_k_still_distinguish(self):
+        assert SearchRequest("q", 1) != SearchRequest("q", 2)
+        assert SearchRequest("q", 1) != SearchRequest("p", 1)
+
+    def test_dedup_in_sets_and_dicts(self):
+        requests = [
+            SearchRequest("q", 1),
+            SearchRequest("q", 1, backend="auto"),
+            SearchRequest("q", 1, deadline=Deadline(1.0)),
+            SearchRequest("q", 1, options=SearchOptions()),
+            SearchRequest("q", 2),
+        ]
+        assert len(set(requests)) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert SearchRequest("q", 1) != ("q", 1)
+
+
 class TestAsRequest:
     def test_legacy_form(self):
         request = as_request("Berlino", 2)

@@ -79,3 +79,20 @@ class TestPrometheus:
         assert f"repro_scan_kernel_calls_total{label} 30" in text
         assert f"repro_batch_deduplicated_total{label} 3" in text
         assert f"repro_scan_query_seconds_total{label} 0.01" in text
+
+    def test_report_gauges_export_as_gauges(self):
+        report = build_report(
+            backend="traffic", engine="traffic[gateway]", mode="service",
+            queries=5, k=2, matches=9, seconds=0.01,
+            gauges={"service.queue_depth": 3,
+                    "service.cache.size": 17},
+        )
+        text = report.to_prometheus()
+        label = '{backend="traffic",mode="service"}'
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert f"repro_service_queue_depth{label} 3" in text
+        assert f"repro_service_cache_size{label} 17" in text
+
+    def test_report_without_gauges_exports_none(self):
+        text = make_report().to_prometheus()
+        assert "service_queue_depth" not in text

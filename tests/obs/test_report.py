@@ -152,3 +152,46 @@ class TestRender:
         assert "scan.candidates = 40" in text
         assert "3 deduplicated" in text
         assert "scan.search" in text
+
+
+class TestGaugesSection:
+    """The optional additive `gauges` section (schema v2, optional)."""
+
+    def test_absent_by_default(self):
+        assert "gauges" not in make_report().to_dict()
+        assert make_report().gauges == {}
+
+    def test_round_trip(self):
+        report = make_report(gauges={"service.queue_depth": 4.0,
+                                     "service.cache.size": 12.0})
+        document = report.to_dict()
+        assert document["gauges"] == {"service.queue_depth": 4.0,
+                                      "service.cache.size": 12.0}
+        back = report_from_dict(document)
+        assert dict(back.gauges) == dict(report.gauges)
+
+    def test_valid_with_and_without_gauges(self):
+        assert validate_report(make_report().to_dict()) == []
+        assert validate_report(
+            make_report(gauges={"service.queue_depth": 1}).to_dict()) == []
+
+    def test_non_numeric_gauge_rejected(self):
+        document = make_report(
+            gauges={"service.queue_depth": 1}).to_dict()
+        document["gauges"]["service.queue_depth"] = "deep"
+        assert any("gauge" in p for p in validate_report(document))
+
+    def test_wrong_gauges_type_rejected(self):
+        document = make_report().to_dict()
+        document["gauges"] = ["service.queue_depth"]
+        assert any("gauges" in p for p in validate_report(document))
+
+    def test_render_shows_gauges(self):
+        text = make_report(
+            gauges={"service.queue_depth": 4}).render()
+        assert "service.queue_depth = 4 (gauge)" in text
+
+    def test_gauges_are_frozen(self):
+        report = make_report(gauges={"service.queue_depth": 4})
+        with pytest.raises(TypeError):
+            report.gauges["service.queue_depth"] = 5

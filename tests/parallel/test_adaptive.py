@@ -79,3 +79,47 @@ class TestAdaptiveManager:
         queries = [f"q{i}" for i in range(25)]
         assert manager.run(str.upper, queries) == \
             [q.upper() for q in queries]
+
+
+class TestSkewedWork:
+    """The rules under heavy skew — a few huge shards among many tiny
+    ones, the shape the traffic pools re-fit against."""
+
+    def test_skewed_durations_keep_order_and_results(self):
+        # Shard 0 is ~50x the size of the rest; per-item cost follows.
+        sizes = [500] + [10] * 9
+
+        def scan(shard):
+            time.sleep(sizes[shard] / 100_000)
+            return sizes[shard]
+
+        manager = AdaptiveManager(
+            ManagerRules(min_threads=2, max_threads=6,
+                         sample_interval=0.002)
+        )
+        assert manager.run(scan, list(range(10))) == sizes
+
+    def test_skew_grows_pool_but_respects_max(self):
+        # One slow item pins a worker; the backlog of fast items keeps
+        # utilization at 1.0, so the master opens more — never past max.
+        def work(item):
+            time.sleep(0.02 if item == 0 else 0.002)
+            return item
+
+        manager = AdaptiveManager(
+            ManagerRules(min_threads=1, max_threads=4,
+                         sample_interval=0.002)
+        )
+        results = manager.run(work, list(range(40)))
+        assert results == list(range(40))
+        assert manager.threads_opened > 1
+        assert manager.peak_threads <= 4
+
+    def test_uniform_tiny_work_stays_near_minimum(self):
+        # With no measurable backlog the rules have nothing to open for.
+        manager = AdaptiveManager(
+            ManagerRules(min_threads=1, max_threads=8,
+                         sample_interval=0.01)
+        )
+        manager.run(lambda q: q, list(range(50)))
+        assert manager.peak_threads <= 2

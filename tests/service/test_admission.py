@@ -83,3 +83,52 @@ class TestAdmission:
 
         with pytest.raises(ReproError):
             Service(DATASET, capacity=0)
+
+
+class TestRetryAfterHint:
+    def test_no_estimate_before_any_completion(self):
+        service = Service(DATASET)
+        assert service.estimate_retry_after_ms() is None
+
+    def test_estimate_tracks_submit_latency(self):
+        service = Service(DATASET, shards=1)
+        service.submit("Berlino", 2)
+        estimate = service.estimate_retry_after_ms()
+        hist = service.hists_snapshot()["service.submit_seconds"]
+        assert estimate == pytest.approx(hist.mean() * 1000.0)
+
+    def test_rejection_carries_retry_after_ms(self):
+        plan = GatedPlan()
+        service = Service(DATASET, capacity=1, plans=[plan])
+        # Prime the drain estimate with one completed submit.
+        release_early = threading.Thread(target=plan.release.set)
+        release_early.start()
+        service.submit("Berlino", 2)
+        release_early.join()
+        plan.release.clear()
+
+        holder = threading.Thread(
+            target=lambda: service.submit("Berlino", 2))
+        holder.start()
+        assert plan.entered.acquire(timeout=10)
+        with pytest.raises(ServiceOverloaded) as caught:
+            service.submit("Berlino", 2)
+        assert caught.value.retry_after_ms is not None
+        assert caught.value.retry_after_ms > 0
+        assert "retry in ~" in str(caught.value)
+        plan.release.set()
+        holder.join(timeout=10)
+
+    def test_rejection_without_history_has_no_hint(self):
+        plan = GatedPlan()
+        service = Service(DATASET, capacity=1, plans=[plan])
+        holder = threading.Thread(
+            target=lambda: service.submit("Berlino", 2))
+        holder.start()
+        assert plan.entered.acquire(timeout=10)
+        with pytest.raises(ServiceOverloaded) as caught:
+            service.submit("Berlino", 2)
+        assert caught.value.retry_after_ms is None
+        assert "retry in ~" not in str(caught.value)
+        plan.release.set()
+        holder.join(timeout=10)

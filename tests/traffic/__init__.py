@@ -1,0 +1,1 @@
+"""Tests for repro.traffic — the open-loop serving layer."""

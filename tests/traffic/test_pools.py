@@ -1,0 +1,238 @@
+"""Unit tests for the per-shard worker pools and the adaptive sizer."""
+
+import time
+
+import pytest
+
+from repro.core.deadline import Deadline
+from repro.core.request import SearchRequest
+from repro.core.sequential import SequentialScanSearcher
+from repro.exceptions import ReproError
+from repro.parallel.adaptive import ManagerRules
+from repro.service.sharding import ShardedCorpus
+from repro.traffic.pools import (
+    AdaptivePoolSizer,
+    ShardLoad,
+    ShardPools,
+)
+
+DATASET = ["Berlin", "Bern", "Bonn", "Ulm", "Hamburg", "Bremen",
+           "Dresden", "Berlingen", "Bernburg", "Uelzen"] * 3
+
+QUERIES = ["Berlino", "Bern", "Ulme", "Hamburq", "Dresden"]
+
+
+def reference_row(query, k):
+    return tuple(SequentialScanSearcher(DATASET).search(query, k))
+
+
+class TestThreadPools:
+    def test_results_match_reference_scan(self):
+        with ShardPools(DATASET, shards=3) as pools:
+            for query in QUERIES:
+                result = pools.submit(SearchRequest(query, 2)) \
+                    .result(timeout=30)
+                assert result.status == "complete"
+                assert result.verified
+                assert result.matches == reference_row(query, 2)
+
+    def test_batch_drain_amortizes_duplicates(self):
+        # A pre-filled queue of duplicates must drain in few batches
+        # and the shard executors must dedup the repeated query.
+        pools = ShardPools(DATASET, shards=2, batch_limit=16)
+        try:
+            tickets = [pools.submit(SearchRequest("Berlino", 2))
+                       for _ in range(16)]
+            for ticket in tickets:
+                assert ticket.result(timeout=30).status == "complete"
+            counters = pools.counters_snapshot()
+            assert counters["pool.served"] == 16
+            assert counters["pool.batches"] < counters["pool.batched_tasks"]
+        finally:
+            pools.close()
+
+    def test_mixed_k_batches_grouped_correctly(self):
+        with ShardPools(DATASET, shards=2, batch_limit=8) as pools:
+            tickets = [
+                pools.submit(SearchRequest(query, k))
+                for query in QUERIES for k in (1, 2)
+            ]
+            for ticket in tickets:
+                result = ticket.result(timeout=30)
+                assert result.matches \
+                    == reference_row(result.query, result.k)
+
+    def test_expired_deadline_yields_partial(self):
+        pools = ShardPools(DATASET, shards=2, workers_per_shard=1)
+        try:
+            # A dead wall-clock deadline cannot wait for any shard.
+            ticket = pools.submit(
+                SearchRequest("Berlino", 2, deadline=Deadline(0.0)))
+            result = ticket.result()
+            assert result.status in ("partial", "complete")
+            if result.status == "partial":
+                assert result.verified
+                reference = set(reference_row("Berlino", 2))
+                assert set(result.matches) <= reference
+        finally:
+            pools.close()
+
+    def test_queue_depth_counts_outstanding_requests(self):
+        with ShardPools(DATASET, shards=2) as pools:
+            assert pools.queue_depth() == 0
+            ticket = pools.submit(SearchRequest("Berlino", 2))
+            ticket.result(timeout=30)
+            deadline = time.monotonic() + 5
+            while pools.queue_depth() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pools.queue_depth() == 0
+
+    def test_empty_shards_resolve_to_empty_rows(self):
+        with ShardPools(["Bern"], shards=4) as pools:
+            result = pools.submit(SearchRequest("Bern", 0)) \
+                .result(timeout=30)
+            assert result.status == "complete"
+            assert [m.string for m in result.matches] == ["Bern"]
+
+    def test_submit_after_close_raises(self):
+        pools = ShardPools(DATASET, shards=2)
+        pools.close()
+        with pytest.raises(ReproError):
+            pools.submit(SearchRequest("Berlino", 2))
+
+    def test_batch_requests_rejected(self):
+        with ShardPools(DATASET, shards=2) as pools:
+            with pytest.raises(ReproError):
+                pools.submit(SearchRequest(("a", "b"), 1))
+
+    def test_accepts_prebuilt_sharded_corpus(self):
+        corpus = ShardedCorpus(DATASET, 2)
+        with ShardPools(corpus) as pools:
+            assert pools.corpus is corpus
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ShardPools(DATASET, kind="fiber")
+        with pytest.raises(ReproError):
+            ShardPools(DATASET, workers_per_shard=0)
+        with pytest.raises(ReproError):
+            ShardPools(DATASET, batch_limit=0)
+        with pytest.raises(ReproError):
+            ShardPools(DATASET, kind="process")  # needs segment_dir
+
+
+class TestProcessPools:
+    def test_segment_ref_handoff_matches_reference(self, tmp_path):
+        pools = ShardPools(DATASET, shards=2, kind="process",
+                           segment_dir=str(tmp_path))
+        try:
+            result = pools.submit(SearchRequest("Berlino", 2)) \
+                .result(timeout=60)
+            assert result.status == "complete"
+            assert result.matches == reference_row("Berlino", 2)
+            assert result.plan == "pool[process]"
+            # The zero-copy contract: one segment file per shard exists
+            # for workers to mmap.
+            segments = sorted(p.name for p in tmp_path.iterdir())
+            assert segments == ["shard-0000.seg", "shard-0001.seg"]
+        finally:
+            pools.close()
+
+
+class TestAdaptivePoolSizer:
+    def test_opens_above_70_closes_below_30(self):
+        sizer = AdaptivePoolSizer(ManagerRules(max_threads=4))
+        sizes = sizer.resize([
+            ShardLoad(0, 2, 0.9),   # hot: opens
+            ShardLoad(1, 2, 0.5),   # in band: holds
+            ShardLoad(2, 2, 0.1),   # cold: closes
+        ])
+        assert sizes == {0: 3, 1: 2, 2: 1}
+
+    def test_respects_min_and_max(self):
+        sizer = AdaptivePoolSizer(
+            ManagerRules(min_threads=1, max_threads=2))
+        sizes = sizer.resize([
+            ShardLoad(0, 2, 1.0),   # hot but already at max
+            ShardLoad(1, 1, 0.0),   # cold but already at min
+        ])
+        assert sizes == {0: 2, 1: 1}
+
+    def test_total_budget_caps_opens_hottest_first(self):
+        sizer = AdaptivePoolSizer(ManagerRules(max_threads=8),
+                                  total_budget=5)
+        sizes = sizer.resize([
+            ShardLoad(0, 2, 0.8),
+            ShardLoad(1, 2, 0.95),  # hotter: wins the single free slot
+        ])
+        assert sizes == {0: 2, 1: 3}
+
+    def test_close_frees_budget_for_open(self):
+        sizer = AdaptivePoolSizer(ManagerRules(max_threads=8),
+                                  total_budget=4)
+        sizes = sizer.resize([
+            ShardLoad(0, 2, 0.9),
+            ShardLoad(1, 2, 0.0),
+        ])
+        assert sizes == {0: 3, 1: 1}
+
+    def test_one_step_per_fit_damping(self):
+        sizer = AdaptivePoolSizer(ManagerRules(max_threads=16))
+        sizes = sizer.resize([ShardLoad(0, 1, 1.0)])
+        assert sizes == {0: 2}  # +1, never a jump to max
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            AdaptivePoolSizer(total_budget=0)
+
+
+class TestRefit:
+    def test_static_pools_never_resize(self):
+        with ShardPools(DATASET, shards=2, workers_per_shard=2,
+                        sizer=None) as pools:
+            before = pools.workers()
+            assert pools.refit() == before
+            assert pools.workers() == before
+
+    def test_refit_grows_the_loaded_shard(self):
+        sizer = AdaptivePoolSizer(ManagerRules(max_threads=3))
+        pools = ShardPools(DATASET, shards=2, workers_per_shard=1,
+                           batch_limit=4, sizer=sizer)
+        try:
+            # Synthesize a skewed observation window instead of racing
+            # real work: shard 0 saturated, shard 1 idle.
+            pools.refit()  # reset the window
+            with pools._lock:
+                pools._fit_epoch -= 1.0
+                pools._crews[0].busy_seconds += 1.0
+            target = pools.refit()
+            assert target[0] == 2
+            assert target[1] == 1
+            deadline = time.monotonic() + 5
+            while pools.workers()[0] < 2 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pools.workers()[0] == 2
+            counters = pools.counters_snapshot()
+            assert counters["pool.workers_opened"] == 1
+        finally:
+            pools.close()
+
+    def test_refit_shrinks_idle_crews_to_minimum(self):
+        sizer = AdaptivePoolSizer(ManagerRules(min_threads=1,
+                                               max_threads=4))
+        pools = ShardPools(DATASET, shards=2, workers_per_shard=3,
+                           sizer=sizer)
+        try:
+            # The window since construction saw no work at all.
+            target = pools.refit()
+            assert target == {0: 2, 1: 2}  # one step down per fit
+            assert pools.counters_snapshot()["pool.workers_closed"] == 2
+        finally:
+            pools.close()
+
+    def test_loads_report_utilization_in_unit_range(self):
+        with ShardPools(DATASET, shards=2) as pools:
+            pools.submit(SearchRequest("Berlino", 2)).result(timeout=30)
+            for load in pools.loads():
+                assert 0.0 <= load.utilization <= 1.0

@@ -1,0 +1,118 @@
+"""Unit tests for watermark shedding and the drain-rate estimator."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.traffic.shedding import (
+    SHED_COUNTERS,
+    DrainRateEstimator,
+    LoadShedder,
+    ShedDecision,
+    Watermarks,
+)
+
+
+class TestWatermarks:
+    def test_defaults_ordered(self):
+        marks = Watermarks()
+        assert 0 < marks.shed_depth <= marks.reject_depth
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Watermarks(shed_depth=0)
+        with pytest.raises(ReproError):
+            Watermarks(shed_depth=10, reject_depth=5)
+
+
+class TestDrainRateEstimator:
+    def test_default_before_observations(self):
+        estimator = DrainRateEstimator(default_seconds=0.1)
+        assert estimator.seconds_per_request() == 0.1
+        assert estimator.observations == 0
+
+    def test_first_observation_replaces_default(self):
+        estimator = DrainRateEstimator()
+        estimator.observe(0.02)
+        assert estimator.seconds_per_request() == pytest.approx(0.02)
+
+    def test_ewma_smooths_toward_new_observations(self):
+        estimator = DrainRateEstimator(alpha=0.5)
+        estimator.observe(0.1)
+        estimator.observe(0.2)
+        assert estimator.seconds_per_request() == pytest.approx(0.15)
+
+    def test_retry_after_scales_with_depth(self):
+        estimator = DrainRateEstimator()
+        estimator.observe(0.01)
+        assert estimator.retry_after_ms(10) \
+            == pytest.approx(10 * 0.01 * 1000)
+
+    def test_retry_after_floor_is_one_request(self):
+        estimator = DrainRateEstimator()
+        estimator.observe(0.01)
+        assert estimator.retry_after_ms(0) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DrainRateEstimator(alpha=0)
+        with pytest.raises(ReproError):
+            DrainRateEstimator(alpha=1.5)
+        with pytest.raises(ReproError):
+            DrainRateEstimator(default_seconds=0)
+        with pytest.raises(ReproError):
+            DrainRateEstimator().observe(-1)
+
+
+class TestLoadShedder:
+    def make(self):
+        return LoadShedder(Watermarks(shed_depth=4, reject_depth=8))
+
+    def test_admit_below_shed_watermark(self):
+        shedder = self.make()
+        for depth in range(4):
+            assert shedder.decide(depth).action == "admit"
+
+    def test_degrade_between_watermarks(self):
+        shedder = self.make()
+        for depth in range(4, 8):
+            decision = shedder.decide(depth)
+            assert decision.action == "degrade"
+            assert decision.retry_after_ms is None
+
+    def test_reject_at_and_above_reject_watermark(self):
+        shedder = self.make()
+        decision = shedder.decide(8)
+        assert decision.action == "reject"
+        assert decision.retry_after_ms is not None
+        assert decision.retry_after_ms > 0
+
+    def test_reject_hint_grows_with_excess_depth(self):
+        shedder = self.make()
+        shedder.observe_completion(0.01)
+        shallow = shedder.decide(8).retry_after_ms
+        deep = shedder.decide(20).retry_after_ms
+        assert deep > shallow
+
+    def test_decision_carries_evidence(self):
+        decision = self.make().decide(5)
+        assert decision.queue_depth == 5
+        assert not decision.admitted
+
+    def test_counters_track_decisions(self):
+        shedder = self.make()
+        for depth in (0, 1, 5, 6, 9):
+            shedder.decide(depth)
+        counters = shedder.counters_snapshot()
+        assert set(counters) == set(SHED_COUNTERS)
+        assert counters["service.shed.admitted"] == 2
+        assert counters["service.shed.degraded"] == 2
+        assert counters["service.shed.rejected"] == 1
+
+    def test_completion_feeds_the_estimator(self):
+        shedder = self.make()
+        shedder.observe_completion(0.5)
+        assert shedder.estimator.seconds_per_request() \
+            == pytest.approx(0.5)
+
+    def test_decision_is_a_plain_value(self):
+        assert ShedDecision(action="admit", queue_depth=0).admitted
