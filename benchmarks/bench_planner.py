@@ -1,0 +1,352 @@
+"""The cost-model planner, measured: auto vs every static backend.
+
+The planner's promise (``docs/PLANNER.md``) is two-sided and this
+harness gates both sides:
+
+* **uniform workloads** — on a workload where one static backend is
+  the right answer throughout, routing through ``backend="auto"`` must
+  cost at most ~5% more than that best static backend (the planner
+  plans once per workload, so its overhead is one cost-model
+  evaluation);
+* **a mixed workload** — when the stream interleaves the paper's two
+  regimes (short city names, long DNA reads) at different thresholds,
+  the planner must beat *every* static backend outright, because no
+  single strategy is right for both halves.
+
+Full runs first :func:`repro.core.planner.calibrate` the per-unit
+constants on the machine doing the measuring — the same flow a
+deployment uses — and each timed pass is preceded by a warmup pass
+whose :meth:`~repro.core.planner.Planner.observe_window` feedback
+closes the loop before the clock starts.
+
+The run emits ``BENCH_planner.json`` at the repository root through
+:func:`benchmarks.common.write_record` (schema-validated, regression-
+gated in CI against the committed baseline). Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py
+
+or through pytest (``pytest benchmarks/bench_planner.py``), or in CI
+smoke mode (``--smoke``: tiny corpora, distinct query counts, no
+speedup gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+from pathlib import Path
+
+try:  # package mode (pytest) vs script mode (python benchmarks/...)
+    from benchmarks import common
+except ImportError:  # pragma: no cover - script-mode fallback
+    import common
+
+from repro.core.engine import SearchEngine
+from repro.core.planner import STRATEGIES, PlannerPolicy, calibrate
+from repro.core.request import SearchRequest
+from repro.data.cities import generate_city_names
+from repro.data.dna import generate_reads
+from repro.data.workload import make_workload
+
+#: Where the machine-readable record lands (repository root).
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_planner.json"
+
+#: Acceptance bars for a full (non-smoke) run.
+MAX_UNIFORM_OVERHEAD = 1.05   # auto <= 1.05x the best static backend
+CITY_ALPHABET = "abcdefghinorst"
+DNA_ALPHABET = "ACGT"
+
+
+def _build_engines(corpus, profile):
+    engines = {
+        strategy: SearchEngine(corpus, backend=strategy)
+        for strategy in STRATEGIES
+    }
+    engines["auto"] = SearchEngine(corpus, profile=profile)
+    return engines
+
+
+def measure_uniform(name: str, corpus, k: int, alphabet: str,
+                    seed: int, queries: int, profile,
+                    repeats: int) -> dict:
+    """Time every static backend and the planner on one workload.
+
+    The batch executors memoize ``(query, k)`` results, so re-timing
+    the same queries would measure the memo; every pass (warmup
+    included) gets its own query sample instead, and the reported
+    figure is the fastest pass.
+    """
+    variants = [
+        make_workload(corpus, queries, k, alphabet_symbols=alphabet,
+                      seed=seed * 100 + i, name=f"{name}#{i}")
+        for i in range(repeats)
+    ]
+    warmups = [
+        make_workload(corpus, queries, k, alphabet_symbols=alphabet,
+                      seed=seed * 100 + 50 + i, name=f"{name}~{i}")
+        for i in range(6)
+    ]
+    engines = _build_engines(corpus, profile)
+    entry: dict = {
+        "workload": name,
+        "queries": queries,
+        "k": k,
+    }
+    for label, engine in engines.items():
+        if label == "auto":
+            # Probe every strategy through a forced plan first: each
+            # probe's observe_window feedback calibrates that
+            # strategy's correction on this exact workload shape, so
+            # the auto plan then ranks measured costs, not priors.
+            for warmup in warmups[:2]:
+                for strategy in STRATEGIES:
+                    engine.run_workload(SearchRequest.from_workload(
+                        warmup, plan=PlannerPolicy(strategy=strategy),
+                    ))
+            previous = None
+            for warmup in warmups[2:]:
+                engine.run_workload(warmup)
+                choice = engine.plan(warmup.queries[0], k).strategy
+                if choice == previous:
+                    break
+                previous = choice
+        else:
+            engine.run_workload(warmups[0])  # a single priming pass
+    # Interleave the timed passes (variant-major, engine-minor) so
+    # clock drift on a shared machine lands on every engine alike.
+    times: dict[str, list[float]] = {label: [] for label in engines}
+    for variant in variants:
+        for label, engine in engines.items():
+            times[label].append(engine.timed_workload(variant)[1])
+    for label in engines:
+        entry[f"{label}_seconds"] = round(min(times[label]), 6)
+    best_static = min(entry[f"{s}_seconds"] for s in STRATEGIES)
+    entry["best_static"] = min(
+        STRATEGIES, key=lambda s: entry[f"{s}_seconds"]
+    )
+    entry["planner_choice"] = \
+        engines["auto"].plan(variants[0].queries[0], k).strategy
+    entry["planner_vs_best"] = round(
+        entry["auto_seconds"] / best_static, 4
+    ) if best_static else 1.0
+    return entry
+
+
+def _mixed_calls(city, dna, queries_per_side: int,
+                 seed: int) -> list[tuple[str, int]]:
+    city_k1 = make_workload(
+        city, queries_per_side, 1, alphabet_symbols=CITY_ALPHABET,
+        seed=seed, name="mixed-city-k1",
+    ).queries
+    city_k2 = make_workload(
+        city, queries_per_side, 2, alphabet_symbols=CITY_ALPHABET,
+        seed=seed + 1, name="mixed-city-k2",
+    ).queries
+    dna_k3 = make_workload(
+        dna, queries_per_side, 3, alphabet_symbols=DNA_ALPHABET,
+        seed=seed + 2, name="mixed-dna",
+    ).queries
+    calls: list[tuple[str, int]] = []
+    for triplet in zip(city_k1, city_k2, dna_k3):
+        calls.append((triplet[0], 1))
+        calls.append((triplet[1], 2))
+        calls.append((triplet[2], 3))
+    return calls
+
+
+def measure_mixed(city, dna, profile, queries_per_side: int,
+                  repeats: int) -> dict:
+    """Interleave both regimes; no static backend fits the stream."""
+    corpus = tuple(city) + tuple(dna)
+    variants = [
+        _mixed_calls(city, dna, queries_per_side, seed=31 + 3 * i)
+        for i in range(repeats + 1)
+    ]
+    engines = _build_engines(corpus, profile)
+    entry: dict = {
+        "workload": "mixed",
+        "queries": len(variants[0]),
+        "calls_per_regime": queries_per_side,
+    }
+
+    def run_stream(engine, calls):
+        started = time.perf_counter()
+        answers = [engine.search(query, k) for query, k in calls]
+        return time.perf_counter() - started, answers
+
+    expected = None
+    for label, engine in engines.items():
+        _, answers = run_stream(engine, variants[0])  # warmup
+        if expected is None:
+            expected = answers
+        assert answers == expected, f"{label} answers drifted"
+    times: dict[str, list[float]] = {label: [] for label in engines}
+    for calls in variants[1:]:
+        for label, engine in engines.items():
+            times[label].append(run_stream(engine, calls)[0])
+    for label in engines:
+        entry[f"{label}_seconds"] = round(min(times[label]), 6)
+    for strategy in STRATEGIES:
+        entry[f"speedup_vs_{strategy}"] = round(
+            entry[f"{strategy}_seconds"] / entry["auto_seconds"], 4
+        )
+    entry["beats_every_static"] = all(
+        entry["auto_seconds"] < entry[f"{s}_seconds"]
+        for s in STRATEGIES
+    )
+    return entry
+
+
+def run_benchmark(*, city_count: int = 2000, dna_count: int = 400,
+                  uniform_queries: int = 40, mixed_queries: int = 25,
+                  repeats: int = 6, calibrated: bool = True,
+                  report_queries: int = 7) -> dict:
+    city = tuple(generate_city_names(city_count, seed=101))
+    dna = tuple(generate_reads(dna_count, seed=202))
+    profile = calibrate() if calibrated else None
+
+    uniform_specs = (
+        ("city_k1", city, 1, CITY_ALPHABET, 11),
+        ("city_k2", city, 2, CITY_ALPHABET, 12),
+        ("dna_k1", dna, 1, DNA_ALPHABET, 13),
+        ("dna_k2", dna, 2, DNA_ALPHABET, 14),
+    )
+    uniform = [
+        measure_uniform(name, corpus, k, alphabet, seed,
+                        uniform_queries, profile, repeats)
+        for name, corpus, k, alphabet, seed in uniform_specs
+    ]
+    mixed = measure_mixed(city, dna, profile, mixed_queries, repeats)
+
+    # One observed report carrying the plan section, so the artifact
+    # exercises the full report schema (validated at write time).
+    # ``report_queries`` differs between smoke and full runs so the
+    # regression gate never pairs them for an exact result-drift
+    # check (the corpora differ).
+    reporter = SearchEngine(city, profile=profile, observe=True)
+    reporter.search_many(list(city[:report_queries]), 2)
+    report = reporter.last_report
+
+    record = {
+        "benchmark": "bench_planner",
+        "python": platform.python_version(),
+        "calibrated": calibrated,
+        "city_strings": len(city),
+        "dna_strings": len(dna),
+        "uniform": uniform,
+        "mixed": mixed,
+        "worst_uniform_overhead": max(
+            entry["planner_vs_best"] for entry in uniform
+        ),
+        "report": report.to_dict(),
+    }
+    record["measurements"] = common.build_measurements({
+        **{
+            f"uniform.{entry['workload']}.{label}":
+                entry[f"{label}_seconds"]
+            for entry in uniform
+            for label in (*STRATEGIES, "auto")
+        },
+        **{
+            f"mixed.{label}": mixed[f"{label}_seconds"]
+            for label in (*STRATEGIES, "auto")
+        },
+    })
+    return record
+
+
+def render(record: dict) -> str:
+    lines = [
+        "cost-model planner: auto vs every static backend",
+        f"  python {record['python']}, "
+        f"{'calibrated' if record['calibrated'] else 'default'} "
+        f"profile, {record['city_strings']} city names + "
+        f"{record['dna_strings']} DNA reads",
+        "",
+        f"  {'workload':>10}{'q':>4}{'k':>3}"
+        + "".join(f"{label:>12}" for label in (*STRATEGIES, "auto"))
+        + f"{'pick':>11}{'vs best':>9}",
+    ]
+    for entry in record["uniform"]:
+        lines.append(
+            f"  {entry['workload']:>10}{entry['queries']:>4}"
+            f"{entry['k']:>3}"
+            + "".join(f"{entry[f'{label}_seconds']:>11.4f}s"
+                      for label in (*STRATEGIES, "auto"))
+            + f"{entry['planner_choice']:>11}"
+            f"{entry['planner_vs_best']:>8.2f}x"
+        )
+    mixed = record["mixed"]
+    lines.extend([
+        "",
+        f"  mixed stream ({mixed['queries']} calls, both regimes "
+        "interleaved):",
+        "    " + ", ".join(
+            f"{strategy} {mixed[f'{strategy}_seconds']:.4f}s "
+            f"({mixed[f'speedup_vs_{strategy}']:.2f}x slower)"
+            for strategy in STRATEGIES
+        ),
+        f"    auto {mixed['auto_seconds']:.4f}s — "
+        + ("beats every static backend"
+           if mixed["beats_every_static"]
+           else "does NOT beat every static backend"),
+        "",
+        f"  worst uniform overhead: "
+        f"{record['worst_uniform_overhead']:.2f}x "
+        f"(gate {MAX_UNIFORM_OVERHEAD:.2f}x)",
+    ])
+    return "\n".join(lines)
+
+
+def write_record(record: dict) -> Path:
+    return common.write_record(record, JSON_PATH)
+
+
+def gates_pass(record: dict) -> bool:
+    return (
+        record["worst_uniform_overhead"] <= MAX_UNIFORM_OVERHEAD
+        and record["mixed"]["beats_every_static"]
+    )
+
+
+def test_planner_beats_statics(emit):
+    record = run_benchmark()
+    write_record(record)
+    emit("planner", render(record))
+    assert record["worst_uniform_overhead"] <= MAX_UNIFORM_OVERHEAD, \
+        record
+    assert record["mixed"]["beats_every_static"], record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="the cost-model planner vs every static backend, "
+                    "on uniform and mixed workloads",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny corpora, default profile, no speedup gates: "
+             "exercises the full pipeline (and emits the same "
+             "BENCH_planner.json shape) in seconds — what the CI "
+             "planner-smoke job runs",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        record = run_benchmark(city_count=300, dna_count=120,
+                               uniform_queries=8, mixed_queries=6,
+                               repeats=1, calibrated=False,
+                               report_queries=4)
+        record["smoke"] = True
+    else:
+        record = run_benchmark()
+    path = write_record(record)
+    print(render(record))
+    print(f"\nrecorded to {path}")
+    if args.smoke:
+        return 0
+    return 0 if gates_pass(record) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

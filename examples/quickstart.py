@@ -6,7 +6,7 @@ Run with::
 
 Builds a tiny gazetteer, asks the engine for everything within edit
 distance 2 of a misspelled query, and shows how the library explains
-both its backend choice and each match.
+both its cost-model plan and each match.
 """
 
 from repro import SearchEngine, edit_distance
@@ -20,12 +20,14 @@ CITIES = [
 
 def main() -> None:
     engine = SearchEngine(CITIES)
-    print(f"backend: {engine.choice.backend}")
-    print(f"reason:  {engine.choice.reason}")
+    print(f"strategy: {engine.default_plan.strategy}")
+    print(f"reason:   {engine.default_plan.reason}")
     print()
 
     query = "Magdburg"  # a missing 'e' — the typo the paper motivates
     print(f"query: {query!r}, threshold k=2")
+    print(engine.explain(query, 2).render())
+    print()
     for match in engine.search(query, 2):
         fixes = "; ".join(edit_script(query, match.string))
         print(f"  {match.string:<12} distance {match.distance}   ({fixes})")

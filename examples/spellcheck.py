@@ -20,7 +20,7 @@ def main() -> None:
     gazetteer = generate_city_names(5000, seed=2013)
     engine = SearchEngine(gazetteer)
     print(f"dictionary: {len(gazetteer):,} place names "
-          f"({engine.choice.backend} backend)\n")
+          f"({engine.default_plan.strategy} strategy)\n")
 
     # Corrupt real gazetteer entries the way users mistype them.
     typos = [

@@ -28,6 +28,13 @@ paper-to-module map.
 from repro.core.deadline import Budget, Deadline
 from repro.core.engine import SearchEngine
 from repro.core.explain import explain_pair
+from repro.core.planner import (
+    CostProfile,
+    Planner,
+    PlannerPolicy,
+    QueryPlan,
+    calibrate,
+)
 from repro.core.request import SearchOptions, SearchRequest
 from repro.core.indexed import IndexedSearcher
 from repro.core.join import (
@@ -113,6 +120,11 @@ __all__ = [
     "within_distance",
     "SearchRequest",
     "SearchOptions",
+    "Planner",
+    "PlannerPolicy",
+    "QueryPlan",
+    "CostProfile",
+    "calibrate",
     "Deadline",
     "Budget",
     "Service",

@@ -74,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "which dedupes repeated queries and "
                              "amortizes per-query setup; identical "
                              "results)")
+    search.add_argument("--explain", action="store_true",
+                        help="print the planner's EXPLAIN-style query "
+                             "plan for this workload (per-strategy "
+                             "cost estimates) and exit without "
+                             "running any query; honours "
+                             "--stats-format text|json")
     search.add_argument("--stats", action="store_true",
                         help="emit the run's SearchReport (work "
                              "counters, timings, batch dedup/memo "
@@ -179,11 +185,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="print the DP matrix (paper Figure 1)")
 
     explain = commands.add_parser(
-        "explain", help="trace one comparison through every layer",
+        "explain", help="trace one comparison through every layer, or "
+                        "show the planner's strategy choice for a "
+                        "query against a dataset",
     )
     explain.add_argument("query")
-    explain.add_argument("candidate")
+    explain.add_argument("candidate", nargs="?", default=None,
+                         help="second string for a pairwise distance "
+                              "trace; omit it (and pass --data) to "
+                              "EXPLAIN the engine's query plan instead")
     explain.add_argument("-k", type=int, required=True)
+    explain.add_argument("--data", default=None, metavar="FILE",
+                         help="dataset to plan the query against "
+                              "(query-plan mode)")
+    explain.add_argument("--batch", action="store_true",
+                         help="plan the query as a batch member "
+                              "(scores only the batch executors)")
+    explain.add_argument("--stats-format", default="text",
+                         choices=("text", "json"),
+                         help="plan rendering: human text or one JSON "
+                              "document (query-plan mode)")
 
     bench = commands.add_parser(
         "bench", help="run a registered paper experiment",
@@ -368,10 +389,24 @@ def _command_search(args: argparse.Namespace) -> int:
                           metrics=metrics, recorder=recorder,
                           segment=args.segment)
     print(
-        f"backend: {engine.choice.backend} ({engine.choice.reason})",
+        f"backend: {engine.default_plan.strategy} "
+        f"({engine.default_plan.reason})",
         file=sys.stderr,
     )
     workload = Workload(tuple(queries), args.k, name=args.query_file)
+    if args.explain:
+        plan = engine.plan(
+            tuple(queries) if len(queries) > 1 else queries[0],
+            args.k, batch=bool(args.batch),
+        )
+        if args.stats_format == "json":
+            import json
+
+            _write_result_lines([json.dumps(plan.to_dict(), indent=2)],
+                                args.output)
+        else:
+            _write_result_lines([plan.render()], args.output)
+        return 0
     deadline = (Deadline(args.deadline_ms / 1000.0)
                 if args.deadline_ms is not None else None)
     try:
@@ -525,9 +560,25 @@ def _command_distance(args: argparse.Namespace) -> int:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
-    from repro.core.explain import explain_pair
+    if args.candidate is not None:
+        from repro.core.explain import explain_pair
 
-    print(explain_pair(args.query, args.candidate, args.k).render())
+        print(explain_pair(args.query, args.candidate, args.k).render())
+        return 0
+    if args.data is None:
+        raise ReproError(
+            "explain needs either a candidate string (pairwise trace) "
+            "or --data FILE (query-plan mode)"
+        )
+    import json
+
+    engine = SearchEngine(read_strings(args.data))
+    plan = engine.explain(args.query, args.k,
+                          batch=True if args.batch else None)
+    if args.stats_format == "json":
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.render())
     return 0
 
 

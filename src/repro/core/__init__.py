@@ -17,9 +17,19 @@ with:
   heuristic).
 """
 
-from repro.core.engine import SearchEngine
+from repro.core.engine import EngineChoice, SearchEngine
 from repro.core.explain import PairExplanation, explain_pair
 from repro.core.indexed import IndexedSearcher
+from repro.core.planner import (
+    CorpusStatistics,
+    CostEstimate,
+    CostProfile,
+    Planner,
+    PlannerPolicy,
+    QueryPlan,
+    calibrate,
+    collect_statistics,
+)
 from repro.core.join import (
     JoinPair,
     JoinResult,
@@ -68,4 +78,13 @@ __all__ = [
     "UpdatableIndex",
     "PairExplanation",
     "explain_pair",
+    "EngineChoice",
+    "Planner",
+    "PlannerPolicy",
+    "QueryPlan",
+    "CostEstimate",
+    "CostProfile",
+    "CorpusStatistics",
+    "collect_statistics",
+    "calibrate",
 ]

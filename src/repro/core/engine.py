@@ -2,32 +2,46 @@
 
 The paper's conclusion is a decision rule: short strings over a large
 alphabet favour the optimized sequential scan; long strings over a tiny
-alphabet favour the trie index. :class:`SearchEngine` encodes that rule
-so a downstream user gets the right configuration without re-reading
-the evaluation section — and can always override it.
+alphabet favour the trie index. The rule is not a constant, though —
+the winner flips with the threshold ``k``, the query length and how
+many queries arrive together. :class:`SearchEngine` therefore routes
+``backend="auto"`` through the calibrated cost model of
+:mod:`repro.core.planner`: every strategy (per-query scan, compiled
+batch scan, flat trie, q-gram pipeline) is scored against the corpus's
+ANALYZE statistics and the request's shape, and the cheapest one
+serves. :meth:`plan` / :meth:`explain` expose the ``EXPLAIN``-style
+:class:`repro.core.planner.QueryPlan` behind any call, the same plan is
+serialized into :attr:`last_report`, and every executed call feeds its
+actual timings back into the planner (:meth:`Planner.observe_window`),
+so the estimates track the hardware they run on.
 
-The rule has a second axis since the batch engines landed: *how many*
-queries arrive together. A scan-regime dataset probed by a whole
-workload goes through the compiled-corpus batch path
-(:mod:`repro.scan`); an index-regime dataset goes through the compiled
-flat-trie batch path (:mod:`repro.index.batch`). Both deduplicate
-queries and amortize query-side setup; :meth:`SearchEngine.search_many`
-applies the right one automatically, and ``backend="compiled"`` forces
-the compiled scan for everything. The indexed side itself is compiled
-too: the ``indexed`` backend builds the paper's compressed trie frozen
-into flat arrays (``index="flat"``), which answers identically to the
-object trie but without per-node interpreter overhead.
+The batch engines add the second axis: a scan-regime workload goes
+through the compiled-corpus batch path (:mod:`repro.scan`); an
+index-regime workload through the compiled flat-trie batch path
+(:mod:`repro.index.batch`). Both deduplicate queries and amortize
+query-side setup, and a mixed-length batch may be *split* between them
+when the planner estimates the split pays for the extra executor.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable
 
 from repro.core.deadline import Budget, Deadline
 from repro.core.indexed import IndexedSearcher
+from repro.core.planner import (
+    AUTO_POLICY,
+    DEFAULT_PLAN_K,
+    STRATEGIES,
+    CostProfile,
+    Planner,
+    PlannerPolicy,
+    QueryPlan,
+    collect_statistics,
+)
 from repro.core.request import (
     SearchOptions,
     SearchRequest,
@@ -36,7 +50,6 @@ from repro.core.request import (
 from repro.core.result import Match, ResultSet
 from repro.core.searcher import QueryRunner, Searcher
 from repro.core.sequential import SequentialScanSearcher
-from repro.data.stats import describe
 from repro.data.workload import Workload
 from repro.exceptions import ReproError
 from repro.obs.hist import hists_delta
@@ -44,33 +57,39 @@ from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import MetricsRegistry, counter_delta
 from repro.obs.report import BatchCounters, SearchReport, build_report
 
-#: Decision boundary carried over from the paper's two regimes: city
-#: names average well under this, DNA reads well over it.
+#: Kept for compatibility with the pre-planner decision rule (tests
+#: and docs reference them); the planner's cost model supersedes them.
 MEAN_LENGTH_CUTOFF = 40
 
 #: Alphabets at or below this size count as "tiny" (DNA has 5 symbols).
 SMALL_ALPHABET_CUTOFF = 8
 
+#: Single-query windows shorter than this are dominated by Python
+#: dispatch overhead, so they are not fed back into the planner's
+#: corrections (multi-query windows always are).
+SEARCH_FEEDBACK_FLOOR = 1e-3
+
 
 @dataclass(frozen=True)
 class EngineChoice:
-    """The engine's configuration decision and its rationale."""
+    """Deprecated view of the engine's plan (see :attr:`choice`)."""
 
-    backend: str            # "sequential" or "indexed"
+    backend: str
     reason: str
 
 
 class SearchEngine:
-    """Similarity search with automatic backend selection.
+    """Similarity search with planner-driven backend selection.
 
     Parameters
     ----------
     dataset:
         The strings to search.
     backend:
-        ``"auto"`` applies the paper's decision rule; ``"sequential"``,
-        ``"indexed"`` and ``"compiled"`` (the batch-amortized scan of
-        :mod:`repro.scan`) force a side.
+        ``"auto"`` routes every call through the cost-model planner;
+        ``"sequential"``, ``"indexed"`` (the compiled flat trie),
+        ``"compiled"`` (the batch-amortized scan of :mod:`repro.scan`)
+        or ``"qgram"`` force a strategy.
     runner:
         Optional parallel runner used by :meth:`run_workload`.
     observe:
@@ -93,11 +112,17 @@ class SearchEngine:
         file does not exist yet — instead of compiling from scratch on
         every start. Implies ``backend="compiled"`` unless a backend
         was forced explicitly.
+    profile:
+        A :class:`repro.core.planner.CostProfile` (or a path to one
+        persisted by :meth:`CostProfile.save`) for the planner's
+        per-unit constants; defaults to the built-in profile.
 
     Examples
     --------
     >>> engine = SearchEngine(["Berlin", "Bern", "Ulm"])
-    >>> engine.choice.backend
+    >>> engine.default_plan.strategy
+    'sequential'
+    >>> engine.explain("Berlino", 2).strategy
     'sequential'
     >>> [match.string for match in engine.search("Berlino", 2)]
     ['Berlin']
@@ -111,12 +136,13 @@ class SearchEngine:
                  observe: bool = False,
                  metrics: MetricsRegistry | None = None,
                  recorder: FlightRecorder | None = None,
-                 segment: str | None = None) -> None:
+                 segment: str | None = None,
+                 profile: CostProfile | str | None = None) -> None:
         strings = tuple(dataset)
-        if backend not in ("auto", "sequential", "indexed", "compiled"):
+        if backend not in ("auto",) + STRATEGIES:
             raise ReproError(
-                f"unknown backend {backend!r}; expected 'auto', "
-                "'sequential', 'indexed' or 'compiled'"
+                f"unknown backend {backend!r}; expected 'auto' or one "
+                f"of {STRATEGIES}"
             )
         self._runner = runner
         self._strings = strings
@@ -132,19 +158,37 @@ class SearchEngine:
         self._last_batch_executor = None
         self._last_call: dict | None = None
         self._last_report_cache: SearchReport | None = None
-        if segment is not None and backend == "auto":
-            self._choice = EngineChoice(
-                "compiled", "segment-backed corpus serves the compiled "
-                            "scan")
+        if isinstance(profile, str):
+            profile = CostProfile.load(profile)
+        self._stats = collect_statistics(strings)
+        self._planner = Planner(self._stats, profile=profile)
+        segment_reason = None
+        if backend != "auto":
+            self._default_policy = PlannerPolicy(strategy=backend)
+        elif segment is not None:
+            self._default_policy = PlannerPolicy(strategy="compiled")
+            segment_reason = ("segment-backed corpus serves the "
+                             "compiled scan")
         else:
-            self._choice = self._decide(strings, backend)
-        if self._choice.backend == "sequential":
+            self._default_policy = AUTO_POLICY
+        representative = max(1, int(round(self._stats.mean_length)))
+        self._default_plan = self._planner.plan(
+            length=representative, k=DEFAULT_PLAN_K,
+            policy=self._default_policy,
+        )
+        if segment_reason is not None:
+            self._default_plan = replace(self._default_plan,
+                                         reason=segment_reason)
+        strategy = self._default_plan.strategy
+        if strategy == "sequential":
             self._searcher: Searcher = SequentialScanSearcher(
                 strings, kernel="bitparallel", order="length"
             )
-        elif self._choice.backend == "compiled":
+        elif strategy == "compiled":
             self._searcher = self._make_compiled_searcher()
             self._batch_searcher = self._searcher
+        elif strategy == "qgram":
+            self._searcher = IndexedSearcher(strings, index="qgram")
         else:
             self._searcher = IndexedSearcher(strings, index="flat")
         self._attach_obs(self._searcher)
@@ -160,32 +204,95 @@ class SearchEngine:
             if attach is not None:
                 attach(self._recorder)
 
-    @staticmethod
-    def _decide(strings: tuple[str, ...], backend: str) -> EngineChoice:
-        if backend != "auto":
-            return EngineChoice(backend, "forced by caller")
-        stats = describe(strings)
-        long_strings = stats.mean_length > MEAN_LENGTH_CUTOFF
-        tiny_alphabet = 0 < stats.alphabet_size <= SMALL_ALPHABET_CUTOFF
-        if long_strings and tiny_alphabet:
-            return EngineChoice(
-                "indexed",
-                f"mean length {stats.mean_length:.0f} > "
-                f"{MEAN_LENGTH_CUTOFF} over {stats.alphabet_size} symbols: "
-                "the DNA regime, where the trie index wins (paper §5.8) "
-                "— served by the compiled flat trie",
-            )
-        return EngineChoice(
-            "sequential",
-            f"mean length {stats.mean_length:.0f} over "
-            f"{stats.alphabet_size} symbols: the short-string regime, "
-            "where the optimized scan wins (paper §5.5)",
+    # ----------------------------------------------------------------
+    # the planner surface
+
+    @property
+    def planner(self) -> Planner:
+        """The engine's cost-model planner (see :mod:`repro.core.planner`)."""
+        return self._planner
+
+    @property
+    def default_plan(self) -> QueryPlan:
+        """The dataset-level plan behind the constructor's searcher.
+
+        Scored for a representative query (the corpus's mean length at
+        ``k=2``); per-call routing re-plans for each request's actual
+        shape.
+        """
+        return self._default_plan
+
+    def plan(self, query=None, k: int | None = None, *,
+             deadline: Deadline | Budget | None = None,
+             options: SearchOptions | None = None,
+             plan: PlannerPolicy | None = None,
+             batch: bool | None = None) -> QueryPlan:
+        """The :class:`QueryPlan` a call with these arguments would use.
+
+        Accepts the same spellings as :meth:`search`/:meth:`search_many`
+        (a query string, a sequence of queries, or a
+        :class:`SearchRequest`) and returns the EXPLAIN-style plan
+        without executing anything.  ``batch`` overrides the executor
+        mode: ``True`` scores only the batch executors, ``False`` the
+        per-query searchers (workload mode); by default multi-query
+        requests plan as batches.
+        """
+        request = self._to_request(query, k, deadline=deadline,
+                                   options=options, plan=plan)
+        return self._plan_request(request, batch=batch)
+
+    def explain(self, query=None, k: int | None = None, *,
+                deadline: Deadline | Budget | None = None,
+                options: SearchOptions | None = None,
+                plan: PlannerPolicy | None = None,
+                batch: bool | None = None) -> QueryPlan:
+        """Alias of :meth:`plan` (the SQL ``EXPLAIN`` spelling).
+
+        ``print(engine.explain("Berlino", 2).render())`` prints the
+        per-strategy cost table.
+        """
+        return self.plan(query, k, deadline=deadline, options=options,
+                         plan=plan, batch=batch)
+
+    def _plan_request(self, request: SearchRequest, *,
+                      batch: bool | None = None) -> QueryPlan:
+        """Plan one normalized request with the engine's default policy.
+
+        ``batch`` overrides batch-executor feasibility: workload mode
+        runs per-query searchers, so a multi-query request may still
+        use the non-batch strategies there.
+        """
+        policy = request.plan if request.plan is not None \
+            else self._default_policy
+        return self._planner.plan_queries(
+            list(request.queries), request.k,
+            deadline=request.deadline is not None,
+            batch=request.is_batch if batch is None else batch,
+            policy=policy,
         )
 
     @property
     def choice(self) -> EngineChoice:
-        """Which backend was selected, and why."""
-        return self._choice
+        """Deprecated: the dataset-level decision, as an
+        :class:`EngineChoice`.
+
+        .. deprecated::
+            Slated for removal in 2.0. ``engine.choice`` is now a view
+            of :attr:`default_plan` — use that (or :meth:`plan` /
+            :meth:`explain` for per-request decisions); unlike the old
+            attribute it reports every strategy, including
+            ``compiled``.
+        """
+        warnings.warn(
+            "SearchEngine.choice is deprecated and will be removed in "
+            "2.0; use engine.default_plan (or engine.plan(request) / "
+            "engine.explain(request) for per-request decisions) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return EngineChoice(self._default_plan.strategy,
+                            self._default_plan.reason)
 
     @property
     def searcher(self) -> Searcher:
@@ -208,18 +315,18 @@ class SearchEngine:
 
         ``None`` before the first call. Always describes the backend
         that *actually served* the call — including a per-call
-        ``backend=`` override on :meth:`search_many` — never a stale
-        sibling. Built lazily from snapshots taken around the call, so
-        reading it costs nothing on the hot path.
+        ``plan=`` override on :meth:`search_many` — never a stale
+        sibling, and carries the serialized :class:`QueryPlan` in its
+        ``plan`` section. Built lazily from snapshots taken around the
+        call, so reading it costs nothing on the hot path.
         """
         if self._last_call is None:
             return None
         if self._last_report_cache is None:
-            self._last_report_cache = build_report(
-                choice_backend=self._choice.backend,
-                choice_reason=self._choice.reason,
-                **self._last_call,
-            )
+            call = dict(self._last_call)
+            plan = call.pop("plan_obj", None)
+            call["plan"] = plan.to_dict() if plan is not None else None
+            self._last_report_cache = build_report(**call)
         return self._last_report_cache
 
     @property
@@ -279,16 +386,26 @@ class SearchEngine:
                 delta[name] = {"seconds": seconds, "calls": calls}
         return delta
 
+    def _feed_planner(self, strategy: str, k: int,
+                      lengths: list[int], seconds: float) -> None:
+        """Close the loop: executed window -> planner correction."""
+        try:
+            self._planner.observe_window(strategy, k, lengths, seconds)
+        except Exception:  # pragma: no cover - observation is advisory
+            pass
+
     def _observed_call(self, *, component, backend: str, engine_name: str,
-                       mode: str, queries: int, k: int,
+                       mode: str, queries: list[str], k: int,
                        call: Callable[[], ResultSet | list[Match]],
-                       batch_executor=None):
+                       batch_executor=None,
+                       plan: QueryPlan | None = None):
         """Run one engine call and capture its report window.
 
         Counters and histograms are cumulative in the serving
         component; the window is the before/after difference, so the
         report holds exactly this call's work no matter how many calls
-        came before.
+        came before. The window also feeds the planner's online
+        corrections.
         """
         snapshot = getattr(component, "counters_snapshot", None)
         before_counters = snapshot() if snapshot is not None else {}
@@ -311,11 +428,16 @@ class SearchEngine:
                        else {})
         matches = (result.total_matches if isinstance(result, ResultSet)
                    else len(result))
+        if plan is not None:
+            choice_backend, choice_reason = plan.strategy, plan.reason
+        else:
+            choice_backend = self._default_plan.strategy
+            choice_reason = self._default_plan.reason
         self._last_call = {
             "backend": backend,
             "engine": engine_name,
             "mode": mode,
-            "queries": queries,
+            "queries": len(queries),
             "k": k,
             "matches": matches,
             "seconds": seconds,
@@ -326,10 +448,23 @@ class SearchEngine:
             "batch": (self._batch_delta(before_batch,
                                         self._batch_state(batch_executor))
                       if batch_executor is not None else None),
+            "choice_backend": choice_backend,
+            "choice_reason": choice_reason,
+            "plan_obj": plan,
         }
         self._last_report_cache = None
         if batch_executor is not None:
             self._last_batch_executor = batch_executor
+        if mode != "search" or seconds >= SEARCH_FEEDBACK_FLOOR:
+            # Single-query windows only carry signal once the measured
+            # work dwarfs Python dispatch overhead; below the floor
+            # the observation would teach the planner the overhead,
+            # not the strategy.
+            self._feed_planner(
+                backend, k,
+                sorted({len(query) for query in queries}) or [1],
+                seconds,
+            )
         return result
 
     def _make_compiled_searcher(self) -> Searcher:
@@ -368,6 +503,7 @@ class SearchEngine:
     def _to_request(self, query, k, *, deadline=None, backend=None,
                     report: bool = False,
                     options: SearchOptions | None = None,
+                    plan: PlannerPolicy | None = None,
                     batch: bool = False) -> SearchRequest:
         """Normalize legacy arguments or a :class:`SearchRequest`.
 
@@ -383,32 +519,39 @@ class SearchEngine:
                 )
             options = SearchOptions(report=True)
         return as_request(query, k, deadline=deadline, backend=backend,
-                          options=options, batch=batch)
+                          options=options, plan=plan, batch=batch)
 
-    def _component_for(self, backend: str | None) -> tuple[Searcher, str]:
-        """The searcher serving a per-call backend hint.
+    def _component_for(self, strategy: str) -> tuple[Searcher, str]:
+        """The searcher serving one planned (or forced) strategy.
 
-        Returns ``(component, served_backend)``. ``None``/``"auto"``
-        keep the constructor's decision; a differing hint builds (and
-        caches) a sibling searcher so one engine can serve any backend
-        per request.
+        Returns ``(component, strategy)``. The constructor's searcher
+        serves its own strategy; any other builds (and caches) a
+        sibling searcher so one engine can serve any strategy per
+        request.
         """
-        if backend in (None, "auto") or backend == self._choice.backend:
-            return self._searcher, self._choice.backend
-        if backend == "compiled":
+        if strategy == self._default_plan.strategy:
+            return self._searcher, strategy
+        if strategy == "compiled":
             return self._ensure_batch_searcher(), "compiled"
-        cached = self._override_searchers.get(backend)
+        cached = self._override_searchers.get(strategy)
         if cached is not None:
-            return cached, backend
-        if backend == "sequential":
+            return cached, strategy
+        if strategy == "sequential":
             searcher: Searcher = SequentialScanSearcher(
                 self._strings, kernel="bitparallel", order="length"
             )
-        else:
+        elif strategy == "qgram":
+            searcher = IndexedSearcher(self._strings, index="qgram")
+        elif strategy == "indexed":
             searcher = IndexedSearcher(self._strings, index="flat")
+        else:
+            raise ReproError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{STRATEGIES}"
+            )
         self._attach_obs(searcher)
-        self._override_searchers[backend] = searcher
-        return searcher, backend
+        self._override_searchers[strategy] = searcher
+        return searcher, strategy
 
     # ----------------------------------------------------------------
     # the one-call API
@@ -417,15 +560,19 @@ class SearchEngine:
                *, deadline: Deadline | Budget | None = None,
                backend: str | None = None,
                options: SearchOptions | None = None,
+               plan: PlannerPolicy | None = None,
                report: bool = False):
         """All dataset strings within edit distance ``k`` of ``query``.
 
         Accepts either the legacy positional form (``query, k`` plus
         keywords) or a single :class:`repro.core.request.SearchRequest`
         carrying the same information; a batch request is routed to
-        :meth:`search_many`. With ``report=True`` (or
-        ``options.report``) returns ``(matches, SearchReport)``; either
-        way :attr:`last_report` describes this call afterwards.
+        :meth:`search_many`. ``plan=`` takes a
+        :class:`PlannerPolicy` (forcing a strategy or restricting the
+        planner); the ``backend=`` string spelling is deprecated. With
+        ``report=True`` (or ``options.report``) returns
+        ``(matches, SearchReport)``; either way :attr:`last_report`
+        describes this call afterwards.
 
         A ``deadline`` bounds the work: on expiry the call raises
         :class:`repro.exceptions.DeadlineExceeded` carrying the
@@ -433,20 +580,22 @@ class SearchEngine:
         """
         request = self._to_request(query, k, deadline=deadline,
                                    backend=backend, report=report,
-                                   options=options)
+                                   options=options, plan=plan)
         if request.is_batch:
             return self.search_many(request)
-        component, served = self._component_for(request.backend)
+        qplan = self._plan_request(request)
+        component, served = self._component_for(qplan.strategy)
         matches = self._observed_call(
             component=component,
             backend=served,
             engine_name=getattr(component, "name", served),
             mode="search",
-            queries=1,
+            queries=[request.query],
             k=request.k,
             call=lambda: component.search(request.query, request.k,
                                           deadline=request.deadline),
             batch_executor=getattr(component, "executor", None),
+            plan=qplan,
         )
         if request.options.report:
             return matches, self.last_report
@@ -457,24 +606,26 @@ class SearchEngine:
                     backend: str | None = None,
                     deadline: Deadline | Budget | None = None,
                     options: SearchOptions | None = None,
+                    plan: PlannerPolicy | None = None,
                     report: bool = False):
         """Answer a whole batch of queries at one threshold.
 
-        In the scan regime (``sequential`` or ``compiled``) this routes
-        through the compiled-corpus batch engine — queries are
-        deduplicated, the corpus is encoded and bucketed once, and
-        repeats hit the result memo. In the index regime it routes
-        through the compiled flat-trie batch engine
-        (:class:`repro.index.batch.BatchIndexExecutor`), which dedupes
-        and memoizes the same way and fans distinct queries out over
-        the configured runner. Either way the decision rule's batch
-        extension applies: amortize whatever depends only on the data
-        or only on the distinct query.
+        In the scan regime this routes through the compiled-corpus
+        batch engine — queries are deduplicated, the corpus is encoded
+        and bucketed once, and repeats hit the result memo. In the
+        index regime it routes through the compiled flat-trie batch
+        engine (:class:`repro.index.batch.BatchIndexExecutor`), which
+        dedupes and memoizes the same way and fans distinct queries
+        out over the configured runner. The planner scores both per
+        batch (and may split a mixed-length batch between them when
+        the estimate says the split pays for the extra executor).
 
-        ``backend`` overrides the routing for this call only:
-        ``"compiled"`` forces the batch scan, ``"indexed"`` the batch
-        index. :attr:`last_report` (and the deprecated ``batch_stats``)
-        always reflect the executor that actually served this call.
+        ``plan=`` overrides the routing for this call only (the
+        ``backend=`` string spelling is deprecated):
+        ``PlannerPolicy(strategy="compiled")`` forces the batch scan,
+        ``PlannerPolicy(strategy="indexed")`` the batch index.
+        :attr:`last_report` (and the deprecated ``batch_stats``)
+        always reflect the executor(s) that actually served this call.
         A :class:`SearchRequest` may be passed instead of
         ``queries``/``k``; its fields supply the same information.
 
@@ -487,48 +638,157 @@ class SearchEngine:
         """
         request = self._to_request(queries, k, deadline=deadline,
                                    backend=backend, report=report,
-                                   options=options, batch=True)
+                                   options=options, plan=plan,
+                                   batch=True)
         results = self._execute_batch(request, mode="batch")
         if request.options.report:
             return results, self.last_report
         return results
 
+    def _batch_executor_for(self, strategy: str):
+        """(executor, engine name, callable factory) for a batch slice."""
+        if strategy == "indexed":
+            executor = self._ensure_batch_index()
+            return executor, "batch-index[flat]", executor.search_many
+        searcher = self._ensure_batch_searcher()
+        return searcher.executor, searcher.name, searcher.search_many
     def _execute_batch(self, request: SearchRequest, *,
                        mode: str) -> ResultSet:
-        backend = request.backend
-        if backend not in (None, "auto", "compiled", "indexed"):
+        policy = request.plan if request.plan is not None \
+            else self._default_policy
+        if policy.strategy is not None \
+                and policy.strategy not in ("compiled", "indexed"):
+            if request.plan is not None:
+                # A per-call force of a batch-less strategy is an
+                # error, exactly as before the planner.
+                raise ReproError(
+                    f"unknown batch backend {policy.strategy!r}; "
+                    "expected None, 'compiled' or 'indexed' (the other "
+                    "strategies have no batch executor)"
+                )
+            # An engine-level sequential/qgram force cannot serve a
+            # batch; let the planner pick among the batch executors,
+            # matching the pre-planner engine's behavior.
+            policy = PlannerPolicy(allow=("compiled", "indexed"))
+        qplan = self._planner.plan_queries(
+            list(request.queries), request.k,
+            deadline=request.deadline is not None, batch=True,
+            policy=policy,
+        )
+        strategy = qplan.strategy
+        if strategy not in ("compiled", "indexed"):
             raise ReproError(
-                f"unknown batch backend {backend!r}; expected None, "
-                "'compiled' or 'indexed'"
+                f"unknown batch backend {strategy!r}; expected None, "
+                "'compiled' or 'indexed' (the other strategies have no "
+                "batch executor)"
             )
         query_list = list(request.queries)
         k = request.k
         deadline = request.deadline
-        use_indexed = (backend == "indexed" if backend not in (None, "auto")
-                       else self._choice.backend == "indexed")
-        if use_indexed:
-            executor = self._ensure_batch_index()
-            served = "indexed"
-            engine_name = "batch-index[flat]"
-            call = lambda: executor.search_many(  # noqa: E731
-                query_list, k, runner=self._runner, deadline=deadline)
-        else:
-            searcher = self._ensure_batch_searcher()
-            executor = searcher.executor
-            served = "compiled"
-            engine_name = searcher.name
-            call = lambda: searcher.search_many(  # noqa: E731
-                query_list, k, runner=self._runner, deadline=deadline)
+        if len(qplan.groups) > 1:
+            return self._execute_split_batch(request, qplan, mode=mode)
+        executor, engine_name, search_many = \
+            self._batch_executor_for(strategy)
+        call = lambda: search_many(  # noqa: E731
+            query_list, k, runner=self._runner, deadline=deadline)
         return self._observed_call(
             component=executor,
-            backend=served,
+            backend=strategy,
             engine_name=engine_name,
             mode=mode,
-            queries=len(query_list),
+            queries=query_list,
             k=k,
             call=call,
             batch_executor=executor,
+            plan=qplan,
         )
+
+    def _execute_split_batch(self, request: SearchRequest,
+                             qplan: QueryPlan, *,
+                             mode: str) -> ResultSet:
+        """Serve one batch through several executors, per the plan.
+
+        Each plan group runs through its own batch executor; rows come
+        back in input order, identical to a single-executor run. The
+        report window merges the per-executor counter deltas (their
+        namespaces are disjoint) and sums the batch dedup counters.
+        The planner never splits a deadline'd batch, so each slice runs
+        unbounded.
+        """
+        query_list = list(request.queries)
+        k = request.k
+        sides = []
+        for group in qplan.groups:
+            executor, engine_name, search_many = \
+                self._batch_executor_for(group.strategy)
+            sides.append((group, executor, engine_name, search_many))
+        before = [
+            (executor.counters_snapshot(), executor.hists_snapshot(),
+             self._batch_state(executor))
+            for _, executor, _, _ in sides
+        ]
+        before_timers = (dict(self._metrics.timers())
+                         if self._metrics is not None else {})
+        rows: list = [None] * len(query_list)
+        started = time.perf_counter()
+        for group, executor, engine_name, search_many in sides:
+            subset = [query_list[index] for index in group.indices]
+            result = search_many(subset, k, runner=self._runner)
+            for index, row in zip(group.indices, result.rows):
+                rows[index] = list(row)
+        seconds = time.perf_counter() - started
+        results = ResultSet(query_list, rows)
+        counters: dict = {}
+        histograms: dict = {}
+        batch_total = BatchCounters()
+        for (group, executor, engine_name, _), \
+                (counters_before, hists_before, batch_before) \
+                in zip(sides, before):
+            counters.update(counter_delta(counters_before,
+                                          executor.counters_snapshot()))
+            histograms.update(hists_delta(hists_before,
+                                          executor.hists_snapshot()))
+            delta = self._batch_delta(batch_before,
+                                      self._batch_state(executor))
+            batch_total = BatchCounters(
+                queries_seen=batch_total.queries_seen
+                + delta.queries_seen,
+                unique_queries=batch_total.unique_queries
+                + delta.unique_queries,
+                cache_hits=batch_total.cache_hits + delta.cache_hits,
+                scans_executed=batch_total.scans_executed
+                + delta.scans_executed,
+            )
+            self._last_batch_executor = executor
+        self._last_call = {
+            "backend": qplan.strategy,
+            "engine": "batch-split[" + "+".join(
+                group.strategy for group in qplan.groups) + "]",
+            "mode": mode,
+            "queries": len(query_list),
+            "k": k,
+            "matches": results.total_matches,
+            "seconds": seconds,
+            "counters": counters,
+            "timers": self._timers_delta(before_timers),
+            "histograms": histograms,
+            "batch": batch_total,
+            "choice_backend": qplan.strategy,
+            "choice_reason": qplan.reason,
+            "plan_obj": qplan,
+        }
+        self._last_report_cache = None
+        for group, executor, engine_name, _ in sides:
+            subset_lengths = sorted(
+                {len(query_list[index]) for index in group.indices})
+            # Attribute the window's wall clock proportionally by the
+            # plan's own estimates; good enough for an EWMA step.
+            share = qplan.cost_for(group.strategy) / max(
+                1e-12, sum(qplan.cost_for(g.strategy)
+                           for g in qplan.groups))
+            self._feed_planner(group.strategy, k, subset_lengths,
+                               seconds * share)
+        return results
 
     def run_workload(self, workload: Workload | SearchRequest, *,
                      deadline: Deadline | Budget | None = None,
@@ -557,18 +817,22 @@ class SearchEngine:
             if request.options.report:
                 return results, self.last_report
             return results
-        component = self._searcher
+        # Workload mode runs per-query searchers through the runner, so
+        # every strategy is feasible regardless of batch size.
+        qplan = self._plan_request(request, batch=False)
+        component, served = self._component_for(qplan.strategy)
         queries = request.queries
         k = request.k
         results = self._observed_call(
             component=component,
-            backend=self._choice.backend,
-            engine_name=getattr(component, "name", self._choice.backend),
+            backend=served,
+            engine_name=getattr(component, "name", served),
             mode="workload",
-            queries=len(queries),
+            queries=list(queries),
             k=k,
             call=lambda: component.run_workload(run, self._runner),
             batch_executor=getattr(component, "executor", None),
+            plan=qplan,
         )
         if request.options.report:
             return results, self.last_report

@@ -5,12 +5,25 @@ this decision?". :func:`explain_pair` traces one (query, candidate, k)
 triple through every layer — the length filter, the frequency and
 q-gram bounds, kernel dispatch, the distance itself and the edit
 script — and returns a structured, printable account.
+
+The *plan-level* counterpart — "which execution strategy would serve
+this request, and why?" — lives in :mod:`repro.core.planner` and is
+re-exported here: :class:`QueryPlan` (``SearchEngine.explain()``'s
+return value) extends this module's explanation surface from one pair
+to one request.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# Plan-level EXPLAIN surface (re-exported; see the module docstring).
+from repro.core.planner import (  # noqa: F401
+    CostEstimate,
+    PlannerPolicy,
+    QueryPlan,
+    validate_plan,
+)
 from repro.distance.alignment import edit_script
 from repro.distance.banded import check_threshold, length_filter_passes
 from repro.distance.dispatch import best_kernel, explain_kernel

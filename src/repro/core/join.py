@@ -278,7 +278,8 @@ def similarity_join(left: Sequence[str], right: Sequence[str] | None,
     """Front end choosing the join algorithm by the paper's rule.
 
     ``method`` is ``"scan"``, ``"index"``, ``"prefix"`` or ``"auto"``
-    (short strings → scan, long strings over a small alphabet → index,
+    (the cost-model planner of :mod:`repro.core.planner` scores the
+    scan against the trie for the probe side's shape at this ``k``,
     mirroring :class:`repro.core.engine.SearchEngine`).
     """
     if method not in ("auto", "scan", "index", "prefix"):
@@ -287,11 +288,16 @@ def similarity_join(left: Sequence[str], right: Sequence[str] | None,
             "'index' or 'prefix'"
         )
     if method == "auto":
-        from repro.core.engine import SearchEngine
+        from repro.core.planner import Planner, PlannerPolicy
 
         probe_set = list(left if right is None else right)
-        choice = SearchEngine._decide(tuple(probe_set), "auto")
-        method = "scan" if choice.backend == "sequential" else "index"
+        queries = list(left)
+        planner = Planner(probe_set)
+        qplan = planner.plan_queries(
+            queries or [""], k,
+            policy=PlannerPolicy(allow=("sequential", "indexed")),
+        )
+        method = "scan" if qplan.strategy == "sequential" else "index"
     if method == "scan":
         return scan_join(left, right, k)
     if method == "prefix":

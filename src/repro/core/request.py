@@ -32,12 +32,22 @@ was meant.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.core.deadline import Budget, Deadline
+from repro.core.planner import AUTO_POLICY, STRATEGIES, PlannerPolicy
 from repro.distance.banded import check_threshold
 from repro.exceptions import ReproError
+
+#: Message of the ``backend=`` string-hint deprecation shim (kept in
+#: one place so the message-text tests and every entry point agree).
+BACKEND_DEPRECATION = (
+    "per-call backend= string hints are deprecated and will be removed "
+    "in 2.0; pass plan=PlannerPolicy(strategy=...) (or plan="
+    "PlannerPolicy() for the planner's choice) instead"
+)
 
 
 @dataclass(frozen=True)
@@ -84,22 +94,29 @@ class SearchRequest:
         means unbounded — results are exact and byte-identical to the
         pre-deadline code paths.
     backend:
-        Optional backend hint: ``"sequential"``, ``"compiled"`` or
-        ``"indexed"``. ``None`` lets the engine's decision rule (or
-        the service's ladder) choose.
+        Deprecated string spelling of ``plan`` (``"auto"``,
+        ``"sequential"``, ``"indexed"``, ``"compiled"`` or
+        ``"qgram"``). A non-``None`` value warns and folds into
+        ``plan`` (the field itself is then reset to ``None``); slated
+        for removal in 2.0.
+    plan:
+        Optional :class:`repro.core.planner.PlannerPolicy`: force one
+        execution strategy, restrict the planner's choice, or (the
+        default) let the calibrated cost model decide.
     options:
         A :class:`SearchOptions` value.
 
     Equality and hashing are **canonical**: two requests are equal when
     they describe the same question, regardless of how they were
-    spelled. Concretely, :meth:`canonical_key` normalizes the backend
-    hint (``None`` and ``"auto"`` both mean "you pick") and compares
-    options by value (an explicitly passed all-default
-    :class:`SearchOptions` equals an omitted one), and the ``deadline``
-    is **excluded** — it is execution context (how long *this* attempt
-    may run), not part of the question's identity. That is what lets
-    result-cache keys (:mod:`repro.traffic.cache`) and batch-dedup
-    agree on which requests are "the same query".
+    spelled. Concretely, :meth:`canonical_key` normalizes the policy
+    (``None``, an all-default :class:`PlannerPolicy` and the legacy
+    ``backend="auto"`` all mean "you pick") and compares options by
+    value (an explicitly passed all-default :class:`SearchOptions`
+    equals an omitted one), and the ``deadline`` is **excluded** — it
+    is execution context (how long *this* attempt may run), not part
+    of the question's identity. That is what lets result-cache keys
+    (:mod:`repro.traffic.cache`) and batch-dedup agree on which
+    requests are "the same query".
 
     Examples
     --------
@@ -112,8 +129,11 @@ class SearchRequest:
     >>> batch.is_batch
     True
     >>> SearchRequest("Bern", 1) == SearchRequest(
-    ...     "Bern", 1, backend="auto", options=SearchOptions())
+    ...     "Bern", 1, plan=PlannerPolicy(), options=SearchOptions())
     True
+    >>> SearchRequest("Bern", 1, plan=PlannerPolicy(
+    ...     strategy="compiled")).policy.strategy
+    'compiled'
     """
 
     query: str | tuple[str, ...]
@@ -121,6 +141,7 @@ class SearchRequest:
     deadline: Deadline | Budget | None = None
     backend: str | None = None
     options: SearchOptions = field(default=DEFAULT_OPTIONS)
+    plan: PlannerPolicy | None = None
 
     def __post_init__(self) -> None:
         check_threshold(self.k)
@@ -132,22 +153,39 @@ class SearchRequest:
                         f"batch request queries must be strings, "
                         f"got {item!r}"
                     )
-        if self.backend is not None and self.backend not in (
-                "auto", "sequential", "indexed", "compiled"):
-            raise ReproError(
-                f"unknown backend {self.backend!r}; expected 'auto', "
-                "'sequential', 'indexed' or 'compiled'"
-            )
+        if self.backend is not None:
+            if self.backend not in ("auto",) + STRATEGIES:
+                raise ReproError(
+                    f"unknown backend {self.backend!r}; expected "
+                    f"'auto' or one of {STRATEGIES}"
+                )
+            if self.plan is not None:
+                raise ReproError(
+                    "pass either the deprecated backend= string or "
+                    "plan=PlannerPolicy(...), not both"
+                )
+            warnings.warn(BACKEND_DEPRECATION, DeprecationWarning,
+                          stacklevel=3)
+            object.__setattr__(
+                self, "plan", PlannerPolicy.from_backend(self.backend))
+            object.__setattr__(self, "backend", None)
+
+    @property
+    def policy(self) -> PlannerPolicy:
+        """The effective :class:`PlannerPolicy` (never ``None``)."""
+        return self.plan if self.plan is not None else AUTO_POLICY
 
     def canonical_key(self) -> tuple:
         """The request's identity, normalized (see the class docstring).
 
-        ``(query, k, backend, options)`` with ``backend="auto"``
-        folded to ``None`` and the deadline left out. Stable across
-        spelling variants, so it is safe as a cache or dedup key.
+        ``(query, k, policy, options)`` with an all-default policy
+        (and the legacy ``backend="auto"``) folded to ``None`` and the
+        deadline left out. Stable across spelling variants, so it is
+        safe as a cache or dedup key.
         """
-        backend = self.backend if self.backend != "auto" else None
-        return (self.query, self.k, backend, self.options)
+        policy = self.plan if self.plan not in (None, AUTO_POLICY) \
+            else None
+        return (self.query, self.k, policy, self.options)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SearchRequest):
@@ -174,10 +212,12 @@ class SearchRequest:
                       deadline: Deadline | Budget | None = None,
                       backend: str | None = None,
                       options: SearchOptions = DEFAULT_OPTIONS,
+                      plan: PlannerPolicy | None = None,
                       ) -> "SearchRequest":
         """A batch request over a :class:`repro.data.workload.Workload`."""
         return cls(tuple(workload.queries), workload.k,
-                   deadline=deadline, backend=backend, options=options)
+                   deadline=deadline, backend=backend, options=options,
+                   plan=plan)
 
     def with_options(self, **changes) -> "SearchRequest":
         """A copy with :class:`SearchOptions` fields replaced."""
@@ -188,6 +228,7 @@ def as_request(query, k: int | None = None, *,
                deadline: Deadline | Budget | None = None,
                backend: str | None = None,
                options: SearchOptions | None = None,
+               plan: PlannerPolicy | None = None,
                batch: bool = False) -> SearchRequest:
     """Normalize the legacy positional form or a request into a request.
 
@@ -197,6 +238,7 @@ def as_request(query, k: int | None = None, *,
     legacy ``query``/``queries`` value, combined with ``k`` and the
     keyword arguments per the mapping in the module docstring.
     ``batch`` wraps a non-request ``query`` as a batch of queries.
+    A ``backend`` string is the deprecated spelling of ``plan``.
     """
     if isinstance(query, SearchRequest):
         if k is not None:
@@ -204,7 +246,7 @@ def as_request(query, k: int | None = None, *,
                 "pass k inside the SearchRequest, not alongside it"
             )
         for name, value in (("deadline", deadline), ("backend", backend),
-                            ("options", options)):
+                            ("options", options), ("plan", plan)):
             if value is not None:
                 raise ReproError(
                     f"pass {name} inside the SearchRequest, not "
@@ -225,6 +267,7 @@ def as_request(query, k: int | None = None, *,
     return SearchRequest(
         query, k, deadline=deadline, backend=backend,
         options=options if options is not None else DEFAULT_OPTIONS,
+        plan=plan,
     )
 
 

@@ -63,8 +63,13 @@ REPORT_SCHEMA: dict[str, Any] = {
 
 #: Optional top-level sections :func:`validate_report` type-checks only
 #: when present (additive evolution without a schema-version bump).
+#: ``plan`` is the serialized EXPLAIN plan of the call
+#: (:meth:`repro.core.planner.QueryPlan.to_dict`), emitted by
+#: planner-routed engines and deep-checked via
+#: :func:`repro.core.planner.validate_plan`.
 OPTIONAL_REPORT_SCHEMA: dict[str, Any] = {
     "gauges": dict,        # dotted-name -> number, last-write-wins
+    "plan": dict,          # serialized QueryPlan (EXPLAIN section)
 }
 
 #: Required keys of a non-``None`` ``batch`` section.
@@ -155,14 +160,15 @@ class SearchReport:
     batch: BatchCounters | None = None
     choice_backend: str = ""
     choice_reason: str = ""
+    plan: Mapping[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict[str, Any]:
         """The documented structured form (see :data:`REPORT_SCHEMA`).
 
-        The ``gauges`` key is emitted only when the report carries any
-        — reports from paths without gauges keep their historical shape
-        byte-for-byte.
+        The ``gauges`` and ``plan`` keys are emitted only when the
+        report carries them — reports from paths without those
+        sections keep their historical shape byte-for-byte.
         """
         mapping = {
             "schema_version": self.schema_version,
@@ -186,6 +192,8 @@ class SearchReport:
         }
         if self.gauges:
             mapping["gauges"] = dict(self.gauges)
+        if self.plan is not None:
+            mapping["plan"] = dict(self.plan)
         return mapping
 
     def to_json(self, *, indent: int | None = None) -> str:
@@ -218,6 +226,17 @@ class SearchReport:
             lines.append(f"  {name} = {self.counters[name]:g}")
         for name in sorted(self.gauges):
             lines.append(f"  {name} = {self.gauges[name]:g} (gauge)")
+        if self.plan is not None:
+            estimates = self.plan.get("estimates") or []
+            ranked = ", ".join(
+                f"{cell.get('strategy')}={cell.get('cost', 0.0):.2e}s"
+                for cell in estimates if isinstance(cell, Mapping)
+            )
+            lines.append(
+                f"  plan: {self.plan.get('strategy')} "
+                f"({ranked})" if ranked else
+                f"  plan: {self.plan.get('strategy')}"
+            )
         for name in sorted(self.timers):
             cell = self.timers[name]
             lines.append(
@@ -242,14 +261,17 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
                  gauges: Mapping[str, float] | None = None,
                  batch: Any = None,
                  choice_backend: str = "",
-                 choice_reason: str = "") -> SearchReport:
+                 choice_reason: str = "",
+                 plan: Mapping[str, Any] | None = None) -> SearchReport:
     """Assemble a frozen :class:`SearchReport`.
 
     ``batch`` accepts ``None``, a :class:`BatchCounters`, or any
     ``BatchStats``-shaped object (frozen via duck typing); mappings are
     defensively copied and wrapped read-only. ``histograms`` accepts
     live :class:`repro.obs.hist.Histogram` objects (summarized here)
-    or ready-made summary dicts.
+    or ready-made summary dicts. ``plan`` takes the serialized
+    :class:`repro.core.planner.QueryPlan` of the call (the additive
+    EXPLAIN section), when one routed it.
     """
     if mode not in REPORT_MODES:
         raise ReproError(
@@ -282,6 +304,7 @@ def build_report(*, backend: str, engine: str, mode: str, queries: int,
         batch=batch,
         choice_backend=choice_backend,
         choice_reason=choice_reason,
+        plan=MappingProxyType(dict(plan)) if plan is not None else None,
     )
 
 
@@ -314,6 +337,7 @@ def report_from_dict(mapping: Mapping[str, Any]) -> SearchReport:
         ) if batch else None,
         choice_backend=choice.get("backend", ""),
         choice_reason=choice.get("reason", ""),
+        plan=mapping.get("plan"),
     )
 
 
@@ -366,6 +390,10 @@ def validate_report(mapping: Mapping[str, Any]) -> list[str]:
             if not isinstance(name, str) or isinstance(value, bool) \
                     or not isinstance(value, (int, float)):
                 problems.append(f"gauge {name!r} is not numeric")
+    if isinstance(mapping.get("plan"), Mapping):
+        from repro.core.planner import validate_plan
+
+        problems.extend(validate_plan(mapping["plan"]))
     for name, value in mapping["counters"].items():
         if not isinstance(name, str) or isinstance(value, bool) \
                 or not isinstance(value, (int, float)):

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.core.deadline import Budget, Deadline
+from repro.core.planner import Planner, PlannerPolicy
 from repro.core.request import SearchOptions, SearchRequest, as_request
 from repro.core.result import Match
 from repro.exceptions import (
@@ -214,6 +215,8 @@ class Service:
         self._hists = {"service.submit_seconds": Histogram()}
         self._counters_lock = threading.Lock()
         self._last_seconds = 0.0
+        self._planner: Planner | None = None
+        self._planner_lock = threading.Lock()
 
     @property
     def corpus(self) -> ShardedCorpus:
@@ -229,6 +232,19 @@ class Service:
     def plans(self) -> tuple:
         """The degradation ladder, best rung first."""
         return self._plans
+
+    @property
+    def planner(self) -> Planner:
+        """The cost-model planner ordering the ladder's rungs.
+
+        Built lazily (the ANALYZE pass walks the whole corpus once);
+        shared by every submit, so its online corrections accumulate
+        across the service's lifetime.
+        """
+        with self._planner_lock:
+            if self._planner is None:
+                self._planner = Planner(self._corpus.strings)
+            return self._planner
 
     def attach_metrics(self, registry: MetricsRegistry | None) -> None:
         """Attach (or detach, with ``None``) a span/timer registry."""
@@ -295,18 +311,24 @@ class Service:
     def submit(self, query: str | SearchRequest, k: int | None = None,
                *, deadline: Deadline | Budget | None = None,
                backend: str | None = None,
-               options: SearchOptions | None = None) -> ServiceResult:
+               options: SearchOptions | None = None,
+               plan: PlannerPolicy | None = None) -> ServiceResult:
         """Answer one query through admission, ladder and deadline.
 
         Accepts the legacy positional form or a single
-        :class:`SearchRequest`. Raises :class:`ServiceOverloaded` when
-        all ``capacity`` slots are taken, and
-        :class:`PartialResultError` when the answer is not the full
-        exact one and ``options.allow_partial`` is ``False`` (the
-        refused result rides on the error's ``result`` attribute).
+        :class:`SearchRequest`. ``plan=`` takes a
+        :class:`repro.core.planner.PlannerPolicy` hint for the ladder
+        ordering (the ``backend=`` string spelling is deprecated); by
+        default the cost-model planner picks the first rung per query.
+        Raises :class:`ServiceOverloaded` when all ``capacity`` slots
+        are taken, and :class:`PartialResultError` when the answer is
+        not the full exact one and ``options.allow_partial`` is
+        ``False`` (the refused result rides on the error's ``result``
+        attribute).
         """
         request = as_request(query, k, deadline=deadline,
-                             backend=backend, options=options)
+                             backend=backend, options=options,
+                             plan=plan)
         if request.is_batch:
             raise ReproError(
                 "Service.submit answers one query per call; submit "
@@ -362,10 +384,26 @@ class Service:
             )
         return result
 
-    def _ordered_plans(self, backend: str | None) -> tuple:
-        """The ladder, with the hinted rung (if any) promoted to front."""
-        hint = {"indexed": "flat", "compiled": "compiled",
-                "sequential": "sequential"}.get(backend or "")
+    def _ordered_plans(self, request: SearchRequest) -> tuple:
+        """The ladder, reordered for this request.
+
+        A forced :class:`PlannerPolicy` strategy promotes its rung to
+        the front, exactly like the old ``backend=`` hints. Otherwise
+        the cost-model planner scores the request's shape and promotes
+        the rung matching its choice — the ladder stays a *degradation*
+        ladder (every rung below remains reachable), the planner only
+        decides where it starts.
+        """
+        strategy = request.policy.strategy
+        if strategy is None:
+            qplan = self.planner.plan_queries(
+                [request.query], request.k,
+                deadline=request.deadline is not None,
+            )
+            strategy = qplan.strategy
+        hint = {"indexed": "flat", "qgram": "flat",
+                "compiled": "compiled",
+                "sequential": "sequential"}.get(strategy or "")
         if hint is None:
             return self._plans
         promoted = [plan for plan in self._plans
@@ -392,7 +430,7 @@ class Service:
         query = request.query
         k = request.k
         deadline = request.deadline
-        plans = self._ordered_plans(request.backend)
+        plans = self._ordered_plans(request)
         best_partial: tuple[Match, ...] | None = None
         attempts = 0
         for rung, plan in enumerate(plans):

@@ -3,37 +3,53 @@
 import pytest
 
 from repro.core.engine import SearchEngine
-from repro.core.indexed import IndexedSearcher
 from repro.core.sequential import SequentialScanSearcher
 from repro.data.workload import Workload
 from repro.exceptions import ReproError
 
 
 class TestBackendSelection:
-    def test_city_regime_selects_sequential(self, city_names):
+    def test_default_plan_is_the_cheapest_feasible(self, city_names):
+        plan = SearchEngine(city_names).default_plan
+        feasible = [e for e in plan.estimates if e.feasible]
+        assert plan.strategy == min(feasible,
+                                    key=lambda e: e.cost).strategy
+
+    def test_default_plan_tracks_the_regime(self, city_names,
+                                            dna_reads):
+        for corpus in (city_names, dna_reads):
+            plan = SearchEngine(corpus).default_plan
+            assert "regime" in plan.reason
+            assert not plan.forced
+
+    def test_choice_is_a_deprecated_view_of_the_plan(self, city_names):
         engine = SearchEngine(city_names)
-        assert engine.choice.backend == "sequential"
-        assert isinstance(engine.searcher, SequentialScanSearcher)
+        with pytest.warns(DeprecationWarning, match="default_plan"):
+            choice = engine.choice
+        assert choice.backend == engine.default_plan.strategy
+        assert choice.reason == engine.default_plan.reason
 
-    def test_dna_regime_selects_indexed(self, dna_reads):
-        engine = SearchEngine(dna_reads)
-        assert engine.choice.backend == "indexed"
-        assert isinstance(engine.searcher, IndexedSearcher)
-
-    def test_choice_carries_a_reason(self, city_names):
-        assert "regime" in SearchEngine(city_names).choice.reason
+    def test_choice_sees_the_compiled_backend(self, city_names):
+        # Regression: EngineChoice used to be blind to the compiled
+        # backend; as a plan view it reports every strategy.
+        engine = SearchEngine(city_names, backend="compiled")
+        with pytest.warns(DeprecationWarning):
+            assert engine.choice.backend == "compiled"
 
     def test_forced_backends(self, city_names):
         forced = SearchEngine(city_names, backend="indexed")
-        assert forced.choice.backend == "indexed"
-        assert forced.choice.reason == "forced by caller"
+        assert forced.default_plan.strategy == "indexed"
+        assert forced.default_plan.reason == "forced by caller"
+        assert forced.default_plan.forced
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ReproError):
             SearchEngine(["a"], backend="gpu")
 
     def test_empty_dataset_defaults_to_sequential(self):
-        assert SearchEngine([]).choice.backend == "sequential"
+        engine = SearchEngine([])
+        assert engine.default_plan.strategy == "sequential"
+        assert isinstance(engine.searcher, SequentialScanSearcher)
 
 
 class TestSearch:
@@ -73,7 +89,7 @@ class TestSearch:
 
 class TestBatchPath:
     def test_indexed_backend_is_served_by_the_flat_trie(self, dna_reads):
-        engine = SearchEngine(dna_reads)
+        engine = SearchEngine(dna_reads, backend="indexed")
         assert engine.searcher.kind == "flat"
         assert engine.searcher.flat_trie is not None
 

@@ -3,11 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import (
-    MEAN_LENGTH_CUTOFF,
-    SMALL_ALPHABET_CUTOFF,
-    SearchEngine,
-)
+from repro.core.engine import SearchEngine
 from repro.core.problem import SimilaritySearchProblem
 
 datasets = st.lists(
@@ -23,26 +19,30 @@ class TestDecisionRule:
     @given(st.integers(min_value=1, max_value=200),
            st.integers(min_value=2, max_value=30))
     def test_decision_depends_only_on_shape(self, length, alphabet_size):
-        # Build a dataset with exactly this mean length and alphabet.
+        # Build a dataset with exactly this mean length and alphabet;
+        # the planner's decision is a pure function of that shape, so
+        # two engines over it must plan identically — and never pick a
+        # strategy costlier than the cheapest feasible estimate.
         symbols = "ACGTNWXYZKLMPQRSUVabcdefghijkl"[:alphabet_size]
         strings = tuple(
             symbols[i % alphabet_size] * length for i in range(6)
         )
-        choice = SearchEngine._decide(strings, "auto")
-        long_strings = length > MEAN_LENGTH_CUTOFF
-        tiny_alphabet = len(set("".join(strings))) <= \
-            SMALL_ALPHABET_CUTOFF
-        if long_strings and tiny_alphabet:
-            assert choice.backend == "indexed"
-        else:
-            assert choice.backend == "sequential"
+        plan = SearchEngine(strings).default_plan
+        again = SearchEngine(strings).default_plan
+        assert plan.strategy == again.strategy
+        assert [e.cost for e in plan.estimates] \
+            == [e.cost for e in again.estimates]
+        feasible = [e for e in plan.estimates if e.feasible]
+        assert plan.cost_for(plan.strategy) \
+            == min(e.cost for e in feasible)
 
     @settings(max_examples=30)
     @given(datasets)
     def test_forced_backends_ignore_shape(self, dataset):
         for backend in ("sequential", "indexed"):
             engine = SearchEngine(dataset, backend=backend)
-            assert engine.choice.backend == backend
+            assert engine.default_plan.strategy == backend
+            assert engine.default_plan.forced
 
 
 class TestEngineSearchProperties:

@@ -51,7 +51,7 @@ class TestOneSchemaAcrossBackends:
         assert report.counters["trie.nodes_visited"] > 0
 
     def test_batch_index_report(self, dna_reads):
-        engine = SearchEngine(dna_reads)     # indexed regime
+        engine = SearchEngine(dna_reads, backend="indexed")
         _, report = engine.search_many(dna_reads[:3], 2, report=True)
         assert validate_report(report.to_dict()) == []
         assert report.backend == "indexed"
@@ -72,9 +72,13 @@ class TestOneSchemaAcrossBackends:
     def test_choice_section_carries_the_decision(self, dna_reads):
         engine = SearchEngine(dna_reads)
         engine.search(dna_reads[0], 2)
-        choice = engine.last_report.to_dict()["choice"]
-        assert choice["backend"] == "indexed"
+        report = engine.last_report.to_dict()
+        choice = report["choice"]
+        # The choice section now mirrors the per-call QueryPlan: it
+        # names the strategy that actually served this call.
+        assert choice["backend"] == report["backend"]
         assert "regime" in choice["reason"]
+        assert report["plan"]["strategy"] == report["backend"]
 
 
 class TestReportHistograms:
@@ -99,7 +103,7 @@ class TestReportHistograms:
         assert validate_report(report.to_dict()) == []
 
     def test_batch_index_report_has_latency_quantiles(self, dna_reads):
-        engine = SearchEngine(dna_reads)     # indexed regime
+        engine = SearchEngine(dna_reads, backend="indexed")
         _, report = engine.search_many(dna_reads[:4], 2, report=True)
         cell = report.to_dict()["histograms"]["trie.query_seconds"]
         assert cell["count"] == 4
@@ -153,9 +157,12 @@ class TestServingBackendNeverStale:
         # Regression: after a caller forces the compiled path, the
         # report (and the deprecated shim) must describe the compiled
         # executor, not the engine's own batch index.
-        engine = SearchEngine(dna_reads)     # indexed regime
+        from repro.core.planner import PlannerPolicy
+
+        engine = SearchEngine(dna_reads, backend="indexed")
         engine.search_many(dna_reads[:2], 2)           # batch index
-        engine.search_many(dna_reads[:4], 2, backend="compiled")
+        engine.search_many(dna_reads[:4], 2,
+                           plan=PlannerPolicy(strategy="compiled"))
         report = engine.last_report
         assert report.backend == "compiled"
         assert report.batch.queries_seen == 4
@@ -166,9 +173,13 @@ class TestServingBackendNeverStale:
         assert stats.queries_seen == 4       # the compiled executor's
 
     def test_switching_back_to_the_index(self, dna_reads):
+        from repro.core.planner import PlannerPolicy
+
         engine = SearchEngine(dna_reads)
-        engine.search_many(dna_reads[:4], 2, backend="compiled")
-        engine.search_many(dna_reads[:3], 2, backend="indexed")
+        engine.search_many(dna_reads[:4], 2,
+                           plan=PlannerPolicy(strategy="compiled"))
+        engine.search_many(dna_reads[:3], 2,
+                           plan=PlannerPolicy(strategy="indexed"))
         report = engine.last_report
         assert report.backend == "indexed"
         assert report.batch.queries_seen == 3
@@ -226,8 +237,8 @@ class TestProcessPoolParity:
 
     def test_batch_index_counters_match_serial(self, dna_reads):
         queries = list(dna_reads[:5])
-        serial = SearchEngine(dna_reads)
-        pooled = SearchEngine(dna_reads,
+        serial = SearchEngine(dna_reads, backend="indexed")
+        pooled = SearchEngine(dna_reads, backend="indexed",
                               runner=ProcessPoolRunner(processes=2))
         serial_results, serial_report = serial.search_many(
             queries, 2, report=True)
@@ -266,8 +277,8 @@ class TestProcessPoolParity:
 
     def test_batch_index_histograms_match_serial(self, dna_reads):
         queries = list(dna_reads[:5])
-        serial = SearchEngine(dna_reads)
-        pooled = SearchEngine(dna_reads,
+        serial = SearchEngine(dna_reads, backend="indexed")
+        pooled = SearchEngine(dna_reads, backend="indexed",
                               runner=ProcessPoolRunner(processes=2))
         _, serial_report = serial.search_many(queries, 2, report=True)
         _, pooled_report = pooled.search_many(queries, 2, report=True)

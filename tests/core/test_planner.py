@@ -1,0 +1,281 @@
+"""Tests for the cost-model query planner (`repro.core.planner`)."""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SearchEngine
+from repro.core.planner import (
+    AUTO_POLICY,
+    STRATEGIES,
+    CostProfile,
+    Planner,
+    PlannerPolicy,
+    QueryPlan,
+    calibrate,
+    collect_statistics,
+    validate_plan,
+)
+from repro.core.request import BACKEND_DEPRECATION, SearchRequest
+from repro.exceptions import ReproError
+from repro.obs.report import validate_report
+
+
+class TestCostProfile:
+    def test_round_trip_through_disk(self, tmp_path):
+        profile = CostProfile(seq_candidate=3.3e-6, trie_node=1.1e-6)
+        path = profile.save(str(tmp_path / "profile.json"))
+        loaded = CostProfile.load(path)
+        assert loaded == profile
+        assert loaded.seq_candidate == 3.3e-6
+        assert loaded.trie_node == 1.1e-6
+
+    def test_serialized_form_is_versioned(self, tmp_path):
+        path = CostProfile().save(str(tmp_path / "p.json"))
+        with open(path, encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert on_disk["profile_version"] == 1
+
+    def test_future_version_rejected(self):
+        mapping = CostProfile().to_dict()
+        mapping["profile_version"] = 99
+        with pytest.raises(ReproError):
+            CostProfile.from_dict(mapping)
+
+    def test_non_positive_constants_rejected(self):
+        with pytest.raises(ReproError):
+            CostProfile(seq_candidate=0.0)
+
+    def test_engine_accepts_a_profile_path(self, city_names, tmp_path):
+        path = CostProfile().save(str(tmp_path / "p.json"))
+        engine = SearchEngine(city_names, profile=path)
+        assert engine.planner.profile == CostProfile()
+
+
+class TestStatistics:
+    def test_candidate_window_is_exact(self, city_names):
+        stats = collect_statistics(city_names)
+        for length, k in ((7, 0), (7, 2), (1, 4), (40, 2)):
+            expected = sum(
+                1 for s in city_names
+                if length - k <= len(s) <= length + k
+            )
+            assert stats.candidates_in_window(length, k) == expected
+
+    def test_to_dict_is_stable_and_serializable(self, dna_reads):
+        stats = collect_statistics(dna_reads)
+        again = collect_statistics(dna_reads)
+        assert stats.to_dict() == again.to_dict()
+        assert json.loads(json.dumps(stats.to_dict())) \
+            == stats.to_dict()
+
+
+class TestPlanner:
+    def test_planning_is_deterministic(self, city_names):
+        first = Planner(city_names)
+        second = Planner(city_names)
+        for k in (0, 1, 2, 4):
+            a = first.plan(length=8, k=k)
+            b = second.plan(length=8, k=k)
+            assert a.strategy == b.strategy
+            assert [e.cost for e in a.estimates] \
+                == [e.cost for e in b.estimates]
+
+    def test_picks_the_cheapest_feasible(self, city_names, dna_reads):
+        for corpus in (city_names, dna_reads):
+            planner = Planner(corpus)
+            for k in (0, 1, 2, 4):
+                plan = planner.plan(length=len(corpus[0]), k=k)
+                feasible = [e for e in plan.estimates if e.feasible]
+                assert plan.cost_for(plan.strategy) \
+                    == min(e.cost for e in feasible)
+
+    def test_every_strategy_is_scored(self, city_names):
+        plan = Planner(city_names).plan(length=7, k=2)
+        assert {e.strategy for e in plan.estimates} == set(STRATEGIES)
+
+    def test_costs_grow_with_k(self, city_names):
+        planner = Planner(city_names)
+        seq = [planner.estimate("sequential", 7, k) for k in range(5)]
+        assert seq == sorted(seq)
+
+    def test_batch_mode_drops_non_batch_strategies(self, city_names):
+        plan = Planner(city_names).plan(queries=["Berlin", "Hamburg"],
+                                        k=1, batch=True)
+        assert plan.strategy in ("compiled", "indexed")
+        infeasible = {e.strategy for e in plan.estimates
+                      if not e.feasible}
+        assert {"sequential", "qgram"} <= infeasible
+
+    def test_deadline_mode_drops_the_qgram_path(self, city_names):
+        plan = Planner(city_names).plan(length=7, k=2, deadline=True)
+        qgram = next(e for e in plan.estimates
+                     if e.strategy == "qgram")
+        assert not qgram.feasible
+
+    def test_forced_policy_wins_regardless_of_cost(self, city_names):
+        planner = Planner(city_names)
+        for strategy in STRATEGIES:
+            plan = planner.plan(
+                length=7, k=2,
+                policy=PlannerPolicy(strategy=strategy),
+            )
+            assert plan.strategy == strategy
+            assert plan.forced
+
+    def test_observe_window_bends_future_estimates(self, city_names):
+        planner = Planner(city_names)
+        before = planner.estimate("sequential", 7, 2)
+        # Report the sequential scan running 10x slower than predicted.
+        planner.observe_window("sequential", 2, [7] * 20, before * 200)
+        after = planner.estimate("sequential", 7, 2)
+        assert after > before
+        assert planner.observed_windows == 1
+
+    def test_corrections_are_clamped(self, city_names):
+        planner = Planner(city_names)
+        predicted = planner.estimate("indexed", 7, 1)
+        planner.observe_window("indexed", 1, [7], predicted * 1e6)
+        assert planner.estimate("indexed", 7, 1) <= predicted * 32
+
+
+class TestPlanSerialization:
+    def test_to_dict_validates(self, city_names):
+        plan = Planner(city_names).plan(length=7, k=2)
+        assert validate_plan(plan.to_dict()) == []
+
+    def test_validate_plan_flags_problems(self, city_names):
+        mapping = Planner(city_names).plan(length=7, k=2).to_dict()
+        mapping["strategy"] = "gpu"
+        del mapping["estimates"]
+        problems = validate_plan(mapping)
+        assert problems
+
+    def test_report_carries_a_valid_plan_section(self, city_names):
+        engine = SearchEngine(city_names)
+        engine.search("Berlino", 2)
+        mapping = engine.last_report.to_dict()
+        assert validate_report(mapping) == []
+        assert mapping["plan"]["strategy"] == mapping["backend"]
+        assert validate_plan(mapping["plan"]) == []
+
+    def test_corrupt_plan_section_fails_report_validation(
+            self, city_names):
+        engine = SearchEngine(city_names)
+        engine.search("Berlino", 2)
+        mapping = engine.last_report.to_dict()
+        mapping["plan"] = {"strategy": 42}
+        assert validate_report(mapping)
+
+
+class TestEnginePlanAPI:
+    def test_explain_matches_the_executed_plan(self, city_names):
+        engine = SearchEngine(city_names)
+        explained = engine.explain("Berlino", 2)
+        engine.search("Berlino", 2)
+        assert engine.last_report.backend == explained.strategy
+
+    def test_explain_does_not_execute(self, city_names):
+        engine = SearchEngine(city_names)
+        engine.explain("Berlino", 2)
+        assert engine.last_report is None
+
+    def test_plan_render_mentions_every_strategy(self, city_names):
+        rendered = SearchEngine(city_names).explain("Berlino", 2) \
+                                           .render()
+        for strategy in STRATEGIES:
+            assert strategy in rendered
+
+    def test_default_plan_is_a_query_plan(self, city_names):
+        plan = SearchEngine(city_names).default_plan
+        assert isinstance(plan, QueryPlan)
+        assert plan.strategy in STRATEGIES
+
+    def test_qgram_strategy_matches_sequential_results(self,
+                                                       city_names):
+        auto = SearchEngine(city_names)
+        sequential = SearchEngine(city_names, backend="sequential")
+        qgram = SearchEngine(city_names, backend="qgram")
+        for query in ("Berlino", "Hamburq", city_names[0]):
+            expected = sequential.search(query, 2)
+            assert auto.search(query, 2) == expected
+            assert qgram.search(query, 2) == expected
+
+    def test_split_batch_matches_unsplit(self, city_names, dna_reads):
+        # A batch mixing the two regimes may be split across executors;
+        # results must equal the single-executor answer, row for row.
+        corpus = tuple(city_names) + tuple(dna_reads)
+        queries = [city_names[0], dna_reads[0], city_names[1],
+                   dna_reads[1]]
+        engine = SearchEngine(corpus)
+        unsplit = SearchEngine(corpus, backend="compiled")
+        assert engine.search_many(queries, 2) \
+            == unsplit.search_many(queries, 2)
+
+
+class TestBackendDeprecation:
+    def test_request_backend_string_warns_with_the_documented_text(
+            self):
+        with pytest.warns(DeprecationWarning) as captured:
+            request = SearchRequest("q", 1, backend="indexed")
+        assert str(captured[0].message) == BACKEND_DEPRECATION
+        assert "removed in 2.0" in BACKEND_DEPRECATION
+        assert "plan=PlannerPolicy" in BACKEND_DEPRECATION
+        assert request.backend is None
+        assert request.policy.strategy == "indexed"
+
+    def test_engine_per_call_backend_string_warns(self, city_names):
+        engine = SearchEngine(city_names)
+        with pytest.warns(DeprecationWarning, match="plan="):
+            hinted = engine.search("Berlino", 2, backend="sequential")
+        assert hinted == engine.search("Berlino", 2)
+
+    def test_plan_policy_does_not_warn(self, city_names):
+        engine = SearchEngine(city_names)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.search("Berlino", 2,
+                          plan=PlannerPolicy(strategy="sequential"))
+
+    def test_choice_warns_and_mirrors_the_plan(self, city_names):
+        engine = SearchEngine(city_names)
+        with pytest.warns(DeprecationWarning, match="removed in 2.0"):
+            choice = engine.choice
+        assert choice.backend == engine.default_plan.strategy
+
+
+class TestPlannerProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(length=st.integers(min_value=1, max_value=120),
+           k=st.integers(min_value=0, max_value=6),
+           deadline=st.booleans(), batch=st.booleans())
+    def test_never_picks_a_costlier_strategy(self, city_names, length,
+                                             k, deadline, batch):
+        planner = Planner(city_names)
+        if deadline and batch:
+            batch = False  # deadline batches degrade elsewhere
+        plan = planner.plan(length=length, k=k, deadline=deadline,
+                            batch=batch)
+        feasible = [e for e in plan.estimates if e.feasible]
+        minimum = min(e.cost for e in feasible)
+        assert plan.cost_for(plan.strategy) <= minimum
+        assert any(e.strategy == plan.strategy and e.feasible
+                   for e in plan.estimates)
+
+
+class TestCalibrate:
+    def test_calibrate_smoke(self, tmp_path):
+        profile = calibrate(city_count=120, dna_count=24, queries=4,
+                            repeats=1)
+        for name, value in profile.constants().items():
+            assert value > 0, name
+        path = profile.save(str(tmp_path / "calibrated.json"))
+        assert CostProfile.load(path) == profile
+
+    def test_auto_policy_is_the_default(self):
+        assert AUTO_POLICY.is_auto
+        assert PlannerPolicy.from_backend(None) == AUTO_POLICY
+        assert PlannerPolicy.from_backend("auto") == AUTO_POLICY

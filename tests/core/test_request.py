@@ -192,12 +192,25 @@ class TestEngineAcceptsRequests:
             engine.search(SearchRequest("q", 1), report=True)
 
     def test_per_request_backend_hint_on_single_search(self):
-        engine = SearchEngine(CITIES)  # decides sequential
-        assert engine.choice.backend == "sequential"
-        hinted = engine.search(SearchRequest("Berlino", 2,
-                                             backend="indexed"))
+        engine = SearchEngine(CITIES)
+        with pytest.warns(DeprecationWarning, match="plan="):
+            request = SearchRequest("Berlino", 2, backend="indexed")
+        assert request.backend is None
+        assert request.policy.strategy == "indexed"
+        hinted = engine.search(request)
         assert engine.last_report.backend == "indexed"
         assert hinted == engine.search("Berlino", 2)
+
+    def test_per_request_plan_on_single_search(self):
+        from repro.core.planner import PlannerPolicy
+
+        engine = SearchEngine(CITIES)
+        planned = engine.search(
+            SearchRequest("Berlino", 2,
+                          plan=PlannerPolicy(strategy="indexed"))
+        )
+        assert engine.last_report.backend == "indexed"
+        assert planned == engine.search("Berlino", 2)
 
     def test_deadline_kwarg_reaches_backend(self):
         engine = SearchEngine(CITIES)

@@ -64,14 +64,23 @@ class TestSearcherContract:
 class TestEngineWiring:
     def test_compiled_backend_forced(self):
         engine = SearchEngine(DATASET, backend="compiled")
-        assert engine.choice.backend == "compiled"
+        assert engine.default_plan.strategy == "compiled"
         assert isinstance(engine.searcher, CompiledScanSearcher)
         reference = SequentialScanSearcher(DATASET, kernel="reference")
         assert engine.search("Hamburk", 1) == reference.search("Hamburk", 1)
 
-    def test_auto_rule_unchanged(self, city_names, dna_reads):
-        assert SearchEngine(city_names).choice.backend == "sequential"
-        assert SearchEngine(dna_reads).choice.backend == "indexed"
+    def test_auto_rule_scores_the_compiled_strategy(self, city_names,
+                                                    dna_reads):
+        # The planner's auto decision always scores the compiled scan
+        # alongside the other strategies and picks the cheapest
+        # feasible one.
+        for corpus in (city_names, dna_reads):
+            plan = SearchEngine(corpus).default_plan
+            scored = {e.strategy for e in plan.estimates}
+            assert "compiled" in scored
+            feasible = [e for e in plan.estimates if e.feasible]
+            assert plan.cost_for(plan.strategy) \
+                == min(e.cost for e in feasible)
 
     def test_search_many_routes_through_batch_engine(self, city_names):
         engine = SearchEngine(city_names)        # sequential regime

@@ -321,6 +321,55 @@ class TestExplainCommand:
         assert main(["explain", "aaaa", "zzzz", "-k", "1"]) == 0
         assert "NO MATCH" in capsys.readouterr().out
 
+    def test_query_plan_mode(self, city_files, capsys):
+        data, _ = city_files
+        assert main(["explain", "Berlino", "-k", "2",
+                     "--data", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "QueryPlan" in out
+        for strategy in ("sequential", "compiled", "indexed", "qgram"):
+            assert strategy in out
+
+    def test_query_plan_json(self, city_files, capsys):
+        import json
+
+        data, _ = city_files
+        assert main(["explain", "Berlino", "-k", "2",
+                     "--data", str(data),
+                     "--stats-format", "json"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        from repro.core.planner import validate_plan
+
+        assert validate_plan(plan) == []
+        assert plan["k"] == 2
+
+    def test_query_plan_mode_without_data_is_an_error(self, capsys):
+        assert main(["explain", "Berlino", "-k", "2"]) == 2
+        assert "--data" in capsys.readouterr().err
+
+
+class TestSearchExplainFlag:
+    def test_explain_skips_execution(self, city_files, tmp_path,
+                                     capsys):
+        data, queries = city_files
+        out_file = tmp_path / "results.txt"
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--explain", "-o", str(out_file)]) == 0
+        # The plan went to the output target; no query ran.
+        assert "QueryPlan" in out_file.read_text()
+        assert "queries in" not in capsys.readouterr().err
+
+    def test_explain_json(self, city_files, capsys):
+        import json
+
+        data, queries = city_files
+        assert main(["search", str(data), str(queries), "-k", "1",
+                     "--explain", "--batch",
+                     "--stats-format", "json"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["strategy"] in ("compiled", "indexed")
+        assert plan["queries"] == 3
+
 
 class TestBenchCommand:
     def test_unknown_experiment_is_an_error(self, capsys):
