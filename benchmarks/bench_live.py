@@ -1,0 +1,420 @@
+"""Live-corpus benchmark: the cost of mutability, measured.
+
+Three operational claims of :mod:`repro.live`, on a city-name corpus:
+
+* **write mix** — under a 10% write mix (inserts + deletes woven into
+  the query stream), search p99 must stay within ``2x`` the p99 of an
+  identical frozen corpus answering the same queries. The LSM design
+  pays for mutability with segment fan-out; this bounds the bill;
+* **bounded stall** — a *background* compaction must never block
+  searches for its duration: the worst search latency observed while
+  a merge is in flight must stay below the time the same merge takes
+  inline. (The merge builds the new segment outside the corpus lock
+  and swaps it in under one short critical section; searches interleave
+  with it at Python's normal thread granularity.)
+* **oracle parity** — off the clock, after the write mix and a full
+  compaction, the corpus must answer exactly like a from-scratch
+  rebuild of its logical contents (the property the tests enforce at
+  every step; here it gates the benchmark's own mutated corpus).
+
+Emits ``BENCH_live.json`` at the repository root (schema-validated
+report embedded, diffable by ``python -m repro.obs.regress``). Run::
+
+    PYTHONPATH=src python benchmarks/bench_live.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import random
+import time
+from pathlib import Path
+
+try:  # package mode (pytest) vs script mode (python benchmarks/...)
+    from benchmarks import common
+except ImportError:  # pragma: no cover - script-mode fallback
+    import common
+
+from repro.core.engine import SearchEngine
+from repro.core.sequential import SequentialScanSearcher
+from repro.data.cities import generate_city_names
+from repro.live import Corpus, LiveCorpus
+from repro.obs.report import require_valid_report
+
+#: Where the machine-readable record lands (repository root).
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_live.json"
+
+#: Fraction of the operation stream that mutates the corpus.
+WRITE_MIX = 0.10
+
+#: The write-mix bar: live search p99 <= this multiple of frozen p99.
+P99_MULTIPLE = 2.0
+
+#: Queries gated against the rebuild oracle, off the clock.
+VERIFY_SAMPLE = 24
+
+#: k used throughout (queries are corpus members, so matches exist).
+K = 2
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1,
+                max(0, int(round(fraction * (len(ranked) - 1)))))
+    return ranked[index]
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    return {
+        "p50": round(_percentile(samples, 0.50), 6),
+        "p95": round(_percentile(samples, 0.95), 6),
+        "p99": round(_percentile(samples, 0.99), 6),
+        "max": round(max(samples), 6),
+    }
+
+
+def build_operations(corpus: list[str], fresh: list[str],
+                     count: int, *, seed: int = 2013) -> list[tuple]:
+    """A mixed operation stream: ~90% searches, ~10% writes.
+
+    Searches draw from the corpus (so matches exist); writes alternate
+    between inserting a fresh string and deleting one that is still
+    present (the model multiset keeps every delete valid).
+    """
+    rng = random.Random(seed)
+    present = list(corpus)
+    pending = list(fresh)
+    operations: list[tuple] = []
+    for index in range(count):
+        if rng.random() < WRITE_MIX:
+            if index % 2 == 0 and pending:
+                string = pending.pop()
+                operations.append(("insert", string))
+                present.append(string)
+            elif len(present) > 1:
+                victim = present.pop(rng.randrange(len(present)))
+                operations.append(("delete", victim))
+            else:  # pragma: no cover - degenerate tiny workloads
+                operations.append(("search", rng.choice(present)))
+        else:
+            operations.append(("search", rng.choice(present)))
+    return operations
+
+
+# --------------------------------------------------------------------
+# Config A: search p99 under a 10% write mix vs the frozen baseline.
+
+
+def run_write_mix_config(corpus: list[str], operations: list[tuple],
+                         *, flush_threshold: int,
+                         verify_sample: int) -> dict:
+    queries = [payload for kind, payload in operations
+               if kind == "search"]
+
+    # Frozen baseline: the same searches against Corpus.frozen — the
+    # exact engine the live path wraps in segments, minus mutability.
+    frozen = Corpus.frozen(corpus, packed=True)
+    frozen_latencies: list[float] = []
+    for query in queries:
+        started = time.perf_counter()
+        frozen.search(query, K)
+        frozen_latencies.append(time.perf_counter() - started)
+
+    # Live replay: identical searches with the writes woven in; only
+    # the searches are timed (the writes are the *cause* of the
+    # overhead being measured, not the measurement).
+    live = Corpus.live(corpus, flush_threshold=flush_threshold,
+                       packed=True)
+    live_latencies: list[float] = []
+    writes = 0
+    for kind, payload in operations:
+        if kind == "search":
+            started = time.perf_counter()
+            live.search(payload, K)
+            live_latencies.append(time.perf_counter() - started)
+        elif kind == "insert":
+            live.insert(payload)
+            writes += 1
+        else:
+            live.delete(payload)
+            writes += 1
+
+    # Off-clock: after a full compaction the mutated corpus must equal
+    # a from-scratch rebuild of its logical contents.
+    live.compact()
+    oracle = SequentialScanSearcher(sorted(live.snapshot()))
+    rng = random.Random(99)
+    verified = 0
+    probes = rng.sample(queries, min(verify_sample, len(queries)))
+    for query in probes:
+        expected = [m.string for m in oracle.search(query, K)]
+        actual = sorted(m.string for m in live.search(query, K))
+        assert actual == expected, (
+            f"post-compaction answer for {query!r} diverges from the "
+            f"rebuild oracle")
+        verified += 1
+
+    # A real engine run over the mutated corpus supplies the record's
+    # schema-valid SearchReport (and exercises the epoch-drift sync).
+    engine = SearchEngine(live, observe=True)
+    _, report = engine.search_many(tuple(probes), K, report=True)
+    report_dict = report.to_dict()
+    require_valid_report(report_dict)
+
+    frozen_summary = _latency_summary(frozen_latencies)
+    live_summary = _latency_summary(live_latencies)
+    layout = live.live_corpus.describe()
+    return {
+        "searches": len(queries),
+        "writes": writes,
+        "write_fraction": round(writes / len(operations), 4),
+        "frozen": frozen_summary,
+        "live": live_summary,
+        "p99_ratio": round(live_summary["p99"]
+                           / max(frozen_summary["p99"], 1e-9), 2),
+        "bar": P99_MULTIPLE,
+        "flushes": layout["flushes"],
+        "compactions": layout["compactions"],
+        "tombstones_purged": layout["tombstones_purged"],
+        "oracle_verified": verified,
+        "report": report_dict,
+    }
+
+
+# --------------------------------------------------------------------
+# Config B: background compaction must not block searches.
+
+
+def _staged_corpus(strings: list[str], *, segment_size: int,
+                   fanout: int, compaction: str) -> LiveCorpus:
+    """``len(strings) / segment_size`` level-0 segments, via inserts."""
+    corpus = LiveCorpus(flush_threshold=segment_size, fanout=fanout,
+                        compaction=compaction, packed=True)
+    for string in strings:
+        corpus.insert(string)
+    return corpus
+
+
+def run_stall_config(strings: list[str], *, segment_size: int,
+                     probe: str) -> dict:
+    """Time one merge inline, then race searches against it live.
+
+    Both corpora stage the identical level-0 segment group from the
+    same insert stream. The inline corpus merges it synchronously
+    (``fanout`` kept above the group size so nothing fires early); the
+    background corpus fires the merge off its last flush and answers
+    searches while the merge runs.
+    """
+    groups = len(strings) // segment_size
+
+    inline = _staged_corpus(strings, segment_size=segment_size,
+                            fanout=groups + 1, compaction="inline")
+    assert inline.segment_count == groups
+    started = time.perf_counter()
+    inline.compact()
+    inline_seconds = time.perf_counter() - started
+    assert inline.segment_count == 1
+
+    background = _staged_corpus(strings[:-segment_size],
+                                segment_size=segment_size,
+                                fanout=groups, compaction="background")
+    during: list[float] = []
+    # The final segment's worth of inserts crosses the flush threshold
+    # and fires the background merge; search against it immediately.
+    for string in strings[-segment_size:]:
+        background.insert(string)
+    expected = [m.string for m in
+                SequentialScanSearcher(sorted(set(strings)))
+                .search(probe, K)]
+    while True:
+        compacting = background.compacting
+        started = time.perf_counter()
+        matches = background.search(probe, K)
+        during.append(time.perf_counter() - started)
+        assert sorted(m.string for m in matches) == expected, (
+            "search during background compaction lost exactness")
+        if not compacting:
+            break
+    background.drain_compaction()
+    assert background.compactions >= 1
+
+    max_stall = max(during)
+    return {
+        "segments_merged": groups,
+        "strings_merged": len(strings),
+        "inline_compaction_seconds": round(inline_seconds, 6),
+        "searches_during_compaction": len(during),
+        "search_latency_seconds": _latency_summary(during),
+        "max_stall_seconds": round(max_stall, 6),
+        "stall_ratio": round(max_stall / max(inline_seconds, 1e-9), 4),
+    }
+
+
+# --------------------------------------------------------------------
+
+
+def run_benchmark(*, corpus_size: int = 3000,
+                  operation_count: int = 1500,
+                  flush_threshold: int = 16,
+                  stall_strings: int = 9000,
+                  stall_segment_size: int = 2000,
+                  verify_sample: int = VERIFY_SAMPLE) -> dict:
+    corpus = generate_city_names(corpus_size, seed=2013)
+    fresh = generate_city_names(corpus_size + operation_count,
+                                seed=2013)[corpus_size:]
+    operations = build_operations(corpus, fresh, operation_count)
+    write_mix = run_write_mix_config(
+        corpus, operations, flush_threshold=flush_threshold,
+        verify_sample=verify_sample)
+    # Truncate to a whole number of segments so the inline and the
+    # background corpus stage — and merge — the identical group.
+    unique = sorted(set(generate_city_names(stall_strings, seed=7)))
+    unique = unique[:len(unique)
+                    // stall_segment_size * stall_segment_size]
+    stall = run_stall_config(
+        unique, segment_size=stall_segment_size, probe=unique[0])
+    gates = {
+        "write_mix_p99":
+            write_mix["live"]["p99"]
+            <= P99_MULTIPLE * write_mix["frozen"]["p99"],
+        "bounded_stall":
+            stall["max_stall_seconds"]
+            < stall["inline_compaction_seconds"],
+        "oracle_parity":
+            write_mix["oracle_verified"]
+            == min(verify_sample, write_mix["searches"]),
+    }
+    return {
+        "benchmark": "bench_live",
+        "python": platform.python_version(),
+        "workload": {
+            "corpus": corpus_size,
+            "operations": operation_count,
+            "write_mix": WRITE_MIX,
+            "flush_threshold": flush_threshold,
+            "stall_strings": stall_strings,
+            "stall_segment_size": stall_segment_size,
+            "k": K,
+        },
+        "write_mix": write_mix,
+        "stall": stall,
+        "gates": gates,
+        "measurements": common.build_measurements({
+            "frozen_p50_seconds": write_mix["frozen"]["p50"],
+            "frozen_p99_seconds": write_mix["frozen"]["p99"],
+            "live_p50_seconds": write_mix["live"]["p50"],
+            "live_p99_seconds": write_mix["live"]["p99"],
+            "inline_compaction_seconds":
+                stall["inline_compaction_seconds"],
+            "max_stall_seconds": stall["max_stall_seconds"],
+        }),
+    }
+
+
+def render(record: dict) -> str:
+    workload = record["workload"]
+    mix = record["write_mix"]
+    stall = record["stall"]
+    return "\n".join([
+        "live corpus: the cost of mutability under the LSM write path",
+        f"  python {record['python']}",
+        "",
+        f"  workload: {mix['searches']} searches + {mix['writes']} "
+        f"writes ({mix['write_fraction']:.0%} mix) over "
+        f"{workload['corpus']} cities, k={workload['k']}, flush "
+        f"threshold {workload['flush_threshold']}",
+        f"  layout churn: {mix['flushes']} flushes, "
+        f"{mix['compactions']} compactions, "
+        f"{mix['tombstones_purged']} tombstones purged",
+        "",
+        f"  frozen: p50 {mix['frozen']['p50'] * 1000:.2f}ms, "
+        f"p99 {mix['frozen']['p99'] * 1000:.2f}ms",
+        f"  live:   p50 {mix['live']['p50'] * 1000:.2f}ms, "
+        f"p99 {mix['live']['p99'] * 1000:.2f}ms",
+        f"  p99 ratio {mix['p99_ratio']:.2f}x (bar {mix['bar']:g}x); "
+        f"{mix['oracle_verified']} post-compaction answers gated "
+        "against the rebuild oracle off-clock",
+        "",
+        f"  background compaction: {stall['segments_merged']} segments "
+        f"({stall['strings_merged']} strings) merged in "
+        f"{stall['inline_compaction_seconds'] * 1000:.1f}ms inline",
+        f"  worst search stall during the live merge: "
+        f"{stall['max_stall_seconds'] * 1000:.2f}ms over "
+        f"{stall['searches_during_compaction']} searches "
+        f"(ratio {stall['stall_ratio']:.3f} of the inline merge)",
+        "",
+        "  gates: " + ", ".join(_gate_labels(record)),
+    ])
+
+
+def _gate_labels(record: dict) -> list[str]:
+    # The timing bars are claims about the full-size workload; a smoke
+    # corpus sits at timer granularity, so its verdict on them is
+    # noise, not a regression — label it as unenforced.
+    timing_gates = {"write_mix_p99", "bounded_stall"}
+    labels = []
+    for name, passed in sorted(record["gates"].items()):
+        verdict = "PASS" if passed else "FAIL"
+        if record.get("smoke") and name in timing_gates:
+            verdict = f"{verdict.lower()} (timing, unenforced in smoke)"
+        labels.append(f"{name}={verdict}")
+    return labels
+
+
+def write_record(record: dict) -> Path:
+    return common.write_record(record, JSON_PATH)
+
+
+def test_live_gates(emit):
+    record = run_benchmark(corpus_size=400, operation_count=200,
+                           flush_threshold=8, stall_strings=400,
+                           stall_segment_size=100, verify_sample=8)
+    record["smoke"] = True
+    write_record(record)
+    emit("live", render(record))
+    # Exactness gates hold at any scale; the p99 multiple and the
+    # stall bound are timing claims for the full-size workload (tiny
+    # smoke corpora sit at timer granularity) and are enforced by the
+    # direct full run that produces the committed record.
+    assert record["gates"]["oracle_parity"], record["write_mix"]
+    assert record["write_mix"]["flushes"] > 0
+    assert record["stall"]["searches_during_compaction"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="live-corpus write-mix and compaction benchmark",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small corpus and operation count: exercises both "
+             "configs (and emits the same BENCH_live.json shape) in "
+             "seconds — what the CI live-smoke job runs",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        record = run_benchmark(corpus_size=400, operation_count=200,
+                               flush_threshold=8, stall_strings=400,
+                               stall_segment_size=100,
+                               verify_sample=8)
+        record["smoke"] = True
+    else:
+        record = run_benchmark()
+    path = write_record(record)
+    print(render(record))
+    print(f"\nrecorded to {path}")
+    failed = [name for name, passed in record["gates"].items()
+              if not passed]
+    if failed:
+        print(f"FAIL: {', '.join(failed)}")
+    # Smoke mode is a pipeline exercise on shared hardware; the
+    # timing bars are enforced on the full run (and in the committed
+    # record), not on CI noise.
+    if args.smoke:
+        return 0
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,7 @@ distance 2 of a misspelled query, and shows how the library explains
 both its cost-model plan and each match.
 """
 
-from repro import SearchEngine, edit_distance
+from repro import Corpus, SearchEngine, edit_distance
 from repro.distance import DistanceMatrix, edit_script
 
 CITIES = [
@@ -19,7 +19,10 @@ CITIES = [
 
 
 def main() -> None:
-    engine = SearchEngine(CITIES)
+    # Corpus.frozen is the canonical way to hand a dataset to any
+    # layer (a plain iterable still works; see examples/live_corpus.py
+    # for the mutable variant).
+    engine = SearchEngine(Corpus.frozen(CITIES))
     print(f"strategy: {engine.default_plan.strategy}")
     print(f"reason:   {engine.default_plan.reason}")
     print()

@@ -7,11 +7,11 @@ Run with::
 Section 1 of the paper opens with applications that "have to be
 tolerant against input errors". This example assembles one from the
 library's parts: an auto-selected engine over a gazetteer, top-k
-ranking for suggestions, an updatable index for learning new names,
-and edit scripts to explain what the user got wrong.
+ranking for suggestions, a live corpus for learning new names, and
+edit scripts to explain what the user got wrong.
 """
 
-from repro import SearchEngine, UpdatableIndex, search_topk
+from repro import Corpus, SearchEngine, search_topk
 from repro.data import apply_random_edits, generate_city_names
 from repro.distance import edit_script
 
@@ -68,12 +68,12 @@ def main() -> None:
         print(f"autocomplete {prompt!r}: {rendered}")
     print()
 
-    # Dictionaries grow: the updatable index absorbs new names without
-    # a rebuild, and they are immediately searchable.
-    live = UpdatableIndex(gazetteer[:1000])
+    # Dictionaries grow: a live corpus absorbs new names without a
+    # rebuild, and they are immediately searchable (docs/LIVE.md).
+    live = Corpus.live(gazetteer[:1000])
     live.insert("Neuspringfield")
     (hit,) = search_topk(live, "Neuspringfeild", 1)
-    print("after learning 'Neuspringfield', the live index corrects "
+    print("after learning 'Neuspringfield', the live corpus corrects "
           f"'Neuspringfeild' -> {hit.string!r} (distance {hit.distance})")
 
 

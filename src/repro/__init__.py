@@ -72,6 +72,7 @@ from repro.exceptions import (
     AlphabetError,
     DatasetFormatError,
     DeadlineExceeded,
+    FrozenCorpusError,
     IndexConstructionError,
     InvalidThresholdError,
     ParallelismError,
@@ -81,6 +82,7 @@ from repro.exceptions import (
     VerificationError,
     WorkloadError,
 )
+from repro.live import Corpus, CorpusEvent, LiveCorpus
 from repro.service import Service, ServiceResult, ShardedCorpus
 
 __version__ = "1.0.0"
@@ -109,6 +111,9 @@ __all__ = [
     "search_topk",
     "nearest",
     "UpdatableIndex",
+    "Corpus",
+    "CorpusEvent",
+    "LiveCorpus",
     "MetricsRegistry",
     "SearchReport",
     "build_report",
@@ -131,6 +136,7 @@ __all__ = [
     "ServiceResult",
     "ShardedCorpus",
     "ReproError",
+    "FrozenCorpusError",
     "InvalidThresholdError",
     "AlphabetError",
     "DatasetFormatError",

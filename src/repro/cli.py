@@ -206,6 +206,43 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="plan rendering: human text or one JSON "
                               "document (query-plan mode)")
 
+    live = commands.add_parser(
+        "live", help="replay a mutation/query script against a live "
+                     "(mutable, LSM-segmented) corpus",
+    )
+    live.add_argument("ops_file",
+                      help="script, one operation per line: '+string' "
+                           "inserts, '-string' deletes, '?query' "
+                           "searches (blank lines and '#' comments "
+                           "are skipped)")
+    live.add_argument("-k", type=int, required=True,
+                      help="edit-distance threshold for '?' queries")
+    live.add_argument("-o", "--output", default=None,
+                      help="result file for query lines "
+                           "(default: stdout)")
+    live.add_argument("--data", default=None, metavar="FILE",
+                      help="seed the corpus from this dataset file "
+                           "before replaying the script")
+    live.add_argument("--segment-dir", default=None, metavar="DIR",
+                      help="persist segments + manifest there (the "
+                           "corpus is reopened from DIR if a manifest "
+                           "already exists, so scripts compose across "
+                           "runs); synced on exit")
+    live.add_argument("--flush-threshold", type=int, default=None,
+                      help="memtable size that triggers a segment "
+                           "flush (default 256)")
+    live.add_argument("--fanout", type=int, default=None,
+                      help="segments per level before compaction "
+                           "merges them (default 4)")
+    live.add_argument("--compaction", default="inline",
+                      choices=("inline", "background"),
+                      help="merge segments on the mutating thread "
+                           "(inline, default) or on a daemon thread "
+                           "(background)")
+    live.add_argument("--compact", action="store_true",
+                      help="fold everything into one segment after "
+                           "the script finishes")
+
     bench = commands.add_parser(
         "bench", help="run a registered paper experiment",
     )
@@ -582,6 +619,83 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_live(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.live import (
+        DEFAULT_FANOUT,
+        DEFAULT_FLUSH_THRESHOLD,
+        MANIFEST_NAME,
+        Corpus,
+    )
+
+    seeds = read_strings(args.data) if args.data else []
+    flush_threshold = (args.flush_threshold
+                       if args.flush_threshold is not None
+                       else DEFAULT_FLUSH_THRESHOLD)
+    fanout = args.fanout if args.fanout is not None else DEFAULT_FANOUT
+    if (args.segment_dir
+            and os.path.exists(os.path.join(args.segment_dir,
+                                            MANIFEST_NAME))):
+        if args.data:
+            raise ReproError(
+                f"--data conflicts with reopening {args.segment_dir} "
+                "(the manifest already defines the contents); drop one"
+            )
+        corpus = Corpus.open(args.segment_dir,
+                             compaction=args.compaction)
+    else:
+        corpus = Corpus.live(seeds, flush_threshold=flush_threshold,
+                             fanout=fanout, compaction=args.compaction,
+                             segment_dir=args.segment_dir)
+    inserts = deletes = searches = 0
+    rows: list[str] = []
+    with open(args.ops_file, "r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            op, payload = line[0], line[1:]
+            if not payload:
+                raise ReproError(
+                    f"{args.ops_file}:{number}: operation {op!r} "
+                    "needs a string after it"
+                )
+            if op == "+":
+                corpus.insert(payload)
+                inserts += 1
+            elif op == "-":
+                corpus.delete(payload)
+                deletes += 1
+            elif op == "?":
+                matches = corpus.search(payload, args.k)
+                rows.append("\t".join(
+                    [payload, *[m.string for m in matches]]))
+                searches += 1
+            else:
+                raise ReproError(
+                    f"{args.ops_file}:{number}: unknown operation "
+                    f"{op!r}; lines start with '+' (insert), "
+                    "'-' (delete) or '?' (search)"
+                )
+    if args.compact:
+        corpus.compact()
+    if args.segment_dir:
+        corpus.sync()
+    live_corpus = corpus.live_corpus
+    print(
+        f"live: {inserts} inserts, {deletes} deletes, "
+        f"{searches} searches; {len(corpus)} strings in "
+        f"{live_corpus.segment_count} segments "
+        f"(+{live_corpus.memtable_size} in memtable, "
+        f"{live_corpus.tombstone_count} tombstones) at epoch "
+        f"{corpus.epoch}",
+        file=sys.stderr,
+    )
+    _write_result_lines(rows, args.output)
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     print(run_experiment(args.experiment))
     return 0
@@ -596,6 +710,7 @@ _COMMANDS = {
     "stats": _command_stats,
     "distance": _command_distance,
     "explain": _command_explain,
+    "live": _command_live,
     "bench": _command_bench,
 }
 

@@ -138,7 +138,16 @@ class SearchEngine:
                  recorder: FlightRecorder | None = None,
                  segment: str | None = None,
                  profile: CostProfile | str | None = None) -> None:
-        strings = tuple(dataset)
+        from repro.live.facade import Corpus
+
+        if isinstance(dataset, Corpus):
+            self._source: Corpus | None = dataset
+            self._source_epoch = dataset.epoch
+            strings = dataset.snapshot()
+        else:
+            self._source = None
+            self._source_epoch = 0
+            strings = tuple(dataset)
         if backend not in ("auto",) + STRATEGIES:
             raise ReproError(
                 f"unknown backend {backend!r}; expected 'auto' or one "
@@ -179,19 +188,63 @@ class SearchEngine:
         if segment_reason is not None:
             self._default_plan = replace(self._default_plan,
                                          reason=segment_reason)
+        self._segment_reason = segment_reason
+        self._searcher = self._build_default_searcher()
+
+    def _build_default_searcher(self) -> Searcher:
+        """Construct (and instrument) the default plan's searcher."""
         strategy = self._default_plan.strategy
         if strategy == "sequential":
-            self._searcher: Searcher = SequentialScanSearcher(
-                strings, kernel="bitparallel", order="length"
+            searcher: Searcher = SequentialScanSearcher(
+                self._strings, kernel="bitparallel", order="length"
             )
         elif strategy == "compiled":
-            self._searcher = self._make_compiled_searcher()
-            self._batch_searcher = self._searcher
+            searcher = self._make_compiled_searcher()
+            self._batch_searcher = searcher
         elif strategy == "qgram":
-            self._searcher = IndexedSearcher(strings, index="qgram")
+            searcher = IndexedSearcher(self._strings, index="qgram")
         else:
-            self._searcher = IndexedSearcher(strings, index="flat")
-        self._attach_obs(self._searcher)
+            searcher = IndexedSearcher(self._strings, index="flat")
+        self._attach_obs(searcher)
+        return searcher
+
+    def _sync_with_source(self) -> None:
+        """Re-derive everything when a live source corpus drifted.
+
+        Engines built over a :class:`repro.live.Corpus` poll its epoch
+        at call entry. On drift: re-snapshot the strings, refresh the
+        planner's ANALYZE statistics (keeping its learned
+        corrections), re-plan the dataset-level default and rebuild
+        the searchers lazily. Many mutations between two calls cost
+        one refresh, not one per mutation.
+        """
+        source = self._source
+        if source is None or not source.mutable:
+            return
+        epoch = source.epoch
+        if epoch == self._source_epoch:
+            return
+        self._source_epoch = epoch
+        self._strings = source.snapshot()
+        self._stats = collect_statistics(self._strings)
+        self._planner.refresh_statistics(self._stats)
+        representative = max(1, int(round(self._stats.mean_length)))
+        self._default_plan = self._planner.plan(
+            length=representative, k=DEFAULT_PLAN_K,
+            policy=self._default_policy,
+        )
+        if self._segment_reason is not None:
+            self._default_plan = replace(self._default_plan,
+                                         reason=self._segment_reason)
+        self._batch_searcher = None
+        self._batch_index = None
+        self._override_searchers.clear()
+        self._searcher = self._build_default_searcher()
+
+    @property
+    def source_corpus(self):
+        """The :class:`repro.live.Corpus` behind this engine, if any."""
+        return self._source
 
     def _attach_obs(self, component) -> None:
         """Attach the engine's registry/recorder where supported."""
@@ -237,6 +290,7 @@ class SearchEngine:
         per-query searchers (workload mode); by default multi-query
         requests plan as batches.
         """
+        self._sync_with_source()
         request = self._to_request(query, k, deadline=deadline,
                                    options=options, plan=plan)
         return self._plan_request(request, batch=batch)
@@ -477,6 +531,11 @@ class SearchEngine:
             corpus = load_or_build_corpus_segment(self._strings,
                                                   self._segment)
             return CompiledScanSearcher(corpus)
+        if self._source is not None and not self._source.mutable:
+            compiled = self._source.compiled_corpus
+            if compiled is not None:
+                # A frozen Corpus already paid the compile; share it.
+                return CompiledScanSearcher(compiled)
         return CompiledScanSearcher(self._strings)
 
     def _ensure_batch_searcher(self) -> Searcher:
@@ -578,6 +637,7 @@ class SearchEngine:
         :class:`repro.exceptions.DeadlineExceeded` carrying the
         verified partial matches found so far.
         """
+        self._sync_with_source()
         request = self._to_request(query, k, deadline=deadline,
                                    backend=backend, report=report,
                                    options=options, plan=plan)
@@ -636,6 +696,7 @@ class SearchEngine:
         raises :class:`repro.exceptions.DeadlineExceeded` whose
         ``partial`` maps each *completed* query to its full row.
         """
+        self._sync_with_source()
         request = self._to_request(queries, k, deadline=deadline,
                                    backend=backend, report=report,
                                    options=options, plan=plan,
@@ -802,6 +863,7 @@ class SearchEngine:
         With a ``deadline`` the workload routes through the batch
         engine serially so expiry has a well-defined abort point.
         """
+        self._sync_with_source()
         if isinstance(workload, SearchRequest):
             request = self._to_request(workload, None, deadline=deadline,
                                        report=report)

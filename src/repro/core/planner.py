@@ -677,6 +677,21 @@ class Planner:
             for (strategy, k), factor in sorted(self._corrections.items())
         }
 
+    def refresh_statistics(
+            self, statistics: CorpusStatistics | Iterable[str]) -> None:
+        """Swap in fresh ANALYZE statistics after the corpus drifted.
+
+        The live-corpus write path calls this when its epoch moves so
+        ``backend="auto"`` keeps pricing against reality. The plan
+        cache is invalidated (its costs embedded the old statistics);
+        the learned EWMA corrections are *kept* — they model per-unit
+        kernel costs on this hardware, which survive data drift.
+        """
+        if not isinstance(statistics, CorpusStatistics):
+            statistics = collect_statistics(statistics)
+        self._stats = statistics
+        self._plan_cache.clear()
+
     # -- per-strategy estimators -------------------------------------
 
     @staticmethod

@@ -20,6 +20,7 @@ multiset — the invariant the tests enforce.
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from typing import Iterable
 
@@ -31,9 +32,27 @@ from repro.index.compressed import CompressedTrie
 from repro.index.traversal import trie_similarity_search
 from repro.index.trie import PrefixTrie
 
+#: The message every :class:`UpdatableIndex` construction warns with.
+#: Tests assert the exact text (mirroring the ``backend=`` -> ``plan=``
+#: migration), so user-facing guidance cannot silently rot.
+UPDATABLE_DEPRECATION = (
+    "UpdatableIndex is deprecated and will be removed in 2.0; build a "
+    "mutable corpus with repro.live.Corpus.live(...) instead — the "
+    "LSM write path (memtable + compiled segments + tombstone "
+    "compaction) behind the unified Corpus facade"
+)
+
 
 class UpdatableIndex(Searcher):
     """A similarity index supporting insert/remove between queries.
+
+    .. deprecated::
+        Slated for removal in 2.0. The live-corpus write path
+        (:meth:`repro.live.Corpus.live`) supersedes this main+delta
+        shim: same insert/delete/tombstone semantics, but over the
+        compiled segment engines, with compaction, persistence,
+        deadline fan-out and epoch-driven cache/planner invalidation.
+        Constructing one warns with :data:`UPDATABLE_DEPRECATION`.
 
     Parameters
     ----------
@@ -56,6 +75,8 @@ class UpdatableIndex(Searcher):
 
     def __init__(self, strings: Iterable[str] = (), *,
                  merge_threshold: float = 0.25) -> None:
+        warnings.warn(UPDATABLE_DEPRECATION, DeprecationWarning,
+                      stacklevel=2)
         if not 0.0 < merge_threshold <= 1.0:
             raise ReproError(
                 f"merge_threshold must be in (0, 1], got {merge_threshold}"

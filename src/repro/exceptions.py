@@ -136,6 +136,17 @@ class PartialResultError(ReproError):
         self.result = result
 
 
+class FrozenCorpusError(ReproError):
+    """A mutation was attempted on a frozen (immutable) corpus.
+
+    Raised by :class:`repro.live.Corpus` when ``insert``/``delete`` is
+    called on a handle built with :meth:`repro.live.Corpus.frozen` (or
+    opened from a single segment file). Frozen corpora are compiled
+    once and shared freely; a mutable corpus must be built with
+    :meth:`repro.live.Corpus.live` instead.
+    """
+
+
 class IndexConstructionError(ReproError):
     """An index could not be built from the supplied dataset."""
 

@@ -1,0 +1,744 @@
+"""The LSM write path: a memtable in front of immutable compiled segments.
+
+The compiled engines (:class:`repro.scan.CompiledCorpus`,
+:class:`repro.index.flat.FlatTrie`) are freeze-once by design — every
+data-side cost is paid at compile time, which is exactly why they are
+fast and exactly why they cannot absorb a write. :class:`LiveCorpus`
+keeps them that way and adds mutability *around* them, the way
+log-structured merge trees do:
+
+* a small mutable **memtable** (a plain multiset) absorbs
+  :meth:`~LiveCorpus.insert`; once it holds ``flush_threshold``
+  distinct strings it is compiled into a fresh immutable segment;
+* **deletes** cancel a pending memtable copy when one exists and
+  otherwise land in a **tombstone multiset** — the segment files are
+  never touched;
+* **compaction** merges the ``fanout`` smallest same-level segments
+  into one exponentially larger segment, dropping dead strings
+  (tombstone purging) during the single O(n) pass. It can run inline
+  (deterministic, for tests) or on a background thread that only takes
+  the corpus lock for the final segment-list swap, so searches are
+  never blocked for the duration of a merge;
+* **search** fans out over the memtable plus every segment and merges
+  the per-part rows with the shard-merge machinery
+  (:func:`repro.service.sharding.merge_matches`), threading one shared
+  deadline through all parts exactly like
+  :class:`repro.service.ShardedCorpus` threads it through shards;
+* every mutation bumps an **epoch** and notifies subscribers, which is
+  how the traffic cache (:meth:`repro.traffic.cache.ResultCache.invalidate`)
+  and the planner's statistics stay honest as the corpus drifts.
+
+With a ``segment_dir``, flushed and compacted segments are persisted
+through :mod:`repro.speed` (the RSEG flat-binary format, mmap-loaded on
+reopen) plus a small JSON manifest, so :meth:`LiveCorpus.open` restores
+the corpus near-instantly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.deadline import Budget, Deadline
+from repro.core.result import Match
+from repro.distance.banded import check_threshold, edit_distance_bounded
+from repro.exceptions import DeadlineExceeded, ReproError, SegmentError
+from repro.scan.corpus import CompiledCorpus
+from repro.scan.searcher import CompiledScanSearcher
+from repro.service.sharding import merge_matches
+
+#: Distinct memtable strings that trigger an automatic flush.
+DEFAULT_FLUSH_THRESHOLD = 256
+
+#: Same-level segments that trigger a compaction (the size-tier ratio:
+#: each level's segments are ~``fanout`` times larger than the last).
+DEFAULT_FANOUT = 4
+
+#: Compaction execution modes.
+COMPACTION_MODES = ("inline", "background")
+
+#: Manifest file name inside a live segment directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest format version (bumped on incompatible layout changes).
+MANIFEST_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CorpusEvent:
+    """One mutation notification delivered to subscribers.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"``, ``"delete"``, ``"flush"`` or ``"compact"``.
+    string:
+        The mutated string for insert/delete events; ``None`` for
+        flush/compact (they change layout, not logical contents).
+    epoch:
+        The corpus epoch after the mutation.
+    """
+
+    kind: str
+    string: str | None
+    epoch: int
+
+
+@dataclass(frozen=True)
+class LiveSegment:
+    """One immutable compiled segment of a :class:`LiveCorpus`.
+
+    ``members`` gives O(1) membership for tombstone reconciliation;
+    ``level`` is the size tier (``size`` in units of the flush
+    threshold, log base ``fanout``).
+    """
+
+    corpus: CompiledCorpus
+    searcher: CompiledScanSearcher
+    members: frozenset
+    size: int
+    level: int
+    sequence: int
+    path: str | None = None
+
+
+class LiveCorpus:
+    """A mutable corpus: memtable + tombstones + compiled segments.
+
+    Parameters
+    ----------
+    dataset:
+        Initial contents (duplicates accumulate, like
+        :class:`repro.core.updatable.UpdatableIndex`). Compiled into
+        the first segment immediately.
+    flush_threshold:
+        Distinct memtable strings before an automatic flush.
+    fanout:
+        Same-level segments before a compaction merges them; also the
+        size ratio between levels.
+    compaction:
+        ``"inline"`` runs merges synchronously inside the mutating
+        call (deterministic; the default), ``"background"`` runs them
+        on a daemon thread that only locks for the final swap.
+    segment_dir:
+        Optional directory; segments are persisted there in the
+        :mod:`repro.speed` format plus a JSON manifest, and
+        :meth:`open` restores the corpus from it.
+    packed:
+        Compile in-memory segments in packed (numpy) mode. Segments
+        written to ``segment_dir`` are always stored packed (the
+        format stores arrays), whatever this says.
+
+    Examples
+    --------
+    >>> corpus = LiveCorpus(["Bern", "Ulm"], flush_threshold=4)
+    >>> corpus.insert("Berlin")
+    >>> corpus.delete("Ulm")
+    >>> [m.string for m in corpus.search("Bern", 2)]
+    ['Berlin', 'Bern']
+    >>> corpus.epoch
+    2
+    """
+
+    def __init__(self, dataset: Iterable[str] = (), *,
+                 flush_threshold: int = DEFAULT_FLUSH_THRESHOLD,
+                 fanout: int = DEFAULT_FANOUT,
+                 compaction: str = "inline",
+                 segment_dir: str | None = None,
+                 packed: bool = False) -> None:
+        if flush_threshold < 1:
+            raise ReproError(
+                f"flush_threshold must be positive, got {flush_threshold}"
+            )
+        if fanout < 2:
+            raise ReproError(
+                f"fanout must be >= 2, got {fanout}"
+            )
+        if compaction not in COMPACTION_MODES:
+            raise ReproError(
+                f"unknown compaction mode {compaction!r}; expected one "
+                f"of {COMPACTION_MODES}"
+            )
+        self._flush_threshold = flush_threshold
+        self._fanout = fanout
+        self._compaction_mode = compaction
+        self._segment_dir = segment_dir
+        self._packed = packed
+        self._lock = threading.RLock()
+        self._contents: Counter[str] = Counter()
+        self._memtable: Counter[str] = Counter()
+        self._tombstones: Counter[str] = Counter()
+        self._segments: tuple[LiveSegment, ...] = ()
+        self._epoch = 0
+        self._seq = 0
+        self._listeners: list[Callable[[CorpusEvent], None]] = []
+        self._compacting = False
+        self._compaction_thread: threading.Thread | None = None
+        self.flushes = 0
+        self.compactions = 0
+        self.tombstones_purged = 0
+        if segment_dir is not None:
+            os.makedirs(segment_dir, exist_ok=True)
+        seeds = []
+        for string in dataset:
+            if not string:
+                raise ReproError("cannot index an empty string")
+            self._contents[string] += 1
+            seeds.append(string)
+        if seeds:
+            segment = self._build_segment(tuple(dict.fromkeys(seeds)))
+            self._segments = (segment,)
+        if segment_dir is not None:
+            self._save_manifest()
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter (bumped by insert/delete only)."""
+        return self._epoch
+
+    @property
+    def flush_threshold(self) -> int:
+        """Distinct memtable strings before an automatic flush."""
+        return self._flush_threshold
+
+    @property
+    def fanout(self) -> int:
+        """Same-level segments before a compaction."""
+        return self._fanout
+
+    @property
+    def compaction_mode(self) -> str:
+        """``"inline"`` or ``"background"``."""
+        return self._compaction_mode
+
+    @property
+    def segment_dir(self) -> str | None:
+        """The persistence directory, if configured."""
+        return self._segment_dir
+
+    @property
+    def segment_count(self) -> int:
+        """Number of immutable compiled segments."""
+        return len(self._segments)
+
+    @property
+    def memtable_size(self) -> int:
+        """Distinct strings waiting in the memtable."""
+        return len(self._memtable)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Pending deletes not yet reconciled by a compaction."""
+        return sum(self._tombstones.values())
+
+    def __len__(self) -> int:
+        return sum(self._contents.values())
+
+    @property
+    def distinct(self) -> int:
+        """Distinct strings currently visible."""
+        return len(self._contents)
+
+    def __contains__(self, string: str) -> bool:
+        return self._contents.get(string, 0) > 0
+
+    def count(self, string: str) -> int:
+        """Multiplicity of ``string`` in the current contents."""
+        return self._contents.get(string, 0)
+
+    def snapshot(self) -> tuple[str, ...]:
+        """The distinct visible strings, in stable insertion order."""
+        with self._lock:
+            return tuple(self._contents)
+
+    def segment_sizes(self) -> tuple[int, ...]:
+        """Per-segment distinct-string counts (newest last)."""
+        return tuple(segment.size for segment in self._segments)
+
+    def describe(self) -> dict:
+        """A JSON-friendly structural summary."""
+        with self._lock:
+            return {
+                "kind": "live",
+                "strings": len(self),
+                "distinct": self.distinct,
+                "epoch": self._epoch,
+                "memtable": self.memtable_size,
+                "tombstones": self.tombstone_count,
+                "segments": list(self.segment_sizes()),
+                "levels": [segment.level for segment in self._segments],
+                "flushes": self.flushes,
+                "compactions": self.compactions,
+                "tombstones_purged": self.tombstones_purged,
+                "flush_threshold": self._flush_threshold,
+                "fanout": self._fanout,
+                "compaction": self._compaction_mode,
+                "segment_dir": self._segment_dir,
+            }
+
+    # ------------------------------------------------------------------
+    # subscriptions
+
+    def subscribe(self, callback: Callable[[CorpusEvent], None]) -> None:
+        """Register a mutation listener (called on the mutating thread)."""
+        with self._lock:
+            if callback not in self._listeners:
+                self._listeners.append(callback)
+
+    def unsubscribe(self, callback: Callable[[CorpusEvent], None]) -> None:
+        """Remove a previously registered listener (idempotent)."""
+        with self._lock:
+            if callback in self._listeners:
+                self._listeners.remove(callback)
+
+    def _notify(self, kind: str, string: str | None) -> None:
+        """Fire one event outside the lock (listeners may re-enter)."""
+        listeners = tuple(self._listeners)
+        if not listeners:
+            return
+        event = CorpusEvent(kind=kind, string=string, epoch=self._epoch)
+        for listener in listeners:
+            listener(event)
+
+    # ------------------------------------------------------------------
+    # mutations
+
+    def insert(self, string: str) -> None:
+        """Add one string (duplicates accumulate).
+
+        An insert first cancels a pending tombstone for the same string
+        — the physical copy still in a segment then serves it again —
+        and otherwise lands in the memtable. Crossing the flush
+        threshold compiles the memtable into a new segment and may
+        trigger a compaction.
+        """
+        if not string:
+            raise ReproError("cannot index an empty string")
+        with self._lock:
+            self._contents[string] += 1
+            if self._tombstones.get(string, 0) > 0:
+                self._tombstones[string] -= 1
+                if self._tombstones[string] == 0:
+                    del self._tombstones[string]
+            else:
+                self._memtable[string] += 1
+            self._epoch += 1
+            if len(self._memtable) >= self._flush_threshold:
+                self._flush_locked()
+        self._notify("insert", string)
+
+    def delete(self, string: str) -> None:
+        """Remove one occurrence of ``string``.
+
+        A delete prefers cancelling a pending memtable copy; otherwise
+        it tombstones the copy living in a segment (purged at the next
+        compaction that touches it).
+
+        Raises
+        ------
+        ReproError
+            If the string is not currently in the corpus.
+        """
+        with self._lock:
+            if self._contents.get(string, 0) <= 0:
+                raise ReproError(f"{string!r} is not in the corpus")
+            self._contents[string] -= 1
+            if self._contents[string] == 0:
+                del self._contents[string]
+            if self._memtable.get(string, 0) > 0:
+                self._memtable[string] -= 1
+                if self._memtable[string] == 0:
+                    del self._memtable[string]
+            else:
+                self._tombstones[string] += 1
+            self._epoch += 1
+        self._notify("delete", string)
+
+    def flush(self) -> bool:
+        """Compile the memtable into a new segment now.
+
+        Returns whether anything was flushed. Automatic on crossing
+        ``flush_threshold``; explicit callers use it before snapshots
+        or shutdown.
+        """
+        with self._lock:
+            flushed = self._flush_locked()
+        if flushed:
+            self._notify("flush", None)
+        return flushed
+
+    def _flush_locked(self, *, trigger_compaction: bool = True) -> bool:
+        if not self._memtable:
+            return False
+        segment = self._build_segment(tuple(self._memtable))
+        self._memtable.clear()
+        self._segments = self._segments + (segment,)
+        self.flushes += 1
+        if self._segment_dir is not None:
+            self._save_manifest()
+        if trigger_compaction:
+            self._maybe_compact()
+        return True
+
+    # ------------------------------------------------------------------
+    # segments & compaction
+
+    def _level_for(self, size: int) -> int:
+        level = 0
+        cap = max(1, self._flush_threshold)
+        while size >= cap * self._fanout:
+            cap *= self._fanout
+            level += 1
+        return level
+
+    def _build_segment(self, strings: tuple[str, ...]) -> LiveSegment:
+        """Compile one immutable segment (and persist it if configured)."""
+        with self._lock:
+            self._seq += 1
+            sequence = self._seq
+        path = None
+        if self._segment_dir is not None:
+            from repro.speed import save_segment, segment_cache
+
+            path = os.path.join(self._segment_dir,
+                                f"seg-{sequence:06d}.seg")
+            corpus = CompiledCorpus(strings, packed=True)
+            save_segment(corpus, path)
+            corpus = segment_cache.get(path)
+        else:
+            corpus = CompiledCorpus(strings, packed=self._packed)
+        return LiveSegment(
+            corpus=corpus,
+            searcher=CompiledScanSearcher(corpus),
+            members=frozenset(strings),
+            size=len(strings),
+            level=self._level_for(len(strings)),
+            sequence=sequence,
+            path=path,
+        )
+
+    def _compaction_candidates(self) -> tuple[LiveSegment, ...]:
+        """The lowest size tier holding >= ``fanout`` segments, if any."""
+        levels: dict[int, list[LiveSegment]] = {}
+        for segment in self._segments:
+            levels.setdefault(segment.level, []).append(segment)
+        for level in sorted(levels):
+            group = levels[level]
+            if len(group) >= self._fanout:
+                return tuple(group)
+        return ()
+
+    def _maybe_compact(self) -> None:
+        group = self._compaction_candidates()
+        if not group:
+            return
+        if self._compaction_mode == "background":
+            if self._compacting:
+                return
+            self._compacting = True
+            thread = threading.Thread(
+                target=self._run_background_compaction, args=(group,),
+                name="live-corpus-compaction", daemon=True,
+            )
+            self._compaction_thread = thread
+            thread.start()
+        else:
+            self._merge_group(group)
+
+    def _run_background_compaction(
+            self, group: tuple[LiveSegment, ...]) -> None:
+        try:
+            self._merge_group(group)
+        finally:
+            with self._lock:
+                self._compacting = False
+
+    def _merge_group(self, group: tuple[LiveSegment, ...]) -> None:
+        """Merge ``group`` into one segment, purging dead strings.
+
+        The merged corpus is built *outside* the lock (segments are
+        immutable; the contents filter may be slightly stale, which is
+        safe — search re-filters by contents anyway). The lock is held
+        only for the segment-list swap and tombstone reconciliation, so
+        a concurrent search observes either the old or the new layout,
+        never a half-merged one.
+        """
+        group_members: set[str] = set()
+        survivors: list[str] = []
+        seen: set[str] = set()
+        contents = self._contents
+        for segment in group:
+            for string in segment.corpus.strings:
+                group_members.add(string)
+                if string not in seen and contents.get(string, 0) > 0:
+                    seen.add(string)
+                    survivors.append(string)
+        merged = (self._build_segment(tuple(survivors))
+                  if survivors else None)
+        doomed_paths: list[str] = []
+        with self._lock:
+            identities = {id(segment) for segment in group}
+            kept = [segment for segment in self._segments
+                    if id(segment) not in identities]
+            if merged is not None:
+                kept.append(merged)
+            self._segments = tuple(kept)
+            purged = 0
+            for string in list(self._tombstones):
+                if string in group_members and not any(
+                        string in segment.members for segment in kept):
+                    purged += self._tombstones.pop(string)
+            self.tombstones_purged += purged
+            self.compactions += 1
+            doomed_paths = [segment.path for segment in group
+                            if segment.path is not None]
+            if self._segment_dir is not None:
+                self._save_manifest()
+        for path in doomed_paths:
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - cleanup is advisory
+                pass
+        self._notify("compact", None)
+
+    def compact(self) -> None:
+        """Force a full merge: flush, then fold every segment into one.
+
+        Afterwards the corpus holds at most one segment, the memtable
+        is empty and the tombstone ledger is fully purged — exactly the
+        layout a from-scratch rebuild would produce. Joins any
+        in-flight background compaction first.
+        """
+        self.drain_compaction()
+        with self._lock:
+            self._flush_locked(trigger_compaction=False)
+            group = self._segments
+            if group and (len(group) > 1 or self._tombstones):
+                self._merge_group(group)
+
+    def drain_compaction(self, timeout: float | None = None) -> None:
+        """Wait for an in-flight background compaction to finish."""
+        thread = self._compaction_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    @property
+    def compacting(self) -> bool:
+        """Whether a background compaction is currently in flight."""
+        thread = self._compaction_thread
+        return thread is not None and thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # search
+
+    def search(self, query: str, k: int, *,
+               deadline: Deadline | Budget | None = None
+               ) -> tuple[Match, ...]:
+        """All visible strings within distance ``k``, merged and sorted.
+
+        Fan-out over the memtable plus every segment, all against the
+        *shared* ``deadline`` (mirroring
+        :meth:`repro.service.ShardedCorpus.search`). On expiry the
+        raised :class:`DeadlineExceeded` carries the merged matches of
+        every completed part — filtered to currently visible strings,
+        still a strict subset of the exact answer — with
+        ``scope="segments"`` and ``completed``/``total`` counting parts
+        (the memtable is part 0).
+        """
+        check_threshold(k)
+        with self._lock:
+            segments = self._segments
+            memtable = tuple(self._memtable)
+        total = len(segments) + 1
+        rows: list[tuple[Match, ...]] = []
+        row = self._scan_memtable(query, k, memtable, deadline,
+                                  rows, total)
+        rows.append(row)
+        for index, segment in enumerate(segments):
+            if deadline is not None and deadline.spend(0):
+                raise DeadlineExceeded(
+                    f"live search for {query!r} (k={k}) found its "
+                    f"deadline expired before segment {index} of "
+                    f"{len(segments)}",
+                    partial=self._visible(merge_matches(rows)),
+                    scope="segments", completed=index + 1, total=total,
+                )
+            try:
+                rows.append(tuple(segment.searcher.search(
+                    query, k, deadline=deadline)))
+            except DeadlineExceeded as error:
+                partial = self._visible(
+                    merge_matches(rows + [tuple(error.partial)]))
+                raise DeadlineExceeded(
+                    f"live search for {query!r} (k={k}) exceeded its "
+                    f"deadline on segment {index} of {len(segments)} "
+                    f"({len(partial)} verified matches kept)",
+                    partial=partial, scope="segments",
+                    completed=index + 1, total=total,
+                ) from error
+        return self._visible(merge_matches(rows))
+
+    def _scan_memtable(self, query: str, k: int,
+                       memtable: tuple[str, ...],
+                       deadline, rows, total) -> tuple[Match, ...]:
+        """Brute-force bounded scan of the (small) memtable."""
+        if deadline is not None and deadline.spend(0):
+            raise DeadlineExceeded(
+                f"live search for {query!r} (k={k}) found its deadline "
+                f"expired before the memtable",
+                partial=(), scope="segments", completed=0, total=total,
+            )
+        found: list[Match] = []
+        interval = (deadline.check_interval
+                    if deadline is not None else 0)
+        pending = 0
+        length = len(query)
+        for string in memtable:
+            if deadline is not None:
+                pending += 1
+                if pending >= interval:
+                    expired = deadline.spend(pending)
+                    pending = 0
+                    if expired:
+                        raise DeadlineExceeded(
+                            f"live search for {query!r} (k={k}) "
+                            f"exceeded its deadline in the memtable "
+                            f"({len(found)} verified matches kept)",
+                            partial=self._visible(
+                                merge_matches(rows + [tuple(found)])),
+                            scope="segments", completed=0, total=total,
+                        )
+            if abs(len(string) - length) > k:
+                continue
+            distance = edit_distance_bounded(query, string, k)
+            if distance is not None:
+                found.append(Match(string, distance))
+        return tuple(found)
+
+    def _visible(self, merged: tuple[Match, ...]) -> tuple[Match, ...]:
+        """Filter merged rows to currently visible strings.
+
+        This is where tombstones take effect: a string still physically
+        present in a segment but logically deleted has ``contents == 0``
+        and drops out here — which also makes tombstoned re-inserts
+        trivially correct.
+        """
+        contents = self._contents
+        return tuple(match for match in merged
+                     if contents.get(match.string, 0) > 0)
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def sync(self) -> None:
+        """Write the manifest now (including the unflushed memtable).
+
+        Without a ``segment_dir`` this is a no-op. Flush/compaction
+        write the manifest automatically; ``sync`` additionally
+        persists memtable contents that have not been flushed yet, so
+        a reopen loses nothing.
+        """
+        if self._segment_dir is None:
+            return
+        with self._lock:
+            self._save_manifest()
+
+    def _save_manifest(self) -> None:
+        assert self._segment_dir is not None
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "sequence": self._seq,
+            "epoch": self._epoch,
+            "flush_threshold": self._flush_threshold,
+            "fanout": self._fanout,
+            "segments": [
+                {"file": os.path.basename(segment.path),
+                 "size": segment.size, "sequence": segment.sequence}
+                for segment in self._segments
+                if segment.path is not None
+            ],
+            "memtable": dict(self._memtable),
+            "tombstones": dict(self._tombstones),
+            "contents": dict(self._contents),
+        }
+        path = os.path.join(self._segment_dir, MANIFEST_NAME)
+        temp = path + ".tmp"
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        os.replace(temp, path)
+
+    @classmethod
+    def open(cls, segment_dir: str, *,
+             compaction: str = "inline",
+             packed: bool = False) -> "LiveCorpus":
+        """Restore a live corpus persisted under ``segment_dir``.
+
+        Segments are mmap-loaded through the process-global
+        :data:`repro.speed.segment_cache`; the manifest restores the
+        memtable, tombstone ledger and contents multiset exactly as
+        :meth:`sync` (or the last flush/compaction) left them.
+        """
+        from repro.speed import segment_cache
+
+        manifest_path = os.path.join(segment_dir, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise SegmentError(
+                "not a live corpus directory (no manifest)",
+                path=manifest_path,
+            )
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise SegmentError(
+                f"unsupported live manifest format "
+                f"{manifest.get('format')!r} (expected "
+                f"{MANIFEST_FORMAT})",
+                path=manifest_path,
+            )
+        corpus = cls(
+            flush_threshold=manifest["flush_threshold"],
+            fanout=manifest["fanout"],
+            compaction=compaction,
+            segment_dir=segment_dir,
+            packed=packed,
+        )
+        segments = []
+        for entry in manifest["segments"]:
+            path = os.path.join(segment_dir, entry["file"])
+            compiled = segment_cache.get(path)
+            if not isinstance(compiled, CompiledCorpus):
+                raise SegmentError(
+                    "live segment is not a corpus segment", path=path,
+                )
+            strings = tuple(compiled.strings)
+            segments.append(LiveSegment(
+                corpus=compiled,
+                searcher=CompiledScanSearcher(compiled),
+                members=frozenset(strings),
+                size=len(strings),
+                level=corpus._level_for(len(strings)),
+                sequence=entry["sequence"],
+                path=path,
+            ))
+        corpus._segments = tuple(segments)
+        corpus._seq = manifest["sequence"]
+        corpus._epoch = manifest["epoch"]
+        corpus._memtable = Counter(manifest["memtable"])
+        corpus._tombstones = Counter(manifest["tombstones"])
+        corpus._contents = Counter(manifest["contents"])
+        return corpus
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveCorpus(strings={len(self)}, "
+            f"segments={self.segment_count}, "
+            f"memtable={self.memtable_size}, "
+            f"tombstones={self.tombstone_count}, epoch={self._epoch})"
+        )

@@ -70,6 +70,7 @@ SERVICE_COUNTERS = (
     "service.deadline_expirations",
     "service.retries",
     "service.attempts",
+    "service.corpus_refreshes",
 )
 
 #: Default bounded-queue capacity (concurrent in-flight submits).
@@ -133,7 +134,10 @@ class Service:
     Parameters
     ----------
     dataset:
-        The strings to serve, or a prebuilt :class:`ShardedCorpus`.
+        The strings to serve, a prebuilt :class:`ShardedCorpus`, or a
+        :class:`repro.live.Corpus` (frozen or live). A live corpus is
+        tracked by epoch: every submit re-shards and refreshes the
+        planner statistics when the corpus drifted since the last one.
     shards:
         Shard count when building the corpus here.
     capacity:
@@ -290,6 +294,23 @@ class Service:
             self._counters[name] += value
         self._metrics.inc(name, value)
 
+    def _sync_live_corpus(self) -> None:
+        """Track a live source corpus: re-shard + refresh the planner.
+
+        When the service serves a mutable :class:`repro.live.Corpus`,
+        each submit first lets the sharded corpus re-snapshot on epoch
+        drift and, when it did, refreshes the planner's ANALYZE
+        statistics so the ladder ordering keeps pricing the corpus
+        that actually exists. Counted under
+        ``service.corpus_refreshes``.
+        """
+        if not self._corpus.refresh():
+            return
+        self._count("service.corpus_refreshes")
+        with self._planner_lock:
+            if self._planner is not None:
+                self._planner.refresh_statistics(self._corpus.strings)
+
     def _record_event(self, query: str, k: int, seconds: float,
                       kind: str, *, matches: int = -1,
                       note: str = "") -> None:
@@ -335,6 +356,7 @@ class Service:
                 "batch queries one at a time"
             )
         self._count("service.submitted")
+        self._sync_live_corpus()
         if not self._slots.acquire(blocking=False):
             self._count("service.rejected")
             self._record_event(

@@ -41,7 +41,9 @@ class ShardedCorpus:
     ----------
     dataset:
         The strings to search (duplicates allowed; every occurrence
-        lands in exactly one shard).
+        lands in exactly one shard), or a :class:`repro.live.Corpus`.
+        A mutable corpus is re-partitioned automatically whenever its
+        epoch drifts (see :meth:`refresh`).
     shards:
         Number of partitions (``>= 1``).
     scheme:
@@ -71,11 +73,21 @@ class ShardedCorpus:
     def __init__(self, dataset: Iterable[str], shards: int = 4, *,
                  scheme: str = "round_robin",
                  segment_dir: str | None = None) -> None:
-        strings = tuple(dataset)
+        from repro.live.facade import Corpus
+
         if shards < 1:
             raise ReproError(
                 f"shards must be positive, got {shards}"
             )
+        if isinstance(dataset, Corpus):
+            self._source: Corpus | None = dataset
+            self._source_epoch = dataset.epoch
+            strings = dataset.snapshot()
+        else:
+            self._source = None
+            self._source_epoch = 0
+            strings = tuple(dataset)
+        self._shards = shards
         self._strings = strings
         self._parts = [tuple(part) for part in
                        partition_dataset(strings, shards, scheme=scheme)]
@@ -87,6 +99,33 @@ class ShardedCorpus:
     def strings(self) -> tuple[str, ...]:
         """The full dataset, in input order."""
         return self._strings
+
+    @property
+    def source(self):
+        """The :class:`repro.live.Corpus` behind the shards, if any."""
+        return self._source
+
+    def refresh(self) -> bool:
+        """Re-partition when a live source corpus drifted.
+
+        Polled at the top of every :meth:`search` (and usable directly
+        by owners such as :class:`repro.service.Service`): when the
+        source's epoch moved since the last snapshot, the strings are
+        re-snapshotted, re-partitioned, and the per-shard searcher
+        cache is dropped. Returns whether a refresh happened.
+        """
+        if self._source is None or not self._source.mutable:
+            return False
+        epoch = self._source.epoch
+        if epoch == self._source_epoch:
+            return False
+        self._source_epoch = epoch
+        self._strings = self._source.snapshot()
+        self._parts = [tuple(part) for part in
+                       partition_dataset(self._strings, self._shards,
+                                         scheme=self._scheme)]
+        self._searchers.clear()
+        return True
 
     @property
     def shard_count(self) -> int:
@@ -125,7 +164,12 @@ class ShardedCorpus:
         elif plan == "compiled":
             from repro.scan.searcher import CompiledScanSearcher
 
-            if self._segment_dir is not None:
+            # A live source re-partitions on drift; stale per-shard
+            # segment files would then serve deleted strings, so the
+            # segment path only applies to immutable sources.
+            live_source = (self._source is not None
+                           and self._source.mutable)
+            if self._segment_dir is not None and not live_source:
                 import os
 
                 from repro.speed import load_or_build_corpus_segment
@@ -155,6 +199,7 @@ class ShardedCorpus:
         of the exact answer — with ``scope="shards"`` and
         ``completed``/``total`` counting shards.
         """
+        self.refresh()
         merged: list[tuple[Match, ...]] = []
         total = len(self._parts)
         for index in range(total):

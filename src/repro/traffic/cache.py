@@ -29,8 +29,10 @@ kernel optimization can. :class:`ResultCache` memoizes **complete**
   observable with the same machinery as every other series.
 * **invalidation hooks** — :meth:`ResultCache.invalidate` drops every
   entry whose result mentions a given dataset string (or everything,
-  with no argument). Reserved for the future live-corpus write path:
-  an insert/delete must invalidate the answers it could change.
+  with no argument). The live-corpus write path drives it: a gateway
+  over a mutable :class:`repro.live.Corpus` subscribes to its
+  mutation events and invalidates on every insert/delete, so a hit
+  is never staler than the corpus (see ``docs/LIVE.md``).
 """
 
 from __future__ import annotations
@@ -190,11 +192,12 @@ class ResultCache:
     def invalidate(self, string: str | None = None) -> int:
         """Drop entries whose answer could involve ``string``.
 
-        The hook the future live-corpus write path calls on insert or
-        delete: with a ``string``, every cached result that matched it
-        is dropped (an insert can only *add* matches, so conservative
-        callers pass ``None`` to drop everything); returns how many
-        entries were removed.
+        The hook the live-corpus write path calls on insert or
+        delete (:meth:`repro.traffic.AsyncService` wires it to the
+        corpus's mutation events): with a ``string``, every cached
+        result that matched it is dropped (an insert can only *add*
+        matches, so conservative callers pass ``None`` to drop
+        everything); returns how many entries were removed.
         """
         with self._lock:
             if string is None:

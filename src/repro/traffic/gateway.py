@@ -56,6 +56,7 @@ GATEWAY_COUNTERS = (
     "service.gateway.ladder_answers",
     "service.gateway.floor_answers",
     "service.gateway.rejections",
+    "service.gateway.invalidation_events",
 )
 
 #: Completions between two adaptive pool re-fits.
@@ -71,7 +72,12 @@ class AsyncService:
         The blocking service underneath (its corpus, ladder and
         admission stay authoritative for ladder execution).
     cache:
-        Optional hot-query :class:`ResultCache`; consulted first.
+        Optional hot-query :class:`ResultCache`; consulted first. When
+        the service serves a *live* :class:`repro.live.Corpus`, the
+        gateway subscribes to its mutation events and invalidates the
+        cache on every insert (drop everything — an insert can only
+        add matches) and delete (drop the entries mentioning the
+        string), so a hit is never staler than the corpus.
     shedder:
         Optional :class:`LoadShedder`; without one every request is
         admitted (the service's own slot pool still applies).
@@ -115,6 +121,35 @@ class AsyncService:
         self._pending = 0
         self._completions = 0
         self._last_seconds = 0.0
+        self._invalidation_source = None
+        source = getattr(service.corpus, "source", None)
+        if (cache is not None and source is not None
+                and getattr(source, "mutable", False)):
+            # The write path's cache contract: a mutation must drop
+            # every cached answer it could change before the next
+            # lookup. Inserts can only *add* matches, so they clear
+            # everything; deletes only remove matches, so they drop
+            # just the entries that mention the deleted string.
+            source.subscribe(self._on_corpus_event)
+            self._invalidation_source = source
+
+    def _on_corpus_event(self, event) -> None:
+        """Invalidate cached results on a live-corpus mutation.
+
+        Runs on the mutating caller's thread (corpus events are
+        synchronous); the cache is internally locked, so this is safe
+        from any thread. Flush/compact events change layout, not
+        logical contents, and are ignored.
+        """
+        cache = self._cache
+        if cache is None or event.kind not in ("insert", "delete"):
+            return
+        self._count("service.gateway.invalidation_events")
+        if event.kind == "insert":
+            cache.invalidate()
+        else:
+            cache.invalidate(event.string)
+        self._set_gauges()
 
     @property
     def service(self) -> Service:

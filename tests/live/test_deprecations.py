@@ -1,0 +1,64 @@
+"""The Corpus-facade migration deprecations.
+
+Mirrors the ``backend=`` -> ``plan=`` migration tests: each deprecated
+spelling warns with an exact, frozen message constant, so the guidance
+users see cannot silently rot — and the replacement spelling is
+verified to answer identically.
+"""
+
+import pytest
+
+from repro.core.updatable import UPDATABLE_DEPRECATION, UpdatableIndex
+from repro.live import Corpus
+from repro.scan.corpus import FROM_DATASET_DEPRECATION, CompiledCorpus
+
+DATASET = ["Berlin", "Bern", "Ulm"]
+
+
+class TestUpdatableIndexDeprecation:
+    def test_construction_warns_with_the_exact_message(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            UpdatableIndex(DATASET)
+        assert str(caught[0].message) == UPDATABLE_DEPRECATION
+
+    def test_message_names_the_replacement(self):
+        assert "Corpus.live(...)" in UPDATABLE_DEPRECATION
+        assert "removed in 2.0" in UPDATABLE_DEPRECATION
+
+    def test_replacement_answers_identically(self):
+        with pytest.warns(DeprecationWarning):
+            index = UpdatableIndex(DATASET)
+        corpus = Corpus.live(DATASET)
+        for mutate in (lambda t: t.insert("Berlino"),
+                       lambda t: t.insert("Ulm")):
+            mutate(index)
+            mutate(corpus)
+        index.remove("Bern")
+        corpus.delete("Bern")
+        for query, k in (("Berlin", 2), ("Ulm", 1), ("zzz", 2)):
+            assert [m.string for m in corpus.search(query, k)] \
+                == [m.string for m in index.search(query, k)]
+
+
+class TestFromDatasetDeprecation:
+    def test_classmethod_warns_with_the_exact_message(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            CompiledCorpus.from_dataset(DATASET)
+        assert str(caught[0].message) == FROM_DATASET_DEPRECATION
+
+    def test_message_names_the_replacement(self):
+        assert "Corpus.frozen" in FROM_DATASET_DEPRECATION
+        assert "removed in 2.0" in FROM_DATASET_DEPRECATION
+
+    def test_forwarding_builds_an_equivalent_corpus(self):
+        with pytest.warns(DeprecationWarning):
+            deprecated = CompiledCorpus.from_dataset(DATASET,
+                                                     packed=True)
+        direct = CompiledCorpus(DATASET, packed=True)
+        assert deprecated.strings == direct.strings
+        assert deprecated.packed == direct.packed
+
+    def test_direct_construction_does_not_warn(self, recwarn):
+        CompiledCorpus(DATASET)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]

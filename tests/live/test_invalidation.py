@@ -1,0 +1,122 @@
+"""End-to-end cache invalidation on the live-corpus write path.
+
+The gateway subscribes to a live corpus's mutation events and drives
+:meth:`repro.traffic.cache.ResultCache.invalidate` — drop everything
+on insert (an insert can only add matches), drop the entries
+mentioning the string on delete. These tests exercise the whole loop:
+cached answer, mutation, invalidation counters, fresh answer.
+"""
+
+import asyncio
+
+from repro.live import Corpus
+from repro.service import Service
+from repro.traffic import AsyncService, ResultCache
+
+DATASET = ["Berlin", "Bern", "Bonn", "Ulm", "Hamburg", "Bremen"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_gateway(corpus, **kwargs):
+    service = Service(corpus, shards=2)
+    cache = ResultCache()
+    return AsyncService(service, cache=cache, **kwargs), cache
+
+
+class TestInsertInvalidation:
+    def test_insert_drops_the_whole_cache(self):
+        corpus = Corpus.live(DATASET)
+        gateway, cache = make_gateway(corpus)
+
+        async def scenario():
+            await gateway.submit("Berlino", 2)
+            await gateway.submit("Ulm", 1)
+            assert len(cache) == 2
+            corpus.insert("Ulma")
+            assert len(cache) == 0
+            return await gateway.submit("Ulm", 1)
+
+        result = run(scenario())
+        # The fresh answer sees the insert a stale hit would have missed.
+        assert "Ulma" in [m.string for m in result.matches]
+        counters = gateway.counters_snapshot()
+        assert counters["service.gateway.invalidation_events"] == 1
+        assert cache.counters_snapshot()[
+            "service.cache.invalidations"] == 2
+
+
+class TestDeleteInvalidation:
+    def test_delete_drops_only_entries_mentioning_the_string(self):
+        corpus = Corpus.live(DATASET)
+        gateway, cache = make_gateway(corpus)
+
+        async def scenario():
+            await gateway.submit("Berlino", 2)   # matches Berlin
+            await gateway.submit("Hamburg", 0)   # unrelated
+            corpus.delete("Berlin")
+            assert len(cache) == 1
+            return await gateway.submit("Berlino", 2)
+
+        result = run(scenario())
+        assert "Berlin" not in [m.string for m in result.matches]
+        counters = gateway.counters_snapshot()
+        assert counters["service.gateway.invalidation_events"] == 1
+        assert cache.counters_snapshot()[
+            "service.cache.invalidations"] == 1
+
+    def test_stale_hit_impossible_after_delete(self):
+        corpus = Corpus.live(DATASET)
+        gateway, cache = make_gateway(corpus)
+
+        async def scenario():
+            first = await gateway.submit("Ulm", 0)
+            corpus.delete("Ulm")
+            second = await gateway.submit("Ulm", 0)
+            return first, second
+
+        first, second = run(scenario())
+        assert [m.string for m in first.matches] == ["Ulm"]
+        assert second.matches == ()
+
+
+class TestEventSelectivity:
+    def test_flush_and_compact_do_not_invalidate(self):
+        corpus = Corpus.live(DATASET, flush_threshold=100)
+        gateway, cache = make_gateway(corpus)
+
+        async def scenario():
+            await gateway.submit("Berlino", 2)
+            return len(cache)
+
+        assert run(scenario()) == 1
+        corpus.insert("Ulma")        # invalidates (insert)
+        assert len(cache) == 0
+
+        async def refill():
+            await gateway.submit("Berlino", 2)
+
+        run(refill())
+        assert len(cache) == 1
+        corpus.flush()               # layout only: cache untouched
+        corpus.compact()
+        assert len(cache) == 1
+        counters = gateway.counters_snapshot()
+        assert counters["service.gateway.invalidation_events"] == 1
+
+    def test_frozen_corpus_gateway_never_sees_events(self):
+        gateway, cache = make_gateway(Corpus.frozen(DATASET))
+
+        async def scenario():
+            first = await gateway.submit("Berlino", 2)
+            second = await gateway.submit("Berlino", 2)
+            return first, second
+
+        first, second = run(scenario())
+        assert second is first
+        counters = gateway.counters_snapshot()
+        assert counters["service.gateway.invalidation_events"] == 0
+        assert cache.counters_snapshot()[
+            "service.cache.invalidations"] == 0

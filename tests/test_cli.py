@@ -375,3 +375,81 @@ class TestBenchCommand:
     def test_unknown_experiment_is_an_error(self, capsys):
         assert main(["bench", "table99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestLiveCommand:
+    @pytest.fixture()
+    def ops_file(self, tmp_path):
+        path = tmp_path / "ops.txt"
+        path.write_text(
+            "# seed, query, mutate, re-query\n"
+            "+Berlin\n"
+            "+Bern\n"
+            "+Ulm\n"
+            "?Berlino\n"
+            "-Ulm\n"
+            "?Ulm\n"
+            "\n"
+            "+Ulm\n"
+            "?Ulm\n"
+        )
+        return path
+
+    def test_replays_the_script(self, ops_file, capsys):
+        assert main(["live", str(ops_file), "-k", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == [
+            "Berlino\tBerlin", "Ulm", "Ulm\tUlm",
+        ]
+        assert "4 inserts, 1 deletes, 3 searches" in captured.err
+
+    def test_data_seeds_the_corpus(self, tmp_path, capsys):
+        data = tmp_path / "cities.txt"
+        write_strings(data, ["Berlin", "Bern"])
+        ops = tmp_path / "ops.txt"
+        ops.write_text("?Berlino\n")
+        assert main(["live", str(ops), "-k", "2",
+                     "--data", str(data)]) == 0
+        assert capsys.readouterr().out.splitlines() \
+            == ["Berlino\tBerlin"]
+
+    def test_scripts_compose_across_runs(self, tmp_path, capsys):
+        directory = str(tmp_path / "segments")
+        first = tmp_path / "first.txt"
+        first.write_text("+Berlin\n+Bern\n")
+        second = tmp_path / "second.txt"
+        second.write_text("-Bern\n?Berlino\n")
+        assert main(["live", str(first), "-k", "2",
+                     "--segment-dir", directory]) == 0
+        capsys.readouterr()
+        assert main(["live", str(second), "-k", "2",
+                     "--segment-dir", directory]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["Berlino\tBerlin"]
+
+    def test_compact_folds_segments(self, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("+aa\n+ab\n+ba\n+bb\n")
+        assert main(["live", str(ops), "-k", "0",
+                     "--flush-threshold", "2", "--compact"]) == 0
+        assert "1 segments" in capsys.readouterr().err
+
+    def test_reopen_conflicts_with_data(self, tmp_path, capsys):
+        directory = str(tmp_path / "segments")
+        data = tmp_path / "cities.txt"
+        write_strings(data, ["Berlin"])
+        ops = tmp_path / "ops.txt"
+        ops.write_text("?Berlin\n")
+        assert main(["live", str(ops), "-k", "0",
+                     "--segment-dir", directory]) == 0
+        capsys.readouterr()
+        assert main(["live", str(ops), "-k", "0",
+                     "--segment-dir", directory,
+                     "--data", str(data)]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_unknown_operation_is_an_error(self, tmp_path, capsys):
+        ops = tmp_path / "ops.txt"
+        ops.write_text("!Berlin\n")
+        assert main(["live", str(ops), "-k", "0"]) == 2
+        assert "unknown operation" in capsys.readouterr().err
