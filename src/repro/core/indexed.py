@@ -135,7 +135,11 @@ class IndexedSearcher(Searcher):
         self._last_stats: TraversalStats | None = None
         self._node_count = 0
         self._flat_trie: FlatTrie | None = None
-        self._row_bank: list = []
+        # DP row scratch for the flat path, reused across queries but
+        # never across threads: services cache one searcher per shard
+        # and run concurrent submits through it, and a shared bank
+        # would let two in-flight searches corrupt each other's rows.
+        self._row_banks = threading.local()
         # Cumulative work counters (trie.* namespace), flushed once per
         # search under the lock so parallel runners sharing this
         # searcher aggregate correctly.
@@ -191,7 +195,7 @@ class IndexedSearcher(Searcher):
                         flat, query, k,
                         use_frequency_pruning=frequency_pruning,
                         stats=stats,
-                        row_bank=self._row_bank,
+                        row_bank=self._thread_row_bank(),
                         deadline=deadline,
                     )
                 except DeadlineExceeded:
@@ -253,6 +257,14 @@ class IndexedSearcher(Searcher):
             return matches
 
         return search
+
+    def _thread_row_bank(self) -> list:
+        """This thread's DP row scratch (created on first use)."""
+        bank = getattr(self._row_banks, "bank", None)
+        if bank is None:
+            bank = []
+            self._row_banks.bank = bank
+        return bank
 
     def _reject_deadline(self, deadline) -> None:
         """Refuse a deadline on index kinds that cannot honor one."""

@@ -307,6 +307,19 @@ class LiveCorpus:
         for listener in listeners:
             listener(event)
 
+    def _fire(self, events: list[tuple[str, str | None]]) -> None:
+        """Deliver events queued during a locked section, in order.
+
+        Mutating calls collect ``(kind, string)`` pairs while holding
+        the corpus lock and fire them here after releasing it, so the
+        stream subscribers see is ordered cause-before-effect (insert,
+        then the flush it triggered, then the compaction) and listeners
+        that synchronize with threads needing the corpus lock cannot
+        deadlock.
+        """
+        for kind, string in events:
+            self._notify(kind, string)
+
     # ------------------------------------------------------------------
     # mutations
 
@@ -321,6 +334,7 @@ class LiveCorpus:
         """
         if not string:
             raise ReproError("cannot index an empty string")
+        events: list[tuple[str, str | None]] = [("insert", string)]
         with self._lock:
             self._contents[string] += 1
             if self._tombstones.get(string, 0) > 0:
@@ -331,8 +345,8 @@ class LiveCorpus:
                 self._memtable[string] += 1
             self._epoch += 1
             if len(self._memtable) >= self._flush_threshold:
-                self._flush_locked()
-        self._notify("insert", string)
+                self._flush_locked(events=events)
+        self._fire(events)
 
     def delete(self, string: str) -> None:
         """Remove one occurrence of ``string``.
@@ -368,23 +382,27 @@ class LiveCorpus:
         ``flush_threshold``; explicit callers use it before snapshots
         or shutdown.
         """
+        events: list[tuple[str, str | None]] = []
         with self._lock:
-            flushed = self._flush_locked()
-        if flushed:
-            self._notify("flush", None)
+            flushed = self._flush_locked(events=events)
+        self._fire(events)
         return flushed
 
-    def _flush_locked(self, *, trigger_compaction: bool = True) -> bool:
+    def _flush_locked(self, *, trigger_compaction: bool = True,
+                      events: list[tuple[str, str | None]] | None = None
+                      ) -> bool:
         if not self._memtable:
             return False
         segment = self._build_segment(tuple(self._memtable))
         self._memtable.clear()
         self._segments = self._segments + (segment,)
         self.flushes += 1
+        if events is not None:
+            events.append(("flush", None))
         if self._segment_dir is not None:
             self._save_manifest()
         if trigger_compaction:
-            self._maybe_compact()
+            self._maybe_compact(events=events)
         return True
 
     # ------------------------------------------------------------------
@@ -435,7 +453,9 @@ class LiveCorpus:
                 return tuple(group)
         return ()
 
-    def _maybe_compact(self) -> None:
+    def _maybe_compact(
+            self,
+            events: list[tuple[str, str | None]] | None = None) -> None:
         group = self._compaction_candidates()
         if not group:
             return
@@ -450,7 +470,7 @@ class LiveCorpus:
             self._compaction_thread = thread
             thread.start()
         else:
-            self._merge_group(group)
+            self._merge_group(group, events=events)
 
     def _run_background_compaction(
             self, group: tuple[LiveSegment, ...]) -> None:
@@ -460,15 +480,25 @@ class LiveCorpus:
             with self._lock:
                 self._compacting = False
 
-    def _merge_group(self, group: tuple[LiveSegment, ...]) -> None:
+    def _merge_group(self, group: tuple[LiveSegment, ...],
+                     events: list[tuple[str, str | None]] | None = None
+                     ) -> None:
         """Merge ``group`` into one segment, purging dead strings.
 
         The merged corpus is built *outside* the lock (segments are
-        immutable; the contents filter may be slightly stale, which is
-        safe — search re-filters by contents anyway). The lock is held
-        only for the segment-list swap and tombstone reconciliation, so
-        a concurrent search observes either the old or the new layout,
-        never a half-merged one.
+        immutable). The lock is held only for the segment-list swap and
+        tombstone reconciliation, so a concurrent search observes
+        either the old or the new layout, never a half-merged one.
+
+        The contents filter used to collect survivors may be stale by
+        swap time, and staleness is *not* symmetric: a string deleted
+        after collection merely rides along dead (search re-filters by
+        contents), but a tombstoned string **re-inserted** while the
+        merge ran was dropped from the merged segment even though
+        insert() cancelled its tombstone expecting the physical segment
+        copy to survive. The swap therefore re-validates: any group
+        string that is visible yet no longer physically present
+        anywhere is re-added to the memtable.
         """
         group_members: set[str] = set()
         survivors: list[str] = []
@@ -490,6 +520,12 @@ class LiveCorpus:
             if merged is not None:
                 kept.append(merged)
             self._segments = tuple(kept)
+            for string in group_members:
+                if (self._contents.get(string, 0) > 0
+                        and self._memtable.get(string, 0) == 0
+                        and not any(string in segment.members
+                                    for segment in kept)):
+                    self._memtable[string] = 1
             purged = 0
             for string in list(self._tombstones):
                 if string in group_members and not any(
@@ -506,7 +542,12 @@ class LiveCorpus:
                 os.remove(path)
             except OSError:  # pragma: no cover - cleanup is advisory
                 pass
-        self._notify("compact", None)
+        if events is not None:
+            events.append(("compact", None))
+        else:
+            # Background path: the merge thread holds no corpus lock
+            # here, so direct delivery is safe.
+            self._notify("compact", None)
 
     def compact(self) -> None:
         """Force a full merge: flush, then fold every segment into one.
@@ -517,11 +558,13 @@ class LiveCorpus:
         in-flight background compaction first.
         """
         self.drain_compaction()
+        events: list[tuple[str, str | None]] = []
         with self._lock:
-            self._flush_locked(trigger_compaction=False)
+            self._flush_locked(trigger_compaction=False, events=events)
             group = self._segments
             if group and (len(group) > 1 or self._tombstones):
-                self._merge_group(group)
+                self._merge_group(group, events=events)
+        self._fire(events)
 
     def drain_compaction(self, timeout: float | None = None) -> None:
         """Wait for an in-flight background compaction to finish."""
@@ -702,13 +745,16 @@ class LiveCorpus:
                 f"{MANIFEST_FORMAT})",
                 path=manifest_path,
             )
+        # Construct without segment_dir: __init__ would otherwise save
+        # an *empty* manifest over the one just read, destroying the
+        # persisted state if the process stopped before the next sync.
         corpus = cls(
             flush_threshold=manifest["flush_threshold"],
             fanout=manifest["fanout"],
             compaction=compaction,
-            segment_dir=segment_dir,
             packed=packed,
         )
+        corpus._segment_dir = segment_dir
         segments = []
         for entry in manifest["segments"]:
             path = os.path.join(segment_dir, entry["file"])

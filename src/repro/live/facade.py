@@ -78,6 +78,7 @@ class Corpus:
         self._live = _live
         self._compiled = _compiled
         self._searcher: CompiledScanSearcher | None = None
+        self._members: frozenset[str] | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -194,7 +195,11 @@ class Corpus:
     def __contains__(self, string: str) -> bool:
         if self._live is not None:
             return string in self._live
-        return string in set(self._compiled.strings)
+        # Frozen strings never change; build the member set once,
+        # lazily, mirroring the lazily built _searcher.
+        if self._members is None:
+            self._members = frozenset(self._compiled.strings)
+        return string in self._members
 
     def search(self, query: str, k: int, *,
                deadline: Deadline | Budget | None = None

@@ -19,6 +19,7 @@ parallelism across shards belongs to the runner layer, not this one.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.core.deadline import Budget, Deadline
@@ -32,6 +33,27 @@ from repro.parallel.partition import partition_dataset
 #: Plan kinds a shard can serve, mapping 1:1 onto the library's
 #: searchers (see :meth:`ShardedCorpus.searcher_for`).
 SHARD_PLAN_KINDS = ("flat", "compiled", "sequential")
+
+
+class _ShardView:
+    """One consistent partitioning: strings, parts, searcher cache.
+
+    :class:`ShardedCorpus` swaps a whole view atomically on refresh
+    instead of mutating parts/searchers in place, so a search that
+    captured a view at entry keeps a coherent old-or-new picture even
+    while a concurrent submit re-partitions. The searcher cache is
+    per-view — a dict, safe under CPython's atomic dict ops; two
+    threads racing to build the same shard searcher at worst build it
+    twice, which is idempotent.
+    """
+
+    __slots__ = ("strings", "parts", "searchers")
+
+    def __init__(self, strings: tuple[str, ...],
+                 parts: list[tuple[str, ...]]) -> None:
+        self.strings = strings
+        self.parts = parts
+        self.searchers: dict[tuple[str, int], Searcher | None] = {}
 
 
 class ShardedCorpus:
@@ -88,17 +110,18 @@ class ShardedCorpus:
             self._source_epoch = 0
             strings = tuple(dataset)
         self._shards = shards
-        self._strings = strings
-        self._parts = [tuple(part) for part in
-                       partition_dataset(strings, shards, scheme=scheme)]
         self._scheme = scheme
         self._segment_dir = segment_dir
-        self._searchers: dict[tuple[str, int], Searcher | None] = {}
+        self._refresh_lock = threading.Lock()
+        self._view = _ShardView(strings, [
+            tuple(part) for part in
+            partition_dataset(strings, shards, scheme=scheme)
+        ])
 
     @property
     def strings(self) -> tuple[str, ...]:
         """The full dataset, in input order."""
-        return self._strings
+        return self._view.strings
 
     @property
     def source(self):
@@ -111,26 +134,39 @@ class ShardedCorpus:
         Polled at the top of every :meth:`search` (and usable directly
         by owners such as :class:`repro.service.Service`): when the
         source's epoch moved since the last snapshot, the strings are
-        re-snapshotted, re-partitioned, and the per-shard searcher
-        cache is dropped. Returns whether a refresh happened.
+        re-snapshotted, re-partitioned into a fresh :class:`_ShardView`
+        (with an empty searcher cache) and the view is swapped in
+        atomically. Returns whether a refresh happened.
+
+        Safe under concurrent submits: a lock serializes competing
+        refreshes (with a double-check so the losers return cheaply),
+        and readers only ever see a complete old or new view — never
+        parts from one partitioning and searchers from another. The
+        epoch is captured *before* the snapshot, so a mutation racing
+        the snapshot at worst triggers one redundant refresh later,
+        never a missed one.
         """
         if self._source is None or not self._source.mutable:
             return False
-        epoch = self._source.epoch
-        if epoch == self._source_epoch:
+        if self._source.epoch == self._source_epoch:
             return False
-        self._source_epoch = epoch
-        self._strings = self._source.snapshot()
-        self._parts = [tuple(part) for part in
-                       partition_dataset(self._strings, self._shards,
-                                         scheme=self._scheme)]
-        self._searchers.clear()
+        with self._refresh_lock:
+            epoch = self._source.epoch
+            if epoch == self._source_epoch:
+                return False
+            strings = self._source.snapshot()
+            self._view = _ShardView(strings, [
+                tuple(part) for part in
+                partition_dataset(strings, self._shards,
+                                  scheme=self._scheme)
+            ])
+            self._source_epoch = epoch
         return True
 
     @property
     def shard_count(self) -> int:
         """Number of partitions."""
-        return len(self._parts)
+        return len(self._view.parts)
 
     @property
     def scheme(self) -> str:
@@ -139,7 +175,7 @@ class ShardedCorpus:
 
     def shard(self, index: int) -> tuple[str, ...]:
         """The strings of one shard."""
-        return self._parts[index]
+        return self._view.parts[index]
 
     def searcher_for(self, plan: str, index: int) -> Searcher | None:
         """The (cached) searcher serving ``plan`` on shard ``index``.
@@ -147,15 +183,20 @@ class ShardedCorpus:
         ``None`` for an empty shard — there is nothing to search and
         some structures cannot be built over zero strings.
         """
+        return self._view_searcher(self._view, plan, index)
+
+    def _view_searcher(self, view: _ShardView, plan: str,
+                       index: int) -> Searcher | None:
+        """Build (or fetch) ``view``'s searcher for one (plan, shard)."""
         if plan not in SHARD_PLAN_KINDS:
             raise ReproError(
                 f"unknown shard plan {plan!r}; expected one of "
                 f"{SHARD_PLAN_KINDS}"
             )
         key = (plan, index)
-        if key in self._searchers:
-            return self._searchers[key]
-        part = self._parts[index]
+        if key in view.searchers:
+            return view.searchers[key]
+        part = view.parts[index]
         searcher: Searcher | None
         if not part:
             searcher = None
@@ -184,7 +225,7 @@ class ShardedCorpus:
             searcher = SequentialScanSearcher(
                 part, kernel="bitparallel", order="length"
             )
-        self._searchers[key] = searcher
+        view.searchers[key] = searcher
         return searcher
 
     def search(self, query: str, k: int, *, plan: str = "flat",
@@ -200,8 +241,11 @@ class ShardedCorpus:
         ``completed``/``total`` counting shards.
         """
         self.refresh()
+        # One view captured at entry: a concurrent refresh swapping
+        # self._view mid-loop cannot mix partitionings in this search.
+        view = self._view
         merged: list[tuple[Match, ...]] = []
-        total = len(self._parts)
+        total = len(view.parts)
         for index in range(total):
             # Pre-check between shards: a shard small enough never to
             # hit an amortized poll must not run on a dead deadline.
@@ -213,7 +257,7 @@ class ShardedCorpus:
                     partial=merge_matches(merged), scope="shards",
                     completed=index, total=total,
                 )
-            searcher = self.searcher_for(plan, index)
+            searcher = self._view_searcher(view, plan, index)
             if searcher is None:
                 continue
             try:

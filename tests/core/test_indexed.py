@@ -139,3 +139,52 @@ class TestWorkloadExecution:
             verify_result_sets(reference,
                                searcher.run_workload(city_workload),
                                candidate_name=kind)
+
+
+class TestConcurrentSearch:
+    def test_flat_row_bank_is_per_thread(self):
+        # The flat path reuses DP row buffers across queries; services
+        # cache one searcher per shard and run concurrent submits
+        # through it, so the scratch must be thread-local — a shared
+        # bank lets two in-flight searches corrupt each other's rows.
+        import threading
+
+        searcher = IndexedSearcher(DATASET, index="flat")
+        banks = {}
+
+        def grab(name):
+            searcher.search("Bern", 1)
+            banks[name] = searcher._thread_row_bank()
+
+        thread = threading.Thread(target=grab, args=("other",))
+        thread.start()
+        thread.join()
+        grab("main")
+        assert banks["main"] is not banks["other"]
+
+    def test_shared_flat_searcher_is_safe_across_threads(self):
+        import threading
+
+        dataset = [f"city{i:03d}" for i in range(60)] + list(DATASET)
+        searcher = IndexedSearcher(dataset, index="flat")
+        expected = {
+            query: sorted(m.string for m in searcher.search(query, 2))
+            for query in ("Bern", "Berlln", "city05", "zzz")
+        }
+        failures = []
+
+        def worker():
+            for _ in range(80):
+                for query, answer in expected.items():
+                    got = sorted(m.string
+                                 for m in searcher.search(query, 2))
+                    if got != answer:
+                        failures.append((query, got))
+                        return
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert failures == []

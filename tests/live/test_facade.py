@@ -108,6 +108,16 @@ class TestUniformSurface:
         corpus.compact()
         assert corpus.live_corpus.segment_count == 1
 
+    def test_frozen_membership_is_cached(self):
+        corpus = Corpus.frozen(DATASET)
+        assert corpus._members is None
+        assert "Ulm" in corpus
+        members = corpus._members
+        assert members == frozenset(DATASET)
+        assert "Paris" not in corpus
+        # Repeated checks reuse the set instead of rebuilding it.
+        assert corpus._members is members
+
     def test_subscribe_is_a_noop_on_frozen(self):
         events = []
         corpus = Corpus.frozen(DATASET)
@@ -177,6 +187,48 @@ class TestShardingIntegration:
     def test_frozen_source_never_refreshes(self):
         sharded = ShardedCorpus(Corpus.frozen(DATASET), shards=2)
         assert sharded.refresh() is False
+
+    def test_search_holds_one_view_across_a_concurrent_refresh(self):
+        # Refresh swaps an immutable (strings, parts, searchers) view
+        # atomically; a search that already captured a view must not
+        # mix old parts with new searchers. Writers mutate while
+        # readers search; every answer must be internally consistent:
+        # exactly the matcher set of SOME corpus state, never a blend
+        # that drops or duplicates the always-present anchor.
+        import threading
+
+        corpus = Corpus.live(["anchor"] + [f"aa{i:02d}" for i in range(8)])
+        sharded = ShardedCorpus(corpus, shards=4)
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def writer():
+            for index in range(200):
+                if stop.is_set():
+                    return
+                corpus.insert(f"bb{index:03d}")
+                if index % 3 == 0:
+                    corpus.delete(f"bb{index:03d}")
+
+        def reader():
+            try:
+                for _ in range(100):
+                    matches = [m.string for m in
+                               sharded.search("anchor", 0)]
+                    if matches != ["anchor"]:
+                        failures.append(repr(matches))
+                        return
+            except Exception as error:  # noqa: BLE001
+                failures.append(repr(error))
+
+        threads = [threading.Thread(target=writer)] \
+            + [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        stop.set()
+        assert failures == []
 
 
 class TestServiceIntegration:

@@ -168,6 +168,39 @@ class TestCompaction:
         corpus.compact()
         assert corpus.compactions == 0
 
+    def test_reinsert_racing_a_merge_is_not_lost(self):
+        # A tombstoned string whose only physical copy lives in the
+        # group being merged is dropped from the merged segment (its
+        # contents count was 0 when survivors were collected). If it
+        # is re-inserted before the segment-list swap, insert cancels
+        # the tombstone expecting the segment copy to survive — the
+        # swap must detect the dropped-but-visible string and re-add
+        # it to the memtable. Simulated by interleaving the insert
+        # into the merge's build step, which runs between survivor
+        # collection and the swap.
+        corpus = LiveCorpus(flush_threshold=100, fanout=100)
+        corpus.insert("keep")
+        corpus.insert("gone")
+        corpus.flush()
+        corpus.delete("gone")
+
+        real_build = corpus._build_segment
+        raced = []
+
+        def hooked_build(strings):
+            segment = real_build(strings)
+            if not raced:
+                raced.append(True)
+                corpus.insert("gone")
+            return segment
+
+        corpus._build_segment = hooked_build
+        corpus.compact()
+        assert "gone" in corpus
+        assert [m.string for m in corpus.search("gone", 0)] == ["gone"]
+        # And the rescue is physical, not just a contents-count claim.
+        assert corpus.memtable_size == 1
+
     def test_post_compaction_matches_a_rebuild_oracle(self):
         corpus = LiveCorpus(DATASET, flush_threshold=2, fanout=2)
         for string in ("Berlino", "Bonna", "Ulma", "Hamburk"):
@@ -272,10 +305,43 @@ class TestEvents:
         corpus.insert("cc")
         corpus.compact()
         kinds = [e.kind for e in events]
+        # compact() emits a flush too: it compiled the pending "cc"
+        # memtable into a segment before merging.
         assert kinds == ["insert", "insert", "flush", "insert",
-                         "compact"]
+                         "flush", "compact"]
         assert all(e.string is None for e in events
                    if e.kind in ("flush", "compact"))
+
+    def test_auto_flush_emits_ordered_events_outside_the_lock(self):
+        import threading
+
+        corpus = LiveCorpus(flush_threshold=2, fanout=2)
+        events: list[CorpusEvent] = []
+        lock_free: list[bool] = []
+
+        def listener(event):
+            events.append(event)
+            # Probe from another thread: if the mutating call still
+            # held the corpus lock while notifying, this would block.
+            def probe():
+                got = corpus._lock.acquire(timeout=5)
+                lock_free.append(got)
+                if got:
+                    corpus._lock.release()
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join(10)
+
+        corpus.subscribe(listener)
+        for string in ("aa", "ab", "ba", "bb"):
+            corpus.insert(string)
+        kinds = [e.kind for e in events]
+        # Every second insert crosses the threshold: the insert event
+        # precedes the flush it triggered, and the second flush
+        # precedes the compaction it triggered.
+        assert kinds == ["insert", "insert", "flush",
+                         "insert", "insert", "flush", "compact"]
+        assert lock_free == [True] * len(events)
 
     def test_unsubscribe_stops_delivery(self):
         corpus = LiveCorpus()
@@ -307,6 +373,30 @@ class TestPersistence:
         for query in ("Berlin", "Ulm", "unflushed"):
             assert [m.string for m in reopened.search(query, 1)] \
                 == reference(oracle, query, 1)
+
+    def test_open_leaves_the_manifest_intact(self, tmp_path):
+        # Regression: open() used to run __init__ with segment_dir set
+        # and an empty dataset, immediately overwriting MANIFEST.json
+        # with empty state — so the *second* open (or any session that
+        # never flushed) silently lost everything.
+        import json
+
+        directory = str(tmp_path / "live")
+        corpus = LiveCorpus(DATASET, flush_threshold=2, fanout=2,
+                            segment_dir=directory)
+        corpus.insert("unflushed")
+        corpus.sync()
+        expected = sorted(corpus.snapshot())
+
+        LiveCorpus.open(directory)
+        with open(os.path.join(directory, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["segments"], "open() wiped the manifest"
+        assert manifest["contents"], "open() wiped the contents"
+
+        reopened = LiveCorpus.open(directory)
+        assert sorted(reopened.snapshot()) == expected
+        assert reopened.epoch == corpus.epoch
 
     def test_reopened_corpus_keeps_absorbing_writes(self, tmp_path):
         directory = str(tmp_path / "live")
