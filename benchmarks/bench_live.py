@@ -1,6 +1,6 @@
 """Live-corpus benchmark: the cost of mutability, measured.
 
-Three operational claims of :mod:`repro.live`, on a city-name corpus:
+Four operational claims of :mod:`repro.live`, on a city-name corpus:
 
 * **write mix** — under a 10% write mix (inserts + deletes woven into
   the query stream), search p99 must stay within ``2x`` the p99 of an
@@ -15,7 +15,12 @@ Three operational claims of :mod:`repro.live`, on a city-name corpus:
 * **oracle parity** — off the clock, after the write mix and a full
   compaction, the corpus must answer exactly like a from-scratch
   rebuild of its logical contents (the property the tests enforce at
-  every step; here it gates the benchmark's own mutated corpus).
+  every step; here it gates the benchmark's own mutated corpus);
+* **tracing** — replaying the same mixed stream with request tracing
+  enabled-but-unsampled (the production stance between sampled
+  requests) must hold search p50 within ``5%`` of the untraced
+  replay, and a fully sampled ingest must land its ``live.*`` spans —
+  memtable, segments, flushes, compactions — in one coherent tree.
 
 Emits ``BENCH_live.json`` at the repository root (schema-validated
 report embedded, diffable by ``python -m repro.obs.regress``). Run::
@@ -40,6 +45,7 @@ from repro.core.engine import SearchEngine
 from repro.core.sequential import SequentialScanSearcher
 from repro.data.cities import generate_city_names
 from repro.live import Corpus, LiveCorpus
+from repro.obs import Tracer, span_tree, use_trace
 from repro.obs.report import require_valid_report
 
 #: Where the machine-readable record lands (repository root).
@@ -50,6 +56,9 @@ WRITE_MIX = 0.10
 
 #: The write-mix bar: live search p99 <= this multiple of frozen p99.
 P99_MULTIPLE = 2.0
+
+#: The tracing bar: enabled-but-unsampled p50 / untraced p50.
+TRACING_OVERHEAD_BAR = 1.05
 
 #: Queries gated against the rebuild oracle, off the clock.
 VERIFY_SAMPLE = 24
@@ -252,6 +261,91 @@ def run_stall_config(strings: list[str], *, segment_size: int,
 
 
 # --------------------------------------------------------------------
+# Config C: tracing the write path — unsampled free, sampled coherent.
+
+
+def run_tracing_config(corpus: list[str], operations: list[tuple], *,
+                       flush_threshold: int) -> dict:
+    """Replay the mixed stream untraced and enabled-but-unsampled.
+
+    The overhead leg times only the searches (like the write-mix
+    config) with an unsampled ambient trace installed for the whole
+    replay — every ``trace_span``/``emit_span`` call sits on the
+    null fast path. The structural leg replays a sampled ingest and
+    requires one coherent tree: ``live.search`` spans with their
+    memtable/segment children, plus the flushes and compactions the
+    writes triggered, all under the one root.
+    """
+
+    def replay(tracer: Tracer | None) -> dict:
+        live = Corpus.live(corpus, flush_threshold=flush_threshold,
+                           packed=True)
+        latencies: list[float] = []
+
+        def run() -> None:
+            for kind, payload in operations:
+                if kind == "search":
+                    started = time.perf_counter()
+                    live.search(payload, K)
+                    latencies.append(time.perf_counter() - started)
+                elif kind == "insert":
+                    live.insert(payload)
+                else:
+                    live.delete(payload)
+
+        if tracer is None:
+            run()
+        else:
+            with use_trace(tracer, tracer.mint()):
+                run()
+        return _latency_summary(latencies)
+
+    untraced = replay(None)
+    unsampled_tracer = Tracer(sample_rate=0.0)
+    unsampled = replay(unsampled_tracer)
+    assert unsampled_tracer.spans() == (), "unsampled replay recorded"
+    overhead = unsampled["p50"] / max(untraced["p50"], 1e-9)
+
+    # Structural leg, off the clock: a sampled ingest+search replay
+    # must land every live.* span in the one root's tree.
+    tracer = Tracer(max_spans=262144)
+    live = Corpus.live(corpus, flush_threshold=flush_threshold,
+                       packed=True)
+    with tracer.root("bench.ingest") as root:
+        for kind, payload in operations:
+            if kind == "search":
+                live.search(payload, K)
+            elif kind == "insert":
+                live.insert(payload)
+            else:
+                live.delete(payload)
+        # A smoke-sized write mix may sit below the flush threshold;
+        # force the layout work so the flush and compaction spans are
+        # asserted at every scale, not just the full run.
+        live.insert("bench.ingest.sentinel")
+        live.flush()
+        live.compact()
+    assert tracer.dropped == 0, f"span budget too small: {tracer.dropped}"
+    spans = tracer.spans_for(root.trace_id)
+    assert len(spans) == len(tracer.spans()), "spans leaked the trace"
+    tree = span_tree(spans)
+    single_rooted = [span.name for span in tree.roots] == ["bench.ingest"]
+    names = {span.name for span in spans}
+    assert "live.search" in names and "live.flush" in names, names
+    assert "live.compaction" in names, names
+    return {
+        "untraced": untraced,
+        "unsampled": unsampled,
+        "p50_overhead": round(overhead, 3),
+        "bar": TRACING_OVERHEAD_BAR,
+        "sampled_spans": len(spans),
+        "single_rooted": single_rooted,
+        "span_kinds": sorted(
+            {name.split("[")[0] for name in names}),
+    }
+
+
+# --------------------------------------------------------------------
 
 
 def run_benchmark(*, corpus_size: int = 3000,
@@ -267,6 +361,8 @@ def run_benchmark(*, corpus_size: int = 3000,
     write_mix = run_write_mix_config(
         corpus, operations, flush_threshold=flush_threshold,
         verify_sample=verify_sample)
+    tracing = run_tracing_config(corpus, operations,
+                                 flush_threshold=flush_threshold)
     # Truncate to a whole number of segments so the inline and the
     # background corpus stage — and merge — the identical group.
     unique = sorted(set(generate_city_names(stall_strings, seed=7)))
@@ -284,6 +380,9 @@ def run_benchmark(*, corpus_size: int = 3000,
         "oracle_parity":
             write_mix["oracle_verified"]
             == min(verify_sample, write_mix["searches"]),
+        "tracing_overhead":
+            tracing["p50_overhead"] <= TRACING_OVERHEAD_BAR,
+        "tracing_single_rooted": tracing["single_rooted"],
     }
     return {
         "benchmark": "bench_live",
@@ -298,6 +397,7 @@ def run_benchmark(*, corpus_size: int = 3000,
             "k": K,
         },
         "write_mix": write_mix,
+        "tracing": tracing,
         "stall": stall,
         "gates": gates,
         "measurements": common.build_measurements({
@@ -305,6 +405,9 @@ def run_benchmark(*, corpus_size: int = 3000,
             "frozen_p99_seconds": write_mix["frozen"]["p99"],
             "live_p50_seconds": write_mix["live"]["p50"],
             "live_p99_seconds": write_mix["live"]["p99"],
+            "tracing_untraced_p50_seconds": tracing["untraced"]["p50"],
+            "tracing_unsampled_p50_seconds":
+                tracing["unsampled"]["p50"],
             "inline_compaction_seconds":
                 stall["inline_compaction_seconds"],
             "max_stall_seconds": stall["max_stall_seconds"],
@@ -336,6 +439,15 @@ def render(record: dict) -> str:
         f"{mix['oracle_verified']} post-compaction answers gated "
         "against the rebuild oracle off-clock",
         "",
+        f"  tracing unsampled: p50 "
+        f"{record['tracing']['unsampled']['p50'] * 1000:.3f}ms vs "
+        f"untraced {record['tracing']['untraced']['p50'] * 1000:.3f}ms "
+        f"({record['tracing']['p50_overhead']:.3f}x, bar "
+        f"{record['tracing']['bar']:g}x)",
+        f"  tracing sampled ingest: {record['tracing']['sampled_spans']}"
+        f" spans in one tree ("
+        + ", ".join(record['tracing']['span_kinds']) + ")",
+        "",
         f"  background compaction: {stall['segments_merged']} segments "
         f"({stall['strings_merged']} strings) merged in "
         f"{stall['inline_compaction_seconds'] * 1000:.1f}ms inline",
@@ -352,7 +464,7 @@ def _gate_labels(record: dict) -> list[str]:
     # The timing bars are claims about the full-size workload; a smoke
     # corpus sits at timer granularity, so its verdict on them is
     # noise, not a regression — label it as unenforced.
-    timing_gates = {"write_mix_p99", "bounded_stall"}
+    timing_gates = {"write_mix_p99", "bounded_stall", "tracing_overhead"}
     labels = []
     for name, passed in sorted(record["gates"].items()):
         verdict = "PASS" if passed else "FAIL"
@@ -378,6 +490,7 @@ def test_live_gates(emit):
     # smoke corpora sit at timer granularity) and are enforced by the
     # direct full run that produces the committed record.
     assert record["gates"]["oracle_parity"], record["write_mix"]
+    assert record["gates"]["tracing_single_rooted"], record["tracing"]
     assert record["write_mix"]["flushes"] > 0
     assert record["stall"]["searches_during_compaction"] > 0
 

@@ -103,6 +103,18 @@ def _build_parser() -> argparse.ArgumentParser:
                              "Perfetto trace-event JSON to FILE (open "
                              "in chrome://tracing or ui.perfetto.dev); "
                              "implies span collection")
+    search.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the run's operational event log "
+                             "(JSON lines: admission, ladder rungs, "
+                             "flush/compaction, each with a trace_id "
+                             "when traced) to FILE; events are emitted "
+                             "by the service and live-corpus layers, "
+                             "so this pairs with --service")
+    search.add_argument("--telemetry-out", default=None, metavar="FILE",
+                        help="sample gauges on a background "
+                             "TelemetrySampler during the run and "
+                             "write its JSON dump to FILE (render it "
+                             "with `repro-search metrics FILE`)")
     search.add_argument("--deadline-ms", type=float, default=None,
                         help="wall-clock deadline in milliseconds — "
                              "per query with --service (the ladder "
@@ -243,6 +255,24 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="fold everything into one segment after "
                            "the script finishes")
 
+    metrics = commands.add_parser(
+        "metrics", help="render a telemetry dump (the JSON written by "
+                        "search --telemetry-out)",
+    )
+    metrics.add_argument("dump_file",
+                         help="TelemetrySampler JSON dump file")
+    metrics.add_argument("--format", default="tail",
+                         choices=("dump", "tail", "prom"),
+                         help="dump: the raw JSON document; tail: the "
+                              "newest samples per series, human-"
+                              "readable (default); prom: latest value "
+                              "per series as Prometheus gauges")
+    metrics.add_argument("-n", "--samples", type=int, default=10,
+                         help="samples shown per series with "
+                              "--format tail (default 10)")
+    metrics.add_argument("-o", "--output", default=None,
+                         help="write there instead of stdout")
+
     bench = commands.add_parser(
         "bench", help="run a registered paper experiment",
     )
@@ -290,7 +320,7 @@ def _emit_report(report, args: argparse.Namespace) -> None:
 
 
 def _make_observability(args: argparse.Namespace):
-    """The run's optional flight recorder and trace registry."""
+    """The run's optional recorder, registry, event log and sampler."""
     recorder = None
     if args.slowlog is not None:
         from repro.obs.recorder import FlightRecorder
@@ -301,16 +331,28 @@ def _make_observability(args: argparse.Namespace):
             )
         recorder = FlightRecorder(top_n=max(args.slowlog, 16))
     metrics = None
-    if args.trace_out is not None:
+    if args.trace_out is not None or args.telemetry_out is not None:
         from repro.obs.registry import MetricsRegistry
 
         metrics = MetricsRegistry()
-    return recorder, metrics
+    events = None
+    if args.events_out is not None:
+        from repro.obs.events import EventLog
+
+        events = EventLog()
+    sampler = None
+    if args.telemetry_out is not None:
+        from repro.obs.sampler import TelemetrySampler
+
+        sampler = TelemetrySampler()
+        sampler.watch_registry(metrics)
+        sampler.start()
+    return recorder, metrics, events, sampler
 
 
 def _emit_slowlog_and_trace(args: argparse.Namespace, recorder,
-                            metrics) -> None:
-    """Print the slowlog and write the trace file, as requested."""
+                            metrics, events=None, sampler=None) -> None:
+    """Print the slowlog, write trace/events/telemetry, as requested."""
     if recorder is not None:
         print(recorder.render(args.slowlog), file=sys.stderr)
     if metrics is not None and args.trace_out is not None:
@@ -321,6 +363,20 @@ def _emit_slowlog_and_trace(args: argparse.Namespace, recorder,
             f"trace: {len(metrics.spans)} spans written to "
             f"{args.trace_out} (open in chrome://tracing or "
             "ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if events is not None and args.events_out is not None:
+        written = events.write(args.events_out)
+        print(f"events: {written} lines written to {args.events_out}",
+              file=sys.stderr)
+    if sampler is not None and args.telemetry_out is not None:
+        sampler.stop()
+        sampler.dump(args.telemetry_out)
+        print(
+            f"telemetry: {sampler.samples_taken} sweeps over "
+            f"{len(sampler.latest())} series written to "
+            f"{args.telemetry_out} (render with "
+            "`repro-search metrics`)",
             file=sys.stderr,
         )
 
@@ -341,9 +397,14 @@ def _command_search_service(args: argparse.Namespace, dataset,
     from repro.core.deadline import Deadline
     from repro.service import Service
 
-    recorder, metrics = _make_observability(args)
+    recorder, metrics, events, sampler = _make_observability(args)
     service = Service(dataset, shards=args.shards, metrics=metrics,
-                      recorder=recorder)
+                      recorder=recorder, events=events)
+    if sampler is not None:
+        sampler.add_source("service.in_flight",
+                           lambda: service.in_flight)
+        sampler.add_source("service.capacity",
+                           lambda: service.capacity)
     seconds = (args.deadline_ms / 1000.0
                if args.deadline_ms is not None else None)
     rows: list[tuple[str, list[str]]] = []
@@ -392,7 +453,7 @@ def _command_search_service(args: argparse.Namespace, dataset,
                            matches=total_matches),
             args,
         )
-    _emit_slowlog_and_trace(args, recorder, metrics)
+    _emit_slowlog_and_trace(args, recorder, metrics, events, sampler)
     _write_result_lines(
         ("\t".join([query, *matched]) for query, matched in rows),
         args.output,
@@ -420,7 +481,7 @@ def _command_search(args: argparse.Namespace) -> int:
             f"combined with --backend {args.backend}"
         )
     runner = _make_runner(args.runner)
-    recorder, metrics = _make_observability(args)
+    recorder, metrics, events, sampler = _make_observability(args)
     engine = SearchEngine(dataset, backend=args.backend, runner=runner,
                           observe=want_stats or metrics is not None,
                           metrics=metrics, recorder=recorder,
@@ -463,7 +524,8 @@ def _command_search(args: argparse.Namespace) -> int:
             "writing partial results (completed queries only)",
             file=sys.stderr,
         )
-        _emit_slowlog_and_trace(args, recorder, metrics)
+        _emit_slowlog_and_trace(args, recorder, metrics, events,
+                                sampler)
         _write_result_lines(
             ("\t".join([query, *[m.string for m in completed[query]]])
              for query in queries if query in completed),
@@ -485,7 +547,7 @@ def _command_search(args: argparse.Namespace) -> int:
         )
     if want_stats:
         _emit_report(report, args)
-    _emit_slowlog_and_trace(args, recorder, metrics)
+    _emit_slowlog_and_trace(args, recorder, metrics, events, sampler)
     if args.save_segment:
         from repro.speed import save_segment
 
@@ -696,6 +758,47 @@ def _command_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.sampler import series_from_document
+
+    try:
+        with open(args.dump_file, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise ReproError(
+            f"cannot read telemetry dump {args.dump_file}: {error}"
+        ) from None
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"{args.dump_file} is not JSON: {error}"
+        ) from None
+    series = series_from_document(document)
+    if args.format == "dump":
+        lines = [json.dumps(document, indent=2, sort_keys=True)]
+    elif args.format == "prom":
+        from repro.obs.export import telemetry_to_prometheus
+
+        lines = [telemetry_to_prometheus(series).rstrip("\n")]
+    else:
+        if args.samples < 1:
+            raise ReproError(
+                f"--samples needs a positive count, got {args.samples}"
+            )
+        lines = []
+        for name in sorted(series):
+            samples = series[name]
+            if not samples:
+                continue
+            lines.append(f"{name}  ({len(samples)} samples, latest "
+                         f"{samples[-1][1]:g})")
+            for timestamp, value in samples[-args.samples:]:
+                lines.append(f"  {timestamp:.3f}  {value:g}")
+    _write_result_lines(lines, args.output)
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     print(run_experiment(args.experiment))
     return 0
@@ -711,6 +814,7 @@ _COMMANDS = {
     "distance": _command_distance,
     "explain": _command_explain,
     "live": _command_live,
+    "metrics": _command_metrics,
     "bench": _command_bench,
 }
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, time
 from typing import Iterable, Sequence
 
 from repro.core.deadline import Budget, Deadline
@@ -40,6 +40,12 @@ from repro.index.flat import FlatTrie, flat_similarity_search
 from repro.index.traversal import TraversalStats
 from repro.obs.hist import Histogram
 from repro.obs.recorder import QueryExemplar
+from repro.obs.tracing import (
+    adopt_spans,
+    emit_span,
+    ship_context,
+    worker_span,
+)
 from repro.scan.cache import LRUCache
 from repro.scan.executor import (
     DEFAULT_CACHE_SIZE,
@@ -126,15 +132,17 @@ class _ProbeTask:
     workers, so the DP row bank cannot live here — each call brings its
     own rows and the executor keeps the reusable bank on the serial
     path only. With ``collect`` set, each call returns ``(row,
-    counters, timers, seconds)`` so worker processes ship their work
-    profile — including the ``index.probe`` timer observation — back
-    with their rows.
+    counters, timers, seconds, spans)`` so worker processes ship their
+    work profile — including the ``index.probe`` timer observation and
+    any trace spans recorded under the shipped ``trace`` context —
+    back with their rows.
     """
 
     flat: FlatTrie
     k: int
     use_frequency: bool
     collect: bool = False
+    trace: dict | None = None
 
     def __call__(self, query: str):
         flat = _resolve_artifact(self.flat)
@@ -142,12 +150,16 @@ class _ProbeTask:
             return tuple(probe_query(flat, query, self.k,
                                      use_frequency=self.use_frequency))
         counters: dict = {}
+        wall = time()
         started = perf_counter()
         row = tuple(probe_query(flat, query, self.k,
                                 use_frequency=self.use_frequency,
                                 counters=counters))
         seconds = perf_counter() - started
-        return row, counters, {"index.probe": (seconds, 1)}, seconds
+        spans = worker_span("index.probe", self.trace, wall, seconds,
+                            tags={"query": query})
+        return row, counters, {"index.probe": (seconds, 1)}, seconds, \
+            spans
 
 
 class BatchIndexExecutor:
@@ -310,6 +322,7 @@ class BatchIndexExecutor:
             counters["trie.bank_reuses"] = 1
         self._merge_counters(counters, seconds, started=started)
         self._offer_exemplar(query, k, seconds, len(row), counters)
+        emit_span("index.probe", seconds, {"query": query})
         return row
 
     @property
@@ -431,12 +444,14 @@ class BatchIndexExecutor:
         if runner is None or len(misses) == 1:
             return [self._probe_with_bank(query, k) for query in misses]
         task = _ProbeTask(_pool_payload(self._flat, runner, "flat trie"),
-                          k, self._use_frequency, collect=True)
+                          k, self._use_frequency, collect=True,
+                          trace=ship_context())
         rows: list[tuple[Match, ...]] = []
-        for query, (row, counters, timers, seconds) in zip(
+        for query, (row, counters, timers, seconds, spans) in zip(
                 misses, runner.run(task, misses)):
             self._merge_counters(counters, seconds, timers=timers)
             self._offer_exemplar(query, k, seconds, len(row), counters)
+            adopt_spans(spans)
             rows.append(row)
         return rows
 

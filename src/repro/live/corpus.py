@@ -39,6 +39,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -47,9 +48,25 @@ from repro.core.deadline import Budget, Deadline
 from repro.core.result import Match
 from repro.distance.banded import check_threshold, edit_distance_bounded
 from repro.exceptions import DeadlineExceeded, ReproError, SegmentError
+from repro.obs.events import EventLog
+from repro.obs.registry import NULL, MetricsRegistry
+from repro.obs.tracing import current_trace, emit_span, trace_span, \
+    use_trace
 from repro.scan.corpus import CompiledCorpus
 from repro.scan.searcher import CompiledScanSearcher
 from repro.service.sharding import merge_matches
+
+#: Cumulative counters the live corpus maintains once observability is
+#: attached (``live.*`` namespace; see :meth:`LiveCorpus.attach_observability`).
+LIVE_COUNTERS = (
+    "live.inserts",
+    "live.deletes",
+    "live.flushes",
+    "live.compactions",
+    "live.tombstones_purged",
+    "live.searches",
+    "live.segments_visited",
+)
 
 #: Distinct memtable strings that trigger an automatic flush.
 DEFAULT_FLUSH_THRESHOLD = 256
@@ -178,6 +195,9 @@ class LiveCorpus:
         self._listeners: list[Callable[[CorpusEvent], None]] = []
         self._compacting = False
         self._compaction_thread: threading.Thread | None = None
+        self._metrics: MetricsRegistry = NULL
+        self._events: EventLog | None = None
+        self._gauged_levels: set[int] = set()
         self.flushes = 0
         self.compactions = 0
         self.tombstones_purged = 0
@@ -238,6 +258,11 @@ class LiveCorpus:
         """Pending deletes not yet reconciled by a compaction."""
         return sum(self._tombstones.values())
 
+    @property
+    def compactions_in_flight(self) -> int:
+        """Whether a compaction merge is running right now (0 or 1)."""
+        return 1 if self._compacting else 0
+
     def __len__(self) -> int:
         return sum(self._contents.values())
 
@@ -282,6 +307,70 @@ class LiveCorpus:
                 "compaction": self._compaction_mode,
                 "segment_dir": self._segment_dir,
             }
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def attach_observability(self, *,
+                             metrics: MetricsRegistry | None = None,
+                             events: EventLog | None = None) -> None:
+        """Wire the write path into the obs substrate.
+
+        ``metrics`` receives the ``live.*`` counters
+        (:data:`LIVE_COUNTERS`), gauges (memtable size, segment counts
+        per tier, tombstone ratio, compactions in flight) and
+        histograms (flush/compaction duration, mutation stall time,
+        per-search segments visited); ``events`` receives the
+        ``flush`` / ``compaction_start`` / ``compaction_swap`` /
+        ``epoch`` event lines, each stamped with the ambient trace_id.
+        Both are optional and independent; passing ``None`` leaves the
+        corresponding attachment unchanged. Request *spans* need no
+        attachment — they ride the ambient trace context of the calling
+        thread (:func:`repro.obs.tracing.trace_span`).
+        """
+        if metrics is not None:
+            self._metrics = metrics
+        if events is not None:
+            self._events = events
+        with self._lock:
+            self._update_gauges_locked()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The attached registry (:data:`repro.obs.registry.NULL` when
+        none)."""
+        return self._metrics
+
+    def _update_gauges_locked(self) -> None:
+        """Refresh every ``live.*`` gauge (call with the lock held)."""
+        metrics = self._metrics
+        if not metrics.enabled:
+            return
+        metrics.gauge("live.memtable_size", len(self._memtable))
+        metrics.gauge("live.segments", len(self._segments))
+        metrics.gauge("live.tombstones",
+                      sum(self._tombstones.values()))
+        visible = len(self._contents)
+        metrics.gauge(
+            "live.tombstone_ratio",
+            (sum(self._tombstones.values()) / visible) if visible
+            else 0.0)
+        metrics.gauge("live.compactions_in_flight",
+                      1 if self._compacting else 0)
+        # Per-tier segment counts: levels that emptied are written as 0
+        # once (last-write-wins gauges never expire on their own).
+        levels: Counter[int] = Counter(
+            segment.level for segment in self._segments)
+        for level in self._gauged_levels - set(levels):
+            metrics.gauge(f"live.segments.l{level}", 0)
+        for level, count in levels.items():
+            metrics.gauge(f"live.segments.l{level}", count)
+        self._gauged_levels = set(levels)
+
+    def _emit_event(self, kind: str, **fields) -> None:
+        """One event line (no-op until an event log is attached)."""
+        if self._events is not None:
+            self._events.emit(kind, **fields)
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -335,6 +424,7 @@ class LiveCorpus:
         if not string:
             raise ReproError("cannot index an empty string")
         events: list[tuple[str, str | None]] = [("insert", string)]
+        stalled = 0.0
         with self._lock:
             self._contents[string] += 1
             if self._tombstones.get(string, 0) > 0:
@@ -344,8 +434,19 @@ class LiveCorpus:
             else:
                 self._memtable[string] += 1
             self._epoch += 1
+            epoch = self._epoch
             if len(self._memtable) >= self._flush_threshold:
+                # Everything past the memtable append is stall: the
+                # writer is paying for a flush (and, inline, for the
+                # compaction it triggered) instead of returning.
+                started = time.perf_counter()
                 self._flush_locked(events=events)
+                stalled = time.perf_counter() - started
+            self._metrics.inc("live.inserts")
+            self._update_gauges_locked()
+        if stalled:
+            self._metrics.hist("live.stall_seconds", stalled)
+        self._emit_event("epoch", epoch=epoch, cause="insert")
         self._fire(events)
 
     def delete(self, string: str) -> None:
@@ -373,6 +474,10 @@ class LiveCorpus:
             else:
                 self._tombstones[string] += 1
             self._epoch += 1
+            epoch = self._epoch
+            self._metrics.inc("live.deletes")
+            self._update_gauges_locked()
+        self._emit_event("epoch", epoch=epoch, cause="delete")
         self._notify("delete", string)
 
     def flush(self) -> bool:
@@ -393,16 +498,28 @@ class LiveCorpus:
                       ) -> bool:
         if not self._memtable:
             return False
-        segment = self._build_segment(tuple(self._memtable))
-        self._memtable.clear()
-        self._segments = self._segments + (segment,)
+        flushed_strings = len(self._memtable)
+        started = time.perf_counter()
+        with trace_span("live.flush",
+                        {"strings": str(flushed_strings)}):
+            segment = self._build_segment(tuple(self._memtable))
+            self._memtable.clear()
+            self._segments = self._segments + (segment,)
+        seconds = time.perf_counter() - started
         self.flushes += 1
+        self._metrics.inc("live.flushes")
+        self._metrics.hist("live.flush_seconds", seconds)
+        self._emit_event("flush", strings=flushed_strings,
+                         segment_level=segment.level,
+                         segments=len(self._segments),
+                         seconds=round(seconds, 6))
         if events is not None:
             events.append(("flush", None))
         if self._segment_dir is not None:
             self._save_manifest()
         if trigger_compaction:
             self._maybe_compact(events=events)
+        self._update_gauges_locked()
         return True
 
     # ------------------------------------------------------------------
@@ -459,12 +576,22 @@ class LiveCorpus:
         group = self._compaction_candidates()
         if not group:
             return
+        self._emit_event("compaction_start",
+                         level=group[0].level, group=len(group),
+                         mode=self._compaction_mode)
         if self._compaction_mode == "background":
             if self._compacting:
                 return
             self._compacting = True
+            self._update_gauges_locked()
+            # Capture the triggering mutation's ambient trace so the
+            # compaction span (and its event lines) parent under the
+            # insert that crossed the threshold, not float as a
+            # separate tree.
+            trace = current_trace()
             thread = threading.Thread(
-                target=self._run_background_compaction, args=(group,),
+                target=self._run_background_compaction,
+                args=(group, trace),
                 name="live-corpus-compaction", daemon=True,
             )
             self._compaction_thread = thread
@@ -473,12 +600,16 @@ class LiveCorpus:
             self._merge_group(group, events=events)
 
     def _run_background_compaction(
-            self, group: tuple[LiveSegment, ...]) -> None:
+            self, group: tuple[LiveSegment, ...],
+            trace=(None, None)) -> None:
+        tracer, context = trace
         try:
-            self._merge_group(group)
+            with use_trace(tracer, context):
+                self._merge_group(group)
         finally:
             with self._lock:
                 self._compacting = False
+                self._update_gauges_locked()
 
     def _merge_group(self, group: tuple[LiveSegment, ...],
                      events: list[tuple[str, str | None]] | None = None
@@ -500,6 +631,19 @@ class LiveCorpus:
         string that is visible yet no longer physically present
         anywhere is re-added to the memtable.
         """
+        compaction_started = time.perf_counter()
+        span = trace_span("live.compaction", {
+            "level": str(group[0].level), "group": str(len(group)),
+            "mode": self._compaction_mode,
+        })
+        with span:
+            self._merge_group_traced(group, events)
+        self._metrics.hist("live.compaction_seconds",
+                           time.perf_counter() - compaction_started)
+
+    def _merge_group_traced(
+            self, group: tuple[LiveSegment, ...],
+            events: list[tuple[str, str | None]] | None) -> None:
         group_members: set[str] = set()
         survivors: list[str] = []
         seen: set[str] = set()
@@ -533,10 +677,19 @@ class LiveCorpus:
                     purged += self._tombstones.pop(string)
             self.tombstones_purged += purged
             self.compactions += 1
+            self._metrics.inc("live.compactions")
+            if purged:
+                self._metrics.inc("live.tombstones_purged", purged)
+            segments_after = len(kept)
             doomed_paths = [segment.path for segment in group
                             if segment.path is not None]
             if self._segment_dir is not None:
                 self._save_manifest()
+            self._update_gauges_locked()
+        self._emit_event("compaction_swap",
+                         level=group[0].level, merged=len(group),
+                         segments=segments_after, purged=purged,
+                         survivors=len(survivors))
         for path in doomed_paths:
             try:
                 os.remove(path)
@@ -600,33 +753,64 @@ class LiveCorpus:
             segments = self._segments
             memtable = tuple(self._memtable)
         total = len(segments) + 1
+        self._metrics.inc("live.searches")
+        with trace_span("live.search",
+                        {"segments": str(len(segments)),
+                         "memtable": str(len(memtable))}):
+            rows = self._search_parts(query, k, segments, memtable,
+                                      deadline, total)
+        return self._visible(merge_matches(rows))
+
+    def _search_parts(self, query: str, k: int,
+                      segments: tuple[LiveSegment, ...],
+                      memtable: tuple[str, ...],
+                      deadline, total) -> list[tuple[Match, ...]]:
+        """The per-part fan-out behind :meth:`search`."""
         rows: list[tuple[Match, ...]] = []
+        started = time.perf_counter()
         row = self._scan_memtable(query, k, memtable, deadline,
                                   rows, total)
+        emit_span("live.memtable", time.perf_counter() - started,
+                  {"strings": str(len(memtable))})
         rows.append(row)
-        for index, segment in enumerate(segments):
-            if deadline is not None and deadline.spend(0):
-                raise DeadlineExceeded(
-                    f"live search for {query!r} (k={k}) found its "
-                    f"deadline expired before segment {index} of "
-                    f"{len(segments)}",
-                    partial=self._visible(merge_matches(rows)),
-                    scope="segments", completed=index + 1, total=total,
-                )
-            try:
-                rows.append(tuple(segment.searcher.search(
-                    query, k, deadline=deadline)))
-            except DeadlineExceeded as error:
-                partial = self._visible(
-                    merge_matches(rows + [tuple(error.partial)]))
-                raise DeadlineExceeded(
-                    f"live search for {query!r} (k={k}) exceeded its "
-                    f"deadline on segment {index} of {len(segments)} "
-                    f"({len(partial)} verified matches kept)",
-                    partial=partial, scope="segments",
-                    completed=index + 1, total=total,
-                ) from error
-        return self._visible(merge_matches(rows))
+        visited = 0
+        try:
+            for index, segment in enumerate(segments):
+                if deadline is not None and deadline.spend(0):
+                    raise DeadlineExceeded(
+                        f"live search for {query!r} (k={k}) found its "
+                        f"deadline expired before segment {index} of "
+                        f"{len(segments)}",
+                        partial=self._visible(merge_matches(rows)),
+                        scope="segments", completed=index + 1,
+                        total=total,
+                    )
+                started = time.perf_counter()
+                try:
+                    rows.append(tuple(segment.searcher.search(
+                        query, k, deadline=deadline)))
+                    visited += 1
+                except DeadlineExceeded as error:
+                    visited += 1
+                    partial = self._visible(
+                        merge_matches(rows + [tuple(error.partial)]))
+                    raise DeadlineExceeded(
+                        f"live search for {query!r} (k={k}) exceeded "
+                        f"its deadline on segment {index} of "
+                        f"{len(segments)} "
+                        f"({len(partial)} verified matches kept)",
+                        partial=partial, scope="segments",
+                        completed=index + 1, total=total,
+                    ) from error
+                finally:
+                    emit_span(f"live.segment[{index}]",
+                              time.perf_counter() - started,
+                              {"level": str(segment.level),
+                               "size": str(segment.size)})
+        finally:
+            self._metrics.inc("live.segments_visited", visited)
+            self._metrics.hist("live.search_segments_visited", visited)
+        return rows
 
     def _scan_memtable(self, query: str, k: int,
                        memtable: tuple[str, ...],

@@ -249,6 +249,21 @@ class Corpus:
         self._require_live("sync").sync()
 
     # ------------------------------------------------------------------
+    # observability
+
+    def attach_observability(self, *, metrics=None,
+                             events=None) -> None:
+        """Wire the live write path into the obs substrate.
+
+        Forwards to :meth:`LiveCorpus.attach_observability`; a no-op on
+        frozen corpora (they have no write path to observe), so callers
+        like the gateway can attach unconditionally.
+        """
+        if self._live is not None:
+            self._live.attach_observability(metrics=metrics,
+                                            events=events)
+
+    # ------------------------------------------------------------------
     # subscriptions
 
     def subscribe(self, callback: Callable[[CorpusEvent], None]) -> None:

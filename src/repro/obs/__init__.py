@@ -23,9 +23,23 @@ instrumentation layer both engines share:
 :mod:`repro.obs.recorder`
     :class:`FlightRecorder` — the bounded slow-query flight recorder
     behind ``Service`` event exemplars and the CLI ``--slowlog``.
+:mod:`repro.obs.tracing`
+    Request-scoped distributed tracing: :class:`TraceContext` minted
+    per gateway submit, propagated across the asyncio/thread/process
+    boundaries, collected as :class:`TraceSpan` trees by a
+    :class:`Tracer` (``trace_span``/``use_trace`` for ambient
+    propagation, ``span_tree`` for assembly).
+:mod:`repro.obs.events`
+    :class:`EventLog` — the bounded, trace-stamped JSON-lines log of
+    operational transitions (admission, shed, ladder rungs, cache
+    traffic, flushes, compactions, epoch bumps).
+:mod:`repro.obs.sampler`
+    :class:`TelemetrySampler` — periodic gauge snapshots into bounded
+    ring-buffer time series, behind the ``repro metrics`` CLI.
 :mod:`repro.obs.traceexport`
     Span export to Chrome/Perfetto trace-event JSON
-    (``--trace-out FILE``).
+    (``--trace-out FILE``), with per-pid/tid lane stitching for
+    request traces.
 :mod:`repro.obs.export`
     Structured-dict, JSON-lines and Prometheus-text exporters for
     registries and reports.
@@ -40,7 +54,16 @@ See ``docs/OBSERVABILITY.md`` for the tour and the migration notes for
 the deprecated ``last_stats`` / ``batch_stats`` surfaces.
 """
 
+from repro.obs.events import (
+    EVENT_KINDS,
+    NO_EVENTS,
+    EventLog,
+    NullEventLog,
+    validate_event,
+    validate_event_lines,
+)
 from repro.obs.export import (
+    telemetry_to_prometheus,
     to_dict,
     to_json,
     to_json_lines,
@@ -54,6 +77,24 @@ from repro.obs.hist import (
 from repro.obs.recorder import (
     FlightRecorder,
     QueryExemplar,
+)
+from repro.obs.sampler import (
+    TelemetrySampler,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanTree,
+    TraceContext,
+    Tracer,
+    TraceSpan,
+    current_context,
+    current_trace,
+    current_trace_id,
+    emit_span,
+    span_tree,
+    trace_span,
+    use_trace,
 )
 from repro.obs.registry import (
     NULL,
@@ -95,6 +136,26 @@ __all__ = [
     "summarize",
     "FlightRecorder",
     "QueryExemplar",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceContext",
+    "TraceSpan",
+    "SpanTree",
+    "span_tree",
+    "trace_span",
+    "emit_span",
+    "use_trace",
+    "current_trace",
+    "current_context",
+    "current_trace_id",
+    "EventLog",
+    "NullEventLog",
+    "NO_EVENTS",
+    "EVENT_KINDS",
+    "validate_event",
+    "validate_event_lines",
+    "TelemetrySampler",
     "trace_document",
     "write_trace",
     "SearchReport",
@@ -109,5 +170,6 @@ __all__ = [
     "to_dict",
     "to_json",
     "to_json_lines",
+    "telemetry_to_prometheus",
     "to_prometheus",
 ]

@@ -15,6 +15,7 @@ Exporters read snapshots; they never mutate the registry.
 from __future__ import annotations
 
 import json
+import math
 import re
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
@@ -56,36 +57,141 @@ def to_json_lines(reports: Iterable[Any]) -> str:
     )
 
 
-def _prom_lines(kind: str, name: str, value: float,
-                labels: str = "") -> list[str]:
+#: ``# HELP`` text for well-known series; anything else falls back to a
+#: namespace-derived one-liner so every exported family carries HELP
+#: (promtool treats HELP as optional, humans reading a scrape do not).
+_HELP: dict[str, str] = {
+    "report.queries": "Queries answered by the reported call.",
+    "report.k": "Distance threshold of the reported call.",
+    "report.matches": "Total matches returned by the reported call.",
+    "report.seconds": "Wall-clock seconds of the reported call.",
+    "service.queue_depth": "In-flight admissions at report time.",
+    "service.cache.size": "Entries resident in the result cache.",
+    "live.memtable_size": "Strings buffered in the live memtable.",
+    "live.segments": "Immutable segments behind the live corpus.",
+    "live.compactions_in_flight":
+        "Background compactions running right now.",
+    "live.tombstone_ratio":
+        "Tombstones as a fraction of visible live-corpus entries.",
+}
+
+_HELP_NAMESPACES: dict[str, str] = {
+    "scan": "Sequential-scan engine series",
+    "index": "Index engine series",
+    "batch": "Batch executor series",
+    "service": "Deadline-aware service series",
+    "gateway": "Async gateway series",
+    "pool": "Shard worker-pool series",
+    "live": "Live (LSM) corpus series",
+    "obs": "Observability self-monitoring series",
+    "report": "Per-report scalar facts",
+}
+
+
+def _help_text(name: str) -> str:
+    """The ``# HELP`` line body for one dotted series name."""
+    known = _HELP.get(name)
+    if known is not None:
+        return known
+    family = _HELP_NAMESPACES.get(name.split(".", 1)[0])
+    if family is not None:
+        return f"{family}: {name}."
+    return f"repro series {name}."
+
+
+def _prom_header(kind: str, prom: str, series: str) -> list[str]:
     return [
-        f"# TYPE {name} {kind}",
-        f"{name}{labels} {value:g}",
+        f"# HELP {prom} {_help_text(series)}",
+        f"# TYPE {prom} {kind}",
     ]
+
+
+def _prom_lines(kind: str, name: str, value: float, labels: str = "",
+                *, series: str | None = None) -> list[str]:
+    return _prom_header(kind, name, series if series is not None
+                        else name) + [f"{name}{labels} {value:g}"]
+
+
+def _le_label(edge: float) -> str:
+    """A bucket edge as Prometheus renders ``le`` values."""
+    return "+Inf" if math.isinf(edge) else f"{edge:g}"
+
+
+def _histogram_lines(base: str, series: str, count: float, total: float,
+                     buckets: Iterable, label_body: str) -> list[str]:
+    """One cumulative-histogram family: HELP/TYPE, _bucket, _sum, _count.
+
+    ``label_body`` is the comma-joined non-``le`` labels (may be empty);
+    ``buckets`` is ``(upper_edge, cumulative_count)`` pairs ascending.
+    The explicit ``+Inf`` bucket (required by the format) is appended
+    with the total count.
+    """
+    lines = _prom_header("histogram", base, series)
+
+    def labelled(extra: str) -> str:
+        body = ",".join(part for part in (label_body, extra) if part)
+        return "{" + body + "}" if body else ""
+
+    for edge, cumulative in buckets:
+        le = 'le="' + _le_label(edge) + '"'
+        lines.append(f"{base}_bucket{labelled(le)} {cumulative:g}")
+    inf = 'le="+Inf"'
+    lines.append(f"{base}_bucket{labelled(inf)} {count:g}")
+    plain = labelled("")
+    lines.append(f"{base}_sum{plain} {total:g}")
+    lines.append(f"{base}_count{plain} {count:g}")
+    return lines
 
 
 def to_prometheus(registry: "MetricsRegistry", *,
                   prefix: str = "repro") -> str:
     """Prometheus text exposition of a registry snapshot.
 
-    Counters export as ``counter``, gauges as ``gauge``, and each timer
-    as a ``_seconds_total`` counter plus a ``_calls_total`` counter —
-    the idiomatic pair for cumulative duration series.
+    Counters export as ``counter``, gauges as ``gauge``, each timer as
+    a ``_seconds_total`` counter plus a ``_calls_total`` counter — the
+    idiomatic pair for cumulative duration series — and each histogram
+    as a true ``histogram`` family with cumulative ``_bucket{le=...}``
+    series over the occupied log-bucket edges. Every family carries a
+    ``# HELP`` line; the output parses clean under ``promtool check
+    metrics``.
     """
     lines: list[str] = []
     for name, value in sorted(registry.counters().items()):
         lines += _prom_lines("counter",
                              metric_name(name, prefix=prefix) + "_total",
-                             value)
+                             value, series=name)
     for name, value in sorted(registry.gauges().items()):
         lines += _prom_lines("gauge", metric_name(name, prefix=prefix),
-                             value)
+                             value, series=name)
     for name, cell in sorted(registry.timers().items()):
         base = metric_name(name, prefix=prefix)
         lines += _prom_lines("counter", base + "_seconds_total",
-                             cell["seconds"])
+                             cell["seconds"], series=name)
         lines += _prom_lines("counter", base + "_calls_total",
-                             cell["calls"])
+                             cell["calls"], series=name)
+    for name, hist in sorted(registry.histograms().items()):
+        lines += _histogram_lines(
+            metric_name(name, prefix=prefix), name,
+            hist.count, hist.total, hist.cumulative_buckets(), "")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def telemetry_to_prometheus(series: Mapping, *,
+                            prefix: str = "repro") -> str:
+    """Prometheus gauges from a telemetry dump's series (latest values).
+
+    ``series`` is the ``{name: [[ts, value], ...]}`` mapping of a
+    :meth:`repro.obs.sampler.TelemetrySampler.to_dict` document (see
+    :func:`repro.obs.sampler.series_from_document`). Each series
+    exports its newest sample as one gauge with a ``# HELP`` line —
+    what a textfile collector wants from a sampler dump.
+    """
+    lines: list[str] = []
+    for name, samples in sorted(series.items()):
+        if not samples:
+            continue
+        lines += _prom_lines("gauge", metric_name(name, prefix=prefix),
+                             float(samples[-1][1]), series=name)
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -96,11 +202,17 @@ def report_to_prometheus(report: "SearchReport", *,
     Scalar facts (queries, matches, seconds) export as gauges labelled
     with the serving backend, as does the report's own ``gauges``
     section (last-write-wins observations such as
-    ``service.queue_depth`` or ``service.cache.size``); counters,
+    ``service.queue_depth`` or ``live.memtable_size``); counters,
     timers and the batch section export as counters under the same
-    label.
+    label. Histogram summaries that carry cumulative bucket pairs
+    (every report built from live histograms does — see
+    :func:`repro.obs.hist.summarize`) export as true ``histogram``
+    families with ``_bucket{le=...}`` series; summaries without them
+    (older artifacts) fall back to the quantile ``summary`` shape.
+    Every family carries a ``# HELP`` line.
     """
-    labels = f'{{backend="{report.backend}",mode="{report.mode}"}}'
+    label_body = f'backend="{report.backend}",mode="{report.mode}"'
+    labels = f"{{{label_body}}}"
     lines: list[str] = []
     for name, value in (
         ("queries", report.queries),
@@ -110,29 +222,38 @@ def report_to_prometheus(report: "SearchReport", *,
     ):
         lines += _prom_lines("gauge",
                              metric_name(f"report.{name}", prefix=prefix),
-                             value, labels)
+                             value, labels, series=f"report.{name}")
     for name, value in sorted(report.gauges.items()):
         lines += _prom_lines("gauge", metric_name(name, prefix=prefix),
-                             value, labels)
+                             value, labels, series=name)
     for name, value in sorted(report.counters.items()):
         lines += _prom_lines("counter",
                              metric_name(name, prefix=prefix) + "_total",
-                             value, labels)
+                             value, labels, series=name)
     for name, cell in sorted(report.timers.items()):
         base = metric_name(name, prefix=prefix)
         lines += _prom_lines("counter", base + "_seconds_total",
-                             cell["seconds"], labels)
+                             cell["seconds"], labels, series=name)
         lines += _prom_lines("counter", base + "_calls_total",
-                             cell["calls"], labels)
+                             cell["calls"], labels, series=name)
     for name, cell in sorted(report.histograms.items()):
-        # Quantile summaries export in the Prometheus summary shape:
-        # one gauge per quantile label, plus _count and _sum.
         base = metric_name(name, prefix=prefix)
-        lines.append(f"# TYPE {base} summary")
+        buckets = cell.get("buckets")
+        if buckets:
+            lines += _histogram_lines(
+                base, name, cell["count"],
+                cell["mean"] * cell["count"],
+                [(float(edge), float(cumulative))
+                 for edge, cumulative in buckets],
+                label_body)
+            continue
+        # Quantile summaries without bucket detail export in the
+        # Prometheus summary shape: one sample per quantile label,
+        # plus _count and _sum.
+        lines += _prom_header("summary", base, name)
         for key, quantile in (("p50", "0.5"), ("p90", "0.9"),
                               ("p99", "0.99"), ("p999", "0.999")):
-            labelled = (f'{{backend="{report.backend}",'
-                        f'mode="{report.mode}",quantile="{quantile}"}}')
+            labelled = (f'{{{label_body},quantile="{quantile}"}}')
             lines.append(f"{base}{labelled} {cell[key]:g}")
         lines.append(f"{base}_count{labels} {cell['count']:g}")
         lines.append(
@@ -142,5 +263,5 @@ def report_to_prometheus(report: "SearchReport", *,
             lines += _prom_lines(
                 "counter",
                 metric_name(f"batch.{name}", prefix=prefix) + "_total",
-                value, labels)
+                value, labels, series=f"batch.{name}")
     return "\n".join(lines) + ("\n" if lines else "")

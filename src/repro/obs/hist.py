@@ -226,7 +226,11 @@ class Histogram:
 
         Keys: ``count``, ``mean``, ``p50``, ``p90``, ``p99``, ``p999``,
         ``max`` — the shape :func:`repro.obs.report.validate_report`
-        checks for every ``histograms`` entry.
+        checks for every ``histograms`` entry — plus ``buckets``, the
+        JSON-safe :meth:`cumulative_buckets` pairs that let
+        :func:`repro.obs.export.report_to_prometheus` emit true
+        cumulative ``_bucket`` series. The validator ignores the extra
+        key, so pre-existing artifacts without it stay valid.
         """
         summary: dict[str, float] = {
             "count": self._count,
@@ -235,7 +239,26 @@ class Histogram:
         for key, fraction in SUMMARY_QUANTILES:
             summary[key] = round(self.quantile(fraction), 9)
         summary["max"] = round(self.max_value(), 9)
+        summary["buckets"] = [
+            [round(edge, 12), count]
+            for edge, count in self.cumulative_buckets()
+        ]
         return summary
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Occupied buckets as ``(upper_edge, cumulative_count)`` pairs.
+
+        The exact shape a Prometheus ``_bucket{le="..."}`` series needs:
+        counts accumulate over ascending finite edges, and the final
+        pair's count equals :attr:`count` (the exporter adds the
+        ``+Inf`` bucket itself). Empty histograms report no pairs.
+        """
+        pairs: list[tuple[float, int]] = []
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            pairs.append((bucket_upper_bound(index), seen))
+        return pairs
 
     # -- serialization -------------------------------------------------
 
@@ -279,7 +302,12 @@ def hists_delta(before: Mapping[str, Histogram],
 
 def summarize(hists: Mapping[str, "Histogram | Mapping"]
               ) -> dict[str, dict[str, float]]:
-    """Per-name quantile summaries (dict forms pass through rebuilt)."""
+    """Per-name quantile summaries (dict forms pass through rebuilt).
+
+    :meth:`Histogram.summary` output carries the ``"buckets"`` entry
+    whether the input arrived live, serialized, or already summarized,
+    so all three forms produce identical summaries here.
+    """
     out: dict[str, dict[str, float]] = {}
     for name, hist in hists.items():
         if not isinstance(hist, Histogram):

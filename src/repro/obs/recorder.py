@@ -74,6 +74,11 @@ class QueryExemplar:
         The query's own work-counter delta (``scan.*`` / ``trie.*``).
     note:
         Free-form context (the ladder's plan name, the retry rung...).
+    trace_id:
+        The request trace this query belonged to (empty outside a
+        trace). The join key into the event log and the exported span
+        tree: a slowlog line with a trace_id leads straight to the
+        request's full timeline.
     """
 
     query: str
@@ -85,6 +90,7 @@ class QueryExemplar:
     stages: Mapping[str, float] = field(default_factory=dict)
     counters: Mapping[str, float] = field(default_factory=dict)
     note: str = ""
+    trace_id: str = ""
 
     def render(self) -> str:
         """One human-readable block (the CLI slowlog format)."""
@@ -92,6 +98,8 @@ class QueryExemplar:
                   f"k={self.k} backend={self.backend} kind={self.kind}")
         if self.matches >= 0:
             header += f" matches={self.matches}"
+        if self.trace_id:
+            header += f" trace={self.trace_id}"
         if self.note:
             header += f" ({self.note})"
         lines = [header]

@@ -1,0 +1,245 @@
+"""The telemetry sampler: periodic gauge snapshots as bounded time series.
+
+Gauges are last-write-wins scalars — ``service.queue_depth`` tells you
+the depth *now*, not the depth sixty seconds ago when the latency cliff
+started. :class:`TelemetrySampler` closes that gap without a metrics
+backend: it polls a set of named sources on a fixed interval and keeps
+each one's history in a bounded ring (``deque(maxlen=capacity)``), so
+memory is constant no matter how long the stack runs.
+
+Sources are plain callables returning a number. Two registration
+styles:
+
+* :meth:`TelemetrySampler.add_source` — one name, one callable
+  (``sampler.add_source("live.memtable_size", lambda: live.memtable_size)``);
+* :meth:`TelemetrySampler.watch_registry` — poll every gauge a
+  :class:`repro.obs.registry.MetricsRegistry` holds, under its own
+  names; gauges that appear later are picked up automatically.
+
+Sampling runs either on a daemon thread (:meth:`start`/:meth:`stop`)
+or manually (:meth:`sample_once` with an injectable clock), which is
+how tests drive it deterministically. A source that raises is disabled
+and counted, never propagated — telemetry must not take the stack down.
+
+The ring serializes to a plain document (:meth:`to_dict` /
+:meth:`dump`) that the ``repro metrics`` CLI renders three ways:
+``dump`` (the JSON), ``tail`` (the last samples, human-readable) and
+``prom`` (latest value per series as Prometheus gauges).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Mapping
+
+#: Default samples kept per series.
+DEFAULT_CAPACITY = 512
+
+#: Default seconds between automatic samples.
+DEFAULT_INTERVAL = 1.0
+
+
+class TelemetrySampler:
+    """Bounded ring-buffer time series over polled gauge sources.
+
+    Examples
+    --------
+    >>> ticks = iter(range(100))
+    >>> sampler = TelemetrySampler(clock=lambda: float(next(ticks)))
+    >>> depth = [3]
+    >>> sampler.add_source("service.queue_depth", lambda: depth[0])
+    >>> sampler.sample_once()
+    1
+    >>> depth[0] = 5
+    >>> sampler.sample_once()
+    1
+    >>> [value for _, value in sampler.series()["service.queue_depth"]]
+    [3.0, 5.0]
+    """
+
+    def __init__(self, *, interval_seconds: float = DEFAULT_INTERVAL,
+                 capacity: int = DEFAULT_CAPACITY,
+                 clock: Callable[[], float] = time.time) -> None:
+        from repro.exceptions import ReproError
+
+        if interval_seconds <= 0:
+            raise ReproError(
+                f"interval_seconds must be positive, got "
+                f"{interval_seconds}"
+            )
+        if capacity < 1:
+            raise ReproError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self._interval = interval_seconds
+        self._capacity = capacity
+        self._clock = clock
+        self._sources: dict[str, Callable[[], float]] = {}
+        self._registries: list = []
+        self._series: dict[str, deque] = {}
+        self._failed: dict[str, str] = {}
+        self._samples_taken = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @property
+    def interval_seconds(self) -> float:
+        """Seconds between automatic samples."""
+        return self._interval
+
+    @property
+    def capacity(self) -> int:
+        """Samples kept per series."""
+        return self._capacity
+
+    @property
+    def samples_taken(self) -> int:
+        """How many sampling sweeps have run."""
+        return self._samples_taken
+
+    @property
+    def failed_sources(self) -> dict[str, str]:
+        """Sources disabled after raising, with the error message."""
+        with self._lock:
+            return dict(self._failed)
+
+    # -- sources -------------------------------------------------------
+
+    def add_source(self, name: str,
+                   source: Callable[[], float]) -> None:
+        """Register one named gauge source (replacing any prior one)."""
+        with self._lock:
+            self._sources[name] = source
+            self._failed.pop(name, None)
+
+    def watch_registry(self, registry) -> None:
+        """Sample every gauge ``registry`` holds, under its own names.
+
+        Gauges that first appear after registration are sampled from
+        then on — the registry is re-enumerated every sweep.
+        """
+        with self._lock:
+            self._registries.append(registry)
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_once(self) -> int:
+        """Take one sweep now; returns how many series were appended."""
+        now = self._clock()
+        with self._lock:
+            sources = dict(self._sources)
+            registries = list(self._registries)
+            failed = set(self._failed)
+        observed: dict[str, float] = {}
+        for registry in registries:
+            try:
+                observed.update(registry.gauges())
+            except Exception:  # noqa: BLE001 - telemetry never raises
+                continue
+        for name, source in sources.items():
+            if name in failed:
+                continue
+            try:
+                observed[name] = float(source())
+            except Exception as error:  # noqa: BLE001
+                with self._lock:
+                    self._failed[name] = f"{type(error).__name__}: {error}"
+        with self._lock:
+            for name, value in observed.items():
+                ring = self._series.get(name)
+                if ring is None:
+                    ring = self._series[name] = deque(
+                        maxlen=self._capacity)
+                ring.append((now, float(value)))
+            self._samples_taken += 1
+        return len(observed)
+
+    def start(self) -> None:
+        """Start the daemon sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="telemetry-sampler", daemon=True)
+        self._thread.start()
+
+    def stop(self, *, final_sample: bool = True) -> None:
+        """Stop the sampling thread (taking one last sweep by default)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self._interval * 4 + 1.0)
+            self._thread = None
+        if final_sample:
+            self.sample_once()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.sample_once()
+
+    # -- snapshots -----------------------------------------------------
+
+    def series(self) -> dict[str, tuple[tuple[float, float], ...]]:
+        """Every series as ``{name: ((ts, value), ...)}`` copies."""
+        with self._lock:
+            return {name: tuple(ring)
+                    for name, ring in self._series.items()}
+
+    def latest(self) -> dict[str, float]:
+        """The newest value of every series."""
+        with self._lock:
+            return {name: ring[-1][1]
+                    for name, ring in self._series.items() if ring}
+
+    def to_dict(self) -> dict:
+        """The whole sampler state as one JSON-friendly document."""
+        with self._lock:
+            return {
+                "interval_seconds": self._interval,
+                "capacity": self._capacity,
+                "samples_taken": self._samples_taken,
+                "series": {
+                    name: [[round(ts, 6), value]
+                           for ts, value in ring]
+                    for name, ring in sorted(self._series.items())
+                },
+            }
+
+    def dump(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def series_from_document(document: Mapping) -> dict[str, list]:
+    """The ``{name: [[ts, value], ...]}`` series of a sampler dump.
+
+    Accepts the :meth:`TelemetrySampler.to_dict` shape (the ``repro
+    metrics`` CLI reads files through this); raises
+    :class:`repro.exceptions.ReproError` on anything else.
+    """
+    from repro.exceptions import ReproError
+
+    series = document.get("series") if isinstance(document, Mapping) \
+        else None
+    if not isinstance(series, Mapping):
+        raise ReproError(
+            "not a telemetry dump: expected a top-level 'series' "
+            "mapping (produced by TelemetrySampler.dump / "
+            "`repro search --telemetry-out`)"
+        )
+    out: dict[str, list] = {}
+    for name, samples in series.items():
+        if not isinstance(samples, list):
+            raise ReproError(
+                f"telemetry series {name!r} is not a list of samples"
+            )
+        out[str(name)] = [
+            [float(sample[0]), float(sample[1])] for sample in samples
+        ]
+    return out

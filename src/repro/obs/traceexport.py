@@ -14,6 +14,15 @@ open directly:
   tools that ignore nesting;
 * a process-name metadata event labels the track.
 
+Request traces (:class:`repro.obs.tracing.TraceSpan`, collected by a
+:class:`repro.obs.tracing.Tracer`) export through the same document:
+each span carries its **own** ``pid``/``tid`` — recorded where the work
+ran, shipped back across the process-pool boundary — so Perfetto lays a
+gateway submit out across its real lanes: the asyncio thread, the pool
+worker threads, the pool *processes*, the background compaction thread.
+Per-(pid, tid) metadata events name every lane, and the trace/span/
+parent ids ride in ``args`` so the tree survives flattening.
+
 Wired into the CLI as ``repro-search search ... --trace-out FILE``
 (which implies ``--stats``-level observation so spans exist to
 export). The emitted document is plain JSON — asserted valid in tests,
@@ -27,6 +36,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.obs.registry import MetricsRegistry, Span
+from repro.obs.tracing import Tracer, TraceSpan
 
 #: Trace-event category stamped on every exported span.
 CATEGORY = "repro"
@@ -60,24 +70,105 @@ def trace_events(spans: Iterable[Span], *, pid: int = 1,
     return events
 
 
-def trace_document(source: MetricsRegistry | Iterable[Span], *,
-                   process_name: str = "repro") -> dict[str, Any]:
+def trace_span_to_event(span: TraceSpan, *, epoch: float = 0.0) -> dict:
+    """One request-trace span as a complete event, on its own lane.
+
+    ``epoch`` is the wall-clock origin subtracted from every ``ts`` so
+    the document starts near zero (viewers dislike 50-year offsets);
+    callers pass the earliest span's start.
+    """
+    args: dict[str, Any] = {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id or "",
+    }
+    for key, value in span.tags:
+        args[key] = value
+    return {
+        "name": span.name,
+        "cat": CATEGORY,
+        "ph": "X",
+        "ts": round((span.started - epoch) * 1e6, 3),
+        "dur": round(span.seconds * 1e6, 3),
+        "pid": span.pid,
+        "tid": span.tid,
+        "args": args,
+    }
+
+
+def tracer_events(spans: Iterable[TraceSpan], *,
+                  process_name: str = "repro") -> list[dict]:
+    """Request-trace spans as events with per-lane metadata stitching.
+
+    Every distinct ``pid`` gets a ``process_name`` metadata event
+    (the main process keeps ``process_name``; pool workers are labeled
+    ``{process_name}/worker``) and every distinct ``(pid, tid)`` gets a
+    ``thread_name`` event carrying the recording thread's name — so
+    Perfetto shows "gateway", "shard-0-worker-1", "live-corpus-
+    compaction" as named lanes instead of bare ids.
+    """
+    spans = list(spans)
+    if not spans:
+        return []
+    epoch = min(span.started for span in spans)
+    own_pid = min(span.pid for span in spans)
+    events: list[dict] = []
+    seen_pids: set[int] = set()
+    seen_lanes: set[tuple[int, int]] = set()
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids.add(span.pid)
+            label = process_name if span.pid == own_pid \
+                else f"{process_name}/worker"
+            events.append({
+                "name": "process_name", "ph": "M",
+                "pid": span.pid, "tid": 0,
+                "args": {"name": label},
+            })
+        lane = (span.pid, span.tid)
+        if lane not in seen_lanes:
+            seen_lanes.add(lane)
+            events.append({
+                "name": "thread_name", "ph": "M",
+                "pid": span.pid, "tid": span.tid,
+                "args": {"name": span.thread or f"tid-{span.tid}"},
+            })
+    events.extend(trace_span_to_event(span, epoch=epoch)
+                  for span in sorted(spans,
+                                     key=lambda span: span.started))
+    return events
+
+
+def trace_document(
+        source: MetricsRegistry | Tracer | Iterable[Span | TraceSpan],
+        *, process_name: str = "repro") -> dict[str, Any]:
     """The full JSON-object trace document viewers accept.
 
-    ``source`` is a registry (its ``spans`` list is read) or any
-    iterable of spans. The object form (``{"traceEvents": [...]}``)
-    is used rather than the bare array so metadata has a legal home.
+    ``source`` is a registry (its ``spans`` list is read), a
+    :class:`Tracer` (its collected request spans are read, with real
+    pid/tid lane stitching), or any iterable of either span kind. The
+    object form (``{"traceEvents": [...]}``) is used rather than the
+    bare array so metadata has a legal home.
     """
-    spans = source.spans if isinstance(source, MetricsRegistry) \
-        else list(source)
+    if isinstance(source, Tracer):
+        spans: list = list(source.spans())
+    elif isinstance(source, MetricsRegistry):
+        spans = source.spans
+    else:
+        spans = list(source)
+    if spans and isinstance(spans[0], TraceSpan):
+        events = tracer_events(spans, process_name=process_name)
+    else:
+        events = trace_events(spans, process_name=process_name)
     return {
-        "traceEvents": trace_events(spans, process_name=process_name),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
 
 
 def write_trace(path: str | Path,
-                source: MetricsRegistry | Iterable[Span], *,
+                source: MetricsRegistry | Tracer
+                | Iterable[Span | TraceSpan], *,
                 process_name: str = "repro") -> Path:
     """Write the trace document to ``path``; returns the path.
 

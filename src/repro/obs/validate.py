@@ -8,6 +8,11 @@ files validate the same way. Exit status is 0 only when every report in
 every file conforms and at least one report was found per file —
 a benchmark that silently stopped embedding reports is a failure, not
 a pass.
+
+With ``--events``, files are validated as JSON-lines **event logs**
+instead (the ``repro search --events-out`` artifact): every line must
+satisfy :func:`repro.obs.events.validate_event`, and a file with zero
+events fails for the same silent-regression reason.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 from pathlib import Path
 from typing import Any, Iterator, Sequence
 
+from repro.obs.events import validate_event_lines
 from repro.obs.report import validate_report
 
 
@@ -68,17 +74,35 @@ def validate_file(path: Path) -> list[str]:
     return problems
 
 
+def validate_events_file(path: Path) -> list[str]:
+    """All problems in one JSON-lines event-log file."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+    seen, problems = validate_event_lines(
+        text.splitlines(), where=str(path))
+    if not seen and not problems:
+        problems.append(f"{path}: no event lines found")
+    return problems
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Validate every file given; print findings; return an exit code."""
-    paths = [Path(arg) for arg in
-             (argv if argv is not None else sys.argv[1:])]
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    events_mode = "--events" in arguments
+    if events_mode:
+        arguments = [arg for arg in arguments if arg != "--events"]
+    paths = [Path(arg) for arg in arguments]
     if not paths:
-        print("usage: python -m repro.obs.validate FILE [FILE...]",
+        print("usage: python -m repro.obs.validate [--events] "
+              "FILE [FILE...]",
               file=sys.stderr)
         return 2
     failures = 0
     for path in paths:
-        problems = validate_file(path)
+        problems = validate_events_file(path) if events_mode \
+            else validate_file(path)
         if problems:
             failures += 1
             for problem in problems:

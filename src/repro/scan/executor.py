@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 import warnings
 from dataclasses import dataclass
-from time import perf_counter
+from time import perf_counter, time
 from typing import Sequence
 
 from repro.core.deadline import Budget, Deadline
@@ -43,6 +43,12 @@ from repro.distance.vectorized import (
 from repro.exceptions import DeadlineExceeded, ReproError
 from repro.obs.hist import Histogram
 from repro.obs.recorder import QueryExemplar
+from repro.obs.tracing import (
+    adopt_spans,
+    emit_span,
+    ship_context,
+    worker_span,
+)
 from repro.scan.cache import LRUCache
 from repro.scan.corpus import CompiledCorpus
 
@@ -416,11 +422,14 @@ class _QueryTask:
     """Picklable per-query work unit for runner fan-out.
 
     With ``collect`` set, each call returns
-    ``(row, counters, timers, seconds)`` instead of the bare row —
-    counters *and* timer observations cross process boundaries as
+    ``(row, counters, timers, seconds, spans)`` instead of the bare row
+    — counters *and* timer observations cross process boundaries as
     plain dicts and merge back in the parent, so process-pool runs
     report the same work profile serial runs do. ``timers`` maps
-    timer name to ``(seconds, calls)``.
+    timer name to ``(seconds, calls)``. ``spans`` is the worker-side
+    trace-span dicts recorded under the shipped ``trace`` context
+    (empty when no sampled trace shipped), rejoined in the parent
+    with :func:`repro.obs.tracing.adopt_spans`.
     """
 
     corpus: CompiledCorpus
@@ -428,6 +437,7 @@ class _QueryTask:
     use_frequency: bool
     collect: bool = False
     kernel: str = "auto"
+    trace: dict | None = None
 
     def __call__(self, query: str):
         corpus = _resolve_artifact(self.corpus)
@@ -436,19 +446,23 @@ class _QueryTask:
                                     use_frequency=self.use_frequency,
                                     kernel=self.kernel))
         counters: dict = {}
+        wall = time()
         started = perf_counter()
         row = tuple(scan_query(corpus, query, self.k,
                                use_frequency=self.use_frequency,
                                counters=counters, kernel=self.kernel))
         seconds = perf_counter() - started
-        return row, counters, {"scan.query": (seconds, 1)}, seconds
+        spans = worker_span("scan.query", self.trace, wall, seconds,
+                            tags={"query": query})
+        return row, counters, {"scan.query": (seconds, 1)}, seconds, \
+            spans
 
 
 @dataclass(frozen=True)
 class _BucketChunkTask:
     """Picklable bucket-slice work unit for single-query fan-out.
 
-    ``collect`` behaves as on :class:`_QueryTask`.
+    ``collect`` and ``trace`` behave as on :class:`_QueryTask`.
     """
 
     corpus: CompiledCorpus
@@ -457,6 +471,7 @@ class _BucketChunkTask:
     use_frequency: bool
     collect: bool = False
     kernel: str = "auto"
+    trace: dict | None = None
 
     def __call__(self, chunk: tuple[int, int]):
         lo, hi = chunk
@@ -467,13 +482,17 @@ class _BucketChunkTask:
                                     use_frequency=self.use_frequency,
                                     kernel=self.kernel))
         counters: dict = {}
+        wall = time()
         started = perf_counter()
         row = tuple(scan_query(corpus, self.query, self.k,
                                lo=lo, hi=hi,
                                use_frequency=self.use_frequency,
                                counters=counters, kernel=self.kernel))
         seconds = perf_counter() - started
-        return row, counters, {"scan.chunk": (seconds, 1)}, seconds
+        spans = worker_span("scan.chunk", self.trace, wall, seconds,
+                            tags={"lo": str(lo), "hi": str(hi)})
+        return row, counters, {"scan.chunk": (seconds, 1)}, seconds, \
+            spans
 
 
 @dataclass
@@ -689,6 +708,7 @@ class BatchScanExecutor:
             seconds = perf_counter() - started
             self._merge_counters(counters, seconds, started=started)
             self._offer_exemplar(query, k, seconds, len(row), counters)
+            emit_span("scan.query", seconds, {"query": query})
             self.stats.scans_executed += 1
             self._store_row(query, k, row)
         else:
@@ -774,6 +794,7 @@ class BatchScanExecutor:
             seconds = perf_counter() - started
             self._merge_counters(counters, seconds, started=started)
             self._offer_exemplar(query, k, seconds, len(row), counters)
+            emit_span("scan.query", seconds, {"query": query})
             self.stats.scans_executed += 1
             resolved[query] = row
             self._store_row(query, k, row)
@@ -800,20 +821,23 @@ class BatchScanExecutor:
                  runner: QueryRunner | None) -> list[tuple[Match, ...]]:
         if runner is None:
             task = _QueryTask(self._corpus, k, self._use_frequency,
-                              collect=True, kernel=self._kernel)
+                              collect=True, kernel=self._kernel,
+                              trace=ship_context())
             outcomes = [task(query) for query in misses]
         else:
             if len(misses) == 1:
                 return [self._scan_chunked(misses[0], k, runner)]
             task = _QueryTask(
                 _pool_payload(self._corpus, runner, "compiled corpus"),
-                k, self._use_frequency, collect=True, kernel=self._kernel)
+                k, self._use_frequency, collect=True, kernel=self._kernel,
+                trace=ship_context())
             outcomes = runner.run(task, misses)
         rows: list[tuple[Match, ...]] = []
-        for query, (row, counters, timers, seconds) in zip(misses,
-                                                           outcomes):
+        for query, (row, counters, timers, seconds, spans) in zip(
+                misses, outcomes):
             self._merge_counters(counters, seconds, timers=timers)
             self._offer_exemplar(query, k, seconds, len(row), counters)
+            adopt_spans(spans)
             rows.append(row)
         return rows
 
@@ -846,15 +870,16 @@ class BatchScanExecutor:
         task = _BucketChunkTask(
             _pool_payload(self._corpus, runner, "compiled corpus"),
             query, k, self._use_frequency, collect=True,
-            kernel=self._kernel)
+            kernel=self._kernel, trace=ship_context())
         merged: list[Match] = []
         totals: dict = {}
         stages: dict[str, float] = {}
         started = perf_counter()
-        for index, (part, counters, timers, seconds) in enumerate(
+        for index, (part, counters, timers, seconds, spans) in enumerate(
                 runner.run(task, chunks)):
             self._merge_counters(counters, seconds, timer="scan.chunk",
                                  timers=timers)
+            adopt_spans(spans)
             for name, value in counters.items():
                 totals[name] = totals.get(name, 0) + value
             stages[f"scan.chunk[{index}]"] = seconds

@@ -47,10 +47,17 @@ from repro.exceptions import (
     ReproError,
     ServiceOverloaded,
 )
+from repro.obs.events import EventLog
 from repro.obs.hist import Histogram
 from repro.obs.recorder import FlightRecorder, QueryExemplar
 from repro.obs.registry import NULL, MetricsRegistry
 from repro.obs.report import SearchReport, build_report
+from repro.obs.tracing import (
+    Tracer,
+    current_context,
+    current_trace_id,
+    trace_span,
+)
 from repro.service.plans import default_ladder
 from repro.service.sharding import ShardedCorpus
 
@@ -165,7 +172,19 @@ class Service:
         event — deadline expiry, retry, overload rejection, degraded
         or partial answer — force-records an exemplar (the ladder's
         audit trail), and slow complete submits compete for the
-        slowlog like any engine query.
+        slowlog like any engine query. Exemplars carry the ambient
+        trace_id, the planner's chosen rung and (when the gateway
+        stamped one into baggage) the shed decision.
+    tracer:
+        Optional :class:`repro.obs.Tracer`. When a submit arrives with
+        no ambient trace (standalone use, outside the gateway), the
+        service mints a root context on it so the ladder still produces
+        a span tree; submits already inside a trace (the gateway's)
+        just add child spans to it.
+    events:
+        Optional :class:`repro.obs.EventLog` receiving ``admission``
+        and ``ladder_rung`` lines, each stamped with the ambient
+        trace_id.
     sleep:
         Injectable sleep function (tests pass a recorder).
 
@@ -189,6 +208,8 @@ class Service:
                  scheme: str = "round_robin",
                  metrics: MetricsRegistry | None = None,
                  recorder: FlightRecorder | None = None,
+                 tracer: Tracer | None = None,
+                 events: EventLog | None = None,
                  sleep: Callable[[float], None] = time.sleep) -> None:
         if capacity < 1:
             raise ReproError(
@@ -214,6 +235,8 @@ class Service:
         self._in_flight = 0
         self._metrics = metrics if metrics is not None else NULL
         self._recorder = recorder
+        self._tracer = tracer
+        self._events = events
         self._sleep = sleep
         self._counters = dict.fromkeys(SERVICE_COUNTERS, 0)
         self._hists = {"service.submit_seconds": Histogram()}
@@ -231,6 +254,11 @@ class Service:
     def capacity(self) -> int:
         """The bounded queue's size."""
         return self._capacity
+
+    @property
+    def in_flight(self) -> int:
+        """Submits currently holding an admission slot."""
+        return self._in_flight
 
     @property
     def plans(self) -> tuple:
@@ -257,6 +285,18 @@ class Service:
     def attach_recorder(self, recorder: FlightRecorder | None) -> None:
         """Attach (or detach, with ``None``) a flight recorder."""
         self._recorder = recorder
+
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Attach (or detach, with ``None``) a standalone-root tracer."""
+        self._tracer = tracer
+
+    def attach_events(self, events: EventLog | None) -> None:
+        """Attach (or detach, with ``None``) an operational event log."""
+        self._events = events
+
+    def _emit_event(self, kind: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
 
     @property
     def recorder(self) -> FlightRecorder | None:
@@ -325,6 +365,7 @@ class Service:
             recorder.record(QueryExemplar(
                 query=query, k=k, backend="service[ladder]",
                 seconds=seconds, matches=matches, kind=kind, note=note,
+                trace_id=current_trace_id(),
             ), force=True)
 
     # ----------------------------------------------------------------
@@ -363,6 +404,9 @@ class Service:
                 request.query, request.k, 0.0, "overload",
                 note=f"rejected at capacity {self._capacity}",
             )
+            self._emit_event("admission", outcome="rejected",
+                             in_flight=self._capacity,
+                             capacity=self._capacity)
             retry_after = self.estimate_retry_after_ms()
             hint = (f"; retry in ~{retry_after:.0f}ms"
                     if retry_after is not None else "")
@@ -376,8 +420,11 @@ class Service:
         started = time.perf_counter()
         try:
             self._count("service.accepted")
+            self._emit_event("admission", outcome="accepted",
+                             in_flight=self._in_flight,
+                             capacity=self._capacity)
             with self._metrics.trace("service.submit"):
-                result = self._run_ladder(request, started)
+                result = self._traced_ladder(request, started)
         finally:
             self._in_flight -= 1
             self._slots.release()
@@ -397,6 +444,7 @@ class Service:
                 matches=len(result.matches),
                 stages={"service.submit": self._last_seconds},
                 note=f"plan={result.plan}",
+                trace_id=current_trace_id(),
             ))
         if not result.complete and not request.options.allow_partial:
             raise PartialResultError(
@@ -447,12 +495,45 @@ class Service:
         if delay > 0:
             self._sleep(delay)
 
+    def _traced_ladder(self, request: SearchRequest,
+                       started: float) -> ServiceResult:
+        """Run the ladder inside a request span.
+
+        Standalone submits (no gateway upstream) mint their own root on
+        the attached tracer so the ladder still yields a span tree;
+        submits already inside an ambient trace nest under it instead.
+        """
+        if self._tracer is not None and current_context() is None:
+            with self._tracer.root("service.submit"):
+                return self._run_ladder(request, started)
+        with trace_span("service.submit"):
+            return self._run_ladder(request, started)
+
+    def _ladder_note(self, plans: tuple) -> str:
+        """The planner/shed context every ladder exemplar carries.
+
+        Names the rung the planner chose to start from; when the
+        gateway stamped its shed decision into the request baggage
+        (``shed=none`` / ``shed=degrade`` ...), that rides along too —
+        a slowlog line then explains both *why* the ladder started
+        where it did and what admission pressure shaped the request.
+        """
+        chosen = getattr(plans[0], "name", plans[0].__class__.__name__)
+        note = f"chosen={chosen}"
+        context = current_context()
+        shed = (context.baggage_value("shed", "")
+                if context is not None else "")
+        if shed:
+            note += f", shed={shed}"
+        return note
+
     def _run_ladder(self, request: SearchRequest,
                     started: float) -> ServiceResult:
         query = request.query
         k = request.k
         deadline = request.deadline
         plans = self._ordered_plans(request)
+        ladder_note = self._ladder_note(plans)
         best_partial: tuple[Match, ...] | None = None
         attempts = 0
         for rung, plan in enumerate(plans):
@@ -461,7 +542,10 @@ class Service:
                 attempts += 1
                 self._count("service.attempts")
                 try:
-                    with self._metrics.trace(f"service.attempt[{name}]"):
+                    with self._metrics.trace(f"service.attempt[{name}]"), \
+                            trace_span(f"service.attempt[{name}]",
+                                       {"rung": str(rung),
+                                        "retry": str(retry)}):
                         outcome = plan.run(self._corpus, query, k,
                                            deadline)
                 except DeadlineExceeded as error:
@@ -474,18 +558,23 @@ class Service:
                         query, k, time.perf_counter() - started,
                         "deadline", matches=len(partial),
                         note=f"plan={name}, rescued {len(partial)} "
-                             "partial matches",
+                             f"partial matches ({ladder_note})",
                     )
+                    self._emit_event("ladder_rung", rung=rung,
+                                     plan=name, outcome="deadline",
+                                     rescued=len(partial))
                     break  # expiry degrades; retrying the rung cannot help
                 except ReproError:
                     if retry >= self._retry_budget:
+                        self._emit_event("ladder_rung", rung=rung,
+                                         plan=name, outcome="error")
                         break
                     self._count("service.retries")
                     self._record_event(
                         query, k, time.perf_counter() - started,
                         "retry",
                         note=f"plan={name}, retry {retry + 1} of "
-                             f"{self._retry_budget}",
+                             f"{self._retry_budget} ({ladder_note})",
                     )
                     self._backoff(retry, deadline)
                     continue
@@ -496,11 +585,15 @@ class Service:
                 else:
                     status, counter = "degraded", "service.degraded"
                 self._count(counter)
+                self._emit_event("ladder_rung", rung=rung, plan=name,
+                                 outcome=status,
+                                 matches=len(outcome.matches))
                 if status != "complete":
                     self._record_event(
                         query, k, time.perf_counter() - started,
                         status, matches=len(outcome.matches),
-                        note=f"plan={outcome.plan}, rung {rung}",
+                        note=f"plan={outcome.plan}, rung {rung} "
+                             f"({ladder_note})",
                     )
                 return ServiceResult(
                     query=query, k=k, status=status,
@@ -515,8 +608,11 @@ class Service:
         self._record_event(
             query, k, time.perf_counter() - started, "partial",
             matches=len(matches),
-            note=f"every rung failed after {attempts} attempts",
+            note=f"every rung failed after {attempts} attempts "
+                 f"({ladder_note})",
         )
+        self._emit_event("ladder_rung", rung=len(plans), plan="",
+                         outcome="partial", matches=len(matches))
         return ServiceResult(
             query=query, k=k, status="partial",
             matches=matches, verified=True, plan="", attempts=attempts,

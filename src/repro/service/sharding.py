@@ -20,6 +20,7 @@ parallelism across shards belongs to the runner layer, not this one.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterable
 
 from repro.core.deadline import Budget, Deadline
@@ -28,6 +29,7 @@ from repro.core.result import Match
 from repro.core.searcher import Searcher
 from repro.core.sequential import SequentialScanSearcher
 from repro.exceptions import DeadlineExceeded, ReproError
+from repro.obs.tracing import emit_span
 from repro.parallel.partition import partition_dataset
 
 #: Plan kinds a shard can serve, mapping 1:1 onto the library's
@@ -260,9 +262,13 @@ class ShardedCorpus:
             searcher = self._view_searcher(view, plan, index)
             if searcher is None:
                 continue
+            started = time.perf_counter()
             try:
                 row = searcher.search(query, k, deadline=deadline)
             except DeadlineExceeded as error:
+                emit_span(f"shard[{index}]",
+                          time.perf_counter() - started,
+                          {"plan": plan, "outcome": "deadline"})
                 partial = merge_matches(merged + [tuple(error.partial)])
                 raise DeadlineExceeded(
                     f"sharded {plan} search for {query!r} (k={k}) "
@@ -271,6 +277,8 @@ class ShardedCorpus:
                     partial=partial, scope="shards",
                     completed=index, total=total,
                 ) from error
+            emit_span(f"shard[{index}]", time.perf_counter() - started,
+                      {"plan": plan})
             merged.append(tuple(row))
         return merge_matches(merged)
 

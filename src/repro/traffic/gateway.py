@@ -33,15 +33,17 @@ from __future__ import annotations
 
 import asyncio
 import time
-from functools import partial
 from typing import Sequence
 
 from repro.core.deadline import Budget, Deadline
 from repro.core.request import SearchOptions, SearchRequest, as_request
 from repro.exceptions import ReproError, ServiceOverloaded
+from repro.obs.events import EventLog
 from repro.obs.hist import Histogram
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import SearchReport, build_report
+from repro.obs.tracing import (TraceContext, Tracer, bound, emit_span,
+                               use_trace)
 from repro.service.plans import FilterOnlyPlan
 from repro.service.service import Service, ServiceResult
 from repro.traffic.cache import ResultCache
@@ -85,9 +87,25 @@ class AsyncService:
         Optional :class:`ShardPools`; admitted requests then execute
         on the shard crews instead of the caller-side ladder.
     metrics:
-        Optional registry mirroring gateway gauges and counters.
+        Optional registry mirroring gateway gauges and counters; also
+        attached to a live corpus underneath so its ``live.*`` gauges
+        land in the same registry.
     refit_interval:
         Completions between adaptive :meth:`ShardPools.refit` calls.
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`. The gateway mints
+        one :class:`TraceContext` per submit — the root of that
+        request's span tree — and threads it through the cache check,
+        the shed decision, and whichever execution path runs (pools,
+        ladder or floor), across the asyncio-to-thread boundary. The
+        tracer is also attached to the underlying service so ladder
+        spans join the same tree.
+    events:
+        Optional :class:`repro.obs.events.EventLog`. The gateway
+        stamps admission/shed/cache lines with the submit's trace_id;
+        the log is also attached to the service and any live corpus
+        underneath, so ladder-rung, flush and compaction lines land in
+        the same stream.
 
     Examples
     --------
@@ -104,7 +122,9 @@ class AsyncService:
                  shedder: LoadShedder | None = None,
                  pools: ShardPools | None = None,
                  metrics: MetricsRegistry | None = None,
-                 refit_interval: int = DEFAULT_REFIT_INTERVAL) -> None:
+                 refit_interval: int = DEFAULT_REFIT_INTERVAL,
+                 tracer: Tracer | None = None,
+                 events: EventLog | None = None) -> None:
         if refit_interval < 1:
             raise ReproError(
                 f"refit_interval must be positive, got {refit_interval}"
@@ -115,6 +135,8 @@ class AsyncService:
         self._pools = pools
         self._metrics = metrics
         self._refit_interval = refit_interval
+        self._tracer = tracer
+        self._events = events
         self._floor = FilterOnlyPlan()
         self._counters = dict.fromkeys(GATEWAY_COUNTERS, 0)
         self._hists = {"gateway.submit_seconds": Histogram()}
@@ -123,15 +145,27 @@ class AsyncService:
         self._last_seconds = 0.0
         self._invalidation_source = None
         source = getattr(service.corpus, "source", None)
-        if (cache is not None and source is not None
-                and getattr(source, "mutable", False)):
+        self._live_source = (source if source is not None
+                             and getattr(source, "mutable", False)
+                             else None)
+        if tracer is not None:
+            service.attach_tracer(tracer)
+        if events is not None:
+            service.attach_events(events)
+        if self._live_source is not None \
+                and (metrics is not None or events is not None):
+            # One registry, one log for the whole stack: live.* gauges
+            # and flush/compaction lines join the gateway's series.
+            self._live_source.attach_observability(
+                metrics=metrics, events=events)
+        if cache is not None and self._live_source is not None:
             # The write path's cache contract: a mutation must drop
             # every cached answer it could change before the next
             # lookup. Inserts can only *add* matches, so they clear
             # everything; deletes only remove matches, so they drop
             # just the entries that mention the deleted string.
-            source.subscribe(self._on_corpus_event)
-            self._invalidation_source = source
+            self._live_source.subscribe(self._on_corpus_event)
+            self._invalidation_source = self._live_source
 
     def _on_corpus_event(self, event) -> None:
         """Invalidate cached results on a live-corpus mutation.
@@ -147,8 +181,14 @@ class AsyncService:
         self._count("service.gateway.invalidation_events")
         if event.kind == "insert":
             cache.invalidate()
+            dropped = "all"
         else:
             cache.invalidate(event.string)
+            dropped = event.string
+        # trace_id defaults to the mutating caller's ambient trace, so
+        # a traced insert's invalidation joins that insert's tree.
+        self._emit_event("cache_invalidation", mutation=event.kind,
+                         dropped=dropped, size=len(cache))
         self._set_gauges()
 
     @property
@@ -170,6 +210,22 @@ class AsyncService:
     def pools(self) -> ShardPools | None:
         """The attached shard pools, if any."""
         return self._pools
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The attached tracer, if any."""
+        return self._tracer
+
+    @property
+    def events(self) -> EventLog | None:
+        """The attached event log, if any."""
+        return self._events
+
+    def _emit_event(self, kind: str, *, trace_id: str | None = None,
+                    **fields) -> None:
+        """One event line (no-op without an attached log)."""
+        if self._events is not None:
+            self._events.emit(kind, trace_id=trace_id, **fields)
 
     def queue_depth(self) -> int:
         """Requests admitted by the gateway but not yet answered."""
@@ -208,6 +264,14 @@ class AsyncService:
         ``retry_after_ms`` hint) when the shedder's reject watermark is
         breached. A shed-to-floor answer comes back as an honest
         ``candidates`` result, exactly like a ladder bottom-out.
+
+        With a tracer attached, each call mints a fresh root context:
+        the whole submit becomes one ``gateway.submit`` span whose
+        children cover the cache probe and the execution path, across
+        the event-loop-to-thread (and, under process pools, the
+        thread-to-process) boundary — one tree per request. The shed
+        decision rides the context's baggage (``shed=admit|degrade``),
+        which is how ladder exemplars learn about it downstream.
         """
         request = as_request(query, k, deadline=deadline,
                              backend=backend, options=options)
@@ -216,17 +280,39 @@ class AsyncService:
                 "AsyncService.submit answers one query per call; use "
                 "submit_many for workloads"
             )
+        tracer = self._tracer
+        context = tracer.mint() if tracer is not None else None
+        trace_id = context.trace_id if context is not None else ""
+        wall = time.time()
+        submit_started = time.perf_counter()
         self._count("service.gateway.submitted")
         if self._cache is not None:
+            lookup_started = time.perf_counter()
             hit = self._cache.get(request)
+            self._cache_span(tracer, context, wall,
+                             time.perf_counter() - lookup_started, hit)
             if hit is not None:
                 self._count("service.gateway.cache_answers")
+                self._emit_event("cache_hit", trace_id=trace_id,
+                                 query=request.query)
                 self._set_gauges()
+                self._finish_root(tracer, context, wall, submit_started,
+                                  outcome="cache")
                 return hit
+            self._emit_event("cache_miss", trace_id=trace_id,
+                             query=request.query)
         decision = self._decide()
+        if self._shedder is not None:
+            self._emit_event("shed", trace_id=trace_id,
+                             action=decision.action,
+                             queue_depth=decision.queue_depth)
+        if context is not None:
+            context = context.with_baggage(shed=decision.action)
         if decision.action == "reject":
             self._count("service.gateway.rejections")
             self._set_gauges()
+            self._finish_root(tracer, context, wall, submit_started,
+                              outcome="rejected")
             hint = (f"; retry in ~{decision.retry_after_ms:.0f}ms"
                     if decision.retry_after_ms is not None else "")
             raise ServiceOverloaded(
@@ -240,19 +326,27 @@ class AsyncService:
         started = time.perf_counter()
         self._pending += 1
         self._set_gauges()
+        outcome = "error"
         try:
             if decision.action == "degrade":
                 self._count("service.gateway.floor_answers")
                 result = await loop.run_in_executor(
-                    None, self._run_floor, request)
+                    None, bound(tracer, context, self._run_floor,
+                                request))
             elif self._pools is not None:
                 self._count("service.gateway.pool_answers")
-                ticket = self._pools.submit(request)
+                # Capture the trace on the ticket synchronously (no
+                # await between install and submit), so pool workers
+                # parent their shard spans under this request's root.
+                with use_trace(tracer, context):
+                    ticket = self._pools.submit(request)
                 result = await loop.run_in_executor(None, ticket.result)
             else:
                 self._count("service.gateway.ladder_answers")
                 result = await loop.run_in_executor(
-                    None, partial(self._service.submit, request))
+                    None, bound(tracer, context, self._service.submit,
+                                request))
+            outcome = result.status
         finally:
             self._pending -= 1
             seconds = time.perf_counter() - started
@@ -264,11 +358,33 @@ class AsyncService:
             if self._pools is not None \
                     and self._completions % self._refit_interval == 0:
                 self._pools.refit()
+            self._finish_root(tracer, context, wall, submit_started,
+                              outcome=outcome)
             self._set_gauges()
         if self._cache is not None:
             self._cache.put(request, result)
             self._set_gauges()
         return result
+
+    def _cache_span(self, tracer: Tracer | None,
+                    context: TraceContext | None, wall: float,
+                    seconds: float, hit: ServiceResult | None) -> None:
+        """One child span for the cache probe (hit or miss)."""
+        if tracer is None or context is None:
+            return
+        tracer.record_span(
+            "gateway.cache", context.child(), wall, seconds,
+            tags={"outcome": "hit" if hit is not None else "miss"})
+
+    def _finish_root(self, tracer: Tracer | None,
+                     context: TraceContext | None, wall: float,
+                     started: float, *, outcome: str) -> None:
+        """Record the whole-submit root span (explicit-timing twin)."""
+        if tracer is None or context is None:
+            return
+        tracer.record_span(
+            "gateway.submit", context, wall,
+            time.perf_counter() - started, tags={"outcome": outcome})
 
     async def submit_many(self, requests: Sequence[SearchRequest], *,
                           arrivals: Sequence[float] | None = None
@@ -314,8 +430,11 @@ class AsyncService:
 
     def _run_floor(self, request: SearchRequest) -> ServiceResult:
         """The shed path: straight to the filter-only floor, no queue."""
+        started = time.perf_counter()
         outcome = self._floor.run(self._service.corpus, request.query,
                                   request.k, request.deadline)
+        emit_span("gateway.floor", time.perf_counter() - started,
+                  {"plan": outcome.plan})
         return ServiceResult(
             query=request.query, k=request.k, status="candidates",
             matches=tuple(outcome.matches), verified=False,
@@ -333,8 +452,10 @@ class AsyncService:
         pools' ``pool.*`` and the underlying service's ``service.*``;
         histograms carry gateway latency next to the service and pool
         distributions; the ``gauges`` section snapshots
-        ``service.queue_depth``, ``service.cache.size`` and live
-        worker counts.
+        ``service.queue_depth``, ``service.cache.size``, pool worker
+        counts and — when the service fronts a live corpus — the
+        ``live.memtable_size`` / ``live.segments`` /
+        ``live.compactions_in_flight`` write-path gauges.
         """
         counters: dict[str, float] = dict(self._counters)
         counters.update(self._service.counters_snapshot())
@@ -355,6 +476,13 @@ class AsyncService:
             hists.update(self._pools.hists_snapshot())
             gauges["pool.workers"] = float(
                 sum(self._pools.workers().values()))
+        live = (self._live_source.live_corpus
+                if self._live_source is not None else None)
+        if live is not None:
+            gauges["live.memtable_size"] = float(live.memtable_size)
+            gauges["live.segments"] = float(len(live.segment_sizes()))
+            gauges["live.compactions_in_flight"] = float(
+                live.compactions_in_flight)
         parts = ["gateway"]
         if self._cache is not None:
             parts.append("cache")

@@ -42,14 +42,15 @@ import os
 import queue as queue_module
 import threading
 from dataclasses import dataclass
-from time import perf_counter
-from typing import Sequence
+from time import perf_counter, time
+from typing import Mapping, Sequence
 
 from repro.core.deadline import Deadline
 from repro.core.request import SearchRequest
 from repro.exceptions import ReproError
 from repro.obs.hist import Histogram
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import current_trace, worker_span
 from repro.parallel.adaptive import ManagerRules
 from repro.scan.corpus import CompiledCorpus
 from repro.scan.executor import BatchScanExecutor
@@ -96,10 +97,32 @@ def _process_worker_init(segment_path: str) -> None:
     _WORKER_EXECUTOR = BatchScanExecutor(SegmentRef(segment_path).resolve())
 
 
-def _process_serve(queries: Sequence[str], k: int):
-    """Serve one drained batch inside a primed worker process."""
+def _process_serve(queries: Sequence[str], k: int,
+                   traces: Sequence[Mapping | None] | None = None):
+    """Serve one drained batch inside a primed worker process.
+
+    ``traces`` ships one serialized :class:`repro.obs.tracing
+    .TraceContext` (or ``None``) per drained ticket. When absent the
+    return value keeps its original shape — the plain row list; when
+    present it becomes ``(rows, spans)``, where ``spans`` holds one
+    ``pool.worker.batch`` span dict per sampled ticket, stamped with
+    this worker's pid/tid so the trace export stitches the batch onto
+    the child process's lane.
+    """
+    if traces is None:
+        result = _WORKER_EXECUTOR.search_many(list(queries), k)
+        return list(result.rows)
+    wall = time()
+    started = perf_counter()
     result = _WORKER_EXECUTOR.search_many(list(queries), k)
-    return list(result.rows)
+    seconds = perf_counter() - started
+    spans: list[dict] = []
+    for shipped in traces:
+        spans.extend(worker_span(
+            "pool.worker.batch", shipped, wall, seconds,
+            tags={"queries": str(len(queries)), "k": str(k)},
+        ))
+    return list(result.rows), spans
 
 
 # -- adaptive sizing ----------------------------------------------------
@@ -181,12 +204,18 @@ class PoolTicket:
     one) and merges. Missing shards at expiry cost exactly their rows:
     the merged answer of the completed shards is returned as a
     ``partial`` — verified, a strict subset of the exact answer.
+
+    ``trace`` carries the submitter's sampled ``(tracer, context)``
+    pair (``None`` otherwise) so worker threads — which run on their
+    own stacks, outside the submitter's ambient trace — can parent
+    their shard spans under the submitting span.
     """
 
     def __init__(self, request: SearchRequest, shard_count: int,
-                 plan: str) -> None:
+                 plan: str, trace: tuple | None = None) -> None:
         self.request = request
         self.enqueued_at = perf_counter()
+        self.trace = trace
         self._plan = plan
         self._rows: list[tuple | None] = [None] * shard_count
         self._remaining = shard_count
@@ -488,8 +517,12 @@ class ShardPools:
                 raise ReproError("submit on a closed ShardPools")
             self._pending += 1
         self._count("pool.submitted")
+        tracer, context = current_trace()
+        trace = ((tracer, context)
+                 if tracer is not None and context is not None
+                 and context.sampled else None)
         ticket = PoolTicket(request, self._corpus.shard_count,
-                            plan=f"pool[{self._kind}]")
+                            plan=f"pool[{self._kind}]", trace=trace)
         for crew in self._crews:
             crew.queue.put(ticket)
         return ticket
@@ -523,18 +556,43 @@ class ShardPools:
             self._count("pool.batched_tasks", len(batch))
 
     def _serve(self, crew: _ShardCrew, batch: list[PoolTicket]) -> None:
-        """Answer one drained batch, grouped by k for the batch scan."""
+        """Answer one drained batch, grouped by k for the batch scan.
+
+        Sampled tickets get one ``pool.shard[N]`` span each (a child of
+        the submitting span, pre-minted here so process workers can
+        parent under it), and process crews ship one
+        ``pool.worker.batch`` span per sampled ticket back alongside
+        the rows.
+        """
         by_k: dict[int, list[PoolTicket]] = {}
         for ticket in batch:
             by_k.setdefault(ticket.request.k, []).append(ticket)
         for k, tickets in by_k.items():
             queries = [ticket.request.query for ticket in tickets]
+            contexts = [
+                ticket.trace[1].child() if ticket.trace is not None
+                else None
+                for ticket in tickets
+            ]
+            traced = any(context is not None for context in contexts)
+            wall = time()
+            started = perf_counter()
+            spans: Sequence[Mapping] = ()
             try:
                 if crew.process_pool is None and crew.executor is None:
                     rows = [() for _ in queries]
                 elif crew.process_pool is not None:
-                    rows = crew.process_pool.submit(
-                        _process_serve, queries, k).result()
+                    if traced:
+                        shipped = [
+                            context.to_dict() if context is not None
+                            else None
+                            for context in contexts
+                        ]
+                        rows, spans = crew.process_pool.submit(
+                            _process_serve, queries, k, shipped).result()
+                    else:
+                        rows = crew.process_pool.submit(
+                            _process_serve, queries, k).result()
                 else:
                     rows = list(
                         crew.executor.search_many(queries, k).rows)
@@ -542,8 +600,40 @@ class ShardPools:
                 for ticket in tickets:
                     self._task_done(ticket._fail(crew.shard, error))
                 continue
+            if traced:
+                self._record_shard_spans(
+                    crew, tickets, contexts, wall,
+                    perf_counter() - started, len(queries), k, spans)
             for ticket, row in zip(tickets, rows):
                 self._task_done(ticket._fulfill(crew.shard, row))
+
+    def _record_shard_spans(self, crew: _ShardCrew,
+                            tickets: Sequence[PoolTicket],
+                            contexts: Sequence,
+                            wall: float, seconds: float,
+                            batch: int, k: int,
+                            spans: Sequence[Mapping]) -> None:
+        """Record one shard span per sampled ticket, rejoin worker spans.
+
+        Worker spans carry their trace_id, so they fold back into the
+        tracer of whichever ticket shipped their parent context —
+        drained batches can mix tickets from different traces.
+        """
+        tracers = {}
+        for ticket, context in zip(tickets, contexts):
+            if context is None:
+                continue
+            tracer = ticket.trace[0]
+            tracers[context.trace_id] = tracer
+            tracer.record_span(
+                f"pool.shard[{crew.shard}]", context, wall, seconds,
+                tags={"kind": self._kind, "batch": str(batch),
+                      "k": str(k)},
+            )
+        for span in spans:
+            tracer = tracers.get(span.get("trace_id"))
+            if tracer is not None:
+                tracer.adopt((span,))
 
     def _task_done(self, finished_now: bool) -> None:
         if finished_now:

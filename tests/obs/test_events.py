@@ -1,0 +1,147 @@
+"""Tests for the structured event log and its CI validator."""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.events import (
+    EVENT_KINDS,
+    NO_EVENTS,
+    EventLog,
+    validate_event,
+    validate_event_lines,
+)
+from repro.obs.tracing import Tracer, use_trace
+
+
+class TestEmit:
+    def test_envelope_carries_ts_and_kind(self):
+        log = EventLog(clock=lambda: 42.0)
+        log.emit("flush", segments=3)
+        event = log.events()[0]
+        assert event == {"ts": 42.0, "kind": "flush", "segments": 3}
+
+    def test_trace_id_defaults_to_ambient(self):
+        log = EventLog()
+        tracer = Tracer()
+        context = tracer.mint()
+        with use_trace(tracer, context):
+            log.emit("shed", action="degrade")
+        assert log.events()[0]["trace_id"] == context.trace_id
+
+    def test_explicit_trace_id_wins_over_ambient(self):
+        log = EventLog()
+        tracer = Tracer()
+        with use_trace(tracer, tracer.mint()):
+            log.emit("shed", trace_id="explicit")
+        assert log.events()[0]["trace_id"] == "explicit"
+
+    def test_outside_a_trace_the_field_is_omitted(self):
+        log = EventLog()
+        log.emit("epoch", epoch=7)
+        assert "trace_id" not in log.events()[0]
+
+    def test_non_scalar_fields_are_stringified(self):
+        log = EventLog()
+        log.emit("shed", decision=["a", "b"])
+        assert log.events()[0]["decision"] == "['a', 'b']"
+
+    def test_ring_is_bounded_but_emitted_counts_all(self):
+        log = EventLog(capacity=2)
+        for index in range(5):
+            log.emit("epoch", epoch=index)
+        assert len(log) == 2
+        assert log.emitted == 5
+        assert [event["epoch"] for event in log.events()] == [3, 4]
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ReproError):
+            EventLog(capacity=0)
+
+
+class TestSinkAndSnapshots:
+    def test_sink_sees_every_line_as_json(self):
+        sink = io.StringIO()
+        log = EventLog(sink=sink, clock=lambda: 1.0)
+        log.emit("flush", segments=1)
+        log.emit("epoch", epoch=2)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "flush"
+
+    def test_broken_sink_is_disabled_not_raised(self):
+        class Broken(io.TextIOBase):
+            def write(self, text):
+                raise OSError("disk full")
+
+        log = EventLog(sink=Broken())
+        log.emit("flush")
+        log.emit("flush")  # second write skipped, still no raise
+        assert len(log) == 2
+
+    def test_tail_returns_the_newest_events(self):
+        log = EventLog()
+        for index in range(5):
+            log.emit("epoch", epoch=index)
+        assert [e["epoch"] for e in log.tail(2)] == [3, 4]
+
+    def test_for_trace_filters(self):
+        log = EventLog()
+        log.emit("shed", trace_id="t1")
+        log.emit("flush")
+        log.emit("ladder_rung", trace_id="t1")
+        kinds = [event["kind"] for event in log.for_trace("t1")]
+        assert kinds == ["shed", "ladder_rung"]
+
+    def test_jsonl_round_trips_through_validator(self):
+        log = EventLog()
+        for kind in EVENT_KINDS:
+            log.emit(kind)
+        seen, problems = validate_event_lines(
+            log.to_jsonl().splitlines())
+        assert seen == len(EVENT_KINDS)
+        assert problems == []
+
+    def test_write_reports_line_count(self, tmp_path):
+        log = EventLog()
+        log.emit("flush")
+        log.emit("epoch")
+        path = tmp_path / "events.jsonl"
+        assert log.write(str(path)) == 2
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_null_log_discards(self):
+        NO_EVENTS.emit("flush")
+        assert len(NO_EVENTS) == 0
+
+
+class TestValidation:
+    def test_valid_event_passes(self):
+        assert validate_event(
+            {"ts": 1.0, "kind": "shed", "trace_id": "abc",
+             "queue_depth": 9}) == []
+
+    def test_unknown_kind_is_still_valid(self):
+        assert validate_event({"ts": 1.0, "kind": "brand_new"}) == []
+
+    def test_missing_ts_and_kind_both_reported(self):
+        problems = validate_event({})
+        assert len(problems) == 2
+
+    def test_empty_trace_id_rejected(self):
+        problems = validate_event(
+            {"ts": 1.0, "kind": "shed", "trace_id": ""})
+        assert any("trace_id" in problem for problem in problems)
+
+    def test_nested_field_rejected(self):
+        problems = validate_event(
+            {"ts": 1.0, "kind": "shed", "extra": {"nested": 1}})
+        assert any("extra" in problem for problem in problems)
+
+    def test_lines_report_broken_json_without_crashing(self):
+        seen, problems = validate_event_lines(
+            ['{"ts": 1.0, "kind": "shed"}', "not json", ""])
+        assert seen == 1
+        assert len(problems) == 1

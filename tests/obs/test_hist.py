@@ -39,7 +39,7 @@ class TestEmptyHistogram:
         summary = Histogram().summary()
         assert summary == {"count": 0, "mean": 0.0, "p50": 0.0,
                            "p90": 0.0, "p99": 0.0, "p999": 0.0,
-                           "max": 0.0}
+                           "max": 0.0, "buckets": []}
 
     def test_merge_of_empties_stays_empty(self):
         hist = Histogram()

@@ -1,0 +1,107 @@
+"""Tests for the telemetry sampler and its dump/render pipeline."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.export import telemetry_to_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TelemetrySampler, series_from_document
+
+
+def _sampler(**kwargs):
+    ticks = iter(float(value) for value in range(1000))
+    return TelemetrySampler(clock=lambda: next(ticks), **kwargs)
+
+
+class TestSampling:
+    def test_sources_sampled_with_timestamps(self):
+        sampler = _sampler()
+        depth = [3]
+        sampler.add_source("service.queue_depth", lambda: depth[0])
+        sampler.sample_once()
+        depth[0] = 5
+        sampler.sample_once()
+        series = sampler.series()["service.queue_depth"]
+        assert series == ((0.0, 3.0), (1.0, 5.0))
+
+    def test_registry_gauges_sampled_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("live.memtable_size", 17)
+        sampler = _sampler()
+        sampler.watch_registry(registry)
+        sampler.sample_once()
+        assert sampler.latest()["live.memtable_size"] == 17.0
+
+    def test_gauges_appearing_later_are_picked_up(self):
+        registry = MetricsRegistry()
+        sampler = _sampler()
+        sampler.watch_registry(registry)
+        sampler.sample_once()
+        registry.gauge("live.segments", 4)
+        sampler.sample_once()
+        assert sampler.latest()["live.segments"] == 4.0
+
+    def test_ring_is_bounded(self):
+        sampler = _sampler(capacity=2)
+        sampler.add_source("depth", lambda: 1)
+        for _ in range(5):
+            sampler.sample_once()
+        assert len(sampler.series()["depth"]) == 2
+        assert sampler.samples_taken == 5
+
+    def test_raising_source_is_disabled_not_propagated(self):
+        sampler = _sampler()
+
+        def broken():
+            raise RuntimeError("gone")
+
+        sampler.add_source("bad", broken)
+        sampler.add_source("good", lambda: 1)
+        sampler.sample_once()
+        sampler.sample_once()
+        assert "bad" not in sampler.latest()
+        assert sampler.latest()["good"] == 1.0
+        assert "RuntimeError" in sampler.failed_sources["bad"]
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ReproError):
+            TelemetrySampler(interval_seconds=0)
+        with pytest.raises(ReproError):
+            TelemetrySampler(capacity=0)
+
+    def test_thread_start_stop_takes_a_final_sample(self):
+        sampler = TelemetrySampler(interval_seconds=60.0)
+        sampler.add_source("depth", lambda: 2)
+        sampler.start()
+        sampler.stop()
+        assert sampler.latest()["depth"] == 2.0
+
+
+class TestDumpAndRender:
+    def test_dump_round_trips_through_series_from_document(self, tmp_path):
+        sampler = _sampler()
+        sampler.add_source("depth", lambda: 9)
+        sampler.sample_once()
+        path = tmp_path / "telemetry.json"
+        sampler.dump(str(path))
+        document = json.loads(path.read_text())
+        series = series_from_document(document)
+        assert series == {"depth": [[0.0, 9.0]]}
+
+    def test_series_from_document_rejects_non_dumps(self):
+        with pytest.raises(ReproError):
+            series_from_document({"not": "a dump"})
+        with pytest.raises(ReproError):
+            series_from_document({"series": {"name": "not-a-list"}})
+
+    def test_prometheus_render_exports_latest_values(self):
+        text = telemetry_to_prometheus({
+            "service.queue_depth": [[0.0, 3.0], [1.0, 5.0]],
+            "empty": [],
+        })
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 5" in text
+        assert "# HELP repro_service_queue_depth" in text
+        assert "empty" not in text
